@@ -1,0 +1,245 @@
+package casched_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"casched"
+)
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	mt := casched.GenerateSet2(60, 25, 42)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msf, err := casched.NewScheduler("MSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := casched.Run(casched.RunConfig{
+		Servers: servers, Scheduler: msf, Seed: 1, NoiseSigma: 0.03,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Completed != 60 || rep.SumFlow <= 0 {
+		t.Errorf("unexpected report: %+v", rep)
+	}
+	if len(res.ServerStats) != 4 {
+		t.Errorf("server stats missing: %d", len(res.ServerStats))
+	}
+}
+
+func TestPublicAPISchedulers(t *testing.T) {
+	if len(casched.Schedulers()) < 10 {
+		t.Errorf("scheduler family too small: %d", len(casched.Schedulers()))
+	}
+	if _, err := casched.NewScheduler("nosuch"); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	if casched.NewMPRandomTie().Name() != "MP" {
+		t.Error("MP random-tie variant misnamed")
+	}
+}
+
+func TestPublicAPIHTM(t *testing.T) {
+	m := casched.NewHTM([]string{"s1"}, casched.HTMWithSync())
+	spec := &casched.Spec{Problem: "p", CostOn: map[string]casched.Cost{"s1": {Compute: 10}}}
+	if err := m.Place(0, spec, 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := m.PredictedCompletion(0)
+	if !ok || math.Abs(c-10) > 1e-9 {
+		t.Errorf("prediction = %v,%v", c, ok)
+	}
+	sim, ok := m.Sim("s1")
+	if !ok {
+		t.Fatal("sim accessor broken")
+	}
+	chart := casched.ExtractGantt(sim)
+	if !strings.Contains(chart.Render(40), "task 0") {
+		t.Error("gantt render missing task row")
+	}
+	_ = casched.HTMWithMemoryModel() // constructor must exist
+}
+
+func TestPublicAPIMetataskCSV(t *testing.T) {
+	mt := casched.GenerateSet1(20, 25, 5)
+	var sb strings.Builder
+	if err := casched.WriteMetataskCSV(&sb, mt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := casched.ReadMetataskCSV(strings.NewReader(sb.String()), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != 20 {
+		t.Errorf("round trip lost tasks: %d", back.Len())
+	}
+}
+
+func TestPublicAPIScenario(t *testing.T) {
+	sc := casched.Set2Scenario(30, 20, 3)
+	sc.Arrival = casched.ArrivalBursty
+	sc.BurstSize = 3
+	mt, err := casched.GenerateScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tasks[1].Arrival != mt.Tasks[0].Arrival {
+		t.Error("bursty arrivals not grouped")
+	}
+	if casched.ArrivalPoisson.String() != "poisson" ||
+		casched.ArrivalUniform.String() != "uniform" ||
+		casched.ArrivalConstant.String() != "constant" {
+		t.Error("arrival process constants broken")
+	}
+}
+
+func TestPublicAPIDistributionAndMatrix(t *testing.T) {
+	mt := casched.GenerateSet2(50, 20, 9)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs := make(map[string][]casched.TaskResult)
+	for _, name := range []string{"MCT", "MSF"} {
+		s, err := casched.NewScheduler(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := casched.Run(casched.RunConfig{
+			Servers: servers, Scheduler: s, Seed: 9, NoiseSigma: 0.03,
+		}, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runs[name] = res.Tasks
+	}
+	d := casched.ComputeDistribution("MSF", runs["MSF"])
+	if d.FlowP99 < d.FlowP50 || d.MeanFlow <= 0 {
+		t.Errorf("distribution broken: %+v", d)
+	}
+	if !strings.Contains(d.Format(), "MSF flow") {
+		t.Error("distribution format broken")
+	}
+	names, matrix, err := casched.SoonerMatrix(runs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := casched.FormatSoonerMatrix(names, matrix)
+	if !strings.Contains(out, "MCT") || !strings.Contains(out, "MSF") {
+		t.Error("sooner matrix format broken")
+	}
+}
+
+func TestPublicAPIFailureInjection(t *testing.T) {
+	mt := casched.GenerateSet2(30, 15, 9)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := casched.NewScheduler("HMCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := casched.Run(casched.RunConfig{
+		Servers: servers, Scheduler: s, Seed: 9,
+		Failures: []casched.ServerFailure{{Server: "artimon", At: 100}},
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Collapses) != 1 {
+		t.Errorf("injected failure not recorded: %+v", res.Collapses)
+	}
+}
+
+func TestPublicAPICampaignAndFormats(t *testing.T) {
+	c := casched.DefaultCampaign()
+	c.N = 40
+	c.Seeds = []uint64{103}
+	res, err := c.RunSet(2, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(casched.FormatSet(res), "sumflow") {
+		t.Error("FormatSet broken")
+	}
+	sweep, err := c.RateSweep(2, []float64{25}, []string{"MSF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(casched.FormatSweep(sweep, "sumflow"), "MSF") {
+		t.Error("FormatSweep broken")
+	}
+	if !strings.Contains(casched.FormatTable2(), "artimon") ||
+		!strings.Contains(casched.FormatTable3(), "1800") ||
+		!strings.Contains(casched.FormatTable4(), "spinnaker") {
+		t.Error("static table formats broken")
+	}
+	fig, err := casched.Figure1(60)
+	if err != nil || !strings.Contains(fig, "33.3%") {
+		t.Errorf("Figure1 broken: %v", err)
+	}
+}
+
+func TestPublicAPILiveDeployment(t *testing.T) {
+	clock := casched.NewLiveClock(2000)
+	s, err := casched.NewScheduler("MSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := casched.StartLiveAgent(casched.LiveAgentConfig{
+		Scheduler: s, Clock: clock, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	srv, err := casched.StartLiveServer(casched.LiveServerConfig{
+		Name: "artimon", AgentAddr: agent.Addr(), Clock: clock,
+		Quantum: casched.DefaultQuantum, ReportPeriod: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mt := &casched.Metatask{Name: "api-live", Tasks: []*casched.Task{
+		{ID: 0, Spec: casched.WasteCPUSpec(200), Arrival: 0},
+		{ID: 1, Spec: casched.MatmulSpec(1200), Arrival: 5},
+	}}
+	results, err := casched.RunLiveMetatask(agent.Addr(), mt, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Completed {
+			t.Errorf("task %d incomplete", r.ID)
+		}
+	}
+	rep := casched.ComputeReport("live", results)
+	if rep.Completed != 2 {
+		t.Errorf("live report: %+v", rep)
+	}
+}
+
+func TestPublicAPIFinishSooner(t *testing.T) {
+	a := []casched.TaskResult{{ID: 0, Completed: true, Completion: 5}}
+	b := []casched.TaskResult{{ID: 0, Completed: true, Completion: 9}}
+	n, err := casched.FinishSooner(a, b)
+	if err != nil || n != 1 {
+		t.Errorf("FinishSooner = %d,%v", n, err)
+	}
+}
+
+func TestDefaultQuantum(t *testing.T) {
+	if casched.DefaultQuantum != 2*time.Millisecond {
+		t.Error("DefaultQuantum changed unexpectedly")
+	}
+}

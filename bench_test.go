@@ -1,0 +1,484 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`), plus the
+// ablation benches called out in DESIGN.md §5 and micro-benchmarks of
+// the core machinery.
+//
+// Each table bench prints the regenerated rows once, so the benchmark
+// log doubles as the experimental record (see EXPERIMENTS.md for the
+// paper-vs-measured comparison).
+package casched_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"casched"
+)
+
+// printOnce guards the one-time table dumps.
+var printOnce sync.Map
+
+func dumpOnce(key, text string) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		fmt.Println(text)
+	}
+}
+
+// benchCampaign is the paper-scale campaign (N=500).
+func benchCampaign() casched.Campaign { return casched.DefaultCampaign() }
+
+// BenchmarkTable1HTMValidation regenerates Table 1: two metatask
+// executions on the live runtime, real vs HTM-simulated completion
+// dates. The custom metric is the mean percentage error (paper: <3%).
+func BenchmarkTable1HTMValidation(b *testing.B) {
+	var last *casched.ValidationResult
+	for i := 0; i < b.N; i++ {
+		v, err := casched.Validate(casched.ValidationConfig{Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = v
+	}
+	b.ReportMetric(last.MeanPctError, "mean-%err")
+	dumpOnce("table1", casched.FormatValidation(last))
+}
+
+// BenchmarkFigure1Gantt regenerates the Figure 1 Gantt charts.
+func BenchmarkFigure1Gantt(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		s, err := casched.Figure1(72)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = s
+	}
+	dumpOnce("figure1", out)
+}
+
+// BenchmarkTable2Testbed, 3 and 4 regenerate the static data tables.
+func BenchmarkTable2Testbed(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = casched.FormatTable2()
+	}
+	dumpOnce("table2", out)
+}
+
+func BenchmarkTable3MatmulCosts(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = casched.FormatTable3()
+	}
+	dumpOnce("table3", out)
+}
+
+func BenchmarkTable4WasteCPUCosts(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = casched.FormatTable4()
+	}
+	dumpOnce("table4", out)
+}
+
+// benchSet runs one of Tables 5-8 at paper scale and reports the key
+// shape metrics: MSF's sum-flow advantage over MCT and the completion
+// counts.
+func benchSet(b *testing.B, name string, run func(casched.Campaign) (*casched.SetResult, error)) {
+	b.Helper()
+	c := benchCampaign()
+	var last *casched.SetResult
+	for i := 0; i < b.N; i++ {
+		res, err := run(c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	mct, _ := last.Row("MCT")
+	msf, _ := last.Row("MSF")
+	hmct, _ := last.Row("HMCT")
+	if msf.Mean.SumFlow > 0 {
+		b.ReportMetric(mct.Mean.SumFlow/msf.Mean.SumFlow, "sumflow-MCT/MSF")
+	}
+	b.ReportMetric(float64(hmct.Mean.Completed), "HMCT-completed")
+	b.ReportMetric(msf.SoonerMean, "MSF-sooner")
+	dumpOnce(name, fmt.Sprintf("%s — %s", name, casched.FormatSet(last)))
+}
+
+// BenchmarkTable5Set1DLow regenerates Table 5 (matmul, low rate).
+func BenchmarkTable5Set1DLow(b *testing.B) {
+	benchSet(b, "Table 5", func(c casched.Campaign) (*casched.SetResult, error) { return c.Table5() })
+}
+
+// BenchmarkTable6Set1DHigh regenerates Table 6 (matmul, high rate:
+// memory exhaustion; bare HMCT loses tasks, MP/MSF complete).
+func BenchmarkTable6Set1DHigh(b *testing.B) {
+	benchSet(b, "Table 6", func(c casched.Campaign) (*casched.SetResult, error) { return c.Table6() })
+}
+
+// BenchmarkTable7Set2DLow regenerates Table 7 (waste-cpu, low rate,
+// three metatasks).
+func BenchmarkTable7Set2DLow(b *testing.B) {
+	benchSet(b, "Table 7", func(c casched.Campaign) (*casched.SetResult, error) { return c.Table7() })
+}
+
+// BenchmarkTable8Set2DHigh regenerates Table 8 (waste-cpu, high rate,
+// three metatasks).
+func BenchmarkTable8Set2DHigh(b *testing.B) {
+	benchSet(b, "Table 8", func(c casched.Campaign) (*casched.SetResult, error) { return c.Table8() })
+}
+
+// --- Ablation benches (DESIGN.md §5) ---
+
+// runMSFSet2 runs MSF on a 300-task set-2 metatask under a modified
+// campaign and returns its report.
+func runMSFSet2(b *testing.B, mutate func(*casched.RunConfig)) casched.Report {
+	b.Helper()
+	mt := casched.GenerateSet2(300, 20, 11)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s, err := casched.NewScheduler("MSF")
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := casched.RunConfig{Servers: servers, Scheduler: s, Seed: 11, NoiseSigma: 0.03}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := casched.Run(cfg, mt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.Report()
+}
+
+// BenchmarkAblationNoise quantifies how execution noise degrades the
+// HTM-driven schedule: sum-flow at sigma 0, 0.03 and 0.10.
+func BenchmarkAblationNoise(b *testing.B) {
+	for _, sigma := range []float64{0, 0.03, 0.10} {
+		sigma := sigma
+		b.Run(fmt.Sprintf("sigma=%.2f", sigma), func(b *testing.B) {
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				rep = runMSFSet2(b, func(cfg *casched.RunConfig) { cfg.NoiseSigma = sigma })
+			}
+			b.ReportMetric(rep.SumFlow, "sumflow")
+			b.ReportMetric(rep.MaxStretch, "maxstretch")
+		})
+	}
+}
+
+// BenchmarkAblationMonitorPeriod quantifies how information staleness
+// degrades the monitor-driven MCT baseline.
+func BenchmarkAblationMonitorPeriod(b *testing.B) {
+	mt := casched.GenerateSet2(300, 20, 11)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, period := range []float64{5, 30, 120} {
+		period := period
+		b.Run(fmt.Sprintf("period=%.0fs", period), func(b *testing.B) {
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				s, err := casched.NewScheduler("MCT")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := casched.Run(casched.RunConfig{
+					Servers: servers, Scheduler: s, Seed: 11, NoiseSigma: 0.03,
+					MonitorPeriod: period, MonitorTau: 2 * period,
+				}, mt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = res.Report()
+			}
+			b.ReportMetric(rep.SumFlow, "sumflow")
+		})
+	}
+}
+
+// BenchmarkAblationHTMSync compares the open-loop HTM (paper) against
+// the §7 synchronization extension under strong noise.
+func BenchmarkAblationHTMSync(b *testing.B) {
+	for _, sync := range []bool{false, true} {
+		sync := sync
+		b.Run(fmt.Sprintf("sync=%v", sync), func(b *testing.B) {
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				rep = runMSFSet2(b, func(cfg *casched.RunConfig) {
+					cfg.NoiseSigma = 0.10
+					cfg.HTMSync = sync
+				})
+			}
+			b.ReportMetric(rep.SumFlow, "sumflow")
+		})
+	}
+}
+
+// BenchmarkAblationMPTieBreak compares MP's Figure 3 tie-breaking rule
+// (minimum completion) with random tie-breaking.
+func BenchmarkAblationMPTieBreak(b *testing.B) {
+	mt := casched.GenerateSet2(300, 25, 11)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, random := range []bool{false, true} {
+		random := random
+		b.Run(fmt.Sprintf("random=%v", random), func(b *testing.B) {
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				var s casched.Scheduler
+				if random {
+					s = casched.NewMPRandomTie()
+				} else {
+					s, err = casched.NewScheduler("MP")
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				res, err := casched.Run(casched.RunConfig{
+					Servers: servers, Scheduler: s, Seed: 11, NoiseSigma: 0.03,
+				}, mt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = res.Report()
+			}
+			b.ReportMetric(rep.SumFlow, "sumflow")
+			b.ReportMetric(rep.MaxStretch, "maxstretch")
+		})
+	}
+}
+
+// BenchmarkAblationFaultTolerance measures what NetSolve's
+// resubmission layer buys HMCT in the collapse regime (set 1, high
+// rate).
+func BenchmarkAblationFaultTolerance(b *testing.B) {
+	mt := casched.GenerateSet1(500, 20, 103)
+	servers, err := casched.TestbedServers(casched.Set1Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, ft := range []bool{false, true} {
+		ft := ft
+		b.Run(fmt.Sprintf("ft=%v", ft), func(b *testing.B) {
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				s, err := casched.NewScheduler("HMCT")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := casched.Run(casched.RunConfig{
+					Servers: servers, Scheduler: s, Seed: 103, NoiseSigma: 0.03,
+					MemoryModel: true, FaultTolerance: ft,
+				}, mt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = res.Report()
+			}
+			b.ReportMetric(float64(rep.Completed), "completed")
+			b.ReportMetric(float64(rep.Resubmissions), "resubmissions")
+		})
+	}
+}
+
+// BenchmarkExtendedBaselines compares the paper's heuristics against
+// the full Maheswaran et al. family (MET, OLB, KPB, SA) and Weissman's
+// MNI — the companion tech report's broader simulation study.
+func BenchmarkExtendedBaselines(b *testing.B) {
+	c := casched.DefaultCampaign()
+	c.N = 300
+	var out string
+	for i := 0; i < b.N; i++ {
+		reports, sooner, err := c.BaselinesComparison(20)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = formatBaselinesForBench(reports, sooner)
+	}
+	dumpOnce("baselines", out)
+}
+
+// formatBaselinesForBench renders the extended comparison via the
+// experiments formatter exposed through the campaign result types.
+func formatBaselinesForBench(reports []casched.Report, sooner map[string]int) string {
+	s := "extended heuristic comparison (set 2, N=300, D=20)\n"
+	s += fmt.Sprintf("%-11s %5s %9s %9s %9s %11s %7s\n",
+		"heuristic", "done", "makespan", "sumflow", "maxflow", "maxstretch", "sooner")
+	for _, r := range reports {
+		so := "-"
+		if v, ok := sooner[r.Heuristic]; ok {
+			so = fmt.Sprintf("%d", v)
+		}
+		s += fmt.Sprintf("%-11s %5d %9.0f %9.0f %9.0f %11.2f %7s\n",
+			r.Heuristic, r.Completed, r.Makespan, r.SumFlow, r.MaxFlow, r.MaxStretch, so)
+	}
+	return s
+}
+
+// BenchmarkRateSweep traces the sum-flow trajectories of the four
+// paper heuristics across arrival rates, locating the crossovers the
+// two-rate tables sample.
+func BenchmarkRateSweep(b *testing.B) {
+	c := casched.DefaultCampaign()
+	c.N = 300
+	var out string
+	for i := 0; i < b.N; i++ {
+		res, err := c.RateSweep(2, []float64{30, 25, 20, 17}, []string{"MCT", "HMCT", "MP", "MSF"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = casched.FormatSweep(res, "sumflow") + casched.FormatSweep(res, "maxstretch")
+	}
+	dumpOnce("sweep", out)
+}
+
+// BenchmarkAblationArrivalProcess probes sensitivity to the traffic
+// shape: the paper's Poisson arrivals vs uniform, constant and bursty
+// at the same mean rate.
+func BenchmarkAblationArrivalProcess(b *testing.B) {
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, proc := range []casched.ArrivalProcess{
+		casched.ArrivalPoisson, casched.ArrivalUniform,
+		casched.ArrivalConstant, casched.ArrivalBursty,
+	} {
+		proc := proc
+		b.Run(proc.String(), func(b *testing.B) {
+			sc := casched.Set2Scenario(300, 20, 11)
+			sc.Arrival = proc
+			mt, err := casched.GenerateScenario(sc)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				s, err := casched.NewScheduler("MSF")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := casched.Run(casched.RunConfig{
+					Servers: servers, Scheduler: s, Seed: 11, NoiseSigma: 0.03,
+				}, mt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = res.Report()
+			}
+			b.ReportMetric(rep.SumFlow, "sumflow")
+			b.ReportMetric(rep.MaxStretch, "maxstretch")
+		})
+	}
+}
+
+// BenchmarkAblationMemoryAwareHTM measures the §7 memory extension in
+// the Table 6 collapse regime.
+func BenchmarkAblationMemoryAwareHTM(b *testing.B) {
+	mt := casched.GenerateSet1(500, 20, 103)
+	servers, err := casched.TestbedServers(casched.Set1Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, mem := range []bool{false, true} {
+		mem := mem
+		b.Run(fmt.Sprintf("htm-memory=%v", mem), func(b *testing.B) {
+			var rep casched.Report
+			for i := 0; i < b.N; i++ {
+				s, err := casched.NewScheduler("HMCT")
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err := casched.Run(casched.RunConfig{
+					Servers: servers, Scheduler: s, Seed: 103, NoiseSigma: 0.03,
+					MemoryModel: true, HTMMemory: mem,
+				}, mt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rep = res.Report()
+			}
+			b.ReportMetric(float64(rep.Completed), "completed")
+			b.ReportMetric(rep.MaxStretch, "maxstretch")
+		})
+	}
+}
+
+// --- Micro-benchmarks of the core machinery ---
+
+// BenchmarkHTMEvaluate measures one candidate evaluation against a
+// trace holding 50 active tasks.
+func BenchmarkHTMEvaluate(b *testing.B) {
+	m := casched.NewHTM([]string{"artimon"})
+	spec := casched.WasteCPUSpec(400)
+	for i := 0; i < 50; i++ {
+		if err := m.Place(i, spec, float64(i), "artimon"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Evaluate(1000, spec, 50, "artimon"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGridRun200 measures a full 200-task simulated experiment.
+func BenchmarkGridRun200(b *testing.B) {
+	mt := casched.GenerateSet2(200, 25, 3)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := casched.NewScheduler("MSF")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := casched.Run(casched.RunConfig{
+			Servers: servers, Scheduler: s, Seed: 3, NoiseSigma: 0.03,
+		}, mt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerDecisions compares the per-decision cost of every
+// heuristic on a moderately loaded four-server trace.
+func BenchmarkSchedulerDecisions(b *testing.B) {
+	for _, name := range []string{"MCT", "HMCT", "MP", "MSF", "MNI"} {
+		name := name
+		b.Run(name, func(b *testing.B) {
+			mt := casched.GenerateSet2(150, 20, 3)
+			servers, err := casched.TestbedServers(casched.Set2Servers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s, err := casched.NewScheduler(name)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := casched.Run(casched.RunConfig{
+					Servers: servers, Scheduler: s, Seed: 3, NoiseSigma: 0.03,
+				}, mt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Normalize to per-decision cost.
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/150, "ns/decision")
+		})
+	}
+}

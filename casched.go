@@ -1,0 +1,328 @@
+// Package casched is a Go reproduction of Caniou & Jeannot, "New
+// Dynamic Heuristics in the Client-Agent-Server Model" (IEEE
+// Heterogeneous Computing Workshop, 2003): dynamic scheduling of
+// independent task streams onto time-shared servers through a central
+// agent, driven by a Historical Trace Manager (HTM) that simulates
+// every placement and predicts the perturbation each new task inflicts
+// on the tasks already running.
+//
+// The package is a facade over the implementation packages:
+//
+//   - the HTM (historical trace manager) with per-server fluid
+//     simulations of the shared-resource model;
+//   - the heuristics MCT (NetSolve's monitor-driven baseline), HMCT,
+//     MP, MSF, plus MNI, Random and RoundRobin;
+//   - a discrete-event simulator of the client-agent-server
+//     environment (monitors, load corrections, memory exhaustion,
+//     fault tolerance);
+//   - a live runtime in which agent, servers and clients are
+//     goroutines communicating over TCP (net/rpc, gob) and tasks
+//     execute in scaled wall-clock time;
+//   - the paper's workloads (Tables 3 and 4), testbed (Table 2),
+//     metrics (§3) and the full evaluation campaign (Tables 1, 5-8 and
+//     Figure 1).
+//
+// # Quick start
+//
+//	mt := casched.GenerateSet2(500, 25, 42)            // 500 waste-cpu tasks, D=25s
+//	servers, _ := casched.TestbedServers(casched.Set2Servers)
+//	msf, _ := casched.NewScheduler("MSF")
+//	res, _ := casched.Run(casched.RunConfig{
+//		Servers:   servers,
+//		Scheduler: msf,
+//		Seed:      1,
+//		NoiseSigma: 0.03,
+//	}, mt)
+//	fmt.Println(res.Report())
+package casched
+
+import (
+	"io"
+	"time"
+
+	"casched/internal/experiments"
+	"casched/internal/fluid"
+	"casched/internal/gantt"
+	"casched/internal/grid"
+	"casched/internal/htm"
+	"casched/internal/live"
+	"casched/internal/metrics"
+	"casched/internal/platform"
+	"casched/internal/sched"
+	"casched/internal/task"
+	"casched/internal/trace"
+	"casched/internal/workload"
+)
+
+// Core model types.
+type (
+	// Task is one client request.
+	Task = task.Task
+	// Spec describes a task type and its per-server costs.
+	Spec = task.Spec
+	// Cost holds the three phase costs of a task on one server.
+	Cost = task.Cost
+	// Metatask is a set of independent tasks submitted over time.
+	Metatask = task.Metatask
+	// Machine describes one testbed host (Table 2).
+	Machine = platform.Machine
+)
+
+// Scheduling types.
+type (
+	// Scheduler chooses a server for each arriving task.
+	Scheduler = sched.Scheduler
+	// SchedContext is the information a heuristic sees per decision.
+	SchedContext = sched.Context
+	// HTM is the Historical Trace Manager.
+	HTM = htm.Manager
+	// Prediction is the HTM's answer for one candidate placement.
+	Prediction = htm.Prediction
+	// MemoryAware wraps a scheduler with the memory-admission
+	// extension (paper §7 future work).
+	MemoryAware = sched.MemoryAware
+)
+
+// Simulation types.
+type (
+	// RunConfig parameterizes one simulated experiment.
+	RunConfig = grid.Config
+	// RunResult is the outcome of one simulated run.
+	RunResult = grid.Result
+	// ServerConfig describes one simulated server.
+	ServerConfig = grid.ServerConfig
+	// Report aggregates the paper's §3 metrics.
+	Report = metrics.Report
+	// TaskResult is one task's outcome.
+	TaskResult = metrics.TaskResult
+	// TraceLog records execution events.
+	TraceLog = trace.Log
+	// TraceRecord is one event.
+	TraceRecord = trace.Record
+	// FluidSim is the processor-sharing simulation of one server.
+	FluidSim = fluid.Sim
+	// GanttChart is an extracted per-server schedule.
+	GanttChart = gantt.Chart
+)
+
+// Live runtime types.
+type (
+	// LiveAgent is a TCP agent.
+	LiveAgent = live.Agent
+	// LiveAgentConfig parameterizes a live agent.
+	LiveAgentConfig = live.AgentConfig
+	// LiveServer is a TCP computational server.
+	LiveServer = live.Server
+	// LiveServerConfig parameterizes a live server.
+	LiveServerConfig = live.ServerConfig
+	// LiveClock maps wall time to scaled experiment time.
+	LiveClock = live.Clock
+)
+
+// Campaign types.
+type (
+	// Campaign holds the evaluation parameters (Tables 5-8).
+	Campaign = experiments.Campaign
+	// SetResult is one experiment set at one rate.
+	SetResult = experiments.SetResult
+	// HeuristicResult is one heuristic's aggregate outcome.
+	HeuristicResult = experiments.HeuristicResult
+	// ValidationResult is the reproduced Table 1.
+	ValidationResult = experiments.ValidationResult
+	// ValidationConfig tunes the Table 1 reproduction.
+	ValidationConfig = experiments.ValidationConfig
+	// SweepResult is a rate sweep across arrival rates.
+	SweepResult = experiments.SweepResult
+	// ServerFailure is an injected server crash.
+	ServerFailure = grid.ServerFailure
+	// ServerStats is the per-server load-balance view of a run.
+	ServerStats = grid.ServerStats
+	// Distribution is the flow/stretch tail profile of a run.
+	Distribution = metrics.Distribution
+	// Scenario describes a metatask to generate.
+	Scenario = workload.Scenario
+	// ArrivalProcess selects the arrival traffic shape.
+	ArrivalProcess = workload.ArrivalProcess
+)
+
+// Arrival processes.
+const (
+	// ArrivalPoisson is the paper's exponential-gap process.
+	ArrivalPoisson = workload.ArrivalPoisson
+	// ArrivalUniform draws gaps uniformly in [0.5D, 1.5D].
+	ArrivalUniform = workload.ArrivalUniform
+	// ArrivalBursty releases tasks in bursts at the same mean rate.
+	ArrivalBursty = workload.ArrivalBursty
+	// ArrivalConstant spaces gaps exactly D apart.
+	ArrivalConstant = workload.ArrivalConstant
+)
+
+// Testbed server sets (Table 2).
+var (
+	// Set1Servers are the first-set servers (matrix multiplications).
+	Set1Servers = platform.Set1Servers
+	// Set2Servers are the second-set servers (waste-cpu tasks).
+	Set2Servers = platform.Set2Servers
+)
+
+// NewScheduler constructs a heuristic by name: MCT, HMCT, MP, MSF,
+// MNI, Random or RoundRobin.
+func NewScheduler(name string) (Scheduler, error) { return sched.ByName(name) }
+
+// Schedulers returns a fresh instance of every heuristic.
+func Schedulers() []Scheduler { return sched.All() }
+
+// NewMPRandomTie returns the MP heuristic with random tie-breaking
+// instead of the paper's minimum-completion rule (ablation).
+func NewMPRandomTie() Scheduler { return &sched.MP{Tie: sched.TieRandom} }
+
+// NewHTM constructs a Historical Trace Manager tracking the named
+// servers.
+func NewHTM(servers []string, opts ...htm.Option) *HTM { return htm.New(servers, opts...) }
+
+// HTMWithSync enables the HTM↔execution synchronization extension.
+func HTMWithSync() htm.Option { return htm.WithSync() }
+
+// HTMWithMemoryModel makes the HTM model server memory.
+func HTMWithMemoryModel() htm.Option { return htm.WithMemoryModel() }
+
+// Run executes a metatask on the discrete-event simulator.
+func Run(cfg RunConfig, mt *Metatask) (*RunResult, error) { return grid.Run(cfg, mt) }
+
+// TestbedServers resolves testbed machine names (Table 2) into
+// simulator server configurations with their memory capacities.
+func TestbedServers(names []string) ([]ServerConfig, error) { return grid.ServersFor(names) }
+
+// GenerateSet1 builds a first-set metatask: n matrix multiplications
+// with mean inter-arrival d seconds.
+func GenerateSet1(n int, d float64, seed uint64) *Metatask {
+	return workload.MustGenerate(workload.Set1(n, d, seed))
+}
+
+// GenerateSet2 builds a second-set metatask: n waste-cpu tasks with
+// mean inter-arrival d seconds.
+func GenerateSet2(n int, d float64, seed uint64) *Metatask {
+	return workload.MustGenerate(workload.Set2(n, d, seed))
+}
+
+// MatmulSpec returns the Table 3 spec for a matrix size (1200, 1500 or
+// 1800).
+func MatmulSpec(size int) *Spec { return task.Matmul(size) }
+
+// WasteCPUSpec returns the Table 4 spec for a parameter (200, 400 or
+// 600).
+func WasteCPUSpec(param int) *Spec { return task.WasteCPU(param) }
+
+// FinishSooner counts the tasks of run a that complete strictly before
+// their counterparts in run b (the paper's per-user quality-of-service
+// indicator).
+func FinishSooner(a, b []TaskResult) (int, error) { return metrics.FinishSooner(a, b) }
+
+// ComputeReport aggregates task results into the §3 metrics.
+func ComputeReport(heuristic string, results []TaskResult) Report {
+	return metrics.Compute(heuristic, results)
+}
+
+// DefaultCampaign returns the paper-equivalent evaluation parameters.
+func DefaultCampaign() Campaign { return experiments.Default() }
+
+// Validate reproduces Table 1 (HTM validation on the live runtime).
+func Validate(cfg ValidationConfig) (*ValidationResult, error) {
+	return experiments.Validate(cfg)
+}
+
+// Figure1 renders the paper's Figure 1 Gantt charts.
+func Figure1(width int) (string, error) { return experiments.Figure1(width) }
+
+// FormatSet renders a SetResult in the layout of Tables 5-8.
+func FormatSet(r *SetResult) string { return experiments.FormatSet(r) }
+
+// FormatValidation renders a Table 1 reproduction.
+func FormatValidation(v *ValidationResult) string { return experiments.FormatValidation(v) }
+
+// FormatTable2 renders the testbed description (Table 2).
+func FormatTable2() string { return experiments.FormatTable2() }
+
+// FormatTable3 renders the multiplication tasks' needs (Table 3).
+func FormatTable3() string { return experiments.FormatTable3() }
+
+// FormatTable4 renders the waste-cpu tasks' needs (Table 4).
+func FormatTable4() string { return experiments.FormatTable4() }
+
+// FormatSweep renders one metric of a rate sweep as a table.
+func FormatSweep(r *SweepResult, metric string) string { return experiments.FormatSweep(r, metric) }
+
+// FormatBaselines renders an extended baselines comparison.
+func FormatBaselines(reports []Report, sooner map[string]int) string {
+	return experiments.FormatBaselines(reports, sooner)
+}
+
+// AccuracyResult quantifies HTM prediction quality over a full run.
+type AccuracyResult = experiments.AccuracyResult
+
+// FormatAccuracy renders an AccuracyResult.
+func FormatAccuracy(a *AccuracyResult) string { return experiments.FormatAccuracy(a) }
+
+// FormatServerStats renders the per-server load-balance view of a run.
+func FormatServerStats(heuristic string, stats map[string]ServerStats) string {
+	return experiments.FormatServerStats(heuristic, stats)
+}
+
+// ComputeDistribution derives the flow/stretch tail profile of a run.
+func ComputeDistribution(heuristic string, results []TaskResult) Distribution {
+	return metrics.ComputeDistribution(heuristic, results)
+}
+
+// SoonerMatrix computes pairwise finish-sooner counts between runs of
+// the same metatask.
+func SoonerMatrix(runs map[string][]TaskResult) (names []string, matrix [][]int, err error) {
+	return metrics.SoonerMatrix(runs)
+}
+
+// FormatSoonerMatrix renders a SoonerMatrix.
+func FormatSoonerMatrix(names []string, matrix [][]int) string {
+	return metrics.FormatSoonerMatrix(names, matrix)
+}
+
+// GenerateScenario builds a metatask from a full workload scenario
+// (custom arrival process, burst size, first arrival, ...).
+func GenerateScenario(sc Scenario) (*Metatask, error) { return workload.Generate(sc) }
+
+// Set1Scenario returns the first-set scenario (editable before
+// GenerateScenario).
+func Set1Scenario(n int, d float64, seed uint64) Scenario { return workload.Set1(n, d, seed) }
+
+// Set2Scenario returns the second-set scenario.
+func Set2Scenario(n int, d float64, seed uint64) Scenario { return workload.Set2(n, d, seed) }
+
+// WriteMetataskCSV archives a metatask as CSV for exact replay.
+func WriteMetataskCSV(w io.Writer, mt *Metatask) error { return workload.WriteCSV(w, mt) }
+
+// ReadMetataskCSV loads a metatask archived with WriteMetataskCSV.
+func ReadMetataskCSV(r io.Reader, name string) (*Metatask, error) {
+	return workload.ReadCSV(r, name)
+}
+
+// ExtractGantt projects a server simulation to idle and returns its
+// Gantt chart.
+func ExtractGantt(sim *FluidSim) *GanttChart { return gantt.Extract(sim) }
+
+// NewLiveClock starts a scaled experiment clock (scale = virtual
+// seconds per wall second).
+func NewLiveClock(scale float64) *LiveClock { return live.NewClock(scale) }
+
+// StartLiveAgent launches a TCP agent.
+func StartLiveAgent(cfg LiveAgentConfig) (*LiveAgent, error) { return live.StartAgent(cfg) }
+
+// StartLiveServer launches a TCP computational server and registers it
+// with its agent.
+func StartLiveServer(cfg LiveServerConfig) (*LiveServer, error) { return live.StartServer(cfg) }
+
+// RunLiveMetatask plays a metatask against a live deployment,
+// submitting each task at its arrival date through blocking RPC calls.
+func RunLiveMetatask(agentAddr string, mt *Metatask, clock *LiveClock) ([]TaskResult, error) {
+	return live.RunMetatask(agentAddr, mt, clock)
+}
+
+// DefaultQuantum is the live executor's default tick.
+const DefaultQuantum = 2 * time.Millisecond

@@ -1,0 +1,56 @@
+// Command casagent runs a live client-agent-server agent on a TCP
+// address: the central scheduler servers register with and clients
+// query, mirroring NetSolve's deployment order (agent first, then
+// servers, then clients).
+//
+// Usage:
+//
+//	casagent -addr 127.0.0.1:7410 -heuristic MSF -scale 100
+//
+// The agent runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"casched"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7410", "TCP listen address")
+		heuristic = flag.String("heuristic", "MSF", "scheduling heuristic")
+		scale     = flag.Float64("scale", 1, "virtual seconds per wall second")
+		seed      = flag.Uint64("seed", 1, "tie-breaking seed")
+		htmSync   = flag.Bool("htm-sync", false, "enable HTM/execution synchronization")
+	)
+	flag.Parse()
+
+	s, err := casched.NewScheduler(*heuristic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casagent:", err)
+		os.Exit(1)
+	}
+	agent, err := casched.StartLiveAgent(casched.LiveAgentConfig{
+		Scheduler: s,
+		Clock:     casched.NewLiveClock(*scale),
+		Seed:      *seed,
+		HTMSync:   *htmSync,
+		Addr:      *addr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casagent:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("casagent: %s scheduler listening on %s (clock scale %gx)\n",
+		*heuristic, agent.Addr(), *scale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	agent.Close()
+	fmt.Println("casagent: stopped")
+}

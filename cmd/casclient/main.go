@@ -1,0 +1,54 @@
+// Command casclient submits a metatask to a live deployment and prints
+// the resulting metrics — the client role of the paper's experiments.
+//
+// Usage:
+//
+//	casclient -agent 127.0.0.1:7410 -set 2 -n 100 -d 25 -scale 100
+//
+// The clock scale must match the one the agent and servers were
+// started with.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casched"
+)
+
+func main() {
+	var (
+		agent = flag.String("agent", "127.0.0.1:7410", "agent RPC address")
+		set   = flag.Int("set", 2, "workload: 1 (matmul) or 2 (waste-cpu)")
+		n     = flag.Int("n", 100, "metatask size")
+		d     = flag.Float64("d", 25, "mean inter-arrival time (virtual seconds)")
+		seed  = flag.Uint64("seed", 101, "metatask seed")
+		scale = flag.Float64("scale", 1, "virtual seconds per wall second")
+	)
+	flag.Parse()
+
+	var mt *casched.Metatask
+	switch *set {
+	case 1:
+		mt = casched.GenerateSet1(*n, *d, *seed)
+	case 2:
+		mt = casched.GenerateSet2(*n, *d, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "casclient: unknown set %d\n", *set)
+		os.Exit(1)
+	}
+
+	clock := casched.NewLiveClock(*scale)
+	results, err := casched.RunLiveMetatask(*agent, mt, clock)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casclient:", err)
+		os.Exit(1)
+	}
+	rep := casched.ComputeReport("live", results)
+	fmt.Printf("completed    %d/%d\n", rep.Completed, rep.Submitted)
+	fmt.Printf("makespan     %.1f s\n", rep.Makespan)
+	fmt.Printf("sum-flow     %.1f s\n", rep.SumFlow)
+	fmt.Printf("max-flow     %.1f s\n", rep.MaxFlow)
+	fmt.Printf("max-stretch  %.2f\n", rep.MaxStretch)
+}

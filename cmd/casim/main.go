@@ -1,0 +1,121 @@
+// Command casim runs one simulated client-agent-server experiment: a
+// metatask of matmul (set 1) or waste-cpu (set 2) tasks scheduled by a
+// chosen heuristic onto the paper's testbed, printing the §3 metrics
+// and optionally a CSV event trace.
+//
+// Usage:
+//
+//	casim -heuristic MSF -set 2 -n 500 -d 25 -seed 101
+//	casim -heuristic HMCT -set 1 -d 20 -trace trace.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casched"
+)
+
+func main() {
+	var (
+		heuristic = flag.String("heuristic", "MSF", "scheduling heuristic: MCT, HMCT, MP, MSF, MNI, Random, RoundRobin")
+		set       = flag.Int("set", 2, "experiment set: 1 (matmul, memory model) or 2 (waste-cpu)")
+		n         = flag.Int("n", 500, "metatask size")
+		d         = flag.Float64("d", 25, "mean inter-arrival time in seconds")
+		seed      = flag.Uint64("seed", 101, "metatask and noise seed")
+		noise     = flag.Float64("noise", 0.03, "execution noise sigma")
+		ft        = flag.Bool("ft", false, "enable NetSolve-style fault tolerance (resubmission)")
+		htmSync   = flag.Bool("htm-sync", false, "enable HTM/execution synchronization")
+		traceOut  = flag.String("trace", "", "write a CSV event trace to this file")
+		ganttOut  = flag.Bool("gantt", false, "render the per-server Gantt charts of the run")
+	)
+	flag.Parse()
+
+	if err := run(*heuristic, *set, *n, *d, *seed, *noise, *ft, *htmSync, *traceOut, *ganttOut); err != nil {
+		fmt.Fprintln(os.Stderr, "casim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(heuristic string, set, n int, d float64, seed uint64, noise float64,
+	ft, htmSync bool, traceOut string, ganttOut bool) error {
+
+	s, err := casched.NewScheduler(heuristic)
+	if err != nil {
+		return err
+	}
+
+	var mt *casched.Metatask
+	var names []string
+	switch set {
+	case 1:
+		mt = casched.GenerateSet1(n, d, seed)
+		names = casched.Set1Servers
+	case 2:
+		mt = casched.GenerateSet2(n, d, seed)
+		names = casched.Set2Servers
+	default:
+		return fmt.Errorf("unknown set %d", set)
+	}
+	servers, err := casched.TestbedServers(names)
+	if err != nil {
+		return err
+	}
+
+	cfg := casched.RunConfig{
+		Servers:        servers,
+		Scheduler:      s,
+		Seed:           seed,
+		NoiseSigma:     noise,
+		MemoryModel:    set == 1,
+		FaultTolerance: ft,
+		HTMSync:        htmSync,
+	}
+	var log casched.TraceLog
+	if traceOut != "" {
+		cfg.Log = &log
+	}
+
+	res, err := casched.Run(cfg, mt)
+	if err != nil {
+		return err
+	}
+	rep := res.Report()
+	fmt.Printf("heuristic        %s\n", rep.Heuristic)
+	fmt.Printf("submitted        %d\n", rep.Submitted)
+	fmt.Printf("completed        %d\n", rep.Completed)
+	fmt.Printf("makespan         %.1f s\n", rep.Makespan)
+	fmt.Printf("sum-flow         %.1f s\n", rep.SumFlow)
+	fmt.Printf("max-flow         %.1f s\n", rep.MaxFlow)
+	fmt.Printf("max-stretch      %.2f\n", rep.MaxStretch)
+	fmt.Printf("mean-stretch     %.2f\n", rep.MeanStretch)
+	fmt.Printf("resubmissions    %d\n", rep.Resubmissions)
+	for _, c := range res.Collapses {
+		fmt.Printf("collapse         %s at %.1f s (%d tasks lost)\n", c.Server, c.Time, c.Lost)
+	}
+
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := log.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Printf("trace            %s (%d events)\n", traceOut, log.Len())
+	}
+	if ganttOut {
+		fmt.Println()
+		for _, name := range names {
+			sim, ok := res.ExecSims[name]
+			if !ok {
+				continue
+			}
+			fmt.Print(casched.ExtractGantt(sim).Render(100))
+			fmt.Println()
+		}
+	}
+	return nil
+}

@@ -1,0 +1,54 @@
+// Command casserver runs a live computational server: it registers
+// with the agent, reports its load periodically and executes submitted
+// tasks on a processor-sharing executor in scaled wall time.
+//
+// Usage:
+//
+//	casserver -name artimon -agent 127.0.0.1:7410 -scale 100
+//
+// The name must be a Table 2 machine (its Table 3/4 costs apply). The
+// server runs until interrupted.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+
+	"casched"
+)
+
+func main() {
+	var (
+		name   = flag.String("name", "artimon", "machine name (cost-table key)")
+		agent  = flag.String("agent", "127.0.0.1:7410", "agent RPC address")
+		addr   = flag.String("addr", "127.0.0.1:0", "TCP listen address")
+		scale  = flag.Float64("scale", 1, "virtual seconds per wall second")
+		noise  = flag.Float64("noise", 0.03, "execution noise sigma")
+		seed   = flag.Uint64("seed", 1, "noise seed")
+		report = flag.Float64("report", 30, "load-report period in virtual seconds")
+	)
+	flag.Parse()
+
+	srv, err := casched.StartLiveServer(casched.LiveServerConfig{
+		Name:         *name,
+		AgentAddr:    *agent,
+		Clock:        casched.NewLiveClock(*scale),
+		ReportPeriod: *report,
+		NoiseSigma:   *noise,
+		Seed:         *seed,
+		Addr:         *addr,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casserver:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("casserver: %s serving on %s (agent %s)\n", *name, srv.Addr(), *agent)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	srv.Close()
+	fmt.Println("casserver: stopped")
+}

@@ -1,0 +1,148 @@
+// Command castables regenerates the paper's tables and Figure 1.
+//
+// Usage:
+//
+//	castables -table all          # everything (Tables 1-8, Figure 1)
+//	castables -table 5            # one table
+//	castables -table figure1
+//	castables -table 7 -n 200     # scaled-down campaign
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casched"
+)
+
+func main() {
+	var (
+		table = flag.String("table", "all", "what to regenerate: 1-8, figure1, or all")
+		n     = flag.Int("n", 500, "metatask size for Tables 5-8")
+		dLow  = flag.Float64("dlow", 25, "low-rate mean inter-arrival (s)")
+		dHigh = flag.Float64("dhigh", 20, "high-rate mean inter-arrival (s)")
+		seed  = flag.Uint64("seed", 103, "base seed")
+	)
+	flag.Parse()
+
+	c := casched.DefaultCampaign()
+	c.N = *n
+	c.DLow = *dLow
+	c.DHigh = *dHigh
+	c.Seeds = []uint64{*seed, *seed + 1, *seed + 2}
+
+	if err := emit(*table, c); err != nil {
+		fmt.Fprintln(os.Stderr, "castables:", err)
+		os.Exit(1)
+	}
+}
+
+func emit(which string, c casched.Campaign) error {
+	type job struct {
+		name  string
+		run   func() error
+		extra bool // not part of -table all
+	}
+	jobs := []job{
+		{name: "1", run: func() error {
+			v, err := casched.Validate(casched.ValidationConfig{Seed: 7})
+			if err != nil {
+				return err
+			}
+			fmt.Println(casched.FormatValidation(v))
+			return nil
+		}},
+		{name: "2", run: func() error { fmt.Println(casched.FormatTable2()); return nil }},
+		{name: "3", run: func() error { fmt.Println(casched.FormatTable3()); return nil }},
+		{name: "4", run: func() error { fmt.Println(casched.FormatTable4()); return nil }},
+		{name: "5", run: setJob(c, 5)},
+		{name: "6", run: setJob(c, 6)},
+		{name: "7", run: setJob(c, 7)},
+		{name: "8", run: setJob(c, 8)},
+		{name: "figure1", run: func() error {
+			out, err := casched.Figure1(72)
+			if err != nil {
+				return err
+			}
+			fmt.Println(out)
+			return nil
+		}},
+	}
+	extras := []job{
+		{name: "baselines", extra: true, run: func() error {
+			reports, sooner, err := c.BaselinesComparison(c.DHigh)
+			if err != nil {
+				return err
+			}
+			fmt.Print(casched.FormatBaselines(reports, sooner))
+			return nil
+		}},
+		{name: "sweep", extra: true, run: func() error {
+			res, err := c.RateSweep(2, []float64{30, 25, 20, 17}, []string{"MCT", "HMCT", "MP", "MSF"})
+			if err != nil {
+				return err
+			}
+			fmt.Print(casched.FormatSweep(res, "sumflow"))
+			fmt.Print(casched.FormatSweep(res, "maxstretch"))
+			return nil
+		}},
+		{name: "accuracy", extra: true, run: func() error {
+			a, err := c.MeasureAccuracy("MSF", c.DLow)
+			if err != nil {
+				return err
+			}
+			fmt.Print(casched.FormatAccuracy(a))
+			return nil
+		}},
+		{name: "balance", extra: true, run: func() error {
+			lb, err := c.LoadBalanceComparison(c.DHigh)
+			if err != nil {
+				return err
+			}
+			for _, h := range []string{"MCT", "HMCT", "MP", "MSF"} {
+				fmt.Print(casched.FormatServerStats(h, lb[h]))
+			}
+			return nil
+		}},
+	}
+	// The extension harnesses run on demand only (not part of "all",
+	// which regenerates exactly the paper's content).
+	jobs = append(jobs, extras...)
+	matched := false
+	for _, j := range jobs {
+		if (which == "all" && !j.extra) || which == j.name {
+			matched = true
+			if err := j.run(); err != nil {
+				return fmt.Errorf("table %s: %w", j.name, err)
+			}
+		}
+	}
+	if !matched {
+		return fmt.Errorf("unknown table %q", which)
+	}
+	return nil
+}
+
+func setJob(c casched.Campaign, table int) func() error {
+	return func() error {
+		var res *casched.SetResult
+		var err error
+		switch table {
+		case 5:
+			res, err = c.Table5()
+		case 6:
+			res, err = c.Table6()
+		case 7:
+			res, err = c.Table7()
+		case 8:
+			res, err = c.Table8()
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("Table %d — ", table)
+		fmt.Println(casched.FormatSet(res))
+		return nil
+	}
+}

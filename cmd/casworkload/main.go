@@ -1,0 +1,142 @@
+// Command casworkload generates, inspects and archives metatasks: the
+// workload side of the experiment pipeline. Generated metatasks can be
+// written as CSV, re-read for exact replay (casim accepts the same
+// seeds), and summarized (task mix, inter-arrival statistics, total
+// demand per server).
+//
+// Usage:
+//
+//	casworkload -set 1 -n 500 -d 20 -seed 103 -out metatask.csv
+//	casworkload -set 2 -n 500 -d 25 -arrival bursty -burst 8 -stats
+//	casworkload -in metatask.csv -stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"casched"
+)
+
+func main() {
+	var (
+		set     = flag.Int("set", 2, "workload: 1 (matmul) or 2 (waste-cpu)")
+		n       = flag.Int("n", 500, "metatask size")
+		d       = flag.Float64("d", 25, "mean inter-arrival time (s)")
+		seed    = flag.Uint64("seed", 103, "generation seed")
+		arrival = flag.String("arrival", "poisson", "arrival process: poisson, uniform, bursty, constant")
+		burst   = flag.Int("burst", 5, "burst size for -arrival bursty")
+		out     = flag.String("out", "", "write the metatask as CSV to this file")
+		in      = flag.String("in", "", "read a metatask CSV instead of generating")
+		stats   = flag.Bool("stats", true, "print workload statistics")
+	)
+	flag.Parse()
+
+	mt, err := buildMetatask(*in, *set, *n, *d, *seed, *arrival, *burst)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casworkload:", err)
+		os.Exit(1)
+	}
+	if *stats {
+		printStats(mt)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casworkload:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := casched.WriteMetataskCSV(f, mt); err != nil {
+			fmt.Fprintln(os.Stderr, "casworkload:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d tasks to %s\n", mt.Len(), *out)
+	}
+}
+
+func buildMetatask(in string, set, n int, d float64, seed uint64, arrival string, burst int) (*casched.Metatask, error) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return casched.ReadMetataskCSV(f, in)
+	}
+	var sc casched.Scenario
+	switch set {
+	case 1:
+		sc = casched.Set1Scenario(n, d, seed)
+	case 2:
+		sc = casched.Set2Scenario(n, d, seed)
+	default:
+		return nil, fmt.Errorf("unknown set %d", set)
+	}
+	switch arrival {
+	case "poisson":
+		sc.Arrival = casched.ArrivalPoisson
+	case "uniform":
+		sc.Arrival = casched.ArrivalUniform
+	case "bursty":
+		sc.Arrival = casched.ArrivalBursty
+		sc.BurstSize = burst
+	case "constant":
+		sc.Arrival = casched.ArrivalConstant
+	default:
+		return nil, fmt.Errorf("unknown arrival process %q", arrival)
+	}
+	return casched.GenerateScenario(sc)
+}
+
+func printStats(mt *casched.Metatask) {
+	fmt.Printf("metatask %q: %d tasks, horizon %.1f s\n", mt.Name, mt.Len(), mt.Horizon())
+
+	// Task mix.
+	mix := map[string]int{}
+	for _, t := range mt.Tasks {
+		mix[t.Spec.Name()]++
+	}
+	names := make([]string, 0, len(mix))
+	for n := range mix {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Println("task mix:")
+	for _, n := range names {
+		fmt.Printf("  %-14s %d\n", n, mix[n])
+	}
+
+	// Inter-arrival gaps.
+	if mt.Len() > 1 {
+		var gaps []float64
+		for i := 1; i < mt.Len(); i++ {
+			gaps = append(gaps, mt.Tasks[i].Arrival-mt.Tasks[i-1].Arrival)
+		}
+		mean := 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		fmt.Printf("inter-arrival: mean %.2f s over %d gaps\n", mean, len(gaps))
+	}
+
+	// Total nominal demand per server (seconds of unloaded work).
+	demand := map[string]float64{}
+	for _, t := range mt.Tasks {
+		for server, cost := range t.Spec.CostOn {
+			demand[server] += cost.Total()
+		}
+	}
+	servers := make([]string, 0, len(demand))
+	for s := range demand {
+		servers = append(servers, s)
+	}
+	sort.Strings(servers)
+	fmt.Println("total demand if run alone on each server:")
+	for _, s := range servers {
+		fmt.Printf("  %-12s %.0f s\n", s, demand[s])
+	}
+}

@@ -1,0 +1,78 @@
+// Compare runs all four paper heuristics (plus the MNI comparator from
+// the related work) on both experiment sets at the low and high rates,
+// printing a compact comparison — a scaled-down version of the paper's
+// Tables 5-8 produced through the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casched"
+)
+
+func main() {
+	const n = 200
+	heuristics := []string{"MCT", "HMCT", "MP", "MSF", "MNI"}
+
+	for _, set := range []int{1, 2} {
+		var names []string
+		if set == 1 {
+			names = casched.Set1Servers
+		} else {
+			names = casched.Set2Servers
+		}
+		servers, err := casched.TestbedServers(names)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		for _, d := range []float64{25, 20} {
+			var mt *casched.Metatask
+			if set == 1 {
+				mt = casched.GenerateSet1(n, d, 7)
+			} else {
+				mt = casched.GenerateSet2(n, d, 7)
+			}
+			fmt.Printf("--- set %d, D=%.0fs, %d tasks ---\n", set, d, n)
+			fmt.Println("heuristic   done  makespan  sum-flow  max-flow  max-stretch  collapses")
+
+			var mctTasks []casched.TaskResult
+			for _, name := range heuristics {
+				s, err := casched.NewScheduler(name)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cfg := casched.RunConfig{
+					Servers:     servers,
+					Scheduler:   s,
+					Seed:        7,
+					NoiseSigma:  0.03,
+					MemoryModel: set == 1,
+				}
+				if name == "MCT" {
+					cfg.FaultTolerance = true // NetSolve's MCT ships with it
+				}
+				res, err := casched.Run(cfg, mt)
+				if err != nil {
+					log.Fatal(err)
+				}
+				r := res.Report()
+				sooner := ""
+				if name == "MCT" {
+					mctTasks = res.Tasks
+				} else {
+					k, err := casched.FinishSooner(res.Tasks, mctTasks)
+					if err != nil {
+						log.Fatal(err)
+					}
+					sooner = fmt.Sprintf("  (%d finish sooner than MCT)", k)
+				}
+				fmt.Printf("%-11s %4d %9.0f %9.0f %9.0f %12.2f %10d%s\n",
+					name, r.Completed, r.Makespan, r.SumFlow, r.MaxFlow,
+					r.MaxStretch, len(res.Collapses), sooner)
+			}
+			fmt.Println()
+		}
+	}
+}

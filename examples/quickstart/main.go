@@ -1,0 +1,55 @@
+// Quickstart: schedule a metatask with MSF, compare against NetSolve's
+// MCT, and print the paper's metrics — the minimal end-to-end use of
+// the casched public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"casched"
+)
+
+func main() {
+	// 200 waste-cpu tasks arriving every 25s on average (the paper's
+	// second experiment set, scaled down).
+	mt := casched.GenerateSet2(200, 25, 42)
+	servers, err := casched.TestbedServers(casched.Set2Servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	run := func(name string) *casched.RunResult {
+		s, err := casched.NewScheduler(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := casched.Run(casched.RunConfig{
+			Servers:    servers,
+			Scheduler:  s,
+			Seed:       1,
+			NoiseSigma: 0.03,
+		}, mt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	mct := run("MCT")
+	msf := run("MSF")
+
+	fmt.Println("heuristic   completed  makespan   sum-flow  max-flow  max-stretch")
+	for _, res := range []*casched.RunResult{mct, msf} {
+		r := res.Report()
+		fmt.Printf("%-11s %9d %9.0f %10.0f %9.0f %12.2f\n",
+			r.Heuristic, r.Completed, r.Makespan, r.SumFlow, r.MaxFlow, r.MaxStretch)
+	}
+
+	sooner, err := casched.FinishSooner(msf.Tasks, mct.Tasks)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%d of %d tasks finish sooner under MSF than under NetSolve's MCT\n",
+		sooner, mt.Len())
+}

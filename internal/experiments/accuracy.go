@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"casched/internal/grid"
+	"casched/internal/platform"
+	"casched/internal/sched"
+	"casched/internal/stats"
+	"casched/internal/workload"
+)
+
+// AccuracyResult quantifies the HTM's predictive quality over a full
+// metatask — the at-scale companion of the 12-row Table 1. Two
+// predictions are scored for every task:
+//
+//   - the placement-time prediction ρ'ₙ₊₁ (what the heuristic acted
+//     on), which cannot know about future arrivals and therefore
+//     systematically undershoots under load, and
+//   - the end-of-run simulated date (Table 1's "simulated completion
+//     date"), which accounts for every subsequent placement and should
+//     differ from reality only by the execution noise.
+type AccuracyResult struct {
+	Heuristic string
+	N         int
+	// Placement-time prediction error, as a percentage of task
+	// duration (signed: positive = task finished later than predicted).
+	PlacementMeanPct float64
+	PlacementP90Pct  float64
+	// Final (end-of-run) simulated-date error percentiles, absolute
+	// percentage of task duration.
+	FinalMeanPct float64
+	FinalP90Pct  float64
+	FinalMaxPct  float64
+}
+
+// MeasureAccuracy runs one set-2 metatask under the given HTM
+// heuristic and scores both prediction kinds against actual
+// completions.
+func (c Campaign) MeasureAccuracy(heuristic string, d float64) (*AccuracyResult, error) {
+	if len(c.Seeds) == 0 {
+		return nil, fmt.Errorf("experiments: accuracy: no seeds")
+	}
+	s, err := sched.ByName(heuristic)
+	if err != nil {
+		return nil, err
+	}
+	if !sched.UsesHTM(s) {
+		return nil, fmt.Errorf("experiments: accuracy: %s does not use the HTM", heuristic)
+	}
+	servers, err := grid.ServersFor(platform.Set2Servers)
+	if err != nil {
+		return nil, err
+	}
+	mt, err := workload.Generate(workload.Set2(c.N, d, c.Seeds[0]))
+	if err != nil {
+		return nil, err
+	}
+	res, err := grid.Run(grid.Config{
+		Servers:    servers,
+		Scheduler:  s,
+		Seed:       c.Seeds[0],
+		NoiseSigma: c.NoiseSigma,
+		HTMSync:    c.HTMSync,
+	}, mt)
+	if err != nil {
+		return nil, err
+	}
+	return scoreAccuracy(heuristic, res)
+}
+
+// scoreAccuracy computes the error statistics of a finished run.
+func scoreAccuracy(heuristic string, res *grid.Result) (*AccuracyResult, error) {
+	var placementPct, finalPct []float64
+	for _, r := range res.Tasks {
+		if !r.Completed {
+			continue
+		}
+		duration := r.Completion - r.Arrival
+		if duration <= 0 {
+			continue
+		}
+		if p, ok := res.Predicted[r.ID]; ok {
+			placementPct = append(placementPct, 100*(r.Completion-p)/duration)
+		}
+		if f, ok := res.FinalPredicted[r.ID]; ok {
+			finalPct = append(finalPct, 100*math.Abs(r.Completion-f)/duration)
+		}
+	}
+	if len(placementPct) == 0 || len(finalPct) == 0 {
+		return nil, fmt.Errorf("experiments: accuracy: run produced no predictions")
+	}
+	out := &AccuracyResult{Heuristic: heuristic, N: len(finalPct)}
+	out.PlacementMeanPct = stats.Mean(placementPct)
+	out.PlacementP90Pct = stats.Quantile(placementPct, 0.90)
+	out.FinalMeanPct = stats.Mean(finalPct)
+	out.FinalP90Pct = stats.Quantile(finalPct, 0.90)
+	out.FinalMaxPct = stats.MaxFloat(finalPct)
+	return out, nil
+}
+
+// ScoreRunAccuracy exposes the scoring for externally produced runs
+// (e.g. ablations on noise or sync).
+func ScoreRunAccuracy(heuristic string, res *grid.Result) (*AccuracyResult, error) {
+	return scoreAccuracy(heuristic, res)
+}
+
+// FormatAccuracy renders an AccuracyResult.
+func FormatAccuracy(a *AccuracyResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "HTM accuracy under %s over %d tasks:\n", a.Heuristic, a.N)
+	fmt.Fprintf(&sb, "  placement-time prediction: mean %+.1f%% of duration (p90 %+.1f%%)\n",
+		a.PlacementMeanPct, a.PlacementP90Pct)
+	fmt.Fprintf(&sb, "  final simulated date:      mean %.1f%%, p90 %.1f%%, worst %.1f%%\n",
+		a.FinalMeanPct, a.FinalP90Pct, a.FinalMaxPct)
+	return sb.String()
+}
+
+// FormatServerStats renders the per-server load-balance view of a run
+// (the data behind the paper's §5.3 "balance the load in a better way"
+// discussion).
+func FormatServerStats(heuristic string, statsMap map[string]grid.ServerStats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "per-server load balance under %s:\n", heuristic)
+	fmt.Fprintf(&sb, "%-12s %10s %12s %12s %10s\n",
+		"server", "completed", "busy-cpu(s)", "utilization", "peak-tasks")
+	names := make([]string, 0, len(statsMap))
+	for n := range statsMap {
+		names = append(names, n)
+	}
+	// Sorted for determinism.
+	for i := 1; i < len(names); i++ {
+		for j := i; j > 0 && names[j] < names[j-1]; j-- {
+			names[j], names[j-1] = names[j-1], names[j]
+		}
+	}
+	for _, n := range names {
+		st := statsMap[n]
+		fmt.Fprintf(&sb, "%-12s %10d %12.0f %12.2f %10d\n",
+			n, st.Completed, st.BusyCPU, st.Utilization, st.PeakMemoryTasks)
+	}
+	return sb.String()
+}
+
+// LoadBalanceComparison runs every paper heuristic on one set-1
+// metatask with the memory model and reports each server's peak
+// residency — the evidence behind the paper's conclusion that "MSF and
+// MP balance the load in a better way than MCT and HMCT, leading to
+// less memory consumption on servers".
+func (c Campaign) LoadBalanceComparison(d float64) (map[string]map[string]grid.ServerStats, error) {
+	if len(c.Seeds) == 0 {
+		return nil, fmt.Errorf("experiments: load balance: no seeds")
+	}
+	out := make(map[string]map[string]grid.ServerStats, len(Heuristics))
+	for _, name := range Heuristics {
+		res, err := c.runOne(1, name, d, c.Seeds[0])
+		if err != nil {
+			return nil, fmt.Errorf("experiments: load balance %s: %w", name, err)
+		}
+		out[name] = res.ServerStats
+	}
+	return out, nil
+}

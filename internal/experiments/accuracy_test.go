@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMeasureAccuracy(t *testing.T) {
+	c := smallCampaign()
+	c.N = 100
+	a, err := c.MeasureAccuracy("MSF", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.N == 0 {
+		t.Fatal("no tasks scored")
+	}
+	// With 3% execution noise the final simulated date must track
+	// reality within a few percent on average.
+	if a.FinalMeanPct > 6 {
+		t.Errorf("final mean error %.1f%% too large", a.FinalMeanPct)
+	}
+	if a.FinalMaxPct < a.FinalP90Pct || a.FinalP90Pct < 0 {
+		t.Errorf("error percentiles inconsistent: %+v", a)
+	}
+	// Placement-time predictions undershoot under load (later arrivals
+	// delay tasks), so the signed mean is non-negative.
+	if a.PlacementMeanPct < -1 {
+		t.Errorf("placement error unexpectedly negative: %+v", a)
+	}
+	out := FormatAccuracy(a)
+	if !strings.Contains(out, "HTM accuracy") || !strings.Contains(out, "p90") {
+		t.Errorf("accuracy format incomplete:\n%s", out)
+	}
+}
+
+func TestMeasureAccuracyZeroNoise(t *testing.T) {
+	c := smallCampaign()
+	c.N = 60
+	c.NoiseSigma = 0
+	a, err := c.MeasureAccuracy("HMCT", 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FinalMeanPct > 1e-6 {
+		t.Errorf("noiseless final error = %v, want 0", a.FinalMeanPct)
+	}
+}
+
+func TestMeasureAccuracyValidation(t *testing.T) {
+	c := smallCampaign()
+	if _, err := c.MeasureAccuracy("MCT", 25); err == nil {
+		t.Error("non-HTM heuristic accepted")
+	}
+	if _, err := c.MeasureAccuracy("nosuch", 25); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+	c.Seeds = nil
+	if _, err := c.MeasureAccuracy("MSF", 25); err == nil {
+		t.Error("empty seeds accepted")
+	}
+}
+
+func TestScoreRunAccuracyErrors(t *testing.T) {
+	c := smallCampaign()
+	c.N = 30
+	// An MCT run carries no predictions: scoring it must fail cleanly.
+	res, err := c.runOne(2, "MCT", 25, c.Seeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ScoreRunAccuracy("MCT", res); err == nil {
+		t.Error("prediction-less run accepted")
+	}
+	// An MSF run scores fine through the exported helper.
+	res, err = c.runOne(2, "MSF", 25, c.Seeds[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := ScoreRunAccuracy("MSF", res)
+	if err != nil || a.N == 0 {
+		t.Errorf("ScoreRunAccuracy = %+v, %v", a, err)
+	}
+}
+
+func TestValidationNoiseSweep(t *testing.T) {
+	out, err := ValidationNoiseSweep([]float64{0, 0.05}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("sweep points = %d", len(out))
+	}
+	// More injected noise means more prediction error.
+	if out[0.05] <= out[0] {
+		t.Errorf("error at sigma .05 (%v) not above sigma 0 (%v)", out[0.05], out[0])
+	}
+}
+
+func TestLoadBalanceComparison(t *testing.T) {
+	c := smallCampaign()
+	c.N = 120
+	lb, err := c.LoadBalanceComparison(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lb) != 4 {
+		t.Fatalf("heuristics = %d", len(lb))
+	}
+	// The paper's conclusion: MP's peak residency on the fastest
+	// server is below HMCT's (better balance, less memory).
+	peakOf := func(h string) int {
+		max := 0
+		for _, st := range lb[h] {
+			if st.PeakMemoryTasks > max {
+				max = st.PeakMemoryTasks
+			}
+		}
+		return max
+	}
+	if peakOf("MP") > peakOf("HMCT") {
+		t.Errorf("MP peak residency %d exceeds HMCT's %d", peakOf("MP"), peakOf("HMCT"))
+	}
+	out := FormatServerStats("MP", lb["MP"])
+	for _, want := range []string{"per-server load balance", "pulney", "utilization"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("server stats format missing %q:\n%s", want, out)
+		}
+	}
+}

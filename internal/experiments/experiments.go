@@ -1,0 +1,231 @@
+// Package experiments reproduces the paper's evaluation campaign: the
+// HTM validation of Table 1, the matrix-multiplication experiments of
+// Tables 5 and 6 (first set), the waste-cpu experiments of Tables 7
+// and 8 (second set), and the Figure 1 Gantt chart.
+//
+// Rate regimes. The PDF extraction of the paper loses the numeric
+// values of the mean inter-arrival times ("a mean of [] seconds or []
+// seconds"). They are reconstructed from the published makespans: with
+// N = 500 tasks, low-rate makespans of ≈9900 s imply a mean gap of
+// ≈20 s and high-rate makespans of ≈7650 s imply ≈15 s. In our
+// simulator the equivalent qualitative regimes — "stable for every
+// heuristic" vs. "near-critical with memory exhaustion in set 1" —
+// sit at D = 25 s and D = 20 s, which are the campaign defaults
+// (see EXPERIMENTS.md for the calibration notes).
+package experiments
+
+import (
+	"fmt"
+
+	"casched/internal/grid"
+	"casched/internal/metrics"
+	"casched/internal/platform"
+	"casched/internal/sched"
+	"casched/internal/workload"
+)
+
+// Heuristics is the paper's comparison set, in table order.
+var Heuristics = []string{"MCT", "HMCT", "MP", "MSF"}
+
+// Campaign holds the experiment-wide parameters.
+type Campaign struct {
+	// N is the metatask size (paper: 500).
+	N int
+	// DLow and DHigh are the low- and high-rate mean inter-arrival
+	// times in seconds.
+	DLow, DHigh float64
+	// Seeds are the metatask seeds; set 1 uses the first, set 2 all of
+	// them (the paper generated three metatasks for set 2).
+	Seeds []uint64
+	// NoiseSigma is the execution-noise level (Table 1 regime: 0.03).
+	NoiseSigma float64
+	// MonitorPeriod and MonitorTau parameterize the monitor-based
+	// information model MCT consumes (zero = grid defaults).
+	MonitorPeriod float64
+	MonitorTau    float64
+	// HTMSync enables the synchronization extension in all HTM
+	// heuristics (ablation; off reproduces the paper).
+	HTMSync bool
+	// MPTieRandom switches MP to random tie-breaking (ablation).
+	MPTieRandom bool
+	// FaultToleranceAll grants NetSolve's resubmission layer to every
+	// heuristic rather than MCT only (ablation).
+	FaultToleranceAll bool
+}
+
+// Default returns the paper-equivalent campaign.
+func Default() Campaign {
+	return Campaign{
+		N:          500,
+		DLow:       25,
+		DHigh:      20,
+		Seeds:      []uint64{103, 104, 105},
+		NoiseSigma: 0.03,
+	}
+}
+
+// scheduler instantiates a heuristic under the campaign's ablation
+// flags.
+func (c Campaign) scheduler(name string) (sched.Scheduler, error) {
+	if name == "MP" && c.MPTieRandom {
+		return &sched.MP{Tie: sched.TieRandom}, nil
+	}
+	return sched.ByName(name)
+}
+
+// HeuristicResult aggregates one heuristic's outcome over the
+// campaign's metatask seeds.
+type HeuristicResult struct {
+	// Name is the heuristic.
+	Name string
+	// Reports holds one metrics report per metatask seed.
+	Reports []metrics.Report
+	// Mean averages Reports.
+	Mean metrics.Report
+	// Sooner counts, per seed, the tasks finishing sooner than under
+	// MCT on the same metatask (empty for MCT itself).
+	Sooner []int
+	// SoonerMean averages Sooner.
+	SoonerMean float64
+	// Collapses totals server collapses over the seeds.
+	Collapses int
+}
+
+// SetResult is one experiment set at one rate.
+type SetResult struct {
+	// Set is 1 (matmul) or 2 (waste-cpu).
+	Set int
+	// D is the mean inter-arrival time.
+	D float64
+	// N is the metatask size.
+	N int
+	// Rows holds one entry per heuristic, in Heuristics order.
+	Rows []HeuristicResult
+}
+
+// Row returns the named heuristic's row.
+func (r *SetResult) Row(name string) (HeuristicResult, bool) {
+	for _, row := range r.Rows {
+		if row.Name == name {
+			return row, true
+		}
+	}
+	return HeuristicResult{}, false
+}
+
+// runOne executes one heuristic on one metatask.
+func (c Campaign) runOne(set int, name string, d float64, seed uint64) (*grid.Result, error) {
+	s, err := c.scheduler(name)
+	if err != nil {
+		return nil, err
+	}
+	var servers []grid.ServerConfig
+	var sc workload.Scenario
+	if set == 1 {
+		servers, err = grid.ServersFor(platform.Set1Servers)
+		sc = workload.Set1(c.N, d, seed)
+	} else {
+		servers, err = grid.ServersFor(platform.Set2Servers)
+		sc = workload.Set2(c.N, d, seed)
+	}
+	if err != nil {
+		return nil, err
+	}
+	mt, err := workload.Generate(sc)
+	if err != nil {
+		return nil, err
+	}
+	cfg := grid.Config{
+		Servers:       servers,
+		Scheduler:     s,
+		Seed:          seed, // execution noise tied to the metatask
+		NoiseSigma:    c.NoiseSigma,
+		MonitorPeriod: c.MonitorPeriod,
+		MonitorTau:    c.MonitorTau,
+		MemoryModel:   set == 1, // waste-cpu needs no memory (§5.2)
+		HTMSync:       c.HTMSync,
+	}
+	// NetSolve's fault tolerance ships with its MCT; the paper's HTM
+	// heuristics run without it (that is why HMCT loses tasks in
+	// Table 6).
+	if name == "MCT" || c.FaultToleranceAll {
+		cfg.FaultTolerance = true
+	}
+	return grid.Run(cfg, mt)
+}
+
+// RunSet executes one experiment set at rate d over the campaign's
+// seeds (set 1 uses only the first seed, as the paper reports single
+// runs for the multiplication tables; set 2 uses all, mirroring its
+// three metatasks).
+func (c Campaign) RunSet(set int, d float64) (*SetResult, error) {
+	if set != 1 && set != 2 {
+		return nil, fmt.Errorf("experiments: unknown set %d", set)
+	}
+	if len(c.Seeds) == 0 {
+		return nil, fmt.Errorf("experiments: campaign has no seeds")
+	}
+	seeds := c.Seeds
+	if set == 1 {
+		seeds = seeds[:1]
+	}
+
+	// Reference MCT runs, one per seed, for the finish-sooner column.
+	mctRuns := make([]*grid.Result, len(seeds))
+	for i, seed := range seeds {
+		r, err := c.runOne(set, "MCT", d, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: set %d MCT seed %d: %w", set, seed, err)
+		}
+		mctRuns[i] = r
+	}
+
+	out := &SetResult{Set: set, D: d, N: c.N}
+	for _, name := range Heuristics {
+		row := HeuristicResult{Name: name}
+		for i, seed := range seeds {
+			var res *grid.Result
+			var err error
+			if name == "MCT" {
+				res = mctRuns[i]
+			} else {
+				res, err = c.runOne(set, name, d, seed)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: set %d %s seed %d: %w", set, name, seed, err)
+				}
+			}
+			rep := res.Report()
+			row.Reports = append(row.Reports, rep)
+			row.Collapses += len(res.Collapses)
+			if name != "MCT" {
+				sooner, err := metrics.FinishSooner(res.Tasks, mctRuns[i].Tasks)
+				if err != nil {
+					return nil, fmt.Errorf("experiments: finish-sooner: %w", err)
+				}
+				row.Sooner = append(row.Sooner, sooner)
+			}
+		}
+		row.Mean = metrics.MeanReports(row.Reports)
+		if len(row.Sooner) > 0 {
+			sum := 0
+			for _, s := range row.Sooner {
+				sum += s
+			}
+			row.SoonerMean = float64(sum) / float64(len(row.Sooner))
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// Table5 runs the first set at the low rate.
+func (c Campaign) Table5() (*SetResult, error) { return c.RunSet(1, c.DLow) }
+
+// Table6 runs the first set at the high rate.
+func (c Campaign) Table6() (*SetResult, error) { return c.RunSet(1, c.DHigh) }
+
+// Table7 runs the second set at the low rate.
+func (c Campaign) Table7() (*SetResult, error) { return c.RunSet(2, c.DLow) }
+
+// Table8 runs the second set at the high rate.
+func (c Campaign) Table8() (*SetResult, error) { return c.RunSet(2, c.DHigh) }

@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// smallCampaign shrinks the paper campaign for fast unit testing.
+func smallCampaign() Campaign {
+	c := Default()
+	c.N = 120
+	c.Seeds = []uint64{101, 102}
+	return c
+}
+
+func TestDefaultCampaign(t *testing.T) {
+	c := Default()
+	if c.N != 500 || c.DLow != 25 || c.DHigh != 20 || len(c.Seeds) != 3 {
+		t.Errorf("unexpected defaults: %+v", c)
+	}
+}
+
+func TestRunSetValidation(t *testing.T) {
+	c := smallCampaign()
+	if _, err := c.RunSet(3, 25); err == nil {
+		t.Error("unknown set accepted")
+	}
+	c.Seeds = nil
+	if _, err := c.RunSet(1, 25); err == nil {
+		t.Error("empty seeds accepted")
+	}
+}
+
+func TestRunSet2LowRateShape(t *testing.T) {
+	c := smallCampaign()
+	res, err := c.RunSet(2, c.DLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Set != 2 || res.D != c.DLow || len(res.Rows) != 4 {
+		t.Fatalf("result header wrong: %+v", res)
+	}
+	for _, row := range res.Rows {
+		if len(row.Reports) != 2 {
+			t.Errorf("%s: %d reports, want 2 (one per seed)", row.Name, len(row.Reports))
+		}
+		if row.Mean.Completed != c.N {
+			t.Errorf("%s completed %d/%d", row.Name, row.Mean.Completed, c.N)
+		}
+		if row.Name == "MCT" {
+			if len(row.Sooner) != 0 {
+				t.Error("MCT must not compare against itself")
+			}
+		} else if len(row.Sooner) != 2 {
+			t.Errorf("%s sooner entries = %d", row.Name, len(row.Sooner))
+		}
+	}
+	mct, _ := res.Row("MCT")
+	msf, _ := res.Row("MSF")
+	if msf.Mean.SumFlow > mct.Mean.SumFlow*1.05 {
+		t.Errorf("MSF sumflow %.0f not better than MCT %.0f", msf.Mean.SumFlow, mct.Mean.SumFlow)
+	}
+	mp, _ := res.Row("MP")
+	if mp.Mean.MaxStretch > mct.Mean.MaxStretch {
+		t.Errorf("MP maxstretch %.1f not best (MCT %.1f)", mp.Mean.MaxStretch, mct.Mean.MaxStretch)
+	}
+}
+
+func TestTableAccessors(t *testing.T) {
+	c := smallCampaign()
+	c.N = 40
+	c.Seeds = []uint64{101}
+	for i, f := range []func() (*SetResult, error){c.Table5, c.Table6, c.Table7, c.Table8} {
+		res, err := f()
+		if err != nil {
+			t.Fatalf("table accessor %d: %v", i, err)
+		}
+		if len(res.Rows) != 4 {
+			t.Errorf("table accessor %d: %d rows", i, len(res.Rows))
+		}
+	}
+}
+
+func TestRowLookup(t *testing.T) {
+	r := &SetResult{Rows: []HeuristicResult{{Name: "MCT"}}}
+	if _, ok := r.Row("MCT"); !ok {
+		t.Error("existing row not found")
+	}
+	if _, ok := r.Row("nosuch"); ok {
+		t.Error("missing row found")
+	}
+}
+
+func TestFormatStaticTables(t *testing.T) {
+	t2 := FormatTable2()
+	for _, want := range []string{"chamagne", "artimon", "xrousse", "zanzibar", "1700 MHz"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q", want)
+		}
+	}
+	t3 := FormatTable3()
+	for _, want := range []string{"1200", "1800", "504.00", "74.15"} {
+		if !strings.Contains(t3, want) {
+			t.Errorf("Table 3 missing %q", want)
+		}
+	}
+	t4 := FormatTable4()
+	for _, want := range []string{"200", "600", "273.28", "spinnaker"} {
+		if !strings.Contains(t4, want) {
+			t.Errorf("Table 4 missing %q", want)
+		}
+	}
+}
+
+func TestFormatSet(t *testing.T) {
+	c := smallCampaign()
+	c.N = 40
+	res, err := c.RunSet(2, c.DLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatSet(res)
+	for _, want := range []string{"Set 2 results", "MCT", "MSF", "sumflow", "maxstretch", "finish sooner"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("FormatSet missing %q:\n%s", want, out)
+		}
+	}
+	// Two seeds: the mean must be rendered in parentheses.
+	if !strings.Contains(out, "(") {
+		t.Error("multi-seed format missing mean parentheses")
+	}
+}
+
+func TestFigure1(t *testing.T) {
+	out, err := Figure1(60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Figure 1", "task 3", "33.3%", "perturbations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 1 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidationSmall(t *testing.T) {
+	v, err := Validate(ValidationConfig{Scale: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Rows) != 12 {
+		t.Fatalf("validation rows = %d, want 12 (3+9)", len(v.Rows))
+	}
+	if v.MeanPctError > 10 {
+		t.Errorf("mean validation error %.1f%% too large", v.MeanPctError)
+	}
+	for _, r := range v.Rows {
+		if r.Real <= r.Arrival {
+			t.Errorf("row %d/%d: completion %.2f before arrival %.2f",
+				r.Execution, r.Task, r.Real, r.Arrival)
+		}
+	}
+	out := FormatValidation(v)
+	if !strings.Contains(out, "Table 1") || !strings.Contains(out, "mean %error") {
+		t.Errorf("validation format incomplete:\n%s", out)
+	}
+}
+
+func TestAblationFlags(t *testing.T) {
+	c := smallCampaign()
+	c.N = 40
+	c.Seeds = []uint64{101}
+	c.HTMSync = true
+	c.MPTieRandom = true
+	c.FaultToleranceAll = true
+	res, err := c.RunSet(1, c.DLow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Errorf("ablation run rows = %d", len(res.Rows))
+	}
+}

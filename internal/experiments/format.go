@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"casched/internal/platform"
+	"casched/internal/task"
+)
+
+// FormatValidation renders the Table 1 reproduction in the paper's
+// column layout.
+func FormatValidation(v *ValidationResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Table 1 — HTM validation on %s (two metatask executions)\n", v.Server)
+	sb.WriteString("exec task arrival   size   real-completion  sim-completion   diff    %error\n")
+	for _, r := range v.Rows {
+		fmt.Fprintf(&sb, "%4d %4d %8.2f %6d %16.2f %15.2f %7.2f %8.1f\n",
+			r.Execution, r.Task, r.Arrival, r.Size, r.Real, r.Simulated, r.Diff, r.PctError)
+	}
+	fmt.Fprintf(&sb, "mean %%error: %.2f (paper: mean < 3%%)\n", v.MeanPctError)
+	return sb.String()
+}
+
+// FormatTable2 renders the testbed description.
+func FormatTable2() string {
+	var sb strings.Builder
+	sb.WriteString("Table 2 — Resources of the testbed\n")
+	sb.WriteString("type    machine    processor           speed     memory   swap     system\n")
+	order := []string{"chamagne", "cabestan", "artimon", "pulney", "valette", "spinnaker",
+		platform.AgentHost, platform.ClientHost}
+	for _, name := range order {
+		m := platform.MustGet(name)
+		fmt.Fprintf(&sb, "%-7s %-10s %-19s %4d MHz %5.0f Mo %5.0f Mo %s\n",
+			m.Role, m.Name, m.Processor, m.SpeedMHz, m.MemoryMB, m.SwapMB, m.System)
+	}
+	return sb.String()
+}
+
+// FormatTable3 renders the multiplication tasks' needs.
+func FormatTable3() string {
+	var sb strings.Builder
+	sb.WriteString("Table 3 — Multiplication tasks' needs (seconds; memory in Mo)\n")
+	servers := []string{"chamagne", "cabestan", "artimon", "pulney"}
+	fmt.Fprintf(&sb, "%-6s %-9s %-9s", "size", "memory", "phase")
+	for _, s := range servers {
+		fmt.Fprintf(&sb, " %9s", s)
+	}
+	sb.WriteString("\n")
+	for _, size := range task.MatmulSizes {
+		spec := task.Matmul(size)
+		for i, phase := range []task.Phase{task.PhaseInput, task.PhaseCompute, task.PhaseOutput} {
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-6d %-9.2f %-9s", size, spec.MemoryMB, phase)
+			} else {
+				fmt.Fprintf(&sb, "%-6s %-9s %-9s", "", "", phase)
+			}
+			for _, s := range servers {
+				c, _ := spec.Cost(s)
+				fmt.Fprintf(&sb, " %9.2f", c.Of(phase))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// FormatTable4 renders the waste-cpu tasks' needs.
+func FormatTable4() string {
+	var sb strings.Builder
+	sb.WriteString("Table 4 — Waste-cpu tasks' needs (seconds)\n")
+	servers := []string{"valette", "spinnaker", "cabestan", "artimon"}
+	fmt.Fprintf(&sb, "%-6s %-9s", "param", "phase")
+	for _, s := range servers {
+		fmt.Fprintf(&sb, " %9s", s)
+	}
+	sb.WriteString("\n")
+	for _, p := range task.WasteCPUParams {
+		spec := task.WasteCPU(p)
+		for i, phase := range []task.Phase{task.PhaseInput, task.PhaseCompute, task.PhaseOutput} {
+			if i == 0 {
+				fmt.Fprintf(&sb, "%-6d %-9s", p, phase)
+			} else {
+				fmt.Fprintf(&sb, "%-6s %-9s", "", phase)
+			}
+			for _, s := range servers {
+				c, _ := spec.Cost(s)
+				fmt.Fprintf(&sb, " %9.2f", c.Of(phase))
+			}
+			sb.WriteString("\n")
+		}
+	}
+	return sb.String()
+}
+
+// FormatSet renders a SetResult in the layout of Tables 5-8: one
+// column per heuristic, one row per metric. For multi-seed sets the
+// per-seed values are listed with the mean in parentheses, mirroring
+// the paper's Tables 7 and 8.
+func FormatSet(r *SetResult) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Set %d results — D = %.0f s, N = %d (%s tasks)\n",
+		r.Set, r.D, r.N, map[int]string{1: "multiplication", 2: "waste-cpu"}[r.Set])
+
+	header := fmt.Sprintf("%-22s", "metric")
+	for _, row := range r.Rows {
+		header += fmt.Sprintf(" %-24s", row.Name)
+	}
+	sb.WriteString(header + "\n")
+
+	line := func(label string, f func(h HeuristicResult) string) {
+		fmt.Fprintf(&sb, "%-22s", label)
+		for _, row := range r.Rows {
+			fmt.Fprintf(&sb, " %-24s", f(row))
+		}
+		sb.WriteString("\n")
+	}
+
+	fmtSeries := func(vals []float64, mean float64, format string) string {
+		if len(vals) == 1 {
+			return fmt.Sprintf(format, vals[0])
+		}
+		parts := make([]string, len(vals))
+		for i, v := range vals {
+			parts[i] = fmt.Sprintf(format, v)
+		}
+		return strings.Join(parts, "/") + " (" + fmt.Sprintf(format, mean) + ")"
+	}
+
+	line("completed tasks", func(h HeuristicResult) string {
+		vals := make([]float64, len(h.Reports))
+		for i, rep := range h.Reports {
+			vals[i] = float64(rep.Completed)
+		}
+		return fmtSeries(vals, float64(h.Mean.Completed), "%.0f")
+	})
+	line("makespan", func(h HeuristicResult) string {
+		vals := make([]float64, len(h.Reports))
+		for i, rep := range h.Reports {
+			vals[i] = rep.Makespan
+		}
+		return fmtSeries(vals, h.Mean.Makespan, "%.0f")
+	})
+	line("sumflow", func(h HeuristicResult) string {
+		vals := make([]float64, len(h.Reports))
+		for i, rep := range h.Reports {
+			vals[i] = rep.SumFlow
+		}
+		return fmtSeries(vals, h.Mean.SumFlow, "%.0f")
+	})
+	line("maxflow", func(h HeuristicResult) string {
+		vals := make([]float64, len(h.Reports))
+		for i, rep := range h.Reports {
+			vals[i] = rep.MaxFlow
+		}
+		return fmtSeries(vals, h.Mean.MaxFlow, "%.0f")
+	})
+	line("maxstretch", func(h HeuristicResult) string {
+		vals := make([]float64, len(h.Reports))
+		for i, rep := range h.Reports {
+			vals[i] = rep.MaxStretch
+		}
+		return fmtSeries(vals, h.Mean.MaxStretch, "%.1f")
+	})
+	line("finish sooner vs MCT", func(h HeuristicResult) string {
+		if len(h.Sooner) == 0 {
+			return "-"
+		}
+		vals := make([]float64, len(h.Sooner))
+		for i, s := range h.Sooner {
+			vals[i] = float64(s)
+		}
+		return fmtSeries(vals, h.SoonerMean, "%.0f")
+	})
+	line("server collapses", func(h HeuristicResult) string {
+		return fmt.Sprintf("%d", h.Collapses)
+	})
+	return sb.String()
+}

@@ -1,0 +1,182 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"casched/internal/grid"
+	"casched/internal/metrics"
+	"casched/internal/platform"
+	"casched/internal/sched"
+	"casched/internal/workload"
+)
+
+// SweepPoint is one (rate, heuristic) cell of a rate sweep.
+type SweepPoint struct {
+	D         float64
+	Heuristic string
+	Report    metrics.Report
+	Collapses int
+}
+
+// SweepResult is a rate sweep: the sum-flow / max-stretch trajectories
+// of several heuristics as the arrival rate rises — the "series" view
+// behind the paper's two-rate tables, showing where the crossovers
+// (e.g. MP overtaking HMCT) fall.
+type SweepResult struct {
+	Set        int
+	N          int
+	Rates      []float64
+	Heuristics []string
+	Points     []SweepPoint
+}
+
+// Point returns the cell for (d, heuristic).
+func (r *SweepResult) Point(d float64, heuristic string) (SweepPoint, bool) {
+	for _, p := range r.Points {
+		if p.D == d && p.Heuristic == heuristic {
+			return p, true
+		}
+	}
+	return SweepPoint{}, false
+}
+
+// RateSweep runs the given heuristics on one metatask family across
+// several arrival rates. The task-type sequence is identical at every
+// rate (only arrival dates change), matching the paper's "same
+// metatask, different arrival dates" design.
+func (c Campaign) RateSweep(set int, rates []float64, heuristics []string) (*SweepResult, error) {
+	if set != 1 && set != 2 {
+		return nil, fmt.Errorf("experiments: rate sweep: unknown set %d", set)
+	}
+	if len(rates) == 0 || len(heuristics) == 0 {
+		return nil, fmt.Errorf("experiments: rate sweep: empty rates or heuristics")
+	}
+	if len(c.Seeds) == 0 {
+		return nil, fmt.Errorf("experiments: rate sweep: no seeds")
+	}
+	out := &SweepResult{Set: set, N: c.N, Heuristics: heuristics}
+	out.Rates = append(out.Rates, rates...)
+	sort.Float64s(out.Rates)
+	for _, d := range out.Rates {
+		for _, h := range heuristics {
+			res, err := c.runOne(set, h, d, c.Seeds[0])
+			if err != nil {
+				return nil, fmt.Errorf("experiments: rate sweep %s at D=%g: %w", h, d, err)
+			}
+			out.Points = append(out.Points, SweepPoint{
+				D: d, Heuristic: h, Report: res.Report(), Collapses: len(res.Collapses),
+			})
+		}
+	}
+	return out, nil
+}
+
+// FormatSweep renders one metric of a sweep as a rate × heuristic
+// table. metric is "sumflow", "maxflow", "maxstretch", "makespan" or
+// "completed".
+func FormatSweep(r *SweepResult, metric string) string {
+	value := func(p SweepPoint) string {
+		switch metric {
+		case "sumflow":
+			return fmt.Sprintf("%10.0f", p.Report.SumFlow)
+		case "maxflow":
+			return fmt.Sprintf("%10.0f", p.Report.MaxFlow)
+		case "maxstretch":
+			return fmt.Sprintf("%10.1f", p.Report.MaxStretch)
+		case "makespan":
+			return fmt.Sprintf("%10.0f", p.Report.Makespan)
+		case "completed":
+			return fmt.Sprintf("%10d", p.Report.Completed)
+		default:
+			return fmt.Sprintf("%10s", "?")
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "rate sweep (set %d, N=%d): %s\n", r.Set, r.N, metric)
+	fmt.Fprintf(&sb, "%-8s", "D (s)")
+	for _, h := range r.Heuristics {
+		fmt.Fprintf(&sb, " %10s", h)
+	}
+	sb.WriteString("\n")
+	for _, d := range r.Rates {
+		fmt.Fprintf(&sb, "%-8.0f", d)
+		for _, h := range r.Heuristics {
+			if p, ok := r.Point(d, h); ok {
+				fmt.Fprintf(&sb, " %s", value(p))
+			} else {
+				fmt.Fprintf(&sb, " %10s", "-")
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// BaselinesComparison runs the full heuristic family — the paper's
+// four plus the related-work baselines of Maheswaran et al. ([10]) and
+// Weissman's MNI — on one set-2 metatask, returning the reports in
+// presentation order. It extends the evaluation in the direction of
+// the companion technical report [2].
+func (c Campaign) BaselinesComparison(d float64) ([]metrics.Report, map[string]int, error) {
+	if len(c.Seeds) == 0 {
+		return nil, nil, fmt.Errorf("experiments: baselines: no seeds")
+	}
+	servers, err := grid.ServersFor(platform.Set2Servers)
+	if err != nil {
+		return nil, nil, err
+	}
+	mt, err := workload.Generate(workload.Set2(c.N, d, c.Seeds[0]))
+	if err != nil {
+		return nil, nil, err
+	}
+	names := []string{"MCT", "HMCT", "MP", "MSF", "MNI", "MET", "OLB", "KPB", "SA"}
+	var reports []metrics.Report
+	runs := make(map[string][]metrics.TaskResult, len(names))
+	for _, name := range names {
+		s, err := sched.ByName(name)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := grid.Run(grid.Config{
+			Servers:    servers,
+			Scheduler:  s,
+			Seed:       c.Seeds[0],
+			NoiseSigma: c.NoiseSigma,
+		}, mt)
+		if err != nil {
+			return nil, nil, fmt.Errorf("experiments: baselines %s: %w", name, err)
+		}
+		reports = append(reports, res.Report())
+		runs[name] = res.Tasks
+	}
+	sooner := make(map[string]int, len(names))
+	for _, name := range names {
+		if name == "MCT" {
+			continue
+		}
+		n, err := metrics.FinishSooner(runs[name], runs["MCT"])
+		if err != nil {
+			return nil, nil, err
+		}
+		sooner[name] = n
+	}
+	return reports, sooner, nil
+}
+
+// FormatBaselines renders a BaselinesComparison.
+func FormatBaselines(reports []metrics.Report, sooner map[string]int) string {
+	var sb strings.Builder
+	sb.WriteString("extended heuristic comparison (set 2)\n")
+	sb.WriteString("heuristic   done  makespan   sumflow   maxflow  maxstretch  sooner-than-MCT\n")
+	for _, r := range reports {
+		s := "-"
+		if v, ok := sooner[r.Heuristic]; ok {
+			s = fmt.Sprintf("%d", v)
+		}
+		fmt.Fprintf(&sb, "%-11s %4d %9.0f %9.0f %9.0f %11.2f %16s\n",
+			r.Heuristic, r.Completed, r.Makespan, r.SumFlow, r.MaxFlow, r.MaxStretch, s)
+	}
+	return sb.String()
+}

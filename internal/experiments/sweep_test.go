@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRateSweep(t *testing.T) {
+	c := smallCampaign()
+	c.N = 80
+	res, err := c.RateSweep(2, []float64{30, 20}, []string{"MCT", "MSF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("points = %d, want 4", len(res.Points))
+	}
+	if res.Rates[0] != 20 || res.Rates[1] != 30 {
+		t.Errorf("rates not sorted: %v", res.Rates)
+	}
+	// Higher rate (smaller D) means more contention: sum-flow at D=20
+	// must exceed sum-flow at D=30 for each heuristic.
+	for _, h := range []string{"MCT", "MSF"} {
+		hi, ok1 := res.Point(20, h)
+		lo, ok2 := res.Point(30, h)
+		if !ok1 || !ok2 {
+			t.Fatalf("missing points for %s", h)
+		}
+		if hi.Report.SumFlow <= lo.Report.SumFlow {
+			t.Errorf("%s: sumflow at D=20 (%.0f) not above D=30 (%.0f)",
+				h, hi.Report.SumFlow, lo.Report.SumFlow)
+		}
+	}
+	if _, ok := res.Point(99, "MCT"); ok {
+		t.Error("phantom point found")
+	}
+}
+
+func TestRateSweepValidation(t *testing.T) {
+	c := smallCampaign()
+	if _, err := c.RateSweep(3, []float64{20}, []string{"MCT"}); err == nil {
+		t.Error("unknown set accepted")
+	}
+	if _, err := c.RateSweep(2, nil, []string{"MCT"}); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if _, err := c.RateSweep(2, []float64{20}, nil); err == nil {
+		t.Error("empty heuristics accepted")
+	}
+	c.Seeds = nil
+	if _, err := c.RateSweep(2, []float64{20}, []string{"MCT"}); err == nil {
+		t.Error("empty seeds accepted")
+	}
+	bad := smallCampaign()
+	if _, err := bad.RateSweep(2, []float64{20}, []string{"nosuch"}); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+func TestFormatSweep(t *testing.T) {
+	c := smallCampaign()
+	c.N = 60
+	res, err := c.RateSweep(2, []float64{25}, []string{"MCT", "MSF"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, metric := range []string{"sumflow", "maxflow", "maxstretch", "makespan", "completed"} {
+		out := FormatSweep(res, metric)
+		if !strings.Contains(out, metric) || !strings.Contains(out, "MSF") {
+			t.Errorf("sweep format for %s incomplete:\n%s", metric, out)
+		}
+	}
+	if !strings.Contains(FormatSweep(res, "nosuch"), "?") {
+		t.Error("unknown metric must render placeholders")
+	}
+}
+
+func TestBaselinesComparison(t *testing.T) {
+	c := smallCampaign()
+	c.N = 100
+	reports, sooner, err := c.BaselinesComparison(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != 9 {
+		t.Fatalf("reports = %d, want 9", len(reports))
+	}
+	byName := map[string]int{}
+	for i, r := range reports {
+		byName[r.Heuristic] = i
+		if r.Completed == 0 {
+			t.Errorf("%s completed nothing", r.Heuristic)
+		}
+	}
+	// MET must be the degenerate extreme: it piles everything on the
+	// fastest server, so its sum-flow exceeds MSF's.
+	if reports[byName["MET"]].SumFlow <= reports[byName["MSF"]].SumFlow {
+		t.Errorf("MET sumflow %.0f not worse than MSF %.0f",
+			reports[byName["MET"]].SumFlow, reports[byName["MSF"]].SumFlow)
+	}
+	if _, ok := sooner["MCT"]; ok {
+		t.Error("MCT compared against itself")
+	}
+	if len(sooner) != 8 {
+		t.Errorf("sooner entries = %d, want 8", len(sooner))
+	}
+	out := FormatBaselines(reports, sooner)
+	for _, want := range []string{"KPB", "OLB", "SA", "sooner-than-MCT"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("baselines format missing %q", want)
+		}
+	}
+}
+
+func TestBaselinesValidation(t *testing.T) {
+	c := smallCampaign()
+	c.Seeds = nil
+	if _, _, err := c.BaselinesComparison(20); err == nil {
+		t.Error("empty seeds accepted")
+	}
+}

@@ -1,0 +1,58 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/task"
+)
+
+// loadedSim builds a server with n staggered three-phase jobs.
+func loadedSim(n int) *Sim {
+	s := New(Config{Name: "bench"})
+	for i := 0; i < n; i++ {
+		_ = s.Add(i, float64(i)*2, task.Cost{Input: 1, Compute: 40, Output: 1}, 0)
+	}
+	return s
+}
+
+func BenchmarkRunToIdle50(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := loadedSim(50)
+		s.RunToIdle(math.Inf(1))
+	}
+}
+
+func BenchmarkClone50(b *testing.B) {
+	s := loadedSim(50)
+	s.AdvanceTo(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Clone()
+	}
+}
+
+func BenchmarkProjectedCompletions50(b *testing.B) {
+	s := loadedSim(50)
+	s.AdvanceTo(25)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.ProjectedCompletions()
+	}
+}
+
+func BenchmarkAdvanceStep(b *testing.B) {
+	s := loadedSim(100)
+	b.ResetTimer()
+	t := 0.0
+	for i := 0; i < b.N; i++ {
+		t += 0.5
+		s.AdvanceTo(t)
+		if s.ActiveCount() == 0 {
+			b.StopTimer()
+			s = loadedSim(100)
+			t = 0
+			b.StartTimer()
+		}
+	}
+}

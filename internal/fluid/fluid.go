@@ -1,0 +1,643 @@
+// Package fluid implements the shared-resource execution model of the
+// paper (§2.3): on one server, every resident task progresses through
+// three serial phases — input transfer, computation, output transfer —
+// and concurrent tasks in the same phase share the corresponding
+// resource equally (n simultaneous computations each receive 1/n of the
+// CPU; simultaneous transfers share the link likewise).
+//
+// The simulation is a fluid / discrete-event hybrid: between two events
+// (a phase completion, a job release, a collapse) every progress rate is
+// constant, so the simulator advances in closed form from event to
+// event. This is exactly the discrete simulation the paper's Historical
+// Trace Manager performs, and it is also the execution substrate of the
+// grid simulator — the two differ only in the costs they are fed
+// (nominal vs. noise-perturbed) and in whether memory is modelled.
+//
+// The memory model reproduces §5.1: each job holds its footprint from
+// activation until output completion; when the total demand exceeds the
+// server's RAM the CPU thrashes (rates multiplied by RAM/demand); when
+// it exceeds RAM+swap the server collapses and every resident job is
+// lost.
+package fluid
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"casched/internal/task"
+)
+
+// timeEps is the tolerance used when comparing simulation times.
+const timeEps = 1e-9
+
+// State enumerates the lifecycle of a job inside a server simulation.
+type State int
+
+const (
+	// StateWaiting means the job's release date is in the future.
+	StateWaiting State = iota
+	// StateInput means the job is receiving its input data.
+	StateInput
+	// StateCompute means the job is computing.
+	StateCompute
+	// StateOutput means the job is sending its output data.
+	StateOutput
+	// StateDone means the job completed successfully.
+	StateDone
+	// StateFailed means the job was lost in a server collapse.
+	StateFailed
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case StateWaiting:
+		return "waiting"
+	case StateInput:
+		return "input"
+	case StateCompute:
+		return "compute"
+	case StateOutput:
+		return "output"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// EventKind distinguishes the observable transitions a simulation emits.
+type EventKind int
+
+const (
+	// EventPhaseStart marks a job entering a phase.
+	EventPhaseStart EventKind = iota
+	// EventPhaseEnd marks a job finishing a phase.
+	EventPhaseEnd
+	// EventDone marks a job finishing its last phase.
+	EventDone
+	// EventFailed marks a job lost to a server collapse.
+	EventFailed
+	// EventCollapse marks the server itself collapsing.
+	EventCollapse
+)
+
+// String returns the event kind name.
+func (k EventKind) String() string {
+	switch k {
+	case EventPhaseStart:
+		return "phase-start"
+	case EventPhaseEnd:
+		return "phase-end"
+	case EventDone:
+		return "done"
+	case EventFailed:
+		return "failed"
+	case EventCollapse:
+		return "collapse"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one observable transition, reported by AdvanceTo in
+// chronological order.
+type Event struct {
+	Kind  EventKind
+	JobID int        // -1 for EventCollapse
+	Phase task.Phase // meaningful for phase events
+	Time  float64
+}
+
+// Config parameterizes a server simulation.
+type Config struct {
+	// Name labels the server in errors and Gantt output.
+	Name string
+	// RAMMB is the main memory in megabytes. Zero or negative means
+	// memory is not modelled (infinite): this is how the paper's HTM
+	// operates ("the allocation model does not take the memory
+	// requirements into consideration").
+	RAMMB float64
+	// SwapMB is the swap space in megabytes, used only when RAMMB > 0.
+	SwapMB float64
+	// Thrash enables a CPU slowdown when demand exceeds RAM but stays
+	// under RAM+swap.
+	Thrash bool
+	// ThrashAlpha tunes the slowdown: the CPU rate is multiplied by
+	// 1/(1+alpha*(demand-RAM)/RAM). Alpha=1 is the harsh linear model
+	// (factor RAM/demand); the default 0.5 models a compute-bound
+	// workload with good locality whose working set only partially
+	// touches swap. Zero selects the default.
+	ThrashAlpha float64
+}
+
+// Job is the externally visible record of one task inside a simulation.
+type Job struct {
+	ID       int
+	Release  float64 // date the job was placed on the server
+	Cost     task.Cost
+	MemoryMB float64
+
+	State     State
+	Remaining [task.NumPhases]float64 // work left per phase, seconds of unloaded resource
+	Start     [task.NumPhases]float64 // phase start dates (NaN until started)
+	End       [task.NumPhases]float64 // phase end dates (NaN until ended)
+}
+
+// Completion returns the job's completion date (end of output phase)
+// and whether it has completed.
+func (j *Job) Completion() (float64, bool) {
+	if j.State != StateDone {
+		return 0, false
+	}
+	return j.End[task.PhaseOutput], true
+}
+
+// Sim is the fluid simulation of one time-shared server. The zero value
+// is not usable; construct with New. Sim is not safe for concurrent use.
+type Sim struct {
+	cfg  Config
+	now  float64
+	jobs []*Job
+	byID map[int]*Job
+
+	collapsed    bool
+	collapseTime float64
+
+	// busy accumulates the seconds during which each resource (input
+	// link, CPU, output link) had at least one active job — the
+	// utilization accounting behind the load-balance analysis.
+	busy [task.NumPhases]float64
+}
+
+// New constructs a server simulation starting at time 0.
+func New(cfg Config) *Sim {
+	return &Sim{cfg: cfg, byID: make(map[int]*Job)}
+}
+
+// Name returns the configured server name.
+func (s *Sim) Name() string { return s.cfg.Name }
+
+// Now returns the current simulation time.
+func (s *Sim) Now() float64 { return s.now }
+
+// Collapsed reports whether the server has collapsed, and when.
+func (s *Sim) Collapsed() (bool, float64) { return s.collapsed, s.collapseTime }
+
+// Jobs returns the jobs in release order. The returned slice is shared;
+// callers must not modify it.
+func (s *Sim) Jobs() []*Job { return s.jobs }
+
+// Job returns the job with the given id, or nil.
+func (s *Sim) Job(id int) *Job { return s.byID[id] }
+
+// Add places a new job on the server. The release date must not precede
+// the current simulation time, the id must be unused, and the server
+// must not have collapsed.
+func (s *Sim) Add(id int, release float64, cost task.Cost, memoryMB float64) error {
+	if s.collapsed {
+		return fmt.Errorf("fluid: server %s: add job %d: server collapsed at %.3f",
+			s.cfg.Name, id, s.collapseTime)
+	}
+	if release < s.now-timeEps {
+		return fmt.Errorf("fluid: server %s: add job %d: release %.6f precedes now %.6f",
+			s.cfg.Name, id, release, s.now)
+	}
+	if _, dup := s.byID[id]; dup {
+		return fmt.Errorf("fluid: server %s: duplicate job id %d", s.cfg.Name, id)
+	}
+	if release < s.now {
+		release = s.now
+	}
+	j := &Job{ID: id, Release: release, Cost: cost, MemoryMB: memoryMB, State: StateWaiting}
+	j.Remaining[task.PhaseInput] = cost.Input
+	j.Remaining[task.PhaseCompute] = cost.Compute
+	j.Remaining[task.PhaseOutput] = cost.Output
+	for p := task.Phase(0); p < task.NumPhases; p++ {
+		j.Start[p] = math.NaN()
+		j.End[p] = math.NaN()
+	}
+	s.jobs = append(s.jobs, j)
+	s.byID[id] = j
+	return nil
+}
+
+// counts returns the number of jobs currently in each of the three
+// active phases.
+func (s *Sim) counts() (in, comp, out int) {
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateInput:
+			in++
+		case StateCompute:
+			comp++
+		case StateOutput:
+			out++
+		}
+	}
+	return
+}
+
+// MemoryDemand returns the total resident footprint of active jobs.
+func (s *Sim) MemoryDemand() float64 {
+	d := 0.0
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateInput, StateCompute, StateOutput:
+			d += j.MemoryMB
+		}
+	}
+	return d
+}
+
+// LoadAvg returns the number of jobs currently computing — the analogue
+// of the Unix run-queue length the paper's monitors report.
+func (s *Sim) LoadAvg() float64 {
+	_, comp, _ := s.counts()
+	return float64(comp)
+}
+
+// ActiveCount returns the number of jobs that are active or waiting.
+func (s *Sim) ActiveCount() int {
+	n := 0
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateWaiting, StateInput, StateCompute, StateOutput:
+			n++
+		}
+	}
+	return n
+}
+
+// thrashFactor returns the CPU rate multiplier from memory pressure.
+func (s *Sim) thrashFactor() float64 {
+	if s.cfg.RAMMB <= 0 || !s.cfg.Thrash {
+		return 1
+	}
+	d := s.MemoryDemand()
+	if d <= s.cfg.RAMMB {
+		return 1
+	}
+	alpha := s.cfg.ThrashAlpha
+	if alpha == 0 {
+		alpha = 0.5
+	}
+	over := (d - s.cfg.RAMMB) / s.cfg.RAMMB
+	return 1 / (1 + alpha*over)
+}
+
+// rate returns the progress rate of job j in its current phase.
+func (s *Sim) rate(j *Job, in, comp, out int) float64 {
+	switch j.State {
+	case StateInput:
+		return 1 / float64(in)
+	case StateCompute:
+		return s.thrashFactor() / float64(comp)
+	case StateOutput:
+		return 1 / float64(out)
+	}
+	return 0
+}
+
+// NextEventTime returns the earliest time at which the simulation state
+// changes (a release or a phase completion), or ok=false if the server
+// is idle (or collapsed).
+func (s *Sim) NextEventTime() (float64, bool) {
+	if s.collapsed {
+		return 0, false
+	}
+	next := math.Inf(1)
+	in, comp, out := s.counts()
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateWaiting:
+			if j.Release < next {
+				next = j.Release
+			}
+		case StateInput, StateCompute, StateOutput:
+			r := s.rate(j, in, comp, out)
+			if r <= 0 {
+				continue
+			}
+			t := s.now + j.Remaining[phaseOf(j.State)]/r
+			if t < next {
+				next = t
+			}
+		}
+	}
+	if math.IsInf(next, 1) {
+		return 0, false
+	}
+	return next, true
+}
+
+// phaseOf maps an active state to its phase index.
+func phaseOf(st State) task.Phase {
+	switch st {
+	case StateInput:
+		return task.PhaseInput
+	case StateCompute:
+		return task.PhaseCompute
+	case StateOutput:
+		return task.PhaseOutput
+	}
+	panic("fluid: phaseOf on inactive state")
+}
+
+// AdvanceTo advances the simulation to time t, which must not precede
+// the current time, and returns the events that occurred in (now, t],
+// in chronological order.
+func (s *Sim) AdvanceTo(t float64) []Event {
+	if t < s.now-timeEps {
+		panic(fmt.Sprintf("fluid: server %s: AdvanceTo(%.6f) precedes now %.6f", s.cfg.Name, t, s.now))
+	}
+	var events []Event
+	for !s.collapsed {
+		next, ok := s.NextEventTime()
+		if !ok || next > t+timeEps {
+			break
+		}
+		if next < s.now {
+			next = s.now
+		}
+		s.progress(next)
+		events = s.transition(next, events)
+	}
+	if !s.collapsed && t > s.now {
+		s.progress(t)
+	}
+	if t > s.now {
+		s.now = t
+	}
+	return events
+}
+
+// progress consumes work between s.now and t at current constant rates.
+func (s *Sim) progress(t float64) {
+	dt := t - s.now
+	if dt <= 0 {
+		s.now = math.Max(s.now, t)
+		return
+	}
+	in, comp, out := s.counts()
+	if in > 0 {
+		s.busy[task.PhaseInput] += dt
+	}
+	if comp > 0 {
+		s.busy[task.PhaseCompute] += dt
+	}
+	if out > 0 {
+		s.busy[task.PhaseOutput] += dt
+	}
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateInput, StateCompute, StateOutput:
+			p := phaseOf(j.State)
+			j.Remaining[p] -= dt * s.rate(j, in, comp, out)
+			if j.Remaining[p] < 0 {
+				j.Remaining[p] = 0
+			}
+		}
+	}
+	s.now = t
+}
+
+// transition applies all zero-time state changes at the current instant:
+// releases, phase completions (possibly chained through zero-cost
+// phases), memory acquisition and collapse. It appends emitted events.
+func (s *Sim) transition(t float64, events []Event) []Event {
+	for changed := true; changed && !s.collapsed; {
+		changed = false
+		for _, j := range s.jobs {
+			switch j.State {
+			case StateWaiting:
+				if j.Release <= t+timeEps {
+					j.State = StateInput
+					j.Start[task.PhaseInput] = t
+					events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseInput, Time: t})
+					changed = true
+					// Memory is acquired at activation: input data
+					// streams into server memory.
+					if ev, collapsed := s.checkCollapse(t); collapsed {
+						return append(events, ev...)
+					}
+				}
+			case StateInput, StateCompute, StateOutput:
+				p := phaseOf(j.State)
+				if j.Remaining[p] <= timeEps {
+					j.Remaining[p] = 0
+					j.End[p] = t
+					events = append(events, Event{Kind: EventPhaseEnd, JobID: j.ID, Phase: p, Time: t})
+					switch p {
+					case task.PhaseInput:
+						j.State = StateCompute
+						j.Start[task.PhaseCompute] = t
+						events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseCompute, Time: t})
+					case task.PhaseCompute:
+						j.State = StateOutput
+						j.Start[task.PhaseOutput] = t
+						events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseOutput, Time: t})
+					case task.PhaseOutput:
+						j.State = StateDone
+						events = append(events, Event{Kind: EventDone, JobID: j.ID, Phase: task.PhaseOutput, Time: t})
+					}
+					changed = true
+				}
+			}
+		}
+	}
+	return events
+}
+
+// checkCollapse verifies the memory capacity after an acquisition. On
+// collapse it fails every resident job and returns the emitted events.
+func (s *Sim) checkCollapse(t float64) ([]Event, bool) {
+	if s.cfg.RAMMB <= 0 {
+		return nil, false
+	}
+	if s.MemoryDemand() <= s.cfg.RAMMB+s.cfg.SwapMB {
+		return nil, false
+	}
+	s.collapsed = true
+	s.collapseTime = t
+	events := []Event{{Kind: EventCollapse, JobID: -1, Time: t}}
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateWaiting, StateInput, StateCompute, StateOutput:
+			j.State = StateFailed
+			events = append(events, Event{Kind: EventFailed, JobID: j.ID, Time: t})
+		}
+	}
+	return events, true
+}
+
+// RunToIdle advances the simulation until no job is active or waiting,
+// or until the time limit (use math.Inf(1) for none). It returns the
+// events emitted. RunToIdle is how the HTM projects the completion date
+// of every resident task.
+func (s *Sim) RunToIdle(limit float64) []Event {
+	var events []Event
+	for s.ActiveCount() > 0 && !s.collapsed {
+		next, ok := s.NextEventTime()
+		if !ok {
+			break
+		}
+		if next > limit {
+			s.AdvanceTo(limit)
+			break
+		}
+		events = append(events, s.AdvanceTo(next)...)
+	}
+	return events
+}
+
+// Clone returns a deep copy of the simulation, sharing nothing with the
+// receiver. Cloning is how candidate placements are evaluated without
+// disturbing the live trace.
+func (s *Sim) Clone() *Sim {
+	c := &Sim{
+		cfg:          s.cfg,
+		now:          s.now,
+		collapsed:    s.collapsed,
+		collapseTime: s.collapseTime,
+		busy:         s.busy,
+		jobs:         make([]*Job, len(s.jobs)),
+		byID:         make(map[int]*Job, len(s.byID)),
+	}
+	for i, j := range s.jobs {
+		cp := *j
+		c.jobs[i] = &cp
+		c.byID[j.ID] = &cp
+	}
+	return c
+}
+
+// Completions returns the completion date of every finished job, keyed
+// by job id.
+func (s *Sim) Completions() map[int]float64 {
+	out := make(map[int]float64)
+	for _, j := range s.jobs {
+		if c, ok := j.Completion(); ok {
+			out[j.ID] = c
+		}
+	}
+	return out
+}
+
+// ProjectedCompletions clones the simulation, runs the clone to idle
+// and returns every job's (projected or actual) completion date. Jobs
+// lost to a collapse in the projection are absent from the result.
+func (s *Sim) ProjectedCompletions() map[int]float64 {
+	c := s.Clone()
+	c.RunToIdle(math.Inf(1))
+	return c.Completions()
+}
+
+// Remove deletes a completed or failed job record from the simulation.
+// Removing active jobs is an error: the fluid model has no preemption.
+func (s *Sim) Remove(id int) error {
+	j, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("fluid: server %s: remove: unknown job %d", s.cfg.Name, id)
+	}
+	if j.State != StateDone && j.State != StateFailed {
+		return fmt.Errorf("fluid: server %s: remove: job %d is %s", s.cfg.Name, id, j.State)
+	}
+	delete(s.byID, id)
+	for i, jj := range s.jobs {
+		if jj.ID == id {
+			s.jobs = append(s.jobs[:i], s.jobs[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// BusyTime returns the cumulative seconds during which the given
+// resource (phase) had at least one active job.
+func (s *Sim) BusyTime(p task.Phase) float64 {
+	if p < 0 || p >= task.NumPhases {
+		return 0
+	}
+	return s.busy[p]
+}
+
+// Utilization returns the CPU busy fraction since time zero (0 when no
+// time has elapsed).
+func (s *Sim) Utilization() float64 {
+	if s.now <= 0 {
+		return 0
+	}
+	return s.busy[task.PhaseCompute] / s.now
+}
+
+// Kill collapses the server at time t regardless of memory state — the
+// failure-injection hook. All resident jobs are lost; the emitted
+// events mirror a memory collapse. Killing a collapsed server is a
+// no-op.
+func (s *Sim) Kill(t float64) []Event {
+	if s.collapsed {
+		return nil
+	}
+	events := s.AdvanceTo(t)
+	if s.collapsed {
+		return events
+	}
+	s.collapsed = true
+	s.collapseTime = t
+	events = append(events, Event{Kind: EventCollapse, JobID: -1, Time: t})
+	for _, j := range s.jobs {
+		switch j.State {
+		case StateWaiting, StateInput, StateCompute, StateOutput:
+			j.State = StateFailed
+			events = append(events, Event{Kind: EventFailed, JobID: j.ID, Time: t})
+		}
+	}
+	return events
+}
+
+// ForceComplete advances the simulation to time t and marks the job as
+// finished at that instant, regardless of remaining work. This is the
+// hook for the HTM↔execution synchronization extension (paper §7): when
+// the agent learns a task's true completion date, the trace can be
+// re-anchored so that later predictions start from reality rather than
+// from the open-loop projection. Completing an already-done job is a
+// no-op.
+func (s *Sim) ForceComplete(id int, t float64) error {
+	j, ok := s.byID[id]
+	if !ok {
+		return fmt.Errorf("fluid: server %s: force-complete: unknown job %d", s.cfg.Name, id)
+	}
+	s.AdvanceTo(t)
+	switch j.State {
+	case StateDone:
+		return nil
+	case StateFailed:
+		return fmt.Errorf("fluid: server %s: force-complete: job %d failed", s.cfg.Name, id)
+	}
+	for p := task.Phase(0); p < task.NumPhases; p++ {
+		j.Remaining[p] = 0
+		if math.IsNaN(j.Start[p]) {
+			j.Start[p] = t
+		}
+		if math.IsNaN(j.End[p]) {
+			j.End[p] = t
+		}
+	}
+	j.State = StateDone
+	return nil
+}
+
+// SortedIDs returns the ids of all jobs in ascending order; useful for
+// deterministic iteration in reports and tests.
+func (s *Sim) SortedIDs() []int {
+	ids := make([]int, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		ids = append(ids, j.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}

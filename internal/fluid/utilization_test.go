@@ -1,0 +1,140 @@
+package fluid
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/task"
+)
+
+func TestBusyTimeAccounting(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	if err := s.Add(0, 0, task.Cost{Input: 5, Compute: 20, Output: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunToIdle(math.Inf(1))
+	if got := s.BusyTime(task.PhaseInput); math.Abs(got-5) > 1e-6 {
+		t.Errorf("input busy = %v, want 5", got)
+	}
+	if got := s.BusyTime(task.PhaseCompute); math.Abs(got-20) > 1e-6 {
+		t.Errorf("CPU busy = %v, want 20", got)
+	}
+	if got := s.BusyTime(task.PhaseOutput); math.Abs(got-5) > 1e-6 {
+		t.Errorf("output busy = %v, want 5", got)
+	}
+	// Advance past idle: busy time must not grow.
+	s.AdvanceTo(100)
+	if got := s.BusyTime(task.PhaseCompute); math.Abs(got-20) > 1e-6 {
+		t.Errorf("CPU busy after idle = %v, want 20", got)
+	}
+	if got := s.Utilization(); math.Abs(got-0.2) > 1e-6 {
+		t.Errorf("utilization = %v, want 0.2", got)
+	}
+	if s.BusyTime(task.Phase(99)) != 0 {
+		t.Error("out-of-range phase must report 0")
+	}
+}
+
+// TestBusyTimeSharedIsWallTime: two concurrent jobs keep the CPU busy
+// for the total work duration (work conservation), not 2x.
+func TestBusyTimeSharedIsWallTime(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	for id := 0; id < 2; id++ {
+		if err := s.Add(id, 0, task.Cost{Compute: 50}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.RunToIdle(math.Inf(1))
+	if got := s.BusyTime(task.PhaseCompute); math.Abs(got-100) > 1e-6 {
+		t.Errorf("shared busy = %v, want 100", got)
+	}
+}
+
+func TestUtilizationZeroTime(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	if s.Utilization() != 0 {
+		t.Error("utilization at t=0 must be 0")
+	}
+}
+
+func TestKill(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	if err := s.Add(0, 0, task.Cost{Compute: 100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(1, 0, task.Cost{Compute: 100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	events := s.Kill(30)
+	collapsed, at := s.Collapsed()
+	if !collapsed || math.Abs(at-30) > 1e-9 {
+		t.Fatalf("kill did not collapse: %v %v", collapsed, at)
+	}
+	var fails, collapses int
+	for _, e := range events {
+		switch e.Kind {
+		case EventFailed:
+			fails++
+		case EventCollapse:
+			collapses++
+		}
+	}
+	if fails != 2 || collapses != 1 {
+		t.Errorf("kill events: %d failed, %d collapse", fails, collapses)
+	}
+	// Idempotent.
+	if again := s.Kill(40); again != nil {
+		t.Error("double kill emitted events")
+	}
+	// Work done before the kill is preserved in the accounting.
+	if got := s.BusyTime(task.PhaseCompute); math.Abs(got-30) > 1e-6 {
+		t.Errorf("busy before kill = %v, want 30", got)
+	}
+}
+
+func TestKillCompletedJobsUntouched(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	if err := s.Add(0, 0, task.Cost{Compute: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.RunToIdle(math.Inf(1))
+	s.Kill(20)
+	if s.Job(0).State != StateDone {
+		t.Error("kill corrupted a completed job")
+	}
+}
+
+func TestForceComplete(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	if err := s.Add(0, 0, task.Cost{Input: 5, Compute: 100, Output: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ForceComplete(0, 40); err != nil {
+		t.Fatal(err)
+	}
+	c, ok := s.Job(0).Completion()
+	if !ok || math.Abs(c-40) > 1e-9 {
+		t.Errorf("forced completion = %v,%v, want 40", c, ok)
+	}
+	// Completing again is a no-op.
+	if err := s.ForceComplete(0, 50); err != nil {
+		t.Errorf("double force-complete: %v", err)
+	}
+	if c, _ := s.Job(0).Completion(); math.Abs(c-40) > 1e-9 {
+		t.Error("double force-complete moved the completion date")
+	}
+	if err := s.ForceComplete(99, 1); err == nil {
+		t.Error("unknown job accepted")
+	}
+}
+
+func TestForceCompleteFailedJob(t *testing.T) {
+	s := New(Config{Name: "srv"})
+	if err := s.Add(0, 0, task.Cost{Compute: 100}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Kill(10)
+	if err := s.ForceComplete(0, 20); err == nil {
+		t.Error("force-complete of failed job accepted")
+	}
+}

@@ -1,0 +1,237 @@
+// Package gantt renders the per-server Gantt charts the paper's
+// Historical Trace Manager builds (Figure 1): for every job placed on a
+// server, the chart shows its input-transfer, compute and output
+// phases over time, and the CPU share evolution implied by processor
+// sharing.
+package gantt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"casched/internal/fluid"
+	"casched/internal/task"
+)
+
+// Segment is one phase interval of one job.
+type Segment struct {
+	JobID int
+	Phase task.Phase
+	Start float64
+	End   float64
+}
+
+// ShareInterval is a time interval during which the number of
+// concurrently computing jobs — hence each job's CPU share — is
+// constant.
+type ShareInterval struct {
+	Start, End float64
+	// Computing is the number of jobs in the compute phase.
+	Computing int
+}
+
+// Share returns the per-job CPU fraction of the interval (1 when no
+// job computes, matching the "100%" label of an idle/solo CPU in
+// Figure 1).
+func (si ShareInterval) Share() float64 {
+	if si.Computing <= 1 {
+		return 1
+	}
+	return 1 / float64(si.Computing)
+}
+
+// Chart is an extracted per-server schedule ready for rendering.
+type Chart struct {
+	Server   string
+	Segments []Segment
+	Shares   []ShareInterval
+	Horizon  float64
+}
+
+// Extract projects the simulation to idle (on a clone, leaving the
+// input untouched) and returns the resulting chart. Jobs that never
+// complete (collapse) contribute the segments they did execute.
+func Extract(sim *fluid.Sim) *Chart {
+	c := sim.Clone()
+	c.RunToIdle(math.Inf(1))
+	chart := &Chart{Server: c.Name()}
+
+	for _, id := range c.SortedIDs() {
+		j := c.Job(id)
+		for p := task.Phase(0); p < task.NumPhases; p++ {
+			if math.IsNaN(j.Start[p]) || math.IsNaN(j.End[p]) {
+				continue
+			}
+			if j.End[p] <= j.Start[p] {
+				continue // zero-length phase: not drawable
+			}
+			chart.Segments = append(chart.Segments, Segment{
+				JobID: id, Phase: p, Start: j.Start[p], End: j.End[p],
+			})
+			if j.End[p] > chart.Horizon {
+				chart.Horizon = j.End[p]
+			}
+		}
+	}
+	chart.Shares = shareIntervals(chart.Segments, chart.Horizon)
+	return chart
+}
+
+// shareIntervals derives the piecewise-constant compute-share timeline.
+func shareIntervals(segs []Segment, horizon float64) []ShareInterval {
+	cuts := map[float64]bool{0: true, horizon: true}
+	for _, s := range segs {
+		if s.Phase == task.PhaseCompute {
+			cuts[s.Start] = true
+			cuts[s.End] = true
+		}
+	}
+	times := make([]float64, 0, len(cuts))
+	for t := range cuts {
+		times = append(times, t)
+	}
+	sort.Float64s(times)
+
+	var out []ShareInterval
+	for i := 0; i+1 < len(times); i++ {
+		lo, hi := times[i], times[i+1]
+		if hi-lo < 1e-12 {
+			continue
+		}
+		mid := (lo + hi) / 2
+		n := 0
+		for _, s := range segs {
+			if s.Phase == task.PhaseCompute && s.Start <= mid && mid < s.End {
+				n++
+			}
+		}
+		out = append(out, ShareInterval{Start: lo, End: hi, Computing: n})
+	}
+	return out
+}
+
+// phaseRune maps phases to their chart glyphs.
+func phaseRune(p task.Phase) byte {
+	switch p {
+	case task.PhaseInput:
+		return 'i'
+	case task.PhaseCompute:
+		return 'C'
+	case task.PhaseOutput:
+		return 'o'
+	}
+	return '?'
+}
+
+// Render draws the chart as fixed-width ASCII art, width columns wide
+// (minimum 10). Each job gets one row; a share row summarizes the CPU
+// split, echoing the percentage annotations of Figure 1.
+func (c *Chart) Render(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	if c.Horizon <= 0 || len(c.Segments) == 0 {
+		return fmt.Sprintf("server %s: empty schedule\n", c.Server)
+	}
+	scale := c.Horizon / float64(width)
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "server %s  horizon=%.1fs  (1 col = %.2fs; i=input C=compute o=output)\n",
+		c.Server, c.Horizon, scale)
+
+	ids := make([]int, 0)
+	seen := map[int]bool{}
+	for _, s := range c.Segments {
+		if !seen[s.JobID] {
+			seen[s.JobID] = true
+			ids = append(ids, s.JobID)
+		}
+	}
+	sort.Ints(ids)
+
+	col := func(t float64) int {
+		k := int(t / scale)
+		if k >= width {
+			k = width - 1
+		}
+		if k < 0 {
+			k = 0
+		}
+		return k
+	}
+
+	for _, id := range ids {
+		row := bytes(width, '.')
+		for _, s := range c.Segments {
+			if s.JobID != id {
+				continue
+			}
+			lo, hi := col(s.Start), col(s.End)
+			for k := lo; k <= hi && k < width; k++ {
+				row[k] = phaseRune(s.Phase)
+			}
+		}
+		fmt.Fprintf(&sb, "task %-4d |%s|\n", id, string(row))
+	}
+
+	// Share row: number of computing tasks per column.
+	row := bytes(width, ' ')
+	for _, si := range c.Shares {
+		ch := byte('0' + si.Computing%10)
+		if si.Computing == 0 {
+			ch = '.'
+		}
+		lo, hi := col(si.Start), col(si.End)
+		for k := lo; k <= hi && k < width; k++ {
+			row[k] = ch
+		}
+	}
+	fmt.Fprintf(&sb, "#compute  |%s|\n", string(row))
+
+	// Percentage annotation, as in Figure 1 (100 %, 50 %, 33.3 %...).
+	var parts []string
+	for _, si := range c.Shares {
+		parts = append(parts, fmt.Sprintf("[%.0f-%.0fs: %d tasks @ %.1f%%]",
+			si.Start, si.End, si.Computing, 100*si.Share()))
+	}
+	sb.WriteString("CPU shares: " + strings.Join(parts, " ") + "\n")
+	return sb.String()
+}
+
+// bytes returns a width-byte slice filled with fill.
+func bytes(width int, fill byte) []byte {
+	b := make([]byte, width)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+// ExtractServers extracts one chart per server simulation, sorted by
+// server name — the whole-platform view of the HTM's traces.
+func ExtractServers(sims map[string]*fluid.Sim) []*Chart {
+	names := make([]string, 0, len(sims))
+	for n := range sims {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	charts := make([]*Chart, 0, len(names))
+	for _, n := range names {
+		charts = append(charts, Extract(sims[n]))
+	}
+	return charts
+}
+
+// RenderAll renders several charts one below the other.
+func RenderAll(charts []*Chart, width int) string {
+	var sb strings.Builder
+	for i, c := range charts {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(c.Render(width))
+	}
+	return sb.String()
+}

@@ -1,0 +1,159 @@
+package gantt
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"casched/internal/fluid"
+	"casched/internal/task"
+)
+
+// figure1Sim builds the Figure 1 scenario: tasks 1 and 2 computing,
+// then task 3 arrives.
+func figure1Sim(t *testing.T, withTask3 bool) *fluid.Sim {
+	t.Helper()
+	s := fluid.New(fluid.Config{Name: "srv"})
+	if err := s.Add(1, 0, task.Cost{Input: 10, Compute: 100, Output: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(2, 20, task.Cost{Input: 10, Compute: 150, Output: 5}, 0); err != nil {
+		t.Fatal(err)
+	}
+	s.AdvanceTo(80)
+	if withTask3 {
+		if err := s.Add(3, 80, task.Cost{Input: 10, Compute: 60, Output: 5}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+func TestExtractSegments(t *testing.T) {
+	chart := Extract(figure1Sim(t, false))
+	if chart.Server != "srv" {
+		t.Errorf("server = %q", chart.Server)
+	}
+	var phases []task.Phase
+	for _, seg := range chart.Segments {
+		if seg.JobID == 1 {
+			phases = append(phases, seg.Phase)
+		}
+		if seg.End <= seg.Start {
+			t.Errorf("degenerate segment %+v", seg)
+		}
+	}
+	if len(phases) != 3 {
+		t.Fatalf("task 1 has %d segments, want 3", len(phases))
+	}
+	if chart.Horizon <= 0 {
+		t.Error("horizon not set")
+	}
+}
+
+func TestExtractDoesNotMutate(t *testing.T) {
+	s := figure1Sim(t, false)
+	nowBefore := s.Now()
+	active := s.ActiveCount()
+	Extract(s)
+	if s.Now() != nowBefore || s.ActiveCount() != active {
+		t.Error("Extract mutated the simulation")
+	}
+}
+
+// TestSharesReflectInsertion mirrors Figure 1: adding task 3 changes
+// the CPU split from 50%/50% to 33.3% each during the overlap.
+func TestSharesReflectInsertion(t *testing.T) {
+	before := Extract(figure1Sim(t, false))
+	after := Extract(figure1Sim(t, true))
+
+	maxBefore, maxAfter := 0, 0
+	for _, si := range before.Shares {
+		if si.Computing > maxBefore {
+			maxBefore = si.Computing
+		}
+	}
+	for _, si := range after.Shares {
+		if si.Computing > maxAfter {
+			maxAfter = si.Computing
+		}
+	}
+	if maxBefore != 2 {
+		t.Errorf("max concurrency before = %d, want 2", maxBefore)
+	}
+	if maxAfter != 3 {
+		t.Errorf("max concurrency after = %d, want 3", maxAfter)
+	}
+	// The three-way share interval must report 33.3%.
+	found := false
+	for _, si := range after.Shares {
+		if si.Computing == 3 && math.Abs(si.Share()-1.0/3) < 1e-12 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no 33.3% share interval found after inserting task 3")
+	}
+	// Completion of old tasks must be later with task 3 present.
+	if after.Horizon <= before.Horizon {
+		t.Errorf("horizon before=%v after=%v: insertion must extend the chart",
+			before.Horizon, after.Horizon)
+	}
+}
+
+func TestShareIntervalShare(t *testing.T) {
+	if (ShareInterval{Computing: 0}).Share() != 1 {
+		t.Error("idle share must be 1")
+	}
+	if (ShareInterval{Computing: 4}).Share() != 0.25 {
+		t.Error("4-way share must be 0.25")
+	}
+}
+
+func TestRenderContainsRows(t *testing.T) {
+	out := Extract(figure1Sim(t, true)).Render(60)
+	for _, want := range []string{"server srv", "task 1", "task 2", "task 3", "#compute", "CPU shares:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "C") || !strings.Contains(out, "i") {
+		t.Error("render missing phase glyphs")
+	}
+	if !strings.Contains(out, "33.3%") {
+		t.Errorf("render missing 33.3%% annotation:\n%s", out)
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	s := fluid.New(fluid.Config{Name: "idle"})
+	out := Extract(s).Render(40)
+	if !strings.Contains(out, "empty schedule") {
+		t.Errorf("empty render = %q", out)
+	}
+}
+
+func TestRenderMinWidth(t *testing.T) {
+	out := Extract(figure1Sim(t, false)).Render(1)
+	if len(out) == 0 {
+		t.Error("render with tiny width produced nothing")
+	}
+}
+
+func TestExtractServersSorted(t *testing.T) {
+	sims := map[string]*fluid.Sim{
+		"zeta":  fluid.New(fluid.Config{Name: "zeta"}),
+		"alpha": fluid.New(fluid.Config{Name: "alpha"}),
+	}
+	if err := sims["alpha"].Add(0, 0, task.Cost{Compute: 10}, 0); err != nil {
+		t.Fatal(err)
+	}
+	charts := ExtractServers(sims)
+	if len(charts) != 2 || charts[0].Server != "alpha" || charts[1].Server != "zeta" {
+		t.Errorf("charts order wrong: %v, %v", charts[0].Server, charts[1].Server)
+	}
+	out := RenderAll(charts, 40)
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "zeta") {
+		t.Errorf("RenderAll missing servers:\n%s", out)
+	}
+}

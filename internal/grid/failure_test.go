@@ -1,0 +1,152 @@
+package grid
+
+import (
+	"testing"
+
+	"casched/internal/sched"
+	"casched/internal/workload"
+)
+
+// TestInjectedFailureWithoutFT: killing a server mid-run loses its
+// resident tasks when fault tolerance is off.
+func TestInjectedFailureWithoutFT(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(60, 15, 4))
+	res, err := Run(Config{
+		Servers:   set2Servers(t),
+		Scheduler: sched.NewHMCT(),
+		Seed:      1,
+		Failures:  []ServerFailure{{Server: "spinnaker", At: 300}},
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Collapses) != 1 || res.Collapses[0].Server != "spinnaker" {
+		t.Fatalf("collapses = %+v", res.Collapses)
+	}
+	if res.Collapses[0].Time != 300 {
+		t.Errorf("collapse time = %v, want 300", res.Collapses[0].Time)
+	}
+	rep := res.Report()
+	if rep.Completed == 60 {
+		t.Error("no tasks lost despite server failure")
+	}
+	// All surviving tasks must have run somewhere.
+	for _, r := range res.Tasks {
+		if r.Completed && r.Server == "" {
+			t.Errorf("task %d completed without a server", r.ID)
+		}
+	}
+}
+
+// TestInjectedFailureWithFT: with fault tolerance, lost tasks are
+// resubmitted to the surviving servers and complete.
+func TestInjectedFailureWithFT(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(60, 15, 4))
+	res, err := Run(Config{
+		Servers:        set2Servers(t),
+		Scheduler:      sched.NewHMCT(),
+		Seed:           1,
+		FaultTolerance: true,
+		Failures:       []ServerFailure{{Server: "spinnaker", At: 300}},
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Completed != 60 {
+		t.Errorf("completed %d/60 despite fault tolerance", rep.Completed)
+	}
+	if rep.Resubmissions == 0 {
+		t.Error("no resubmissions recorded")
+	}
+	// Nothing may run on the dead server after the failure.
+	for _, r := range res.Tasks {
+		if r.Completed && r.Server == "spinnaker" && r.Completion > 300 {
+			t.Errorf("task %d completed on dead server at %.1f", r.ID, r.Completion)
+		}
+	}
+}
+
+// TestAllServersFail: when every server dies, remaining tasks are
+// reported as failed rather than hanging the simulation.
+func TestAllServersFail(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(40, 10, 4))
+	var failures []ServerFailure
+	for _, s := range set2Servers(t) {
+		failures = append(failures, ServerFailure{Server: s.Name, At: 100})
+	}
+	res, err := Run(Config{
+		Servers:        set2Servers(t),
+		Scheduler:      sched.NewMCT(),
+		Seed:           1,
+		FaultTolerance: true,
+		Failures:       failures,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := res.Report()
+	if rep.Completed+len(res.FailedTasks) != 40 {
+		t.Errorf("completed %d + failed %d != 40", rep.Completed, len(res.FailedTasks))
+	}
+	if len(res.FailedTasks) == 0 {
+		t.Error("no failed tasks despite total outage")
+	}
+}
+
+func TestFailureOnUnknownServerIgnored(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(10, 20, 4))
+	res, err := Run(Config{
+		Servers:   set2Servers(t),
+		Scheduler: sched.NewMCT(),
+		Seed:      1,
+		Failures:  []ServerFailure{{Server: "ghost", At: 50}},
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report().Completed != 10 {
+		t.Error("unknown-server failure disturbed the run")
+	}
+}
+
+func TestServerStats(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(80, 15, 4))
+	res, err := Run(Config{
+		Servers:   set2Servers(t),
+		Scheduler: sched.NewMSF(),
+		Seed:      1,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.ServerStats) != 4 {
+		t.Fatalf("server stats for %d servers", len(res.ServerStats))
+	}
+	totalCompleted := 0
+	anyBusy := false
+	for name, st := range res.ServerStats {
+		totalCompleted += st.Completed
+		if st.BusyCPU > 0 {
+			anyBusy = true
+		}
+		if st.Utilization < 0 || st.Utilization > 1+1e-9 {
+			t.Errorf("%s utilization out of range: %v", name, st.Utilization)
+		}
+		if st.Completed > 0 && st.PeakMemoryTasks == 0 {
+			t.Errorf("%s completed tasks but has zero peak residency", name)
+		}
+	}
+	if totalCompleted != 80 {
+		t.Errorf("per-server completions sum to %d, want 80", totalCompleted)
+	}
+	if !anyBusy {
+		t.Error("no server reported busy time")
+	}
+	// The fast servers (spinnaker, artimon) must carry most of the load
+	// under MSF on this testbed.
+	fast := res.ServerStats["spinnaker"].Completed + res.ServerStats["artimon"].Completed
+	if fast < 40 {
+		t.Errorf("fast servers completed only %d/80", fast)
+	}
+}

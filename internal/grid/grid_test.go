@@ -1,0 +1,333 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/metrics"
+	"casched/internal/platform"
+	"casched/internal/sched"
+	"casched/internal/task"
+	"casched/internal/trace"
+	"casched/internal/workload"
+)
+
+// set1Servers returns the first-set testbed.
+func set1Servers(t *testing.T) []ServerConfig {
+	t.Helper()
+	scs, err := ServersFor(platform.Set1Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+func set2Servers(t *testing.T) []ServerConfig {
+	t.Helper()
+	scs, err := ServersFor(platform.Set2Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scs
+}
+
+func runSmall(t *testing.T, s sched.Scheduler, n int, d float64, set2 bool) *Result {
+	t.Helper()
+	var servers []ServerConfig
+	var sc workload.Scenario
+	if set2 {
+		servers = set2Servers(t)
+		sc = workload.Set2(n, d, 42)
+	} else {
+		servers = set1Servers(t)
+		sc = workload.Set1(n, d, 42)
+	}
+	mt := workload.MustGenerate(sc)
+	res, err := Run(Config{
+		Servers:    servers,
+		Scheduler:  s,
+		Seed:       1,
+		NoiseSigma: 0.03,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRunCompletesAllTasksNoMemory(t *testing.T) {
+	for _, s := range sched.All() {
+		res := runSmall(t, s, 60, 35, true)
+		rep := res.Report()
+		if rep.Completed != 60 {
+			t.Errorf("%s completed %d/60", s.Name(), rep.Completed)
+		}
+		if rep.Makespan <= 0 || rep.SumFlow <= 0 {
+			t.Errorf("%s degenerate metrics: %+v", s.Name(), rep)
+		}
+		for _, r := range res.Tasks {
+			if !r.Completed {
+				continue
+			}
+			if r.Completion < r.Arrival {
+				t.Errorf("%s task %d completes before arrival", s.Name(), r.ID)
+			}
+			if r.Server == "" {
+				t.Errorf("%s task %d has no server", s.Name(), r.ID)
+			}
+			// A task can never beat its unloaded duration by more than
+			// the noise margin.
+			if r.Flow() < r.UnloadedDuration*0.9-1e-6 {
+				t.Errorf("%s task %d flow %.2f below unloaded %.2f",
+					s.Name(), r.ID, r.Flow(), r.UnloadedDuration)
+			}
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a := runSmall(t, sched.NewMSF(), 40, 20, true)
+	b := runSmall(t, sched.NewMSF(), 40, 20, true)
+	for i := range a.Tasks {
+		if a.Tasks[i].Completion != b.Tasks[i].Completion ||
+			a.Tasks[i].Server != b.Tasks[i].Server {
+			t.Fatalf("run not deterministic at task %d", i)
+		}
+	}
+}
+
+func TestHTMPredictionsRecorded(t *testing.T) {
+	res := runSmall(t, sched.NewHMCT(), 30, 35, true)
+	if len(res.Predicted) == 0 {
+		t.Fatal("no HTM predictions recorded")
+	}
+	// With 3% noise, predictions must track actual completions within
+	// a loose bound for the bulk of tasks (Table 1 regime: a few %).
+	var errs []float64
+	for _, r := range res.Tasks {
+		p, ok := res.Predicted[r.ID]
+		if !ok || !r.Completed {
+			continue
+		}
+		errs = append(errs, 100*math.Abs(r.Completion-p)/math.Max(r.Completion, 1))
+	}
+	if len(errs) < 20 {
+		t.Fatalf("too few comparable predictions: %d", len(errs))
+	}
+	mean := 0.0
+	for _, e := range errs {
+		mean += e
+	}
+	mean /= float64(len(errs))
+	if mean > 15 {
+		t.Errorf("mean prediction error %.1f%% too large", mean)
+	}
+}
+
+func TestMCTHasNoPredictions(t *testing.T) {
+	res := runSmall(t, sched.NewMCT(), 20, 35, true)
+	if res.Predicted != nil {
+		t.Error("MCT run should not carry HTM predictions")
+	}
+}
+
+func TestZeroNoiseMatchesHTMExactly(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(30, 25, 9))
+	res, err := Run(Config{
+		Servers:   set2Servers(t),
+		Scheduler: sched.NewMSF(),
+		Seed:      3,
+	}, mt) // NoiseSigma 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Tasks {
+		p, ok := res.FinalPredicted[r.ID]
+		if !ok {
+			t.Fatalf("no final prediction for task %d", r.ID)
+		}
+		// The end-of-run simulated date accounts for all later
+		// arrivals; with zero noise it must match execution exactly.
+		if math.Abs(p-r.Completion) > 1e-6 {
+			t.Errorf("task %d: simulated %.6f actual %.6f", r.ID, p, r.Completion)
+		}
+		// The placement-time prediction, by contrast, cannot exceed the
+		// actual completion by much but may undershoot (later arrivals
+		// delay the task).
+		if ap, ok := res.Predicted[r.ID]; ok && ap > r.Completion+1e-6 {
+			t.Errorf("task %d: placement prediction %.6f after actual %.6f",
+				r.ID, ap, r.Completion)
+		}
+	}
+}
+
+// TestMemoryCollapseAndFaultTolerance drives the set-1 D=20 phenomenon:
+// HMCT overloads the fast servers until one collapses; without fault
+// tolerance tasks are lost, with it they are resubmitted.
+func TestMemoryCollapseAndFaultTolerance(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set1(500, 20, 5))
+
+	bare, err := Run(Config{
+		Servers:     set1Servers(t),
+		Scheduler:   sched.NewHMCT(),
+		Seed:        1,
+		NoiseSigma:  0.03,
+		MemoryModel: true,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bare.Collapses) == 0 {
+		t.Fatal("expected at least one collapse under HMCT at high rate")
+	}
+	rep := bare.Report()
+	if rep.Completed == 500 {
+		t.Error("bare HMCT should lose tasks to collapse")
+	}
+	if len(bare.FailedTasks)+rep.Completed != 500 {
+		t.Error("failed + completed must equal submitted")
+	}
+
+	ft, err := Run(Config{
+		Servers:        set1Servers(t),
+		Scheduler:      sched.NewMCT(),
+		Seed:           1,
+		NoiseSigma:     0.03,
+		MemoryModel:    true,
+		FaultTolerance: true,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ftRep := ft.Report()
+	if ftRep.Completed <= rep.Completed {
+		t.Errorf("fault-tolerant MCT completed %d, bare HMCT %d: expected recovery",
+			ftRep.Completed, rep.Completed)
+	}
+	if ftRep.Resubmissions == 0 && len(ft.Collapses) > 0 {
+		t.Error("collapses occurred but nothing was resubmitted")
+	}
+}
+
+// TestMPAvoidsCollapse: MP spreads load, so at the same rate the
+// servers survive and every task completes (the paper's Table 6 MP/MSF
+// column).
+func TestMPAvoidsCollapse(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set1(500, 20, 5))
+	for _, s := range []sched.Scheduler{sched.NewMP(), sched.NewMSF()} {
+		res, err := Run(Config{
+			Servers:     set1Servers(t),
+			Scheduler:   s,
+			Seed:        1,
+			NoiseSigma:  0.03,
+			MemoryModel: true,
+		}, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := res.Report().Completed; got != 500 {
+			t.Errorf("%s completed %d/500 (collapses: %v)", s.Name(), got, res.Collapses)
+		}
+	}
+}
+
+func TestTraceLogPopulated(t *testing.T) {
+	var log trace.Log
+	mt := workload.MustGenerate(workload.Set2(20, 30, 2))
+	if _, err := Run(Config{
+		Servers:   set2Servers(t),
+		Scheduler: sched.NewHMCT(),
+		Seed:      1,
+		Log:       &log,
+	}, mt); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Filter("arrival")); n != 20 {
+		t.Errorf("arrival records = %d, want 20", n)
+	}
+	if n := len(log.Filter("schedule")); n != 20 {
+		t.Errorf("schedule records = %d, want 20", n)
+	}
+	if n := len(log.Filter("done")); n != 20 {
+		t.Errorf("done records = %d, want 20", n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(5, 30, 2))
+	if _, err := Run(Config{Scheduler: sched.NewMCT()}, mt); err == nil {
+		t.Error("no servers accepted")
+	}
+	if _, err := Run(Config{Servers: []ServerConfig{{Name: "a"}}}, mt); err == nil {
+		t.Error("no scheduler accepted")
+	}
+	dup := Config{
+		Servers:   []ServerConfig{{Name: "a"}, {Name: "a"}},
+		Scheduler: sched.NewMCT(),
+	}
+	if _, err := Run(dup, mt); err == nil {
+		t.Error("duplicate servers accepted")
+	}
+	bad := &task.Metatask{Name: "bad", Tasks: []*task.Task{{ID: 5}}}
+	if _, err := Run(Config{
+		Servers:   []ServerConfig{{Name: "a"}},
+		Scheduler: sched.NewMCT(),
+	}, bad); err == nil {
+		t.Error("invalid metatask accepted")
+	}
+}
+
+func TestServersForUnknown(t *testing.T) {
+	if _, err := ServersFor([]string{"nosuch"}); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	scs, err := ServersFor(platform.Set1Servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scs {
+		if sc.RAMMB <= 0 || sc.SwapMB <= 0 {
+			t.Errorf("server %s missing memory capacities: %+v", sc.Name, sc)
+		}
+	}
+}
+
+// TestHTMSyncOption exercises the synchronization ablation end to end.
+func TestHTMSyncOption(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(40, 20, 8))
+	open, err := Run(Config{
+		Servers: set2Servers(t), Scheduler: sched.NewMSF(), Seed: 2, NoiseSigma: 0.05,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	synced, err := Run(Config{
+		Servers: set2Servers(t), Scheduler: sched.NewMSF(), Seed: 2, NoiseSigma: 0.05,
+		HTMSync: true,
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if open.Report().Completed != 40 || synced.Report().Completed != 40 {
+		t.Fatal("both variants must complete everything")
+	}
+}
+
+// TestMSFBeatsMCTOnSumFlow asserts the paper's headline result on a
+// moderate simulated workload: MSF's sum-flow is no worse than MCT's.
+func TestMSFBeatsMCTOnSumFlow(t *testing.T) {
+	mct := runSmall(t, sched.NewMCT(), 120, 20, true)
+	msf := runSmall(t, sched.NewMSF(), 120, 20, true)
+	sfMCT := mct.Report().SumFlow
+	sfMSF := msf.Report().SumFlow
+	if sfMSF > sfMCT*1.02 {
+		t.Errorf("MSF sum-flow %.0f exceeds MCT %.0f", sfMSF, sfMCT)
+	}
+	sooner, err := metrics.FinishSooner(msf.Tasks, mct.Tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sooner < 60 {
+		t.Errorf("only %d/120 MSF tasks finish sooner than MCT", sooner)
+	}
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/sched"
+	"casched/internal/workload"
+)
+
+func TestLoadBeliefEstimate(t *testing.T) {
+	b := loadBelief{lastReported: 2, assignedSince: 3, completedSince: 1}
+	if got := b.estimate(); got != 4 {
+		t.Errorf("estimate = %v, want 4 (2+3-1)", got)
+	}
+	// The estimate never goes negative even if completions outrun the
+	// stale report.
+	b = loadBelief{lastReported: 0, completedSince: 5}
+	if got := b.estimate(); got != 0 {
+		t.Errorf("estimate = %v, want clamped 0", got)
+	}
+}
+
+// TestMonitorEWMALags verifies the load-average smoothing recursion:
+// right after a burst lands, the reported value undershoots the
+// instantaneous count, converging over repeated reports.
+func TestMonitorEWMALags(t *testing.T) {
+	// After one period with instantaneous load L starting from 0, the
+	// report is L(1-exp(-period/tau)).
+	decay := math.Exp(-30.0 / 60.0)
+	b := &loadBelief{}
+	inst := 10.0
+	b.ewma = b.ewma*decay + inst*(1-decay)
+	want := 10 * (1 - decay) // ≈3.93
+	if math.Abs(b.ewma-want) > 1e-9 {
+		t.Errorf("ewma after one report = %v, want %v", b.ewma, want)
+	}
+	// It converges to the plateau over repeated reports.
+	for i := 0; i < 20; i++ {
+		b.ewma = b.ewma*decay + inst*(1-decay)
+	}
+	if math.Abs(b.ewma-10) > 0.01 {
+		t.Errorf("ewma did not converge: %v", b.ewma)
+	}
+}
+
+// TestMonitorTauDisabled: negative tau reports the instantaneous load.
+func TestMonitorTauDisabled(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(40, 15, 6))
+	res, err := Run(Config{
+		Servers:    set2Servers(t),
+		Scheduler:  sched.NewMCT(),
+		Seed:       6,
+		MonitorTau: -1, // exact instantaneous reports
+	}, mt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report().Completed != 40 {
+		t.Errorf("completed %d/40 with exact monitors", res.Report().Completed)
+	}
+}
+
+// TestBetterInfoHelpsMCT: MCT with instant, exact reports (tau<0,
+// short period) must not do worse on sum-flow than MCT with very stale
+// reports, on the same workload.
+func TestBetterInfoHelpsMCT(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(200, 18, 6))
+	run := func(period, tau float64) float64 {
+		res, err := Run(Config{
+			Servers:       set2Servers(t),
+			Scheduler:     sched.NewMCT(),
+			Seed:          6,
+			NoiseSigma:    0.03,
+			MonitorPeriod: period,
+			MonitorTau:    tau,
+		}, mt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Report().SumFlow
+	}
+	fresh := run(5, -1)
+	stale := run(120, 600)
+	if fresh > stale*1.1 {
+		t.Errorf("fresh-info MCT sumflow %.0f much worse than stale-info %.0f", fresh, stale)
+	}
+}
+
+// TestDeterminismAcrossAllHeuristics: identical configs yield
+// bit-identical results for every heuristic.
+func TestDeterminismAcrossAllHeuristics(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(50, 20, 12))
+	for _, name := range sched.Names() {
+		var completions [2][]float64
+		for round := 0; round < 2; round++ {
+			s, err := sched.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(Config{
+				Servers: set2Servers(t), Scheduler: s, Seed: 12, NoiseSigma: 0.03,
+			}, mt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range res.Tasks {
+				completions[round] = append(completions[round], r.Completion)
+			}
+		}
+		for i := range completions[0] {
+			if completions[0][i] != completions[1][i] {
+				t.Fatalf("%s not deterministic at task %d", name, i)
+			}
+		}
+	}
+}

@@ -1,0 +1,295 @@
+// Package htm implements the Historical Trace Manager of the paper
+// (§2.3): the agent-side component that "stores and keeps track of
+// information about each task", simulates the execution of every placed
+// task on every server under the shared-resource model, and predicts
+// the completion date of a candidate placement together with the
+// perturbation it inflicts on already-mapped tasks.
+//
+// Terminology follows §2.4:
+//
+//	ρ_j   — simulated finishing date of task j before the new arrival
+//	ρ'_j  — its finishing date after simulating the new task's placement
+//	π_j   — the perturbation ρ'_j − ρ_j
+//
+// The HTM of the paper deliberately ignores memory requirements (that
+// is listed as future work §7); construct the Manager with
+// WithMemoryModel to enable the extension.
+package htm
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"casched/internal/fluid"
+	"casched/internal/platform"
+	"casched/internal/task"
+)
+
+// interferenceEps is the completion-delay threshold above which a task
+// is counted as "interfered with" (used by the MNI heuristic).
+const interferenceEps = 1e-6
+
+// Option configures a Manager.
+type Option func(*Manager)
+
+// WithMemoryModel makes the HTM's internal simulations account for
+// server memory (thrashing and collapse), using the Table 2 capacities.
+// This is the paper's §7 "incorporate memory requirements into the
+// model" extension; the paper's own HTM runs without it.
+func WithMemoryModel() Option {
+	return func(m *Manager) { m.memoryModel = true }
+}
+
+// WithSync makes the Manager re-anchor its traces on actual completion
+// notifications (NotifyCompletion), the paper's §7 "improve the
+// synchronization between the HTM and the execution" extension.
+func WithSync() Option {
+	return func(m *Manager) { m.sync = true }
+}
+
+// Prediction is the HTM's answer for one candidate placement.
+type Prediction struct {
+	// Server is the candidate server.
+	Server string
+	// Completion is ρ'_{n+1}: the predicted completion date of the new
+	// task if placed on Server.
+	Completion float64
+	// Flow is Completion minus the task's arrival date.
+	Flow float64
+	// Perturbation is Σ_j π_j over the tasks already placed on Server.
+	Perturbation float64
+	// Interfered is the number of already-placed tasks whose predicted
+	// completion is delayed by more than a tolerance (for MNI).
+	Interfered int
+	// PerTask maps placed job ids to their individual perturbation π_j.
+	PerTask map[int]float64
+}
+
+// SumFlowObjective is the quantity the MSF heuristic minimizes:
+// the new task's flow plus the total perturbation (§4.3).
+func (p Prediction) SumFlowObjective() float64 { return p.Flow + p.Perturbation }
+
+// placement records where a job was placed.
+type placement struct {
+	server  string
+	arrival float64
+}
+
+// Manager is the Historical Trace Manager. It is not safe for
+// concurrent use; the agent owns it.
+type Manager struct {
+	sims        map[string]*fluid.Sim
+	order       []string
+	placements  map[int]placement
+	memoryModel bool
+	sync        bool
+	now         float64
+}
+
+// New constructs a Manager tracking the given servers. Unknown server
+// names are allowed (capacities then default to unlimited memory) so
+// that synthetic testbeds can be simulated; names present in
+// platform.Testbed pick up their Table 2 memory capacities when the
+// memory model is enabled.
+func New(servers []string, opts ...Option) *Manager {
+	m := &Manager{
+		sims:       make(map[string]*fluid.Sim, len(servers)),
+		placements: make(map[int]placement),
+	}
+	for _, o := range opts {
+		o(m)
+	}
+	for _, name := range servers {
+		cfg := fluid.Config{Name: name}
+		if m.memoryModel {
+			if mach, err := platform.Get(name); err == nil {
+				cfg.RAMMB = mach.MemoryMB
+				cfg.SwapMB = mach.SwapMB
+				cfg.Thrash = true
+			}
+		}
+		m.sims[name] = fluid.New(cfg)
+		m.order = append(m.order, name)
+	}
+	sort.Strings(m.order)
+	return m
+}
+
+// Servers returns the tracked server names in sorted order.
+func (m *Manager) Servers() []string { return m.order }
+
+// Now returns the trace time.
+func (m *Manager) Now() float64 { return m.now }
+
+// AdvanceTo moves every server trace forward to time t.
+func (m *Manager) AdvanceTo(t float64) {
+	if t < m.now {
+		return
+	}
+	for _, name := range m.order {
+		m.sims[name].AdvanceTo(t)
+	}
+	m.now = t
+}
+
+// Evaluate simulates placing job id (a new task with the given spec and
+// arrival date) on the candidate server and reports the prediction. The
+// live trace is not modified. Evaluate advances the trace to the
+// arrival date first, as the paper's HTM does on each request.
+func (m *Manager) Evaluate(id int, spec *task.Spec, arrival float64, server string) (Prediction, error) {
+	sim, ok := m.sims[server]
+	if !ok {
+		return Prediction{}, fmt.Errorf("htm: unknown server %q", server)
+	}
+	cost, ok := spec.Cost(server)
+	if !ok {
+		return Prediction{}, fmt.Errorf("htm: server %q cannot solve %s", server, spec.Name())
+	}
+	m.AdvanceTo(arrival)
+
+	before := sim.ProjectedCompletions()
+
+	clone := sim.Clone()
+	if err := clone.Add(id, arrival, cost, spec.MemoryMB); err != nil {
+		return Prediction{}, fmt.Errorf("htm: evaluate on %q: %w", server, err)
+	}
+	clone.RunToIdle(math.Inf(1))
+	after := clone.Completions()
+
+	newC, ok := after[id]
+	if !ok {
+		// The candidate placement collapses the server in the
+		// projection (memory-model extension): report an infinite
+		// completion so heuristics avoid it.
+		newC = math.Inf(1)
+	}
+	p := Prediction{
+		Server:     server,
+		Completion: newC,
+		Flow:       newC - arrival,
+		PerTask:    make(map[int]float64, len(before)),
+	}
+	for jid, b := range before {
+		if jid == id {
+			continue
+		}
+		a, ok := after[jid]
+		if !ok {
+			// Lost in a projected collapse: treat as unbounded delay.
+			p.Perturbation = math.Inf(1)
+			p.Interfered++
+			p.PerTask[jid] = math.Inf(1)
+			continue
+		}
+		pi := a - b
+		p.PerTask[jid] = pi
+		p.Perturbation += pi
+		if pi > interferenceEps {
+			p.Interfered++
+		}
+	}
+	return p, nil
+}
+
+// EvaluateAll evaluates every candidate server and returns the
+// predictions sorted by server name. Servers that cannot solve the
+// task are skipped.
+func (m *Manager) EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) []Prediction {
+	preds := make([]Prediction, 0, len(candidates))
+	for _, s := range candidates {
+		p, err := m.Evaluate(id, spec, arrival, s)
+		if err != nil {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i].Server < preds[j].Server })
+	return preds
+}
+
+// Place commits job id to the chosen server's live trace. This is the
+// "Tell the HTM that task is allocated to server" step of Figures 2-4.
+func (m *Manager) Place(id int, spec *task.Spec, arrival float64, server string) error {
+	sim, ok := m.sims[server]
+	if !ok {
+		return fmt.Errorf("htm: unknown server %q", server)
+	}
+	cost, ok := spec.Cost(server)
+	if !ok {
+		return fmt.Errorf("htm: server %q cannot solve %s", server, spec.Name())
+	}
+	if prev, dup := m.placements[id]; dup {
+		return fmt.Errorf("htm: job %d already placed on %q", id, prev.server)
+	}
+	m.AdvanceTo(arrival)
+	if err := sim.Add(id, arrival, cost, spec.MemoryMB); err != nil {
+		return fmt.Errorf("htm: place on %q: %w", server, err)
+	}
+	m.placements[id] = placement{server: server, arrival: arrival}
+	return nil
+}
+
+// PlacedOn returns the server a job was committed to.
+func (m *Manager) PlacedOn(id int) (string, bool) {
+	p, ok := m.placements[id]
+	return p.server, ok
+}
+
+// PredictedCompletion returns the trace's current projection of a
+// placed job's completion date. Jobs on dropped (collapsed) servers
+// have no projection.
+func (m *Manager) PredictedCompletion(id int) (float64, bool) {
+	p, ok := m.placements[id]
+	if !ok {
+		return 0, false
+	}
+	sim, ok := m.sims[p.server]
+	if !ok {
+		return 0, false
+	}
+	c, ok := sim.ProjectedCompletions()[id]
+	return c, ok
+}
+
+// NotifyCompletion informs the Manager that a placed job actually
+// completed at time t. When the synchronization extension is enabled
+// the trace is re-anchored (the job is force-completed at t); otherwise
+// the notification is ignored, matching the paper's open-loop HTM.
+func (m *Manager) NotifyCompletion(id int, t float64) error {
+	if !m.sync {
+		return nil
+	}
+	p, ok := m.placements[id]
+	if !ok {
+		return fmt.Errorf("htm: notify completion: unknown job %d", id)
+	}
+	sim, ok := m.sims[p.server]
+	if !ok {
+		return nil // server dropped after a collapse; nothing to anchor
+	}
+	return sim.ForceComplete(id, t)
+}
+
+// DropServer removes a server from the candidate set (used when the
+// execution layer reports a collapse). Placed jobs on that server keep
+// their records but the trace is no longer consulted.
+func (m *Manager) DropServer(name string) {
+	if _, ok := m.sims[name]; !ok {
+		return
+	}
+	delete(m.sims, name)
+	for i, n := range m.order {
+		if n == name {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Sim exposes the live trace of one server (read-only use expected);
+// the Gantt renderer consumes this.
+func (m *Manager) Sim(server string) (*fluid.Sim, bool) {
+	s, ok := m.sims[server]
+	return s, ok
+}

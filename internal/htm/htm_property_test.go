@@ -1,0 +1,151 @@
+package htm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// randomSpec builds a spec with pseudo-random costs on both servers.
+func randomSpec(rng *stats.RNG) *task.Spec {
+	cost := func() task.Cost {
+		return task.Cost{
+			Input:   float64(rng.Intn(10)),
+			Compute: float64(rng.Intn(200) + 1),
+			Output:  float64(rng.Intn(5)),
+		}
+	}
+	return &task.Spec{Problem: "p", Variant: 1, CostOn: map[string]task.Cost{
+		"s1": cost(),
+		"s2": cost(),
+	}}
+}
+
+// TestPropertyEvaluateMatchesPlace: the completion Evaluate predicts
+// for a candidate equals the projection obtained after actually
+// committing the placement — evaluation is a faithful dry run.
+func TestPropertyEvaluateMatchesPlace(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		n := int(nRaw%8) + 1
+		build := func() *Manager {
+			m := New([]string{"s1", "s2"})
+			r := stats.NewRNG(seed) // same stream for both builds
+			for i := 0; i < n; i++ {
+				srv := []string{"s1", "s2"}[r.Intn(2)]
+				if err := m.Place(i, randomSpec(r), float64(i)*3, srv); err != nil {
+					return nil
+				}
+			}
+			return m
+		}
+		m1 := build()
+		m2 := build()
+		if m1 == nil || m2 == nil {
+			return false
+		}
+		spec := randomSpec(rng)
+		arrival := float64(n) * 3
+		pred, err := m1.Evaluate(1000, spec, arrival, "s1")
+		if err != nil {
+			return false
+		}
+		if err := m2.Place(1000, spec, arrival, "s1"); err != nil {
+			return false
+		}
+		actual, ok := m2.PredictedCompletion(1000)
+		if !ok {
+			return false
+		}
+		return math.Abs(pred.Completion-actual) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyEvaluateDeterministic: evaluating the same candidate
+// twice yields identical predictions (no hidden trace mutation).
+func TestPropertyEvaluateDeterministic(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := New([]string{"s1", "s2"})
+		for i := 0; i < 5; i++ {
+			srv := []string{"s1", "s2"}[rng.Intn(2)]
+			if err := m.Place(i, randomSpec(rng), float64(i)*2, srv); err != nil {
+				return false
+			}
+		}
+		spec := randomSpec(rng)
+		a, err1 := m.Evaluate(99, spec, 10, "s2")
+		b, err2 := m.Evaluate(99, spec, 10, "s2")
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Completion == b.Completion && a.Perturbation == b.Perturbation &&
+			a.Interfered == b.Interfered
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyCompletionAfterArrival: predicted completions never
+// precede the task's arrival plus its minimum possible duration on an
+// unloaded server.
+func TestPropertyCompletionAfterArrival(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := New([]string{"s1", "s2"})
+		for i := 0; i < 6; i++ {
+			srv := []string{"s1", "s2"}[rng.Intn(2)]
+			if err := m.Place(i, randomSpec(rng), float64(i), srv); err != nil {
+				return false
+			}
+		}
+		spec := randomSpec(rng)
+		arrival := 6.0
+		for _, srv := range []string{"s1", "s2"} {
+			p, err := m.Evaluate(50, spec, arrival, srv)
+			if err != nil {
+				return false
+			}
+			cost, _ := spec.Cost(srv)
+			if p.Completion < arrival+cost.Total()-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySumFlowDecomposition: the MSF objective equals flow plus
+// perturbation by construction, and both are finite on healthy traces.
+func TestPropertySumFlowDecomposition(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := stats.NewRNG(seed)
+		m := New([]string{"s1", "s2"})
+		for i := 0; i < 4; i++ {
+			if err := m.Place(i, randomSpec(rng), float64(i), "s1"); err != nil {
+				return false
+			}
+		}
+		p, err := m.Evaluate(50, randomSpec(rng), 5, "s1")
+		if err != nil {
+			return false
+		}
+		if math.IsInf(p.Perturbation, 0) || math.IsNaN(p.Perturbation) {
+			return false
+		}
+		return math.Abs(p.SumFlowObjective()-(p.Flow+p.Perturbation)) < 1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,239 @@
+package htm
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/task"
+)
+
+// twoServerUsefulnessExample sets up §2.3's scenario: two identical
+// servers; at t=0 task 1 (100s) goes to s1 and task 2 (200s) to s2.
+func twoServerUsefulnessExample(t *testing.T) *Manager {
+	t.Helper()
+	m := New([]string{"s1", "s2"})
+	spec1 := &task.Spec{Problem: "p", Variant: 100,
+		CostOn: map[string]task.Cost{"s1": {Compute: 100}, "s2": {Compute: 100}}}
+	spec2 := &task.Spec{Problem: "p", Variant: 200,
+		CostOn: map[string]task.Cost{"s1": {Compute: 200}, "s2": {Compute: 200}}}
+	if err := m.Place(1, spec1, 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(2, spec2, 0, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestUsefulnessExample reproduces §2.3 "Usefulness of the HTM": at
+// t=80 a 100s task arrives. The HTM knows T1 has 20s left on s1 and T2
+// has 120s left on s2, so placing on s1 yields the shorter completion.
+func TestUsefulnessExample(t *testing.T) {
+	m := twoServerUsefulnessExample(t)
+	spec3 := &task.Spec{Problem: "p", Variant: 100,
+		CostOn: map[string]task.Cost{"s1": {Compute: 100}, "s2": {Compute: 100}}}
+
+	p1, err := m.Evaluate(3, spec3, 80, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := m.Evaluate(3, spec3, 80, "s2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// On s1: share with T1 (20 left): T1 ends at 80+40=120, task3 does
+	// 20 by then, 80 left alone -> 200.
+	if math.Abs(p1.Completion-200) > 1e-6 {
+		t.Errorf("s1 completion = %v, want 200", p1.Completion)
+	}
+	// On s2: share with T2 (120 left): task3 does 100 of work; shared
+	// until one ends: task3 ends first at 80+200=280? task3 needs 100
+	// at rate 1/2 until it finishes at 80+200=280; T2 (120) would end
+	// at 80+240. So task3 completes at 280.
+	if math.Abs(p2.Completion-280) > 1e-6 {
+		t.Errorf("s2 completion = %v, want 280", p2.Completion)
+	}
+	if !(p1.Completion < p2.Completion) {
+		t.Error("HTM should prefer s1")
+	}
+	// Perturbations: on s1, T1 delayed 100->120 (+20). On s2, T2
+	// delayed 200->280? T2 has 120 left at 80; shared till task3 done
+	// at 280 (T2 did 100, 20 left) -> ends 300, i.e. +100.
+	if math.Abs(p1.Perturbation-20) > 1e-6 {
+		t.Errorf("s1 perturbation = %v, want 20", p1.Perturbation)
+	}
+	if math.Abs(p2.Perturbation-100) > 1e-6 {
+		t.Errorf("s2 perturbation = %v, want 100", p2.Perturbation)
+	}
+	if p1.Interfered != 1 || p2.Interfered != 1 {
+		t.Errorf("interference counts = %d,%d, want 1,1", p1.Interfered, p2.Interfered)
+	}
+}
+
+func TestEvaluateDoesNotMutateTrace(t *testing.T) {
+	m := twoServerUsefulnessExample(t)
+	spec := &task.Spec{Problem: "p", Variant: 1,
+		CostOn: map[string]task.Cost{"s1": {Compute: 50}}}
+	before, _ := m.PredictedCompletion(1)
+	if _, err := m.Evaluate(9, spec, 80, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	after, ok := m.PredictedCompletion(1)
+	if !ok || math.Abs(before-after) > 1e-9 {
+		t.Errorf("Evaluate mutated the trace: %v -> %v", before, after)
+	}
+	if _, placed := m.PlacedOn(9); placed {
+		t.Error("Evaluate committed a placement")
+	}
+}
+
+func TestPlaceCommits(t *testing.T) {
+	m := twoServerUsefulnessExample(t)
+	spec := &task.Spec{Problem: "p", Variant: 1,
+		CostOn: map[string]task.Cost{"s1": {Compute: 100}}}
+	if err := m.Place(3, spec, 80, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	srv, ok := m.PlacedOn(3)
+	if !ok || srv != "s1" {
+		t.Errorf("PlacedOn = %q,%v", srv, ok)
+	}
+	c, ok := m.PredictedCompletion(3)
+	if !ok || math.Abs(c-200) > 1e-6 {
+		t.Errorf("predicted completion = %v,%v, want 200", c, ok)
+	}
+	// T1's projection must now reflect the perturbation.
+	c1, _ := m.PredictedCompletion(1)
+	if math.Abs(c1-120) > 1e-6 {
+		t.Errorf("perturbed T1 completion = %v, want 120", c1)
+	}
+}
+
+func TestPlaceErrors(t *testing.T) {
+	m := New([]string{"s1"})
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{"s1": {Compute: 1}}}
+	if err := m.Place(0, spec, 0, "nosuch"); err == nil {
+		t.Error("unknown server accepted")
+	}
+	other := &task.Spec{Problem: "q", CostOn: map[string]task.Cost{"other": {}}}
+	if err := m.Place(0, other, 0, "s1"); err == nil {
+		t.Error("unsolvable problem accepted")
+	}
+	if err := m.Place(0, spec, 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(0, spec, 1, "s1"); err == nil {
+		t.Error("duplicate placement accepted")
+	}
+}
+
+func TestEvaluateAllSkipsInfeasible(t *testing.T) {
+	m := New([]string{"s1", "s2"})
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{"s1": {Compute: 10}}}
+	preds := m.EvaluateAll(0, spec, 0, []string{"s1", "s2", "ghost"})
+	if len(preds) != 1 || preds[0].Server != "s1" {
+		t.Errorf("EvaluateAll = %+v", preds)
+	}
+}
+
+func TestDropServer(t *testing.T) {
+	m := New([]string{"s1", "s2"})
+	m.DropServer("s1")
+	if len(m.Servers()) != 1 || m.Servers()[0] != "s2" {
+		t.Errorf("Servers after drop = %v", m.Servers())
+	}
+	m.DropServer("nosuch") // must not panic
+	if _, ok := m.Sim("s1"); ok {
+		t.Error("dropped server still accessible")
+	}
+}
+
+func TestSyncReanchorsTrace(t *testing.T) {
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{"s1": {Compute: 100}}}
+
+	// Without sync, notifications are ignored.
+	open := New([]string{"s1"})
+	if err := open.Place(0, spec, 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := open.NotifyCompletion(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := open.PredictedCompletion(0)
+	if math.Abs(c-100) > 1e-6 {
+		t.Errorf("open-loop prediction = %v, want 100", c)
+	}
+
+	// With sync, the trace re-anchors: the job is done at 50, so a new
+	// arrival sees an empty server.
+	closed := New([]string{"s1"}, WithSync())
+	if err := closed.Place(0, spec, 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := closed.NotifyCompletion(0, 50); err != nil {
+		t.Fatal(err)
+	}
+	p, err := closed.Evaluate(1, spec, 60, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Completion-160) > 1e-6 {
+		t.Errorf("post-sync completion = %v, want 160", p.Completion)
+	}
+	if p.Perturbation != 0 {
+		t.Errorf("post-sync perturbation = %v, want 0", p.Perturbation)
+	}
+	if err := closed.NotifyCompletion(99, 1); err == nil {
+		t.Error("unknown job notification accepted under sync")
+	}
+}
+
+func TestMemoryModelOptionCollapsesProjection(t *testing.T) {
+	// valette has 128+126 = 254 MB capacity; four matmul-1800 (74.15 MB
+	// each) exceed it. With the memory model the evaluation must
+	// signal the collapse via an infinite completion.
+	m := New([]string{"valette"}, WithMemoryModel())
+	spec := task.Matmul(1800)
+	// matmul has no cost entry for valette; craft one.
+	spec = &task.Spec{Problem: "matmul", Variant: 1800,
+		CostOn:   map[string]task.Cost{"valette": {Compute: 500}},
+		MemoryMB: 74.15}
+	for i := 0; i < 3; i++ {
+		if err := m.Place(i, spec, 0, "valette"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p, err := m.Evaluate(3, spec, 0, "valette")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p.Completion, 1) {
+		t.Errorf("completion = %v, want +Inf (projected collapse)", p.Completion)
+	}
+	if !math.IsInf(p.Perturbation, 1) {
+		t.Errorf("perturbation = %v, want +Inf", p.Perturbation)
+	}
+}
+
+func TestAdvanceToMonotonic(t *testing.T) {
+	m := New([]string{"s1"})
+	m.AdvanceTo(100)
+	m.AdvanceTo(50) // must be a no-op, not a panic
+	if m.Now() != 100 {
+		t.Errorf("Now = %v, want 100", m.Now())
+	}
+}
+
+func TestPredictedCompletionUnknown(t *testing.T) {
+	m := New([]string{"s1"})
+	if _, ok := m.PredictedCompletion(7); ok {
+		t.Error("unknown job has a prediction")
+	}
+}
+
+func TestSumFlowObjective(t *testing.T) {
+	p := Prediction{Flow: 10, Perturbation: 5}
+	if p.SumFlowObjective() != 15 {
+		t.Errorf("SumFlowObjective = %v", p.SumFlowObjective())
+	}
+}

@@ -1,0 +1,291 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+
+	"casched/internal/htm"
+	"casched/internal/sched"
+	"casched/internal/stats"
+	"casched/internal/task"
+	"casched/internal/trace"
+)
+
+// AgentConfig parameterizes a live agent.
+type AgentConfig struct {
+	// Scheduler is the heuristic the agent applies.
+	Scheduler sched.Scheduler
+	// Clock is the experiment clock shared by all components.
+	Clock *Clock
+	// Seed drives randomized tie-breaking.
+	Seed uint64
+	// Log, when non-nil, receives events.
+	Log *trace.Log
+	// HTMSync enables trace re-anchoring on completion messages.
+	HTMSync bool
+	// Addr is the TCP listen address (default "127.0.0.1:0", an
+	// ephemeral loopback port).
+	Addr string
+}
+
+// serverEntry is the agent's view of one registered server.
+type serverEntry struct {
+	name string
+	addr string
+	// belief is the monitor-based load view: last report plus the two
+	// NetSolve corrections.
+	reported       float64
+	assignedSince  int
+	completedSince int
+}
+
+// Agent is the central scheduler of the live deployment. It exposes
+// the RPC service "Agent" and owns the HTM.
+type Agent struct {
+	cfg AgentConfig
+
+	mu      sync.Mutex
+	servers map[string]*serverEntry
+	order   []string
+	htmMgr  *htm.Manager
+	rng     *stats.RNG
+	// predictions maps task keys to the HTM completion predicted at
+	// placement.
+	predictions map[int]float64
+	placedJobs  map[int]bool
+
+	lis net.Listener
+	srv *rpc.Server
+}
+
+// StartAgent launches an agent listening on 127.0.0.1 (an ephemeral
+// port) and returns it together with its address.
+func StartAgent(cfg AgentConfig) (*Agent, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("live: agent needs a scheduler")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("live: agent needs a clock")
+	}
+	a := &Agent{
+		cfg:         cfg,
+		servers:     make(map[string]*serverEntry),
+		rng:         stats.NewRNG(cfg.Seed),
+		predictions: make(map[int]float64),
+		placedJobs:  make(map[int]bool),
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("live: agent listen: %w", err)
+	}
+	a.lis = lis
+	a.srv = rpc.NewServer()
+	if err := a.srv.RegisterName("Agent", &AgentService{a}); err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("live: agent rpc register: %w", err)
+	}
+	go a.serve()
+	return a, nil
+}
+
+// Addr returns the agent's RPC address.
+func (a *Agent) Addr() string { return a.lis.Addr().String() }
+
+// Close stops accepting connections.
+func (a *Agent) Close() error { return a.lis.Close() }
+
+// serve accepts RPC connections until the listener closes.
+func (a *Agent) serve() {
+	for {
+		conn, err := a.lis.Accept()
+		if err != nil {
+			return
+		}
+		go a.srv.ServeConn(conn)
+	}
+}
+
+// log appends an event if logging is configured.
+func (a *Agent) log(r trace.Record) {
+	if a.cfg.Log != nil {
+		a.cfg.Log.Add(r)
+	}
+}
+
+// register adds a server to the pool (idempotent by name).
+func (a *Agent) register(args RegisterArgs) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, ok := a.servers[args.Name]; !ok {
+		a.order = append(a.order, args.Name)
+		sort.Strings(a.order)
+	}
+	a.servers[args.Name] = &serverEntry{name: args.Name, addr: args.Addr}
+	if sched.UsesHTM(a.cfg.Scheduler) {
+		var opts []htm.Option
+		if a.cfg.HTMSync {
+			opts = append(opts, htm.WithSync())
+		}
+		// Rebuild the HTM with the current server set; registration
+		// happens before any scheduling, as in NetSolve's deployment
+		// order (agent first, then servers, then clients).
+		a.htmMgr = htm.New(a.order, opts...)
+		a.predictions = make(map[int]float64)
+		a.placedJobs = make(map[int]bool)
+	}
+	a.log(trace.Record{Time: a.cfg.Clock.Now(), Kind: "register", Server: args.Name, TaskID: -1})
+}
+
+// loadInfo adapts the agent's beliefs to sched.LoadInfo.
+type agentLoadInfo struct{ a *Agent }
+
+func (li agentLoadInfo) LoadEstimate(server string) float64 {
+	// Caller already holds a.mu.
+	e, ok := li.a.servers[server]
+	if !ok {
+		return 0
+	}
+	v := e.reported + float64(e.assignedSince) - float64(e.completedSince)
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+// schedule picks a server for a request and commits the decision.
+func (a *Agent) schedule(args ScheduleArgs) (ScheduleReply, error) {
+	spec, err := task.Resolve(args.Problem, args.Variant)
+	if err != nil {
+		return ScheduleReply{}, err
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+
+	now := a.cfg.Clock.Now()
+	var candidates []string
+	for _, name := range a.order {
+		if _, ok := spec.Cost(name); ok {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		return ScheduleReply{}, fmt.Errorf("live: no server solves %s", spec.Name())
+	}
+
+	ctx := &sched.Context{
+		Now:        now,
+		Task:       &task.Task{ID: args.TaskKey, Spec: spec, Arrival: args.Arrival},
+		JobID:      args.TaskKey,
+		Candidates: candidates,
+		HTM:        a.htmMgr,
+		Info:       agentLoadInfo{a},
+		RNG:        a.rng,
+	}
+	server, err := a.cfg.Scheduler.Choose(ctx)
+	if err != nil {
+		return ScheduleReply{}, fmt.Errorf("live: scheduling task %d: %w", args.TaskKey, err)
+	}
+	entry := a.servers[server]
+	entry.assignedSince++ // NetSolve assignment correction
+
+	if a.htmMgr != nil {
+		if err := a.htmMgr.Place(args.TaskKey, spec, now, server); err != nil {
+			return ScheduleReply{}, fmt.Errorf("live: HTM placement: %w", err)
+		}
+		a.placedJobs[args.TaskKey] = true
+		if c, ok := a.htmMgr.PredictedCompletion(args.TaskKey); ok {
+			a.predictions[args.TaskKey] = c
+		}
+	}
+	a.log(trace.Record{Time: now, Kind: "schedule", Server: server, TaskID: args.TaskKey})
+	return ScheduleReply{Server: server, Addr: entry.addr}, nil
+}
+
+// taskDone processes a server's completion message.
+func (a *Agent) taskDone(args TaskDoneArgs) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.servers[args.Server]; ok {
+		e.completedSince++ // NetSolve completion correction
+	}
+	if a.htmMgr != nil && a.placedJobs[args.TaskKey] {
+		_ = a.htmMgr.NotifyCompletion(args.TaskKey, args.At)
+	}
+	a.log(trace.Record{Time: args.At, Kind: "done", Server: args.Server, TaskID: args.TaskKey})
+}
+
+// loadReport ingests a periodic monitor report.
+func (a *Agent) loadReport(args LoadReportArgs) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if e, ok := a.servers[args.Name]; ok {
+		e.reported = args.Load
+		e.assignedSince = 0
+		e.completedSince = 0
+	}
+}
+
+// Prediction returns the HTM completion predicted when the task was
+// placed (HTM heuristics only).
+func (a *Agent) Prediction(taskKey int) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.predictions[taskKey]
+	return c, ok
+}
+
+// FinalPredictions returns the HTM's end-of-run simulated completion
+// date for every placed task — the "simulated completion date" column
+// of Table 1.
+func (a *Agent) FinalPredictions() map[int]float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[int]float64)
+	if a.htmMgr == nil {
+		return out
+	}
+	for key := range a.placedJobs {
+		if c, ok := a.htmMgr.PredictedCompletion(key); ok {
+			out[key] = c
+		}
+	}
+	return out
+}
+
+// AgentService is the RPC facade. Methods follow net/rpc conventions.
+type AgentService struct{ a *Agent }
+
+// Register handles server registration.
+func (s *AgentService) Register(args RegisterArgs, _ *Ack) error {
+	s.a.register(args)
+	return nil
+}
+
+// Schedule handles a client scheduling request.
+func (s *AgentService) Schedule(args ScheduleArgs, reply *ScheduleReply) error {
+	r, err := s.a.schedule(args)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}
+
+// TaskDone handles a server completion message.
+func (s *AgentService) TaskDone(args TaskDoneArgs, _ *Ack) error {
+	s.a.taskDone(args)
+	return nil
+}
+
+// LoadReport handles a periodic monitor report.
+func (s *AgentService) LoadReport(args LoadReportArgs, _ *Ack) error {
+	s.a.loadReport(args)
+	return nil
+}

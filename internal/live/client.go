@@ -1,0 +1,101 @@
+package live
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+
+	"casched/internal/metrics"
+	"casched/internal/task"
+)
+
+// RunMetatask plays a metatask against a live deployment: for each
+// task, at its arrival date, a goroutine asks the agent for a server
+// and then performs the blocking submit RPC — one concurrent client
+// request per task, like the paper's metatask submissions. It returns
+// per-task results comparable with the simulator's.
+func RunMetatask(agentAddr string, mt *task.Metatask, clock *Clock) ([]metrics.TaskResult, error) {
+	if err := mt.Validate(); err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
+	agent, err := rpc.Dial("tcp", agentAddr)
+	if err != nil {
+		return nil, fmt.Errorf("live: client dial agent: %w", err)
+	}
+	defer agent.Close()
+
+	results := make([]metrics.TaskResult, mt.Len())
+	errs := make([]error, mt.Len())
+
+	// One shared RPC client per server, created lazily.
+	var connMu sync.Mutex
+	conns := make(map[string]*rpc.Client)
+	dialServer := func(addr string) (*rpc.Client, error) {
+		connMu.Lock()
+		defer connMu.Unlock()
+		if c, ok := conns[addr]; ok {
+			return c, nil
+		}
+		c, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		conns[addr] = c
+		return c, nil
+	}
+	defer func() {
+		connMu.Lock()
+		defer connMu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for i, t := range mt.Tasks {
+		wg.Add(1)
+		go func(i int, t *task.Task) {
+			defer wg.Done()
+			clock.SleepUntil(t.Arrival)
+			arrival := clock.Now()
+			results[i] = metrics.TaskResult{ID: t.ID, Arrival: arrival}
+
+			var rep ScheduleReply
+			err := agent.Call("Agent.Schedule", ScheduleArgs{
+				TaskKey: t.ID, Problem: t.Spec.Problem, Variant: t.Spec.Variant,
+				Arrival: arrival,
+			}, &rep)
+			if err != nil {
+				errs[i] = fmt.Errorf("live: schedule task %d: %w", t.ID, err)
+				return
+			}
+			srv, err := dialServer(rep.Addr)
+			if err != nil {
+				errs[i] = fmt.Errorf("live: dial server %s: %w", rep.Server, err)
+				return
+			}
+			var sub SubmitReply
+			if err := srv.Call("Server.Submit", SubmitArgs{
+				TaskKey: t.ID, Problem: t.Spec.Problem, Variant: t.Spec.Variant,
+			}, &sub); err != nil {
+				errs[i] = fmt.Errorf("live: submit task %d: %w", t.ID, err)
+				return
+			}
+			r := &results[i]
+			r.Completed = true
+			r.Completion = sub.Completion
+			r.Server = sub.Server
+			if cost, ok := t.Spec.Cost(sub.Server); ok {
+				r.UnloadedDuration = cost.Total()
+			}
+		}(i, t)
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}

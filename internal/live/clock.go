@@ -1,0 +1,81 @@
+// Package live is the reproduction's "real environment": a NetSolve-
+// like deployment in which the agent, the servers and the clients are
+// separate concurrent components talking over real TCP connections
+// (net/rpc with gob encoding), and tasks execute in scaled wall-clock
+// time under an explicit processor-sharing executor.
+//
+// Unlike the discrete-event simulator (internal/grid), nothing here is
+// synchronized on a global virtual clock: requests race, load reports
+// lag, the executor advances in quanta, and goroutine scheduling adds
+// jitter — the same error sources that separate the paper's real
+// completion dates from the HTM's simulated ones in Table 1.
+package live
+
+import (
+	"sync"
+	"time"
+)
+
+// Clock maps wall-clock time to experiment (virtual) seconds with a
+// configurable speed-up, so a 300-virtual-second metatask can run in
+// under a second of wall time.
+type Clock struct {
+	start time.Time
+	scale float64 // virtual seconds per wall second
+
+	mu     sync.Mutex
+	frozen bool
+	at     float64
+}
+
+// NewClock starts a clock at virtual time zero. scale is the number of
+// virtual seconds elapsing per wall second; 1 runs in real time, 1000
+// compresses 1000 experiment seconds into one wall second.
+func NewClock(scale float64) *Clock {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Clock{start: time.Now(), scale: scale}
+}
+
+// Scale returns the virtual-per-wall-second factor.
+func (c *Clock) Scale() float64 { return c.scale }
+
+// Now returns the current virtual time in seconds.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.frozen {
+		return c.at
+	}
+	return time.Since(c.start).Seconds() * c.scale
+}
+
+// SleepUntil blocks until virtual time v (returns immediately if v has
+// passed).
+func (c *Clock) SleepUntil(v float64) {
+	for {
+		now := c.Now()
+		if now >= v {
+			return
+		}
+		wall := time.Duration((v - now) / c.scale * float64(time.Second))
+		if wall < 50*time.Microsecond {
+			wall = 50 * time.Microsecond
+		}
+		time.Sleep(wall)
+	}
+}
+
+// Sleep blocks for d virtual seconds.
+func (c *Clock) Sleep(d float64) { c.SleepUntil(c.Now() + d) }
+
+// Freeze pins Now at its current value (test helper).
+func (c *Clock) Freeze() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.frozen {
+		c.at = time.Since(c.start).Seconds() * c.scale
+		c.frozen = true
+	}
+}

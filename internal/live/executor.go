@@ -1,0 +1,165 @@
+package live
+
+import (
+	"sync"
+	"time"
+
+	"casched/internal/task"
+)
+
+// execJob is one task running inside an executor.
+type execJob struct {
+	key       int
+	phase     task.Phase
+	remaining [task.NumPhases]float64
+	done      chan float64 // receives the virtual completion date
+}
+
+// executor emulates a time-shared CPU and its links in scaled wall
+// time: a quantum loop advances every resident job by
+// quantum × (1/n_phase) virtual seconds of work, reproducing the
+// processor-sharing model the paper validated on LINUX (§2.3) — but
+// asynchronously, with real quantization and scheduling jitter.
+type executor struct {
+	clock   *Clock
+	quantum time.Duration
+
+	mu   sync.Mutex
+	jobs []*execJob
+	last float64 // virtual time of the previous tick
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// newExecutor starts the quantum loop.
+func newExecutor(clock *Clock, quantum time.Duration) *executor {
+	if quantum <= 0 {
+		quantum = 2 * time.Millisecond
+	}
+	e := &executor{
+		clock:   clock,
+		quantum: quantum,
+		last:    clock.Now(),
+		stop:    make(chan struct{}),
+	}
+	e.wg.Add(1)
+	go e.loop()
+	return e
+}
+
+// submit adds a job with the given actual phase costs and returns a
+// channel delivering its virtual completion date.
+func (e *executor) submit(key int, cost task.Cost) <-chan float64 {
+	j := &execJob{key: key, phase: task.PhaseInput, done: make(chan float64, 1)}
+	j.remaining[task.PhaseInput] = cost.Input
+	j.remaining[task.PhaseCompute] = cost.Compute
+	j.remaining[task.PhaseOutput] = cost.Output
+	e.mu.Lock()
+	e.jobs = append(e.jobs, j)
+	e.mu.Unlock()
+	return j.done
+}
+
+// load returns the number of jobs currently in the compute phase — the
+// run-queue length the monitor reports.
+func (e *executor) load() float64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, j := range e.jobs {
+		if j.phase == task.PhaseCompute {
+			n++
+		}
+	}
+	return float64(n)
+}
+
+// resident returns the total number of jobs on the executor.
+func (e *executor) resident() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.jobs)
+}
+
+// close stops the quantum loop.
+func (e *executor) close() {
+	select {
+	case <-e.stop:
+	default:
+		close(e.stop)
+	}
+	e.wg.Wait()
+}
+
+// loop is the quantum ticker.
+func (e *executor) loop() {
+	defer e.wg.Done()
+	ticker := time.NewTicker(e.quantum)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-e.stop:
+			return
+		case <-ticker.C:
+			e.tick()
+		}
+	}
+}
+
+// tick advances all jobs by the elapsed virtual time since the last
+// tick, applying per-phase processor sharing.
+func (e *executor) tick() {
+	now := e.clock.Now()
+	e.mu.Lock()
+	dt := now - e.last
+	e.last = now
+	if dt <= 0 {
+		e.mu.Unlock()
+		return
+	}
+
+	// Count phase occupancy for the share computation.
+	var counts [task.NumPhases]int
+	for _, j := range e.jobs {
+		counts[j.phase]++
+	}
+
+	var finished []*execJob
+	remaining := e.jobs[:0]
+	for _, j := range e.jobs {
+		share := 1.0
+		if n := counts[j.phase]; n > 1 {
+			share = 1 / float64(n)
+		}
+		budget := dt * share
+		// Consume the budget through the job's phases. Occupancy
+		// counts are per-tick approximations; a job crossing a phase
+		// boundary carries its leftover budget into the next phase.
+		jobDone := false
+		for {
+			if j.remaining[j.phase] > budget {
+				j.remaining[j.phase] -= budget
+				break
+			}
+			budget -= j.remaining[j.phase]
+			j.remaining[j.phase] = 0
+			if j.phase == task.PhaseOutput {
+				jobDone = true
+				break
+			}
+			j.phase++
+		}
+		if jobDone {
+			finished = append(finished, j)
+			continue
+		}
+		remaining = append(remaining, j)
+	}
+	e.jobs = remaining
+	e.mu.Unlock()
+
+	for _, j := range finished {
+		j.done <- now
+	}
+}

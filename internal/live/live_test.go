@@ -1,0 +1,302 @@
+package live
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"casched/internal/sched"
+	"casched/internal/stats"
+	"casched/internal/task"
+	"casched/internal/trace"
+)
+
+func TestClockScale(t *testing.T) {
+	c := NewClock(1000)
+	time.Sleep(20 * time.Millisecond)
+	now := c.Now()
+	if now < 10 || now > 200 {
+		t.Errorf("virtual now = %v, want roughly 20", now)
+	}
+	c.Freeze()
+	frozen := c.Now()
+	time.Sleep(5 * time.Millisecond)
+	if c.Now() != frozen {
+		t.Error("frozen clock advanced")
+	}
+}
+
+func TestClockSleepUntil(t *testing.T) {
+	c := NewClock(2000)
+	start := time.Now()
+	c.SleepUntil(c.Now() + 40) // 40 virtual seconds = 20ms wall
+	wall := time.Since(start)
+	if wall < 10*time.Millisecond || wall > 500*time.Millisecond {
+		t.Errorf("SleepUntil wall duration = %v", wall)
+	}
+	// Sleeping into the past returns immediately.
+	start = time.Now()
+	c.SleepUntil(0)
+	if time.Since(start) > 10*time.Millisecond {
+		t.Error("SleepUntil(past) blocked")
+	}
+}
+
+func TestClockDefaultScale(t *testing.T) {
+	if NewClock(0).Scale() != 1 {
+		t.Error("non-positive scale must default to 1")
+	}
+}
+
+func TestExecutorSingleJob(t *testing.T) {
+	clock := NewClock(2000) // 2000 virtual s per wall s
+	e := newExecutor(clock, time.Millisecond)
+	defer e.close()
+	start := clock.Now()
+	done := e.submit(1, task.Cost{Input: 5, Compute: 50, Output: 5})
+	completion := <-done
+	elapsed := completion - start
+	if math.Abs(elapsed-60) > 15 {
+		t.Errorf("single job took %v virtual s, want ~60", elapsed)
+	}
+}
+
+func TestExecutorSharing(t *testing.T) {
+	clock := NewClock(2000)
+	e := newExecutor(clock, time.Millisecond)
+	defer e.close()
+	start := clock.Now()
+	d1 := e.submit(1, task.Cost{Compute: 50})
+	d2 := e.submit(2, task.Cost{Compute: 50})
+	c1 := <-d1
+	c2 := <-d2
+	// Two equal jobs sharing the CPU both need ~100 virtual seconds.
+	for i, c := range []float64{c1, c2} {
+		if math.Abs(c-start-100) > 25 {
+			t.Errorf("job %d took %v virtual s, want ~100", i+1, c-start)
+		}
+	}
+}
+
+func TestExecutorZeroCostJob(t *testing.T) {
+	clock := NewClock(2000)
+	e := newExecutor(clock, time.Millisecond)
+	defer e.close()
+	done := e.submit(1, task.Cost{})
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("zero-cost job never completed")
+	}
+	if e.resident() != 0 {
+		t.Errorf("resident = %d after completion", e.resident())
+	}
+}
+
+// startDeployment spins up an agent and servers for the given
+// scheduler, returning the agent and a cleanup func.
+func startDeployment(t *testing.T, s sched.Scheduler, names []string, scale float64) (*Agent, *Clock, func()) {
+	t.Helper()
+	clock := NewClock(scale)
+	agent, err := StartAgent(AgentConfig{Scheduler: s, Clock: clock, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var servers []*Server
+	for i, name := range names {
+		srv, err := StartServer(ServerConfig{
+			Name: name, AgentAddr: agent.Addr(), Clock: clock,
+			Quantum: time.Millisecond, ReportPeriod: 10, Seed: uint64(i + 1),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers = append(servers, srv)
+	}
+	cleanup := func() {
+		for _, srv := range servers {
+			srv.Close()
+		}
+		agent.Close()
+	}
+	return agent, clock, cleanup
+}
+
+// smallMetatask builds a few waste-cpu tasks with tight arrivals.
+func smallMetatask(n int) *task.Metatask {
+	mt := &task.Metatask{Name: "live-test"}
+	params := task.WasteCPUParams
+	for i := 0; i < n; i++ {
+		mt.Tasks = append(mt.Tasks, &task.Task{
+			ID: i, Spec: task.WasteCPU(params[i%len(params)]), Arrival: float64(i) * 5,
+		})
+	}
+	return mt
+}
+
+func TestLiveEndToEndHMCT(t *testing.T) {
+	agent, clock, cleanup := startDeployment(t, sched.NewHMCT(),
+		[]string{"spinnaker", "artimon"}, 2000)
+	defer cleanup()
+
+	mt := smallMetatask(8)
+	results, err := RunMetatask(agent.Addr(), mt, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Completed {
+			t.Fatalf("task %d did not complete", r.ID)
+		}
+		if r.Completion <= r.Arrival {
+			t.Errorf("task %d: completion %.2f <= arrival %.2f", r.ID, r.Completion, r.Arrival)
+		}
+		if r.Server != "spinnaker" && r.Server != "artimon" {
+			t.Errorf("task %d ran on unexpected server %q", r.ID, r.Server)
+		}
+	}
+	// HTM predictions exist and final projections roughly track actual
+	// completions (quantum + RPC jitter allow a few % of error — the
+	// Table 1 regime).
+	finals := agent.FinalPredictions()
+	if len(finals) != 8 {
+		t.Fatalf("final predictions = %d, want 8", len(finals))
+	}
+	for _, r := range results {
+		pred := finals[r.ID]
+		relErr := math.Abs(pred-r.Completion) / r.Completion
+		if relErr > 0.25 {
+			t.Errorf("task %d: simulated %.2f vs real %.2f (%.0f%% error)",
+				r.ID, pred, r.Completion, 100*relErr)
+		}
+	}
+}
+
+func TestLiveEndToEndMCT(t *testing.T) {
+	agent, clock, cleanup := startDeployment(t, sched.NewMCT(),
+		[]string{"spinnaker", "artimon"}, 2000)
+	defer cleanup()
+	results, err := RunMetatask(agent.Addr(), smallMetatask(6), clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Completed {
+			t.Fatalf("task %d did not complete", r.ID)
+		}
+	}
+	if _, ok := agent.Prediction(0); ok {
+		t.Error("MCT agent should not produce HTM predictions")
+	}
+}
+
+func TestLiveTraceLog(t *testing.T) {
+	var log trace.Log
+	clock := NewClock(2000)
+	agent, err := StartAgent(AgentConfig{
+		Scheduler: sched.NewMSF(), Clock: clock, Seed: 1, Log: &log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	srv, err := StartServer(ServerConfig{
+		Name: "artimon", AgentAddr: agent.Addr(), Clock: clock,
+		Quantum: time.Millisecond, ReportPeriod: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if _, err := RunMetatask(agent.Addr(), smallMetatask(3), clock); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(log.Filter("schedule")); n != 3 {
+		t.Errorf("schedule records = %d, want 3", n)
+	}
+	if n := len(log.Filter("done")); n != 3 {
+		t.Errorf("done records = %d, want 3", n)
+	}
+	if n := len(log.Filter("register")); n != 1 {
+		t.Errorf("register records = %d, want 1", n)
+	}
+}
+
+func TestAgentValidation(t *testing.T) {
+	if _, err := StartAgent(AgentConfig{Clock: NewClock(1)}); err == nil {
+		t.Error("agent without scheduler accepted")
+	}
+	if _, err := StartAgent(AgentConfig{Scheduler: sched.NewMCT()}); err == nil {
+		t.Error("agent without clock accepted")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	clock := NewClock(1000)
+	if _, err := StartServer(ServerConfig{AgentAddr: "x", Clock: clock}); err == nil {
+		t.Error("server without name accepted")
+	}
+	if _, err := StartServer(ServerConfig{Name: "artimon", AgentAddr: "x"}); err == nil {
+		t.Error("server without clock accepted")
+	}
+	if _, err := StartServer(ServerConfig{
+		Name: "artimon", AgentAddr: "127.0.0.1:1", Clock: clock,
+	}); err == nil {
+		t.Error("server with unreachable agent accepted")
+	}
+}
+
+func TestScheduleUnknownProblem(t *testing.T) {
+	agent, clock, cleanup := startDeployment(t, sched.NewHMCT(), []string{"artimon"}, 2000)
+	defer cleanup()
+	_ = clock
+	mt := &task.Metatask{Name: "bad", Tasks: []*task.Task{{
+		ID: 0, Spec: &task.Spec{Problem: "nosuch", CostOn: map[string]task.Cost{}},
+	}}}
+	if _, err := RunMetatask(agent.Addr(), mt, clock); err == nil {
+		t.Error("unknown problem accepted")
+	}
+}
+
+// TestNoiseFactorApplied checks that a noisy server's execution times
+// deviate from nominal.
+func TestNoiseFactorApplied(t *testing.T) {
+	clock := NewClock(2000)
+	agent, err := StartAgent(AgentConfig{Scheduler: sched.NewHMCT(), Clock: clock, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	srv, err := StartServer(ServerConfig{
+		Name: "artimon", AgentAddr: agent.Addr(), Clock: clock,
+		Quantum: time.Millisecond, ReportPeriod: -1, NoiseSigma: 0.05, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mt := &task.Metatask{Name: "noise", Tasks: []*task.Task{
+		{ID: 0, Spec: task.WasteCPU(200), Arrival: 0},
+	}}
+	results, err := RunMetatask(agent.Addr(), mt, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !results[0].Completed {
+		t.Fatal("task did not complete")
+	}
+}
+
+// TestRNGNoiseDeterminism pins the noise stream: the same seed yields
+// the same factors (guards the Table 1 reproducibility).
+func TestRNGNoiseDeterminism(t *testing.T) {
+	a := stats.NewRNG(7)
+	b := stats.NewRNG(7)
+	for i := 0; i < 100; i++ {
+		if a.NoiseFactor(0.03) != b.NoiseFactor(0.03) {
+			t.Fatal("noise stream not deterministic")
+		}
+	}
+}

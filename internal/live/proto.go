@@ -1,0 +1,73 @@
+package live
+
+// Wire types for the net/rpc (gob) protocol between clients, the agent
+// and the servers. The exchange mirrors NetSolve's (§2.1):
+//
+//	server --> agent : Register (problems it solves), periodic LoadReport
+//	client --> agent : Schedule (which server should run this problem?)
+//	client --> server: Submit (blocking RPC; returns when the task is done)
+//	server --> agent : TaskDone (completion message, feeds load correction)
+
+// Ack is the empty reply of one-way notifications.
+type Ack struct{}
+
+// RegisterArgs announces a server to the agent.
+type RegisterArgs struct {
+	// Name is the server's machine name (cost-table key).
+	Name string
+	// Addr is the server's RPC listen address.
+	Addr string
+	// Problems lists the problem names the server can solve.
+	Problems []string
+}
+
+// LoadReportArgs carries a periodic load-average report.
+type LoadReportArgs struct {
+	Name string
+	Load float64
+	At   float64 // virtual time of the measurement
+}
+
+// ScheduleArgs is a client's request for a server assignment.
+type ScheduleArgs struct {
+	// TaskKey is the client's identifier for the task (unique per
+	// experiment).
+	TaskKey int
+	// Problem and Variant identify the task type (task.Resolve).
+	Problem string
+	Variant int
+	// Arrival is the client-side submission date in virtual seconds.
+	Arrival float64
+}
+
+// ScheduleReply names the chosen server.
+type ScheduleReply struct {
+	// Server is the machine name chosen by the heuristic.
+	Server string
+	// Addr is the server's RPC address the client must submit to.
+	Addr string
+}
+
+// SubmitArgs asks a server to execute a task. The server derives the
+// task's nominal costs from its own cost table, as a NetSolve server
+// knows its own problem implementations.
+type SubmitArgs struct {
+	TaskKey int
+	Problem string
+	Variant int
+}
+
+// SubmitReply returns when the task completes.
+type SubmitReply struct {
+	// Completion is the virtual completion date measured by the server.
+	Completion float64
+	// Server echoes the executing server's name.
+	Server string
+}
+
+// TaskDoneArgs is the server→agent completion message.
+type TaskDoneArgs struct {
+	TaskKey int
+	Server  string
+	At      float64
+}

@@ -1,0 +1,214 @@
+package live
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// ServerConfig parameterizes a live computational server.
+type ServerConfig struct {
+	// Name is the machine name; the server looks its own task costs up
+	// under this name, as a NetSolve server knows its local problem
+	// implementations.
+	Name string
+	// AgentAddr is the agent's RPC address.
+	AgentAddr string
+	// Clock is the shared experiment clock.
+	Clock *Clock
+	// Problems lists the problems the server registers ("matmul",
+	// "wastecpu"). Empty registers both.
+	Problems []string
+	// Quantum is the executor tick (wall time; default 2ms).
+	Quantum time.Duration
+	// ReportPeriod is the monitor period in virtual seconds (default
+	// 30; negative disables reports).
+	ReportPeriod float64
+	// NoiseSigma perturbs actual phase costs (default 0 = exact).
+	NoiseSigma float64
+	// Seed drives the noise stream.
+	Seed uint64
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+}
+
+// Server is a live computational server: an RPC service executing
+// submitted tasks on a processor-sharing executor.
+type Server struct {
+	cfg  ServerConfig
+	exec *executor
+	lis  net.Listener
+	rpc  *rpc.Server
+
+	agent *rpc.Client
+
+	mu    sync.Mutex
+	noise *stats.RNG
+
+	stopReports chan struct{}
+	wg          sync.WaitGroup
+}
+
+// StartServer launches a server, registers it with the agent and
+// starts its monitor goroutine.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("live: server needs a name")
+	}
+	if cfg.Clock == nil {
+		return nil, fmt.Errorf("live: server needs a clock")
+	}
+	if cfg.ReportPeriod == 0 {
+		cfg.ReportPeriod = 30
+	}
+	if len(cfg.Problems) == 0 {
+		cfg.Problems = []string{"matmul", "wastecpu"}
+	}
+	s := &Server{
+		cfg:         cfg,
+		exec:        newExecutor(cfg.Clock, cfg.Quantum),
+		noise:       stats.NewRNG(cfg.Seed),
+		stopReports: make(chan struct{}),
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		s.exec.close()
+		return nil, fmt.Errorf("live: server listen: %w", err)
+	}
+	s.lis = lis
+	s.rpc = rpc.NewServer()
+	if err := s.rpc.RegisterName("Server", &ServerService{s}); err != nil {
+		lis.Close()
+		s.exec.close()
+		return nil, fmt.Errorf("live: server rpc register: %w", err)
+	}
+	go s.serve()
+
+	agent, err := rpc.Dial("tcp", cfg.AgentAddr)
+	if err != nil {
+		s.Close()
+		return nil, fmt.Errorf("live: server dial agent: %w", err)
+	}
+	s.agent = agent
+	if err := agent.Call("Agent.Register", RegisterArgs{
+		Name: cfg.Name, Addr: lis.Addr().String(), Problems: cfg.Problems,
+	}, &Ack{}); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("live: server register: %w", err)
+	}
+
+	if cfg.ReportPeriod > 0 {
+		s.wg.Add(1)
+		go s.reportLoop()
+	}
+	return s, nil
+}
+
+// Addr returns the server's RPC address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Resident returns the number of tasks currently on the server.
+func (s *Server) Resident() int { return s.exec.resident() }
+
+// Close shuts the server down.
+func (s *Server) Close() error {
+	select {
+	case <-s.stopReports:
+	default:
+		close(s.stopReports)
+	}
+	err := s.lis.Close()
+	if s.agent != nil {
+		s.agent.Close()
+	}
+	s.exec.close()
+	s.wg.Wait()
+	return err
+}
+
+// serve accepts RPC connections.
+func (s *Server) serve() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		go s.rpc.ServeConn(conn)
+	}
+}
+
+// reportLoop sends periodic load reports to the agent, like a NetSolve
+// server's monitor.
+func (s *Server) reportLoop() {
+	defer s.wg.Done()
+	wall := time.Duration(s.cfg.ReportPeriod / s.cfg.Clock.Scale() * float64(time.Second))
+	if wall < time.Millisecond {
+		wall = time.Millisecond
+	}
+	ticker := time.NewTicker(wall)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stopReports:
+			return
+		case <-ticker.C:
+			args := LoadReportArgs{Name: s.cfg.Name, Load: s.exec.load(), At: s.cfg.Clock.Now()}
+			// A lost report is harmless; the next one supersedes it.
+			_ = s.agent.Call("Agent.LoadReport", args, &Ack{})
+		}
+	}
+}
+
+// submit runs a task to completion and returns its completion date.
+func (s *Server) submit(args SubmitArgs) (SubmitReply, error) {
+	spec, err := task.Resolve(args.Problem, args.Variant)
+	if err != nil {
+		return SubmitReply{}, err
+	}
+	nominal, ok := spec.Cost(s.cfg.Name)
+	if !ok {
+		return SubmitReply{}, fmt.Errorf("live: server %s cannot solve %s", s.cfg.Name, spec.Name())
+	}
+	s.mu.Lock()
+	actual := task.Cost{
+		Input:   nominal.Input * s.noise.NoiseFactor(s.cfg.NoiseSigma),
+		Compute: nominal.Compute * s.noise.NoiseFactor(s.cfg.NoiseSigma),
+		Output:  nominal.Output * s.noise.NoiseFactor(s.cfg.NoiseSigma),
+	}
+	s.mu.Unlock()
+
+	done := s.exec.submit(args.TaskKey, actual)
+	completion := <-done
+
+	// Completion message to the agent (NetSolve's second load
+	// correction). Best effort: the reply to the client is the ground
+	// truth.
+	_ = s.agent.Call("Agent.TaskDone", TaskDoneArgs{
+		TaskKey: args.TaskKey, Server: s.cfg.Name, At: completion,
+	}, &Ack{})
+
+	return SubmitReply{Completion: completion, Server: s.cfg.Name}, nil
+}
+
+// ServerService is the RPC facade of a Server.
+type ServerService struct{ s *Server }
+
+// Submit executes a task; the call returns when the task completes,
+// like a NetSolve RPC.
+func (sv *ServerService) Submit(args SubmitArgs, reply *SubmitReply) error {
+	r, err := sv.s.submit(args)
+	if err != nil {
+		return err
+	}
+	*reply = r
+	return nil
+}

@@ -1,0 +1,194 @@
+package live
+
+import (
+	"net/rpc"
+	"sync"
+	"testing"
+	"time"
+
+	"casched/internal/metrics"
+	"casched/internal/sched"
+	"casched/internal/task"
+)
+
+// TestTwoConcurrentClients submits two task streams from two clients
+// against one deployment — the paper's multi-user motivation ("the
+// agent can be requested by more than one user"). Client A uses the
+// metatask driver; client B drives the RPC protocol directly with its
+// own key range.
+func TestTwoConcurrentClients(t *testing.T) {
+	agent, clock, cleanup := startDeployment(t, sched.NewMSF(),
+		[]string{"spinnaker", "artimon"}, 2000)
+	defer cleanup()
+
+	mtA := &task.Metatask{Name: "client-a"}
+	for i := 0; i < 6; i++ {
+		mtA.Tasks = append(mtA.Tasks, &task.Task{
+			ID:      i,
+			Spec:    task.WasteCPU(task.WasteCPUParams[i%3]),
+			Arrival: float64(i) * 8,
+		})
+	}
+
+	var wg sync.WaitGroup
+	var resA []metrics.TaskResult
+	var errA error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resA, errA = RunMetatask(agent.Addr(), mtA, clock)
+	}()
+
+	var completedB int
+	var errB error
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		agentConn, err := rpc.Dial("tcp", agent.Addr())
+		if err != nil {
+			errB = err
+			return
+		}
+		defer agentConn.Close()
+		serverConns := make(map[string]*rpc.Client)
+		defer func() {
+			for _, c := range serverConns {
+				c.Close()
+			}
+		}()
+		for i := 0; i < 6; i++ {
+			key := 1000 + i // disjoint from client A's keys
+			clock.SleepUntil(float64(i)*8 + 3)
+			var rep ScheduleReply
+			if errB = agentConn.Call("Agent.Schedule", ScheduleArgs{
+				TaskKey: key, Problem: "wastecpu",
+				Variant: task.WasteCPUParams[i%3], Arrival: clock.Now(),
+			}, &rep); errB != nil {
+				return
+			}
+			srv, ok := serverConns[rep.Addr]
+			if !ok {
+				srv, errB = rpc.Dial("tcp", rep.Addr)
+				if errB != nil {
+					return
+				}
+				serverConns[rep.Addr] = srv
+			}
+			var sub SubmitReply
+			if errB = srv.Call("Server.Submit", SubmitArgs{
+				TaskKey: key, Problem: "wastecpu",
+				Variant: task.WasteCPUParams[i%3],
+			}, &sub); errB != nil {
+				return
+			}
+			if sub.Completion > 0 {
+				completedB++
+			}
+		}
+	}()
+	wg.Wait()
+
+	if errA != nil || errB != nil {
+		t.Fatalf("client errors: %v / %v", errA, errB)
+	}
+	for _, r := range resA {
+		if !r.Completed {
+			t.Errorf("client A task %d incomplete", r.ID)
+		}
+	}
+	if completedB != 6 {
+		t.Errorf("client B completed %d/6", completedB)
+	}
+}
+
+// TestSubmitToClosedServer: a submit against a closed server fails
+// with an RPC error rather than hanging.
+func TestSubmitToClosedServer(t *testing.T) {
+	clock := NewClock(2000)
+	agent, err := StartAgent(AgentConfig{Scheduler: sched.NewMCT(), Clock: clock, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	srv, err := StartServer(ServerConfig{
+		Name: "artimon", AgentAddr: agent.Addr(), Clock: clock,
+		Quantum: time.Millisecond, ReportPeriod: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close()
+
+	if _, err := rpc.Dial("tcp", addr); err == nil {
+		t.Skip("listener port was immediately reused; cannot test")
+	}
+}
+
+// TestServerRejectsUnknownProblem: the server validates submissions
+// against its own cost tables.
+func TestServerRejectsUnknownProblem(t *testing.T) {
+	clock := NewClock(2000)
+	agent, err := StartAgent(AgentConfig{Scheduler: sched.NewMCT(), Clock: clock, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	srv, err := StartServer(ServerConfig{
+		Name: "valette", AgentAddr: agent.Addr(), Clock: clock,
+		Quantum: time.Millisecond, ReportPeriod: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := rpc.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	var rep SubmitReply
+	if err := conn.Call("Server.Submit", SubmitArgs{
+		TaskKey: 0, Problem: "nosuch", Variant: 1,
+	}, &rep); err == nil {
+		t.Error("unknown problem accepted by server")
+	}
+	// valette has no matmul costs in Table 3: submitting one must fail.
+	if err := conn.Call("Server.Submit", SubmitArgs{
+		TaskKey: 1, Problem: "matmul", Variant: 1200,
+	}, &rep); err == nil {
+		t.Error("unsolvable problem accepted by server")
+	}
+}
+
+// TestManyTasksStress floods a two-server deployment with short tasks
+// to exercise executor and RPC concurrency.
+func TestManyTasksStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	agent, clock, cleanup := startDeployment(t, sched.NewHMCT(),
+		[]string{"spinnaker", "artimon"}, 5000)
+	defer cleanup()
+
+	mt := &task.Metatask{Name: "stress"}
+	for i := 0; i < 60; i++ {
+		mt.Tasks = append(mt.Tasks, &task.Task{
+			ID: i, Spec: task.WasteCPU(200), Arrival: float64(i),
+		})
+	}
+	results, err := RunMetatask(agent.Addr(), mt, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Completed {
+			t.Fatalf("task %d incomplete under stress", r.ID)
+		}
+	}
+	rep := metrics.Compute("stress", results)
+	if rep.Completed != 60 {
+		t.Errorf("completed %d/60", rep.Completed)
+	}
+}

@@ -1,0 +1,118 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"casched/internal/stats"
+)
+
+// Distribution summarizes the flow and stretch distributions of one
+// run — the tail behaviour behind the paper's max-flow and max-stretch
+// columns.
+type Distribution struct {
+	Heuristic string
+	// Flow percentiles in seconds.
+	FlowP50, FlowP90, FlowP95, FlowP99 float64
+	// MeanFlow is the average flow (sum-flow / completed).
+	MeanFlow float64
+	// Stretch percentiles.
+	StretchP50, StretchP90, StretchP99 float64
+	// PerServer counts completed tasks per server, a load-balance view.
+	PerServer map[string]int
+}
+
+// ComputeDistribution derives the distribution profile of a run.
+func ComputeDistribution(heuristic string, results []TaskResult) Distribution {
+	d := Distribution{Heuristic: heuristic, PerServer: make(map[string]int)}
+	var flows, stretches []float64
+	for _, r := range results {
+		if !r.Completed {
+			continue
+		}
+		flows = append(flows, r.Flow())
+		stretches = append(stretches, r.Stretch())
+		d.PerServer[r.Server]++
+	}
+	if len(flows) == 0 {
+		return d
+	}
+	d.FlowP50, d.FlowP90, d.FlowP95, d.FlowP99 = stats.Percentiles(flows)
+	d.MeanFlow = stats.Mean(flows)
+	d.StretchP50 = stats.Quantile(stretches, 0.50)
+	d.StretchP90 = stats.Quantile(stretches, 0.90)
+	d.StretchP99 = stats.Quantile(stretches, 0.99)
+	return d
+}
+
+// Format renders the distribution as a compact block.
+func (d Distribution) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s flow p50/p90/p95/p99 = %.0f/%.0f/%.0f/%.0f s (mean %.0f)\n",
+		d.Heuristic, d.FlowP50, d.FlowP90, d.FlowP95, d.FlowP99, d.MeanFlow)
+	fmt.Fprintf(&sb, "%s stretch p50/p90/p99  = %.2f/%.2f/%.2f\n",
+		d.Heuristic, d.StretchP50, d.StretchP90, d.StretchP99)
+	servers := make([]string, 0, len(d.PerServer))
+	for s := range d.PerServer {
+		servers = append(servers, s)
+	}
+	sort.Strings(servers)
+	fmt.Fprintf(&sb, "%s tasks per server     =", d.Heuristic)
+	for _, s := range servers {
+		fmt.Fprintf(&sb, " %s:%d", s, d.PerServer[s])
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}
+
+// SoonerMatrix computes the pairwise finish-sooner counts between
+// several runs of the same metatask: cell [i][j] is the number of
+// tasks that finish strictly sooner under run i than under run j.
+// It generalizes the paper's "number of tasks that finish sooner than
+// with NetSolve's MCT" row to every heuristic pair.
+func SoonerMatrix(runs map[string][]TaskResult) (names []string, matrix [][]int, err error) {
+	names = make([]string, 0, len(runs))
+	for n := range runs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	matrix = make([][]int, len(names))
+	for i, a := range names {
+		matrix[i] = make([]int, len(names))
+		for j, b := range names {
+			if i == j {
+				continue
+			}
+			n, err := FinishSooner(runs[a], runs[b])
+			if err != nil {
+				return nil, nil, fmt.Errorf("metrics: sooner matrix %s vs %s: %w", a, b, err)
+			}
+			matrix[i][j] = n
+		}
+	}
+	return names, matrix, nil
+}
+
+// FormatSoonerMatrix renders a SoonerMatrix as a table.
+func FormatSoonerMatrix(names []string, matrix [][]int) string {
+	var sb strings.Builder
+	sb.WriteString("rows finish sooner than columns:\n")
+	fmt.Fprintf(&sb, "%-12s", "")
+	for _, n := range names {
+		fmt.Fprintf(&sb, " %10s", n)
+	}
+	sb.WriteString("\n")
+	for i, n := range names {
+		fmt.Fprintf(&sb, "%-12s", n)
+		for j := range names {
+			if i == j {
+				fmt.Fprintf(&sb, " %10s", "-")
+			} else {
+				fmt.Fprintf(&sb, " %10d", matrix[i][j])
+			}
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}

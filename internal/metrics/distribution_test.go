@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func distResults() []TaskResult {
+	rs := make([]TaskResult, 0, 100)
+	for i := 0; i < 100; i++ {
+		server := "fast"
+		if i%4 == 0 {
+			server = "slow"
+		}
+		rs = append(rs, TaskResult{
+			ID: i, Arrival: float64(i), Completion: float64(i) + float64(i%10+1)*10,
+			UnloadedDuration: 10, Completed: true, Server: server,
+		})
+	}
+	return rs
+}
+
+func TestComputeDistribution(t *testing.T) {
+	d := ComputeDistribution("H", distResults())
+	if d.FlowP50 <= 0 || d.FlowP99 < d.FlowP90 || d.FlowP90 < d.FlowP50 {
+		t.Errorf("flow percentiles not monotone: %+v", d)
+	}
+	if d.MeanFlow <= 0 {
+		t.Error("mean flow missing")
+	}
+	if d.PerServer["fast"] != 75 || d.PerServer["slow"] != 25 {
+		t.Errorf("per-server counts: %+v", d.PerServer)
+	}
+	if d.StretchP99 < d.StretchP50 {
+		t.Error("stretch percentiles not monotone")
+	}
+}
+
+func TestComputeDistributionEmpty(t *testing.T) {
+	d := ComputeDistribution("H", []TaskResult{{ID: 0, Completed: false}})
+	if d.FlowP50 != 0 || len(d.PerServer) != 0 {
+		t.Errorf("empty distribution: %+v", d)
+	}
+}
+
+func TestDistributionFormat(t *testing.T) {
+	out := ComputeDistribution("MSF", distResults()).Format()
+	for _, want := range []string{"MSF flow", "MSF stretch", "tasks per server", "fast:75"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSoonerMatrix(t *testing.T) {
+	a := []TaskResult{res(0, 0, 10, 1), res(1, 0, 20, 1)}
+	b := []TaskResult{res(0, 0, 15, 1), res(1, 0, 15, 1)}
+	names, m, err := SoonerMatrix(map[string][]TaskResult{"A": a, "B": b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "A" {
+		t.Fatalf("names = %v", names)
+	}
+	// A sooner than B: task 0 (10<15). B sooner than A: task 1 (15<20).
+	if m[0][1] != 1 || m[1][0] != 1 || m[0][0] != 0 {
+		t.Errorf("matrix = %v", m)
+	}
+	out := FormatSoonerMatrix(names, m)
+	if !strings.Contains(out, "A") || !strings.Contains(out, "-") {
+		t.Errorf("matrix format:\n%s", out)
+	}
+}
+
+func TestSoonerMatrixMismatch(t *testing.T) {
+	a := []TaskResult{res(0, 0, 10, 1)}
+	b := []TaskResult{res(5, 0, 15, 1)}
+	if _, _, err := SoonerMatrix(map[string][]TaskResult{"A": a, "B": b}); err == nil {
+		t.Error("mismatched metatasks accepted")
+	}
+}

@@ -1,0 +1,142 @@
+// Package metrics computes the observation metrics of the paper (§3):
+// makespan, sum-flow, max-flow, max-stretch, the number of completed
+// tasks, and the "number of tasks that finish sooner" comparison
+// against a reference run.
+package metrics
+
+import (
+	"fmt"
+	"math"
+)
+
+// TaskResult is the outcome of one task in one experiment run.
+type TaskResult struct {
+	// ID is the task's metatask identifier.
+	ID int
+	// Server is the server that (last) executed the task; empty if the
+	// task was never scheduled.
+	Server string
+	// Arrival is the submission date a_j.
+	Arrival float64
+	// Completion is the completion date C_j (meaningful when Completed).
+	Completion float64
+	// UnloadedDuration is the task's end-to-end duration on the
+	// assigned server if it were unloaded — the denominator of the
+	// stretch metric ("relative to the time it takes on the same but
+	// unloaded server").
+	UnloadedDuration float64
+	// Completed reports whether the task finished successfully.
+	Completed bool
+	// Resubmissions counts fault-tolerance resubmissions after server
+	// collapses.
+	Resubmissions int
+}
+
+// Flow returns C_j − a_j, the time the task spent in the system.
+func (r TaskResult) Flow() float64 { return r.Completion - r.Arrival }
+
+// Stretch returns the slowdown factor (C_j − a_j) / unloaded duration.
+func (r TaskResult) Stretch() float64 {
+	if r.UnloadedDuration <= 0 {
+		return 0
+	}
+	return r.Flow() / r.UnloadedDuration
+}
+
+// Report aggregates the §3 metrics over one run. Only completed tasks
+// contribute to the flow metrics, as in the paper.
+type Report struct {
+	// Heuristic labels the scheduler that produced the run.
+	Heuristic string
+	// Submitted is the metatask size.
+	Submitted int
+	// Completed is the number of tasks that finished.
+	Completed int
+	// Makespan is max_j C_j: the completion time of the last finished task.
+	Makespan float64
+	// SumFlow is Σ_j (C_j − a_j): the system/economic metric.
+	SumFlow float64
+	// MaxFlow is max_j (C_j − a_j): the maximum time in system.
+	MaxFlow float64
+	// MaxStretch is max_j (C_j − a_j)/unloaded_j: the worst slowdown.
+	MaxStretch float64
+	// MeanStretch is the average slowdown (Weissman's §6 metric).
+	MeanStretch float64
+	// Resubmissions totals fault-tolerance resubmissions.
+	Resubmissions int
+}
+
+// Compute aggregates the metrics of one run.
+func Compute(heuristic string, results []TaskResult) Report {
+	rep := Report{Heuristic: heuristic, Submitted: len(results)}
+	var stretchSum float64
+	for _, r := range results {
+		rep.Resubmissions += r.Resubmissions
+		if !r.Completed {
+			continue
+		}
+		rep.Completed++
+		rep.SumFlow += r.Flow()
+		if r.Completion > rep.Makespan {
+			rep.Makespan = r.Completion
+		}
+		if f := r.Flow(); f > rep.MaxFlow {
+			rep.MaxFlow = f
+		}
+		s := r.Stretch()
+		stretchSum += s
+		if s > rep.MaxStretch {
+			rep.MaxStretch = s
+		}
+	}
+	if rep.Completed > 0 {
+		rep.MeanStretch = stretchSum / float64(rep.Completed)
+	}
+	return rep
+}
+
+// FinishSooner returns |{ j : C_j(a) < C_j(b) }| over the tasks
+// completed in both runs — the paper's per-user quality-of-service
+// indicator comparing heuristic a to heuristic b on the same metatask.
+// The two slices must describe the same metatask (matched by task ID).
+func FinishSooner(a, b []TaskResult) (int, error) {
+	bByID := make(map[int]TaskResult, len(b))
+	for _, r := range b {
+		bByID[r.ID] = r
+	}
+	count := 0
+	for _, ra := range a {
+		rb, ok := bByID[ra.ID]
+		if !ok {
+			return 0, fmt.Errorf("metrics: task %d missing from reference run", ra.ID)
+		}
+		if ra.Completed && rb.Completed && ra.Completion < rb.Completion {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// MeanReports averages a set of reports of the same heuristic over
+// repeated runs (used for the paper's Tables 7 and 8 mean columns).
+// Completed and Resubmissions are averaged and rounded to nearest.
+func MeanReports(reports []Report) Report {
+	if len(reports) == 0 {
+		return Report{}
+	}
+	out := Report{Heuristic: reports[0].Heuristic, Submitted: reports[0].Submitted}
+	n := float64(len(reports))
+	var completed, resub float64
+	for _, r := range reports {
+		completed += float64(r.Completed)
+		resub += float64(r.Resubmissions)
+		out.Makespan += r.Makespan / n
+		out.SumFlow += r.SumFlow / n
+		out.MaxFlow += r.MaxFlow / n
+		out.MaxStretch += r.MaxStretch / n
+		out.MeanStretch += r.MeanStretch / n
+	}
+	out.Completed = int(math.Round(completed / n))
+	out.Resubmissions = int(math.Round(resub / n))
+	return out
+}

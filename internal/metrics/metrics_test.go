@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func res(id int, arrival, completion, unloaded float64) TaskResult {
+	return TaskResult{ID: id, Arrival: arrival, Completion: completion,
+		UnloadedDuration: unloaded, Completed: true, Server: "s"}
+}
+
+func TestComputeBasics(t *testing.T) {
+	rs := []TaskResult{
+		res(0, 0, 100, 50),  // flow 100, stretch 2
+		res(1, 10, 40, 30),  // flow 30, stretch 1
+		res(2, 20, 200, 40), // flow 180, stretch 4.5
+	}
+	rep := Compute("H", rs)
+	if rep.Heuristic != "H" || rep.Submitted != 3 || rep.Completed != 3 {
+		t.Errorf("header fields wrong: %+v", rep)
+	}
+	if rep.Makespan != 200 {
+		t.Errorf("makespan = %v", rep.Makespan)
+	}
+	if rep.SumFlow != 310 {
+		t.Errorf("sumflow = %v", rep.SumFlow)
+	}
+	if rep.MaxFlow != 180 {
+		t.Errorf("maxflow = %v", rep.MaxFlow)
+	}
+	if math.Abs(rep.MaxStretch-4.5) > 1e-12 {
+		t.Errorf("maxstretch = %v", rep.MaxStretch)
+	}
+	if math.Abs(rep.MeanStretch-2.5) > 1e-12 {
+		t.Errorf("meanstretch = %v", rep.MeanStretch)
+	}
+}
+
+func TestComputeSkipsIncomplete(t *testing.T) {
+	rs := []TaskResult{
+		res(0, 0, 100, 50),
+		{ID: 1, Arrival: 5, Completed: false, Resubmissions: 2},
+	}
+	rep := Compute("H", rs)
+	if rep.Submitted != 2 || rep.Completed != 1 {
+		t.Errorf("completed count wrong: %+v", rep)
+	}
+	if rep.SumFlow != 100 {
+		t.Errorf("incomplete task leaked into sumflow: %v", rep.SumFlow)
+	}
+	if rep.Resubmissions != 2 {
+		t.Errorf("resubmissions = %d", rep.Resubmissions)
+	}
+}
+
+func TestStretchZeroUnloaded(t *testing.T) {
+	r := TaskResult{Arrival: 0, Completion: 10, UnloadedDuration: 0, Completed: true}
+	if r.Stretch() != 0 {
+		t.Errorf("stretch with zero unloaded duration = %v", r.Stretch())
+	}
+}
+
+func TestFinishSooner(t *testing.T) {
+	a := []TaskResult{res(0, 0, 50, 1), res(1, 0, 100, 1), res(2, 0, 70, 1)}
+	b := []TaskResult{res(0, 0, 60, 1), res(1, 0, 90, 1), res(2, 0, 70, 1)}
+	n, err := FinishSooner(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Errorf("FinishSooner = %d, want 1 (only task 0 is strictly sooner)", n)
+	}
+	// Incomplete tasks never count.
+	a[1].Completed = false
+	n, err = FinishSooner(a, b)
+	if err != nil || n != 1 {
+		t.Errorf("FinishSooner with incomplete = %d,%v", n, err)
+	}
+	// Mismatched metatasks are an error.
+	if _, err := FinishSooner(a, b[:2]); err == nil {
+		t.Error("mismatched runs accepted")
+	}
+}
+
+func TestFinishSoonerSelfIsZero(t *testing.T) {
+	a := []TaskResult{res(0, 0, 50, 1), res(1, 0, 100, 1)}
+	n, err := FinishSooner(a, a)
+	if err != nil || n != 0 {
+		t.Errorf("self comparison = %d,%v, want 0", n, err)
+	}
+}
+
+func TestMeanReports(t *testing.T) {
+	rs := []Report{
+		{Heuristic: "H", Submitted: 500, Completed: 500, Makespan: 100, SumFlow: 1000, MaxFlow: 10, MaxStretch: 2},
+		{Heuristic: "H", Submitted: 500, Completed: 498, Makespan: 200, SumFlow: 2000, MaxFlow: 20, MaxStretch: 4},
+	}
+	m := MeanReports(rs)
+	if m.Makespan != 150 || m.SumFlow != 1500 || m.MaxFlow != 15 || m.MaxStretch != 3 {
+		t.Errorf("mean report = %+v", m)
+	}
+	if m.Completed != 499 {
+		t.Errorf("mean completed = %d", m.Completed)
+	}
+	if MeanReports(nil).Completed != 0 {
+		t.Error("empty mean must be zero")
+	}
+}
+
+func TestFlowAndStretchAccessors(t *testing.T) {
+	r := res(0, 33, 80.79, 50)
+	if math.Abs(r.Flow()-47.79) > 1e-9 {
+		t.Errorf("Flow = %v", r.Flow())
+	}
+	if math.Abs(r.Stretch()-47.79/50) > 1e-9 {
+		t.Errorf("Stretch = %v", r.Stretch())
+	}
+}

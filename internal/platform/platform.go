@@ -1,0 +1,113 @@
+// Package platform describes the experimental testbed of the paper:
+// the machines of Table 2 (CPU, memory, swap) and the two server sets
+// used by the first (matrix multiplication) and second (waste-cpu)
+// experiment campaigns.
+package platform
+
+import "fmt"
+
+// Role describes how a machine participates in the client-agent-server
+// deployment.
+type Role int
+
+const (
+	// RoleServer machines execute tasks.
+	RoleServer Role = iota
+	// RoleAgent is the central scheduler.
+	RoleAgent
+	// RoleClient submits tasks.
+	RoleClient
+)
+
+// String returns the role name.
+func (r Role) String() string {
+	switch r {
+	case RoleServer:
+		return "server"
+	case RoleAgent:
+		return "agent"
+	case RoleClient:
+		return "client"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Machine is one testbed host, as listed in the paper's Table 2.
+type Machine struct {
+	Name      string
+	Role      Role
+	Processor string
+	SpeedMHz  int
+	MemoryMB  float64 // main memory, megabytes
+	SwapMB    float64 // swap space, megabytes
+	System    string
+}
+
+// TotalMemoryMB returns RAM plus swap: the hard capacity beyond which a
+// server collapses in the shared-resource model.
+func (m Machine) TotalMemoryMB() float64 { return m.MemoryMB + m.SwapMB }
+
+// Testbed is the Table 2 machine list, indexed by machine name.
+// Values are taken verbatim from the paper (1 Go = 1024 Mo).
+var Testbed = map[string]Machine{
+	"chamagne":  {Name: "chamagne", Role: RoleServer, Processor: "pentium II", SpeedMHz: 330, MemoryMB: 512, SwapMB: 134, System: "linux"},
+	"cabestan":  {Name: "cabestan", Role: RoleServer, Processor: "pentium III", SpeedMHz: 500, MemoryMB: 192, SwapMB: 400, System: "linux"},
+	"artimon":   {Name: "artimon", Role: RoleServer, Processor: "pentium IV", SpeedMHz: 1700, MemoryMB: 512, SwapMB: 1024, System: "linux"},
+	"pulney":    {Name: "pulney", Role: RoleServer, Processor: "xeon", SpeedMHz: 1400, MemoryMB: 256, SwapMB: 533, System: "linux"},
+	"valette":   {Name: "valette", Role: RoleServer, Processor: "pentium II", SpeedMHz: 400, MemoryMB: 128, SwapMB: 126, System: "linux"},
+	"spinnaker": {Name: "spinnaker", Role: RoleServer, Processor: "xeon", SpeedMHz: 2000, MemoryMB: 1024, SwapMB: 2048, System: "linux"},
+	"xrousse":   {Name: "xrousse", Role: RoleAgent, Processor: "pentium II bipro", SpeedMHz: 400, MemoryMB: 512, SwapMB: 512, System: "linux"},
+	"zanzibar":  {Name: "zanzibar", Role: RoleClient, Processor: "pentium III", SpeedMHz: 550, MemoryMB: 256, SwapMB: 500, System: "linux"},
+}
+
+// Set1Servers lists the servers of the first set of experiments
+// (matrix multiplications), in the paper's order.
+var Set1Servers = []string{"chamagne", "pulney", "cabestan", "artimon"}
+
+// Set2Servers lists the servers of the second set of experiments
+// (waste-cpu tasks), in the paper's order.
+var Set2Servers = []string{"valette", "spinnaker", "cabestan", "artimon"}
+
+// AgentHost and ClientHost name the agent and client machines used in
+// both experiment sets.
+const (
+	AgentHost  = "xrousse"
+	ClientHost = "zanzibar"
+)
+
+// Get returns the machine with the given name.
+func Get(name string) (Machine, error) {
+	m, ok := Testbed[name]
+	if !ok {
+		return Machine{}, fmt.Errorf("platform: unknown machine %q", name)
+	}
+	return m, nil
+}
+
+// MustGet returns the machine with the given name, panicking if it is
+// not part of the testbed. Use only with literal names.
+func MustGet(name string) Machine {
+	m, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Servers resolves a list of server names to Machine descriptions,
+// failing if any name is unknown or not a server.
+func Servers(names []string) ([]Machine, error) {
+	ms := make([]Machine, 0, len(names))
+	for _, n := range names {
+		m, err := Get(n)
+		if err != nil {
+			return nil, err
+		}
+		if m.Role != RoleServer {
+			return nil, fmt.Errorf("platform: machine %q has role %s, not server", n, m.Role)
+		}
+		ms = append(ms, m)
+	}
+	return ms, nil
+}

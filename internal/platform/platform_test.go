@@ -1,0 +1,84 @@
+package platform
+
+import "testing"
+
+func TestTable2Verbatim(t *testing.T) {
+	cases := []struct {
+		name  string
+		speed int
+		mem   float64
+		swap  float64
+	}{
+		{"chamagne", 330, 512, 134},
+		{"cabestan", 500, 192, 400},
+		{"artimon", 1700, 512, 1024},
+		{"pulney", 1400, 256, 533},
+		{"valette", 400, 128, 126},
+		{"spinnaker", 2000, 1024, 2048},
+	}
+	for _, c := range cases {
+		m := MustGet(c.name)
+		if m.SpeedMHz != c.speed || m.MemoryMB != c.mem || m.SwapMB != c.swap {
+			t.Errorf("%s = %+v, want speed=%d mem=%v swap=%v",
+				c.name, m, c.speed, c.mem, c.swap)
+		}
+		if m.Role != RoleServer {
+			t.Errorf("%s role = %v", c.name, m.Role)
+		}
+	}
+}
+
+func TestAgentAndClientRoles(t *testing.T) {
+	if MustGet(AgentHost).Role != RoleAgent {
+		t.Error("xrousse must be the agent")
+	}
+	if MustGet(ClientHost).Role != RoleClient {
+		t.Error("zanzibar must be the client")
+	}
+}
+
+func TestTotalMemory(t *testing.T) {
+	if got := MustGet("pulney").TotalMemoryMB(); got != 789 {
+		t.Errorf("pulney total memory = %v, want 789", got)
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Error("unknown machine accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet did not panic")
+		}
+	}()
+	MustGet("nosuch")
+}
+
+func TestServerSets(t *testing.T) {
+	for _, set := range [][]string{Set1Servers, Set2Servers} {
+		ms, err := Servers(set)
+		if err != nil {
+			t.Fatalf("Servers(%v): %v", set, err)
+		}
+		if len(ms) != 4 {
+			t.Errorf("server set %v has %d machines", set, len(ms))
+		}
+	}
+	if _, err := Servers([]string{"xrousse"}); err == nil {
+		t.Error("agent accepted as server")
+	}
+	if _, err := Servers([]string{"nosuch"}); err == nil {
+		t.Error("unknown server accepted")
+	}
+}
+
+func TestRoleString(t *testing.T) {
+	if RoleServer.String() != "server" || RoleAgent.String() != "agent" ||
+		RoleClient.String() != "client" {
+		t.Error("role names wrong")
+	}
+	if Role(9).String() != "Role(9)" {
+		t.Error("unknown role formatting wrong")
+	}
+}

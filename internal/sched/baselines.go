@@ -1,0 +1,242 @@
+package sched
+
+// This file implements the classic dynamic mapping baselines of
+// Maheswaran, Ali, Siegel, Hensgen & Freund, "Dynamic matching and
+// scheduling of a class of independent tasks onto heterogeneous
+// computing systems" (HCW'99) — the paper's reference [10], where MCT
+// itself comes from. The companion technical report [2] of the
+// reproduced paper compares its HTM heuristics against this family in
+// simulation, so they are part of the reproduction's scope:
+//
+//	MET  — Minimum Execution Time: fastest server, load-blind.
+//	OLB  — Opportunistic Load Balancing: next-ready server,
+//	       execution-time-blind.
+//	KPB  — K-Percent Best: completion-time choice restricted to the
+//	       k% fastest servers for the task.
+//	SA   — Switching Algorithm: alternates between MCT and MET
+//	       depending on the load-imbalance ratio.
+//
+// Ready times and completion estimates come from the HTM, giving each
+// baseline the same information quality as HMCT.
+
+import (
+	"math"
+
+	"casched/internal/htm"
+)
+
+// MET is Minimum Execution Time: the task goes to the server with the
+// lowest unloaded cost, regardless of load. Fast but catastrophic for
+// load balance on consistently heterogeneous testbeds ([10] §4.1).
+type MET struct{}
+
+// NewMET returns the MET baseline.
+func NewMET() *MET { return &MET{} }
+
+// Name implements Scheduler.
+func (*MET) Name() string { return "MET" }
+
+// Choose implements Scheduler.
+func (*MET) Choose(ctx *Context) (string, error) {
+	best, bestServer := math.Inf(1), ""
+	for _, s := range ctx.Candidates {
+		cost, ok := ctx.Task.Spec.Cost(s)
+		if !ok {
+			continue
+		}
+		if t := cost.Total(); t < best {
+			best, bestServer = t, s
+		}
+	}
+	if bestServer == "" {
+		return "", ErrNoServer
+	}
+	return bestServer, nil
+}
+
+// readyTime returns the HTM-projected instant at which the server
+// drains its current work — the "machine availability/ready time" of
+// [10]. An idle server is ready now.
+func readyTime(ctx *Context, server string) (float64, error) {
+	sim, ok := ctx.HTM.Sim(server)
+	if !ok {
+		return 0, ErrNoServer
+	}
+	ready := ctx.Now
+	for _, c := range sim.ProjectedCompletions() {
+		if c > ready {
+			ready = c
+		}
+	}
+	return ready, nil
+}
+
+// OLB is Opportunistic Load Balancing: the task goes to the server
+// expected to become ready soonest, ignoring how fast it executes the
+// task. Keeps every machine busy; generally poor completion times
+// ([10] §4.1).
+type OLB struct{}
+
+// NewOLB returns the OLB baseline.
+func NewOLB() *OLB { return &OLB{} }
+
+// Name implements Scheduler.
+func (*OLB) Name() string { return "OLB" }
+
+func (*OLB) usesHTM() bool { return true }
+
+// Choose implements Scheduler.
+func (*OLB) Choose(ctx *Context) (string, error) {
+	if ctx.HTM == nil {
+		return "", ErrNoServer
+	}
+	best, bestServer := math.Inf(1), ""
+	for _, s := range ctx.Candidates {
+		if _, ok := ctx.Task.Spec.Cost(s); !ok {
+			continue
+		}
+		r, err := readyTime(ctx, s)
+		if err != nil {
+			continue
+		}
+		if r < best {
+			best, bestServer = r, s
+		}
+	}
+	if bestServer == "" {
+		return "", ErrNoServer
+	}
+	return bestServer, nil
+}
+
+// KPB is K-Percent Best: only the ⌈k·m/100⌉ servers with the lowest
+// unloaded execution time for the task are eligible; among them the
+// task goes to the one minimizing the HTM-predicted completion. With
+// k=100 KPB degenerates to (H)MCT; with k→0 to MET ([10] §4.1).
+type KPB struct {
+	// K is the percentage of servers kept (default 50).
+	K float64
+}
+
+// NewKPB returns KPB with the default k=50%.
+func NewKPB() *KPB { return &KPB{K: 50} }
+
+// Name implements Scheduler.
+func (*KPB) Name() string { return "KPB" }
+
+func (*KPB) usesHTM() bool { return true }
+
+// Choose implements Scheduler.
+func (k *KPB) Choose(ctx *Context) (string, error) {
+	kk := k.K
+	if kk <= 0 || kk > 100 {
+		kk = 50
+	}
+	type cand struct {
+		server string
+		exec   float64
+	}
+	var cands []cand
+	for _, s := range ctx.Candidates {
+		if cost, ok := ctx.Task.Spec.Cost(s); ok {
+			cands = append(cands, cand{s, cost.Total()})
+		}
+	}
+	if len(cands) == 0 {
+		return "", ErrNoServer
+	}
+	// Select the ⌈k%⌉ fastest.
+	keep := int(math.Ceil(kk / 100 * float64(len(cands))))
+	if keep < 1 {
+		keep = 1
+	}
+	// Insertion sort by execution time (candidate lists are tiny).
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].exec < cands[j-1].exec; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
+	subset := make([]string, 0, keep)
+	for _, c := range cands[:keep] {
+		subset = append(subset, c.server)
+	}
+
+	sub := *ctx
+	sub.Candidates = subset
+	preds, err := predictAll(&sub)
+	if err != nil {
+		return "", err
+	}
+	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
+	return ties[0].Server, nil
+}
+
+// SA is the Switching Algorithm: it tracks the load-imbalance ratio
+// r = min(ready)/max(ready) and switches between MET (when the system
+// is balanced, r ≥ high) and MCT (when it becomes imbalanced, r ≤ low),
+// cycling between the two regimes ([10] §4.1). Thresholds follow the
+// reference (low 0.6, high 0.9).
+type SA struct {
+	// Low and High are the switching thresholds (defaults 0.6, 0.9).
+	Low, High float64
+
+	useMET bool
+}
+
+// NewSA returns SA with the reference thresholds.
+func NewSA() *SA { return &SA{Low: 0.6, High: 0.9} }
+
+// Name implements Scheduler.
+func (*SA) Name() string { return "SA" }
+
+func (*SA) usesHTM() bool { return true }
+
+// Choose implements Scheduler.
+func (sa *SA) Choose(ctx *Context) (string, error) {
+	if ctx.HTM == nil {
+		return "", ErrNoServer
+	}
+	low, high := sa.Low, sa.High
+	if low <= 0 {
+		low = 0.6
+	}
+	if high <= low {
+		high = 0.9
+	}
+	minReady, maxReady := math.Inf(1), 0.0
+	any := false
+	for _, s := range ctx.Candidates {
+		if _, ok := ctx.Task.Spec.Cost(s); !ok {
+			continue
+		}
+		r, err := readyTime(ctx, s)
+		if err != nil {
+			continue
+		}
+		any = true
+		// Ready times are measured from now so an idle server counts 0.
+		rel := r - ctx.Now
+		if rel < minReady {
+			minReady = rel
+		}
+		if rel > maxReady {
+			maxReady = rel
+		}
+	}
+	if !any {
+		return "", ErrNoServer
+	}
+	ratio := 1.0
+	if maxReady > 0 {
+		ratio = minReady / maxReady
+	}
+	if ratio >= high {
+		sa.useMET = true
+	} else if ratio <= low {
+		sa.useMET = false
+	}
+	if sa.useMET {
+		return (&MET{}).Choose(ctx)
+	}
+	return (&HMCT{}).Choose(ctx)
+}

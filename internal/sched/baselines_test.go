@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"testing"
+
+	"casched/internal/htm"
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// unevenSpec costs 10 on s1 and 100 on s2.
+func unevenSpec() *task.Spec {
+	return &task.Spec{Problem: "p", Variant: 1, CostOn: map[string]task.Cost{
+		"s1": {Compute: 10},
+		"s2": {Compute: 100},
+	}}
+}
+
+func TestMETAlwaysPicksFastest(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	// Load s1 heavily: MET must still pick it (that is its flaw).
+	for i := 0; i < 5; i++ {
+		if err := m.Place(i, unevenSpec(), 0, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := baseCtx(unevenSpec(), m, 1)
+	s, err := NewMET().Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("MET = %q,%v, want s1 regardless of load", s, err)
+	}
+}
+
+func TestMETNoCandidates(t *testing.T) {
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{}}
+	if _, err := NewMET().Choose(baseCtx(spec, nil, 0)); err == nil {
+		t.Error("MET with no feasible server must fail")
+	}
+}
+
+func TestOLBPicksNextReady(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	// s1 busy until t=100; s2 idle. OLB must pick s2 even though the
+	// task runs 10x slower there.
+	if err := m.Place(1, unevenSpec(), 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := baseCtx(unevenSpec(), m, 5)
+	s, err := NewOLB().Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("OLB = %q,%v, want s2 (idle)", s, err)
+	}
+}
+
+func TestOLBRequiresHTM(t *testing.T) {
+	if _, err := NewOLB().Choose(baseCtx(unevenSpec(), nil, 0)); err == nil {
+		t.Error("OLB without HTM must fail")
+	}
+}
+
+func TestKPBRestrictsToFastSubset(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	// With k=50% of 2 servers, only s1 (10s) is eligible even if busy;
+	// completion-wise s2 (idle, 100s) would win once s1 holds >9 tasks,
+	// but KPB must never consider it.
+	for i := 0; i < 12; i++ {
+		if err := m.Place(i, unevenSpec(), 0, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx := baseCtx(unevenSpec(), m, 1)
+	s, err := NewKPB().Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("KPB(50) = %q,%v, want s1", s, err)
+	}
+	// k=100 degenerates to HMCT: with s1 overloaded it picks s2.
+	k100 := &KPB{K: 100}
+	s, err = k100.Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("KPB(100) = %q,%v, want s2 (HMCT behaviour)", s, err)
+	}
+	// Out-of-range k falls back to the default.
+	kneg := &KPB{K: -5}
+	if s, err = kneg.Choose(ctx); err != nil || s != "s1" {
+		t.Errorf("KPB(-5) = %q,%v, want default-k s1", s, err)
+	}
+}
+
+func TestKPBNoCandidates(t *testing.T) {
+	m := htm.New([]string{"s1"})
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{}}
+	if _, err := NewKPB().Choose(baseCtx(spec, m, 0)); err == nil {
+		t.Error("KPB with no feasible server must fail")
+	}
+}
+
+func TestSASwitchesRegimes(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	sa := NewSA()
+
+	// Balanced system (both idle, ratio 1 ≥ high): SA uses MET -> s1.
+	ctx := baseCtx(unevenSpec(), m, 0)
+	s, err := sa.Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Fatalf("SA balanced = %q,%v, want s1 (MET regime)", s, err)
+	}
+
+	// Create a strong imbalance: pile work on s1 only.
+	for i := 10; i < 16; i++ {
+		if err := m.Place(i, unevenSpec(), 0, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// ratio = ready(s2)/ready(s1) = 0 ≤ low: SA switches to MCT, which
+	// weighs actual completion: s1 has 6 tasks of 10s -> new task ends
+	// ~t=70 shared; s2 idle -> 100s. HMCT picks s1 still (70<100)...
+	// make the imbalance longer so s2 wins.
+	for i := 20; i < 40; i++ {
+		if err := m.Place(i, unevenSpec(), 0, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx = baseCtx(unevenSpec(), m, 1)
+	s, err = sa.Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "s2" {
+		t.Errorf("SA imbalanced = %q, want s2 (MCT regime)", s)
+	}
+	if sa.useMET {
+		t.Error("SA should be in MCT regime after imbalance")
+	}
+}
+
+func TestSARequiresHTM(t *testing.T) {
+	if _, err := NewSA().Choose(baseCtx(unevenSpec(), nil, 0)); err == nil {
+		t.Error("SA without HTM must fail")
+	}
+}
+
+func TestSAThresholdDefaults(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	sa := &SA{} // zero thresholds: defaults apply
+	ctx := baseCtx(unevenSpec(), m, 0)
+	if _, err := sa.Choose(ctx); err != nil {
+		t.Errorf("SA with zero thresholds: %v", err)
+	}
+}
+
+// TestPropertyChoiceAlwaysCandidate: every heuristic returns a member
+// of the candidate list (or fails), for arbitrary load states.
+func TestPropertyChoiceAlwaysCandidate(t *testing.T) {
+	rng := stats.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		m := htm.New([]string{"s1", "s2"})
+		n := rng.Intn(8)
+		for i := 0; i < n; i++ {
+			srv := []string{"s1", "s2"}[rng.Intn(2)]
+			if err := m.Place(i, unevenSpec(), float64(i), srv); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, s := range All() {
+			ctx := baseCtx(unevenSpec(), m, float64(n))
+			ctx.Info = fixedInfo{"s1": 1, "s2": 0}
+			choice, err := s.Choose(ctx)
+			if err != nil {
+				t.Fatalf("%s failed on feasible input: %v", s.Name(), err)
+			}
+			if choice != "s1" && choice != "s2" {
+				t.Fatalf("%s chose non-candidate %q", s.Name(), choice)
+			}
+		}
+	}
+}

@@ -1,0 +1,165 @@
+// Package sched implements the scheduling heuristics of the paper:
+// the NetSolve MCT baseline (monitor-driven Minimum Completion Time),
+// and the three HTM-based heuristics of §4 — HMCT (Figure 2),
+// MP (Figure 3) and MSF (Figure 4) — plus the related-work comparator
+// MNI (Weissman's minimize-number-of-interferences, §6) and two
+// reference policies (Random, RoundRobin).
+//
+// A Scheduler receives a Context describing what the agent knows at the
+// arrival instant of a task and returns the name of the chosen server.
+// Heuristics never mutate the Context; committing the decision (telling
+// the HTM, updating load corrections) is the agent's job.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"casched/internal/htm"
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// ErrNoServer is returned when no candidate server can run the task.
+var ErrNoServer = errors.New("sched: no candidate server")
+
+// tieEps is the tolerance under which two objective values are
+// considered equal, triggering tie-breaking rules.
+const tieEps = 1e-9
+
+// LoadInfo is the monitor-based view of the system the NetSolve MCT
+// baseline uses: the agent's current belief of each server's load
+// (number of running tasks), built from periodic reports plus the two
+// NetSolve load-correction mechanisms.
+type LoadInfo interface {
+	// LoadEstimate returns the agent's belief of the number of tasks
+	// currently running on the server.
+	LoadEstimate(server string) float64
+}
+
+// Context is everything the agent exposes to a heuristic for one
+// scheduling decision.
+type Context struct {
+	// Now is the arrival date of the task being scheduled.
+	Now float64
+	// Task is the arriving task.
+	Task *task.Task
+	// JobID is the identifier under which the placement would be
+	// recorded in the HTM (distinct from Task.ID on resubmissions).
+	JobID int
+	// Candidates are the alive servers able to solve the task's
+	// problem, in a stable order.
+	Candidates []string
+	// HTM is the historical trace manager (nil for heuristics that do
+	// not use it).
+	HTM *htm.Manager
+	// Info is the monitor-based load view (nil for heuristics that do
+	// not use it).
+	Info LoadInfo
+	// RNG is the decision-local randomness source (used by Random and
+	// by randomized tie-breaking).
+	RNG *stats.RNG
+}
+
+// Scheduler chooses a server for each arriving task.
+type Scheduler interface {
+	// Name identifies the heuristic in reports ("MCT", "HMCT", ...).
+	Name() string
+	// Choose returns the chosen server name.
+	Choose(ctx *Context) (string, error)
+}
+
+// UsesHTM reports whether the scheduler requires ctx.HTM. The agent
+// uses this to skip HTM bookkeeping for monitor-based heuristics.
+func UsesHTM(s Scheduler) bool {
+	type htmUser interface{ usesHTM() bool }
+	if u, ok := s.(htmUser); ok {
+		return u.usesHTM()
+	}
+	return false
+}
+
+// ByName constructs the named scheduler. Recognized names: the
+// paper's MCT, HMCT, MP, MSF; the related-work comparators MNI
+// (Weissman) and MET, OLB, KPB, SA (Maheswaran et al., the paper's
+// reference [10]); and the Random/RoundRobin reference policies
+// (case sensitive).
+func ByName(name string) (Scheduler, error) {
+	switch name {
+	case "MCT":
+		return NewMCT(), nil
+	case "HMCT":
+		return NewHMCT(), nil
+	case "MP":
+		return NewMP(), nil
+	case "MSF":
+		return NewMSF(), nil
+	case "MNI":
+		return NewMNI(), nil
+	case "MET":
+		return NewMET(), nil
+	case "OLB":
+		return NewOLB(), nil
+	case "KPB":
+		return NewKPB(), nil
+	case "SA":
+		return NewSA(), nil
+	case "Random":
+		return NewRandom(), nil
+	case "RoundRobin":
+		return NewRoundRobin(), nil
+	default:
+		return nil, fmt.Errorf("sched: unknown heuristic %q", name)
+	}
+}
+
+// Names lists every recognized heuristic in presentation order.
+func Names() []string {
+	return []string{"MCT", "HMCT", "MP", "MSF", "MNI", "MET", "OLB", "KPB", "SA", "Random", "RoundRobin"}
+}
+
+// All returns a fresh instance of every heuristic, in the paper's
+// presentation order followed by the extensions.
+func All() []Scheduler {
+	out := make([]Scheduler, 0, len(Names()))
+	for _, n := range Names() {
+		s, err := ByName(n)
+		if err != nil {
+			panic(err) // Names and ByName out of sync: programming error
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// argminPredictions returns the candidates minimizing objective(p)
+// among preds, within tieEps of the minimum.
+func argminPredictions(preds []htm.Prediction, objective func(htm.Prediction) float64) []htm.Prediction {
+	best := math.Inf(1)
+	for _, p := range preds {
+		if v := objective(p); v < best {
+			best = v
+		}
+	}
+	var ties []htm.Prediction
+	for _, p := range preds {
+		if objective(p) <= best+tieEps {
+			ties = append(ties, p)
+		}
+	}
+	return ties
+}
+
+// predictAll evaluates every candidate with the HTM, failing when none
+// is feasible.
+func predictAll(ctx *Context) ([]htm.Prediction, error) {
+	if ctx.HTM == nil {
+		return nil, errors.New("sched: heuristic requires the HTM")
+	}
+	preds := ctx.HTM.EvaluateAll(ctx.JobID, ctx.Task.Spec, ctx.Now, ctx.Candidates)
+	if len(preds) == 0 {
+		return nil, ErrNoServer
+	}
+	return preds, nil
+}

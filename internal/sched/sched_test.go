@@ -1,0 +1,319 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/htm"
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// fixedInfo is a canned LoadInfo.
+type fixedInfo map[string]float64
+
+func (f fixedInfo) LoadEstimate(server string) float64 { return f[server] }
+
+// twoServerSpec builds a spec solvable on both servers with the given
+// compute costs.
+func twoServerSpec(c1, c2 float64) *task.Spec {
+	return &task.Spec{Problem: "p", Variant: 1, CostOn: map[string]task.Cost{
+		"s1": {Compute: c1},
+		"s2": {Compute: c2},
+	}}
+}
+
+func baseCtx(spec *task.Spec, m *htm.Manager, now float64) *Context {
+	return &Context{
+		Now:        now,
+		Task:       &task.Task{ID: 0, Spec: spec, Arrival: now},
+		JobID:      100,
+		Candidates: []string{"s1", "s2"},
+		HTM:        m,
+		RNG:        stats.NewRNG(1),
+	}
+}
+
+func TestMCTPicksLowestEstimatedCompletion(t *testing.T) {
+	spec := twoServerSpec(100, 50)
+	ctx := baseCtx(spec, nil, 0)
+	ctx.Info = fixedInfo{"s1": 0, "s2": 0}
+	s, err := NewMCT().Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("Choose = %q,%v, want s2", s, err)
+	}
+	// A load of 3 on s2 makes it 50*4=200 > 100 on s1.
+	ctx.Info = fixedInfo{"s1": 0, "s2": 3}
+	s, err = NewMCT().Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("Choose with load = %q,%v, want s1", s, err)
+	}
+}
+
+func TestMCTIgnoresRemainingWork(t *testing.T) {
+	// The §2.3 blind spot: both servers report one running task, so MCT
+	// cannot distinguish them even though s1's task is nearly done.
+	spec := twoServerSpec(100, 100)
+	ctx := baseCtx(spec, nil, 80)
+	ctx.Info = fixedInfo{"s1": 1, "s2": 1}
+	s, err := NewMCT().Choose(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != "s1" {
+		t.Errorf("MCT should fall back to first candidate on equal info, got %q", s)
+	}
+}
+
+func TestMCTNoCandidates(t *testing.T) {
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{}}
+	ctx := baseCtx(spec, nil, 0)
+	if _, err := NewMCT().Choose(ctx); err == nil {
+		t.Error("expected ErrNoServer")
+	}
+}
+
+// htmWithUsefulnessState returns an HTM in the §2.3 state: T1 (100s) on
+// s1 and T2 (200s) on s2, both placed at t=0.
+func htmWithUsefulnessState(t *testing.T) *htm.Manager {
+	t.Helper()
+	m := htm.New([]string{"s1", "s2"})
+	if err := m.Place(1, twoServerSpec(100, 100), 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(2, twoServerSpec(200, 200), 0, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestHMCTUsesTrace(t *testing.T) {
+	m := htmWithUsefulnessState(t)
+	ctx := baseCtx(twoServerSpec(100, 100), m, 80)
+	s, err := NewHMCT().Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("HMCT = %q,%v, want s1 (completion 200 vs 280)", s, err)
+	}
+}
+
+func TestHMCTRequiresHTM(t *testing.T) {
+	ctx := baseCtx(twoServerSpec(1, 1), nil, 0)
+	if _, err := NewHMCT().Choose(ctx); err == nil {
+		t.Error("HMCT without HTM must fail")
+	}
+}
+
+func TestMPMinimizesPerturbation(t *testing.T) {
+	// s1 busy (T1, 100s at t=0), s2 idle: at t=10 MP must pick s2
+	// (zero perturbation) even though s2 is slower for the task.
+	m := htm.New([]string{"s1", "s2"})
+	if err := m.Place(1, twoServerSpec(100, 100), 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	spec := twoServerSpec(50, 500)
+	ctx := baseCtx(spec, m, 10)
+	s, err := NewMP().Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("MP = %q,%v, want s2", s, err)
+	}
+}
+
+func TestMPTieBreakByCompletion(t *testing.T) {
+	// Both servers idle: perturbations tie at 0; Figure 3 rule picks
+	// the server minimizing the new task's completion.
+	m := htm.New([]string{"s1", "s2"})
+	spec := twoServerSpec(100, 50)
+	ctx := baseCtx(spec, m, 0)
+	s, err := NewMP().Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("MP tie = %q,%v, want s2", s, err)
+	}
+}
+
+func TestMPTieRandomUsesRNG(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	spec := twoServerSpec(100, 100)
+	mp := &MP{Tie: TieRandom}
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		ctx := baseCtx(spec, m, 0)
+		ctx.RNG = stats.NewRNG(uint64(i))
+		s, err := mp.Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[s] = true
+	}
+	if !seen["s1"] || !seen["s2"] {
+		t.Errorf("random tie-break never varied: %v", seen)
+	}
+}
+
+func TestMSFBalancesPerturbationAndDuration(t *testing.T) {
+	// s1 busy with a long task; s2 idle but much slower for the new
+	// task. MP would pick s2; MSF weighs the new task's own flow.
+	m := htm.New([]string{"s1", "s2"})
+	if err := m.Place(1, twoServerSpec(100, 100), 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	// New task: 50s on s1, 500s on s2.
+	// s1: completion ~ shared -> new task flow 150 at t=0... compute:
+	// placing at t=0 on s1: two tasks share; new(50) ends at 100,
+	// T1 delayed 100->150: perturbation 50, flow 100, objective 150.
+	// s2: flow 500, perturbation 0, objective 500. MSF picks s1.
+	spec := twoServerSpec(50, 500)
+	ctx := baseCtx(spec, m, 0)
+	s, err := NewMSF().Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("MSF = %q,%v, want s1", s, err)
+	}
+	// MP, by contrast, picks s2 here.
+	s, err = NewMP().Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("MP = %q,%v, want s2", s, err)
+	}
+}
+
+func TestMNICountsInterferences(t *testing.T) {
+	// s1 has two running tasks, s2 has one long one. A short new task
+	// interferes with 2 tasks on s1 but 1 on s2.
+	m := htm.New([]string{"s1", "s2"})
+	if err := m.Place(1, twoServerSpec(100, 100), 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(2, twoServerSpec(100, 100), 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Place(3, twoServerSpec(300, 300), 0, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	spec := twoServerSpec(30, 30)
+	ctx := baseCtx(spec, m, 10)
+	s, err := NewMNI().Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("MNI = %q,%v, want s2", s, err)
+	}
+}
+
+func TestRandomRespectsFeasibility(t *testing.T) {
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{"s2": {Compute: 1}}}
+	ctx := baseCtx(spec, nil, 0)
+	for i := 0; i < 20; i++ {
+		ctx.RNG = stats.NewRNG(uint64(i))
+		s, err := NewRandom().Choose(ctx)
+		if err != nil || s != "s2" {
+			t.Fatalf("Random = %q,%v, want s2", s, err)
+		}
+	}
+	ctx.Task.Spec = &task.Spec{Problem: "p", CostOn: map[string]task.Cost{}}
+	if _, err := NewRandom().Choose(ctx); err == nil {
+		t.Error("Random with no feasible server must fail")
+	}
+}
+
+func TestRoundRobinCycles(t *testing.T) {
+	rr := NewRoundRobin()
+	spec := twoServerSpec(1, 1)
+	got := []string{}
+	for i := 0; i < 4; i++ {
+		ctx := baseCtx(spec, nil, 0)
+		s, err := rr.Choose(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, s)
+	}
+	want := []string{"s1", "s2", "s1", "s2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("RoundRobin sequence = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMemoryAwareFiltersOverloaded(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	spec := &task.Spec{Problem: "p", Variant: 1, MemoryMB: 100,
+		CostOn: map[string]task.Cost{"s1": {Compute: 10}, "s2": {Compute: 1000}}}
+	demand := func(server string) (float64, float64, bool) {
+		if server == "s1" {
+			return 450, 500, true // adding 100 MB would exceed capacity
+		}
+		return 0, 500, true
+	}
+	ma := &MemoryAware{Inner: NewHMCT(), Demand: demand}
+	if ma.Name() != "HMCT+mem" {
+		t.Errorf("Name = %q", ma.Name())
+	}
+	if !UsesHTM(ma) {
+		t.Error("MemoryAware must inherit usesHTM")
+	}
+	ctx := baseCtx(spec, m, 0)
+	s, err := ma.Choose(ctx)
+	if err != nil || s != "s2" {
+		t.Errorf("MemoryAware = %q,%v, want s2", s, err)
+	}
+	// When every server is overloaded it falls back to the inner rule.
+	ma.Demand = func(string) (float64, float64, bool) { return 500, 500, true }
+	s, err = ma.Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("MemoryAware fallback = %q,%v, want s1", s, err)
+	}
+	// Zero-memory tasks bypass the filter.
+	ctx.Task.Spec = twoServerSpec(10, 1000)
+	s, err = ma.Choose(ctx)
+	if err != nil || s != "s1" {
+		t.Errorf("MemoryAware zero-mem = %q,%v, want s1", s, err)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if s.Name() != name {
+			t.Errorf("ByName(%q).Name() = %q", name, s.Name())
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestUsesHTMClassification(t *testing.T) {
+	expect := map[string]bool{
+		"MCT": false, "HMCT": true, "MP": true, "MSF": true, "MNI": true,
+		"MET": false, "OLB": true, "KPB": true, "SA": true,
+		"Random": false, "RoundRobin": false,
+	}
+	for _, s := range All() {
+		want, ok := expect[s.Name()]
+		if !ok {
+			t.Errorf("unexpected scheduler %q in All()", s.Name())
+			continue
+		}
+		if UsesHTM(s) != want {
+			t.Errorf("UsesHTM(%s) = %v, want %v", s.Name(), UsesHTM(s), want)
+		}
+	}
+}
+
+func TestArgminPredictions(t *testing.T) {
+	preds := []htm.Prediction{
+		{Server: "a", Completion: 10},
+		{Server: "b", Completion: 10 + 1e-12},
+		{Server: "c", Completion: 20},
+	}
+	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
+	if len(ties) != 2 {
+		t.Errorf("ties = %+v, want a and b", ties)
+	}
+	inf := []htm.Prediction{{Server: "x", Completion: math.Inf(1)}}
+	ties = argminPredictions(inf, func(p htm.Prediction) float64 { return p.Completion })
+	if len(ties) != 1 {
+		t.Errorf("infinite objective must still yield a candidate, got %+v", ties)
+	}
+}

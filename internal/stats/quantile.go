@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs using linear
+// interpolation between order statistics (type-7, the R/NumPy
+// default). An empty sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Percentiles returns the 50th, 90th, 95th and 99th percentiles — the
+// tail profile used in flow-distribution reports.
+func Percentiles(xs []float64) (p50, p90, p95, p99 float64) {
+	return Quantile(xs, 0.50), Quantile(xs, 0.90), Quantile(xs, 0.95), Quantile(xs, 0.99)
+}
+
+// ConfidenceInterval95 returns the half-width of the 95% confidence
+// interval of the mean under the normal approximation (1.96·s/√n).
+// Samples of fewer than two points have no interval.
+func ConfidenceInterval95(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	s := Summarize(xs)
+	return 1.96 * s.Std / math.Sqrt(float64(s.N))
+}
+
+// Histogram is a fixed-width-bin histogram.
+type Histogram struct {
+	// Min is the lower edge of the first bin.
+	Min float64
+	// Width is the bin width.
+	Width float64
+	// Counts holds one count per bin; values above the last bin edge
+	// land in the last bin.
+	Counts []int
+	// N is the total number of samples.
+	N int
+}
+
+// NewHistogram bins xs into the given number of equal-width bins
+// spanning [min(xs), max(xs)]. Degenerate inputs (empty, or all values
+// equal) yield a single-bin histogram.
+func NewHistogram(xs []float64, bins int) *Histogram {
+	if bins < 1 {
+		bins = 1
+	}
+	h := &Histogram{N: len(xs)}
+	if len(xs) == 0 {
+		h.Counts = make([]int, 1)
+		h.Width = 1
+		return h
+	}
+	s := Summarize(xs)
+	h.Min = s.Min
+	span := s.Max - s.Min
+	if span <= 0 {
+		h.Counts = make([]int, 1)
+		h.Counts[0] = len(xs)
+		h.Width = 1
+		return h
+	}
+	h.Width = span / float64(bins)
+	h.Counts = make([]int, bins)
+	for _, x := range xs {
+		i := int((x - h.Min) / h.Width)
+		if i >= bins {
+			i = bins - 1
+		}
+		if i < 0 {
+			i = 0
+		}
+		h.Counts[i]++
+	}
+	return h
+}
+
+// Render draws the histogram as ASCII bars of at most width characters.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxCount := 0
+	for _, c := range h.Counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var sb strings.Builder
+	for i, c := range h.Counts {
+		lo := h.Min + float64(i)*h.Width
+		hi := lo + h.Width
+		bar := 0
+		if maxCount > 0 {
+			bar = c * width / maxCount
+		}
+		fmt.Fprintf(&sb, "[%10.2f, %10.2f) %6d %s\n", lo, hi, c, strings.Repeat("#", bar))
+	}
+	return sb.String()
+}

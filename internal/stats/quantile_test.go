@@ -1,0 +1,149 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got := Quantile(xs, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := Quantile(xs, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := Quantile(xs, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := Quantile(xs, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	// Interpolation between order statistics.
+	if got := Quantile([]float64{0, 10}, 0.3); math.Abs(got-3) > 1e-12 {
+		t.Errorf("interpolated q30 = %v", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile must be 0")
+	}
+	if Quantile([]float64{7}, 0.9) != 7 {
+		t.Error("singleton quantile must be the value")
+	}
+	// Out-of-range q is clamped.
+	if Quantile([]float64{1, 2}, -1) != 1 || Quantile([]float64{1, 2}, 2) != 2 {
+		t.Error("q clamping broken")
+	}
+}
+
+func TestQuantileDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Quantile(xs, 0.5)
+	if xs[0] != 3 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1)
+	}
+	p50, p90, p95, p99 := Percentiles(xs)
+	if math.Abs(p50-50.5) > 0.01 || math.Abs(p90-90.1) > 0.2 ||
+		math.Abs(p95-95.05) > 0.2 || math.Abs(p99-99.01) > 0.2 {
+		t.Errorf("percentiles = %v %v %v %v", p50, p90, p95, p99)
+	}
+}
+
+func TestConfidenceInterval(t *testing.T) {
+	if ConfidenceInterval95([]float64{1}) != 0 {
+		t.Error("CI of singleton must be 0")
+	}
+	ci := ConfidenceInterval95([]float64{10, 10, 10, 10})
+	if ci != 0 {
+		t.Errorf("CI of constant sample = %v", ci)
+	}
+	ci = ConfidenceInterval95([]float64{0, 10})
+	// std = sqrt(50)≈7.07; CI = 1.96*7.07/sqrt(2) ≈ 9.8
+	if math.Abs(ci-9.8) > 0.1 {
+		t.Errorf("CI = %v, want ≈9.8", ci)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9.99}
+	h := NewHistogram(xs, 5)
+	if len(h.Counts) != 5 || h.N != 10 {
+		t.Fatalf("histogram shape: %+v", h)
+	}
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram lost samples: %d", total)
+	}
+	// Max value must land in the last bin, not overflow.
+	hEdge := NewHistogram([]float64{0, 10}, 2)
+	if hEdge.Counts[1] != 1 {
+		t.Errorf("max value misplaced: %+v", hEdge.Counts)
+	}
+}
+
+func TestHistogramDegenerate(t *testing.T) {
+	empty := NewHistogram(nil, 4)
+	if empty.N != 0 || len(empty.Counts) != 1 {
+		t.Errorf("empty histogram: %+v", empty)
+	}
+	constant := NewHistogram([]float64{5, 5, 5}, 4)
+	if constant.Counts[0] != 3 {
+		t.Errorf("constant histogram: %+v", constant)
+	}
+	if NewHistogram([]float64{1}, 0).Counts == nil {
+		t.Error("zero bins must clamp to 1")
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	h := NewHistogram([]float64{1, 1, 2, 3}, 2)
+	out := h.Render(10)
+	if !strings.Contains(out, "#") {
+		t.Errorf("render has no bars:\n%s", out)
+	}
+	if strings.Count(out, "\n") != 2 {
+		t.Errorf("render rows = %d, want 2", strings.Count(out, "\n"))
+	}
+	if NewHistogram(nil, 1).Render(0) == "" {
+		t.Error("degenerate render must not be empty")
+	}
+}
+
+// Property: quantiles are monotone in q and bounded by min/max.
+func TestPropertyQuantileMonotone(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		xs := raw[:0:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		qa, qb := math.Abs(math.Mod(a, 1)), math.Abs(math.Mod(b, 1))
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		va, vb := Quantile(xs, qa), Quantile(xs, qb)
+		s := Summarize(xs)
+		return va <= vb+1e-9 && va >= s.Min-1e-9 && vb <= s.Max+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

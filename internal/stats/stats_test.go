@@ -1,0 +1,231 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between different seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := NewRNG(7)
+	child := a.Split()
+	// The child's stream must not simply replay the parent's.
+	diff := false
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != child.Uint64() {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Error("split stream mirrors parent stream")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(35)
+	}
+	mean := sum / n
+	if math.Abs(mean-35) > 0.5 {
+		t.Errorf("Exp(35) sample mean = %v", mean)
+	}
+}
+
+func TestExpPanicsOnBadMean(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exp(0) did not panic")
+		}
+	}()
+	NewRNG(1).Exp(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(5)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := r.Normal(10, 2)
+		sum += x
+		sumsq += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sumsq/n - mean*mean)
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v", mean)
+	}
+	if math.Abs(std-2) > 0.05 {
+		t.Errorf("Normal std = %v", std)
+	}
+}
+
+func TestNoiseFactorBounds(t *testing.T) {
+	r := NewRNG(9)
+	for i := 0; i < 100000; i++ {
+		f := r.NoiseFactor(0.03)
+		if f < 1-0.09-1e-12 || f > 1+0.09+1e-12 {
+			t.Fatalf("noise factor out of truncation bounds: %v", f)
+		}
+	}
+	if NewRNG(1).NoiseFactor(0) != 1 {
+		t.Error("zero sigma must return exactly 1")
+	}
+}
+
+func TestIntn(t *testing.T) {
+	r := NewRNG(13)
+	counts := make([]int, 3)
+	for i := 0; i < 30000; i++ {
+		counts[r.Intn(3)]++
+	}
+	for i, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Errorf("Intn(3) bucket %d count %d not near uniform", i, c)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestPick(t *testing.T) {
+	r := NewRNG(17)
+	counts := make([]int, 2)
+	for i := 0; i < 30000; i++ {
+		counts[r.Pick([]float64{1, 3})]++
+	}
+	ratio := float64(counts[1]) / float64(counts[0])
+	if ratio < 2.7 || ratio > 3.3 {
+		t.Errorf("Pick weights not respected: ratio %v", ratio)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRNG(23)
+	xs := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, x := range xs {
+		seen[x] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("shuffle lost elements: %v", xs)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 || s.Sum != 10 {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("median = %v", s.Median)
+	}
+	odd := Summarize([]float64{5, 1, 3})
+	if odd.Median != 3 {
+		t.Errorf("odd median = %v", odd.Median)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || empty.Mean != 0 {
+		t.Errorf("empty summary: %+v", empty)
+	}
+}
+
+func TestSummarizeDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Errorf("Summarize mutated input: %v", xs)
+	}
+}
+
+func TestPercentError(t *testing.T) {
+	if got := PercentError(80.79, 79.99); math.Abs(got-0.99) > 0.02 {
+		t.Errorf("PercentError = %v, want ~0.99 (Table 1 row 1)", got)
+	}
+	if PercentError(0, 10) != 0 {
+		t.Error("PercentError with zero real must be 0")
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	if Mean(nil) != 0 || MeanInt(nil) != 0 {
+		t.Error("empty means must be 0")
+	}
+	if Mean([]float64{2, 4}) != 3 {
+		t.Error("Mean broken")
+	}
+	if MeanInt([]int{1, 2, 3}) != 2 {
+		t.Error("MeanInt broken")
+	}
+	if SumFloat([]float64{1.5, 2.5}) != 4 {
+		t.Error("SumFloat broken")
+	}
+	if !math.IsInf(MaxFloat(nil), -1) {
+		t.Error("MaxFloat(nil) must be -Inf")
+	}
+	if MaxFloat([]float64{1, 9, 3}) != 9 {
+		t.Error("MaxFloat broken")
+	}
+}
+
+// Property: quantile-free summary invariants hold for arbitrary samples.
+func TestPropertySummaryInvariants(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := xs[:0:0]
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				clean = append(clean, x)
+			}
+		}
+		s := Summarize(clean)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.Min <= s.Median && s.Median <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

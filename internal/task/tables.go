@@ -1,0 +1,143 @@
+package task
+
+import "fmt"
+
+// This file embeds the paper's published cost data.
+//
+// Table 3 (matrix multiplication): per-server phase costs in seconds and
+// memory needs in megabytes, for square matrices of size 1200, 1500 and
+// 1800 on the first-set servers chamagne, cabestan, artimon and pulney.
+//
+// Table 4 (waste-cpu): per-server phase costs in seconds for parameters
+// 200, 400 and 600 on the second-set servers valette, spinnaker,
+// cabestan and artimon. waste-cpu was designed by the authors to need
+// no memory.
+
+// MatmulSizes lists the matrix sizes used in the first set of
+// experiments, in the order of Table 3.
+var MatmulSizes = []int{1200, 1500, 1800}
+
+// WasteCPUParams lists the waste-cpu parameters used in the second set
+// of experiments, in the order of Table 4.
+var WasteCPUParams = []int{200, 400, 600}
+
+// matmulMemory maps matrix size to the resident footprint in MB:
+// the sum of the input and output matrix memory needs from Table 3.
+var matmulMemory = map[int]float64{
+	1200: 21.97 + 10.98, // 32.95 MB
+	1500: 34.33 + 17.16, // 51.49 MB
+	1800: 49.43 + 24.72, // 74.15 MB
+}
+
+// matmulCosts holds Table 3 verbatim: costs[size][server] in seconds.
+var matmulCosts = map[int]map[string]Cost{
+	1200: {
+		"chamagne": {Input: 4, Compute: 149, Output: 1},
+		"cabestan": {Input: 4, Compute: 70, Output: 1},
+		"artimon":  {Input: 3, Compute: 18, Output: 1},
+		"pulney":   {Input: 3, Compute: 14, Output: 1},
+	},
+	1500: {
+		"chamagne": {Input: 6, Compute: 292, Output: 2},
+		"cabestan": {Input: 5, Compute: 136, Output: 2},
+		"artimon":  {Input: 5, Compute: 33, Output: 1},
+		"pulney":   {Input: 5, Compute: 25, Output: 1},
+	},
+	1800: {
+		"chamagne": {Input: 8, Compute: 504, Output: 3},
+		"cabestan": {Input: 8, Compute: 231, Output: 3},
+		"artimon":  {Input: 8, Compute: 53, Output: 2},
+		"pulney":   {Input: 7, Compute: 40, Output: 2},
+	},
+}
+
+// wasteCPUCosts holds Table 4 verbatim: costs[param][server] in seconds.
+var wasteCPUCosts = map[int]map[string]Cost{
+	200: {
+		"valette":   {Input: 0.08, Compute: 91.81, Output: 0.03},
+		"spinnaker": {Input: 0.09, Compute: 16, Output: 0.05},
+		"cabestan":  {Input: 0.1, Compute: 74.86, Output: 0.03},
+		"artimon":   {Input: 0.12, Compute: 17.1, Output: 0.03},
+	},
+	400: {
+		"valette":   {Input: 0.08, Compute: 182.52, Output: 0.03},
+		"spinnaker": {Input: 0.14, Compute: 30.6, Output: 0.06},
+		"cabestan":  {Input: 0.09, Compute: 148.48, Output: 0.03},
+		"artimon":   {Input: 0.13, Compute: 33.2, Output: 0.03},
+	},
+	600: {
+		"valette":   {Input: 0.13, Compute: 273.28, Output: 0.03},
+		"spinnaker": {Input: 0.09, Compute: 45.6, Output: 0.05},
+		"cabestan":  {Input: 0.08, Compute: 222.26, Output: 0.03},
+		"artimon":   {Input: 0.14, Compute: 49.4, Output: 0.03},
+	},
+}
+
+// Matmul returns the Spec for a square matrix multiplication of the
+// given size (one of MatmulSizes). It panics on an unknown size, which
+// indicates a programming error in experiment setup.
+func Matmul(size int) *Spec {
+	costs, ok := matmulCosts[size]
+	if !ok {
+		panic("task: unknown matmul size")
+	}
+	return &Spec{
+		Problem:  "matmul",
+		Variant:  size,
+		CostOn:   costs,
+		MemoryMB: matmulMemory[size],
+	}
+}
+
+// WasteCPU returns the Spec for a waste-cpu task with the given
+// parameter (one of WasteCPUParams). It panics on an unknown parameter.
+func WasteCPU(param int) *Spec {
+	costs, ok := wasteCPUCosts[param]
+	if !ok {
+		panic("task: unknown waste-cpu parameter")
+	}
+	return &Spec{
+		Problem:  "wastecpu",
+		Variant:  param,
+		CostOn:   costs,
+		MemoryMB: 0,
+	}
+}
+
+// MatmulSpecs returns the three matmul specs in Table 3 order.
+func MatmulSpecs() []*Spec {
+	specs := make([]*Spec, 0, len(MatmulSizes))
+	for _, s := range MatmulSizes {
+		specs = append(specs, Matmul(s))
+	}
+	return specs
+}
+
+// Resolve returns the Spec for a (problem, variant) pair as transmitted
+// over the wire by the live runtime ("matmul"/"wastecpu" with their
+// Table 3/4 variants).
+func Resolve(problem string, variant int) (*Spec, error) {
+	switch problem {
+	case "matmul":
+		if _, ok := matmulCosts[variant]; !ok {
+			return nil, fmt.Errorf("task: unknown matmul size %d", variant)
+		}
+		return Matmul(variant), nil
+	case "wastecpu":
+		if _, ok := wasteCPUCosts[variant]; !ok {
+			return nil, fmt.Errorf("task: unknown waste-cpu parameter %d", variant)
+		}
+		return WasteCPU(variant), nil
+	default:
+		return nil, fmt.Errorf("task: unknown problem %q", problem)
+	}
+}
+
+// WasteCPUSpecs returns the three waste-cpu specs in Table 4 order.
+func WasteCPUSpecs() []*Spec {
+	specs := make([]*Spec, 0, len(WasteCPUParams))
+	for _, p := range WasteCPUParams {
+		specs = append(specs, WasteCPU(p))
+	}
+	return specs
+}

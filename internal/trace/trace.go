@@ -1,0 +1,94 @@
+// Package trace records execution events of a simulation or live run
+// and exports them as CSV for post-mortem analysis (the reproduction's
+// analogue of the instrumented NetSolve logs the authors used).
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Record is one timestamped event.
+type Record struct {
+	// Time is the event date in seconds of experiment time.
+	Time float64
+	// Kind is the event kind ("arrival", "schedule", "phase-end",
+	// "done", "collapse", "resubmit", "failed", ...).
+	Kind string
+	// Server is the involved server (may be empty).
+	Server string
+	// TaskID is the involved task (-1 if none).
+	TaskID int
+	// Attempt is the fault-tolerance attempt number (0 = first).
+	Attempt int
+	// Note carries free-form detail.
+	Note string
+}
+
+// Log is an append-only event log, safe for concurrent use (the live
+// runtime appends from several goroutines).
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// Add appends a record.
+func (l *Log) Add(r Record) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.records = append(l.records, r)
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Records returns a copy of the log, sorted by time (stable on ties).
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]Record(nil), l.records...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return out
+}
+
+// Filter returns the records matching the kind (all kinds if empty).
+func (l *Log) Filter(kind string) []Record {
+	var out []Record
+	for _, r := range l.Records() {
+		if kind == "" || r.Kind == kind {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteCSV writes the sorted log with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time", "kind", "server", "task", "attempt", "note"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for _, r := range l.Records() {
+		row := []string{
+			strconv.FormatFloat(r.Time, 'f', 3, 64),
+			r.Kind,
+			r.Server,
+			strconv.Itoa(r.TaskID),
+			strconv.Itoa(r.Attempt),
+			r.Note,
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: write row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestAddAndRecordsSorted(t *testing.T) {
+	var l Log
+	l.Add(Record{Time: 5, Kind: "b"})
+	l.Add(Record{Time: 1, Kind: "a"})
+	l.Add(Record{Time: 5, Kind: "c"})
+	rs := l.Records()
+	if len(rs) != 3 || l.Len() != 3 {
+		t.Fatalf("len = %d", len(rs))
+	}
+	if rs[0].Kind != "a" {
+		t.Errorf("not sorted by time: %+v", rs)
+	}
+	// Stable on equal times: b before c.
+	if rs[1].Kind != "b" || rs[2].Kind != "c" {
+		t.Errorf("tie order not stable: %+v", rs)
+	}
+}
+
+func TestFilter(t *testing.T) {
+	var l Log
+	l.Add(Record{Time: 1, Kind: "done"})
+	l.Add(Record{Time: 2, Kind: "lost"})
+	l.Add(Record{Time: 3, Kind: "done"})
+	if got := len(l.Filter("done")); got != 2 {
+		t.Errorf("Filter(done) = %d", got)
+	}
+	if got := len(l.Filter("")); got != 3 {
+		t.Errorf("Filter('') = %d", got)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var l Log
+	l.Add(Record{Time: 1.5, Kind: "done", Server: "artimon", TaskID: 7, Attempt: 0, Note: "x"})
+	var sb strings.Builder
+	if err := l.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "time,kind,server,task,attempt,note" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != "1.500,done,artimon,7,0,x" {
+		t.Errorf("row = %q", lines[1])
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	var l Log
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(base int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Add(Record{Time: float64(base*100 + j), Kind: "k"})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if l.Len() != 800 {
+		t.Errorf("records = %d, want 800", l.Len())
+	}
+}

@@ -1,0 +1,70 @@
+package workload
+
+import (
+	"fmt"
+
+	"casched/internal/stats"
+)
+
+// ArrivalProcess generates the inter-arrival gaps of a metatask. The
+// paper uses Poisson arrivals; the alternatives probe how the
+// heuristics respond to other traffic shapes (the tech report [2]
+// explored several in simulation).
+type ArrivalProcess int
+
+const (
+	// ArrivalPoisson draws exponential gaps with the scenario mean —
+	// the paper's process.
+	ArrivalPoisson ArrivalProcess = iota
+	// ArrivalUniform draws gaps uniformly in [0.5·D, 1.5·D]: same mean,
+	// far less variance.
+	ArrivalUniform
+	// ArrivalBursty releases tasks in bursts of BurstSize separated by
+	// BurstSize·D: same long-run rate, maximal short-term contention.
+	ArrivalBursty
+	// ArrivalConstant spaces every gap exactly D apart.
+	ArrivalConstant
+)
+
+// String returns the process name.
+func (p ArrivalProcess) String() string {
+	switch p {
+	case ArrivalPoisson:
+		return "poisson"
+	case ArrivalUniform:
+		return "uniform"
+	case ArrivalBursty:
+		return "bursty"
+	case ArrivalConstant:
+		return "constant"
+	default:
+		return fmt.Sprintf("ArrivalProcess(%d)", int(p))
+	}
+}
+
+// defaultBurstSize is the burst length when a bursty scenario does not
+// set one.
+const defaultBurstSize = 5
+
+// gapGenerator returns a function producing the i-th inter-arrival gap
+// (called for i = 1..N-1).
+func gapGenerator(p ArrivalProcess, mean float64, burst int, rng *stats.RNG) func(i int) float64 {
+	switch p {
+	case ArrivalUniform:
+		return func(int) float64 { return mean * (0.5 + rng.Float64()) }
+	case ArrivalBursty:
+		if burst < 1 {
+			burst = defaultBurstSize
+		}
+		return func(i int) float64 {
+			if i%burst == 0 {
+				return mean * float64(burst)
+			}
+			return 0
+		}
+	case ArrivalConstant:
+		return func(int) float64 { return mean }
+	default: // ArrivalPoisson
+		return func(int) float64 { return rng.Exp(mean) }
+	}
+}

@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"casched/internal/task"
+)
+
+func scenarioWith(p ArrivalProcess, burst int) Scenario {
+	sc := Set2(500, 20, 7)
+	sc.Arrival = p
+	sc.BurstSize = burst
+	return sc
+}
+
+func TestArrivalProcessNames(t *testing.T) {
+	want := map[ArrivalProcess]string{
+		ArrivalPoisson: "poisson", ArrivalUniform: "uniform",
+		ArrivalBursty: "bursty", ArrivalConstant: "constant",
+	}
+	for p, name := range want {
+		if p.String() != name {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), name)
+		}
+	}
+	if !strings.Contains(ArrivalProcess(99).String(), "99") {
+		t.Error("unknown process formatting wrong")
+	}
+}
+
+// TestArrivalMeansMatch: every process preserves the configured mean
+// rate within sampling error.
+func TestArrivalMeansMatch(t *testing.T) {
+	for _, p := range []ArrivalProcess{ArrivalPoisson, ArrivalUniform, ArrivalBursty, ArrivalConstant} {
+		mt := MustGenerate(scenarioWith(p, 5))
+		mean := mt.Horizon() / float64(mt.Len()-1)
+		if math.Abs(mean-20) > 2.5 {
+			t.Errorf("%s: empirical mean gap %v, want ~20", p, mean)
+		}
+	}
+}
+
+func TestConstantArrivals(t *testing.T) {
+	mt := MustGenerate(scenarioWith(ArrivalConstant, 0))
+	for i := 1; i < 10; i++ {
+		gap := mt.Tasks[i].Arrival - mt.Tasks[i-1].Arrival
+		if math.Abs(gap-20) > 1e-9 {
+			t.Fatalf("constant gap %d = %v", i, gap)
+		}
+	}
+}
+
+func TestBurstyArrivals(t *testing.T) {
+	mt := MustGenerate(scenarioWith(ArrivalBursty, 4))
+	// Tasks 1-3 arrive with the first task (gap 0), task 4 starts the
+	// next burst 80s later.
+	for i := 1; i < 4; i++ {
+		if mt.Tasks[i].Arrival != mt.Tasks[0].Arrival {
+			t.Fatalf("task %d not in first burst: %v vs %v",
+				i, mt.Tasks[i].Arrival, mt.Tasks[0].Arrival)
+		}
+	}
+	gap := mt.Tasks[4].Arrival - mt.Tasks[3].Arrival
+	if math.Abs(gap-80) > 1e-9 {
+		t.Errorf("burst gap = %v, want 80", gap)
+	}
+	// Zero burst size falls back to the default of 5.
+	def := MustGenerate(scenarioWith(ArrivalBursty, 0))
+	if def.Tasks[4].Arrival != def.Tasks[0].Arrival {
+		t.Error("default burst size must be 5")
+	}
+	if def.Tasks[5].Arrival == def.Tasks[0].Arrival {
+		t.Error("burst boundary missing at default size")
+	}
+}
+
+func TestUniformArrivalsBounded(t *testing.T) {
+	mt := MustGenerate(scenarioWith(ArrivalUniform, 0))
+	for i := 1; i < mt.Len(); i++ {
+		gap := mt.Tasks[i].Arrival - mt.Tasks[i-1].Arrival
+		if gap < 10-1e-9 || gap > 30+1e-9 {
+			t.Fatalf("uniform gap out of [10,30]: %v", gap)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	mt := MustGenerate(Set1(50, 25, 9))
+	var sb strings.Builder
+	if err := WriteCSV(&sb, mt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()), "roundtrip")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != mt.Len() {
+		t.Fatalf("round trip lost tasks: %d vs %d", back.Len(), mt.Len())
+	}
+	for i := range mt.Tasks {
+		a, b := mt.Tasks[i], back.Tasks[i]
+		if a.ID != b.ID || a.Spec.Problem != b.Spec.Problem ||
+			a.Spec.Variant != b.Spec.Variant ||
+			math.Abs(a.Arrival-b.Arrival) > 1e-6 {
+			t.Fatalf("round trip diverged at task %d: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":       "",
+		"bad header":  "a,b,c,d\n",
+		"bad id":      "id,problem,variant,arrival\nx,matmul,1200,0\n",
+		"bad variant": "id,problem,variant,arrival\n0,matmul,x,0\n",
+		"bad arrival": "id,problem,variant,arrival\n0,matmul,1200,x\n",
+		"bad problem": "id,problem,variant,arrival\n0,nosuch,1,0\n",
+		"bad order":   "id,problem,variant,arrival\n0,matmul,1200,10\n1,matmul,1200,5\n",
+	}
+	for name, data := range cases {
+		if _, err := ReadCSV(strings.NewReader(data), name); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestWriteCSVRejectsInvalid(t *testing.T) {
+	bad := &task.Metatask{Name: "bad", Tasks: []*task.Task{{ID: 3}}}
+	var sb strings.Builder
+	if err := WriteCSV(&sb, bad); err == nil {
+		t.Error("invalid metatask written")
+	}
+}
+
+// Property: generation is deterministic and valid for arbitrary seeds
+// and processes.
+func TestPropertyGenerationValid(t *testing.T) {
+	f := func(seed uint64, proc uint8, n uint8) bool {
+		sc := Set2(int(n%50)+1, 15, seed)
+		sc.Arrival = ArrivalProcess(proc % 4)
+		a, err := Generate(sc)
+		if err != nil {
+			return false
+		}
+		b, err := Generate(sc)
+		if err != nil {
+			return false
+		}
+		if a.Validate() != nil {
+			return false
+		}
+		for i := range a.Tasks {
+			if a.Tasks[i].Arrival != b.Tasks[i].Arrival {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

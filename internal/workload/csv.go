@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"casched/internal/task"
+)
+
+// WriteCSV serializes a metatask as CSV (columns: id, problem,
+// variant, arrival), so experiments can be archived and replayed
+// exactly — the equivalent of the submission logs the paper's
+// instrumented NetSolve produced.
+func WriteCSV(w io.Writer, mt *task.Metatask) error {
+	if err := mt.Validate(); err != nil {
+		return fmt.Errorf("workload: write csv: %w", err)
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"id", "problem", "variant", "arrival"}); err != nil {
+		return fmt.Errorf("workload: write csv header: %w", err)
+	}
+	for _, t := range mt.Tasks {
+		row := []string{
+			strconv.Itoa(t.ID),
+			t.Spec.Problem,
+			strconv.Itoa(t.Spec.Variant),
+			strconv.FormatFloat(t.Arrival, 'f', 6, 64),
+		}
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("workload: write csv row %d: %w", t.ID, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a metatask previously written by WriteCSV. Task specs
+// are resolved through task.Resolve, so only the built-in problems
+// (matmul, wastecpu) round-trip.
+func ReadCSV(r io.Reader, name string) (*task.Metatask, error) {
+	cr := csv.NewReader(r)
+	rows, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("workload: read csv: %w", err)
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("workload: read csv: empty file")
+	}
+	header := rows[0]
+	if len(header) != 4 || header[0] != "id" || header[1] != "problem" ||
+		header[2] != "variant" || header[3] != "arrival" {
+		return nil, fmt.Errorf("workload: read csv: unexpected header %v", header)
+	}
+	mt := &task.Metatask{Name: name}
+	for i, row := range rows[1:] {
+		if len(row) != 4 {
+			return nil, fmt.Errorf("workload: read csv: row %d has %d fields", i+1, len(row))
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: read csv: row %d id: %w", i+1, err)
+		}
+		variant, err := strconv.Atoi(row[2])
+		if err != nil {
+			return nil, fmt.Errorf("workload: read csv: row %d variant: %w", i+1, err)
+		}
+		arrival, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: read csv: row %d arrival: %w", i+1, err)
+		}
+		spec, err := task.Resolve(row[1], variant)
+		if err != nil {
+			return nil, fmt.Errorf("workload: read csv: row %d: %w", i+1, err)
+		}
+		mt.Tasks = append(mt.Tasks, &task.Task{ID: id, Spec: spec, Arrival: arrival})
+	}
+	if err := mt.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: read csv: %w", err)
+	}
+	return mt, nil
+}

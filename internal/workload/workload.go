@@ -1,0 +1,121 @@
+// Package workload generates the paper's metatasks: sets of independent
+// tasks of uniformly random type whose inter-arrival times are drawn
+// from an exponential distribution (the paper's "difference between two
+// arrivals is drawn from a Poisson distribution with a mean of D
+// seconds", i.e. a Poisson arrival process).
+package workload
+
+import (
+	"fmt"
+
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// Scenario describes one metatask to generate.
+type Scenario struct {
+	// Name labels the metatask.
+	Name string
+	// Specs is the task-type pool; each task picks one uniformly
+	// ("a task has a uniform probability to be of each duration").
+	Specs []*task.Spec
+	// N is the number of tasks (the paper uses 500).
+	N int
+	// MeanInterarrival is D, the mean of the exponential inter-arrival
+	// distribution in seconds (the paper uses 35 and 20).
+	MeanInterarrival float64
+	// FirstAt is the arrival date of the first task; the subsequent
+	// N−1 gaps follow the arrival process.
+	FirstAt float64
+	// Seed drives all randomness of the generation.
+	Seed uint64
+	// Arrival selects the arrival process (default ArrivalPoisson, the
+	// paper's).
+	Arrival ArrivalProcess
+	// BurstSize is the burst length for ArrivalBursty (default 5).
+	BurstSize int
+}
+
+// Validate checks the scenario parameters.
+func (s Scenario) Validate() error {
+	if s.N <= 0 {
+		return fmt.Errorf("workload: scenario %q: N must be positive, got %d", s.Name, s.N)
+	}
+	if len(s.Specs) == 0 {
+		return fmt.Errorf("workload: scenario %q: no task specs", s.Name)
+	}
+	if s.MeanInterarrival <= 0 {
+		return fmt.Errorf("workload: scenario %q: mean inter-arrival must be positive, got %v",
+			s.Name, s.MeanInterarrival)
+	}
+	if s.FirstAt < 0 {
+		return fmt.Errorf("workload: scenario %q: negative first arrival %v", s.Name, s.FirstAt)
+	}
+	return nil
+}
+
+// Generate builds the metatask of a scenario. Generation is
+// deterministic in the seed: the same scenario always produces the same
+// metatask, and the task-type sequence does not depend on the arrival
+// rate (so "the same set of tasks is considered with different arrival
+// dates", as in the paper's experimental design, can be obtained by
+// varying only MeanInterarrival).
+func Generate(sc Scenario) (*task.Metatask, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	// Two decorrelated streams: one for the task mix, one for the
+	// arrival process, so that changing D preserves the task sequence.
+	root := stats.NewRNG(sc.Seed)
+	mixRNG := root.Split()
+	arrRNG := root.Split()
+
+	gap := gapGenerator(sc.Arrival, sc.MeanInterarrival, sc.BurstSize, arrRNG)
+	mt := &task.Metatask{Name: sc.Name, Tasks: make([]*task.Task, 0, sc.N)}
+	now := sc.FirstAt
+	for i := 0; i < sc.N; i++ {
+		spec := sc.Specs[mixRNG.Intn(len(sc.Specs))]
+		if i > 0 {
+			now += gap(i)
+		}
+		mt.Tasks = append(mt.Tasks, &task.Task{ID: i, Spec: spec, Arrival: now})
+	}
+	if err := mt.Validate(); err != nil {
+		return nil, fmt.Errorf("workload: generated invalid metatask: %w", err)
+	}
+	return mt, nil
+}
+
+// MustGenerate is Generate panicking on error; for use with literal
+// scenarios in examples and benchmarks.
+func MustGenerate(sc Scenario) *task.Metatask {
+	mt, err := Generate(sc)
+	if err != nil {
+		panic(err)
+	}
+	return mt
+}
+
+// Set1 returns the paper's first-set scenario: N matrix-multiplication
+// tasks (sizes uniform over 1200/1500/1800) at mean inter-arrival d.
+func Set1(n int, d float64, seed uint64) Scenario {
+	return Scenario{
+		Name:             fmt.Sprintf("set1-matmul-n%d-d%g-s%d", n, d, seed),
+		Specs:            task.MatmulSpecs(),
+		N:                n,
+		MeanInterarrival: d,
+		Seed:             seed,
+	}
+}
+
+// Set2 returns the paper's second-set scenario: N waste-cpu tasks
+// (parameters uniform over 200/400/600) at mean inter-arrival d.
+func Set2(n int, d float64, seed uint64) Scenario {
+	return Scenario{
+		Name:             fmt.Sprintf("set2-wastecpu-n%d-d%g-s%d", n, d, seed),
+		Specs:            task.WasteCPUSpecs(),
+		N:                n,
+		MeanInterarrival: d,
+		Seed:             seed,
+	}
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/task"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Set1(100, 35, 7))
+	b := MustGenerate(Set1(100, 35, 7))
+	for i := range a.Tasks {
+		if a.Tasks[i].Arrival != b.Tasks[i].Arrival ||
+			a.Tasks[i].Spec.Variant != b.Tasks[i].Spec.Variant {
+			t.Fatalf("generation not deterministic at task %d", i)
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Set1(100, 35, 1))
+	b := MustGenerate(Set1(100, 35, 2))
+	same := 0
+	for i := range a.Tasks {
+		if a.Tasks[i].Arrival == b.Tasks[i].Arrival {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Errorf("%d identical arrivals across seeds", same)
+	}
+}
+
+// TestSameTaskMixAcrossRates checks the paper's experimental design:
+// "the same metatask is considered with different arrival dates" —
+// changing D must preserve the task-type sequence.
+func TestSameTaskMixAcrossRates(t *testing.T) {
+	d35 := MustGenerate(Set1(200, 35, 11))
+	d20 := MustGenerate(Set1(200, 20, 11))
+	for i := range d35.Tasks {
+		if d35.Tasks[i].Spec.Variant != d20.Tasks[i].Spec.Variant {
+			t.Fatalf("task mix diverged at %d: %d vs %d", i,
+				d35.Tasks[i].Spec.Variant, d20.Tasks[i].Spec.Variant)
+		}
+	}
+}
+
+func TestInterarrivalMean(t *testing.T) {
+	mt := MustGenerate(Set1(5000, 35, 3))
+	gaps := make([]float64, 0, mt.Len()-1)
+	for i := 1; i < mt.Len(); i++ {
+		gaps = append(gaps, mt.Tasks[i].Arrival-mt.Tasks[i-1].Arrival)
+	}
+	mean := 0.0
+	for _, g := range gaps {
+		mean += g
+	}
+	mean /= float64(len(gaps))
+	if math.Abs(mean-35) > 2 {
+		t.Errorf("mean inter-arrival = %v, want ~35", mean)
+	}
+}
+
+func TestUniformTaskMix(t *testing.T) {
+	mt := MustGenerate(Set2(3000, 20, 5))
+	counts := map[int]int{}
+	for _, tk := range mt.Tasks {
+		counts[tk.Spec.Variant]++
+	}
+	for _, p := range task.WasteCPUParams {
+		c := counts[p]
+		if c < 800 || c > 1200 {
+			t.Errorf("variant %d count %d not near uniform 1000", p, c)
+		}
+	}
+}
+
+func TestGeneratedMetataskValidates(t *testing.T) {
+	mt := MustGenerate(Set1(50, 20, 9))
+	if err := mt.Validate(); err != nil {
+		t.Error(err)
+	}
+	if mt.Len() != 50 {
+		t.Errorf("Len = %d", mt.Len())
+	}
+}
+
+func TestScenarioValidation(t *testing.T) {
+	bad := []Scenario{
+		{Name: "n", Specs: task.MatmulSpecs(), N: 0, MeanInterarrival: 1},
+		{Name: "specs", Specs: nil, N: 1, MeanInterarrival: 1},
+		{Name: "d", Specs: task.MatmulSpecs(), N: 1, MeanInterarrival: 0},
+		{Name: "first", Specs: task.MatmulSpecs(), N: 1, MeanInterarrival: 1, FirstAt: -1},
+	}
+	for _, sc := range bad {
+		if _, err := Generate(sc); err == nil {
+			t.Errorf("scenario %q accepted", sc.Name)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGenerate did not panic on invalid scenario")
+		}
+	}()
+	MustGenerate(bad[0])
+}
+
+func TestFirstAt(t *testing.T) {
+	sc := Set2(10, 20, 1)
+	sc.FirstAt = 100
+	mt := MustGenerate(sc)
+	if mt.Tasks[0].Arrival != 100 {
+		t.Errorf("first arrival = %v, want 100", mt.Tasks[0].Arrival)
+	}
+}
