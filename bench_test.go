@@ -413,6 +413,127 @@ func BenchmarkAblationMemoryAwareHTM(b *testing.B) {
 	}
 }
 
+// --- Large-testbed scheduling-core benchmarks ---
+
+// largeTestbed builds a synthetic testbed of n servers and a waste-cpu
+// style spec pool solvable everywhere, with mildly heterogeneous costs.
+func largeTestbed(n int) ([]string, []*casched.Spec) {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("sv%02d", i)
+	}
+	var specs []*casched.Spec
+	for v, base := range []float64{40, 80, 160} {
+		costs := make(map[string]casched.Cost, n)
+		for i, name := range names {
+			f := 1 + 0.04*float64(i%11)
+			costs[name] = casched.Cost{Input: 0.5 * f, Compute: base * f, Output: 0.2 * f}
+		}
+		specs = append(specs, &casched.Spec{Problem: "synthetic", Variant: v, CostOn: costs})
+	}
+	return names, specs
+}
+
+// largeTrace returns an HTM whose live trace holds nTasks placed tasks
+// on a testbed of nServers servers, under inhomogeneous-Poisson
+// arrivals, plus the evaluation probe (spec and arrival date).
+func largeTrace(b *testing.B, nServers, nTasks, workers int) (*casched.HTM, []string, *casched.Spec, float64) {
+	b.Helper()
+	names, specs := largeTestbed(nServers)
+	sc := casched.PoissonBurstScenario(nTasks, 5, 17)
+	sc.Specs = specs
+	mt, err := casched.GenerateScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := casched.NewHTM(names, casched.HTMWithWorkers(workers))
+	for i, t := range mt.Tasks {
+		if err := m.Place(t.ID, t.Spec, t.Arrival, names[i%len(names)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	horizon := mt.Tasks[mt.Len()-1].Arrival
+	return m, names, specs[1], horizon
+}
+
+// BenchmarkEvaluateAllLargeTestbed pits the scheduling core's two
+// evaluation paths against each other at large-testbed scale (32
+// servers, 2000 placed tasks): the seed's per-candidate full replay
+// (two projections per server per decision, nothing cached) versus the
+// incremental core (cached baselines, copy-on-write clones, worker
+// fan-out). The ns/op ratio between the sub-benchmarks is the
+// per-decision speedup.
+func BenchmarkEvaluateAllLargeTestbed(b *testing.B) {
+	const nServers, nTasks = 32, 2000
+	const probeID = 9_999_999
+	b.Run("full-replay-sequential", func(b *testing.B) {
+		m, names, spec, at := largeTrace(b, nServers, nTasks, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, s := range names {
+				if _, err := m.EvaluateFull(probeID, spec, at, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("incremental", func(b *testing.B) {
+		m, names, spec, at := largeTrace(b, nServers, nTasks, 1)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.EvaluateAll(probeID, spec, at, names); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("incremental-concurrent", func(b *testing.B) {
+		m, names, spec, at := largeTrace(b, nServers, nTasks, 0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := m.EvaluateAll(probeID, spec, at, names); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkLargeTestbedMSFPoissonBurst runs the full discrete-event
+// simulator at large-testbed scale under bursty inhomogeneous-Poisson
+// traffic with the heaviest HTM heuristic — the end-to-end view of the
+// concurrent incremental core (every arrival triggers a 32-candidate
+// evaluation).
+func BenchmarkLargeTestbedMSFPoissonBurst(b *testing.B) {
+	const nServers, nTasks = 32, 2000
+	names, specs := largeTestbed(nServers)
+	sc := casched.PoissonBurstScenario(nTasks, 5, 17)
+	sc.Specs = specs
+	mt, err := casched.GenerateScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	servers := make([]casched.ServerConfig, len(names))
+	for i, n := range names {
+		servers[i] = casched.ServerConfig{Name: n}
+	}
+	b.ResetTimer()
+	var rep casched.Report
+	for i := 0; i < b.N; i++ {
+		s, err := casched.NewScheduler("MSF")
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := casched.Run(casched.RunConfig{
+			Servers: servers, Scheduler: s, Seed: 17, NoiseSigma: 0.03,
+		}, mt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rep = res.Report()
+	}
+	b.ReportMetric(float64(rep.Completed), "completed")
+	b.ReportMetric(rep.SumFlow, "sumflow")
+}
+
 // --- Micro-benchmarks of the core machinery ---
 
 // BenchmarkHTMEvaluate measures one candidate evaluation against a

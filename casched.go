@@ -155,6 +155,9 @@ const (
 	ArrivalBursty = workload.ArrivalBursty
 	// ArrivalConstant spaces gaps exactly D apart.
 	ArrivalConstant = workload.ArrivalConstant
+	// ArrivalPoissonBurst is the inhomogeneous Poisson process: bursts
+	// of high arrival rate at an unchanged long-run mean.
+	ArrivalPoissonBurst = workload.ArrivalPoissonBurst
 )
 
 // Testbed server sets (Table 2).
@@ -185,6 +188,10 @@ func HTMWithSync() htm.Option { return htm.WithSync() }
 
 // HTMWithMemoryModel makes the HTM model server memory.
 func HTMWithMemoryModel() htm.Option { return htm.WithMemoryModel() }
+
+// HTMWithWorkers bounds the HTM's candidate-evaluation worker pool
+// (0 = GOMAXPROCS).
+func HTMWithWorkers(n int) htm.Option { return htm.WithWorkers(n) }
 
 // Run executes a metatask on the discrete-event simulator.
 func Run(cfg RunConfig, mt *Metatask) (*RunResult, error) { return grid.Run(cfg, mt) }
@@ -294,6 +301,12 @@ func Set1Scenario(n int, d float64, seed uint64) Scenario { return workload.Set1
 
 // Set2Scenario returns the second-set scenario.
 func Set2Scenario(n int, d float64, seed uint64) Scenario { return workload.Set2(n, d, seed) }
+
+// PoissonBurstScenario returns a second-set scenario under the
+// inhomogeneous-Poisson (bursty) arrival process.
+func PoissonBurstScenario(n int, d float64, seed uint64) Scenario {
+	return workload.PoissonBurst(n, d, seed)
+}
 
 // WriteMetataskCSV archives a metatask as CSV for exact replay.
 func WriteMetataskCSV(w io.Writer, mt *Metatask) error { return workload.WriteCSV(w, mt) }

@@ -26,7 +26,7 @@ func main() {
 		n       = flag.Int("n", 500, "metatask size")
 		d       = flag.Float64("d", 25, "mean inter-arrival time (s)")
 		seed    = flag.Uint64("seed", 103, "generation seed")
-		arrival = flag.String("arrival", "poisson", "arrival process: poisson, uniform, bursty, constant")
+		arrival = flag.String("arrival", "poisson", "arrival process: poisson, uniform, bursty, constant, poisson-burst")
 		burst   = flag.Int("burst", 5, "burst size for -arrival bursty")
 		out     = flag.String("out", "", "write the metatask as CSV to this file")
 		in      = flag.String("in", "", "read a metatask CSV instead of generating")
@@ -85,6 +85,8 @@ func buildMetatask(in string, set, n int, d float64, seed uint64, arrival string
 		sc.BurstSize = burst
 	case "constant":
 		sc.Arrival = casched.ArrivalConstant
+	case "poisson-burst":
+		sc.Arrival = casched.ArrivalPoissonBurst
 	default:
 		return nil, fmt.Errorf("unknown arrival process %q", arrival)
 	}

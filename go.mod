@@ -1,0 +1,3 @@
+module casched
+
+go 1.22

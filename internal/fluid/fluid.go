@@ -157,12 +157,20 @@ func (j *Job) Completion() (float64, bool) {
 }
 
 // Sim is the fluid simulation of one time-shared server. The zero value
-// is not usable; construct with New. Sim is not safe for concurrent use.
+// is not usable; construct with New. Sim is not safe for concurrent use,
+// but clones obtained from Clone may be advanced concurrently with each
+// other and with the original (they share only immutable terminal job
+// records).
 type Sim struct {
 	cfg  Config
 	now  float64
 	jobs []*Job
-	byID map[int]*Job
+	byID map[int]*Job // lazy: nil on clones until an id lookup is needed
+
+	// live holds the non-terminal jobs (waiting or in an active phase),
+	// so that per-event work is proportional to the number of resident
+	// tasks rather than to the whole history of the server.
+	live []*Job
 
 	collapsed    bool
 	collapseTime float64
@@ -191,8 +199,28 @@ func (s *Sim) Collapsed() (bool, float64) { return s.collapsed, s.collapseTime }
 // callers must not modify it.
 func (s *Sim) Jobs() []*Job { return s.jobs }
 
+// Live returns the non-terminal (waiting or active) jobs in release
+// order. The returned slice is shared and is reused by later
+// advancement; callers that advance the simulation afterwards must copy
+// it first.
+func (s *Sim) Live() []*Job { return s.live }
+
 // Job returns the job with the given id, or nil.
-func (s *Sim) Job(id int) *Job { return s.byID[id] }
+func (s *Sim) Job(id int) *Job {
+	s.ensureIndex()
+	return s.byID[id]
+}
+
+// ensureIndex builds the id index when it was dropped by Clone.
+func (s *Sim) ensureIndex() {
+	if s.byID != nil {
+		return
+	}
+	s.byID = make(map[int]*Job, len(s.jobs))
+	for _, j := range s.jobs {
+		s.byID[j.ID] = j
+	}
+}
 
 // Add places a new job on the server. The release date must not precede
 // the current simulation time, the id must be unused, and the server
@@ -206,8 +234,18 @@ func (s *Sim) Add(id int, release float64, cost task.Cost, memoryMB float64) err
 		return fmt.Errorf("fluid: server %s: add job %d: release %.6f precedes now %.6f",
 			s.cfg.Name, id, release, s.now)
 	}
-	if _, dup := s.byID[id]; dup {
-		return fmt.Errorf("fluid: server %s: duplicate job id %d", s.cfg.Name, id)
+	if s.byID != nil {
+		if _, dup := s.byID[id]; dup {
+			return fmt.Errorf("fluid: server %s: duplicate job id %d", s.cfg.Name, id)
+		}
+	} else {
+		// Clone dropped the index; a linear scan avoids rebuilding a
+		// map just to add one candidate job.
+		for _, j := range s.jobs {
+			if j.ID == id {
+				return fmt.Errorf("fluid: server %s: duplicate job id %d", s.cfg.Name, id)
+			}
+		}
 	}
 	if release < s.now {
 		release = s.now
@@ -221,14 +259,17 @@ func (s *Sim) Add(id int, release float64, cost task.Cost, memoryMB float64) err
 		j.End[p] = math.NaN()
 	}
 	s.jobs = append(s.jobs, j)
-	s.byID[id] = j
+	s.live = append(s.live, j)
+	if s.byID != nil {
+		s.byID[id] = j
+	}
 	return nil
 }
 
 // counts returns the number of jobs currently in each of the three
 // active phases.
 func (s *Sim) counts() (in, comp, out int) {
-	for _, j := range s.jobs {
+	for _, j := range s.live {
 		switch j.State {
 		case StateInput:
 			in++
@@ -244,7 +285,7 @@ func (s *Sim) counts() (in, comp, out int) {
 // MemoryDemand returns the total resident footprint of active jobs.
 func (s *Sim) MemoryDemand() float64 {
 	d := 0.0
-	for _, j := range s.jobs {
+	for _, j := range s.live {
 		switch j.State {
 		case StateInput, StateCompute, StateOutput:
 			d += j.MemoryMB
@@ -261,16 +302,7 @@ func (s *Sim) LoadAvg() float64 {
 }
 
 // ActiveCount returns the number of jobs that are active or waiting.
-func (s *Sim) ActiveCount() int {
-	n := 0
-	for _, j := range s.jobs {
-		switch j.State {
-		case StateWaiting, StateInput, StateCompute, StateOutput:
-			n++
-		}
-	}
-	return n
-}
+func (s *Sim) ActiveCount() int { return len(s.live) }
 
 // thrashFactor returns the CPU rate multiplier from memory pressure.
 func (s *Sim) thrashFactor() float64 {
@@ -311,7 +343,7 @@ func (s *Sim) NextEventTime() (float64, bool) {
 	}
 	next := math.Inf(1)
 	in, comp, out := s.counts()
-	for _, j := range s.jobs {
+	for _, j := range s.live {
 		switch j.State {
 		case StateWaiting:
 			if j.Release < next {
@@ -350,7 +382,11 @@ func phaseOf(st State) task.Phase {
 // AdvanceTo advances the simulation to time t, which must not precede
 // the current time, and returns the events that occurred in (now, t],
 // in chronological order.
-func (s *Sim) AdvanceTo(t float64) []Event {
+func (s *Sim) AdvanceTo(t float64) []Event { return s.advance(t, true) }
+
+// advance implements AdvanceTo; with collect=false no event slice is
+// built, which keeps throwaway projections allocation-free.
+func (s *Sim) advance(t float64, collect bool) []Event {
 	if t < s.now-timeEps {
 		panic(fmt.Sprintf("fluid: server %s: AdvanceTo(%.6f) precedes now %.6f", s.cfg.Name, t, s.now))
 	}
@@ -364,7 +400,7 @@ func (s *Sim) AdvanceTo(t float64) []Event {
 			next = s.now
 		}
 		s.progress(next)
-		events = s.transition(next, events)
+		events = s.transition(next, events, collect)
 	}
 	if !s.collapsed && t > s.now {
 		s.progress(t)
@@ -392,7 +428,7 @@ func (s *Sim) progress(t float64) {
 	if out > 0 {
 		s.busy[task.PhaseOutput] += dt
 	}
-	for _, j := range s.jobs {
+	for _, j := range s.live {
 		switch j.State {
 		case StateInput, StateCompute, StateOutput:
 			p := phaseOf(j.State)
@@ -405,23 +441,40 @@ func (s *Sim) progress(t float64) {
 	s.now = t
 }
 
+// compactLive drops terminal jobs from the live list.
+func (s *Sim) compactLive() {
+	kept := s.live[:0]
+	for _, j := range s.live {
+		if j.State != StateDone && j.State != StateFailed {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(s.live); i++ {
+		s.live[i] = nil
+	}
+	s.live = kept
+}
+
 // transition applies all zero-time state changes at the current instant:
 // releases, phase completions (possibly chained through zero-cost
 // phases), memory acquisition and collapse. It appends emitted events.
-func (s *Sim) transition(t float64, events []Event) []Event {
+func (s *Sim) transition(t float64, events []Event, collect bool) []Event {
+	defer s.compactLive()
 	for changed := true; changed && !s.collapsed; {
 		changed = false
-		for _, j := range s.jobs {
+		for _, j := range s.live {
 			switch j.State {
 			case StateWaiting:
 				if j.Release <= t+timeEps {
 					j.State = StateInput
 					j.Start[task.PhaseInput] = t
-					events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseInput, Time: t})
+					if collect {
+						events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseInput, Time: t})
+					}
 					changed = true
 					// Memory is acquired at activation: input data
 					// streams into server memory.
-					if ev, collapsed := s.checkCollapse(t); collapsed {
+					if ev, collapsed := s.checkCollapse(t, collect); collapsed {
 						return append(events, ev...)
 					}
 				}
@@ -430,19 +483,27 @@ func (s *Sim) transition(t float64, events []Event) []Event {
 				if j.Remaining[p] <= timeEps {
 					j.Remaining[p] = 0
 					j.End[p] = t
-					events = append(events, Event{Kind: EventPhaseEnd, JobID: j.ID, Phase: p, Time: t})
+					if collect {
+						events = append(events, Event{Kind: EventPhaseEnd, JobID: j.ID, Phase: p, Time: t})
+					}
 					switch p {
 					case task.PhaseInput:
 						j.State = StateCompute
 						j.Start[task.PhaseCompute] = t
-						events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseCompute, Time: t})
+						if collect {
+							events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseCompute, Time: t})
+						}
 					case task.PhaseCompute:
 						j.State = StateOutput
 						j.Start[task.PhaseOutput] = t
-						events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseOutput, Time: t})
+						if collect {
+							events = append(events, Event{Kind: EventPhaseStart, JobID: j.ID, Phase: task.PhaseOutput, Time: t})
+						}
 					case task.PhaseOutput:
 						j.State = StateDone
-						events = append(events, Event{Kind: EventDone, JobID: j.ID, Phase: task.PhaseOutput, Time: t})
+						if collect {
+							events = append(events, Event{Kind: EventDone, JobID: j.ID, Phase: task.PhaseOutput, Time: t})
+						}
 					}
 					changed = true
 				}
@@ -454,7 +515,7 @@ func (s *Sim) transition(t float64, events []Event) []Event {
 
 // checkCollapse verifies the memory capacity after an acquisition. On
 // collapse it fails every resident job and returns the emitted events.
-func (s *Sim) checkCollapse(t float64) ([]Event, bool) {
+func (s *Sim) checkCollapse(t float64, collect bool) ([]Event, bool) {
 	if s.cfg.RAMMB <= 0 {
 		return nil, false
 	}
@@ -463,14 +524,23 @@ func (s *Sim) checkCollapse(t float64) ([]Event, bool) {
 	}
 	s.collapsed = true
 	s.collapseTime = t
-	events := []Event{{Kind: EventCollapse, JobID: -1, Time: t}}
-	for _, j := range s.jobs {
-		switch j.State {
-		case StateWaiting, StateInput, StateCompute, StateOutput:
-			j.State = StateFailed
+	var events []Event
+	if collect {
+		events = append(events, Event{Kind: EventCollapse, JobID: -1, Time: t})
+	}
+	for _, j := range s.live {
+		// Mid-transition the live list may still hold a job that just
+		// finished at this same instant (compaction is deferred): a
+		// completed job must not be retroactively failed.
+		if j.State == StateDone || j.State == StateFailed {
+			continue
+		}
+		j.State = StateFailed
+		if collect {
 			events = append(events, Event{Kind: EventFailed, JobID: j.ID, Time: t})
 		}
 	}
+	s.compactLive()
 	return events, true
 }
 
@@ -478,7 +548,13 @@ func (s *Sim) checkCollapse(t float64) ([]Event, bool) {
 // or until the time limit (use math.Inf(1) for none). It returns the
 // events emitted. RunToIdle is how the HTM projects the completion date
 // of every resident task.
-func (s *Sim) RunToIdle(limit float64) []Event {
+func (s *Sim) RunToIdle(limit float64) []Event { return s.runToIdle(limit, true) }
+
+// RunToIdleQuiet is RunToIdle without the event log: throwaway
+// projection clones use it to run to completion allocation-free.
+func (s *Sim) RunToIdleQuiet(limit float64) { s.runToIdle(limit, false) }
+
+func (s *Sim) runToIdle(limit float64, collect bool) []Event {
 	var events []Event
 	for s.ActiveCount() > 0 && !s.collapsed {
 		next, ok := s.NextEventTime()
@@ -486,17 +562,21 @@ func (s *Sim) RunToIdle(limit float64) []Event {
 			break
 		}
 		if next > limit {
-			s.AdvanceTo(limit)
+			s.advance(limit, collect)
 			break
 		}
-		events = append(events, s.AdvanceTo(next)...)
+		events = append(events, s.advance(next, collect)...)
 	}
 	return events
 }
 
-// Clone returns a deep copy of the simulation, sharing nothing with the
-// receiver. Cloning is how candidate placements are evaluated without
-// disturbing the live trace.
+// Clone returns a copy of the simulation that the receiver's future
+// mutations cannot disturb. Cloning is copy-on-write: terminal (done or
+// failed) job records are immutable and shared with the receiver, only
+// the live jobs are deep-copied, and the id index is rebuilt lazily.
+// This makes cloning O(live jobs) rather than O(history), which is what
+// lets the HTM evaluate candidate placements cheaply on long traces.
+// A clone may be advanced concurrently with the original.
 func (s *Sim) Clone() *Sim {
 	c := &Sim{
 		cfg:          s.cfg,
@@ -505,12 +585,42 @@ func (s *Sim) Clone() *Sim {
 		collapseTime: s.collapseTime,
 		busy:         s.busy,
 		jobs:         make([]*Job, len(s.jobs)),
-		byID:         make(map[int]*Job, len(s.byID)),
+		live:         make([]*Job, 0, len(s.live)+1),
 	}
 	for i, j := range s.jobs {
+		if j.State == StateDone || j.State == StateFailed {
+			c.jobs[i] = j // immutable once terminal; shared
+			continue
+		}
 		cp := *j
 		c.jobs[i] = &cp
-		c.byID[j.ID] = &cp
+		c.live = append(c.live, &cp)
+	}
+	return c
+}
+
+// CloneLive returns a projection clone containing only the live
+// (waiting or active) jobs: the finished history is dropped entirely,
+// so the clone costs O(live) no matter how long the server has been
+// running. The trade-offs against Clone: the clone's Jobs, Completions
+// and utilization views forget finished work, and job-id uniqueness is
+// only enforced against the live set. This is the clone the HTM's hot
+// evaluation path uses — a candidate projection only ever needs the
+// jobs that can still be perturbed.
+func (s *Sim) CloneLive() *Sim {
+	c := &Sim{
+		cfg:          s.cfg,
+		now:          s.now,
+		collapsed:    s.collapsed,
+		collapseTime: s.collapseTime,
+		busy:         s.busy,
+		jobs:         make([]*Job, 0, len(s.live)+1),
+		live:         make([]*Job, 0, len(s.live)+1),
+	}
+	for _, j := range s.live {
+		cp := *j
+		c.jobs = append(c.jobs, &cp)
+		c.live = append(c.live, &cp)
 	}
 	return c
 }
@@ -539,6 +649,7 @@ func (s *Sim) ProjectedCompletions() map[int]float64 {
 // Remove deletes a completed or failed job record from the simulation.
 // Removing active jobs is an error: the fluid model has no preemption.
 func (s *Sim) Remove(id int) error {
+	s.ensureIndex()
 	j, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("fluid: server %s: remove: unknown job %d", s.cfg.Name, id)
@@ -589,13 +700,14 @@ func (s *Sim) Kill(t float64) []Event {
 	s.collapsed = true
 	s.collapseTime = t
 	events = append(events, Event{Kind: EventCollapse, JobID: -1, Time: t})
-	for _, j := range s.jobs {
-		switch j.State {
-		case StateWaiting, StateInput, StateCompute, StateOutput:
-			j.State = StateFailed
-			events = append(events, Event{Kind: EventFailed, JobID: j.ID, Time: t})
+	for _, j := range s.live {
+		if j.State == StateDone || j.State == StateFailed {
+			continue
 		}
+		j.State = StateFailed
+		events = append(events, Event{Kind: EventFailed, JobID: j.ID, Time: t})
 	}
+	s.compactLive()
 	return events
 }
 
@@ -607,6 +719,7 @@ func (s *Sim) Kill(t float64) []Event {
 // from the open-loop projection. Completing an already-done job is a
 // no-op.
 func (s *Sim) ForceComplete(id int, t float64) error {
+	s.ensureIndex()
 	j, ok := s.byID[id]
 	if !ok {
 		return fmt.Errorf("fluid: server %s: force-complete: unknown job %d", s.cfg.Name, id)
@@ -628,6 +741,7 @@ func (s *Sim) ForceComplete(id int, t float64) error {
 		}
 	}
 	j.State = StateDone
+	s.compactLive()
 	return nil
 }
 

@@ -489,3 +489,38 @@ func TestNextEventTimeIdle(t *testing.T) {
 		t.Errorf("next event = %v,%v, want 7", tt, ok)
 	}
 }
+
+// TestCollapseDoesNotFailJustFinishedJob: a job whose output completes
+// at the exact instant another job's activation collapses the server
+// must stay done — the collapse may not rewrite the completion that
+// already happened at that instant.
+func TestCollapseDoesNotFailJustFinishedJob(t *testing.T) {
+	s := New(Config{Name: "m", RAMMB: 100, SwapMB: 0, Thrash: true})
+	if err := s.Add(1, 0, task.Cost{Compute: 5, Output: 5}, 50); err != nil {
+		t.Fatal(err)
+	}
+	// Job 2 releases exactly when job 1 finishes (t=10) and its 200MB
+	// footprint collapses the 100MB server at that instant.
+	if err := s.Add(2, 10, task.Cost{Compute: 1}, 200); err != nil {
+		t.Fatal(err)
+	}
+	events := s.AdvanceTo(10)
+	j1 := s.Job(1)
+	if j1.State != StateDone {
+		t.Fatalf("job 1 state = %v, want done", j1.State)
+	}
+	if _, ok := j1.Completion(); !ok {
+		t.Fatal("job 1 lost its completion date")
+	}
+	for _, ev := range events {
+		if ev.Kind == EventFailed && ev.JobID == 1 {
+			t.Fatalf("job 1 reported both done and failed: %+v", events)
+		}
+	}
+	if collapsed, at := s.Collapsed(); !collapsed || at != 10 {
+		t.Fatalf("server collapsed=%v at %v, want true at 10", collapsed, at)
+	}
+	if s.Job(2).State != StateFailed {
+		t.Fatalf("job 2 state = %v, want failed", s.Job(2).State)
+	}
+}

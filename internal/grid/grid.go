@@ -89,6 +89,11 @@ type Config struct {
 	HTMSync bool
 	// HTMMemory makes the HTM model memory too (the §7 extension).
 	HTMMemory bool
+	// HTMWorkers bounds the worker pool the HTM fans candidate
+	// evaluations out to (default 0 = GOMAXPROCS). The simulation
+	// itself stays deterministic: predictions are independent per
+	// candidate and merged in server order.
+	HTMWorkers int
 	// Log, when non-nil, receives execution events.
 	Log *trace.Log
 	// Failures injects server crashes at fixed dates, independently of
@@ -303,7 +308,7 @@ func Run(cfg Config, mt *task.Metatask) (*Result, error) {
 	s.order = names
 
 	if sched.UsesHTM(cfg.Scheduler) {
-		var opts []htm.Option
+		opts := []htm.Option{htm.WithWorkers(cfg.HTMWorkers)}
 		if cfg.HTMSync {
 			opts = append(opts, htm.WithSync())
 		}

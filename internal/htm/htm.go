@@ -14,12 +14,34 @@
 // The HTM of the paper deliberately ignores memory requirements (that
 // is listed as future work §7); construct the Manager with
 // WithMemoryModel to enable the extension.
+//
+// # Evaluation core
+//
+// Candidate evaluation is the scheduler's hot path: every arriving task
+// triggers one projection per candidate server. The Manager therefore
+// runs EvaluateAll concurrently (the candidate projections operate on
+// independent copy-on-write clones) and incrementally: the baseline
+// projection ρ_j of each server — which full replay would recompute
+// from scratch for every candidate — is cached and only recomputed when
+// the server's live trace actually changes (a placement, a
+// synchronization re-anchor, a drop). Advancing the trace clock does
+// not invalidate the cache, because projected completion dates are
+// points on the same fluid trajectory regardless of where along it the
+// projection starts. EvaluateFull keeps the original full-replay
+// algorithm as a reference: predictions from the two paths agree within
+// floating-point accumulation error (see the equivalence test).
+//
+// The Manager is safe for concurrent use.
 package htm
 
 import (
+	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"casched/internal/fluid"
 	"casched/internal/platform"
@@ -48,6 +70,12 @@ func WithSync() Option {
 	return func(m *Manager) { m.sync = true }
 }
 
+// WithWorkers bounds the number of goroutines EvaluateAll fans
+// candidate projections out to. Zero or negative selects GOMAXPROCS.
+func WithWorkers(n int) Option {
+	return func(m *Manager) { m.workers = n }
+}
+
 // Prediction is the HTM's answer for one candidate placement.
 type Prediction struct {
 	// Server is the candidate server.
@@ -62,7 +90,10 @@ type Prediction struct {
 	// Interfered is the number of already-placed tasks whose predicted
 	// completion is delayed by more than a tolerance (for MNI).
 	Interfered int
-	// PerTask maps placed job ids to their individual perturbation π_j.
+	// PerTask maps still-running job ids to their individual
+	// perturbation π_j (tasks already finished in the trace have π = 0
+	// and are omitted). Populated by Evaluate and EvaluateFull; nil in
+	// EvaluateAll results, where no heuristic consumes it.
 	PerTask map[int]float64
 }
 
@@ -76,15 +107,37 @@ type placement struct {
 	arrival float64
 }
 
-// Manager is the Historical Trace Manager. It is not safe for
-// concurrent use; the agent owns it.
+// serverTrace is the Manager's per-server state: the live fluid
+// simulation plus the cached baseline projection.
+type serverTrace struct {
+	sim *fluid.Sim
+	// gen counts trajectory-changing mutations of sim (placements,
+	// re-anchors). Advancing the clock is not a mutation: it moves
+	// along the projected trajectory without changing it.
+	gen uint64
+	// baseline caches the projected completion date ρ_j of every job
+	// that was live when the projection ran; baselineGen is the gen it
+	// was computed at.
+	baseline    map[int]float64
+	baselineGen uint64
+}
+
+// invalidate marks the trace's trajectory as changed.
+func (tr *serverTrace) invalidate() { tr.gen++ }
+
+// Manager is the Historical Trace Manager. It is safe for concurrent
+// use: candidate evaluations may race placements and completion
+// notifications, each decision observing a consistent trace snapshot.
 type Manager struct {
-	sims        map[string]*fluid.Sim
-	order       []string
-	placements  map[int]placement
+	mu         sync.RWMutex
+	traces     map[string]*serverTrace
+	order      []string
+	placements map[int]placement
+	now        float64
+
 	memoryModel bool
 	sync        bool
-	now         float64
+	workers     int
 }
 
 // New constructs a Manager tracking the given servers. Unknown server
@@ -94,7 +147,7 @@ type Manager struct {
 // memory model is enabled.
 func New(servers []string, opts ...Option) *Manager {
 	m := &Manager{
-		sims:       make(map[string]*fluid.Sim, len(servers)),
+		traces:     make(map[string]*serverTrace, len(servers)),
 		placements: make(map[int]placement),
 	}
 	for _, o := range opts {
@@ -109,7 +162,7 @@ func New(servers []string, opts ...Option) *Manager {
 				cfg.Thrash = true
 			}
 		}
-		m.sims[name] = fluid.New(cfg)
+		m.traces[name] = &serverTrace{sim: fluid.New(cfg)}
 		m.order = append(m.order, name)
 	}
 	sort.Strings(m.order)
@@ -117,101 +170,300 @@ func New(servers []string, opts ...Option) *Manager {
 }
 
 // Servers returns the tracked server names in sorted order.
-func (m *Manager) Servers() []string { return m.order }
+func (m *Manager) Servers() []string {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return append([]string(nil), m.order...)
+}
 
 // Now returns the trace time.
-func (m *Manager) Now() float64 { return m.now }
+func (m *Manager) Now() float64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.now
+}
 
 // AdvanceTo moves every server trace forward to time t.
 func (m *Manager) AdvanceTo(t float64) {
-	if t < m.now {
-		return
-	}
-	for _, name := range m.order {
-		m.sims[name].AdvanceTo(t)
-	}
-	m.now = t
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.advanceLocked(t)
 }
 
-// Evaluate simulates placing job id (a new task with the given spec and
-// arrival date) on the candidate server and reports the prediction. The
-// live trace is not modified. Evaluate advances the trace to the
-// arrival date first, as the paper's HTM does on each request.
-func (m *Manager) Evaluate(id int, spec *task.Spec, arrival float64, server string) (Prediction, error) {
-	sim, ok := m.sims[server]
-	if !ok {
-		return Prediction{}, fmt.Errorf("htm: unknown server %q", server)
+// advanceLocked advances all traces and returns the effective time:
+// the trace never moves backwards, so a stale t (behind a concurrent
+// caller's advance) is clamped to the current trace time. The baseline
+// caches stay valid (see the package comment).
+func (m *Manager) advanceLocked(t float64) float64 {
+	if t < m.now {
+		return m.now
 	}
-	cost, ok := spec.Cost(server)
-	if !ok {
-		return Prediction{}, fmt.Errorf("htm: server %q cannot solve %s", server, spec.Name())
+	for _, name := range m.order {
+		m.traces[name].sim.AdvanceTo(t)
 	}
-	m.AdvanceTo(arrival)
+	m.now = t
+	return t
+}
 
-	before := sim.ProjectedCompletions()
+// baselineLocked returns the server's cached baseline projection,
+// recomputing it when the trace mutated since it was last taken.
+func (m *Manager) baselineLocked(tr *serverTrace) map[int]float64 {
+	if tr.baseline != nil && tr.baselineGen == tr.gen {
+		return tr.baseline
+	}
+	tr.baseline = projectClone(tr.sim.CloneLive())
+	tr.baselineGen = tr.gen
+	return tr.baseline
+}
 
-	clone := sim.Clone()
-	if err := clone.Add(id, arrival, cost, spec.MemoryMB); err != nil {
-		return Prediction{}, fmt.Errorf("htm: evaluate on %q: %w", server, err)
+// projectClone runs a live-only clone (from CloneLive) to idle and
+// returns the projected completion date of every job that was live at
+// the clone. Jobs lost to a projected collapse are absent from the
+// result, as in fluid.Sim.ProjectedCompletions. The clone is consumed.
+func projectClone(clone *fluid.Sim) map[int]float64 {
+	live := append([]*fluid.Job(nil), clone.Live()...)
+	clone.RunToIdleQuiet(math.Inf(1))
+	out := make(map[int]float64, len(live))
+	for _, j := range live {
+		if c, ok := j.Completion(); ok {
+			out[j.ID] = c
+		}
 	}
-	clone.RunToIdle(math.Inf(1))
-	after := clone.Completions()
+	return out
+}
 
-	newC, ok := after[id]
-	if !ok {
-		// The candidate placement collapses the server in the
-		// projection (memory-model extension): report an infinite
-		// completion so heuristics avoid it.
-		newC = math.Inf(1)
+// candidateJob is one projection EvaluateAll hands to a worker.
+type candidateJob struct {
+	server string
+	cost   task.Cost
+	clone  *fluid.Sim
+	// baseline is the server's cached projection; nil when the cache
+	// was stale, in which case the worker computes it from baseClone
+	// and offers it back to the cache (tr at generation gen).
+	baseline  map[int]float64
+	baseClone *fluid.Sim
+	tr        *serverTrace
+	gen       uint64
+}
+
+// projectCandidate adds the candidate task to the clone, runs the
+// perturbed projection and derives the prediction against the baseline.
+// A stale baseline (j.baseline == nil) is computed here, outside the
+// Manager lock, and offered back to the server's cache — so the
+// expensive projections all run in the workers and the lock only
+// covers snapshotting. The clones are consumed.
+func (m *Manager) projectCandidate(j candidateJob, id int, spec *task.Spec, arrival float64, withPerTask bool) (Prediction, error) {
+	if j.baseline == nil {
+		j.baseline = projectClone(j.baseClone)
+		m.mu.Lock()
+		if j.tr.gen == j.gen && (j.tr.baseline == nil || j.tr.baselineGen != j.gen) {
+			j.tr.baseline = j.baseline
+			j.tr.baselineGen = j.gen
+		}
+		m.mu.Unlock()
 	}
-	p := Prediction{
-		Server:     server,
-		Completion: newC,
-		Flow:       newC - arrival,
-		PerTask:    make(map[int]float64, len(before)),
+	if err := j.clone.Add(id, arrival, j.cost, spec.MemoryMB); err != nil {
+		return Prediction{}, fmt.Errorf("htm: evaluate on %q: %w", j.server, err)
 	}
-	for jid, b := range before {
-		if jid == id {
+	j.clone.RunToIdleQuiet(math.Inf(1))
+
+	p := Prediction{Server: j.server, Completion: math.Inf(1)}
+	if withPerTask {
+		p.PerTask = make(map[int]float64, len(j.baseline))
+	}
+	// Iterate the clone's job list (deterministic release order) rather
+	// than the baseline map, so the floating-point perturbation sum is
+	// reproducible across calls.
+	for _, jb := range j.clone.Jobs() {
+		if jb.ID == id {
+			// The candidate itself: an unfinished projection means the
+			// placement collapses the server (memory-model extension);
+			// report an infinite completion so heuristics avoid it.
+			if c, ok := jb.Completion(); ok {
+				p.Completion = c
+			}
 			continue
 		}
-		a, ok := after[jid]
+		before, tracked := j.baseline[jb.ID]
+		if !tracked {
+			// Finished (π = 0 exactly) or already lost before the
+			// evaluation: no perturbation to account.
+			continue
+		}
+		after, ok := jb.Completion()
 		if !ok {
-			// Lost in a projected collapse: treat as unbounded delay.
+			// Lost in the perturbed projection: unbounded delay.
 			p.Perturbation = math.Inf(1)
 			p.Interfered++
-			p.PerTask[jid] = math.Inf(1)
+			if withPerTask {
+				p.PerTask[jb.ID] = math.Inf(1)
+			}
 			continue
 		}
-		pi := a - b
-		p.PerTask[jid] = pi
+		pi := after - before
+		if withPerTask {
+			p.PerTask[jb.ID] = pi
+		}
 		p.Perturbation += pi
 		if pi > interferenceEps {
 			p.Interfered++
 		}
 	}
+	p.Flow = p.Completion - arrival
 	return p, nil
 }
 
-// EvaluateAll evaluates every candidate server and returns the
-// predictions sorted by server name. Servers that cannot solve the
-// task are skipped.
-func (m *Manager) EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) []Prediction {
-	preds := make([]Prediction, 0, len(candidates))
+// snapshot prepares one candidate projection under the lock: it
+// resolves the cost, takes a copy-on-write clone of the live trace and
+// the (cached) baseline. ok=false means the server cannot solve the
+// task — a normal condition, not an error.
+func (m *Manager) snapshotLocked(server string, spec *task.Spec) (candidateJob, bool, error) {
+	tr, found := m.traces[server]
+	if !found {
+		return candidateJob{}, false, fmt.Errorf("htm: unknown server %q", server)
+	}
+	cost, solvable := spec.Cost(server)
+	if !solvable {
+		return candidateJob{}, false, nil
+	}
+	j := candidateJob{server: server, cost: cost, clone: tr.sim.CloneLive()}
+	if tr.baseline != nil && tr.baselineGen == tr.gen {
+		j.baseline = tr.baseline
+	} else {
+		// Stale cache: hand the worker its own snapshot to project
+		// outside the lock.
+		j.baseClone = tr.sim.CloneLive()
+		j.tr = tr
+		j.gen = tr.gen
+	}
+	return j, true, nil
+}
+
+// Evaluate simulates placing job id (a new task with the given spec and
+// arrival date) on the candidate server and reports the prediction. The
+// live trace is not modified. Evaluate advances the trace to the
+// arrival date first, as the paper's HTM does on each request; an
+// arrival the trace has already moved past (possible when evaluations
+// race placements) is treated as arriving now.
+func (m *Manager) Evaluate(id int, spec *task.Spec, arrival float64, server string) (Prediction, error) {
+	m.mu.Lock()
+	arrival = m.advanceLocked(arrival)
+	j, solvable, err := m.snapshotLocked(server, spec)
+	m.mu.Unlock()
+	if err != nil {
+		return Prediction{}, err
+	}
+	if !solvable {
+		return Prediction{}, fmt.Errorf("htm: server %q cannot solve %s", server, spec.Name())
+	}
+	return m.projectCandidate(j, id, spec, arrival, true)
+}
+
+// EvaluateFull is the full-replay reference implementation of Evaluate:
+// it recomputes the server's baseline projection from the live trace
+// instead of using the incremental cache. It exists for equivalence
+// testing and benchmarking; production paths use Evaluate/EvaluateAll.
+func (m *Manager) EvaluateFull(id int, spec *task.Spec, arrival float64, server string) (Prediction, error) {
+	m.mu.Lock()
+	arrival = m.advanceLocked(arrival)
+	tr, found := m.traces[server]
+	if !found {
+		m.mu.Unlock()
+		return Prediction{}, fmt.Errorf("htm: unknown server %q", server)
+	}
+	cost, solvable := spec.Cost(server)
+	if !solvable {
+		m.mu.Unlock()
+		return Prediction{}, fmt.Errorf("htm: server %q cannot solve %s", server, spec.Name())
+	}
+	baseClone := tr.sim.CloneLive()
+	j := candidateJob{server: server, cost: cost, clone: tr.sim.Clone()}
+	m.mu.Unlock()
+
+	j.baseline = projectClone(baseClone)
+	return m.projectCandidate(j, id, spec, arrival, true)
+}
+
+// EvaluateAll evaluates every candidate server concurrently and returns
+// the predictions sorted by server name. Servers that cannot solve the
+// task are skipped — that is the normal "no implementation" condition.
+// Failures to evaluate a solvable candidate (unknown server, collapsed
+// trace) are joined into the returned error; predictions for the
+// remaining candidates are still returned, so callers can distinguish
+// "no server solves this task" (empty, nil error) from "every
+// evaluation failed" (empty, non-nil error) and proceed on partial
+// results.
+func (m *Manager) EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) ([]Prediction, error) {
+	var errs []error
+	m.mu.Lock()
+	arrival = m.advanceLocked(arrival)
+	jobs := make([]candidateJob, 0, len(candidates))
 	for _, s := range candidates {
-		p, err := m.Evaluate(id, spec, arrival, s)
+		j, solvable, err := m.snapshotLocked(s, spec)
 		if err != nil {
+			errs = append(errs, err)
 			continue
 		}
-		preds = append(preds, p)
+		if solvable {
+			jobs = append(jobs, j)
+		}
 	}
-	sort.Slice(preds, func(i, j int) bool { return preds[i].Server < preds[j].Server })
-	return preds
+	workers := m.workers
+	m.mu.Unlock()
+
+	if len(jobs) == 0 {
+		return nil, errors.Join(errs...)
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	preds := make([]Prediction, len(jobs))
+	perr := make([]error, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			preds[i], perr[i] = m.projectCandidate(j, id, spec, arrival, false)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					preds[i], perr[i] = m.projectCandidate(jobs[i], id, spec, arrival, false)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+
+	out := make([]Prediction, 0, len(jobs))
+	for i := range jobs {
+		if perr[i] != nil {
+			errs = append(errs, perr[i])
+			continue
+		}
+		out = append(out, preds[i])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	return out, errors.Join(errs...)
 }
 
 // Place commits job id to the chosen server's live trace. This is the
 // "Tell the HTM that task is allocated to server" step of Figures 2-4.
 func (m *Manager) Place(id int, spec *task.Spec, arrival float64, server string) error {
-	sim, ok := m.sims[server]
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr, ok := m.traces[server]
 	if !ok {
 		return fmt.Errorf("htm: unknown server %q", server)
 	}
@@ -222,33 +474,45 @@ func (m *Manager) Place(id int, spec *task.Spec, arrival float64, server string)
 	if prev, dup := m.placements[id]; dup {
 		return fmt.Errorf("htm: job %d already placed on %q", id, prev.server)
 	}
-	m.AdvanceTo(arrival)
-	if err := sim.Add(id, arrival, cost, spec.MemoryMB); err != nil {
+	arrival = m.advanceLocked(arrival)
+	if err := tr.sim.Add(id, arrival, cost, spec.MemoryMB); err != nil {
 		return fmt.Errorf("htm: place on %q: %w", server, err)
 	}
+	tr.invalidate()
 	m.placements[id] = placement{server: server, arrival: arrival}
 	return nil
 }
 
 // PlacedOn returns the server a job was committed to.
 func (m *Manager) PlacedOn(id int) (string, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
 	p, ok := m.placements[id]
 	return p.server, ok
 }
 
 // PredictedCompletion returns the trace's current projection of a
-// placed job's completion date. Jobs on dropped (collapsed) servers
-// have no projection.
+// placed job's completion date: the actual completion for jobs the
+// trace has already finished, the cached baseline projection for jobs
+// still running. Jobs on dropped (collapsed) servers and jobs lost in a
+// projected collapse have no projection.
 func (m *Manager) PredictedCompletion(id int) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p, ok := m.placements[id]
 	if !ok {
 		return 0, false
 	}
-	sim, ok := m.sims[p.server]
+	tr, ok := m.traces[p.server]
 	if !ok {
 		return 0, false
 	}
-	c, ok := sim.ProjectedCompletions()[id]
+	if j := tr.sim.Job(id); j != nil {
+		if c, done := j.Completion(); done {
+			return c, true
+		}
+	}
+	c, ok := m.baselineLocked(tr)[id]
 	return c, ok
 }
 
@@ -260,25 +524,36 @@ func (m *Manager) NotifyCompletion(id int, t float64) error {
 	if !m.sync {
 		return nil
 	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	p, ok := m.placements[id]
 	if !ok {
 		return fmt.Errorf("htm: notify completion: unknown job %d", id)
 	}
-	sim, ok := m.sims[p.server]
+	tr, ok := m.traces[p.server]
 	if !ok {
 		return nil // server dropped after a collapse; nothing to anchor
 	}
-	return sim.ForceComplete(id, t)
+	// A completion date the trace has already moved past is re-anchored
+	// at the current trace time; the trace cannot rewrite its history.
+	t = m.advanceLocked(t)
+	if err := tr.sim.ForceComplete(id, t); err != nil {
+		return err
+	}
+	tr.invalidate()
+	return nil
 }
 
 // DropServer removes a server from the candidate set (used when the
 // execution layer reports a collapse). Placed jobs on that server keep
 // their records but the trace is no longer consulted.
 func (m *Manager) DropServer(name string) {
-	if _, ok := m.sims[name]; !ok {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.traces[name]; !ok {
 		return
 	}
-	delete(m.sims, name)
+	delete(m.traces, name)
 	for i, n := range m.order {
 		if n == name {
 			m.order = append(m.order[:i], m.order[i+1:]...)
@@ -287,9 +562,38 @@ func (m *Manager) DropServer(name string) {
 	}
 }
 
-// Sim exposes the live trace of one server (read-only use expected);
-// the Gantt renderer consumes this.
+// ProjectedReady returns the projected instant at which the server
+// drains its current live work (the latest projected completion over
+// its live jobs, or the trace time for an idle server). This is the
+// "machine ready time" the OLB/KPB baselines consume; it reads the
+// cached baseline, so it is cheap and safe under concurrency.
+func (m *Manager) ProjectedReady(server string) (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	tr, ok := m.traces[server]
+	if !ok {
+		return 0, false
+	}
+	ready := m.now
+	for _, c := range m.baselineLocked(tr) {
+		if c > ready {
+			ready = c
+		}
+	}
+	return ready, true
+}
+
+// Sim exposes the live trace of one server; the Gantt renderer
+// consumes this. The returned Sim is NOT protected by the Manager's
+// lock: use it only when no concurrent Place/NotifyCompletion can run
+// (end-of-run rendering, single-threaded drivers). Concurrent readers
+// should go through Evaluate/ProjectedReady/PredictedCompletion.
 func (m *Manager) Sim(server string) (*fluid.Sim, bool) {
-	s, ok := m.sims[server]
-	return s, ok
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	tr, ok := m.traces[server]
+	if !ok {
+		return nil, false
+	}
+	return tr.sim, true
 }

@@ -2,6 +2,7 @@ package htm
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"casched/internal/task"
@@ -130,9 +131,23 @@ func TestPlaceErrors(t *testing.T) {
 func TestEvaluateAllSkipsInfeasible(t *testing.T) {
 	m := New([]string{"s1", "s2"})
 	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{"s1": {Compute: 10}}}
-	preds := m.EvaluateAll(0, spec, 0, []string{"s1", "s2", "ghost"})
+	preds, err := m.EvaluateAll(0, spec, 0, []string{"s1", "s2", "ghost"})
 	if len(preds) != 1 || preds[0].Server != "s1" {
 		t.Errorf("EvaluateAll = %+v", preds)
+	}
+	// s2 cannot solve the task: a normal skip. ghost is not a tracked
+	// server: a surfaced evaluation failure.
+	if err == nil || !strings.Contains(err.Error(), "ghost") {
+		t.Errorf("EvaluateAll error = %v, want unknown-server failure for ghost", err)
+	}
+}
+
+func TestEvaluateAllNoFeasibleCandidate(t *testing.T) {
+	m := New([]string{"s1"})
+	spec := &task.Spec{Problem: "p", CostOn: map[string]task.Cost{"elsewhere": {Compute: 10}}}
+	preds, err := m.EvaluateAll(0, spec, 0, []string{"s1"})
+	if len(preds) != 0 || err != nil {
+		t.Errorf("EvaluateAll = %+v, %v; want empty, nil (no solver is not an error)", preds, err)
 	}
 }
 

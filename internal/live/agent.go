@@ -26,6 +26,9 @@ type AgentConfig struct {
 	Log *trace.Log
 	// HTMSync enables trace re-anchoring on completion messages.
 	HTMSync bool
+	// HTMWorkers bounds the HTM's candidate-evaluation worker pool
+	// (default 0 = GOMAXPROCS).
+	HTMWorkers int
 	// Addr is the TCP listen address (default "127.0.0.1:0", an
 	// ephemeral loopback port).
 	Addr string
@@ -129,7 +132,7 @@ func (a *Agent) register(args RegisterArgs) {
 	}
 	a.servers[args.Name] = &serverEntry{name: args.Name, addr: args.Addr}
 	if sched.UsesHTM(a.cfg.Scheduler) {
-		var opts []htm.Option
+		opts := []htm.Option{htm.WithWorkers(a.cfg.HTMWorkers)}
 		if a.cfg.HTMSync {
 			opts = append(opts, htm.WithSync())
 		}

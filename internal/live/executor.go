@@ -1,32 +1,47 @@
 package live
 
 import (
+	"fmt"
+	"math"
 	"sync"
 	"time"
 
+	"casched/internal/fluid"
 	"casched/internal/task"
 )
 
-// execJob is one task running inside an executor.
-type execJob struct {
-	key       int
-	phase     task.Phase
-	remaining [task.NumPhases]float64
-	done      chan float64 // receives the virtual completion date
+// completion is one finished job awaiting delivery to its submitter.
+type completion struct {
+	ch chan float64
+	at float64 // exact virtual completion date
 }
 
 // executor emulates a time-shared CPU and its links in scaled wall
-// time: a quantum loop advances every resident job by
-// quantum × (1/n_phase) virtual seconds of work, reproducing the
-// processor-sharing model the paper validated on LINUX (§2.3) — but
-// asynchronously, with real quantization and scheduling jitter.
+// time, reproducing the processor-sharing model the paper validated on
+// LINUX (§2.3) — but asynchronously: a quantum loop wakes up on a wall
+// clock and only then observes completions, so delivery (and everything
+// downstream: the completion RPC, the agent's corrections) carries real
+// quantization and scheduling jitter.
+//
+// Work accounting itself is exact. An earlier implementation advanced
+// every job by quantum-sized budgets under per-tick constant shares;
+// with a scaled clock one tick can span seconds of virtual time, and
+// budgets carried across phase boundaries let the CPU transiently
+// deliver more than its capacity, which made real completions drift
+// 25-30% away from the HTM's fluid predictions. The executor now
+// advances a fluid.Sim (the same shared-resource model the HTM
+// simulates) to the current virtual time on every tick: phase
+// transitions happen at their exact virtual dates no matter how coarse
+// the ticks are, and completion dates are the event dates, not the tick
+// dates.
 type executor struct {
 	clock   *Clock
 	quantum time.Duration
 
-	mu   sync.Mutex
-	jobs []*execJob
-	last float64 // virtual time of the previous tick
+	mu      sync.Mutex
+	sim     *fluid.Sim
+	done    map[int]chan float64
+	pending []completion
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -40,9 +55,11 @@ func newExecutor(clock *Clock, quantum time.Duration) *executor {
 	e := &executor{
 		clock:   clock,
 		quantum: quantum,
-		last:    clock.Now(),
+		sim:     fluid.New(fluid.Config{Name: "executor"}),
+		done:    make(map[int]chan float64),
 		stop:    make(chan struct{}),
 	}
+	e.sim.AdvanceTo(clock.Now())
 	e.wg.Add(1)
 	go e.loop()
 	return e
@@ -50,15 +67,16 @@ func newExecutor(clock *Clock, quantum time.Duration) *executor {
 
 // submit adds a job with the given actual phase costs and returns a
 // channel delivering its virtual completion date.
-func (e *executor) submit(key int, cost task.Cost) <-chan float64 {
-	j := &execJob{key: key, phase: task.PhaseInput, done: make(chan float64, 1)}
-	j.remaining[task.PhaseInput] = cost.Input
-	j.remaining[task.PhaseCompute] = cost.Compute
-	j.remaining[task.PhaseOutput] = cost.Output
+func (e *executor) submit(key int, cost task.Cost) (<-chan float64, error) {
+	ch := make(chan float64, 1)
 	e.mu.Lock()
-	e.jobs = append(e.jobs, j)
-	e.mu.Unlock()
-	return j.done
+	defer e.mu.Unlock()
+	release := math.Max(e.sim.Now(), e.clock.Now())
+	if err := e.sim.Add(key, release, cost, 0); err != nil {
+		return nil, fmt.Errorf("live: executor: %w", err)
+	}
+	e.done[key] = ch
+	return ch, nil
 }
 
 // load returns the number of jobs currently in the compute phase — the
@@ -66,20 +84,16 @@ func (e *executor) submit(key int, cost task.Cost) <-chan float64 {
 func (e *executor) load() float64 {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	n := 0
-	for _, j := range e.jobs {
-		if j.phase == task.PhaseCompute {
-			n++
-		}
-	}
-	return float64(n)
+	e.advanceLocked()
+	return e.sim.LoadAvg()
 }
 
 // resident returns the total number of jobs on the executor.
 func (e *executor) resident() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return len(e.jobs)
+	e.advanceLocked()
+	return e.sim.ActiveCount()
 }
 
 // close stops the quantum loop.
@@ -107,59 +121,38 @@ func (e *executor) loop() {
 	}
 }
 
-// tick advances all jobs by the elapsed virtual time since the last
-// tick, applying per-phase processor sharing.
+// tick advances the simulation and delivers pending completions.
 func (e *executor) tick() {
-	now := e.clock.Now()
 	e.mu.Lock()
-	dt := now - e.last
-	e.last = now
-	if dt <= 0 {
-		e.mu.Unlock()
-		return
-	}
-
-	// Count phase occupancy for the share computation.
-	var counts [task.NumPhases]int
-	for _, j := range e.jobs {
-		counts[j.phase]++
-	}
-
-	var finished []*execJob
-	remaining := e.jobs[:0]
-	for _, j := range e.jobs {
-		share := 1.0
-		if n := counts[j.phase]; n > 1 {
-			share = 1 / float64(n)
-		}
-		budget := dt * share
-		// Consume the budget through the job's phases. Occupancy
-		// counts are per-tick approximations; a job crossing a phase
-		// boundary carries its leftover budget into the next phase.
-		jobDone := false
-		for {
-			if j.remaining[j.phase] > budget {
-				j.remaining[j.phase] -= budget
-				break
-			}
-			budget -= j.remaining[j.phase]
-			j.remaining[j.phase] = 0
-			if j.phase == task.PhaseOutput {
-				jobDone = true
-				break
-			}
-			j.phase++
-		}
-		if jobDone {
-			finished = append(finished, j)
-			continue
-		}
-		remaining = append(remaining, j)
-	}
-	e.jobs = remaining
+	e.advanceLocked()
+	finished := e.pending
+	e.pending = nil
 	e.mu.Unlock()
 
-	for _, j := range finished {
-		j.done <- now
+	for _, c := range finished {
+		c.ch <- c.at
+	}
+}
+
+// advanceLocked moves the simulation to the current virtual time and
+// queues any completions for delivery on the next tick.
+func (e *executor) advanceLocked() {
+	now := e.clock.Now()
+	if now <= e.sim.Now() {
+		return
+	}
+	for _, ev := range e.sim.AdvanceTo(now) {
+		if ev.Kind != fluid.EventDone {
+			continue
+		}
+		ch, ok := e.done[ev.JobID]
+		if !ok {
+			continue
+		}
+		delete(e.done, ev.JobID)
+		// Drop the finished record so the resident set stays small and
+		// its key can be reused by a later run.
+		_ = e.sim.Remove(ev.JobID)
+		e.pending = append(e.pending, completion{ch: ch, at: ev.Time})
 	}
 }

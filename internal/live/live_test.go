@@ -53,7 +53,10 @@ func TestExecutorSingleJob(t *testing.T) {
 	e := newExecutor(clock, time.Millisecond)
 	defer e.close()
 	start := clock.Now()
-	done := e.submit(1, task.Cost{Input: 5, Compute: 50, Output: 5})
+	done, err := e.submit(1, task.Cost{Input: 5, Compute: 50, Output: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
 	completion := <-done
 	elapsed := completion - start
 	if math.Abs(elapsed-60) > 15 {
@@ -66,8 +69,11 @@ func TestExecutorSharing(t *testing.T) {
 	e := newExecutor(clock, time.Millisecond)
 	defer e.close()
 	start := clock.Now()
-	d1 := e.submit(1, task.Cost{Compute: 50})
-	d2 := e.submit(2, task.Cost{Compute: 50})
+	d1, err1 := e.submit(1, task.Cost{Compute: 50})
+	d2, err2 := e.submit(2, task.Cost{Compute: 50})
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	c1 := <-d1
 	c2 := <-d2
 	// Two equal jobs sharing the CPU both need ~100 virtual seconds.
@@ -82,7 +88,10 @@ func TestExecutorZeroCostJob(t *testing.T) {
 	clock := NewClock(2000)
 	e := newExecutor(clock, time.Millisecond)
 	defer e.close()
-	done := e.submit(1, task.Cost{})
+	done, err := e.submit(1, task.Cost{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):

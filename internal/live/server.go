@@ -186,7 +186,10 @@ func (s *Server) submit(args SubmitArgs) (SubmitReply, error) {
 	}
 	s.mu.Unlock()
 
-	done := s.exec.submit(args.TaskKey, actual)
+	done, err := s.exec.submit(args.TaskKey, actual)
+	if err != nil {
+		return SubmitReply{}, err
+	}
 	completion := <-done
 
 	// Completion message to the agent (NetSolve's second load

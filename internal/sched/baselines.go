@@ -58,15 +58,12 @@ func (*MET) Choose(ctx *Context) (string, error) {
 // drains its current work — the "machine availability/ready time" of
 // [10]. An idle server is ready now.
 func readyTime(ctx *Context, server string) (float64, error) {
-	sim, ok := ctx.HTM.Sim(server)
+	ready, ok := ctx.HTM.ProjectedReady(server)
 	if !ok {
 		return 0, ErrNoServer
 	}
-	ready := ctx.Now
-	for _, c := range sim.ProjectedCompletions() {
-		if c > ready {
-			ready = c
-		}
+	if ctx.Now > ready {
+		ready = ctx.Now
 	}
 	return ready, nil
 }

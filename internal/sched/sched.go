@@ -152,13 +152,20 @@ func argminPredictions(preds []htm.Prediction, objective func(htm.Prediction) fl
 }
 
 // predictAll evaluates every candidate with the HTM, failing when none
-// is feasible.
+// is feasible. Per-candidate evaluation failures are tolerated as long
+// as at least one candidate produced a prediction; when every
+// evaluation failed the joined error is surfaced, so a task no server
+// can currently evaluate is distinguishable from a task no server
+// solves (ErrNoServer).
 func predictAll(ctx *Context) ([]htm.Prediction, error) {
 	if ctx.HTM == nil {
 		return nil, errors.New("sched: heuristic requires the HTM")
 	}
-	preds := ctx.HTM.EvaluateAll(ctx.JobID, ctx.Task.Spec, ctx.Now, ctx.Candidates)
+	preds, err := ctx.HTM.EvaluateAll(ctx.JobID, ctx.Task.Spec, ctx.Now, ctx.Candidates)
 	if len(preds) == 0 {
+		if err != nil {
+			return nil, fmt.Errorf("sched: every candidate evaluation failed: %w", err)
+		}
 		return nil, ErrNoServer
 	}
 	return preds, nil

@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 
 	"casched/internal/stats"
 )
@@ -24,6 +25,14 @@ const (
 	ArrivalBursty
 	// ArrivalConstant spaces every gap exactly D apart.
 	ArrivalConstant
+	// ArrivalPoissonBurst is an inhomogeneous Poisson process (IPPP,
+	// cf. Hohmann 2019): the arrival rate alternates between a burst
+	// rate and a quiet rate over a fixed cycle, while the long-run mean
+	// inter-arrival time stays at the scenario's D. This is the
+	// traffic shape that stresses per-decision scheduling cost most:
+	// during a burst the agent must evaluate candidates several times
+	// faster than the long-run rate suggests.
+	ArrivalPoissonBurst
 )
 
 // String returns the process name.
@@ -37,6 +46,8 @@ func (p ArrivalProcess) String() string {
 		return "bursty"
 	case ArrivalConstant:
 		return "constant"
+	case ArrivalPoissonBurst:
+		return "poisson-burst"
 	default:
 		return fmt.Sprintf("ArrivalProcess(%d)", int(p))
 	}
@@ -46,13 +57,28 @@ func (p ArrivalProcess) String() string {
 // set one.
 const defaultBurstSize = 5
 
+// Defaults for the inhomogeneous-Poisson process.
+const (
+	// defaultBurstFactor multiplies the base rate during a burst. It
+	// must stay strictly below 1/defaultBurstDuty, or the quiet rate
+	// degenerates to zero and the process becomes pure on/off traffic.
+	defaultBurstFactor = 3.0
+	// defaultBurstDuty is the fraction of each cycle spent bursting.
+	defaultBurstDuty = 0.25
+	// defaultBurstPeriodD is the cycle length in units of the mean
+	// inter-arrival time D.
+	defaultBurstPeriodD = 20.0
+)
+
 // gapGenerator returns a function producing the i-th inter-arrival gap
 // (called for i = 1..N-1).
-func gapGenerator(p ArrivalProcess, mean float64, burst int, rng *stats.RNG) func(i int) float64 {
-	switch p {
+func gapGenerator(sc Scenario, rng *stats.RNG) func(i int) float64 {
+	mean := sc.MeanInterarrival
+	switch sc.Arrival {
 	case ArrivalUniform:
 		return func(int) float64 { return mean * (0.5 + rng.Float64()) }
 	case ArrivalBursty:
+		burst := sc.BurstSize
 		if burst < 1 {
 			burst = defaultBurstSize
 		}
@@ -64,7 +90,72 @@ func gapGenerator(p ArrivalProcess, mean float64, burst int, rng *stats.RNG) fun
 		}
 	case ArrivalConstant:
 		return func(int) float64 { return mean }
+	case ArrivalPoissonBurst:
+		return poissonBurstGaps(sc, rng)
 	default: // ArrivalPoisson
 		return func(int) float64 { return rng.Exp(mean) }
+	}
+}
+
+// poissonBurstGaps draws inter-arrival gaps from an inhomogeneous
+// Poisson process whose rate is piecewise constant over a repeating
+// cycle: a burst phase of duration duty·period at factor·λ0, then a
+// quiet phase at a rate chosen so the cycle-average rate is exactly
+// λ0 = 1/D. Gaps are drawn by inversion of the cumulative hazard: a
+// unit-exponential deviate is spent walking the rate profile from the
+// current position in the cycle.
+func poissonBurstGaps(sc Scenario, rng *stats.RNG) func(i int) float64 {
+	factor := sc.BurstFactor
+	if factor <= 0 {
+		factor = defaultBurstFactor
+	}
+	duty := sc.BurstDuty
+	if duty <= 0 || duty >= 1 {
+		duty = defaultBurstDuty
+	}
+	// The quiet rate preserving the long-run mean must stay
+	// non-negative: factor may not exceed 1/duty.
+	if factor > 1/duty {
+		factor = 1 / duty
+	}
+	period := sc.BurstPeriod
+	if period <= 0 {
+		period = defaultBurstPeriodD * sc.MeanInterarrival
+	}
+	lambda0 := 1 / sc.MeanInterarrival
+	burstLen := duty * period
+	burstRate := factor * lambda0
+	quietRate := (1 - duty*factor) / (1 - duty) * lambda0
+
+	// t is the absolute time of the previous arrival, starting at the
+	// first task's release; only the phase within the cycle matters.
+	t := sc.FirstAt
+	return func(int) float64 {
+		hazard := rng.Exp(1) // unit-exponential deviate to spend
+		start := t
+		for {
+			phase := math.Mod(t, period)
+			rate, boundary := burstRate, burstLen
+			if phase >= burstLen {
+				rate, boundary = quietRate, period
+			}
+			span := boundary - phase
+			if rate > 0 {
+				if need := hazard / rate; need <= span {
+					t += need
+					return t - start
+				}
+				hazard -= span * rate
+			}
+			// Advance to the phase boundary (a zero rate — the
+			// degenerate factor == 1/duty quiet phase — just skips to
+			// the next burst). Guard against a floating-point no-op
+			// when span is below t's ulp, which would loop forever.
+			next := t + span
+			if next <= t {
+				next = math.Nextafter(t, math.Inf(1))
+			}
+			t = next
+		}
 	}
 }

@@ -163,3 +163,56 @@ func TestPropertyGenerationValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestPoissonBurstMeanPreserved: the inhomogeneous process keeps the
+// configured long-run mean inter-arrival time.
+func TestPoissonBurstMeanPreserved(t *testing.T) {
+	mt := MustGenerate(PoissonBurst(4000, 20, 11))
+	mean := mt.Horizon() / float64(mt.Len()-1)
+	if math.Abs(mean-20) > 2 {
+		t.Errorf("poisson-burst empirical mean gap %v, want ~20", mean)
+	}
+}
+
+// TestPoissonBurstIsBurstier: gaps from the inhomogeneous process have
+// a higher coefficient of variation than plain Poisson (whose CV is 1):
+// the burst/quiet alternation adds variance on top of the exponential.
+func TestPoissonBurstIsBurstier(t *testing.T) {
+	cv := func(sc Scenario) float64 {
+		mt := MustGenerate(sc)
+		var gaps []float64
+		for i := 1; i < mt.Len(); i++ {
+			gaps = append(gaps, mt.Tasks[i].Arrival-mt.Tasks[i-1].Arrival)
+		}
+		var sum, sq float64
+		for _, g := range gaps {
+			sum += g
+		}
+		mean := sum / float64(len(gaps))
+		for _, g := range gaps {
+			sq += (g - mean) * (g - mean)
+		}
+		return math.Sqrt(sq/float64(len(gaps))) / mean
+	}
+	burst := PoissonBurst(4000, 20, 11)
+	burst.BurstFactor = 4
+	burst.BurstDuty = 0.2
+	plain := Set2(4000, 20, 11)
+	if cvB, cvP := cv(burst), cv(plain); cvB < cvP+0.1 {
+		t.Errorf("poisson-burst CV %v not burstier than poisson CV %v", cvB, cvP)
+	}
+}
+
+// TestPoissonBurstFactorCapped: a factor above 1/duty would need a
+// negative quiet rate; generation must cap it and stay finite.
+func TestPoissonBurstFactorCapped(t *testing.T) {
+	sc := PoissonBurst(500, 20, 3)
+	sc.BurstFactor = 100
+	sc.BurstDuty = 0.25
+	mt := MustGenerate(sc)
+	for i := 1; i < mt.Len(); i++ {
+		if g := mt.Tasks[i].Arrival - mt.Tasks[i-1].Arrival; g < 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+			t.Fatalf("gap %d = %v", i, g)
+		}
+	}
+}

@@ -34,6 +34,16 @@ type Scenario struct {
 	Arrival ArrivalProcess
 	// BurstSize is the burst length for ArrivalBursty (default 5).
 	BurstSize int
+	// BurstFactor, for ArrivalPoissonBurst, multiplies the base rate
+	// 1/MeanInterarrival during a burst (default 4; capped at
+	// 1/BurstDuty so the quiet rate stays non-negative).
+	BurstFactor float64
+	// BurstDuty, for ArrivalPoissonBurst, is the fraction of each
+	// cycle spent bursting, in (0, 1) (default 0.25).
+	BurstDuty float64
+	// BurstPeriod, for ArrivalPoissonBurst, is the cycle length in
+	// seconds (default 20·MeanInterarrival).
+	BurstPeriod float64
 }
 
 // Validate checks the scenario parameters.
@@ -70,7 +80,7 @@ func Generate(sc Scenario) (*task.Metatask, error) {
 	mixRNG := root.Split()
 	arrRNG := root.Split()
 
-	gap := gapGenerator(sc.Arrival, sc.MeanInterarrival, sc.BurstSize, arrRNG)
+	gap := gapGenerator(sc, arrRNG)
 	mt := &task.Metatask{Name: sc.Name, Tasks: make([]*task.Task, 0, sc.N)}
 	now := sc.FirstAt
 	for i := 0; i < sc.N; i++ {
@@ -118,4 +128,17 @@ func Set2(n int, d float64, seed uint64) Scenario {
 		MeanInterarrival: d,
 		Seed:             seed,
 	}
+}
+
+// PoissonBurst returns a second-set scenario driven by the
+// inhomogeneous Poisson process (ArrivalPoissonBurst): N waste-cpu
+// tasks whose long-run mean inter-arrival is d seconds, but which
+// arrive in recurring high-rate bursts. Tune BurstFactor, BurstDuty
+// and BurstPeriod on the returned scenario before generating to shape
+// the bursts.
+func PoissonBurst(n int, d float64, seed uint64) Scenario {
+	sc := Set2(n, d, seed)
+	sc.Name = fmt.Sprintf("poisson-burst-wastecpu-n%d-d%g-s%d", n, d, seed)
+	sc.Arrival = ArrivalPoissonBurst
+	return sc
 }

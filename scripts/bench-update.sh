@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# bench-update.sh — promote the latest benchmark run as the committed
+# regression baseline. Run scripts/bench.sh first, review the results,
+# then run this and commit benchmarks/baseline.txt.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+if [[ ! -f benchmarks/latest.txt ]]; then
+    echo "error: benchmarks/latest.txt not found; run scripts/bench.sh first" >&2
+    exit 1
+fi
+cp benchmarks/latest.txt benchmarks/baseline.txt
+echo "promoted benchmarks/latest.txt -> benchmarks/baseline.txt"

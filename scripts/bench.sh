@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# bench.sh — verification + benchmark run with a regression gate.
+#
+# Runs go vet and the race-enabled test suite, then the core benchmark
+# set, writing results to benchmarks/latest.txt. When a committed
+# baseline exists (benchmarks/baseline.txt), every benchmark present in
+# both files is compared on ns/op and the script fails if any regresses
+# by more than BENCH_MAX_REGRESSION_PCT percent (default 5).
+#
+# Environment:
+#   BENCH_PATTERN             benchmarks to run (go test -bench regexp)
+#   BENCH_TIME                -benchtime value (default 1s)
+#   BENCH_MAX_REGRESSION_PCT  allowed ns/op regression in percent
+#   BENCH_REQUIRE_ALL=1       fail when a baseline benchmark is absent
+#                             from the run (CI full runs; subset runs
+#                             via BENCH_PATTERN only warn)
+#   BENCH_SKIP_CHECKS=1       skip vet + race tests (bench only)
+#
+# Promote a reviewed latest.txt with scripts/bench-update.sh.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PATTERN="${BENCH_PATTERN:-BenchmarkEvaluateAllLargeTestbed|BenchmarkHTMEvaluate|BenchmarkGridRun200|BenchmarkSchedulerDecisions}"
+BENCH_TIME="${BENCH_TIME:-1s}"
+MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+
+if [[ "${BENCH_SKIP_CHECKS:-0}" != "1" ]]; then
+    echo "==> go vet ./..."
+    go vet ./...
+    echo "==> go test -race ./..."
+    go test -race ./...
+fi
+
+mkdir -p benchmarks
+echo "==> go test -bench '${PATTERN}' -benchtime ${BENCH_TIME}"
+go test -run '^$' -bench "${PATTERN}" -benchmem -benchtime "${BENCH_TIME}" . | tee benchmarks/latest.txt
+
+if [[ ! -f benchmarks/baseline.txt ]]; then
+    echo "==> no benchmarks/baseline.txt: skipping regression gate" \
+         "(run scripts/bench-update.sh to create one)"
+    exit 0
+fi
+
+echo "==> comparing against benchmarks/baseline.txt (max regression ${MAX_PCT}%)"
+awk -v max="${MAX_PCT}" -v requireAll="${BENCH_REQUIRE_ALL:-0}" '
+    # Collect "BenchmarkName  N  T ns/op" lines from both files. The
+    # GOMAXPROCS suffix (-8 etc.) varies across machines; strip it so
+    # a baseline taken elsewhere still matches.
+    FNR == 1 { file++ }
+    /^Benchmark/ && / ns\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        for (i = 2; i <= NF; i++) {
+            if ($(i) == "ns/op") { v = $(i-1); break }
+        }
+        if (file == 1) base[name] = v
+        else latest[name] = v
+    }
+    END {
+        status = 0
+        matched = 0
+        for (name in latest) {
+            if (!(name in base)) {
+                printf "NEW      %-60s %12.0f ns/op\n", name, latest[name]
+                continue
+            }
+            matched++
+            pct = (latest[name] - base[name]) / base[name] * 100
+            tag = "ok"
+            if (pct > max) { tag = "REGRESSED"; status = 1 }
+            printf "%-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", \
+                   tag, name, base[name], latest[name], pct
+        }
+        for (name in base) {
+            if (!(name in latest)) {
+                printf "MISSING  %-60s (in baseline, not in this run)\n", name
+                if (requireAll) status = 1
+            }
+        }
+        if (matched == 0) {
+            print "error: no benchmark in the run matches the baseline; gate cannot compare" > "/dev/stderr"
+            status = 1
+        }
+        exit status
+    }
+' benchmarks/baseline.txt benchmarks/latest.txt
+echo "==> benchmark gate passed"
