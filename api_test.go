@@ -243,3 +243,73 @@ func TestDefaultQuantum(t *testing.T) {
 		t.Error("DefaultQuantum changed unexpectedly")
 	}
 }
+
+// TestPublicAPIAgentCore drives the streaming agent core through the
+// facade: membership, batch submission, the event stream, completion
+// feedback and prediction eviction.
+func TestPublicAPIAgentCore(t *testing.T) {
+	msf, err := casched.NewScheduler("MSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := casched.NewAgentCore(casched.AgentCoreConfig{Scheduler: msf, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decisions, completions int
+	cancel := core.Subscribe(func(ev casched.AgentEvent) {
+		switch ev.Kind {
+		case casched.AgentEventDecision:
+			decisions++
+		case casched.AgentEventCompletion:
+			completions++
+		}
+	})
+	defer cancel()
+
+	for _, name := range []string{"artimon", "spinnaker"} {
+		core.AddServer(name)
+	}
+	spec := casched.WasteCPUSpec(400)
+	reqs := make([]casched.AgentRequest, 4)
+	for i := range reqs {
+		reqs[i] = casched.AgentRequest{JobID: i, TaskID: i, Spec: spec, Arrival: 0}
+	}
+	decs, err := core.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range decs {
+		if d.Server == "" || !d.HasPrediction {
+			t.Fatalf("decision %d = %+v", i, d)
+		}
+	}
+	if decisions != 4 {
+		t.Errorf("decision events = %d, want 4", decisions)
+	}
+	// Completion evicts the placement-time prediction but keeps the
+	// trace projection.
+	core.Complete(0, decs[0].Server, decs[0].Predicted)
+	if completions != 1 {
+		t.Errorf("completion events = %d, want 1", completions)
+	}
+	if _, ok := core.Prediction(0); ok {
+		t.Error("prediction survived completion")
+	}
+	if len(core.FinalPredictions()) != 4 {
+		t.Errorf("final predictions = %d, want 4", len(core.FinalPredictions()))
+	}
+	// Unschedulable tasks surface the sentinel.
+	bad := &casched.Spec{Problem: "none", CostOn: map[string]casched.Cost{}}
+	if _, err := core.Submit(casched.AgentRequest{JobID: 99, Spec: bad}); err != casched.ErrUnschedulable {
+		t.Errorf("err = %v, want ErrUnschedulable", err)
+	}
+}
+
+// TestPublicAPISchedulerCaseInsensitive covers the registry lookup.
+func TestPublicAPISchedulerCaseInsensitive(t *testing.T) {
+	s, err := casched.NewScheduler("msf")
+	if err != nil || s.Name() != "MSF" {
+		t.Errorf("NewScheduler(msf) = %v, %v", s, err)
+	}
+}

@@ -603,3 +603,98 @@ func BenchmarkSchedulerDecisions(b *testing.B) {
 		})
 	}
 }
+
+// --- Agent-core benchmarks ---
+
+// agentBenchBatches builds the decision stream both agent benchmarks
+// share: n tasks for a 32-server testbed under inhomogeneous-Poisson
+// (bursty) arrivals, grouped into batches of up to k simultaneous
+// arrivals — each batch's tasks carry the batch-head arrival date, the
+// stream a batching frontend hands the agent. BenchmarkAgentSubmit
+// plays the identical stream one task at a time.
+func agentBenchBatches(b *testing.B, n, k int) ([]string, [][]casched.AgentRequest) {
+	b.Helper()
+	names, specs := largeTestbed(32)
+	sc := casched.PoissonBurstScenario(n, 5, 17)
+	sc.Specs = specs
+	mt, err := casched.GenerateScenario(sc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var batches [][]casched.AgentRequest
+	for i := 0; i < mt.Len(); i += k {
+		end := i + k
+		if end > mt.Len() {
+			end = mt.Len()
+		}
+		at := mt.Tasks[i].Arrival
+		batch := make([]casched.AgentRequest, 0, end-i)
+		for _, t := range mt.Tasks[i:end] {
+			batch = append(batch, casched.AgentRequest{
+				JobID: t.ID, TaskID: t.ID, Spec: t.Spec, Arrival: at,
+			})
+		}
+		batches = append(batches, batch)
+	}
+	return names, batches
+}
+
+// newBenchCore builds a fresh HMCT agent core over the testbed.
+func newBenchCore(b *testing.B, names []string) *casched.AgentCore {
+	b.Helper()
+	s, err := casched.NewScheduler("HMCT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	core, err := casched.NewAgentCore(casched.AgentCoreConfig{Scheduler: s, Seed: 17})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range names {
+		core.AddServer(name)
+	}
+	return core
+}
+
+const agentBenchTasks = 192
+
+// BenchmarkAgentSubmit measures the per-decision path: every arrival
+// pays one full 32-candidate HTM evaluation.
+func BenchmarkAgentSubmit(b *testing.B) {
+	names, batches := agentBenchBatches(b, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core := newBenchCore(b, names)
+		b.StartTimer()
+		for _, batch := range batches {
+			for _, req := range batch {
+				if _, err := core.Submit(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkAgentSubmitBatch pipelines each burst through one lock
+// acquisition and one HTM evaluation pass: candidate predictions are
+// shared across a batch and only the just-placed server re-evaluates.
+// Decisions are identical to BenchmarkAgentSubmit's (the reuse is
+// exact); the ns/op ratio is the batching speedup.
+func BenchmarkAgentSubmitBatch(b *testing.B) {
+	names, batches := agentBenchBatches(b, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core := newBenchCore(b, names)
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := core.SubmitBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}

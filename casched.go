@@ -40,6 +40,7 @@ import (
 	"io"
 	"time"
 
+	"casched/internal/agent"
 	"casched/internal/experiments"
 	"casched/internal/fluid"
 	"casched/internal/gantt"
@@ -104,6 +105,54 @@ type (
 	// GanttChart is an extracted per-server schedule.
 	GanttChart = gantt.Chart
 )
+
+// Agent-core types: the transport-agnostic decision engine shared by
+// the simulator, the live runtime and library users.
+type (
+	// AgentCore is the streaming decision engine: add servers, submit
+	// tasks (individually or in batches), feed completions and monitor
+	// reports, observe the event stream.
+	AgentCore = agent.Core
+	// AgentCoreConfig parameterizes an AgentCore.
+	AgentCoreConfig = agent.Config
+	// AgentRequest is one task (re)submission.
+	AgentRequest = agent.Request
+	// AgentDecision is a committed placement.
+	AgentDecision = agent.Decision
+	// AgentCompletion is the core's record of a finished job.
+	AgentCompletion = agent.Completion
+	// AgentEvent is one observable core transition (see SubscribeCore
+	// via AgentCore.Subscribe).
+	AgentEvent = agent.Event
+	// AgentEventKind discriminates agent events.
+	AgentEventKind = agent.EventKind
+)
+
+// Agent event kinds.
+const (
+	// AgentEventDecision fires after each committed placement.
+	AgentEventDecision = agent.EventDecision
+	// AgentEventCompletion fires for each completion message.
+	AgentEventCompletion = agent.EventCompletion
+	// AgentEventReport fires for each monitor report.
+	AgentEventReport = agent.EventReport
+	// AgentEventServerAdded and AgentEventServerRemoved track
+	// membership changes.
+	AgentEventServerAdded   = agent.EventServerAdded
+	AgentEventServerRemoved = agent.EventServerRemoved
+)
+
+// ErrUnschedulable is returned by AgentCore.Submit when no registered
+// server solves the task.
+var ErrUnschedulable = agent.ErrUnschedulable
+
+// NewAgentCore constructs a long-lived streaming agent around the
+// shared decision engine — the same core the simulator (Run) and the
+// live TCP runtime drive. Add servers with AddServer, then Submit (or
+// SubmitBatch) arriving tasks and feed Complete/Report messages back;
+// Subscribe exposes the decision/completion/report event stream for
+// observability.
+func NewAgentCore(cfg AgentCoreConfig) (*AgentCore, error) { return agent.New(cfg) }
 
 // Live runtime types.
 type (

@@ -1,0 +1,521 @@
+// Package agent implements the transport-agnostic Agent Core: the one
+// decision engine of the paper's client-agent-server model, shared by
+// every runtime that embodies it.
+//
+// The paper's agent is a single algorithm — filter the candidate
+// servers, consult the heuristic (and through it the HTM), commit the
+// placement, and maintain the NetSolve monitor beliefs with their two
+// load corrections — yet transports differ: the discrete-event
+// simulator (internal/grid) drives it synchronously under virtual
+// time, the TCP runtime (internal/live) under concurrent RPC handlers
+// on a scaled wall clock, and library users through the casched
+// facade as a long-lived streaming agent. The Core owns everything
+// those drivers would otherwise duplicate:
+//
+//   - server membership (AddServer/RemoveServer), including the HTM
+//     trace lifecycle and belief reset;
+//   - monitor beliefs: last reported load plus the two NetSolve
+//     corrections (increment on assignment, decrement on completion);
+//   - candidate filtering, heuristic invocation, HTM Place/commit and
+//     per-task prediction tracking (entries are evicted when the task
+//     completes, so a long-lived deployment does not leak);
+//   - resubmission bookkeeping: each scheduling attempt is a distinct
+//     job id carrying its task id and attempt number.
+//
+// Drivers call Submit (or SubmitBatch) per arriving task, Complete on
+// completion messages and Report on monitor reports; everything else —
+// clocks, sockets, execution, fault detection — stays in the driver.
+//
+// The Core is safe for concurrent use. Observability is exposed as an
+// event stream (Subscribe): decisions, completions, reports and
+// membership changes, in commit order.
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+	"sync"
+
+	"casched/internal/htm"
+	"casched/internal/sched"
+	"casched/internal/stats"
+	"casched/internal/task"
+	"casched/internal/trace"
+)
+
+// ErrUnschedulable is returned by Submit when no registered server can
+// solve the task — NetSolve's "no server solves this problem" reply,
+// as opposed to a heuristic failure.
+var ErrUnschedulable = errors.New("agent: no candidate server")
+
+// Config parameterizes a Core.
+type Config struct {
+	// Scheduler is the heuristic the core applies (required).
+	Scheduler sched.Scheduler
+	// Seed drives randomized heuristics and tie-breaking.
+	Seed uint64
+	// RNG, when non-nil, overrides Seed as the decision randomness
+	// source (drivers with an existing seeded stream pass it through so
+	// results stay reproducible).
+	RNG *stats.RNG
+	// HTMSync enables HTM↔execution synchronization: completion
+	// messages re-anchor the trace (§7 extension).
+	HTMSync bool
+	// HTMMemory makes the HTM model server memory (§7 extension).
+	HTMMemory bool
+	// HTMWorkers bounds the HTM's candidate-evaluation worker pool
+	// (0 = GOMAXPROCS).
+	HTMWorkers int
+	// Log, when non-nil, receives "schedule" and "done" records.
+	Log *trace.Log
+}
+
+// Request is one task (re)submission presented to the core.
+type Request struct {
+	// JobID identifies this scheduling attempt; resubmissions of the
+	// same task use distinct job ids.
+	JobID int
+	// TaskID is the client-facing task identifier (equal to JobID on
+	// first attempts in transports without fault tolerance).
+	TaskID int
+	// Attempt is the fault-tolerance attempt number (0 = first).
+	Attempt int
+	// Spec describes the task type and its per-server costs.
+	Spec *task.Spec
+	// Arrival is the decision instant in experiment seconds.
+	Arrival float64
+	// Submitted is the client-side submission date exposed to the
+	// heuristic as Task.Arrival (a resubmission is decided later than
+	// it was submitted). Zero defaults to Arrival.
+	Submitted float64
+}
+
+// Decision is the committed outcome of one Submit.
+type Decision struct {
+	// JobID echoes the request.
+	JobID int
+	// Server is the chosen server.
+	Server string
+	// Predicted is the HTM's completion prediction at placement time;
+	// valid only when HasPrediction (HTM-based heuristics).
+	Predicted     float64
+	HasPrediction bool
+}
+
+// Completion is the core's record of one completed job.
+type Completion struct {
+	JobID   int
+	TaskID  int
+	Attempt int
+	Server  string
+	Time    float64
+}
+
+// EventKind discriminates core events.
+type EventKind int
+
+const (
+	// EventDecision is emitted after each committed placement.
+	EventDecision EventKind = iota
+	// EventCompletion is emitted for each completion message.
+	EventCompletion
+	// EventReport is emitted for each monitor report.
+	EventReport
+	// EventServerAdded and EventServerRemoved track membership.
+	EventServerAdded
+	EventServerRemoved
+)
+
+// Event is one observable core transition, delivered to subscribers in
+// commit order.
+type Event struct {
+	Kind    EventKind
+	Time    float64
+	Server  string
+	JobID   int
+	TaskID  int
+	Attempt int
+	// Load is the reported value (EventReport only).
+	Load float64
+	// Predicted/HasPrediction carry the placement-time HTM prediction
+	// (EventDecision only).
+	Predicted     float64
+	HasPrediction bool
+}
+
+// belief is the monitor-based view of one server: NetSolve's last
+// reported load plus the two corrections.
+type belief struct {
+	reported       float64
+	assignedSince  int
+	completedSince int
+}
+
+// estimate implements the NetSolve information model.
+func (b *belief) estimate() float64 {
+	e := b.reported + float64(b.assignedSince) - float64(b.completedSince)
+	if e < 0 {
+		return 0
+	}
+	return e
+}
+
+// jobMeta is the resubmission bookkeeping attached to a job id.
+type jobMeta struct {
+	taskID  int
+	attempt int
+}
+
+// Core is the shared decision engine. Construct with New; drive with
+// AddServer/Submit/Complete/Report.
+type Core struct {
+	cfg    Config
+	useHTM bool
+
+	mu          sync.Mutex
+	beliefs     map[string]*belief
+	order       []string // registered server names, sorted
+	htmMgr      *htm.Manager
+	rng         *stats.RNG
+	predictions map[int]float64 // jobID -> prediction at placement; evicted on completion
+	jobs        map[int]jobMeta // jobID -> task/attempt; evicted on completion
+	subs        map[int]func(Event)
+	nextSub     int
+}
+
+// New constructs a Core with no servers; drivers add membership with
+// AddServer as servers register (NetSolve's deployment order: agent
+// first, then servers, then clients).
+func New(cfg Config) (*Core, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("agent: core needs a scheduler")
+	}
+	c := &Core{
+		cfg:         cfg,
+		useHTM:      sched.UsesHTM(cfg.Scheduler),
+		beliefs:     make(map[string]*belief),
+		rng:         cfg.RNG,
+		predictions: make(map[int]float64),
+		jobs:        make(map[int]jobMeta),
+		subs:        make(map[int]func(Event)),
+	}
+	if c.rng == nil {
+		c.rng = stats.NewRNG(cfg.Seed)
+	}
+	if c.useHTM {
+		opts := []htm.Option{htm.WithWorkers(cfg.HTMWorkers)}
+		if cfg.HTMSync {
+			opts = append(opts, htm.WithSync())
+		}
+		if cfg.HTMMemory {
+			opts = append(opts, htm.WithMemoryModel())
+		}
+		c.htmMgr = htm.New(nil, opts...)
+	}
+	return c, nil
+}
+
+// UsesHTM reports whether the configured heuristic consumes the HTM.
+func (c *Core) UsesHTM() bool { return c.useHTM }
+
+// HTM exposes the core's trace manager (nil for monitor-based
+// heuristics). Intended for end-of-run inspection — Gantt extraction,
+// accuracy studies — not for concurrent mutation.
+func (c *Core) HTM() *htm.Manager { return c.htmMgr }
+
+// Subscribe registers an observer for core events and returns its
+// cancel function. Callbacks run synchronously on the mutating
+// goroutine, in commit order, with the core lock held: they must be
+// fast and must not call back into the Core.
+func (c *Core) Subscribe(fn func(Event)) (cancel func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := c.nextSub
+	c.nextSub++
+	c.subs[id] = fn
+	return func() {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		delete(c.subs, id)
+	}
+}
+
+// emit delivers an event to every subscriber. Caller holds c.mu.
+func (c *Core) emit(ev Event) {
+	for _, fn := range c.subs {
+		fn(ev)
+	}
+}
+
+// AddServer registers a server with the core: a fresh monitor belief
+// and, for HTM heuristics, a fresh trace anchored at the current trace
+// time. Idempotent by name.
+func (c *Core) AddServer(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.beliefs[name]; ok {
+		return
+	}
+	c.beliefs[name] = &belief{}
+	c.order = slices.Insert(c.order, sort.SearchStrings(c.order, name), name)
+	if c.htmMgr != nil {
+		c.htmMgr.AddServer(name)
+	}
+	c.emit(Event{Kind: EventServerAdded, Server: name, TaskID: -1})
+}
+
+// RemoveServer withdraws a server from the candidate pool (collapse,
+// decommission): its belief is dropped and its HTM trace is no longer
+// consulted. Jobs already placed on it keep their records.
+func (c *Core) RemoveServer(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.beliefs[name]; !ok {
+		return
+	}
+	delete(c.beliefs, name)
+	for i, n := range c.order {
+		if n == name {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	if c.htmMgr != nil {
+		c.htmMgr.DropServer(name)
+	}
+	c.emit(Event{Kind: EventServerRemoved, Server: name, TaskID: -1})
+}
+
+// Servers returns the registered server names in sorted order.
+func (c *Core) Servers() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]string(nil), c.order...)
+}
+
+// LoadEstimate implements sched.LoadInfo for external observers: the
+// agent's current belief of the number of tasks running on the server.
+func (c *Core) LoadEstimate(server string) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return coreLoadInfo{c}.LoadEstimate(server)
+}
+
+// coreLoadInfo is the unlocked sched.LoadInfo adapter handed to
+// heuristics, which run while Submit already holds c.mu.
+type coreLoadInfo struct{ c *Core }
+
+func (li coreLoadInfo) LoadEstimate(server string) float64 {
+	if b, ok := li.c.beliefs[server]; ok {
+		return b.estimate()
+	}
+	return 0
+}
+
+// Submit maps one task through the heuristic and commits the decision:
+// assignment load correction, HTM placement, prediction tracking.
+// ErrUnschedulable means no registered server solves the task.
+func (c *Core) Submit(req Request) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ev sched.Evaluator
+	if c.htmMgr != nil {
+		ev = c.htmMgr
+	}
+	return c.submitLocked(req, ev)
+}
+
+// SubmitBatch pipelines k simultaneous arrivals through one lock
+// acquisition and one HTM evaluation pass: candidate predictions are
+// evaluated once per distinct (spec, arrival) and reused across the
+// batch, re-evaluating only the server that received the previous
+// placement — its trace is the only one that changed. Decisions are
+// identical to submitting the requests one by one (the reuse is exact:
+// a server's prediction depends only on its own trace). Requests that
+// fail individually yield a zero Decision; their errors are joined in
+// the returned error, and the rest of the batch still commits.
+func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ev sched.Evaluator
+	var cache *batchCache
+	if c.htmMgr != nil {
+		cache = newBatchCache(c.htmMgr)
+		ev = cache
+	}
+	out := make([]Decision, len(reqs))
+	var errs []error
+	for i, req := range reqs {
+		d, err := c.submitLocked(req, ev)
+		if err != nil {
+			errs = append(errs, fmt.Errorf("agent: batch job %d: %w", req.JobID, err))
+			continue
+		}
+		out[i] = d
+		if cache != nil {
+			// The placement mutated exactly one trace; drop only that
+			// server's cached predictions.
+			cache.invalidate(d.Server)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// submitLocked is the decision engine. Caller holds c.mu; ev is the
+// HTM surface handed to the heuristic (nil for monitor heuristics).
+func (c *Core) submitLocked(req Request, ev sched.Evaluator) (Decision, error) {
+	if req.Spec == nil {
+		return Decision{}, fmt.Errorf("agent: job %d has no spec", req.JobID)
+	}
+	candidates := make([]string, 0, len(c.order))
+	for _, name := range c.order {
+		if _, ok := req.Spec.Cost(name); ok {
+			candidates = append(candidates, name)
+		}
+	}
+	if len(candidates) == 0 {
+		return Decision{}, ErrUnschedulable
+	}
+
+	submitted := req.Submitted
+	if submitted == 0 {
+		submitted = req.Arrival
+	}
+	ctx := &sched.Context{
+		Now:        req.Arrival,
+		Task:       &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted},
+		JobID:      req.JobID,
+		Candidates: candidates,
+		HTM:        ev,
+		Info:       coreLoadInfo{c},
+		RNG:        c.rng,
+	}
+	server, err := c.cfg.Scheduler.Choose(ctx)
+	if err != nil {
+		return Decision{}, fmt.Errorf("agent: scheduling task %d: %w", req.TaskID, err)
+	}
+	found := false
+	for _, cand := range candidates {
+		if cand == server {
+			found = true
+			break
+		}
+	}
+	if !found {
+		return Decision{}, fmt.Errorf("agent: scheduler %s chose non-candidate %q for task %d",
+			c.cfg.Scheduler.Name(), server, req.TaskID)
+	}
+
+	d := Decision{JobID: req.JobID, Server: server}
+	if c.htmMgr != nil {
+		if err := c.htmMgr.Place(req.JobID, req.Spec, req.Arrival, server); err != nil {
+			return Decision{}, fmt.Errorf("agent: HTM placement of task %d: %w", req.TaskID, err)
+		}
+		if p, ok := c.htmMgr.PredictedCompletion(req.JobID); ok {
+			c.predictions[req.JobID] = p
+			d.Predicted, d.HasPrediction = p, true
+		}
+	}
+	// NetSolve assignment correction — only once the placement is
+	// committed, so a rejected decision leaves beliefs untouched.
+	c.beliefs[server].assignedSince++
+	c.jobs[req.JobID] = jobMeta{taskID: req.TaskID, attempt: req.Attempt}
+	c.log(trace.Record{Time: req.Arrival, Kind: "schedule", Server: server,
+		TaskID: req.TaskID, Attempt: req.Attempt})
+	c.emit(Event{Kind: EventDecision, Time: req.Arrival, Server: server,
+		JobID: req.JobID, TaskID: req.TaskID, Attempt: req.Attempt,
+		Predicted: d.Predicted, HasPrediction: d.HasPrediction})
+	return d, nil
+}
+
+// Complete processes a completion message: the NetSolve completion
+// correction, HTM re-anchoring (sync extension) and prediction
+// eviction — placement-time predictions are consumed here, so the
+// tracking maps stay bounded by the number of in-flight tasks.
+func (c *Core) Complete(jobID int, server string, at float64) Completion {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.beliefs[server]; ok {
+		b.completedSince++ // NetSolve completion correction
+	}
+	if c.htmMgr != nil {
+		if _, placed := c.htmMgr.PlacedOn(jobID); placed {
+			// Ignore sync errors for jobs the HTM no longer tracks
+			// (dropped servers).
+			_ = c.htmMgr.NotifyCompletion(jobID, at)
+		}
+	}
+	meta, known := c.jobs[jobID]
+	if !known {
+		meta = jobMeta{taskID: jobID}
+	}
+	delete(c.jobs, jobID)
+	delete(c.predictions, jobID)
+	done := Completion{JobID: jobID, TaskID: meta.taskID, Attempt: meta.attempt,
+		Server: server, Time: at}
+	c.log(trace.Record{Time: at, Kind: "done", Server: server,
+		TaskID: meta.taskID, Attempt: meta.attempt})
+	c.emit(Event{Kind: EventCompletion, Time: at, Server: server,
+		JobID: jobID, TaskID: meta.taskID, Attempt: meta.attempt})
+	return done
+}
+
+// Report ingests a periodic monitor report: the belief is replaced by
+// the reported value and both corrections reset, as a fresh NetSolve
+// load report does.
+func (c *Core) Report(server string, load, at float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	b, ok := c.beliefs[server]
+	if !ok {
+		return
+	}
+	b.reported = load
+	b.assignedSince = 0
+	b.completedSince = 0
+	c.emit(Event{Kind: EventReport, Time: at, Server: server, TaskID: -1, Load: load})
+}
+
+// Prediction returns the HTM completion predicted when the job was
+// placed. Entries are evicted on completion; after Complete the
+// end-of-run projection is available through PredictedCompletion.
+func (c *Core) Prediction(jobID int) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.predictions[jobID]
+	return p, ok
+}
+
+// PredictedCompletion returns the HTM trace's current projection of a
+// placed job's completion date (HTM heuristics only).
+func (c *Core) PredictedCompletion(jobID int) (float64, bool) {
+	if c.htmMgr == nil {
+		return 0, false
+	}
+	return c.htmMgr.PredictedCompletion(jobID)
+}
+
+// FinalPredictions returns the HTM's current simulated completion date
+// for every job ever placed — the "simulated completion date" column
+// of the paper's Table 1, accounting for every later placement.
+func (c *Core) FinalPredictions() map[int]float64 {
+	out := make(map[int]float64)
+	if c.htmMgr == nil {
+		return out
+	}
+	for _, id := range c.htmMgr.Placements() {
+		if p, ok := c.htmMgr.PredictedCompletion(id); ok {
+			out[id] = p
+		}
+	}
+	return out
+}
+
+// log appends to the configured trace log, if any.
+func (c *Core) log(r trace.Record) {
+	if c.cfg.Log != nil {
+		c.cfg.Log.Add(r)
+	}
+}

@@ -23,12 +23,13 @@ package grid
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 	"math"
 	"sort"
 
+	"casched/internal/agent"
 	"casched/internal/fluid"
-	"casched/internal/htm"
 	"casched/internal/metrics"
 	"casched/internal/platform"
 	"casched/internal/sched"
@@ -200,35 +201,21 @@ func (h *arrivalHeap) Push(x any)   { *h = append(*h, x.(pendingArrival)) }
 func (h *arrivalHeap) Pop() any     { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
 func (h arrivalHeap) peek() float64 { return h[0].at }
 
-// loadBelief is the agent's monitor-based view of one server.
-type loadBelief struct {
-	ewma           float64 // server-side smoothed load average
-	lastReported   float64
-	assignedSince  int
-	completedSince int
-}
-
-// estimate implements the NetSolve information model: last report plus
-// the two corrections.
-func (b loadBelief) estimate() float64 {
-	e := b.lastReported + float64(b.assignedSince) - float64(b.completedSince)
-	if e < 0 {
-		return 0
-	}
-	return e
-}
-
-// sim is the run state.
+// sim is the run state: the execution layer (noise-perturbed fluid
+// servers, monitors, fault injection) driving the shared agent core,
+// which owns beliefs, heuristic invocation and the HTM.
 type sim struct {
-	cfg    Config
-	mt     *task.Metatask
-	rng    *stats.RNG
-	noise  *stats.RNG
-	exec   map[string]*fluid.Sim
-	order  []string // server names, sorted
-	alive  map[string]bool
-	htmMgr *htm.Manager
-	info   map[string]*loadBelief
+	cfg   Config
+	mt    *task.Metatask
+	core  *agent.Core
+	noise *stats.RNG
+	exec  map[string]*fluid.Sim
+	order []string // server names, sorted
+	alive map[string]bool
+	// ewma is each monitor's server-side Unix-style smoothed load
+	// average — monitor state, not agent belief, so it lives with the
+	// execution layer.
+	ewma map[string]float64
 
 	now        float64
 	nextReport float64
@@ -243,16 +230,6 @@ type sim struct {
 	results    []metrics.TaskResult
 	predicted  map[int]float64
 	collapses  []Collapse
-}
-
-// loadInfo adapts the sim's beliefs to sched.LoadInfo.
-type loadInfo struct{ s *sim }
-
-func (li loadInfo) LoadEstimate(server string) float64 {
-	if b, ok := li.s.info[server]; ok {
-		return b.estimate()
-	}
-	return 0
 }
 
 // Run executes the metatask under the configuration and returns the
@@ -274,7 +251,7 @@ func Run(cfg Config, mt *task.Metatask) (*Result, error) {
 		mt:         mt,
 		exec:       make(map[string]*fluid.Sim, len(cfg.Servers)),
 		alive:      make(map[string]bool, len(cfg.Servers)),
-		info:       make(map[string]*loadBelief, len(cfg.Servers)),
+		ewma:       make(map[string]float64, len(cfg.Servers)),
 		jobTask:    make(map[int]int),
 		jobAttempt: make(map[int]int),
 		results:    make([]metrics.TaskResult, mt.Len()),
@@ -285,8 +262,21 @@ func Run(cfg Config, mt *task.Metatask) (*Result, error) {
 	s.failures = append(s.failures, cfg.Failures...)
 	sort.Slice(s.failures, func(i, j int) bool { return s.failures[i].At < s.failures[j].At })
 	root := stats.NewRNG(cfg.Seed)
-	s.rng = root.Split()
+	decisionRNG := root.Split()
 	s.noise = root.Split()
+
+	core, err := agent.New(agent.Config{
+		Scheduler:  cfg.Scheduler,
+		RNG:        decisionRNG,
+		HTMSync:    cfg.HTMSync,
+		HTMMemory:  cfg.HTMMemory,
+		HTMWorkers: cfg.HTMWorkers,
+		Log:        cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("grid: %w", err)
+	}
+	s.core = core
 
 	names := make([]string, 0, len(cfg.Servers))
 	for _, sc := range cfg.Servers {
@@ -301,22 +291,11 @@ func Run(cfg Config, mt *task.Metatask) (*Result, error) {
 		}
 		s.exec[sc.Name] = fluid.New(fc)
 		s.alive[sc.Name] = true
-		s.info[sc.Name] = &loadBelief{}
+		s.core.AddServer(sc.Name)
 		names = append(names, sc.Name)
 	}
 	sort.Strings(names)
 	s.order = names
-
-	if sched.UsesHTM(cfg.Scheduler) {
-		opts := []htm.Option{htm.WithWorkers(cfg.HTMWorkers)}
-		if cfg.HTMSync {
-			opts = append(opts, htm.WithSync())
-		}
-		if cfg.HTMMemory {
-			opts = append(opts, htm.WithMemoryModel())
-		}
-		s.htmMgr = htm.New(names, opts...)
-	}
 
 	for i, t := range mt.Tasks {
 		s.results[i] = metrics.TaskResult{ID: t.ID, Arrival: t.Arrival}
@@ -350,12 +329,12 @@ func Run(cfg Config, mt *task.Metatask) (*Result, error) {
 			PeakMemoryTasks: s.peak[name],
 		}
 	}
-	if s.htmMgr != nil {
+	if s.core.UsesHTM() {
 		res.Predicted = s.predicted
 		res.FinalPredicted = make(map[int]float64)
 		bestAttempt := make(map[int]int)
 		for jobID, idx := range s.jobTask {
-			c, ok := s.htmMgr.PredictedCompletion(jobID)
+			c, ok := s.core.PredictedCompletion(jobID)
 			if !ok {
 				continue
 			}
@@ -468,7 +447,8 @@ func (s *sim) processEvents(server string, events []fluid.Event) {
 	}
 }
 
-// onDone records a task completion.
+// onDone records a task completion and relays the completion message
+// to the agent core (load correction, HTM re-anchor, "done" record).
 func (s *sim) onDone(server string, ev fluid.Event) {
 	idx, ok := s.jobTask[ev.JobID]
 	if !ok {
@@ -481,16 +461,7 @@ func (s *sim) onDone(server string, ev fluid.Event) {
 	if cost, ok := s.mt.Tasks[idx].Spec.Cost(server); ok {
 		r.UnloadedDuration = cost.Total()
 	}
-	if b, ok := s.info[server]; ok {
-		b.completedSince++ // NetSolve completion message
-	}
-	if s.htmMgr != nil {
-		// Ignore sync errors for jobs the HTM no longer tracks
-		// (dropped servers).
-		_ = s.htmMgr.NotifyCompletion(ev.JobID, ev.Time)
-	}
-	s.log(trace.Record{Time: ev.Time, Kind: "done", Server: server,
-		TaskID: s.mt.Tasks[idx].ID, Attempt: s.jobAttempt[ev.JobID]})
+	s.core.Complete(ev.JobID, server, ev.Time)
 }
 
 // onFailed queues a resubmission for a task lost in a collapse.
@@ -524,16 +495,14 @@ func (s *sim) onCollapse(server string, t float64, lost int) {
 	}
 	s.alive[server] = false
 	s.collapses = append(s.collapses, Collapse{Server: server, Time: t, Lost: lost})
-	if s.htmMgr != nil {
-		s.htmMgr.DropServer(server)
-	}
+	s.core.RemoveServer(server)
 	s.log(trace.Record{Time: t, Kind: "collapse", Server: server, TaskID: -1,
 		Note: fmt.Sprintf("lost=%d", lost)})
 }
 
-// refreshReports delivers periodic monitor reports: the agent's belief
-// is replaced by the server's true instantaneous load and the
-// corrections reset, as a fresh NetSolve load report does.
+// refreshReports delivers periodic monitor reports to the agent core:
+// each live server's monitor smooths its run-queue length and reports
+// it, replacing the core's belief and resetting the corrections.
 func (s *sim) refreshReports() {
 	// Unix-style smoothing: the reported value is an exponentially
 	// weighted moving average of the run-queue length, so the agent's
@@ -546,17 +515,15 @@ func (s *sim) refreshReports() {
 		if !s.alive[name] {
 			continue
 		}
-		b := s.info[name]
 		inst := s.exec[name].LoadAvg()
-		b.ewma = b.ewma*decay + inst*(1-decay)
-		b.lastReported = b.ewma
-		b.assignedSince = 0
-		b.completedSince = 0
+		s.ewma[name] = s.ewma[name]*decay + inst*(1-decay)
+		s.core.Report(name, s.ewma[name], s.now)
 	}
 }
 
-// schedule maps one (re)submitted task through the configured
-// heuristic and commits the decision.
+// schedule maps one (re)submitted task through the agent core — which
+// runs the heuristic and commits the decision — then mirrors the
+// placement into the noise-perturbed execution layer.
 func (s *sim) schedule(pa pendingArrival) error {
 	t := s.mt.Tasks[pa.taskIdx]
 	now := pa.at
@@ -567,44 +534,25 @@ func (s *sim) schedule(pa pendingArrival) error {
 	}
 	jobID := pa.attempt*attemptStride + t.ID
 
-	var candidates []string
-	for _, name := range s.order {
-		if !s.alive[name] {
-			continue
-		}
-		if _, ok := t.Spec.Cost(name); ok {
-			candidates = append(candidates, name)
-		}
-	}
 	s.log(trace.Record{Time: now, Kind: "arrival", TaskID: t.ID, Attempt: pa.attempt})
-	if len(candidates) == 0 {
+	dec, err := s.core.Submit(agent.Request{
+		JobID:     jobID,
+		TaskID:    t.ID,
+		Attempt:   pa.attempt,
+		Spec:      t.Spec,
+		Arrival:   now,
+		Submitted: t.Arrival,
+	})
+	if errors.Is(err, agent.ErrUnschedulable) {
 		s.log(trace.Record{Time: now, Kind: "unschedulable", TaskID: t.ID, Attempt: pa.attempt})
 		return nil
 	}
-
-	ctx := &sched.Context{
-		Now:        now,
-		Task:       t,
-		JobID:      jobID,
-		Candidates: candidates,
-		HTM:        s.htmMgr,
-		Info:       loadInfo{s},
-		RNG:        s.rng,
-	}
-	server, err := s.cfg.Scheduler.Choose(ctx)
 	if err != nil {
-		return fmt.Errorf("grid: scheduling task %d: %w", t.ID, err)
+		return fmt.Errorf("grid: %w", err)
 	}
-	found := false
-	for _, c := range candidates {
-		if c == server {
-			found = true
-			break
-		}
-	}
-	if !found {
-		return fmt.Errorf("grid: scheduler %s chose non-candidate %q for task %d",
-			s.cfg.Scheduler.Name(), server, t.ID)
+	server := dec.Server
+	if dec.HasPrediction {
+		s.predicted[t.ID] = dec.Predicted
 	}
 
 	nominal, _ := t.Spec.Cost(server)
@@ -618,18 +566,6 @@ func (s *sim) schedule(pa pendingArrival) error {
 	}
 	s.jobTask[jobID] = pa.taskIdx
 	s.jobAttempt[jobID] = pa.attempt
-	if b, ok := s.info[server]; ok {
-		b.assignedSince++ // NetSolve assignment correction
-	}
-	if s.htmMgr != nil {
-		if err := s.htmMgr.Place(jobID, t.Spec, now, server); err != nil {
-			return fmt.Errorf("grid: HTM placement of task %d: %w", t.ID, err)
-		}
-		if c, ok := s.htmMgr.PredictedCompletion(jobID); ok {
-			s.predicted[t.ID] = c
-		}
-	}
-	s.log(trace.Record{Time: now, Kind: "schedule", Server: server, TaskID: t.ID, Attempt: pa.attempt})
 
 	// Settle the placement: the job activates now, which may trigger an
 	// immediate memory collapse.

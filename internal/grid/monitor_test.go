@@ -8,39 +8,29 @@ import (
 	"casched/internal/workload"
 )
 
-func TestLoadBeliefEstimate(t *testing.T) {
-	b := loadBelief{lastReported: 2, assignedSince: 3, completedSince: 1}
-	if got := b.estimate(); got != 4 {
-		t.Errorf("estimate = %v, want 4 (2+3-1)", got)
-	}
-	// The estimate never goes negative even if completions outrun the
-	// stale report.
-	b = loadBelief{lastReported: 0, completedSince: 5}
-	if got := b.estimate(); got != 0 {
-		t.Errorf("estimate = %v, want clamped 0", got)
-	}
-}
-
-// TestMonitorEWMALags verifies the load-average smoothing recursion:
-// right after a burst lands, the reported value undershoots the
-// instantaneous count, converging over repeated reports.
+// TestMonitorEWMALags verifies the load-average smoothing recursion
+// (the monitor-side state the sim keeps per server): right after a
+// burst lands, the reported value undershoots the instantaneous count,
+// converging over repeated reports. The agent-side belief arithmetic
+// (report + corrections) now lives in internal/agent and is tested
+// there.
 func TestMonitorEWMALags(t *testing.T) {
 	// After one period with instantaneous load L starting from 0, the
 	// report is L(1-exp(-period/tau)).
 	decay := math.Exp(-30.0 / 60.0)
-	b := &loadBelief{}
+	ewma := 0.0
 	inst := 10.0
-	b.ewma = b.ewma*decay + inst*(1-decay)
+	ewma = ewma*decay + inst*(1-decay)
 	want := 10 * (1 - decay) // ≈3.93
-	if math.Abs(b.ewma-want) > 1e-9 {
-		t.Errorf("ewma after one report = %v, want %v", b.ewma, want)
+	if math.Abs(ewma-want) > 1e-9 {
+		t.Errorf("ewma after one report = %v, want %v", ewma, want)
 	}
 	// It converges to the plateau over repeated reports.
 	for i := 0; i < 20; i++ {
-		b.ewma = b.ewma*decay + inst*(1-decay)
+		ewma = ewma*decay + inst*(1-decay)
 	}
-	if math.Abs(b.ewma-10) > 0.01 {
-		t.Errorf("ewma did not converge: %v", b.ewma)
+	if math.Abs(ewma-10) > 0.01 {
+		t.Errorf("ewma did not converge: %v", ewma)
 	}
 }
 

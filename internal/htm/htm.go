@@ -39,6 +39,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -154,19 +155,53 @@ func New(servers []string, opts ...Option) *Manager {
 		o(m)
 	}
 	for _, name := range servers {
-		cfg := fluid.Config{Name: name}
-		if m.memoryModel {
-			if mach, err := platform.Get(name); err == nil {
-				cfg.RAMMB = mach.MemoryMB
-				cfg.SwapMB = mach.SwapMB
-				cfg.Thrash = true
-			}
-		}
-		m.traces[name] = &serverTrace{sim: fluid.New(cfg)}
-		m.order = append(m.order, name)
+		m.addServerLocked(name)
 	}
-	sort.Strings(m.order)
 	return m
+}
+
+// AddServer starts tracking a server that joined after construction:
+// its fresh trace is anchored at the current trace time. Idempotent by
+// name. This is the membership-growth half of the trace lifecycle;
+// DropServer is the other.
+func (m *Manager) AddServer(name string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.addServerLocked(name)
+}
+
+// addServerLocked creates the trace for one server. Caller holds m.mu
+// (or is the constructor).
+func (m *Manager) addServerLocked(name string) {
+	if _, ok := m.traces[name]; ok {
+		return
+	}
+	cfg := fluid.Config{Name: name}
+	if m.memoryModel {
+		if mach, err := platform.Get(name); err == nil {
+			cfg.RAMMB = mach.MemoryMB
+			cfg.SwapMB = mach.SwapMB
+			cfg.Thrash = true
+		}
+	}
+	tr := &serverTrace{sim: fluid.New(cfg)}
+	tr.sim.AdvanceTo(m.now)
+	m.traces[name] = tr
+	m.order = slices.Insert(m.order, sort.SearchStrings(m.order, name), name)
+}
+
+// Placements returns the ids of every job ever placed, in ascending
+// order — the record backing Table 1's "simulated completion date"
+// column (pair with PredictedCompletion).
+func (m *Manager) Placements() []int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	out := make([]int, 0, len(m.placements))
+	for id := range m.placements {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Servers returns the tracked server names in sorted order.

@@ -252,3 +252,45 @@ func TestSumFlowObjective(t *testing.T) {
 		t.Errorf("SumFlowObjective = %v", p.SumFlowObjective())
 	}
 }
+
+// TestAddServerMidRun: a server joining after placements gets a fresh
+// trace anchored at the current trace time and is immediately
+// evaluable; existing traces are untouched.
+func TestAddServerMidRun(t *testing.T) {
+	m := twoServerUsefulnessExample(t)
+	m.AdvanceTo(80)
+	m.AddServer("s3")
+	m.AddServer("s1") // idempotent: must not reset s1's trace
+	if got := m.Servers(); len(got) != 3 || got[2] != "s3" {
+		t.Fatalf("servers = %v", got)
+	}
+	spec := &task.Spec{Problem: "p", Variant: 100, CostOn: map[string]task.Cost{
+		"s1": {Compute: 100}, "s2": {Compute: 100}, "s3": {Compute: 100}}}
+	preds, err := m.EvaluateAll(9, spec, 80, []string{"s1", "s2", "s3"})
+	if err != nil || len(preds) != 3 {
+		t.Fatalf("EvaluateAll = %d preds, %v", len(preds), err)
+	}
+	// The idle newcomer runs the task unperturbed: completion 180.
+	for _, p := range preds {
+		if p.Server == "s3" && math.Abs(p.Completion-180) > 1e-9 {
+			t.Errorf("s3 completion = %v, want 180", p.Completion)
+		}
+		// s1 still holds task 1 (20s left at t=80): the trace survived
+		// the duplicate AddServer. Shared until t=120, then 80s solo.
+		if p.Server == "s1" && math.Abs(p.Completion-200) > 1e-9 {
+			t.Errorf("s1 completion = %v, want 200", p.Completion)
+		}
+	}
+}
+
+// TestPlacements: ids of every placed job, ascending.
+func TestPlacements(t *testing.T) {
+	m := twoServerUsefulnessExample(t)
+	ids := m.Placements()
+	if len(ids) != 2 || ids[0] != 1 || ids[1] != 2 {
+		t.Errorf("placements = %v, want [1 2]", ids)
+	}
+	if n := len(New(nil).Placements()); n != 0 {
+		t.Errorf("empty manager has %d placements", n)
+	}
+}

@@ -1,15 +1,14 @@
 package live
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"net/rpc"
-	"sort"
 	"sync"
 
-	"casched/internal/htm"
+	"casched/internal/agent"
 	"casched/internal/sched"
-	"casched/internal/stats"
 	"casched/internal/task"
 	"casched/internal/trace"
 )
@@ -34,31 +33,16 @@ type AgentConfig struct {
 	Addr string
 }
 
-// serverEntry is the agent's view of one registered server.
-type serverEntry struct {
-	name string
-	addr string
-	// belief is the monitor-based load view: last report plus the two
-	// NetSolve corrections.
-	reported       float64
-	assignedSince  int
-	completedSince int
-}
-
-// Agent is the central scheduler of the live deployment. It exposes
-// the RPC service "Agent" and owns the HTM.
+// Agent is the central scheduler of the live deployment: a TCP
+// transport (RPC service "Agent") over the shared agent core, which
+// owns the decision engine — beliefs, heuristic, HTM. The agent itself
+// only keeps the name→address book and the wire protocol.
 type Agent struct {
-	cfg AgentConfig
+	cfg  AgentConfig
+	core *agent.Core
 
-	mu      sync.Mutex
-	servers map[string]*serverEntry
-	order   []string
-	htmMgr  *htm.Manager
-	rng     *stats.RNG
-	// predictions maps task keys to the HTM completion predicted at
-	// placement.
-	predictions map[int]float64
-	placedJobs  map[int]bool
+	mu    sync.Mutex
+	addrs map[string]string // server name -> RPC address
 
 	lis net.Listener
 	srv *rpc.Server
@@ -73,12 +57,20 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("live: agent needs a clock")
 	}
+	core, err := agent.New(agent.Config{
+		Scheduler:  cfg.Scheduler,
+		Seed:       cfg.Seed,
+		HTMSync:    cfg.HTMSync,
+		HTMWorkers: cfg.HTMWorkers,
+		Log:        cfg.Log,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("live: %w", err)
+	}
 	a := &Agent{
-		cfg:         cfg,
-		servers:     make(map[string]*serverEntry),
-		rng:         stats.NewRNG(cfg.Seed),
-		predictions: make(map[int]float64),
-		placedJobs:  make(map[int]bool),
+		cfg:   cfg,
+		core:  core,
+		addrs: make(map[string]string),
 	}
 	addr := cfg.Addr
 	if addr == "" {
@@ -104,6 +96,10 @@ func (a *Agent) Addr() string { return a.lis.Addr().String() }
 // Close stops accepting connections.
 func (a *Agent) Close() error { return a.lis.Close() }
 
+// Core exposes the agent's decision engine, e.g. to subscribe to its
+// event stream.
+func (a *Agent) Core() *agent.Core { return a.core }
+
 // serve accepts RPC connections until the listener closes.
 func (a *Agent) serve() {
 	for {
@@ -122,144 +118,65 @@ func (a *Agent) log(r trace.Record) {
 	}
 }
 
-// register adds a server to the pool (idempotent by name).
+// register adds a server to the pool (idempotent by name). Membership
+// goes to the core (belief + HTM trace lifecycle); the address book is
+// transport state and stays here.
 func (a *Agent) register(args RegisterArgs) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	if _, ok := a.servers[args.Name]; !ok {
-		a.order = append(a.order, args.Name)
-		sort.Strings(a.order)
-	}
-	a.servers[args.Name] = &serverEntry{name: args.Name, addr: args.Addr}
-	if sched.UsesHTM(a.cfg.Scheduler) {
-		opts := []htm.Option{htm.WithWorkers(a.cfg.HTMWorkers)}
-		if a.cfg.HTMSync {
-			opts = append(opts, htm.WithSync())
-		}
-		// Rebuild the HTM with the current server set; registration
-		// happens before any scheduling, as in NetSolve's deployment
-		// order (agent first, then servers, then clients).
-		a.htmMgr = htm.New(a.order, opts...)
-		a.predictions = make(map[int]float64)
-		a.placedJobs = make(map[int]bool)
-	}
+	a.addrs[args.Name] = args.Addr
+	a.mu.Unlock()
+	a.core.AddServer(args.Name)
 	a.log(trace.Record{Time: a.cfg.Clock.Now(), Kind: "register", Server: args.Name, TaskID: -1})
 }
 
-// loadInfo adapts the agent's beliefs to sched.LoadInfo.
-type agentLoadInfo struct{ a *Agent }
-
-func (li agentLoadInfo) LoadEstimate(server string) float64 {
-	// Caller already holds a.mu.
-	e, ok := li.a.servers[server]
-	if !ok {
-		return 0
-	}
-	v := e.reported + float64(e.assignedSince) - float64(e.completedSince)
-	if v < 0 {
-		return 0
-	}
-	return v
-}
-
-// schedule picks a server for a request and commits the decision.
+// schedule picks a server for a request through the shared core and
+// returns its address.
 func (a *Agent) schedule(args ScheduleArgs) (ScheduleReply, error) {
 	spec, err := task.Resolve(args.Problem, args.Variant)
 	if err != nil {
 		return ScheduleReply{}, err
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-
-	now := a.cfg.Clock.Now()
-	var candidates []string
-	for _, name := range a.order {
-		if _, ok := spec.Cost(name); ok {
-			candidates = append(candidates, name)
-		}
-	}
-	if len(candidates) == 0 {
+	dec, err := a.core.Submit(agent.Request{
+		JobID:     args.TaskKey,
+		TaskID:    args.TaskKey,
+		Spec:      spec,
+		Arrival:   a.cfg.Clock.Now(),
+		Submitted: args.Arrival,
+	})
+	if errors.Is(err, agent.ErrUnschedulable) {
 		return ScheduleReply{}, fmt.Errorf("live: no server solves %s", spec.Name())
 	}
-
-	ctx := &sched.Context{
-		Now:        now,
-		Task:       &task.Task{ID: args.TaskKey, Spec: spec, Arrival: args.Arrival},
-		JobID:      args.TaskKey,
-		Candidates: candidates,
-		HTM:        a.htmMgr,
-		Info:       agentLoadInfo{a},
-		RNG:        a.rng,
-	}
-	server, err := a.cfg.Scheduler.Choose(ctx)
 	if err != nil {
-		return ScheduleReply{}, fmt.Errorf("live: scheduling task %d: %w", args.TaskKey, err)
+		return ScheduleReply{}, fmt.Errorf("live: %w", err)
 	}
-	entry := a.servers[server]
-	entry.assignedSince++ // NetSolve assignment correction
-
-	if a.htmMgr != nil {
-		if err := a.htmMgr.Place(args.TaskKey, spec, now, server); err != nil {
-			return ScheduleReply{}, fmt.Errorf("live: HTM placement: %w", err)
-		}
-		a.placedJobs[args.TaskKey] = true
-		if c, ok := a.htmMgr.PredictedCompletion(args.TaskKey); ok {
-			a.predictions[args.TaskKey] = c
-		}
-	}
-	a.log(trace.Record{Time: now, Kind: "schedule", Server: server, TaskID: args.TaskKey})
-	return ScheduleReply{Server: server, Addr: entry.addr}, nil
+	a.mu.Lock()
+	addr := a.addrs[dec.Server]
+	a.mu.Unlock()
+	return ScheduleReply{Server: dec.Server, Addr: addr}, nil
 }
 
-// taskDone processes a server's completion message.
+// taskDone relays a server's completion message to the core.
 func (a *Agent) taskDone(args TaskDoneArgs) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if e, ok := a.servers[args.Server]; ok {
-		e.completedSince++ // NetSolve completion correction
-	}
-	if a.htmMgr != nil && a.placedJobs[args.TaskKey] {
-		_ = a.htmMgr.NotifyCompletion(args.TaskKey, args.At)
-	}
-	a.log(trace.Record{Time: args.At, Kind: "done", Server: args.Server, TaskID: args.TaskKey})
+	a.core.Complete(args.TaskKey, args.Server, args.At)
 }
 
-// loadReport ingests a periodic monitor report.
+// loadReport relays a periodic monitor report to the core.
 func (a *Agent) loadReport(args LoadReportArgs) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if e, ok := a.servers[args.Name]; ok {
-		e.reported = args.Load
-		e.assignedSince = 0
-		e.completedSince = 0
-	}
+	a.core.Report(args.Name, args.Load, args.At)
 }
 
 // Prediction returns the HTM completion predicted when the task was
-// placed (HTM heuristics only).
+// placed (HTM heuristics only). Predictions are evicted once the task
+// completes; use FinalPredictions for post-run comparisons.
 func (a *Agent) Prediction(taskKey int) (float64, bool) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	c, ok := a.predictions[taskKey]
-	return c, ok
+	return a.core.Prediction(taskKey)
 }
 
 // FinalPredictions returns the HTM's end-of-run simulated completion
 // date for every placed task — the "simulated completion date" column
 // of Table 1.
 func (a *Agent) FinalPredictions() map[int]float64 {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	out := make(map[int]float64)
-	if a.htmMgr == nil {
-		return out
-	}
-	for key := range a.placedJobs {
-		if c, ok := a.htmMgr.PredictedCompletion(key); ok {
-			out[key] = c
-		}
-	}
-	return out
+	return a.core.FinalPredictions()
 }
 
 // AgentService is the RPC facade. Methods follow net/rpc conventions.

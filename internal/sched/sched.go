@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"casched/internal/htm"
 	"casched/internal/stats"
@@ -38,6 +39,19 @@ type LoadInfo interface {
 	LoadEstimate(server string) float64
 }
 
+// Evaluator is the HTM surface heuristics consume: candidate
+// evaluation and projected ready times. *htm.Manager implements it
+// directly; the agent core substitutes caching wrappers (batch
+// submission) without the heuristics noticing.
+type Evaluator interface {
+	// EvaluateAll predicts placing job id on every candidate; see
+	// htm.Manager.EvaluateAll for the error contract.
+	EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) ([]htm.Prediction, error)
+	// ProjectedReady returns the instant the server drains its current
+	// work (the OLB/KPB/SA "machine ready time").
+	ProjectedReady(server string) (float64, bool)
+}
+
 // Context is everything the agent exposes to a heuristic for one
 // scheduling decision.
 type Context struct {
@@ -51,9 +65,9 @@ type Context struct {
 	// Candidates are the alive servers able to solve the task's
 	// problem, in a stable order.
 	Candidates []string
-	// HTM is the historical trace manager (nil for heuristics that do
-	// not use it).
-	HTM *htm.Manager
+	// HTM is the historical trace manager's evaluation surface (nil
+	// for heuristics that do not use it).
+	HTM Evaluator
 	// Info is the monitor-based load view (nil for heuristics that do
 	// not use it).
 	Info LoadInfo
@@ -80,55 +94,56 @@ func UsesHTM(s Scheduler) bool {
 	return false
 }
 
+// registry is the single source of truth for the heuristic family, in
+// presentation order: the paper's four, the related-work comparators,
+// then the reference policies. ByName, Names and All all derive from
+// it, so adding a heuristic is one entry here.
+var registry = []struct {
+	name string
+	new  func() Scheduler
+}{
+	{"MCT", func() Scheduler { return NewMCT() }},
+	{"HMCT", func() Scheduler { return NewHMCT() }},
+	{"MP", func() Scheduler { return NewMP() }},
+	{"MSF", func() Scheduler { return NewMSF() }},
+	{"MNI", func() Scheduler { return NewMNI() }},
+	{"MET", func() Scheduler { return NewMET() }},
+	{"OLB", func() Scheduler { return NewOLB() }},
+	{"KPB", func() Scheduler { return NewKPB() }},
+	{"SA", func() Scheduler { return NewSA() }},
+	{"Random", func() Scheduler { return NewRandom() }},
+	{"RoundRobin", func() Scheduler { return NewRoundRobin() }},
+}
+
 // ByName constructs the named scheduler. Recognized names: the
 // paper's MCT, HMCT, MP, MSF; the related-work comparators MNI
 // (Weissman) and MET, OLB, KPB, SA (Maheswaran et al., the paper's
-// reference [10]); and the Random/RoundRobin reference policies
-// (case sensitive).
+// reference [10]); and the Random/RoundRobin reference policies.
+// Lookup is case-insensitive ("msf" and "MSF" both work).
 func ByName(name string) (Scheduler, error) {
-	switch name {
-	case "MCT":
-		return NewMCT(), nil
-	case "HMCT":
-		return NewHMCT(), nil
-	case "MP":
-		return NewMP(), nil
-	case "MSF":
-		return NewMSF(), nil
-	case "MNI":
-		return NewMNI(), nil
-	case "MET":
-		return NewMET(), nil
-	case "OLB":
-		return NewOLB(), nil
-	case "KPB":
-		return NewKPB(), nil
-	case "SA":
-		return NewSA(), nil
-	case "Random":
-		return NewRandom(), nil
-	case "RoundRobin":
-		return NewRoundRobin(), nil
-	default:
-		return nil, fmt.Errorf("sched: unknown heuristic %q", name)
+	for _, e := range registry {
+		if strings.EqualFold(e.name, name) {
+			return e.new(), nil
+		}
 	}
+	return nil, fmt.Errorf("sched: unknown heuristic %q", name)
 }
 
 // Names lists every recognized heuristic in presentation order.
 func Names() []string {
-	return []string{"MCT", "HMCT", "MP", "MSF", "MNI", "MET", "OLB", "KPB", "SA", "Random", "RoundRobin"}
+	out := make([]string, len(registry))
+	for i, e := range registry {
+		out[i] = e.name
+	}
+	return out
 }
 
 // All returns a fresh instance of every heuristic, in the paper's
 // presentation order followed by the extensions.
 func All() []Scheduler {
-	out := make([]Scheduler, 0, len(Names()))
-	for _, n := range Names() {
-		s, err := ByName(n)
-		if err != nil {
-			panic(err) // Names and ByName out of sync: programming error
-		}
-		out = append(out, s)
+	out := make([]Scheduler, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e.new())
 	}
 	return out
 }

@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"casched/internal/htm"
@@ -24,14 +25,19 @@ func twoServerSpec(c1, c2 float64) *task.Spec {
 }
 
 func baseCtx(spec *task.Spec, m *htm.Manager, now float64) *Context {
-	return &Context{
+	ctx := &Context{
 		Now:        now,
 		Task:       &task.Task{ID: 0, Spec: spec, Arrival: now},
 		JobID:      100,
 		Candidates: []string{"s1", "s2"},
-		HTM:        m,
 		RNG:        stats.NewRNG(1),
 	}
+	// Context.HTM is an interface: assign only a non-nil manager so
+	// the heuristics' nil checks keep working.
+	if m != nil {
+		ctx.HTM = m
+	}
+	return ctx
 }
 
 func TestMCTPicksLowestEstimatedCompletion(t *testing.T) {
@@ -315,5 +321,45 @@ func TestArgminPredictions(t *testing.T) {
 	ties = argminPredictions(inf, func(p htm.Prediction) float64 { return p.Completion })
 	if len(ties) != 1 {
 		t.Errorf("infinite objective must still yield a candidate, got %+v", ties)
+	}
+}
+
+// TestByNameCaseInsensitive: lookup is table-driven off one registry
+// and case-insensitive.
+func TestByNameCaseInsensitive(t *testing.T) {
+	for _, name := range []string{"msf", "MSF", "Msf", "roundrobin", "hmct"} {
+		s, err := ByName(name)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if !strings.EqualFold(s.Name(), name) {
+			t.Errorf("ByName(%q) = %s", name, s.Name())
+		}
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("unknown heuristic accepted")
+	}
+}
+
+// TestNamesMatchRegistry: every listed name constructs a scheduler
+// whose Name round-trips, and All follows the same order.
+func TestNamesMatchRegistry(t *testing.T) {
+	names := Names()
+	all := All()
+	if len(names) != len(all) {
+		t.Fatalf("Names()=%d entries, All()=%d", len(names), len(all))
+	}
+	for i, n := range names {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", n, err)
+		}
+		if s.Name() != n {
+			t.Errorf("ByName(%q).Name() = %q", n, s.Name())
+		}
+		if all[i].Name() != n {
+			t.Errorf("All()[%d] = %q, want %q", i, all[i].Name(), n)
+		}
 	}
 }
