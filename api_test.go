@@ -306,6 +306,149 @@ func TestPublicAPIAgentCore(t *testing.T) {
 	}
 }
 
+// TestPublicAPICluster drives the sharded agent through the facade:
+// options, membership with a policy, batch routing, the merged event
+// stream via a StatsCollector, completions and rebalancing.
+func TestPublicAPICluster(t *testing.T) {
+	cl, err := casched.NewCluster(
+		casched.WithShards(2),
+		casched.WithHeuristic("hmct"),
+		casched.WithShardPolicy(casched.LeastLoadedShardPolicy()),
+		casched.WithSeed(3),
+		casched.WithHTMWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.NumShards() != 2 || !cl.UsesHTM() {
+		t.Fatalf("shards=%d usesHTM=%v", cl.NumShards(), cl.UsesHTM())
+	}
+	stats := casched.NewStatsCollector()
+	defer cl.Subscribe(stats.Collect)()
+
+	costs := make(map[string]casched.Cost)
+	for i := 0; i < 6; i++ {
+		costs[string(rune('a'+i))] = casched.Cost{Compute: 10 + float64(i)}
+	}
+	spec := &casched.Spec{Problem: "p", Variant: 1, CostOn: costs}
+	for name := range costs {
+		cl.AddServer(name)
+	}
+	reqs := make([]casched.AgentRequest, 4)
+	for i := range reqs {
+		reqs[i] = casched.AgentRequest{JobID: i, TaskID: i, Spec: spec, Arrival: 0}
+	}
+	decs, err := cl.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range decs {
+		if d.Server == "" || !d.HasPrediction {
+			t.Fatalf("decision %d = %+v", i, d)
+		}
+	}
+	dec, err := cl.Submit(casched.AgentRequest{JobID: 10, TaskID: 10, Spec: spec, Arrival: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.Complete(10, dec.Server, dec.Predicted)
+	cl.Rebalance()
+
+	st := stats.Snapshot()
+	if st.Decisions != 5 || st.Completions != 1 || st.PredictionSamples != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := cl.InFlight(); got != 4 {
+		t.Errorf("in-flight = %d", got)
+	}
+	if _, ok := casched.ShardPolicyByName("affinity"); !ok {
+		t.Error("ShardPolicyByName(affinity) failed")
+	}
+	_ = casched.HashShardPolicy()
+	_ = casched.AffinityShardPolicy(nil)
+}
+
+// TestPublicAPIAgentCoreOptions covers the shared option idiom on
+// NewAgentCore, including the rejection of cluster-only options.
+func TestPublicAPIAgentCoreOptions(t *testing.T) {
+	core, err := casched.NewAgentCore(casched.AgentCoreConfig{},
+		casched.WithHeuristic("MSF"), casched.WithSeed(5), casched.WithHTMWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.AddServer("artimon")
+	dec, err := core.Submit(casched.AgentRequest{JobID: 0, TaskID: 0,
+		Spec: casched.WasteCPUSpec(200), Arrival: 0})
+	if err != nil || dec.Server != "artimon" {
+		t.Errorf("decision = %+v, %v", dec, err)
+	}
+	if _, err := casched.NewAgentCore(casched.AgentCoreConfig{},
+		casched.WithHeuristic("MSF"), casched.WithShards(4)); err == nil {
+		t.Error("NewAgentCore accepted WithShards(4)")
+	}
+	if _, err := casched.NewAgentCore(casched.AgentCoreConfig{},
+		casched.WithHeuristic("MSF"), casched.WithShardPolicy(casched.HashShardPolicy())); err == nil {
+		t.Error("NewAgentCore accepted WithShardPolicy")
+	}
+}
+
+// TestPublicAPIHTMRetention covers the trace-compaction option.
+func TestPublicAPIHTMRetention(t *testing.T) {
+	m := casched.NewHTM([]string{"s1"}, casched.HTMWithRetention(50))
+	spec := &casched.Spec{Problem: "p", Variant: 1,
+		CostOn: map[string]casched.Cost{"s1": {Compute: 5}}}
+	for i := 0; i < 20; i++ {
+		if err := m.Place(i, spec, float64(i)*30, "s1"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(m.Placements()); got >= 20 {
+		t.Errorf("retention kept all %d records", got)
+	}
+}
+
+// TestPublicAPIShardedLiveAgent runs a real TCP deployment with the
+// dispatch layer between the wire protocol and the shard cores.
+func TestPublicAPIShardedLiveAgent(t *testing.T) {
+	clock := casched.NewLiveClock(2000)
+	s, err := casched.NewScheduler("HMCT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agent, err := casched.StartLiveAgent(casched.LiveAgentConfig{
+		Scheduler: s, Clock: clock, Seed: 1,
+		Shards: 2, ShardPolicy: casched.LeastLoadedShardPolicy(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer agent.Close()
+	for _, name := range []string{"artimon", "spinnaker"} {
+		srv, err := casched.StartLiveServer(casched.LiveServerConfig{
+			Name: name, AgentAddr: agent.Addr(), Clock: clock,
+			Quantum: casched.DefaultQuantum, ReportPeriod: -1,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Close()
+	}
+	mt := &casched.Metatask{Name: "sharded-live", Tasks: []*casched.Task{
+		{ID: 0, Spec: casched.WasteCPUSpec(200), Arrival: 0},
+		{ID: 1, Spec: casched.WasteCPUSpec(400), Arrival: 2},
+		{ID: 2, Spec: casched.WasteCPUSpec(200), Arrival: 4},
+	}}
+	results, err := casched.RunLiveMetatask(agent.Addr(), mt, clock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range results {
+		if !r.Completed {
+			t.Errorf("task %d incomplete", r.ID)
+		}
+	}
+}
+
 // TestPublicAPISchedulerCaseInsensitive covers the registry lookup.
 func TestPublicAPISchedulerCaseInsensitive(t *testing.T) {
 	s, err := casched.NewScheduler("msf")

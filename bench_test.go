@@ -606,16 +606,16 @@ func BenchmarkSchedulerDecisions(b *testing.B) {
 
 // --- Agent-core benchmarks ---
 
-// agentBenchBatches builds the decision stream both agent benchmarks
-// share: n tasks for a 32-server testbed under inhomogeneous-Poisson
-// (bursty) arrivals, grouped into batches of up to k simultaneous
-// arrivals — each batch's tasks carry the batch-head arrival date, the
-// stream a batching frontend hands the agent. BenchmarkAgentSubmit
-// plays the identical stream one task at a time.
-func agentBenchBatches(b *testing.B, n, k int) ([]string, [][]casched.AgentRequest) {
+// benchBatches builds a decision stream: n tasks for an nServers-sized
+// testbed under inhomogeneous-Poisson (bursty) arrivals, grouped into
+// batches of up to k simultaneous arrivals — each batch's tasks carry
+// the batch-head arrival date, the stream a batching frontend hands
+// the agent. The mean inter-arrival scales inversely with the testbed
+// so per-server load stays comparable across server counts.
+func benchBatches(b *testing.B, nServers, n, k int) ([]string, [][]casched.AgentRequest) {
 	b.Helper()
-	names, specs := largeTestbed(32)
-	sc := casched.PoissonBurstScenario(n, 5, 17)
+	names, specs := largeTestbed(nServers)
+	sc := casched.PoissonBurstScenario(n, 5*32/float64(nServers), 17)
 	sc.Specs = specs
 	mt, err := casched.GenerateScenario(sc)
 	if err != nil {
@@ -637,6 +637,12 @@ func agentBenchBatches(b *testing.B, n, k int) ([]string, [][]casched.AgentReque
 		batches = append(batches, batch)
 	}
 	return names, batches
+}
+
+// agentBenchBatches is the 32-server stream the original agent
+// benchmarks play.
+func agentBenchBatches(b *testing.B, n, k int) ([]string, [][]casched.AgentRequest) {
+	return benchBatches(b, 32, n, k)
 }
 
 // newBenchCore builds a fresh HMCT agent core over the testbed.
@@ -697,4 +703,103 @@ func BenchmarkAgentSubmitBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// --- Cluster benchmarks: sharded dispatch scaling curves ---
+
+// newBenchCluster builds a fresh HMCT cluster over the testbed.
+func newBenchCluster(b *testing.B, names []string, shards int) *casched.Cluster {
+	b.Helper()
+	cl, err := casched.NewCluster(
+		casched.WithShards(shards),
+		casched.WithHeuristic("HMCT"),
+		casched.WithSeed(17),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range names {
+		cl.AddServer(name)
+	}
+	return cl
+}
+
+// BenchmarkAgentSubmitBatch128 is BenchmarkAgentSubmitBatch on the
+// 128-server testbed: the single mutex-guarded core paying a
+// 128-candidate evaluation per burst head — the comparator the
+// BenchmarkClusterSubmitBatch scaling curves are measured against.
+func BenchmarkAgentSubmitBatch128(b *testing.B) {
+	names, batches := benchBatches(b, 128, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core := newBenchCore(b, names)
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := core.SubmitBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkClusterSubmitBatch measures the sharded dispatch layer's
+// throughput path across shard counts and testbed sizes: every burst
+// routes to the least-loaded eligible shard and pipelines through that
+// shard's batch prediction cache, so per-burst evaluation cost scales
+// with the shard's candidate set instead of the whole pool. shards=1
+// is the dispatch layer degenerated to the single core (its overhead
+// floor); the decisions/s ratio to BenchmarkAgentSubmitBatch128 (or
+// the 32-server BenchmarkAgentSubmitBatch) is the sharding speedup.
+func BenchmarkClusterSubmitBatch(b *testing.B) {
+	for _, nServers := range []int{32, 128} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			nServers, shards := nServers, shards
+			b.Run(fmt.Sprintf("shards=%d/servers=%d", shards, nServers), func(b *testing.B) {
+				names, batches := benchBatches(b, nServers, agentBenchTasks, 16)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					cl := newBenchCluster(b, names, shards)
+					b.StartTimer()
+					for _, batch := range batches {
+						if _, err := cl.SubmitBatch(batch); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+				b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+			})
+		}
+	}
+}
+
+// BenchmarkClusterSubmit measures the exact fan-out path (every shard
+// evaluates, commit on the winner) across shard counts at 128 servers.
+// Unlike the batch path this does the full pool's evaluation work per
+// decision — the curve shows what decision fidelity costs, and that
+// the dispatch layer itself adds negligible overhead at shards=1.
+func BenchmarkClusterSubmit(b *testing.B) {
+	const nServers = 128
+	for _, shards := range []int{1, 2, 4, 8} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d/servers=%d", shards, nServers), func(b *testing.B) {
+			names, batches := benchBatches(b, nServers, agentBenchTasks, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl := newBenchCluster(b, names, shards)
+				b.StartTimer()
+				for _, batch := range batches {
+					for _, req := range batch {
+						if _, err := cl.Submit(req); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			}
+			b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
 }

@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"casched/internal/agent"
+	"casched/internal/cluster"
 	"casched/internal/experiments"
 	"casched/internal/fluid"
 	"casched/internal/gantt"
@@ -152,7 +153,104 @@ var ErrUnschedulable = agent.ErrUnschedulable
 // SubmitBatch) arriving tasks and feed Complete/Report messages back;
 // Subscribe exposes the decision/completion/report event stream for
 // observability.
-func NewAgentCore(cfg AgentCoreConfig) (*AgentCore, error) { return agent.New(cfg) }
+//
+// The configuration struct may be refined with the same functional
+// options NewCluster takes (WithHeuristic, WithSeed, WithHTMWorkers,
+// ...); cluster-only options (WithShards above 1, WithShardPolicy)
+// are rejected.
+func NewAgentCore(cfg AgentCoreConfig, opts ...ClusterOption) (*AgentCore, error) {
+	if len(opts) > 0 {
+		resolved, err := cluster.CoreConfig(cfg, opts...)
+		if err != nil {
+			return nil, err
+		}
+		cfg = resolved
+	}
+	return agent.New(cfg)
+}
+
+// Cluster types: the sharded agent — N agent cores behind one dispatch
+// layer with a merged event stream.
+type (
+	// Cluster partitions the server pool across shard cores: Submit
+	// fans a decision out and commits on the winning shard;
+	// SubmitBatch routes bursts to the least-loaded eligible shard so
+	// decision cost scales with the shard, not the pool. With one
+	// shard it reproduces NewAgentCore's exact placement sequence.
+	Cluster = cluster.Cluster
+	// ClusterOption is the functional construction idiom shared by
+	// NewCluster and NewAgentCore.
+	ClusterOption = cluster.Option
+	// ClusterConfig is the explicit form behind the options.
+	ClusterConfig = cluster.Config
+	// ShardPolicy assigns servers to shards.
+	ShardPolicy = cluster.ShardPolicy
+)
+
+// NewCluster constructs a sharded agent from functional options:
+//
+//	cl, err := casched.NewCluster(
+//		casched.WithShards(4),
+//		casched.WithHeuristic("HMCT"),
+//		casched.WithShardPolicy(casched.LeastLoadedShardPolicy()),
+//	)
+//
+// Drive it exactly like an AgentCore: AddServer, Submit/SubmitBatch,
+// Complete/Report, Subscribe.
+func NewCluster(opts ...ClusterOption) (*Cluster, error) { return cluster.New(opts...) }
+
+// WithShards sets the number of agent-core shards.
+func WithShards(n int) ClusterOption { return cluster.WithShards(n) }
+
+// WithShardPolicy sets the server-to-shard assignment policy.
+func WithShardPolicy(p ShardPolicy) ClusterOption { return cluster.WithPolicy(p) }
+
+// WithHeuristic selects the scheduling heuristic by name (MCT, HMCT,
+// MP, MSF, ...), case-insensitive, one instance per shard.
+func WithHeuristic(name string) ClusterOption { return cluster.WithHeuristic(name) }
+
+// WithSeed seeds decision randomness (tie-breaking, Random).
+func WithSeed(seed uint64) ClusterOption { return cluster.WithSeed(seed) }
+
+// WithHTMWorkers bounds each shard's HTM candidate-evaluation worker
+// pool (0 = GOMAXPROCS).
+func WithHTMWorkers(n int) ClusterOption { return cluster.WithHTMWorkers(n) }
+
+// WithHTMSync enables HTM↔execution synchronization (§7 extension).
+func WithHTMSync(on bool) ClusterOption { return cluster.WithHTMSync(on) }
+
+// HashShardPolicy spreads servers by name hash (the default policy).
+func HashShardPolicy() ShardPolicy { return cluster.Hash() }
+
+// LeastLoadedShardPolicy keeps partition sizes level and rebalances
+// automatically after removals.
+func LeastLoadedShardPolicy() ShardPolicy { return cluster.LeastLoaded() }
+
+// AffinityShardPolicy keeps servers of one class on one shard; a nil
+// classifier groups by server-name prefix ("bigsun12" → "bigsun").
+func AffinityShardPolicy(classify func(server string) string) ShardPolicy {
+	return cluster.Affinity(classify)
+}
+
+// ShardPolicyByName resolves "hash", "least-loaded" or "affinity" —
+// the casagent -shard-policy values.
+func ShardPolicyByName(name string) (ShardPolicy, bool) { return cluster.ByName(name) }
+
+// StatsCollector is the sample event-stream subscriber aggregating
+// decisions/sec, completions, mean absolute prediction error and
+// per-server occupancy. Subscribe its Collect method on an AgentCore
+// or a Cluster.
+type StatsCollector = agent.StatsCollector
+
+// AgentStats is a StatsCollector snapshot.
+type AgentStats = agent.Stats
+
+// ServerOccupancy is the per-server view inside AgentStats.
+type ServerOccupancy = agent.Occupancy
+
+// NewStatsCollector returns an empty collector; pass sc.Collect to
+// Subscribe and read aggregates with sc.Snapshot().
+func NewStatsCollector() *StatsCollector { return agent.NewStatsCollector() }
 
 // Live runtime types.
 type (
@@ -241,6 +339,12 @@ func HTMWithMemoryModel() htm.Option { return htm.WithMemoryModel() }
 // HTMWithWorkers bounds the HTM's candidate-evaluation worker pool
 // (0 = GOMAXPROCS).
 func HTMWithWorkers(n int) htm.Option { return htm.WithWorkers(n) }
+
+// HTMWithRetention bounds the HTM's completed-record history to a
+// sliding window (seconds of trace time): months-long deployments keep
+// bounded memory, predictions are unchanged, Table 1-style
+// retrospection forgets pruned jobs.
+func HTMWithRetention(window float64) htm.Option { return htm.WithRetention(window) }
 
 // Run executes a metatask on the discrete-event simulator.
 func Run(cfg RunConfig, mt *Metatask) (*RunResult, error) { return grid.Run(cfg, mt) }

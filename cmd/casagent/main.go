@@ -6,6 +6,12 @@
 // Usage:
 //
 //	casagent -addr 127.0.0.1:7410 -heuristic MSF -scale 100
+//	casagent -heuristic HMCT -shards 4 -shard-policy least-loaded
+//
+// With -shards above 1 the agent runs the sharded cluster dispatch
+// layer: registering servers are partitioned across that many agent
+// cores by -shard-policy (hash, least-loaded or affinity), and each
+// scheduling decision fans out over the shard winners.
 //
 // The agent runs until interrupted.
 package main
@@ -26,6 +32,8 @@ func main() {
 		scale     = flag.Float64("scale", 1, "virtual seconds per wall second")
 		seed      = flag.Uint64("seed", 1, "tie-breaking seed")
 		htmSync   = flag.Bool("htm-sync", false, "enable HTM/execution synchronization")
+		shards    = flag.Int("shards", 1, "agent-core shards behind the dispatch layer")
+		policy    = flag.String("shard-policy", "hash", "server-to-shard policy: hash, least-loaded or affinity")
 	)
 	flag.Parse()
 
@@ -34,19 +42,31 @@ func main() {
 		fmt.Fprintln(os.Stderr, "casagent:", err)
 		os.Exit(1)
 	}
+	shardPolicy, ok := casched.ShardPolicyByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "casagent: unknown shard policy %q\n", *policy)
+		os.Exit(1)
+	}
 	agent, err := casched.StartLiveAgent(casched.LiveAgentConfig{
-		Scheduler: s,
-		Clock:     casched.NewLiveClock(*scale),
-		Seed:      *seed,
-		HTMSync:   *htmSync,
-		Addr:      *addr,
+		Scheduler:   s,
+		Clock:       casched.NewLiveClock(*scale),
+		Seed:        *seed,
+		HTMSync:     *htmSync,
+		Shards:      *shards,
+		ShardPolicy: shardPolicy,
+		Addr:        *addr,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casagent:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("casagent: %s scheduler listening on %s (clock scale %gx)\n",
-		*heuristic, agent.Addr(), *scale)
+	if *shards > 1 {
+		fmt.Printf("casagent: %s scheduler listening on %s (clock scale %gx, %d shards, %s policy)\n",
+			*heuristic, agent.Addr(), *scale, *shards, *policy)
+	} else {
+		fmt.Printf("casagent: %s scheduler listening on %s (clock scale %gx)\n",
+			*heuristic, agent.Addr(), *scale)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt)

@@ -1,0 +1,40 @@
+package casched_test
+
+import (
+	"fmt"
+	"log"
+
+	"casched"
+)
+
+// ExampleNewCluster shows the sharded agent: four servers partitioned
+// across two agent cores, each decision fanned out over the shard
+// winners and committed on the global best.
+func ExampleNewCluster() {
+	cl, err := casched.NewCluster(
+		casched.WithShards(2),
+		casched.WithHeuristic("HMCT"),
+		casched.WithSeed(1),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	spec := &casched.Spec{Problem: "demo", Variant: 1, CostOn: map[string]casched.Cost{
+		"east1": {Compute: 10}, "east2": {Compute: 14},
+		"west1": {Compute: 12}, "west2": {Compute: 18},
+	}}
+	for _, s := range []string{"east1", "east2", "west1", "west2"} {
+		cl.AddServer(s)
+	}
+	for i := 0; i < 3; i++ {
+		dec, err := cl.Submit(casched.AgentRequest{JobID: i, TaskID: i, Spec: spec, Arrival: 0})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("task %d -> %s (predicted completion %.0fs)\n", i, dec.Server, dec.Predicted)
+	}
+	// Output:
+	// task 0 -> east1 (predicted completion 10s)
+	// task 1 -> west1 (predicted completion 12s)
+	// task 2 -> east2 (predicted completion 14s)
+}

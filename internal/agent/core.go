@@ -363,11 +363,23 @@ func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
 	return out, errors.Join(errs...)
 }
 
-// submitLocked is the decision engine. Caller holds c.mu; ev is the
+// submitLocked is the decision engine: one evaluation followed by one
+// commit under the same lock acquisition. Caller holds c.mu; ev is the
 // HTM surface handed to the heuristic (nil for monitor heuristics).
 func (c *Core) submitLocked(req Request, ev sched.Evaluator) (Decision, error) {
+	cand, err := c.evaluateLocked(req, ev)
+	if err != nil {
+		return Decision{}, err
+	}
+	return c.commitLocked(req, cand.Server)
+}
+
+// evaluateLocked runs candidate filtering and the heuristic without
+// committing anything: no HTM placement, no belief correction, no
+// event. Caller holds c.mu.
+func (c *Core) evaluateLocked(req Request, ev sched.Evaluator) (Candidate, error) {
 	if req.Spec == nil {
-		return Decision{}, fmt.Errorf("agent: job %d has no spec", req.JobID)
+		return Candidate{}, fmt.Errorf("agent: job %d has no spec", req.JobID)
 	}
 	candidates := make([]string, 0, len(c.order))
 	for _, name := range c.order {
@@ -376,7 +388,7 @@ func (c *Core) submitLocked(req Request, ev sched.Evaluator) (Decision, error) {
 		}
 	}
 	if len(candidates) == 0 {
-		return Decision{}, ErrUnschedulable
+		return Candidate{}, ErrUnschedulable
 	}
 
 	submitted := req.Submitted
@@ -392,22 +404,39 @@ func (c *Core) submitLocked(req Request, ev sched.Evaluator) (Decision, error) {
 		Info:       coreLoadInfo{c},
 		RNG:        c.rng,
 	}
-	server, err := c.cfg.Scheduler.Choose(ctx)
-	if err != nil {
-		return Decision{}, fmt.Errorf("agent: scheduling task %d: %w", req.TaskID, err)
+	var out Candidate
+	if ss, ok := c.cfg.Scheduler.(sched.ScoredScheduler); ok {
+		choice, err := ss.ChooseScored(ctx)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("agent: scheduling task %d: %w", req.TaskID, err)
+		}
+		out = Candidate{Server: choice.Server, Score: choice.Score, Tie: choice.Tie, Scored: true}
+	} else {
+		server, err := c.cfg.Scheduler.Choose(ctx)
+		if err != nil {
+			return Candidate{}, fmt.Errorf("agent: scheduling task %d: %w", req.TaskID, err)
+		}
+		out = Candidate{Server: server}
 	}
 	found := false
 	for _, cand := range candidates {
-		if cand == server {
+		if cand == out.Server {
 			found = true
 			break
 		}
 	}
 	if !found {
-		return Decision{}, fmt.Errorf("agent: scheduler %s chose non-candidate %q for task %d",
-			c.cfg.Scheduler.Name(), server, req.TaskID)
+		return Candidate{}, fmt.Errorf("agent: scheduler %s chose non-candidate %q for task %d",
+			c.cfg.Scheduler.Name(), out.Server, req.TaskID)
 	}
+	return out, nil
+}
 
+// commitLocked commits a decided placement: HTM commit, prediction
+// tracking, the NetSolve assignment correction, bookkeeping and the
+// decision event. Caller holds c.mu and has validated the server
+// against the request's candidates.
+func (c *Core) commitLocked(req Request, server string) (Decision, error) {
 	d := Decision{JobID: req.JobID, Server: server}
 	if c.htmMgr != nil {
 		if err := c.htmMgr.Place(req.JobID, req.Spec, req.Arrival, server); err != nil {

@@ -1,0 +1,105 @@
+package agent
+
+import (
+	"fmt"
+
+	"casched/internal/sched"
+	"casched/internal/task"
+)
+
+// This file is the Core's shard surface: the evaluate/commit split a
+// dispatch layer (internal/cluster) uses to fan one decision out over
+// several cores — each core evaluates the request against its own
+// server partition, the dispatcher compares the scored winners and
+// commits on exactly one core. Submit remains the single-core
+// evaluate+commit under one lock acquisition; these hooks expose the
+// same two halves as separate critical sections.
+
+// Candidate is a provisional shard-local decision: the heuristic's
+// choice among this core's servers, before any commit. Nothing in the
+// core's state changes when a Candidate is produced.
+type Candidate struct {
+	// Server is the chosen server.
+	Server string
+	// Score and Tie are the heuristic's objective values
+	// (sched.Choice): comparable across cores running the same
+	// heuristic, which is what the dispatcher minimizes over.
+	// Meaningful only when Scored is true.
+	Score, Tie float64
+	// Scored reports whether the heuristic implements
+	// sched.ScoredScheduler. Unscored candidates (Random, RoundRobin)
+	// cannot be compared across cores; dispatchers fall back to
+	// rotation.
+	Scored bool
+}
+
+// Evaluate runs the heuristic for one request against this core's
+// servers without committing: no HTM placement, no belief correction,
+// no event. ErrUnschedulable means no server of this core solves the
+// task — for a shard, a normal "not my partition" condition.
+func (c *Core) Evaluate(req Request) (Candidate, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ev sched.Evaluator
+	if c.htmMgr != nil {
+		ev = c.htmMgr
+	}
+	return c.evaluateLocked(req, ev)
+}
+
+// Commit commits a previously evaluated placement on this core:
+// HTM commit, prediction tracking, assignment correction, decision
+// event — exactly Submit's commit half. The server must still be
+// registered and able to solve the task; a shard whose membership
+// changed between Evaluate and Commit rejects the commit rather than
+// corrupting its state.
+func (c *Core) Commit(req Request, server string) (Decision, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if req.Spec == nil {
+		return Decision{}, fmt.Errorf("agent: job %d has no spec", req.JobID)
+	}
+	if _, ok := c.beliefs[server]; !ok {
+		return Decision{}, fmt.Errorf("agent: commit of task %d on unregistered server %q",
+			req.TaskID, server)
+	}
+	if _, ok := req.Spec.Cost(server); !ok {
+		return Decision{}, fmt.Errorf("agent: server %q cannot solve task %d", server, req.TaskID)
+	}
+	return c.commitLocked(req, server)
+}
+
+// CanSolve reports whether at least one registered server solves the
+// task — the dispatcher's shard-eligibility check. It costs at most
+// one cost-table probe per registered server and takes no projections.
+func (c *Core) CanSolve(spec *task.Spec) bool {
+	if spec == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, name := range c.order {
+		if _, ok := spec.Cost(name); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// InFlight returns the number of jobs placed but not yet completed —
+// the dispatcher's cheap load signal for routing.
+func (c *Core) InFlight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.jobs)
+}
+
+// ServerCount returns the number of registered servers.
+func (c *Core) ServerCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.order)
+}
+
+// Scheduler returns the configured heuristic.
+func (c *Core) Scheduler() sched.Scheduler { return c.cfg.Scheduler }

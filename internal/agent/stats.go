@@ -1,0 +1,195 @@
+package agent
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// StatsCollector is a sample event-stream subscriber that aggregates
+// scheduling observability counters: decision and completion counts,
+// decision rate, the mean absolute prediction error realized on
+// completions, and per-server occupancy. It consumes the same Event
+// stream whether subscribed to a single Core or to a Cluster's merged
+// stream:
+//
+//	sc := agent.NewStatsCollector()
+//	cancel := core.Subscribe(sc.Collect)
+//	...
+//	fmt.Println(sc.Snapshot())
+//
+// Collect is cheap and allocation-light — subscriber callbacks run on
+// the mutating goroutine with the core lock held — and Snapshot may be
+// called concurrently from any goroutine.
+type StatsCollector struct {
+	mu          sync.Mutex
+	decisions   int64
+	completions int64
+	reports     int64
+
+	// span of event (experiment) time covered by timed events.
+	first, last float64
+	timed       bool
+
+	// predicted tracks decision-time predictions until the completion
+	// arrives (evicted there, so the map is bounded by in-flight jobs).
+	predicted map[int]float64
+	absErrSum float64
+	absErrN   int64
+
+	occ map[string]*Occupancy
+}
+
+// Occupancy is the per-server view the collector maintains.
+type Occupancy struct {
+	// InFlight is decisions minus completions observed for the server.
+	InFlight int
+	// Decisions and Completions are cumulative counts.
+	Decisions, Completions int64
+	// ReportedLoad is the last monitor-reported load (NaN until a
+	// report is seen).
+	ReportedLoad float64
+}
+
+// Stats is an immutable snapshot of the collector.
+type Stats struct {
+	// Decisions, Completions and Reports count the observed events.
+	Decisions, Completions, Reports int64
+	// Span is the event-time window covered (last minus first timed
+	// event, in experiment seconds).
+	Span float64
+	// DecisionsPerSec is Decisions divided by Span: the decision rate
+	// in experiment time. Zero when the span is empty.
+	DecisionsPerSec float64
+	// MeanAbsPredictionError averages |actual − predicted| completion
+	// over completions whose decision carried an HTM prediction.
+	MeanAbsPredictionError float64
+	// PredictionSamples is the number of completions behind the mean.
+	PredictionSamples int64
+	// Occupancy maps each observed server to its per-server view.
+	Occupancy map[string]Occupancy
+}
+
+// NewStatsCollector returns an empty collector.
+func NewStatsCollector() *StatsCollector {
+	return &StatsCollector{
+		predicted: make(map[int]float64),
+		occ:       make(map[string]*Occupancy),
+	}
+}
+
+// Collect ingests one event; pass it to Core.Subscribe (or a Cluster's
+// Subscribe).
+func (sc *StatsCollector) Collect(ev Event) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	switch ev.Kind {
+	case EventDecision:
+		sc.decisions++
+		sc.touch(ev.Time)
+		o := sc.server(ev.Server)
+		o.Decisions++
+		o.InFlight++
+		if ev.HasPrediction {
+			sc.predicted[ev.JobID] = ev.Predicted
+		}
+	case EventCompletion:
+		sc.completions++
+		sc.touch(ev.Time)
+		o := sc.server(ev.Server)
+		o.Completions++
+		if o.InFlight > 0 {
+			o.InFlight--
+		}
+		if p, ok := sc.predicted[ev.JobID]; ok {
+			sc.absErrSum += math.Abs(ev.Time - p)
+			sc.absErrN++
+			delete(sc.predicted, ev.JobID)
+		}
+	case EventReport:
+		sc.reports++
+		sc.touch(ev.Time)
+		sc.server(ev.Server).ReportedLoad = ev.Load
+	case EventServerAdded:
+		sc.server(ev.Server)
+	}
+}
+
+// touch extends the covered event-time span.
+func (sc *StatsCollector) touch(t float64) {
+	if !sc.timed {
+		sc.first, sc.last, sc.timed = t, t, true
+		return
+	}
+	if t < sc.first {
+		sc.first = t
+	}
+	if t > sc.last {
+		sc.last = t
+	}
+}
+
+// server returns (creating if needed) the per-server record.
+func (sc *StatsCollector) server(name string) *Occupancy {
+	o, ok := sc.occ[name]
+	if !ok {
+		o = &Occupancy{ReportedLoad: math.NaN()}
+		sc.occ[name] = o
+	}
+	return o
+}
+
+// Snapshot returns the current aggregate view.
+func (sc *StatsCollector) Snapshot() Stats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	st := Stats{
+		Decisions:         sc.decisions,
+		Completions:       sc.completions,
+		Reports:           sc.reports,
+		PredictionSamples: sc.absErrN,
+		Occupancy:         make(map[string]Occupancy, len(sc.occ)),
+	}
+	if sc.timed {
+		st.Span = sc.last - sc.first
+	}
+	if st.Span > 0 {
+		st.DecisionsPerSec = float64(sc.decisions) / st.Span
+	}
+	if sc.absErrN > 0 {
+		st.MeanAbsPredictionError = sc.absErrSum / float64(sc.absErrN)
+	}
+	for name, o := range sc.occ {
+		st.Occupancy[name] = *o
+	}
+	return st
+}
+
+// String renders the snapshot as a small report, servers sorted by
+// name.
+func (st Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "decisions %d (%.2f/s over %.1fs)  completions %d  reports %d\n",
+		st.Decisions, st.DecisionsPerSec, st.Span, st.Completions, st.Reports)
+	if st.PredictionSamples > 0 {
+		fmt.Fprintf(&b, "mean |completion error| %.3fs over %d completions\n",
+			st.MeanAbsPredictionError, st.PredictionSamples)
+	}
+	names := make([]string, 0, len(st.Occupancy))
+	for name := range st.Occupancy {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := st.Occupancy[name]
+		load := "-"
+		if !math.IsNaN(o.ReportedLoad) {
+			load = fmt.Sprintf("%.1f", o.ReportedLoad)
+		}
+		fmt.Fprintf(&b, "  %-12s in-flight %3d  decisions %4d  completions %4d  reported load %s\n",
+			name, o.InFlight, o.Decisions, o.Completions, load)
+	}
+	return b.String()
+}

@@ -1,0 +1,140 @@
+package agent
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/sched"
+)
+
+// TestStatsCollector drives a core with the collector subscribed and
+// checks every aggregate: counts, rate, prediction error, occupancy.
+func TestStatsCollector(t *testing.T) {
+	c := newCore(t, sched.NewHMCT(), "s1", "s2")
+	sc := NewStatsCollector()
+	cancel := c.Subscribe(sc.Collect)
+	defer cancel()
+
+	spec := twoServerSpec(10, 12)
+	var decs []Decision
+	for i := 0; i < 4; i++ {
+		d, err := c.Submit(Request{JobID: i, TaskID: i, Spec: spec, Arrival: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		decs = append(decs, d)
+	}
+	// Two completions: one exactly on prediction, one 2s late.
+	c.Complete(0, decs[0].Server, decs[0].Predicted)
+	c.Complete(1, decs[1].Server, decs[1].Predicted+2)
+	c.Report("s1", 1.5, 30)
+
+	st := sc.Snapshot()
+	if st.Decisions != 4 || st.Completions != 2 || st.Reports != 1 {
+		t.Fatalf("counts = %+v", st)
+	}
+	if st.Span <= 0 || st.DecisionsPerSec <= 0 {
+		t.Errorf("span/rate = %v/%v", st.Span, st.DecisionsPerSec)
+	}
+	if st.PredictionSamples != 2 || math.Abs(st.MeanAbsPredictionError-1) > 1e-9 {
+		t.Errorf("prediction error = %v over %d samples, want 1.0 over 2",
+			st.MeanAbsPredictionError, st.PredictionSamples)
+	}
+	inflight := 0
+	for _, o := range st.Occupancy {
+		inflight += o.InFlight
+	}
+	if inflight != 2 {
+		t.Errorf("total in-flight = %d, want 2", inflight)
+	}
+	if o := st.Occupancy["s1"]; math.IsNaN(o.ReportedLoad) || o.ReportedLoad != 1.5 {
+		t.Errorf("s1 reported load = %v, want 1.5", o.ReportedLoad)
+	}
+	if o := st.Occupancy["s2"]; !math.IsNaN(o.ReportedLoad) {
+		t.Errorf("s2 reported load = %v, want NaN (no report)", o.ReportedLoad)
+	}
+	if st.String() == "" {
+		t.Error("empty String()")
+	}
+}
+
+// TestEvaluateCommitMatchesSubmit pins the shard surface: Evaluate
+// followed by Commit on the chosen server behaves exactly like Submit
+// on an identically seeded twin, and Evaluate alone mutates nothing.
+func TestEvaluateCommitMatchesSubmit(t *testing.T) {
+	for _, name := range []string{"HMCT", "MSF", "MCT"} {
+		one, _ := sched.ByName(name)
+		whole := newCore(t, one, "s1", "s2")
+		two, _ := sched.ByName(name)
+		split := newCore(t, two, "s1", "s2")
+		spec := twoServerSpec(10, 12)
+		for i := 0; i < 6; i++ {
+			req := Request{JobID: i, TaskID: i, Spec: spec, Arrival: float64(2 * i)}
+			want, err := whole.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cand, err := split.Evaluate(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// A second Evaluate returns the same answer: nothing moved.
+			again, err := split.Evaluate(req)
+			if err != nil || again.Server != cand.Server {
+				t.Fatalf("%s: re-evaluate diverged: %+v vs %+v (%v)", name, again, cand, err)
+			}
+			got, err := split.Commit(req, cand.Server)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Server != want.Server || math.Abs(got.Predicted-want.Predicted) > 1e-9 {
+				t.Fatalf("%s: job %d: split %+v vs submit %+v", name, i, got, want)
+			}
+		}
+		if whole.InFlight() != 6 || split.InFlight() != 6 {
+			t.Errorf("%s: in-flight %d/%d, want 6", name, whole.InFlight(), split.InFlight())
+		}
+	}
+}
+
+// TestCommitValidation: commits on unregistered or unfit servers are
+// rejected without corrupting state.
+func TestCommitValidation(t *testing.T) {
+	c := newCore(t, sched.NewHMCT(), "s1", "s2")
+	spec := twoServerSpec(10, 12)
+	if _, err := c.Commit(Request{JobID: 0, Spec: spec}, "nosuch"); err == nil {
+		t.Error("commit on unregistered server accepted")
+	}
+	c.RemoveServer("s2")
+	if _, err := c.Commit(Request{JobID: 0, Spec: spec}, "s2"); err == nil {
+		t.Error("commit on removed server accepted")
+	}
+	if _, err := c.Commit(Request{JobID: 0}, "s1"); err == nil {
+		t.Error("commit without spec accepted")
+	}
+	if c.InFlight() != 0 {
+		t.Errorf("rejected commits left %d in flight", c.InFlight())
+	}
+	// A valid commit still works after the rejections.
+	if _, err := c.Commit(Request{JobID: 0, Spec: spec}, "s1"); err != nil {
+		t.Errorf("valid commit rejected: %v", err)
+	}
+}
+
+// TestCanSolve covers the shard-eligibility probe.
+func TestCanSolve(t *testing.T) {
+	c := newCore(t, sched.NewHMCT(), "s1")
+	if !c.CanSolve(twoServerSpec(1, 2)) {
+		t.Error("solvable spec reported unsolvable")
+	}
+	if c.CanSolve(nil) {
+		t.Error("nil spec reported solvable")
+	}
+	c.RemoveServer("s1")
+	if c.CanSolve(twoServerSpec(1, 2)) {
+		t.Error("empty core reported solvable")
+	}
+	if c.ServerCount() != 0 {
+		t.Errorf("server count = %d", c.ServerCount())
+	}
+}

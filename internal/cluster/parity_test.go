@@ -1,0 +1,230 @@
+package cluster
+
+// Decision-parity: with one shard the Cluster is the agent core — same
+// requests, same seed, same heuristic must produce the identical
+// placement sequence through Submit and through SubmitBatch. This is
+// the cluster-side analogue of the grid-vs-live parity test in
+// internal/agent: it pins that the dispatch layer adds routing, not
+// decision drift.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"casched/internal/agent"
+	"casched/internal/sched"
+	"casched/internal/workload"
+)
+
+// parityStream builds a deterministic request stream from the paper's
+// second-set workload generator: n waste-cpu tasks under Poisson
+// arrivals, restricted to the Table 2 testbed servers.
+func parityStream(n int) []agent.Request {
+	mt := workload.MustGenerate(workload.Set2(n, 12, 7))
+	reqs := make([]agent.Request, mt.Len())
+	for i, tk := range mt.Tasks {
+		reqs[i] = agent.Request{JobID: tk.ID, TaskID: tk.ID, Spec: tk.Spec, Arrival: tk.Arrival}
+	}
+	return reqs
+}
+
+// parityServers is the second-set testbed (Table 2).
+var parityServers = []string{"artimon", "spinnaker", "soyotte", "valette"}
+
+// driveSequential plays the stream one request at a time through any
+// submit surface, completing each job at its predicted date (or 15s
+// after arrival for monitor heuristics) every fourth decision to
+// exercise the belief corrections.
+type submitter interface {
+	Submit(agent.Request) (agent.Decision, error)
+	Complete(jobID int, server string, at float64) agent.Completion
+}
+
+func driveSequential(t *testing.T, s submitter, reqs []agent.Request) []string {
+	t.Helper()
+	out := make([]string, len(reqs))
+	for i, req := range reqs {
+		dec, err := s.Submit(req)
+		if err != nil {
+			t.Fatalf("job %d: %v", req.JobID, err)
+		}
+		out[i] = dec.Server
+		if i%4 == 3 {
+			at := req.Arrival + 15
+			if dec.HasPrediction {
+				at = dec.Predicted
+			}
+			s.Complete(dec.JobID, dec.Server, at)
+		}
+	}
+	return out
+}
+
+func TestOneShardClusterMatchesAgentCore(t *testing.T) {
+	for _, name := range []string{"HMCT", "MCT", "MP", "MSF", "MNI", "Random", "RoundRobin"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			reqs := parityStream(60)
+
+			s, err := sched.ByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			core, err := agent.New(agent.Config{Scheduler: s, Seed: 11})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, srv := range parityServers {
+				core.AddServer(srv)
+			}
+			want := driveSequential(t, core, reqs)
+
+			cl, err := New(WithShards(1), WithHeuristic(name), WithSeed(11))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, srv := range parityServers {
+				cl.AddServer(srv)
+			}
+			got := driveSequential(t, cl, reqs)
+
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("job %d: cluster placed on %s, core on %s\ncore:    %v\ncluster: %v",
+						i, got[i], want[i], want, got)
+				}
+			}
+			// Guard against a degenerate one-server stream.
+			distinct := map[string]bool{}
+			for _, srv := range want {
+				distinct[srv] = true
+			}
+			if len(distinct) < 2 {
+				t.Errorf("stream degenerated to one server: %v", want)
+			}
+		})
+	}
+}
+
+// TestOneShardBatchMatchesAgentCoreBatch extends parity to the batch
+// path: a 1-shard Cluster's SubmitBatch must reproduce the core's
+// SubmitBatch exactly (which itself provably equals sequential
+// Submit).
+func TestOneShardBatchMatchesAgentCoreBatch(t *testing.T) {
+	reqs := parityStream(48)
+	batch := func(reqs []agent.Request, k int) [][]agent.Request {
+		var out [][]agent.Request
+		for i := 0; i < len(reqs); i += k {
+			end := min(i+k, len(reqs))
+			b := make([]agent.Request, end-i)
+			copy(b, reqs[i:end])
+			at := b[0].Arrival
+			for j := range b {
+				b[j].Arrival = at // simultaneous-arrival burst
+			}
+			out = append(out, b)
+		}
+		return out
+	}
+
+	s, err := sched.ByName("MSF")
+	if err != nil {
+		t.Fatal(err)
+	}
+	core, err := agent.New(agent.Config{Scheduler: s, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl, err := New(WithShards(1), WithHeuristic("MSF"), WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, srv := range parityServers {
+		core.AddServer(srv)
+		cl.AddServer(srv)
+	}
+	for _, b := range batch(reqs, 6) {
+		want, err := core.SubmitBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := cl.SubmitBatch(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i].Server != want[i].Server ||
+				math.Abs(got[i].Predicted-want[i].Predicted) > 1e-9 {
+				t.Fatalf("job %d: cluster %+v vs core %+v", b[i].JobID, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestConcurrentSubmitAcrossShards hammers a 4-shard cluster from
+// concurrent submitters, completers and reporters; run under -race it
+// pins the locking discipline of the dispatch layer, the shard cores
+// and the merged event stream.
+func TestConcurrentSubmitAcrossShards(t *testing.T) {
+	const (
+		workers   = 8
+		perWorker = 25
+		servers   = 16
+	)
+	cl := newTestCluster(t, 4, "HMCT", servers)
+	spec := evenSpec(servers)
+
+	var seen int64
+	cancel := cl.Subscribe(func(ev agent.Event) {
+		if ev.Kind == agent.EventDecision {
+			seen++
+		}
+	})
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				id := w*1000 + i
+				at := float64(i)
+				var dec agent.Decision
+				var err error
+				if i%5 == 0 {
+					var decs []agent.Decision
+					decs, err = cl.SubmitBatch([]agent.Request{
+						{JobID: id, TaskID: id, Spec: spec, Arrival: at},
+					})
+					if err == nil {
+						dec = decs[0]
+					}
+				} else {
+					dec, err = cl.Submit(agent.Request{JobID: id, TaskID: id, Spec: spec, Arrival: at})
+				}
+				if err != nil {
+					t.Errorf("worker %d job %d: %v", w, id, err)
+					return
+				}
+				if i%2 == 0 {
+					cl.Complete(id, dec.Server, at+20)
+				}
+				if i%7 == 0 {
+					cl.Report(dec.Server, 1, at)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got := int(seen); got != workers*perWorker {
+		t.Errorf("merged stream saw %d decisions, want %d", got, workers*perWorker)
+	}
+	want := workers * perWorker
+	completed := workers * ((perWorker + 1) / 2)
+	if got := cl.InFlight(); got != want-completed {
+		t.Errorf("in-flight = %d, want %d", got, want-completed)
+	}
+}

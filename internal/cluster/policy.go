@@ -1,0 +1,110 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"strings"
+	"unicode"
+)
+
+// ShardPolicy decides which shard a newly registered server joins.
+// Implementations must be deterministic in (server, counts) so that
+// replaying a registration sequence reproduces the same partition.
+type ShardPolicy interface {
+	// Name identifies the policy ("hash", "least-loaded", ...).
+	Name() string
+	// Assign returns the shard index for a new server, given the
+	// current number of servers on each shard (len(counts) = shards).
+	Assign(server string, counts []int) int
+}
+
+// AutoBalancer is implemented by policies that want the Cluster to
+// rebalance partition sizes automatically after a removal.
+type AutoBalancer interface {
+	AutoBalance() bool
+}
+
+// hashPolicy spreads servers by name hash: stateless, stable under
+// membership churn (a server always lands on the same shard for a
+// given shard count).
+type hashPolicy struct{}
+
+// Hash returns the hash-by-server-name policy (the default).
+func Hash() ShardPolicy { return hashPolicy{} }
+
+func (hashPolicy) Name() string { return "hash" }
+
+func (hashPolicy) Assign(server string, counts []int) int {
+	h := fnv.New32a()
+	h.Write([]byte(server))
+	return int(h.Sum32() % uint32(len(counts)))
+}
+
+// leastLoadedPolicy levels partition sizes: each new server joins the
+// currently smallest shard, and the Cluster auto-rebalances after
+// removals.
+type leastLoadedPolicy struct{}
+
+// LeastLoaded returns the smallest-partition-first policy.
+func LeastLoaded() ShardPolicy { return leastLoadedPolicy{} }
+
+func (leastLoadedPolicy) Name() string { return "least-loaded" }
+
+func (leastLoadedPolicy) AutoBalance() bool { return true }
+
+func (leastLoadedPolicy) Assign(server string, counts []int) int {
+	best := 0
+	for i, c := range counts {
+		if c < counts[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// affinityPolicy keeps servers of the same class on the same shard, so
+// a problem class whose implementations live on one hardware class
+// resolves within a single shard (batch routing then never has to
+// split a burst). The class is derived by the classifier; the default
+// strips a trailing digit run from the server name ("bigsun12" →
+// "bigsun").
+type affinityPolicy struct {
+	classify func(server string) string
+}
+
+// Affinity returns the class-affinity policy. A nil classifier uses
+// the default name-prefix rule.
+func Affinity(classify func(server string) string) ShardPolicy {
+	if classify == nil {
+		classify = DefaultClass
+	}
+	return affinityPolicy{classify: classify}
+}
+
+func (affinityPolicy) Name() string { return "affinity" }
+
+func (p affinityPolicy) Assign(server string, counts []int) int {
+	h := fnv.New32a()
+	h.Write([]byte(p.classify(server)))
+	return int(h.Sum32() % uint32(len(counts)))
+}
+
+// DefaultClass is the default server classifier: the name with any
+// trailing digit run removed.
+func DefaultClass(server string) string {
+	return strings.TrimRightFunc(server, unicode.IsDigit)
+}
+
+// ByName resolves a policy by name: "hash", "least-loaded" or
+// "affinity" (with the default classifier) — the casagent -shard-policy
+// flag values.
+func ByName(name string) (ShardPolicy, bool) {
+	switch strings.ToLower(name) {
+	case "hash":
+		return Hash(), true
+	case "least-loaded", "leastloaded":
+		return LeastLoaded(), true
+	case "affinity":
+		return Affinity(nil), true
+	}
+	return nil, false
+}

@@ -667,6 +667,39 @@ func (s *Sim) Remove(id int) error {
 	return nil
 }
 
+// PruneCompletedBefore removes terminal job records that ended before
+// the cutoff: done jobs whose completion date precedes it, and failed
+// jobs released before it. Live (waiting or active) jobs are never
+// touched, so pruning cannot change the simulation's trajectory or any
+// projection derived from it — it only forgets history. The removed
+// job ids are returned so callers can evict their own bookkeeping.
+func (s *Sim) PruneCompletedBefore(cutoff float64) []int {
+	var removed []int
+	kept := s.jobs[:0]
+	for _, j := range s.jobs {
+		prune := false
+		switch j.State {
+		case StateDone:
+			prune = j.End[task.PhaseOutput] < cutoff
+		case StateFailed:
+			prune = j.Release < cutoff
+		}
+		if prune {
+			removed = append(removed, j.ID)
+			if s.byID != nil {
+				delete(s.byID, j.ID)
+			}
+			continue
+		}
+		kept = append(kept, j)
+	}
+	for i := len(kept); i < len(s.jobs); i++ {
+		s.jobs[i] = nil
+	}
+	s.jobs = kept
+	return removed
+}
+
 // BusyTime returns the cumulative seconds during which the given
 // resource (phase) had at least one active job.
 func (s *Sim) BusyTime(p task.Phase) float64 {

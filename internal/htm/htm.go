@@ -77,6 +77,18 @@ func WithWorkers(n int) Option {
 	return func(m *Manager) { m.workers = n }
 }
 
+// WithRetention bounds the trace history: records of jobs that
+// finished more than window seconds before the current trace time are
+// pruned as the trace advances. Predictions are unchanged by pruning —
+// a projection depends only on the live jobs, and pruning never
+// touches a live job — but Table 1-style retrospection (Placements,
+// PredictedCompletion) forgets pruned jobs, which is the price of a
+// months-long deployment keeping bounded memory. Zero or negative
+// keeps the paper's unbounded behavior.
+func WithRetention(window float64) Option {
+	return func(m *Manager) { m.retention = window }
+}
+
 // Prediction is the HTM's answer for one candidate placement.
 type Prediction struct {
 	// Server is the candidate server.
@@ -139,6 +151,11 @@ type Manager struct {
 	memoryModel bool
 	sync        bool
 	workers     int
+
+	// retention is the completed-record window (WithRetention);
+	// lastPrune is the trace time of the last pruning pass.
+	retention float64
+	lastPrune float64
 }
 
 // New constructs a Manager tracking the given servers. Unknown server
@@ -237,7 +254,26 @@ func (m *Manager) advanceLocked(t float64) float64 {
 		m.traces[name].sim.AdvanceTo(t)
 	}
 	m.now = t
+	m.pruneLocked()
 	return t
+}
+
+// pruneLocked drops completed-job records older than the retention
+// window (WithRetention), amortized to at most one pass per
+// quarter-window of trace time. Caller holds m.mu. Pruning removes
+// only terminal records, so cached baselines and live projections are
+// untouched.
+func (m *Manager) pruneLocked() {
+	if m.retention <= 0 || m.now-m.lastPrune < m.retention/4 {
+		return
+	}
+	m.lastPrune = m.now
+	cutoff := m.now - m.retention
+	for _, name := range m.order {
+		for _, id := range m.traces[name].sim.PruneCompletedBefore(cutoff) {
+			delete(m.placements, id)
+		}
+	}
 }
 
 // baselineLocked returns the server's cached baseline projection,

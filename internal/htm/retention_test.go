@@ -1,0 +1,123 @@
+package htm
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/task"
+)
+
+// retentionSpec is solvable on both test servers.
+func retentionSpec() *task.Spec {
+	return &task.Spec{Problem: "p", Variant: 1, CostOn: map[string]task.Cost{
+		"s1": {Input: 1, Compute: 20, Output: 1},
+		"s2": {Input: 1, Compute: 30, Output: 1},
+	}}
+}
+
+// TestRetentionPredictionsUnchanged pins WithRetention's core contract:
+// pruning completed records must not move a single prediction. Two
+// managers replay the same placement stream — one unbounded, one with a
+// tight retention window — and every candidate evaluation along the way
+// must agree exactly.
+func TestRetentionPredictionsUnchanged(t *testing.T) {
+	servers := []string{"s1", "s2"}
+	full := New(servers)
+	pruned := New(servers, WithRetention(100))
+	spec := retentionSpec()
+
+	probe := func(id int, at float64) {
+		t.Helper()
+		a, err := full.EvaluateAll(id, spec, at, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := pruned.EvaluateAll(id, spec, at, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("at %.0f: %d vs %d predictions", at, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].Server != b[i].Server ||
+				math.Abs(a[i].Completion-b[i].Completion) > 1e-9 ||
+				math.Abs(a[i].Perturbation-b[i].Perturbation) > 1e-9 ||
+				a[i].Interfered != b[i].Interfered {
+				t.Fatalf("at %.0f: prediction %d diverged: %+v vs %+v", at, i, a[i], b[i])
+			}
+		}
+	}
+
+	// A long stream: placements every 40s alternate servers; each task
+	// runs ~22-32s, so by the time the window (100s) slides past a task
+	// it has long completed.
+	for i := 0; i < 40; i++ {
+		at := float64(i) * 40
+		server := servers[i%2]
+		if err := full.Place(i, spec, at, server); err != nil {
+			t.Fatal(err)
+		}
+		if err := pruned.Place(i, spec, at, server); err != nil {
+			t.Fatal(err)
+		}
+		probe(10_000+i, at)
+	}
+
+	// Live jobs keep identical projections through both managers.
+	for _, id := range pruned.Placements() {
+		pa, oka := full.PredictedCompletion(id)
+		pb, okb := pruned.PredictedCompletion(id)
+		if oka != okb || math.Abs(pa-pb) > 1e-9 {
+			t.Errorf("job %d: projection %v,%v vs %v,%v", id, pa, oka, pb, okb)
+		}
+	}
+}
+
+// TestRetentionBoundsHistory verifies the compaction actually happens:
+// the pruned manager forgets old completed records (placements and
+// per-server job lists stay bounded) while the unbounded one keeps
+// everything.
+func TestRetentionBoundsHistory(t *testing.T) {
+	servers := []string{"s1", "s2"}
+	full := New(servers)
+	pruned := New(servers, WithRetention(100))
+	spec := retentionSpec()
+	const n = 60
+	for i := 0; i < n; i++ {
+		at := float64(i) * 40
+		server := servers[i%2]
+		if err := full.Place(i, spec, at, server); err != nil {
+			t.Fatal(err)
+		}
+		if err := pruned.Place(i, spec, at, server); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(full.Placements()); got != n {
+		t.Fatalf("unbounded manager lost records: %d of %d", got, n)
+	}
+	got := len(pruned.Placements())
+	if got >= n/2 {
+		t.Errorf("retention kept %d of %d records, want far fewer", got, n)
+	}
+	if got == 0 {
+		t.Error("retention pruned live jobs")
+	}
+	for _, name := range servers {
+		sim, ok := pruned.Sim(name)
+		if !ok {
+			t.Fatalf("missing sim %s", name)
+		}
+		if jobs := len(sim.Jobs()); jobs >= n/2 {
+			t.Errorf("%s trace holds %d records, want bounded by the window", name, jobs)
+		}
+	}
+	// A pruned job has no projection anymore; a live one still does.
+	if _, ok := pruned.PredictedCompletion(0); ok {
+		t.Error("pruned job still has a projection")
+	}
+	if _, ok := pruned.PredictedCompletion(n - 1); !ok {
+		t.Error("live job lost its projection")
+	}
+}

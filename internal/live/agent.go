@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"casched/internal/agent"
+	"casched/internal/cluster"
 	"casched/internal/sched"
 	"casched/internal/task"
 	"casched/internal/trace"
@@ -28,18 +29,41 @@ type AgentConfig struct {
 	// HTMWorkers bounds the HTM's candidate-evaluation worker pool
 	// (default 0 = GOMAXPROCS).
 	HTMWorkers int
+	// Shards partitions the server pool across that many agent cores
+	// behind the cluster dispatch layer (0 or 1 = the single shared
+	// core).
+	Shards int
+	// ShardPolicy assigns registering servers to shards (nil = hash).
+	// Only consulted when Shards > 1.
+	ShardPolicy cluster.ShardPolicy
 	// Addr is the TCP listen address (default "127.0.0.1:0", an
 	// ephemeral loopback port).
 	Addr string
 }
 
+// Engine is the decision surface the live transport drives: the single
+// agent core or a sharded cluster — the wire protocol cannot tell them
+// apart.
+type Engine interface {
+	AddServer(name string)
+	RemoveServer(name string)
+	Submit(req agent.Request) (agent.Decision, error)
+	Complete(jobID int, server string, at float64) agent.Completion
+	Report(server string, load, at float64)
+	Subscribe(fn func(agent.Event)) (cancel func())
+	Prediction(jobID int) (float64, bool)
+	FinalPredictions() map[int]float64
+}
+
 // Agent is the central scheduler of the live deployment: a TCP
-// transport (RPC service "Agent") over the shared agent core, which
-// owns the decision engine — beliefs, heuristic, HTM. The agent itself
-// only keeps the name→address book and the wire protocol.
+// transport (RPC service "Agent") over the shared decision engine —
+// one agent core, or a sharded cluster of them (AgentConfig.Shards).
+// The agent itself only keeps the name→address book and the wire
+// protocol.
 type Agent struct {
-	cfg  AgentConfig
-	core *agent.Core
+	cfg    AgentConfig
+	engine Engine
+	core   *agent.Core // non-nil only for the single-core engine
 
 	mu    sync.Mutex
 	addrs map[string]string // server name -> RPC address
@@ -57,20 +81,38 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 	if cfg.Clock == nil {
 		return nil, fmt.Errorf("live: agent needs a clock")
 	}
-	core, err := agent.New(agent.Config{
+	coreCfg := agent.Config{
 		Scheduler:  cfg.Scheduler,
 		Seed:       cfg.Seed,
 		HTMSync:    cfg.HTMSync,
 		HTMWorkers: cfg.HTMWorkers,
 		Log:        cfg.Log,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("live: %w", err)
+	}
+	var engine Engine
+	var core *agent.Core
+	if cfg.Shards > 1 {
+		cl, err := cluster.NewFromConfig(cluster.Config{
+			Shards: cfg.Shards,
+			Policy: cfg.ShardPolicy,
+			Core:   coreCfg,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		engine = cl
+	} else {
+		var err error
+		core, err = agent.New(coreCfg)
+		if err != nil {
+			return nil, fmt.Errorf("live: %w", err)
+		}
+		engine = core
 	}
 	a := &Agent{
-		cfg:   cfg,
-		core:  core,
-		addrs: make(map[string]string),
+		cfg:    cfg,
+		engine: engine,
+		core:   core,
+		addrs:  make(map[string]string),
 	}
 	addr := cfg.Addr
 	if addr == "" {
@@ -96,9 +138,14 @@ func (a *Agent) Addr() string { return a.lis.Addr().String() }
 // Close stops accepting connections.
 func (a *Agent) Close() error { return a.lis.Close() }
 
-// Core exposes the agent's decision engine, e.g. to subscribe to its
-// event stream.
+// Core exposes the single shared core, or nil when the agent runs
+// sharded (AgentConfig.Shards > 1); use Engine for the
+// transport-agnostic surface.
 func (a *Agent) Core() *agent.Core { return a.core }
+
+// Engine exposes the agent's decision engine — the core or the
+// cluster — e.g. to subscribe to its event stream.
+func (a *Agent) Engine() Engine { return a.engine }
 
 // serve accepts RPC connections until the listener closes.
 func (a *Agent) serve() {
@@ -125,7 +172,7 @@ func (a *Agent) register(args RegisterArgs) {
 	a.mu.Lock()
 	a.addrs[args.Name] = args.Addr
 	a.mu.Unlock()
-	a.core.AddServer(args.Name)
+	a.engine.AddServer(args.Name)
 	a.log(trace.Record{Time: a.cfg.Clock.Now(), Kind: "register", Server: args.Name, TaskID: -1})
 }
 
@@ -136,7 +183,7 @@ func (a *Agent) schedule(args ScheduleArgs) (ScheduleReply, error) {
 	if err != nil {
 		return ScheduleReply{}, err
 	}
-	dec, err := a.core.Submit(agent.Request{
+	dec, err := a.engine.Submit(agent.Request{
 		JobID:     args.TaskKey,
 		TaskID:    args.TaskKey,
 		Spec:      spec,
@@ -157,26 +204,26 @@ func (a *Agent) schedule(args ScheduleArgs) (ScheduleReply, error) {
 
 // taskDone relays a server's completion message to the core.
 func (a *Agent) taskDone(args TaskDoneArgs) {
-	a.core.Complete(args.TaskKey, args.Server, args.At)
+	a.engine.Complete(args.TaskKey, args.Server, args.At)
 }
 
 // loadReport relays a periodic monitor report to the core.
 func (a *Agent) loadReport(args LoadReportArgs) {
-	a.core.Report(args.Name, args.Load, args.At)
+	a.engine.Report(args.Name, args.Load, args.At)
 }
 
 // Prediction returns the HTM completion predicted when the task was
 // placed (HTM heuristics only). Predictions are evicted once the task
 // completes; use FinalPredictions for post-run comparisons.
 func (a *Agent) Prediction(taskKey int) (float64, bool) {
-	return a.core.Prediction(taskKey)
+	return a.engine.Prediction(taskKey)
 }
 
 // FinalPredictions returns the HTM's end-of-run simulated completion
 // date for every placed task — the "simulated completion date" column
 // of Table 1.
 func (a *Agent) FinalPredictions() map[int]float64 {
-	return a.core.FinalPredictions()
+	return a.engine.FinalPredictions()
 }
 
 // AgentService is the RPC facade. Methods follow net/rpc conventions.

@@ -37,7 +37,11 @@ func NewMET() *MET { return &MET{} }
 func (*MET) Name() string { return "MET" }
 
 // Choose implements Scheduler.
-func (*MET) Choose(ctx *Context) (string, error) {
+func (m *MET) Choose(ctx *Context) (string, error) { return chooseVia(m, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the unloaded
+// execution time.
+func (*MET) ChooseScored(ctx *Context) (Choice, error) {
 	best, bestServer := math.Inf(1), ""
 	for _, s := range ctx.Candidates {
 		cost, ok := ctx.Task.Spec.Cost(s)
@@ -49,9 +53,9 @@ func (*MET) Choose(ctx *Context) (string, error) {
 		}
 	}
 	if bestServer == "" {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
-	return bestServer, nil
+	return Choice{Server: bestServer, Score: best, Tie: best}, nil
 }
 
 // readyTime returns the HTM-projected instant at which the server
@@ -83,9 +87,13 @@ func (*OLB) Name() string { return "OLB" }
 func (*OLB) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (*OLB) Choose(ctx *Context) (string, error) {
+func (o *OLB) Choose(ctx *Context) (string, error) { return chooseVia(o, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the projected
+// ready time.
+func (*OLB) ChooseScored(ctx *Context) (Choice, error) {
 	if ctx.HTM == nil {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
 	best, bestServer := math.Inf(1), ""
 	for _, s := range ctx.Candidates {
@@ -101,9 +109,9 @@ func (*OLB) Choose(ctx *Context) (string, error) {
 		}
 	}
 	if bestServer == "" {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
-	return bestServer, nil
+	return Choice{Server: bestServer, Score: best, Tie: best}, nil
 }
 
 // KPB is K-Percent Best: only the ⌈k·m/100⌉ servers with the lowest
@@ -124,7 +132,12 @@ func (*KPB) Name() string { return "KPB" }
 func (*KPB) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (k *KPB) Choose(ctx *Context) (string, error) {
+func (k *KPB) Choose(ctx *Context) (string, error) { return chooseVia(k, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the predicted
+// completion within the k%-fastest subset. Note that on a sharded pool
+// the k% subset is taken per partition, not globally.
+func (k *KPB) ChooseScored(ctx *Context) (Choice, error) {
 	kk := k.K
 	if kk <= 0 || kk > 100 {
 		kk = 50
@@ -140,7 +153,7 @@ func (k *KPB) Choose(ctx *Context) (string, error) {
 		}
 	}
 	if len(cands) == 0 {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
 	// Select the ⌈k%⌉ fastest.
 	keep := int(math.Ceil(kk / 100 * float64(len(cands))))
@@ -162,10 +175,11 @@ func (k *KPB) Choose(ctx *Context) (string, error) {
 	sub.Candidates = subset
 	preds, err := predictAll(&sub)
 	if err != nil {
-		return "", err
+		return Choice{}, err
 	}
 	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
-	return ties[0].Server, nil
+	w := ties[0]
+	return Choice{Server: w.Server, Score: w.Completion, Tie: w.Completion}, nil
 }
 
 // SA is the Switching Algorithm: it tracks the load-imbalance ratio
@@ -189,9 +203,15 @@ func (*SA) Name() string { return "SA" }
 func (*SA) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (sa *SA) Choose(ctx *Context) (string, error) {
+func (sa *SA) Choose(ctx *Context) (string, error) { return chooseVia(sa, ctx) }
+
+// ChooseScored implements ScoredScheduler. The score is the delegated
+// regime's objective (MET's execution time or HMCT's completion date),
+// so scores from partitions in different switching regimes are not
+// comparable; a sharded deployment of SA is best-effort.
+func (sa *SA) ChooseScored(ctx *Context) (Choice, error) {
 	if ctx.HTM == nil {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
 	low, high := sa.Low, sa.High
 	if low <= 0 {
@@ -221,7 +241,7 @@ func (sa *SA) Choose(ctx *Context) (string, error) {
 		}
 	}
 	if !any {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
 	ratio := 1.0
 	if maxReady > 0 {
@@ -233,7 +253,7 @@ func (sa *SA) Choose(ctx *Context) (string, error) {
 		sa.useMET = false
 	}
 	if sa.useMET {
-		return (&MET{}).Choose(ctx)
+		return (&MET{}).ChooseScored(ctx)
 	}
-	return (&HMCT{}).Choose(ctx)
+	return (&HMCT{}).ChooseScored(ctx)
 }

@@ -27,7 +27,11 @@ func NewMCT() *MCT { return &MCT{} }
 func (*MCT) Name() string { return "MCT" }
 
 // Choose implements Scheduler.
-func (*MCT) Choose(ctx *Context) (string, error) {
+func (m *MCT) Choose(ctx *Context) (string, error) { return chooseVia(m, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the NetSolve
+// completion estimate.
+func (*MCT) ChooseScored(ctx *Context) (Choice, error) {
 	best, bestServer := math.Inf(1), ""
 	for _, s := range ctx.Candidates {
 		cost, ok := ctx.Task.Spec.Cost(s)
@@ -44,9 +48,9 @@ func (*MCT) Choose(ctx *Context) (string, error) {
 		}
 	}
 	if bestServer == "" {
-		return "", ErrNoServer
+		return Choice{}, ErrNoServer
 	}
-	return bestServer, nil
+	return Choice{Server: bestServer, Score: best, Tie: best}, nil
 }
 
 // HMCT is the Historical Minimum Completion Time heuristic (Figure 2):
@@ -66,13 +70,18 @@ func (*HMCT) Name() string { return "HMCT" }
 func (*HMCT) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (*HMCT) Choose(ctx *Context) (string, error) {
+func (h *HMCT) Choose(ctx *Context) (string, error) { return chooseVia(h, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the HTM's
+// predicted completion date.
+func (*HMCT) ChooseScored(ctx *Context) (Choice, error) {
 	preds, err := predictAll(ctx)
 	if err != nil {
-		return "", err
+		return Choice{}, err
 	}
 	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
-	return ties[0].Server, nil
+	w := ties[0]
+	return Choice{Server: w.Server, Score: w.Completion, Tie: w.Completion}, nil
 }
 
 // TieBreak selects how MP resolves equal-perturbation candidates.
@@ -107,25 +116,28 @@ func (*MP) Name() string { return "MP" }
 func (*MP) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (m *MP) Choose(ctx *Context) (string, error) {
+func (m *MP) Choose(ctx *Context) (string, error) { return chooseVia(m, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the total
+// perturbation, tie-broken by the new task's completion date.
+func (m *MP) ChooseScored(ctx *Context) (Choice, error) {
 	preds, err := predictAll(ctx)
 	if err != nil {
-		return "", err
+		return Choice{}, err
 	}
 	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Perturbation })
-	if len(ties) == 1 {
-		return ties[0].Server, nil
-	}
-	switch m.Tie {
-	case TieRandom:
-		if ctx.RNG != nil {
-			return ties[ctx.RNG.Intn(len(ties))].Server, nil
+	w := ties[0]
+	if len(ties) > 1 {
+		switch m.Tie {
+		case TieRandom:
+			if ctx.RNG != nil {
+				w = ties[ctx.RNG.Intn(len(ties))]
+			}
+		default:
+			w = argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })[0]
 		}
-		return ties[0].Server, nil
-	default:
-		best := argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })
-		return best[0].Server, nil
 	}
+	return Choice{Server: w.Server, Score: w.Perturbation, Tie: w.Completion}, nil
 }
 
 // MSF is the Minimum Sum Flow heuristic (Figure 4): it mixes HMCT's
@@ -147,17 +159,22 @@ func (*MSF) Name() string { return "MSF" }
 func (*MSF) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (*MSF) Choose(ctx *Context) (string, error) {
+func (m *MSF) Choose(ctx *Context) (string, error) { return chooseVia(m, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the sum-flow
+// increase Σπ + flow, tie-broken by the completion date.
+func (*MSF) ChooseScored(ctx *Context) (Choice, error) {
 	preds, err := predictAll(ctx)
 	if err != nil {
-		return "", err
+		return Choice{}, err
 	}
 	ties := argminPredictions(preds, htm.Prediction.SumFlowObjective)
 	if len(ties) > 1 {
 		// Secondary objective: completion date, for determinism.
 		ties = argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })
 	}
-	return ties[0].Server, nil
+	w := ties[0]
+	return Choice{Server: w.Server, Score: w.SumFlowObjective(), Tie: w.Completion}, nil
 }
 
 // MNI is Weissman's Minimize-Number-of-Interferences heuristic (§6
@@ -175,16 +192,21 @@ func (*MNI) Name() string { return "MNI" }
 func (*MNI) usesHTM() bool { return true }
 
 // Choose implements Scheduler.
-func (*MNI) Choose(ctx *Context) (string, error) {
+func (m *MNI) Choose(ctx *Context) (string, error) { return chooseVia(m, ctx) }
+
+// ChooseScored implements ScoredScheduler; the score is the number of
+// interfered tasks, tie-broken by the completion date.
+func (*MNI) ChooseScored(ctx *Context) (Choice, error) {
 	preds, err := predictAll(ctx)
 	if err != nil {
-		return "", err
+		return Choice{}, err
 	}
 	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return float64(p.Interfered) })
 	if len(ties) > 1 {
 		ties = argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })
 	}
-	return ties[0].Server, nil
+	w := ties[0]
+	return Choice{Server: w.Server, Score: float64(w.Interfered), Tie: w.Completion}, nil
 }
 
 // Random maps each task to a uniformly random candidate: the weakest

@@ -84,6 +84,40 @@ type Scheduler interface {
 	Choose(ctx *Context) (string, error)
 }
 
+// Choice is a scored scheduling decision: the chosen server together
+// with the objective value the heuristic minimized to pick it. Scores
+// from disjoint candidate partitions are comparable as long as the
+// partitions run the same heuristic, which is what lets a sharded
+// dispatch layer fan a decision out over per-shard winners and commit
+// on the global minimum.
+type Choice struct {
+	// Server is the chosen server.
+	Server string
+	// Score is the heuristic's primary objective value for Server
+	// (lower wins): the estimated or predicted completion date for
+	// MCT/HMCT, the total perturbation for MP, the sum-flow increase
+	// for MSF, the interference count for MNI.
+	Score float64
+	// Tie is the secondary objective used to break Score ties (lower
+	// wins). The paper's heuristics all fall back to the new task's
+	// completion date; heuristics without a secondary rule repeat
+	// Score here.
+	Tie float64
+}
+
+// ScoredScheduler is implemented by heuristics whose Choose minimizes
+// a numeric objective. ChooseScored is Choose that additionally
+// returns the minimized objective, so a dispatch layer can compare
+// winners across disjoint candidate partitions (sharded server pools).
+// Reference policies without an objective (Random, RoundRobin) do not
+// implement it.
+type ScoredScheduler interface {
+	Scheduler
+	// ChooseScored returns the chosen server and the objective values
+	// behind the decision. The choice is identical to Choose's.
+	ChooseScored(ctx *Context) (Choice, error)
+}
+
 // UsesHTM reports whether the scheduler requires ctx.HTM. The agent
 // uses this to skip HTM bookkeeping for monitor-based heuristics.
 func UsesHTM(s Scheduler) bool {
@@ -146,6 +180,15 @@ func All() []Scheduler {
 		out = append(out, e.new())
 	}
 	return out
+}
+
+// chooseVia implements Choose on top of a heuristic's ChooseScored.
+func chooseVia(s ScoredScheduler, ctx *Context) (string, error) {
+	c, err := s.ChooseScored(ctx)
+	if err != nil {
+		return "", err
+	}
+	return c.Server, nil
 }
 
 // argminPredictions returns the candidates minimizing objective(p)

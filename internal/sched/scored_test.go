@@ -1,0 +1,122 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"casched/internal/htm"
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// scoredHeuristics lists every heuristic expected to implement
+// ScoredScheduler.
+func scoredHeuristics() []ScoredScheduler {
+	return []ScoredScheduler{
+		NewMCT(), NewHMCT(), NewMP(), NewMSF(), NewMNI(),
+		NewMET(), NewOLB(), NewKPB(), NewSA(),
+	}
+}
+
+// TestChooseScoredMatchesChoose pins the ScoredScheduler contract: for
+// every scored heuristic, ChooseScored picks the same server as Choose
+// on an identically prepared context, and the score is finite with
+// Tie a sensible secondary.
+func TestChooseScoredMatchesChoose(t *testing.T) {
+	for _, s := range scoredHeuristics() {
+		name := s.Name()
+		mkHTM := func() *htm.Manager {
+			m := htm.New([]string{"s1", "s2"})
+			// An uneven backlog so objectives differ across servers.
+			if err := m.Place(900, twoServerSpec(40, 45), 0, "s1"); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Place(901, twoServerSpec(30, 35), 0, "s1"); err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		spec := twoServerSpec(20, 26)
+
+		chooseCtx := baseCtx(spec, mkHTM(), 5)
+		chooseCtx.Info = fixedInfo{"s1": 2, "s2": 0}
+		twin, _ := ByName(name) // fresh instance: SA and friends carry state
+		got, err := twin.Choose(chooseCtx)
+		if err != nil {
+			t.Fatalf("%s: Choose: %v", name, err)
+		}
+
+		scoredCtx := baseCtx(spec, mkHTM(), 5)
+		scoredCtx.Info = fixedInfo{"s1": 2, "s2": 0}
+		choice, err := s.ChooseScored(scoredCtx)
+		if err != nil {
+			t.Fatalf("%s: ChooseScored: %v", name, err)
+		}
+		if choice.Server != got {
+			t.Errorf("%s: ChooseScored picked %q, Choose picked %q", name, choice.Server, got)
+		}
+		if math.IsInf(choice.Score, 0) || math.IsNaN(choice.Score) {
+			t.Errorf("%s: score = %v", name, choice.Score)
+		}
+		if math.IsNaN(choice.Tie) {
+			t.Errorf("%s: tie = %v", name, choice.Tie)
+		}
+	}
+}
+
+// TestChooseScoredPartitionInvariance pins what the sharded dispatch
+// layer relies on: for partition-decomposable heuristics, running
+// ChooseScored on disjoint candidate partitions and taking the
+// (Score, Tie) minimum reproduces the whole-pool decision.
+func TestChooseScoredPartitionInvariance(t *testing.T) {
+	servers := []string{"a1", "a2", "b1", "b2"}
+	costs := map[string]task.Cost{
+		"a1": {Compute: 31}, "a2": {Compute: 24},
+		"b1": {Compute: 22}, "b2": {Compute: 37},
+	}
+	spec := &task.Spec{Problem: "p", Variant: 1, CostOn: costs}
+	for _, name := range []string{"MCT", "HMCT", "MP", "MSF", "MNI", "MET", "OLB"} {
+		mkHTM := func() *htm.Manager {
+			m := htm.New(servers)
+			if err := m.Place(900, spec, 0, "b1"); err != nil {
+				t.Fatal(err)
+			}
+			return m
+		}
+		mkCtx := func(cands []string) *Context {
+			return &Context{
+				Now:        2,
+				Task:       &task.Task{ID: 0, Spec: spec, Arrival: 2},
+				JobID:      100,
+				Candidates: cands,
+				HTM:        mkHTM(),
+				Info:       fixedInfo{"a1": 1, "a2": 0, "b1": 0, "b2": 2},
+				RNG:        stats.NewRNG(1),
+			}
+		}
+
+		whole, _ := ByName(name)
+		want, err := whole.(ScoredScheduler).ChooseScored(mkCtx(servers))
+		if err != nil {
+			t.Fatalf("%s: whole pool: %v", name, err)
+		}
+
+		var best Choice
+		bestOK := false
+		for _, part := range [][]string{{"a1", "a2"}, {"b1", "b2"}} {
+			s, _ := ByName(name)
+			c, err := s.(ScoredScheduler).ChooseScored(mkCtx(part))
+			if err != nil {
+				t.Fatalf("%s: partition %v: %v", name, part, err)
+			}
+			if !bestOK || c.Score < best.Score-tieEps ||
+				(c.Score <= best.Score+tieEps && c.Tie < best.Tie-tieEps) {
+				best, bestOK = c, true
+			}
+		}
+		if best.Server != want.Server {
+			t.Errorf("%s: partitioned winner %q (score %.3f), whole-pool %q (score %.3f)",
+				name, best.Server, best.Score, want.Server, want.Score)
+		}
+	}
+}

@@ -21,11 +21,18 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkEvaluateAllLargeTestbed|BenchmarkHTMEvaluate|BenchmarkGridRun200|BenchmarkSchedulerDecisions|BenchmarkAgentSubmit}"
+PATTERN="${BENCH_PATTERN:-BenchmarkEvaluateAllLargeTestbed|BenchmarkHTMEvaluate|BenchmarkGridRun200|BenchmarkSchedulerDecisions|BenchmarkAgentSubmit|BenchmarkClusterSubmit}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
 
 if [[ "${BENCH_SKIP_CHECKS:-0}" != "1" ]]; then
+    echo "==> gofmt -l"
+    unformatted="$(gofmt -l .)"
+    if [[ -n "${unformatted}" ]]; then
+        echo "error: gofmt needed on:" >&2
+        echo "${unformatted}" >&2
+        exit 1
+    fi
     echo "==> go vet ./..."
     go vet ./...
     echo "==> go test -race ./..."
