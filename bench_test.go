@@ -14,6 +14,7 @@ import (
 	"testing"
 
 	"casched"
+	"casched/internal/assign"
 )
 
 // printOnce guards the one-time table dumps.
@@ -703,6 +704,68 @@ func BenchmarkAgentSubmitBatch(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// newMatchedBenchCore builds a fresh HMCT agent core with k-task
+// min-cost batch assignment enabled.
+func newMatchedBenchCore(b *testing.B, names []string) *casched.AgentCore {
+	b.Helper()
+	s, err := casched.NewScheduler("HMCT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	core, err := casched.NewAgentCore(casched.AgentCoreConfig{Scheduler: s, Seed: 17},
+		casched.WithBatchAssignment(true))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range names {
+		core.AddServer(name)
+	}
+	return core
+}
+
+// BenchmarkAgentSubmitBatchMatched is BenchmarkAgentSubmitBatch under
+// k-task min-cost assignment: each burst pays the same shared
+// evaluation pass plus the Hungarian solve over the prediction matrix
+// and one extra re-projection per committed wave. The decisions/s gap
+// to BenchmarkAgentSubmitBatch is the price of true batch scheduling
+// (the quality side is benchmarks/batch-comparison.txt).
+func BenchmarkAgentSubmitBatchMatched(b *testing.B) {
+	names, batches := agentBenchBatches(b, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core := newMatchedBenchCore(b, names)
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := core.SubmitBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkAssignSolve measures the bare min-cost assignment solver on
+// a dense 32-task × 128-server matrix — the in-lock cost the matched
+// batch path adds per wave on the largest benchmarked testbed.
+func BenchmarkAssignSolve(b *testing.B) {
+	const rows, cols = 32, 128
+	cost := make([][]float64, rows)
+	for i := range cost {
+		cost[i] = make([]float64, cols)
+		for j := range cost[i] {
+			// Deterministic pseudo-random-ish heterogeneous costs.
+			cost[i][j] = float64((i*31+j*17)%97) + float64(j%11)*0.25
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rowToCol, _ := assign.Solve(cost); len(rowToCol) != rows {
+			b.Fatal("short result")
+		}
+	}
 }
 
 // --- Cluster benchmarks: sharded dispatch scaling curves ---

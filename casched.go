@@ -219,6 +219,20 @@ func WithHTMWorkers(n int) ClusterOption { return cluster.WithHTMWorkers(n) }
 // WithHTMSync enables HTM↔execution synchronization (§7 extension).
 func WithHTMSync(on bool) ClusterOption { return cluster.WithHTMSync(on) }
 
+// WithBatchAssignment opts SubmitBatch into true k-task scheduling:
+// batches are placed wave by wave through a min-cost assignment over
+// the shared prediction matrix (at most one new task per server per
+// wave, re-projection between waves, contended tasks deferring when
+// stacking a fast server beats occupying a slow one) instead of the
+// default greedy task-by-task commitment. Requires a heuristic with a
+// comparable objective (every registry heuristic except Random and
+// RoundRobin); the defer estimate is denominated in seconds, so the
+// stacking-vs-spreading trade engages for time-valued objectives
+// (HMCT, MCT, MSF), while count-valued ones (MP, MNI) always spread —
+// see sched.MinCostBatch. Applies to NewAgentCore and to every shard
+// of a NewCluster.
+func WithBatchAssignment(on bool) ClusterOption { return cluster.WithBatchAssignment(on) }
+
 // HashShardPolicy spreads servers by name hash (the default policy).
 func HashShardPolicy() ShardPolicy { return cluster.Hash() }
 
@@ -415,6 +429,27 @@ func FormatSweep(r *SweepResult, metric string) string { return experiments.Form
 // FormatBaselines renders an extended baselines comparison.
 func FormatBaselines(reports []Report, sooner map[string]int) string {
 	return experiments.FormatBaselines(reports, sooner)
+}
+
+// BatchComparisonConfig parameterizes the batch-scheduling study:
+// greedy vs matched k-task batches and exact fan-out vs hierarchical
+// routing, measured by HTM-simulated sum-flow on the paper's
+// second-set workload under bursty arrivals.
+type BatchComparisonConfig = experiments.BatchComparisonConfig
+
+// BatchComparisonResult is the outcome of the batch-scheduling study.
+type BatchComparisonResult = experiments.BatchComparisonResult
+
+// RunBatchComparison runs the batch-scheduling study (zero-value
+// config selects the committed benchmarks/batch-comparison.txt
+// parameters).
+func RunBatchComparison(cfg BatchComparisonConfig) (*BatchComparisonResult, error) {
+	return experiments.BatchComparison(cfg)
+}
+
+// FormatBatchComparison renders the study as a small report.
+func FormatBatchComparison(r *BatchComparisonResult) string {
+	return experiments.FormatBatchComparison(r)
 }
 
 // AccuracyResult quantifies HTM prediction quality over a full run.

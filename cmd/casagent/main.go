@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"casched"
 )
@@ -68,8 +69,11 @@ func main() {
 			*heuristic, agent.Addr(), *scale)
 	}
 
+	// Interrupt (^C) and SIGTERM (plain kill, container stop) both
+	// shut the agent down cleanly; SIGTERM alone would otherwise kill
+	// the process without running agent.Close().
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	agent.Close()
 	fmt.Println("casagent: stopped")

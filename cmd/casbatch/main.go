@@ -1,0 +1,38 @@
+// Command casbatch runs the batch-scheduling study: greedy vs matched
+// (min-cost assignment) k-task batches on one agent core, and exact
+// fan-out vs hierarchical power-of-two HTM routing on a sharded
+// cluster, measured by HTM-simulated total sum-flow on the paper's
+// second-set workload under bursty inhomogeneous-Poisson arrivals.
+//
+// The committed benchmarks/batch-comparison.txt is this command's
+// default output:
+//
+//	casbatch > benchmarks/batch-comparison.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casched"
+)
+
+func main() {
+	var cfg casched.BatchComparisonConfig
+	flag.IntVar(&cfg.N, "n", 0, "metatask size (0 = study default)")
+	flag.Float64Var(&cfg.D, "d", 0, "long-run mean inter-arrival seconds (0 = default)")
+	flag.IntVar(&cfg.K, "k", 0, "burst size (0 = default)")
+	flag.Uint64Var(&cfg.Seed, "seed", 0, "metatask seed (0 = default)")
+	flag.StringVar(&cfg.Heuristic, "heuristic", "", "scored heuristic (empty = default)")
+	flag.IntVar(&cfg.Shards, "shards", 0, "cluster width for the routing comparison (0 = default)")
+	flag.IntVar(&cfg.Replicas, "replicas", 0, "Table 2 second-set testbed replicas (0 = default)")
+	flag.Parse()
+
+	r, err := casched.RunBatchComparison(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casbatch:", err)
+		os.Exit(1)
+	}
+	fmt.Print(casched.FormatBatchComparison(r))
+}

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"casched/internal/htm"
+	"casched/internal/sched"
 	"casched/internal/task"
 )
 
@@ -31,19 +32,23 @@ import (
 // would return. Within the simultaneous-arrival runs batching targets,
 // nothing is lost.
 type batchCache struct {
-	m       *htm.Manager
+	m       sched.Evaluator
 	arrival float64
 	primed  bool
 	entries map[*task.Spec]map[string]*htm.Prediction
 }
 
-func newBatchCache(m *htm.Manager) *batchCache {
+func newBatchCache(m sched.Evaluator) *batchCache {
 	return &batchCache{m: m, entries: make(map[*task.Spec]map[string]*htm.Prediction)}
 }
 
 // EvaluateAll implements sched.Evaluator. A nil cached entry records a
 // candidate known not to solve the task, so insolvable servers are not
-// re-probed on every batch member.
+// re-probed on every batch member. The "known insolvable" markers are
+// written only when the evaluation pass succeeded as a whole: on a
+// partial failure the failed candidates stay uncached — a transient
+// evaluation error must not poison the cache and silently exclude a
+// healthy server from every later batch member's candidate set.
 func (bc *batchCache) EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) ([]htm.Prediction, error) {
 	if !bc.primed || arrival != bc.arrival {
 		// Arrival changed: the underlying evaluation context (trace
@@ -68,8 +73,12 @@ func (bc *batchCache) EvaluateAll(id int, spec *task.Spec, arrival float64, cand
 	if len(missing) > 0 {
 		var preds []htm.Prediction
 		preds, err = bc.m.EvaluateAll(id, spec, arrival, missing)
-		for _, s := range missing {
-			cached[s] = nil
+		if err == nil {
+			// Every candidate evaluated: the still-missing ones are
+			// genuinely insolvable, so record that.
+			for _, s := range missing {
+				cached[s] = nil
+			}
 		}
 		for i := range preds {
 			p := preds[i]

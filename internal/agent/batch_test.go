@@ -1,0 +1,255 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"casched/internal/htm"
+	"casched/internal/sched"
+	"casched/internal/task"
+)
+
+// flakyEvaluator wraps a real HTM evaluation surface and fails every
+// candidate whose name is in failing — simulating a transient
+// per-server evaluation error (collapsed trace, racing membership).
+type flakyEvaluator struct {
+	m       *htm.Manager
+	failing map[string]bool
+	calls   map[string]int
+}
+
+func (f *flakyEvaluator) EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) ([]htm.Prediction, error) {
+	var healthy []string
+	var errs []error
+	for _, s := range candidates {
+		f.calls[s]++
+		if f.failing[s] {
+			errs = append(errs, fmt.Errorf("flaky: %s unavailable", s))
+			continue
+		}
+		healthy = append(healthy, s)
+	}
+	var preds []htm.Prediction
+	if len(healthy) > 0 {
+		var err error
+		preds, err = f.m.EvaluateAll(id, spec, arrival, healthy)
+		if err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return preds, errors.Join(errs...)
+}
+
+func (f *flakyEvaluator) ProjectedReady(server string) (float64, bool) {
+	return f.m.ProjectedReady(server)
+}
+
+// TestBatchCacheTransientErrorNotPoisoned is the regression test for
+// the error-poisoning bug: when EvaluateAll fails for some candidates,
+// those candidates must NOT be cached as "known insolvable" — a later
+// batch member has to re-probe them once they recover.
+func TestBatchCacheTransientErrorNotPoisoned(t *testing.T) {
+	m := htm.New([]string{"s1", "s2"})
+	f := &flakyEvaluator{m: m, failing: map[string]bool{"s1": true}, calls: map[string]int{}}
+	bc := newBatchCache(f)
+	spec := twoServerSpec(10, 100)
+
+	// First pass: s1 fails transiently, s2 evaluates. The partial
+	// result suppresses the error (mirroring htm.Manager.EvaluateAll).
+	preds, err := bc.EvaluateAll(1, spec, 0, []string{"s1", "s2"})
+	if err != nil || len(preds) != 1 || preds[0].Server != "s2" {
+		t.Fatalf("first pass: preds %v, err %v", preds, err)
+	}
+
+	// s1 recovers; the next batch member must see it again. Before the
+	// fix the nil marker recorded on the failed pass hid s1 forever.
+	f.failing["s1"] = false
+	preds, err = bc.EvaluateAll(2, spec, 0, []string{"s1", "s2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(preds) != 2 {
+		t.Fatalf("after recovery preds = %v, want both servers (s1 poisoned as insolvable?)", preds)
+	}
+	// s2 was served from the cache: exactly one underlying probe.
+	if f.calls["s2"] != 1 {
+		t.Errorf("s2 probed %d times, want 1 (cache)", f.calls["s2"])
+	}
+	if f.calls["s1"] != 2 {
+		t.Errorf("s1 probed %d times, want 2 (retry after transient failure)", f.calls["s1"])
+	}
+}
+
+// TestBatchCacheInsolvableStillCached pins the flip side: on a fully
+// successful pass, genuinely insolvable servers ARE remembered and not
+// re-probed for later batch members.
+func TestBatchCacheInsolvableStillCached(t *testing.T) {
+	m := htm.New([]string{"s1", "s2", "s3"})
+	f := &flakyEvaluator{m: m, failing: map[string]bool{}, calls: map[string]int{}}
+	bc := newBatchCache(f)
+	spec := twoServerSpec(10, 100) // s3 cannot solve it
+
+	for pass := 0; pass < 3; pass++ {
+		preds, err := bc.EvaluateAll(pass, spec, 0, []string{"s1", "s2", "s3"})
+		if err != nil || len(preds) != 2 {
+			t.Fatalf("pass %d: preds %v, err %v", pass, preds, err)
+		}
+	}
+	if f.calls["s3"] != 1 {
+		t.Errorf("insolvable s3 probed %d times, want 1", f.calls["s3"])
+	}
+}
+
+// TestSubmitBatchMatchedSpreadsContendedBurst pins the tentpole
+// end-to-end: under matched assignment a simultaneous burst spreads
+// one task per server per wave, while the default greedy core piles
+// onto the globally best server exactly like sequential Submit.
+func TestSubmitBatchMatchedSpreadsContendedBurst(t *testing.T) {
+	// Compute 10 on s1, 25 on s2: greedy HMCT places both tasks on s1
+	// (10, then 20 shared < 25 idle); the matched wave uses both.
+	spec := twoServerSpec(10, 25)
+	reqs := []Request{
+		{JobID: 0, TaskID: 0, Spec: spec, Arrival: 0},
+		{JobID: 1, TaskID: 1, Spec: spec, Arrival: 0},
+	}
+
+	greedy := newCore(t, sched.NewHMCT(), "s1", "s2")
+	gdecs, err := greedy.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gdecs[0].Server != "s1" || gdecs[1].Server != "s1" {
+		t.Fatalf("greedy decisions = %v/%v, want both on s1", gdecs[0].Server, gdecs[1].Server)
+	}
+
+	matched, err := New(Config{Scheduler: sched.NewHMCT(), Seed: 1, BatchAssignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched.AddServer("s1")
+	matched.AddServer("s2")
+	mdecs, err := matched.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := map[string]bool{mdecs[0].Server: true, mdecs[1].Server: true}
+	if !servers["s1"] || !servers["s2"] {
+		t.Errorf("matched decisions = %v/%v, want one per server", mdecs[0].Server, mdecs[1].Server)
+	}
+	for i, d := range mdecs {
+		if !d.HasPrediction {
+			t.Errorf("matched decision %d has no prediction", i)
+		}
+		if p, ok := matched.Prediction(reqs[i].JobID); !ok || p != d.Predicted {
+			t.Errorf("prediction bookkeeping for job %d: %v %v vs %v", reqs[i].JobID, p, ok, d.Predicted)
+		}
+	}
+}
+
+// TestSubmitBatchMatchedOverflowRounds drives k > servers: the batch
+// must drain over several re-projected waves, every task placed.
+func TestSubmitBatchMatchedOverflowRounds(t *testing.T) {
+	matched, err := New(Config{Scheduler: sched.NewMSF(), Seed: 1, BatchAssignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched.AddServer("s1")
+	matched.AddServer("s2")
+	spec := twoServerSpec(10, 12)
+	reqs := make([]Request, 7)
+	for i := range reqs {
+		reqs[i] = Request{JobID: i, TaskID: i, Spec: spec, Arrival: 0}
+	}
+	decs, err := matched.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perServer := map[string]int{}
+	for i, d := range decs {
+		if d.Server == "" {
+			t.Fatalf("task %d not placed: %+v", i, d)
+		}
+		perServer[d.Server]++
+	}
+	if perServer["s1"]+perServer["s2"] != 7 || perServer["s1"] == 0 || perServer["s2"] == 0 {
+		t.Errorf("placements = %v", perServer)
+	}
+	if matched.InFlight() != 7 {
+		t.Errorf("in-flight = %d, want 7", matched.InFlight())
+	}
+}
+
+// TestSubmitBatchMatchedMixedErrors: unschedulable and nil-spec batch
+// members fail individually with joined errors while the rest commit,
+// exactly like the greedy path's contract.
+func TestSubmitBatchMatchedMixedErrors(t *testing.T) {
+	matched, err := New(Config{Scheduler: sched.NewHMCT(), Seed: 1, BatchAssignment: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched.AddServer("s1")
+	matched.AddServer("s2")
+	bad := &task.Spec{Problem: "q", CostOn: map[string]task.Cost{"elsewhere": {Compute: 1}}}
+	reqs := []Request{
+		{JobID: 0, TaskID: 0, Spec: twoServerSpec(5, 9), Arrival: 0},
+		{JobID: 1, TaskID: 1, Spec: bad, Arrival: 0},
+		{JobID: 2, TaskID: 2, Spec: nil, Arrival: 0},
+	}
+	decs, err := matched.SubmitBatch(reqs)
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Errorf("err = %v, want wrapped ErrUnschedulable", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "no spec") {
+		t.Errorf("err = %v, want a no-spec failure too", err)
+	}
+	if decs[0].Server == "" || decs[1].Server != "" || decs[2].Server != "" {
+		t.Errorf("decisions = %+v", decs)
+	}
+}
+
+// TestBatchAssignmentNeedsScoredHeuristic: opting in with a heuristic
+// that has no comparable objective is a construction-time error.
+func TestBatchAssignmentNeedsScoredHeuristic(t *testing.T) {
+	_, err := New(Config{Scheduler: sched.NewRoundRobin(), BatchAssignment: true})
+	if err == nil {
+		t.Fatal("RoundRobin with batch assignment accepted")
+	}
+	if _, err := New(Config{Scheduler: sched.NewMCT(), BatchAssignment: true}); err != nil {
+		t.Errorf("MCT (scored, monitor-based) rejected: %v", err)
+	}
+}
+
+// TestSubmitBatchDefaultStaysSequential re-pins the untouched default:
+// without BatchAssignment, batch decisions are bit-identical to
+// sequential Submit even for bursts that matched assignment would
+// spread differently.
+func TestSubmitBatchDefaultStaysSequential(t *testing.T) {
+	spec := twoServerSpec(10, 25)
+	mk := func() []Request {
+		return []Request{
+			{JobID: 0, TaskID: 0, Spec: spec, Arrival: 0},
+			{JobID: 1, TaskID: 1, Spec: spec, Arrival: 0},
+		}
+	}
+	seq := newCore(t, sched.NewHMCT(), "s1", "s2")
+	var want []string
+	for _, r := range mk() {
+		d, err := seq.Submit(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, d.Server)
+	}
+	batch := newCore(t, sched.NewHMCT(), "s1", "s2")
+	decs, err := batch.SubmitBatch(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range decs {
+		if d.Server != want[i] {
+			t.Errorf("batch decision %d = %q, sequential = %q", i, d.Server, want[i])
+		}
+	}
+}

@@ -68,6 +68,14 @@ type Config struct {
 	// HTMWorkers bounds the HTM's candidate-evaluation worker pool
 	// (0 = GOMAXPROCS).
 	HTMWorkers int
+	// BatchAssignment opts SubmitBatch into true k-task scheduling:
+	// each batch is placed wave by wave through a min-cost assignment
+	// over the per-pair objective matrix (sched.MinCostBatch) instead
+	// of greedily task by task. Requires a heuristic with a comparable
+	// objective (sched.ScoredScheduler), or one that implements
+	// sched.BatchScheduler itself. Off, the default, keeps SubmitBatch
+	// decision-identical to sequential Submit.
+	BatchAssignment bool
 	// Log, when non-nil, receives "schedule" and "done" records.
 	Log *trace.Log
 }
@@ -173,6 +181,9 @@ type jobMeta struct {
 type Core struct {
 	cfg    Config
 	useHTM bool
+	// batch is the k-task wave scheduler SubmitBatch uses when
+	// Config.BatchAssignment is set; nil selects the greedy path.
+	batch sched.BatchScheduler
 
 	mu          sync.Mutex
 	beliefs     map[string]*belief
@@ -203,6 +214,17 @@ func New(cfg Config) (*Core, error) {
 	}
 	if c.rng == nil {
 		c.rng = stats.NewRNG(cfg.Seed)
+	}
+	if cfg.BatchAssignment {
+		switch s := cfg.Scheduler.(type) {
+		case sched.BatchScheduler:
+			c.batch = s
+		case sched.ScoredScheduler:
+			c.batch = sched.NewMinCostBatch(s)
+		default:
+			return nil, fmt.Errorf("agent: batch assignment needs a heuristic with a comparable objective; %s has none",
+				cfg.Scheduler.Name())
+		}
 	}
 	if c.useHTM {
 		opts := []htm.Option{htm.WithWorkers(cfg.HTMWorkers)}
@@ -331,11 +353,18 @@ func (c *Core) Submit(req Request) (Decision, error) {
 // acquisition and one HTM evaluation pass: candidate predictions are
 // evaluated once per distinct (spec, arrival) and reused across the
 // batch, re-evaluating only the server that received the previous
-// placement — its trace is the only one that changed. Decisions are
-// identical to submitting the requests one by one (the reuse is exact:
-// a server's prediction depends only on its own trace). Requests that
-// fail individually yield a zero Decision; their errors are joined in
-// the returned error, and the rest of the batch still commits.
+// placement — its trace is the only one that changed.
+//
+// By default decisions are identical to submitting the requests one by
+// one (the reuse is exact: a server's prediction depends only on its
+// own trace). With Config.BatchAssignment the batch is instead placed
+// as true k-task waves: a min-cost assignment over the shared
+// prediction matrix puts at most one new task per server per wave,
+// re-projecting between waves (see sched.MinCostBatch).
+//
+// Requests that fail individually yield a zero Decision; their errors
+// are joined in the returned error, and the rest of the batch still
+// commits.
 func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -344,6 +373,9 @@ func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
 	if c.htmMgr != nil {
 		cache = newBatchCache(c.htmMgr)
 		ev = cache
+	}
+	if c.batch != nil {
+		return c.submitBatchMatchedLocked(reqs, ev, cache)
 	}
 	out := make([]Decision, len(reqs))
 	var errs []error
@@ -363,6 +395,106 @@ func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
 	return out, errors.Join(errs...)
 }
 
+// submitBatchMatchedLocked is the k-task assignment path of
+// SubmitBatch: the batch scheduler proposes one wave (at most one new
+// task per server), the core commits it, the prediction cache drops
+// the mutated servers, and the deferred items go into the next wave
+// against re-projected predictions — until the batch drains or a wave
+// makes no progress. Caller holds c.mu.
+func (c *Core) submitBatchMatchedLocked(reqs []Request, ev sched.Evaluator, cache *batchCache) ([]Decision, error) {
+	out := make([]Decision, len(reqs))
+	var errs []error
+	fail := func(pos int, err error) {
+		errs = append(errs, fmt.Errorf("agent: batch job %d: %w", reqs[pos].JobID, err))
+	}
+
+	items := make([]sched.BatchItem, len(reqs))
+	pending := make([]int, 0, len(reqs))
+	for i, req := range reqs {
+		candidates, submitted, err := c.filterRequestLocked(req)
+		if err != nil {
+			fail(i, err)
+			continue
+		}
+		items[i] = sched.BatchItem{
+			JobID:      req.JobID,
+			Task:       &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted},
+			Now:        req.Arrival,
+			Candidates: candidates,
+		}
+		pending = append(pending, i)
+	}
+
+	ctx := &sched.Context{HTM: ev, Info: coreLoadInfo{c}, RNG: c.rng}
+	for len(pending) > 0 {
+		wave := make([]sched.BatchItem, len(pending))
+		for k, pos := range pending {
+			wave[k] = items[pos]
+		}
+		choices, err := c.batch.ChooseBatch(ctx, wave)
+		if err != nil {
+			for _, pos := range pending {
+				fail(pos, err)
+			}
+			break
+		}
+		if len(choices) != len(wave) {
+			// Contract violation by a user-supplied BatchScheduler:
+			// fail loudly instead of silently dropping requests (short
+			// result) or indexing out of range (long result).
+			for _, pos := range pending {
+				fail(pos, fmt.Errorf("batch scheduler %s returned %d choices for %d items",
+					c.batch.Name(), len(choices), len(wave)))
+			}
+			break
+		}
+		committed, attempted := 0, 0
+		var next []int
+		for k, choice := range choices {
+			pos := pending[k]
+			if choice.Server == "" {
+				next = append(next, pos)
+				continue
+			}
+			attempted++
+			if _, ok := c.beliefs[choice.Server]; !ok {
+				fail(pos, fmt.Errorf("batch scheduler %s chose unregistered server %q",
+					c.batch.Name(), choice.Server))
+				continue
+			}
+			if _, ok := reqs[pos].Spec.Cost(choice.Server); !ok {
+				fail(pos, fmt.Errorf("batch scheduler %s chose non-candidate %q",
+					c.batch.Name(), choice.Server))
+				continue
+			}
+			d, err := c.commitLocked(reqs[pos], choice.Server)
+			if err != nil {
+				fail(pos, err)
+				continue
+			}
+			out[pos] = d
+			committed++
+			if cache != nil {
+				cache.invalidate(choice.Server)
+			}
+		}
+		// Termination: every wave either commits placements, consumes
+		// failed attempts (their items leave pending via fail), or —
+		// when nothing was even attempted — proves the remaining
+		// items cannot evaluate on any candidate. A wave that only
+		// failed commits leaves the deferred items in play: the next
+		// wave re-solves without the failed contenders.
+		if committed == 0 && attempted == 0 && len(next) > 0 {
+			for _, pos := range next {
+				fail(pos, errors.New("no candidate evaluable in any wave"))
+			}
+			break
+		}
+		pending = next
+	}
+	return out, errors.Join(errs...)
+}
+
 // submitLocked is the decision engine: one evaluation followed by one
 // commit under the same lock acquisition. Caller holds c.mu; ev is the
 // HTM surface handed to the heuristic (nil for monitor heuristics).
@@ -374,26 +506,38 @@ func (c *Core) submitLocked(req Request, ev sched.Evaluator) (Decision, error) {
 	return c.commitLocked(req, cand.Server)
 }
 
-// evaluateLocked runs candidate filtering and the heuristic without
-// committing anything: no HTM placement, no belief correction, no
-// event. Caller holds c.mu.
-func (c *Core) evaluateLocked(req Request, ev sched.Evaluator) (Candidate, error) {
+// filterRequestLocked is the per-request preamble shared by the
+// greedy and matched decision paths: spec validation, candidate
+// filtering over the registered servers, and the submitted-date
+// default. Both paths must agree on it, or matched batches and single
+// Submits would see different candidate sets. Caller holds c.mu.
+func (c *Core) filterRequestLocked(req Request) (candidates []string, submitted float64, err error) {
 	if req.Spec == nil {
-		return Candidate{}, fmt.Errorf("agent: job %d has no spec", req.JobID)
+		return nil, 0, fmt.Errorf("agent: job %d has no spec", req.JobID)
 	}
-	candidates := make([]string, 0, len(c.order))
+	candidates = make([]string, 0, len(c.order))
 	for _, name := range c.order {
 		if _, ok := req.Spec.Cost(name); ok {
 			candidates = append(candidates, name)
 		}
 	}
 	if len(candidates) == 0 {
-		return Candidate{}, ErrUnschedulable
+		return nil, 0, ErrUnschedulable
 	}
-
-	submitted := req.Submitted
+	submitted = req.Submitted
 	if submitted == 0 {
 		submitted = req.Arrival
+	}
+	return candidates, submitted, nil
+}
+
+// evaluateLocked runs candidate filtering and the heuristic without
+// committing anything: no HTM placement, no belief correction, no
+// event. Caller holds c.mu.
+func (c *Core) evaluateLocked(req Request, ev sched.Evaluator) (Candidate, error) {
+	candidates, submitted, err := c.filterRequestLocked(req)
+	if err != nil {
+		return Candidate{}, err
 	}
 	ctx := &sched.Context{
 		Now:        req.Arrival,

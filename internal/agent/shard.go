@@ -94,6 +94,24 @@ func (c *Core) InFlight() int {
 	return len(c.jobs)
 }
 
+// MinProjectedReady returns the HTM-backed routing signal: the
+// earliest projected instant at which one of this core's servers
+// drains its live work (min over the partition of the per-server
+// ProjectedReady). A shard with an idle server reports its trace
+// time; a uniformly busy shard reports a later date. Projected drain
+// instants are absolute experiment dates, so a dispatcher compares
+// them across cores against a common anchor (the burst's arrival
+// date) regardless of how far each core's trace clock has advanced.
+// ok is false for monitor-based heuristics (no HTM) and for a core
+// with no servers, where dispatchers fall back to the in-flight
+// signal.
+func (c *Core) MinProjectedReady() (float64, bool) {
+	if c.htmMgr == nil {
+		return 0, false
+	}
+	return c.htmMgr.MinProjectedReady()
+}
+
 // ServerCount returns the number of registered servers.
 func (c *Core) ServerCount() int {
 	c.mu.Lock()

@@ -39,12 +39,41 @@ type StatsCollector struct {
 	absErrSum float64
 	absErrN   int64
 
+	// live marks jobs whose decision has been observed but not yet
+	// consumed by a completion (evicted there; bounded like predicted).
+	live map[int]bool
+	// early records completions observed before their decision — legal
+	// on a merged multi-shard stream, where only per-shard commit
+	// order is preserved. A later decision for such a job cancels
+	// against it instead of inflating InFlight forever. Duplicated
+	// completions of already-consumed jobs land here too and no
+	// decision will ever reclaim them, so the buffer is size-capped
+	// and evicts its oldest entry on overflow: stale duplicates age
+	// out while genuine reorders — which their decisions consume
+	// within a stream merge window — stay matchable.
+	early map[int]earlyRecord
+
 	occ map[string]*Occupancy
 }
 
+// earlyRecord is one early-completion entry: how many completions
+// await their decision and when the last one was observed.
+type earlyRecord struct {
+	n    int
+	last float64
+}
+
+// maxEarlyCompletions bounds the early-completion reorder buffer.
+const maxEarlyCompletions = 1024
+
 // Occupancy is the per-server view the collector maintains.
 type Occupancy struct {
-	// InFlight is decisions minus completions observed for the server.
+	// InFlight is decisions minus completions observed for the server,
+	// clamped at zero: duplicated completion messages decrement past
+	// what was observed placed but never below zero, and a completion
+	// observed before its decision (legal on a merged multi-shard
+	// stream) cancels against the late decision instead of counting
+	// the job in flight forever (see Collect).
 	InFlight int
 	// Decisions and Completions are cumulative counts.
 	Decisions, Completions int64
@@ -76,6 +105,8 @@ type Stats struct {
 func NewStatsCollector() *StatsCollector {
 	return &StatsCollector{
 		predicted: make(map[int]float64),
+		live:      make(map[int]bool),
+		early:     make(map[int]earlyRecord),
 		occ:       make(map[string]*Occupancy),
 	}
 }
@@ -91,7 +122,21 @@ func (sc *StatsCollector) Collect(ev Event) {
 		sc.touch(ev.Time)
 		o := sc.server(ev.Server)
 		o.Decisions++
+		if rec, ok := sc.early[ev.JobID]; ok {
+			// The job's completion was already observed (reordered
+			// merged stream): cancel against it instead of counting
+			// the job in flight forever, and drop the prediction —
+			// there is no future completion left to realize it.
+			if rec.n <= 1 {
+				delete(sc.early, ev.JobID)
+			} else {
+				rec.n--
+				sc.early[ev.JobID] = rec
+			}
+			break
+		}
 		o.InFlight++
+		sc.live[ev.JobID] = true
 		if ev.HasPrediction {
 			sc.predicted[ev.JobID] = ev.Predicted
 		}
@@ -100,8 +145,39 @@ func (sc *StatsCollector) Collect(ev Event) {
 		sc.touch(ev.Time)
 		o := sc.server(ev.Server)
 		o.Completions++
+		// Clamp at zero rather than going negative: on a merged
+		// multi-shard stream a completion can be observed before its
+		// decision (per-shard commit order is preserved, cross-shard
+		// interleaving is not), and transports can duplicate
+		// completion messages. Either way InFlight stays a count, at
+		// the price of transiently under-reporting until the matching
+		// decision arrives (which cancels against the recorded early
+		// completion). Decisions/Completions always count every
+		// observed event, so the long-run books still balance.
 		if o.InFlight > 0 {
 			o.InFlight--
+		}
+		if sc.live[ev.JobID] {
+			delete(sc.live, ev.JobID)
+		} else {
+			// No decision seen yet: remember the completion so the
+			// late decision cancels instead of sticking in flight.
+			// (A duplicated completion of an already-consumed job
+			// lands here too; overflow evicts the stalest entry so
+			// such duplicates cannot ratchet the buffer full.)
+			if _, ok := sc.early[ev.JobID]; !ok && len(sc.early) >= maxEarlyCompletions {
+				oldest, oldestAt := 0, math.Inf(1)
+				for id, rec := range sc.early {
+					if rec.last < oldestAt {
+						oldest, oldestAt = id, rec.last
+					}
+				}
+				delete(sc.early, oldest)
+			}
+			rec := sc.early[ev.JobID]
+			rec.n++
+			rec.last = ev.Time
+			sc.early[ev.JobID] = rec
 		}
 		if p, ok := sc.predicted[ev.JobID]; ok {
 			sc.absErrSum += math.Abs(ev.Time - p)

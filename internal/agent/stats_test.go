@@ -58,6 +58,78 @@ func TestStatsCollector(t *testing.T) {
 	}
 }
 
+// TestStatsCollectorOutOfOrderEvents feeds the collector the event
+// shapes a merged multi-shard stream can legally produce — a
+// completion observed before its decision, and a duplicated
+// completion — and checks the counters stay consistent: cumulative
+// counts track every observed event, InFlight clamps at zero instead
+// of going negative, and the books balance once the stream catches up.
+func TestStatsCollectorOutOfOrderEvents(t *testing.T) {
+	sc := NewStatsCollector()
+
+	// Completion arrives before its decision (cross-shard interleave).
+	sc.Collect(Event{Kind: EventCompletion, Time: 10, Server: "s1", JobID: 1})
+	st := sc.Snapshot()
+	if got := st.Occupancy["s1"].InFlight; got != 0 {
+		t.Errorf("in-flight after early completion = %d, want clamped 0", got)
+	}
+	if st.Completions != 1 {
+		t.Errorf("completions = %d, want 1", st.Completions)
+	}
+
+	// The matching decision catches up: it cancels against the early
+	// completion, so the job is NOT counted in flight forever, the
+	// cumulative counts stay exact, and no prediction is retained
+	// (there is no future completion left to realize it).
+	sc.Collect(Event{Kind: EventDecision, Time: 9, Server: "s1", JobID: 1,
+		Predicted: 12, HasPrediction: true})
+	st = sc.Snapshot()
+	if got := st.Occupancy["s1"].InFlight; got != 0 {
+		t.Errorf("in-flight after late decision = %d, want 0 (cancelled)", got)
+	}
+	if st.Decisions != 1 || st.Completions != 1 {
+		t.Errorf("counts = %d/%d, want 1/1", st.Decisions, st.Completions)
+	}
+	if st.PredictionSamples != 0 {
+		t.Errorf("prediction samples = %d, want 0", st.PredictionSamples)
+	}
+	// The span covers both event dates, including the out-of-order one.
+	if st.Span != 1 {
+		t.Errorf("span = %v, want 1 (events at 9 and 10)", st.Span)
+	}
+
+	// Duplicated completion messages (transport retry) for the
+	// already-consumed job: cumulative counts include them, InFlight
+	// stays clamped at zero, and no prediction sample appears.
+	sc.Collect(Event{Kind: EventCompletion, Time: 13, Server: "s1", JobID: 1})
+	sc.Collect(Event{Kind: EventCompletion, Time: 13, Server: "s1", JobID: 1})
+	st = sc.Snapshot()
+	if got := st.Occupancy["s1"].InFlight; got != 0 {
+		t.Errorf("in-flight after duplicate completions = %d, want 0", got)
+	}
+	if st.Completions != 3 || st.Occupancy["s1"].Completions != 3 {
+		t.Errorf("completions = %d/%d, want 3/3", st.Completions, st.Occupancy["s1"].Completions)
+	}
+	if st.PredictionSamples != 0 {
+		t.Errorf("prediction samples = %d, want 0 (prediction was dropped on cancel)", st.PredictionSamples)
+	}
+
+	// The normal order still samples the prediction error and drains
+	// in-flight exactly once despite a duplicate.
+	sc.Collect(Event{Kind: EventDecision, Time: 14, Server: "s2", JobID: 2,
+		Predicted: 20, HasPrediction: true})
+	sc.Collect(Event{Kind: EventCompletion, Time: 21, Server: "s2", JobID: 2})
+	sc.Collect(Event{Kind: EventCompletion, Time: 21, Server: "s2", JobID: 2})
+	st = sc.Snapshot()
+	if got := st.Occupancy["s2"].InFlight; got != 0 {
+		t.Errorf("s2 in-flight = %d, want 0", got)
+	}
+	if st.PredictionSamples != 1 || math.Abs(st.MeanAbsPredictionError-1) > 1e-9 {
+		t.Errorf("prediction error = %v over %d samples, want 1.0 over 1",
+			st.MeanAbsPredictionError, st.PredictionSamples)
+	}
+}
+
 // TestEvaluateCommitMatchesSubmit pins the shard surface: Evaluate
 // followed by Commit on the chosen server behaves exactly like Submit
 // on an identically seeded twin, and Evaluate alone mutates nothing.

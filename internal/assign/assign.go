@@ -1,0 +1,129 @@
+// Package assign solves the min-cost assignment problem behind the
+// k-task batch scheduler: given a cost matrix over tasks (rows) and
+// servers (columns), pick at most one server per task and at most one
+// task per server minimizing the total cost of the matched pairs.
+//
+// The solver is the Hungarian algorithm in its successive-shortest-
+// augmenting-path form (Jonker–Volgenant style, with dual potentials):
+// rows are introduced one at a time and each is matched along the
+// cheapest alternating path. Infeasible pairs are marked with +Inf and
+// never traversed; a row none of whose columns is reachable stays
+// unmatched (it belongs to a later wave), and by the augmenting-path
+// lemma the final matching has maximum cardinality regardless of row
+// order. Whenever every row is matched — in particular for a fully
+// feasible matrix with rows ≤ columns — the result is the exact
+// minimum-cost assignment.
+//
+// Complexity is O(rows² · cols) time, O(rows + cols) extra space —
+// batches are tens of tasks over at most a few hundred servers, well
+// under a millisecond (see BenchmarkAssignSolve).
+package assign
+
+import "math"
+
+// Unassigned marks a row the solver could not match (no feasible
+// column reachable, or more rows than columns).
+const Unassigned = -1
+
+// Solve computes a min-cost assignment for the given cost matrix.
+// cost[i][j] is the cost of giving row i column j; +Inf marks an
+// infeasible pair. Every row of the matrix must have the same length.
+//
+// The returned slice maps each row to its column (Unassigned for rows
+// left out), and total is the summed cost of the matched pairs. The
+// result is deterministic in the matrix: equal-cost alternatives
+// resolve to the lowest column index reached first.
+func Solve(cost [][]float64) (rowToCol []int, total float64) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(cost[0])
+	rowToCol = make([]int, n)
+	for i := range rowToCol {
+		rowToCol[i] = Unassigned
+	}
+	if m == 0 {
+		return rowToCol, 0
+	}
+
+	inf := math.Inf(1)
+	// Dual potentials (u over rows, v over columns 1..m; column 0 is
+	// the virtual source column holding the row being introduced).
+	u := make([]float64, n)
+	v := make([]float64, m+1)
+	colRow := make([]int, m+1) // column -> matched row, Unassigned if free
+	for j := range colRow {
+		colRow[j] = Unassigned
+	}
+	minv := make([]float64, m+1) // tentative shortest distance to column j
+	used := make([]bool, m+1)    // column in the Dijkstra tree
+	way := make([]int, m+1)      // column -> predecessor column on the path
+
+	for i := 0; i < n; i++ {
+		colRow[0] = i
+		j0 := 0
+		for j := range minv {
+			minv[j] = inf
+			used[j] = false
+			way[j] = 0
+		}
+		augmented := false
+		for {
+			used[j0] = true
+			i0 := colRow[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= m; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				// No reachable free column: the row stays unmatched.
+				// Dual updates already applied remain feasible; the
+				// matching is untouched.
+				break
+			}
+			for j := 0; j <= m; j++ {
+				if used[j] {
+					u[colRow[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if colRow[j0] == Unassigned {
+				augmented = true
+				break
+			}
+		}
+		if !augmented {
+			continue
+		}
+		// Augment: flip the alternating path back to the source column.
+		for j0 != 0 {
+			j1 := way[j0]
+			colRow[j0] = colRow[j1]
+			j0 = j1
+		}
+	}
+
+	for j := 1; j <= m; j++ {
+		if r := colRow[j]; r != Unassigned {
+			rowToCol[r] = j - 1
+			total += cost[r][j-1]
+		}
+	}
+	return rowToCol, total
+}

@@ -1,0 +1,214 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce finds the optimal assignment by exhaustive search:
+// maximum cardinality first, minimum cost among those. Rows ≤ ~8.
+func bruteForce(cost [][]float64) (bestCols []int, bestCount int, bestTotal float64) {
+	n := len(cost)
+	m := 0
+	if n > 0 {
+		m = len(cost[0])
+	}
+	cols := make([]int, n)
+	usedCol := make([]bool, m)
+	bestTotal = math.Inf(1)
+	var rec func(i, count int, total float64)
+	rec = func(i, count int, total float64) {
+		if i == n {
+			if count > bestCount || (count == bestCount && total < bestTotal) {
+				bestCount, bestTotal = count, total
+				bestCols = append([]int(nil), cols...)
+			}
+			return
+		}
+		cols[i] = Unassigned
+		rec(i+1, count, total)
+		for j := 0; j < m; j++ {
+			if usedCol[j] || math.IsInf(cost[i][j], 1) {
+				continue
+			}
+			usedCol[j] = true
+			cols[i] = j
+			rec(i+1, count+1, total+cost[i][j])
+			cols[i] = Unassigned
+			usedCol[j] = false
+		}
+	}
+	rec(0, 0, 0)
+	return bestCols, bestCount, bestTotal
+}
+
+func matchedCount(rowToCol []int) int {
+	n := 0
+	for _, c := range rowToCol {
+		if c != Unassigned {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSolveSquareExact(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	rows, total := Solve(cost)
+	want := []int{1, 0, 2} // 1 + 2 + 2 = 5
+	if total != 5 {
+		t.Fatalf("total = %v, want 5 (assignment %v)", total, rows)
+	}
+	for i, c := range want {
+		if rows[i] != c {
+			t.Errorf("row %d -> col %d, want %d", i, rows[i], c)
+		}
+	}
+}
+
+func TestSolveRectangularMoreColumns(t *testing.T) {
+	// 2 tasks, 4 servers: both rows must be matched, on distinct
+	// columns, at minimum sum.
+	cost := [][]float64{
+		{10, 2, 8, 7},
+		{10, 3, 8, 7},
+	}
+	rows, total := Solve(cost)
+	if matchedCount(rows) != 2 {
+		t.Fatalf("matched %d rows, want 2 (%v)", matchedCount(rows), rows)
+	}
+	if rows[0] == rows[1] {
+		t.Fatalf("both rows on column %d", rows[0])
+	}
+	if total != 2+7 { // row1 takes col1 (2), row2's next best is col3 (7)
+		t.Errorf("total = %v, want 9 (%v)", total, rows)
+	}
+}
+
+func TestSolveMoreRowsThanColumns(t *testing.T) {
+	cost := [][]float64{
+		{1, 4},
+		{2, 8},
+		{3, 12},
+	}
+	rows, total := Solve(cost)
+	if matchedCount(rows) != 2 {
+		t.Fatalf("matched %d rows, want 2 (%v)", matchedCount(rows), rows)
+	}
+	_, wantCount, wantTotal := bruteForce(cost)
+	if matchedCount(rows) != wantCount || total != wantTotal {
+		t.Errorf("got count %d total %v, brute force count %d total %v",
+			matchedCount(rows), total, wantCount, wantTotal)
+	}
+}
+
+func TestSolveInfeasiblePairs(t *testing.T) {
+	inf := math.Inf(1)
+	// Row 1 can only use column 0; row 0 must be pushed to column 1
+	// even though column 0 is its cheaper choice.
+	cost := [][]float64{
+		{1, 5},
+		{2, inf},
+	}
+	rows, total := Solve(cost)
+	if rows[0] != 1 || rows[1] != 0 {
+		t.Fatalf("assignment = %v, want [1 0]", rows)
+	}
+	if total != 7 {
+		t.Errorf("total = %v, want 7", total)
+	}
+}
+
+func TestSolveAllInfeasibleRow(t *testing.T) {
+	inf := math.Inf(1)
+	cost := [][]float64{
+		{inf, inf},
+		{3, 1},
+	}
+	rows, total := Solve(cost)
+	if rows[0] != Unassigned {
+		t.Errorf("infeasible row matched to %d", rows[0])
+	}
+	if rows[1] != 1 || total != 1 {
+		t.Errorf("assignment = %v total %v, want row 1 -> col 1, total 1", rows, total)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	if rows, total := Solve(nil); rows != nil || total != 0 {
+		t.Errorf("Solve(nil) = %v, %v", rows, total)
+	}
+	if rows, total := Solve([][]float64{{}, {}}); matchedCount(rows) != 0 || total != 0 {
+		t.Errorf("Solve(no columns) = %v, %v", rows, total)
+	}
+}
+
+// TestSolveRandomAgainstBruteForce cross-checks the solver on small
+// random instances, including infeasible entries, against exhaustive
+// search. Only the optimum value is compared (optimal assignments need
+// not be unique).
+func TestSolveRandomAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(5)
+		m := 1 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, m)
+			for j := range cost[i] {
+				if rng.Float64() < 0.2 {
+					cost[i][j] = math.Inf(1)
+				} else {
+					cost[i][j] = float64(rng.Intn(50))
+				}
+			}
+		}
+		rows, total := Solve(cost)
+		_, wantCount, wantTotal := bruteForce(cost)
+		// The row-by-row solver always reaches maximum cardinality (a
+		// row with no augmenting path now never gains one later), and
+		// is cost-exact whenever every row is matched.
+		if matchedCount(rows) != wantCount {
+			t.Fatalf("trial %d: cost %v: matched %d, want %d",
+				trial, cost, matchedCount(rows), wantCount)
+		}
+		if matchedCount(rows) == n && math.Abs(total-wantTotal) > 1e-9 {
+			t.Fatalf("trial %d: cost %v: solver total %v, optimal %v (rows %v)",
+				trial, cost, total, wantTotal, rows)
+		}
+		// Matched pairs must be feasible and columns distinct.
+		seen := map[int]bool{}
+		for i, c := range rows {
+			if c == Unassigned {
+				continue
+			}
+			if seen[c] {
+				t.Fatalf("trial %d: column %d used twice", trial, c)
+			}
+			seen[c] = true
+			if math.IsInf(cost[i][c], 1) {
+				t.Fatalf("trial %d: infeasible pair (%d,%d) matched", trial, i, c)
+			}
+		}
+	}
+}
+
+func BenchmarkSolve32x128(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	cost := make([][]float64, 32)
+	for i := range cost {
+		cost[i] = make([]float64, 128)
+		for j := range cost[i] {
+			cost[i][j] = rng.Float64() * 1000
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(cost)
+	}
+}

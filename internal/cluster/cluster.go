@@ -20,14 +20,20 @@
 //     sum-flow...) this reproduces the centralized decision up to
 //     cross-shard ties, at full fan-out evaluation cost.
 //
-//   - SubmitBatch routes a burst hierarchically: the batch goes to the
-//     least-loaded eligible shard (a cheap in-flight/size signal — no
-//     projections), which pipelines it through its shard-local batch
-//     prediction cache. Decision cost per burst is one candidate pass
-//     over one shard rather than the whole pool — the throughput path,
-//     trading the centralized greedy order across bursts for
-//     shard-local optimality (the classic hierarchical-agent design;
-//     see BenchmarkClusterSubmitBatch for the scaling curves).
+//   - SubmitBatch routes a burst hierarchically by
+//     power-of-two-choices over HTM-backed shard scores: the
+//     in-flight leader and one uniformly sampled shard are compared
+//     on their projected backlog at the burst's arrival (min
+//     ProjectedReady over the partition, read from cached drain
+//     memos) and the burst goes to the winner, which pipelines it
+//     through its shard-local batch prediction cache.
+//     Decision cost per burst is one candidate pass over one shard
+//     rather than the whole pool — the throughput path, trading the
+//     centralized greedy order across bursts for shard-local
+//     optimality (the classic hierarchical-agent design; see
+//     BenchmarkClusterSubmitBatch for the scaling curves). With
+//     WithBatchAssignment the routed shard additionally places the
+//     burst as true k-task min-cost waves instead of greedily.
 //
 // With one shard both paths degenerate exactly to the single core:
 // the parity test pins that a 1-shard Cluster reproduces
@@ -50,16 +56,26 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"math"
 	"reflect"
 	"sort"
 	"sync"
 
 	"casched/internal/agent"
 	"casched/internal/sched"
+	"casched/internal/stats"
 )
 
 // tieEps mirrors sched's tie tolerance for cross-shard comparisons.
 const tieEps = 1e-9
+
+// backlogTieFraction is the relative margin within which two shards'
+// projected backlogs count as equal for batch routing, deferring to
+// the balanced in-flight signal (see batchOrderLocked). The band is
+// wide: the backlog is a projection over an entire partition, and
+// overriding balance pays off only on qualitative gaps (a drained
+// shard vs a saturated one), not on comparable queues.
+const backlogTieFraction = 0.5
 
 // Config parameterizes a Cluster. Most callers use New with options.
 type Config struct {
@@ -116,6 +132,13 @@ func WithHTMWorkers(n int) Option { return func(c *Config) { c.Core.HTMWorkers =
 
 // WithHTMSync enables HTM↔execution synchronization on every shard.
 func WithHTMSync(on bool) Option { return func(c *Config) { c.Core.HTMSync = on } }
+
+// WithBatchAssignment opts every shard's SubmitBatch into true k-task
+// scheduling: batches are placed wave by wave through a min-cost
+// assignment over the shared prediction matrix instead of greedily
+// task by task (agent.Config.BatchAssignment). Requires a heuristic
+// with a comparable objective.
+func WithBatchAssignment(on bool) Option { return func(c *Config) { c.Core.BatchAssignment = on } }
 
 // schedulerFor resolves one shard's heuristic instance.
 func (cfg *Config) schedulerFor() (sched.Scheduler, error) {
@@ -182,6 +205,7 @@ type Cluster struct {
 	counts []int          // servers per shard
 	placed map[int]int    // jobID -> shard, evicted on completion
 	rr     int            // rotation cursor for unscored heuristics
+	rng    *stats.RNG     // power-of-two-choices sampling for batch routing
 
 	// emu guards the merged event stream (leaf lock: taken inside
 	// shard emits, never the other way around).
@@ -214,6 +238,7 @@ func NewFromConfig(cfg Config) (*Cluster, error) {
 		counts: make([]int, cfg.Shards),
 		placed: make(map[int]int),
 		subs:   make(map[int]func(agent.Event)),
+		rng:    stats.NewRNG(cfg.Core.Seed ^ 0x9e3779b97f4a7c15),
 	}
 	for i := range cl.shards {
 		s, err := cfg.schedulerFor()
@@ -322,6 +347,7 @@ func (cl *Cluster) Rebalance() (moved int) {
 
 // rebalanceLocked implements Rebalance. Caller holds cl.mu.
 func (cl *Cluster) rebalanceLocked() (moved int) {
+	repaired := false
 	for {
 		maxI, minI := 0, 0
 		for i, c := range cl.counts {
@@ -337,11 +363,31 @@ func (cl *Cluster) rebalanceLocked() (moved int) {
 		}
 		// Deterministic victim: the lexicographically last server of
 		// the over-full shard.
-		victim := ""
+		victim, found := "", false
 		for name, sh := range cl.home {
-			if sh == maxI && name > victim {
-				victim = name
+			if sh == maxI && (!found || name > victim) {
+				victim, found = name, true
 			}
+		}
+		if !found {
+			// cl.counts says shard maxI is over-full but cl.home maps
+			// no server to it: the routing state disagrees with
+			// itself. Rebuild counts from home (the authoritative map)
+			// once and retry; if the disagreement persists, stop
+			// rather than loop forever on a phantom victim.
+			if repaired {
+				return moved
+			}
+			repaired = true
+			for i := range cl.counts {
+				cl.counts[i] = 0
+			}
+			for _, sh := range cl.home {
+				if sh >= 0 && sh < len(cl.counts) {
+					cl.counts[sh]++
+				}
+			}
+			continue
 		}
 		cl.shards[maxI].RemoveServer(victim)
 		cl.shards[minI].AddServer(victim)
@@ -503,31 +549,33 @@ func betterCandidate(a, b agent.Candidate) bool {
 	return a.Tie < b.Tie-tieEps
 }
 
-// SubmitBatch routes a burst of simultaneous arrivals hierarchically:
-// the batch goes to the least-loaded shard (in-flight normalized by
-// partition size — no projections) that can solve it, and that shard
-// pipelines it through one lock acquisition and its shard-local batch
-// prediction cache. Requests the routed shard cannot solve fall to the
-// next-best eligible shard, so a mixed batch fans out only as far as
-// eligibility forces it. Failed requests yield zero Decisions with
-// their errors joined, like agent.Core.SubmitBatch.
+// SubmitBatch routes a burst of simultaneous arrivals hierarchically
+// by power-of-two-choices over HTM-backed shard scores: the in-flight
+// leader and one uniformly sampled other shard are compared on their
+// projected backlog at the burst's arrival (min ProjectedReady over
+// the partition minus the arrival date — read from O(1) cached drain
+// memos, no candidate projections), and the batch goes to the winner,
+// which pipelines it through one lock acquisition and its shard-local
+// batch prediction cache (see batchOrderLocked for the scoring and
+// tie rules). Only those two shards pay an HTM read per burst; the
+// cheap in-flight ranking still scans every shard, as the previous
+// router did. Monitor-only heuristics (no HTM) compare on the
+// in-flight/partition-size signal directly. Requests the routed shard
+// cannot solve fall to the next-best eligible shard by the cheap
+// ranking, so a mixed batch fans out only as far as eligibility
+// forces it. Failed requests yield zero Decisions with their errors
+// joined, like agent.Core.SubmitBatch.
 func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
 	if len(cl.shards) == 1 {
 		return cl.shards[0].SubmitBatch(reqs)
 	}
-
-	// Rank shards once per batch by the cheap routing score.
-	order := make([]int, len(cl.shards))
-	scores := make([]float64, len(cl.shards))
-	for i, core := range cl.shards {
-		order[i] = i
-		if cl.counts[i] > 0 {
-			scores[i] = float64(core.InFlight()) / float64(cl.counts[i])
-		}
+	at := 0.0
+	if len(reqs) > 0 {
+		at = reqs[0].Arrival
 	}
-	sort.SliceStable(order, func(a, b int) bool { return scores[order[a]] < scores[order[b]] })
+	order := cl.batchOrderLocked(at)
 
 	assign := make([]int, len(reqs))
 	var errs []error
@@ -579,6 +627,90 @@ func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 		}
 	}
 	return out, errors.Join(errs...)
+}
+
+// batchOrderLocked returns the shard indexes in routing-preference
+// order for one batch arriving at date at. The head is the
+// power-of-two-choices winner: two distinct non-empty shards — the
+// cheap-signal leader (least in-flight per server, the classic
+// hierarchical pick) and one sampled uniformly from the rest —
+// compared on the HTM-backed score: the shard's projected backlog at
+// the burst's arrival, max(0, min ProjectedReady over the partition −
+// at), read from cached baselines (the arrival anchor makes drain
+// instants from independently advancing shard clocks comparable).
+// The smaller backlog wins; backlogs within backlogTieFraction of
+// each other are a tie decided by the balanced in-flight signal —
+// the backlog is a projection, and preferring a marginally
+// sooner-draining shard over the balanced choice concentrates
+// consecutive bursts on one shard's still-full traces (costlier
+// evaluations, no quality gain within projection noise). Biasing one
+// choice to the cheap leader keeps the load spread of the pure
+// least-loaded router (only two shards are ever scored, so routing
+// stays O(shards) with O(1) HTM reads per scored shard), while the
+// uniform second choice plus the drain comparison corrects the
+// in-flight signal where it misjudges actual work — many short tasks
+// vs few long ones — and avoids herding when counts are stale.
+// Monitor-only heuristics (no HTM) score by the in-flight signal
+// directly. The remaining shards follow ranked by the cheap signal,
+// as eligibility fallbacks for requests the winner cannot solve.
+// Caller holds cl.mu.
+func (cl *Cluster) batchOrderLocked(at float64) []int {
+	cheap := make([]float64, len(cl.shards))
+	order := make([]int, 0, len(cl.shards))
+	var nonEmpty []int
+	for i, core := range cl.shards {
+		order = append(order, i)
+		if cl.counts[i] > 0 {
+			cheap[i] = float64(core.InFlight()) / float64(cl.counts[i])
+			nonEmpty = append(nonEmpty, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return cheap[order[a]] < cheap[order[b]] })
+	if len(nonEmpty) < 2 {
+		return order
+	}
+
+	// Two choices: the cheap-signal leader — the first non-empty
+	// shard of the freshly sorted ranking — and a uniform sample from
+	// the other non-empty shards; score just those.
+	a := nonEmpty[0]
+	for _, sh := range order {
+		if cl.counts[sh] > 0 {
+			a = sh
+			break
+		}
+	}
+	b := a
+	for b == a {
+		b = nonEmpty[cl.rng.Intn(len(nonEmpty))]
+	}
+	score := func(sh int) float64 {
+		if ready, ok := cl.shards[sh].MinProjectedReady(); ok {
+			return math.Max(0, ready-at)
+		}
+		return cheap[sh]
+	}
+	sa, sb := score(a), score(b)
+	// The sample overrides the leader only on a clear backlog margin;
+	// within the tie band the leader stands — a is the cheap-ranking
+	// minimum, so ties always resolve to it.
+	winner := a
+	if sb < sa && math.Abs(sa-sb) > backlogTieFraction*math.Max(sa, sb)+tieEps {
+		winner = b
+	}
+
+	// Promote only the winner; the loser and the rest keep their
+	// cheap-score ranking, so spill-over from requests the winner
+	// cannot solve still goes to the next-best eligible shard rather
+	// than to whatever shard the sample happened to draw.
+	promoted := make([]int, 0, len(order))
+	promoted = append(promoted, winner)
+	for _, sh := range order {
+		if sh != winner {
+			promoted = append(promoted, sh)
+		}
+	}
+	return promoted
 }
 
 // Complete feeds a completion message to the shard that placed the

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"testing"
+	"time"
 
 	"casched/internal/agent"
 	"casched/internal/sched"
@@ -409,5 +410,123 @@ func TestPolicyByName(t *testing.T) {
 	}
 	if _, ok := ByName("nosuch"); ok {
 		t.Error("unknown policy resolved")
+	}
+}
+
+// TestRebalanceLivenessOnCorruptState drives the victim-scan guard: if
+// counts claims a shard is over-full while home maps no server to it,
+// Rebalance must repair the bookkeeping from home (the authoritative
+// map) and terminate instead of migrating a phantom "" server forever.
+func TestRebalanceLivenessOnCorruptState(t *testing.T) {
+	cl := newTestCluster(t, 3, "HMCT", 6, WithPolicy(LeastLoaded()))
+
+	// Corrupt the routing state: counts says shard 0 is massively
+	// over-full, home disagrees.
+	cl.mu.Lock()
+	cl.counts[0] += 5
+	cl.mu.Unlock()
+
+	done := make(chan int, 1)
+	go func() { done <- cl.Rebalance() }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Rebalance looped forever on corrupt counts")
+	}
+
+	// The repair rebuilt counts from home: they sum to the real server
+	// count and no phantom "" server was registered anywhere.
+	cl.mu.Lock()
+	total := 0
+	for _, c := range cl.counts {
+		total += c
+	}
+	_, phantom := cl.home[""]
+	cl.mu.Unlock()
+	if total != 6 || phantom {
+		t.Errorf("after repair: counts sum %d (want 6), phantom server registered: %v", total, phantom)
+	}
+	for i := 0; i < cl.NumShards(); i++ {
+		for _, s := range cl.Shard(i).Servers() {
+			if s == "" {
+				t.Errorf("shard %d holds phantom server", i)
+			}
+		}
+	}
+	// A later real rebalance still works.
+	cl.AddServer("sv99")
+	cl.RemoveServer("sv00")
+	if got := len(cl.Servers()); got != 6 {
+		t.Errorf("servers after churn = %d", got)
+	}
+}
+
+// TestBatchRoutingPrefersDrainedShard pins the HTM-backed routing
+// signal end-to-end: after a burst loads one shard, the next burst's
+// power-of-two sample must route to a shard with an earlier projected
+// drain — never back onto the saturated one.
+func TestBatchRoutingPrefersDrainedShard(t *testing.T) {
+	cl := newTestCluster(t, 2, "HMCT", 8)
+	spec := evenSpec(8)
+	mkBatch := func(base int, at float64, n int) []agent.Request {
+		reqs := make([]agent.Request, n)
+		for i := range reqs {
+			reqs[i] = agent.Request{JobID: base + i, TaskID: base + i, Spec: spec, Arrival: at}
+		}
+		return reqs
+	}
+	decs, err := cl.SubmitBatch(mkBatch(0, 0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, _ := cl.ShardOf(decs[0].Server)
+	// Drive follow-up single-task bursts: as long as the other shard
+	// still has an idle server, its min projected drain (the trace
+	// time, ≈0.5) beats the saturated shard's (≈20s of queued compute),
+	// so every power-of-two comparison — with 2 shards, always both —
+	// must route away. Three rounds keep at least one of the other
+	// shard's four servers idle in the HTM's view.
+	for round := 0; round < 3; round++ {
+		decs, err = cl.SubmitBatch(mkBatch(100*(round+1), 0.5, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh, _ := cl.ShardOf(decs[0].Server)
+		if sh == loaded {
+			t.Fatalf("round %d routed to the saturated shard %d", round, loaded)
+		}
+	}
+}
+
+// TestClusterBatchAssignmentOption: WithBatchAssignment flows through
+// to every shard and spreads a contended burst one task per server,
+// where the default greedy shard piles onto the best server.
+func TestClusterBatchAssignmentOption(t *testing.T) {
+	costs := map[string]float64{"sv00": 10, "sv01": 25}
+	spec := poolSpec(costs)
+	mk := func() []agent.Request {
+		return []agent.Request{
+			{JobID: 0, TaskID: 0, Spec: spec, Arrival: 0},
+			{JobID: 1, TaskID: 1, Spec: spec, Arrival: 0},
+		}
+	}
+
+	greedy := newTestCluster(t, 1, "HMCT", 2)
+	gdecs, err := greedy.SubmitBatch(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gdecs[0].Server != "sv00" || gdecs[1].Server != "sv00" {
+		t.Fatalf("greedy cluster decisions = %+v, want both on sv00", gdecs)
+	}
+
+	matched := newTestCluster(t, 1, "HMCT", 2, WithBatchAssignment(true))
+	mdecs, err := matched.SubmitBatch(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	servers := map[string]bool{mdecs[0].Server: true, mdecs[1].Server: true}
+	if !servers["sv00"] || !servers["sv01"] {
+		t.Errorf("matched cluster decisions = %+v, want one per server", mdecs)
 	}
 }

@@ -1,0 +1,66 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestBatchComparisonMatchedBeatsGreedy pins the tentpole's measured
+// claim on the committed study configuration (the one rendered into
+// benchmarks/batch-comparison.txt): under bursty inhomogeneous-Poisson
+// arrivals, matched k-task waves beat greedy task-by-task commitment
+// on total sum-flow, and the hierarchical routing path trades a
+// bounded amount of decision quality for its throughput.
+func TestBatchComparisonMatchedBeatsGreedy(t *testing.T) {
+	r, err := BatchComparison(BatchComparisonConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GreedySumFlow <= 0 || r.MatchedSumFlow <= 0 ||
+		r.FanoutSumFlow <= 0 || r.HierarchicalSumFlow <= 0 {
+		t.Fatalf("degenerate sums: %+v", r)
+	}
+	if r.MatchedSumFlow >= r.GreedySumFlow {
+		t.Errorf("matched sum-flow %.0f did not beat greedy %.0f",
+			r.MatchedSumFlow, r.GreedySumFlow)
+	}
+	// The fan-out path is the per-task exact decision sequence: it
+	// must coincide with the greedy single core on the same workload
+	// (the cluster's fan-out/commit reproduces the centralized
+	// decision up to cross-shard ties).
+	if ratio := r.FanoutSumFlow / r.GreedySumFlow; ratio < 0.99 || ratio > 1.01 {
+		t.Errorf("fan-out sum-flow %.0f deviates from centralized greedy %.0f",
+			r.FanoutSumFlow, r.GreedySumFlow)
+	}
+	// Hierarchical routing pays a quality premium for its throughput;
+	// the study quantifies it. Sanity-bound it so a routing regression
+	// (or an accidental exactness claim) trips the test.
+	if r.HierarchicalSumFlow < r.FanoutSumFlow {
+		t.Logf("note: hierarchical beat fan-out (%.0f < %.0f) — lucky routing",
+			r.HierarchicalSumFlow, r.FanoutSumFlow)
+	}
+	if r.HierarchicalSumFlow > 2*r.FanoutSumFlow {
+		t.Errorf("hierarchical sum-flow %.0f more than doubles fan-out %.0f",
+			r.HierarchicalSumFlow, r.FanoutSumFlow)
+	}
+
+	out := FormatBatchComparison(r)
+	for _, want := range []string{"greedy (sequential-equal)", "matched (min-cost waves)",
+		"exact fan-out", "hierarchical (p2c + HTM)", "sum-flow ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted study lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestBatchComparisonDefaults pins the zero-value config resolution so
+// the committed study stays reproducible.
+func TestBatchComparisonDefaults(t *testing.T) {
+	var cfg BatchComparisonConfig
+	cfg.defaults()
+	want := BatchComparisonConfig{N: 240, D: 6, K: 8, Seed: 11,
+		Heuristic: "HMCT", Shards: 4, Replicas: 2}
+	if cfg != want {
+		t.Errorf("defaults = %+v, want %+v", cfg, want)
+	}
+}

@@ -133,6 +133,24 @@ type serverTrace struct {
 	// was computed at.
 	baseline    map[int]float64
 	baselineGen uint64
+	// drain memoizes max over baseline of ρ_j (0 for an empty
+	// baseline), maintained by setBaseline so the ProjectedReady
+	// family reads O(1) instead of rescanning the map — that scan is
+	// the routing hot path of a sharded dispatch layer.
+	drain float64
+}
+
+// setBaseline installs a freshly computed baseline projection and its
+// drain memo.
+func (tr *serverTrace) setBaseline(baseline map[int]float64, gen uint64) {
+	tr.baseline = baseline
+	tr.baselineGen = gen
+	tr.drain = 0
+	for _, c := range baseline {
+		if c > tr.drain {
+			tr.drain = c
+		}
+	}
 }
 
 // invalidate marks the trace's trajectory as changed.
@@ -282,8 +300,7 @@ func (m *Manager) baselineLocked(tr *serverTrace) map[int]float64 {
 	if tr.baseline != nil && tr.baselineGen == tr.gen {
 		return tr.baseline
 	}
-	tr.baseline = projectClone(tr.sim.CloneLive())
-	tr.baselineGen = tr.gen
+	tr.setBaseline(projectClone(tr.sim.CloneLive()), tr.gen)
 	return tr.baseline
 }
 
@@ -328,8 +345,7 @@ func (m *Manager) projectCandidate(j candidateJob, id int, spec *task.Spec, arri
 		j.baseline = projectClone(j.baseClone)
 		m.mu.Lock()
 		if j.tr.gen == j.gen && (j.tr.baseline == nil || j.tr.baselineGen != j.gen) {
-			j.tr.baseline = j.baseline
-			j.tr.baselineGen = j.gen
+			j.tr.setBaseline(j.baseline, j.gen)
 		}
 		m.mu.Unlock()
 	}
@@ -645,13 +661,40 @@ func (m *Manager) ProjectedReady(server string) (float64, bool) {
 	if !ok {
 		return 0, false
 	}
-	ready := m.now
-	for _, c := range m.baselineLocked(tr) {
-		if c > ready {
-			ready = c
+	return m.readyLocked(tr), true
+}
+
+// readyLocked returns one trace's projected drain instant from the
+// drain memo, refreshing the baseline cache first if the trace
+// mutated. Caller holds m.mu.
+func (m *Manager) readyLocked(tr *serverTrace) float64 {
+	m.baselineLocked(tr)
+	if tr.drain > m.now {
+		return tr.drain
+	}
+	return m.now
+}
+
+// MinProjectedReady returns the shard-level aggregate of
+// ProjectedReady: the earliest projected drain instant over every
+// tracked server. An idle server pins the aggregate at the current
+// trace time. This is the load signal a sharded dispatch layer
+// compares across HTMs when routing a batch — one cached-baseline
+// scan, no candidate projections. ok is false when no server is
+// tracked.
+func (m *Manager) MinProjectedReady() (float64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.order) == 0 {
+		return 0, false
+	}
+	best := math.Inf(1)
+	for _, name := range m.order {
+		if ready := m.readyLocked(m.traces[name]); ready < best {
+			best = ready
 		}
 	}
-	return ready, true
+	return best, true
 }
 
 // Sim exposes the live trace of one server; the Gantt renderer

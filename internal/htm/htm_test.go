@@ -294,3 +294,49 @@ func TestPlacements(t *testing.T) {
 		t.Errorf("empty manager has %d placements", n)
 	}
 }
+
+// TestMinProjectedReady pins the shard-level routing aggregate: the
+// minimum over servers of the projected drain instant, with idle
+// servers pinning it at the trace time.
+func TestMinProjectedReady(t *testing.T) {
+	if _, ok := New(nil).MinProjectedReady(); ok {
+		t.Error("empty manager reported a projected-ready aggregate")
+	}
+
+	// Idle servers: the aggregate is the trace time (0).
+	m := New([]string{"s1", "s2"})
+	if ready, ok := m.MinProjectedReady(); !ok || ready != 0 {
+		t.Errorf("idle aggregate = %v, %v; want 0, true", ready, ok)
+	}
+
+	// Load s1 with a 100s task: s2 stays idle, so the aggregate stays
+	// at the trace time.
+	spec := &task.Spec{Problem: "p", Variant: 100,
+		CostOn: map[string]task.Cost{"s1": {Compute: 100}, "s2": {Compute: 100}}}
+	if err := m.Place(1, spec, 0, "s1"); err != nil {
+		t.Fatal(err)
+	}
+	if ready, ok := m.MinProjectedReady(); !ok || ready != 0 {
+		t.Errorf("one-busy aggregate = %v, %v; want 0 (s2 idle)", ready, ok)
+	}
+
+	// Load s2 with a 40s task: now the earliest drain is s2's at 40,
+	// and it must agree with the per-server ProjectedReady.
+	if err := m.Place(2, spec2Cost40(), 0, "s2"); err != nil {
+		t.Fatal(err)
+	}
+	ready, ok := m.MinProjectedReady()
+	if !ok || math.Abs(ready-40) > 1e-9 {
+		t.Errorf("aggregate = %v, %v; want 40", ready, ok)
+	}
+	perServer, _ := m.ProjectedReady("s2")
+	if math.Abs(ready-perServer) > 1e-9 {
+		t.Errorf("aggregate %v != min per-server %v", ready, perServer)
+	}
+}
+
+// spec2Cost40 is a 40s task solvable on s2 only.
+func spec2Cost40() *task.Spec {
+	return &task.Spec{Problem: "p", Variant: 40,
+		CostOn: map[string]task.Cost{"s2": {Compute: 40}}}
+}

@@ -1,0 +1,149 @@
+package sched
+
+import (
+	"testing"
+
+	"casched/internal/htm"
+	"casched/internal/task"
+)
+
+// batchPairSpec builds a spec solvable on both test servers with the
+// given compute costs.
+func batchPairSpec(fast, slow float64) *task.Spec {
+	return &task.Spec{Problem: "t", Variant: int(fast), CostOn: map[string]task.Cost{
+		"a": {Compute: fast},
+		"b": {Compute: slow},
+	}}
+}
+
+// TestMinCostBatchSpreadsContendedWave pins the tentpole behavior on
+// the smallest instructive instance: two simultaneous tasks, one fast
+// server (a) and one slow server (b). Greedy HMCT sends both to a
+// (the second still completes sooner on the loaded fast server);
+// min-cost assignment spreads the wave when that lowers the summed
+// completion objective.
+func TestMinCostBatchSpreadsContendedWave(t *testing.T) {
+	m := htm.New([]string{"a", "b"})
+	// Cost 10 on a, 25 on b. Greedy HMCT: task 1 -> a (finishes at
+	// 10); task 2 re-projects and still picks a (shared finish at
+	// 20 < 25 on idle b), delaying task 1 to 20 as well — summed
+	// completions 40. The matched wave pays {a: 10, b: 25} = 35, so
+	// the assignment must use both servers.
+	spec := batchPairSpec(10, 25)
+	items := []BatchItem{
+		{JobID: 1, Task: &task.Task{ID: 1, Spec: spec}, Now: 0, Candidates: []string{"a", "b"}},
+		{JobID: 2, Task: &task.Task{ID: 2, Spec: spec}, Now: 0, Candidates: []string{"a", "b"}},
+	}
+	bs := NewMinCostBatch(NewHMCT())
+	ctx := &Context{HTM: m}
+	choices, err := bs.ChooseBatch(ctx, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for i, c := range choices {
+		if c.Server == "" {
+			t.Fatalf("item %d deferred in a 2-task/2-server wave", i)
+		}
+		got[c.Server] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("matched wave = %+v, want one task per server", choices)
+	}
+}
+
+// TestMinCostBatchDefersOverflow: more tasks than servers defers the
+// surplus to a later wave instead of dropping or doubling up.
+func TestMinCostBatchDefersOverflow(t *testing.T) {
+	m := htm.New([]string{"a", "b"})
+	spec := batchPairSpec(10, 12)
+	items := make([]BatchItem, 3)
+	for i := range items {
+		items[i] = BatchItem{JobID: i, Task: &task.Task{ID: i, Spec: spec}, Now: 0,
+			Candidates: []string{"a", "b"}}
+	}
+	bs := NewMinCostBatch(NewMSF())
+	choices, err := bs.ChooseBatch(&Context{HTM: m}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigned := map[string]int{}
+	deferred := 0
+	for _, c := range choices {
+		if c.Server == "" {
+			deferred++
+			continue
+		}
+		assigned[c.Server]++
+	}
+	if deferred != 1 || assigned["a"] != 1 || assigned["b"] != 1 {
+		t.Errorf("choices = %+v: want one task per server and one deferred", choices)
+	}
+}
+
+// TestMinCostBatchSingleItemMatchesGreedy: a 1-item batch must
+// reproduce the wrapped heuristic's decision exactly.
+func TestMinCostBatchSingleItemMatchesGreedy(t *testing.T) {
+	m := htm.New([]string{"a", "b"})
+	spec := batchPairSpec(20, 12)
+	ctx := &Context{Now: 0, Task: &task.Task{ID: 7, Spec: spec}, JobID: 7,
+		Candidates: []string{"a", "b"}, HTM: m}
+	inner := NewHMCT()
+	want, err := inner.ChooseScored(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bs := NewMinCostBatch(inner)
+	choices, err := bs.ChooseBatch(&Context{HTM: m}, []BatchItem{
+		{JobID: 7, Task: ctx.Task, Now: 0, Candidates: ctx.Candidates},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choices[0].Server != want.Server {
+		t.Errorf("batch of one chose %q, greedy chose %q", choices[0].Server, want.Server)
+	}
+	if choices[0].Score != want.Score {
+		t.Errorf("batch score %v, greedy score %v", choices[0].Score, want.Score)
+	}
+}
+
+// TestMinCostBatchCountObjectiveSpreads pins the documented behavior
+// for count-valued objectives: under MP (total perturbation) the
+// seconds-denominated defer estimate never undercuts a free server,
+// so a wave always spreads — the idle slow server has perturbation 0,
+// exactly what MP prefers.
+func TestMinCostBatchCountObjectiveSpreads(t *testing.T) {
+	m := htm.New([]string{"a", "b"})
+	spec := batchPairSpec(10, 500) // b is far slower, but idle
+	items := []BatchItem{
+		{JobID: 1, Task: &task.Task{ID: 1, Spec: spec}, Now: 0, Candidates: []string{"a", "b"}},
+		{JobID: 2, Task: &task.Task{ID: 2, Spec: spec}, Now: 0, Candidates: []string{"a", "b"}},
+	}
+	bs := NewMinCostBatch(NewMP())
+	choices, err := bs.ChooseBatch(&Context{HTM: m}, items)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]bool{}
+	for _, c := range choices {
+		got[c.Server] = true
+	}
+	if !got["a"] || !got["b"] {
+		t.Errorf("MP wave = %+v, want spread over both servers (zero perturbation each)", choices)
+	}
+}
+
+// TestMinCostBatchName documents the decorated name and delegation.
+func TestMinCostBatchName(t *testing.T) {
+	bs := NewMinCostBatch(NewMSF())
+	if bs.Name() != "MSF+batch" {
+		t.Errorf("Name = %q", bs.Name())
+	}
+	if !UsesHTM(bs) {
+		t.Error("MSF+batch should report HTM use")
+	}
+	if UsesHTM(NewMinCostBatch(NewMCT())) {
+		t.Error("MCT+batch should not report HTM use")
+	}
+}

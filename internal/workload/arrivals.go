@@ -68,6 +68,12 @@ const (
 	// defaultBurstPeriodD is the cycle length in units of the mean
 	// inter-arrival time D.
 	defaultBurstPeriodD = 20.0
+	// quietRateFloor is the minimum quiet-phase rate, as a fraction of
+	// the base rate λ0. BurstFactor values at or beyond 1/duty are
+	// clamped so the quiet rate never reaches zero: pure on/off
+	// traffic would force every quiet-phase gap through a zero-hazard
+	// walk (see poissonBurstGaps).
+	quietRateFloor = 1e-3
 )
 
 // gapGenerator returns a function producing the i-th inter-arrival gap
@@ -113,10 +119,16 @@ func poissonBurstGaps(sc Scenario, rng *stats.RNG) func(i int) float64 {
 	if duty <= 0 || duty >= 1 {
 		duty = defaultBurstDuty
 	}
-	// The quiet rate preserving the long-run mean must stay
-	// non-negative: factor may not exceed 1/duty.
-	if factor > 1/duty {
-		factor = 1 / duty
+	// The quiet rate preserving the long-run mean must stay strictly
+	// positive: at factor == 1/duty the quiet rate degenerates to
+	// exactly zero and every gap drawn in a quiet phase must walk to
+	// the next burst on a zero-hazard profile — a regime one rounding
+	// error away from dividing by zero or stalling. Clamp strictly
+	// below the degenerate point (quiet rate floored at quietRateFloor
+	// of the base rate), which also keeps the long-run mean at D by
+	// construction.
+	if factor > (1-quietRateFloor*(1-duty))/duty {
+		factor = (1 - quietRateFloor*(1-duty)) / duty
 	}
 	period := sc.BurstPeriod
 	if period <= 0 {

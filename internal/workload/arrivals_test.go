@@ -216,3 +216,50 @@ func TestPoissonBurstFactorCapped(t *testing.T) {
 		}
 	}
 }
+
+// TestPoissonBurstZeroQuietRateEdge pins the degenerate-factor fix: a
+// BurstFactor at (or far beyond) exactly 1/duty used to clamp to pure
+// on/off traffic with a zero quiet rate, forcing every quiet-phase
+// draw through a zero-hazard walk. The clamp now lands strictly below
+// 1/duty, so gaps stay finite and positive-rate everywhere while the
+// long-run mean inter-arrival time is still exactly D by construction.
+func TestPoissonBurstZeroQuietRateEdge(t *testing.T) {
+	for _, factor := range []float64{4, 1 / 0.25, 1e6} { // exactly 1/duty, and far past it
+		sc := PoissonBurst(20000, 10, 29)
+		sc.BurstFactor = factor
+		sc.BurstDuty = 0.25
+		mt := MustGenerate(sc)
+		for i := 1; i < mt.Len(); i++ {
+			g := mt.Tasks[i].Arrival - mt.Tasks[i-1].Arrival
+			if g < 0 || math.IsInf(g, 0) || math.IsNaN(g) {
+				t.Fatalf("factor %v: gap %d = %v", factor, i, g)
+			}
+		}
+		mean := mt.Horizon() / float64(mt.Len()-1)
+		if math.Abs(mean-10)/10 > 0.1 {
+			t.Errorf("factor %v: empirical mean gap %v, want ~10", factor, mean)
+		}
+	}
+}
+
+// TestPoissonBurstQuietRateStrictlyPositive checks the clamp at the
+// generator level: even for the degenerate configuration, some gap
+// must begin and end inside a quiet phase (impossible at quiet rate
+// exactly zero, where every quiet stretch is skipped whole).
+func TestPoissonBurstQuietRateStrictlyPositive(t *testing.T) {
+	sc := PoissonBurst(200000, 10, 7)
+	sc.BurstFactor = 1 / 0.25 // the degenerate point
+	sc.BurstDuty = 0.25
+	sc.BurstPeriod = 200 // burst 0..50, quiet 50..200 in each cycle
+	mt := MustGenerate(sc)
+	quietArrivals := 0
+	for _, tk := range mt.Tasks {
+		phase := math.Mod(tk.Arrival, 200)
+		if phase > 60 && phase < 190 {
+			quietArrivals++
+		}
+	}
+	if quietArrivals == 0 {
+		t.Error("no arrival ever lands in a quiet phase: quiet rate degenerated to zero")
+	}
+}

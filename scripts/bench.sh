@@ -21,7 +21,7 @@ set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-BenchmarkEvaluateAllLargeTestbed|BenchmarkHTMEvaluate|BenchmarkGridRun200|BenchmarkSchedulerDecisions|BenchmarkAgentSubmit|BenchmarkClusterSubmit}"
+PATTERN="${BENCH_PATTERN:-BenchmarkEvaluateAllLargeTestbed|BenchmarkHTMEvaluate|BenchmarkGridRun200|BenchmarkSchedulerDecisions|BenchmarkAgentSubmit|BenchmarkClusterSubmit|BenchmarkAssignSolve}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
 
