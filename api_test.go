@@ -368,6 +368,75 @@ func TestPublicAPICluster(t *testing.T) {
 	_ = casched.AffinityShardPolicy(nil)
 }
 
+// TestPublicAPIFederation drives the federated dispatcher through the
+// facade: options, policy membership, fresh fan-out submission, the
+// merged event stream via a StatsCollector, completions and the
+// member diagnostics.
+func TestPublicAPIFederation(t *testing.T) {
+	f, err := casched.NewFederation(
+		casched.WithFedMembers(2),
+		casched.WithFedHeuristic("hmct"),
+		casched.WithFedPolicy(casched.LeastLoadedShardPolicy()),
+		casched.WithFedSeed(3),
+		casched.WithFedHTMWorkers(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumMembers() != 2 {
+		t.Fatalf("members = %d, want 2", f.NumMembers())
+	}
+	stats := casched.NewStatsCollector()
+	defer f.Subscribe(stats.Collect)()
+
+	costs := make(map[string]casched.Cost)
+	for i := 0; i < 6; i++ {
+		costs[string(rune('a'+i))] = casched.Cost{Compute: 10 + float64(i)}
+	}
+	spec := &casched.Spec{Problem: "p", Variant: 1, CostOn: costs}
+	for name := range costs {
+		if err := f.AddServer(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := make([]casched.AgentRequest, 4)
+	for i := range reqs {
+		reqs[i] = casched.AgentRequest{JobID: i, TaskID: i, Spec: spec, Arrival: 0}
+	}
+	decs, err := f.SubmitBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range decs {
+		if d.Server == "" || !d.HasPrediction {
+			t.Fatalf("decision %d = %+v", i, d)
+		}
+	}
+	dec, err := f.Submit(casched.AgentRequest{JobID: 10, TaskID: 10, Spec: spec, Arrival: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Complete(10, dec.Server, dec.Predicted); err != nil {
+		t.Fatal(err)
+	}
+
+	st := stats.Snapshot()
+	if st.Decisions != 5 || st.Completions != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if got := f.InFlight(); got != 4 {
+		t.Errorf("in-flight = %d", got)
+	}
+	for _, mi := range f.Members() {
+		if mi.Evicted || !mi.Fresh {
+			t.Errorf("member %s not live+fresh: %+v", mi.Name, mi)
+		}
+	}
+	if len(f.FinalPredictions()) != 5 {
+		t.Errorf("final predictions = %d, want 5", len(f.FinalPredictions()))
+	}
+}
+
 // TestPublicAPIAgentCoreOptions covers the shared option idiom on
 // NewAgentCore, including the rejection of cluster-only options.
 func TestPublicAPIAgentCoreOptions(t *testing.T) {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"sync"
 	"testing"
+	"time"
 
 	"casched"
 	"casched/internal/assign"
@@ -836,6 +837,100 @@ func BenchmarkClusterSubmitBatch(b *testing.B) {
 			})
 		}
 	}
+}
+
+// --- Federation benchmarks: the dispatch layer behind a transport ---
+
+// newBenchFederation builds a fresh in-process HMCT federation over
+// the testbed. opts tweak the staleness machinery.
+func newBenchFederation(b *testing.B, names []string, members int, opts ...casched.FederationOption) *casched.Federation {
+	b.Helper()
+	all := append([]casched.FederationOption{
+		casched.WithFedMembers(members),
+		casched.WithFedHeuristic("HMCT"),
+		casched.WithFedSeed(17),
+	}, opts...)
+	f, err := casched.NewFederation(all...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range names {
+		if err := f.AddServer(name); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return f
+}
+
+// BenchmarkFedSubmit measures the federated fresh-mode decision path
+// at 4 members × 32 servers: every submission refreshes member
+// summaries inline and fans the evaluation out over every member's
+// partition — the exact (cluster-parity) mode, paying summary
+// bookkeeping on top of BenchmarkClusterSubmit's evaluation work.
+func BenchmarkFedSubmit(b *testing.B) {
+	names, batches := benchBatches(b, 32, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := newBenchFederation(b, names, 4)
+		b.StartTimer()
+		for _, batch := range batches {
+			for _, req := range batch {
+				if _, err := f.Submit(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkFedSubmitDegraded is BenchmarkFedSubmit with permanently
+// stale summaries: routing degrades to power-of-two-choices and each
+// decision is delegated whole to one member. Degraded mode exists for
+// availability, not speed — frozen summaries herd consecutive
+// decisions onto the stale leader, whose growing traces make each
+// evaluation dearer, so expect fewer decisions/s than the fan-out
+// path here (and the quality premium of benchmarks/fed-study.txt).
+func BenchmarkFedSubmitDegraded(b *testing.B) {
+	names, batches := benchBatches(b, 32, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := newBenchFederation(b, names, 4,
+			casched.WithFedStaleAfter(time.Nanosecond),
+			casched.WithFedSummaryInterval(time.Hour))
+		f.RefreshSummaries()
+		b.StartTimer()
+		for _, batch := range batches {
+			for _, req := range batch {
+				if _, err := f.Submit(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkFedSubmitBatch measures the federated hierarchical batch
+// path: bursts routed by power-of-two-choices over summary-backed
+// backlog scores to one member's batch prediction cache — the
+// cluster's throughput path behind the transport seam.
+func BenchmarkFedSubmitBatch(b *testing.B) {
+	names, batches := benchBatches(b, 32, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := newBenchFederation(b, names, 4)
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := f.SubmitBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 }
 
 // BenchmarkClusterSubmit measures the exact fan-out path (every shard

@@ -43,6 +43,7 @@ import (
 	"casched/internal/agent"
 	"casched/internal/cluster"
 	"casched/internal/experiments"
+	"casched/internal/fed"
 	"casched/internal/fluid"
 	"casched/internal/gantt"
 	"casched/internal/grid"
@@ -250,6 +251,93 @@ func AffinityShardPolicy(classify func(server string) string) ShardPolicy {
 // the casagent -shard-policy values.
 func ShardPolicyByName(name string) (ShardPolicy, bool) { return cluster.ByName(name) }
 
+// Federation types: N cooperating agents, each owning a server
+// partition, behind one dispatcher exchanging compact load summaries —
+// the cluster dispatch layer with the shards behind a transport seam
+// (in-process members here; remote casagent members via cmd/casfed).
+type (
+	// Federation is the federated dispatcher. Drive it like a Cluster:
+	// AddServer, Submit/SubmitBatch, Complete/Report, Subscribe.
+	Federation = fed.Dispatcher
+	// FederationOption is the functional construction idiom of
+	// NewFederation, mirroring ClusterOption.
+	FederationOption = fed.Option
+	// FederationConfig is the explicit form behind the options.
+	FederationConfig = fed.Config
+	// FedMember is the dispatcher's transport-agnostic member handle.
+	FedMember = fed.Member
+	// FedSummary is the compact load summary members publish.
+	FedSummary = fed.Summary
+	// FedMemberInfo is a diagnostic snapshot of one member's routing
+	// state.
+	FedMemberInfo = fed.MemberInfo
+	// FedServer is the federation dispatcher TCP runtime (cmd/casfed).
+	FedServer = fed.Server
+	// FedServerConfig parameterizes a FedServer.
+	FedServerConfig = fed.ServerConfig
+)
+
+// NewFederation constructs a federated dispatcher over in-process
+// member agents:
+//
+//	f, err := casched.NewFederation(
+//		casched.WithFedMembers(4),
+//		casched.WithFedHeuristic("HMCT"),
+//	)
+//
+// With fresh summaries (the in-process default) its placement
+// sequences are identical to the equivalent NewCluster; under stale
+// summaries it degrades to power-of-two-choices routing. See
+// internal/fed for the full model.
+func NewFederation(opts ...FederationOption) (*Federation, error) { return fed.New(opts...) }
+
+// WithFedMembers sets the number of in-process member agents.
+func WithFedMembers(n int) FederationOption { return fed.WithMembers(n) }
+
+// WithFedHeuristic selects the heuristic every member runs, by
+// registry name (case-insensitive).
+func WithFedHeuristic(name string) FederationOption { return fed.WithHeuristic(name) }
+
+// WithFedPolicy sets the server-to-member assignment policy (the
+// cluster's ShardPolicy seam).
+func WithFedPolicy(p ShardPolicy) FederationOption { return fed.WithPolicy(p) }
+
+// WithFedSeed seeds member decision randomness and routing sampling.
+func WithFedSeed(seed uint64) FederationOption { return fed.WithSeed(seed) }
+
+// WithFedHTMWorkers bounds each member core's HTM worker pool.
+func WithFedHTMWorkers(n int) FederationOption { return fed.WithHTMWorkers(n) }
+
+// WithFedHTMSync enables HTM↔execution synchronization on members.
+func WithFedHTMSync(on bool) FederationOption { return fed.WithHTMSync(on) }
+
+// WithFedBatchAssignment opts member SubmitBatch into k-task min-cost
+// assignment waves.
+func WithFedBatchAssignment(on bool) FederationOption { return fed.WithBatchAssignment(on) }
+
+// WithFedStaleAfter sets the summary age beyond which a member no
+// longer counts as fresh (degrading Submit to power-of-two-choices
+// routing).
+func WithFedStaleAfter(d time.Duration) FederationOption { return fed.WithStaleAfter(d) }
+
+// WithFedSummaryInterval sets the inline summary refresh period
+// (0 = refresh on every submission, the exact in-process mode).
+func WithFedSummaryInterval(d time.Duration) FederationOption { return fed.WithSummaryInterval(d) }
+
+// WithFedMaxFailures sets the consecutive-failure eviction threshold.
+func WithFedMaxFailures(n int) FederationOption { return fed.WithMaxFailures(n) }
+
+// NewFederationWithMembers constructs a dispatcher over caller-supplied
+// member handles (custom transports).
+func NewFederationWithMembers(cfg FederationConfig, members []FedMember) (*Federation, error) {
+	return fed.NewWithMembers(cfg, members)
+}
+
+// StartFedServer launches the federation dispatcher TCP runtime:
+// member agents join with casagent -join, servers and clients connect
+// exactly as they would to a plain agent.
+func StartFedServer(cfg FedServerConfig) (*FedServer, error) { return fed.StartServer(cfg) }
+
 // StatsCollector is the sample event-stream subscriber aggregating
 // decisions/sec, completions, mean absolute prediction error and
 // per-server occupancy. Subscribe its Collect method on an AgentCore
@@ -450,6 +538,26 @@ func RunBatchComparison(cfg BatchComparisonConfig) (*BatchComparisonResult, erro
 // FormatBatchComparison renders the study as a small report.
 func FormatBatchComparison(r *BatchComparisonResult) string {
 	return experiments.FormatBatchComparison(r)
+}
+
+// FederationStudyConfig parameterizes the federation staleness study:
+// centralized cluster vs fresh federation (decision parity) vs
+// stale-summary power-of-two-choices routing at several refresh lags,
+// measured by HTM-simulated sum-flow on the paper's bursty workload.
+type FederationStudyConfig = experiments.FederationStudyConfig
+
+// FederationStudyResult is the outcome of the federation study.
+type FederationStudyResult = experiments.FederationStudyResult
+
+// RunFederationStudy runs the federation staleness study (zero-value
+// config selects the committed benchmarks/fed-study.txt parameters).
+func RunFederationStudy(cfg FederationStudyConfig) (*FederationStudyResult, error) {
+	return experiments.FederationStudy(cfg)
+}
+
+// FormatFederationStudy renders the study as a small report.
+func FormatFederationStudy(r *FederationStudyResult) string {
+	return experiments.FormatFederationStudy(r)
 }
 
 // AccuracyResult quantifies HTM prediction quality over a full run.

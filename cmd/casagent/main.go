@@ -35,6 +35,8 @@ func main() {
 		htmSync   = flag.Bool("htm-sync", false, "enable HTM/execution synchronization")
 		shards    = flag.Int("shards", 1, "agent-core shards behind the dispatch layer")
 		policy    = flag.String("shard-policy", "hash", "server-to-shard policy: hash, least-loaded or affinity")
+		joinAddr  = flag.String("join", "", "federation dispatcher address to join as a member (casfed)")
+		name      = flag.String("name", "", "federation member name (default: the listen address)")
 	)
 	flag.Parse()
 
@@ -56,15 +58,21 @@ func main() {
 		Shards:      *shards,
 		ShardPolicy: shardPolicy,
 		Addr:        *addr,
+		Join:        *joinAddr,
+		Name:        *name,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casagent:", err)
 		os.Exit(1)
 	}
-	if *shards > 1 {
+	switch {
+	case *joinAddr != "":
+		fmt.Printf("casagent: %s scheduler listening on %s, joined federation at %s\n",
+			*heuristic, agent.Addr(), *joinAddr)
+	case *shards > 1:
 		fmt.Printf("casagent: %s scheduler listening on %s (clock scale %gx, %d shards, %s policy)\n",
 			*heuristic, agent.Addr(), *scale, *shards, *policy)
-	} else {
+	default:
 		fmt.Printf("casagent: %s scheduler listening on %s (clock scale %gx)\n",
 			*heuristic, agent.Addr(), *scale)
 	}

@@ -1,0 +1,91 @@
+// Command casfed runs a federation dispatcher on a TCP address: the
+// coordination point member agents join, and the address servers and
+// clients use exactly as they would a plain agent — the wire protocol
+// cannot tell a federation from a single casagent.
+//
+// Usage:
+//
+//	casfed -addr 127.0.0.1:7400 -heuristic HMCT
+//	casagent -addr 127.0.0.1:7411 -heuristic HMCT -join 127.0.0.1:7400 -name m1
+//	casagent -addr 127.0.0.1:7412 -heuristic HMCT -join 127.0.0.1:7400 -name m2
+//	casserver -agent 127.0.0.1:7400 ...   # servers register with the federation
+//	casclient -agent 127.0.0.1:7400 ...   # clients schedule through it
+//
+// Deployment order mirrors NetSolve's: dispatcher first, then members,
+// then servers, then clients. Registering servers are partitioned
+// across members by -policy; scheduling fans out over the members
+// while their load summaries are fresh and degrades to
+// power-of-two-choices routing over stale summaries when a member is
+// slow or partitioned (members that keep failing are evicted and
+// probed for readmission).
+//
+// With -study the command instead runs the federation staleness study
+// (no sockets): centralized cluster vs fresh federation (decision
+// parity) vs stale-summary routing at several refresh lags, measured
+// by HTM-simulated sum-flow on the paper's bursty workload — the
+// committed benchmarks/fed-study.txt.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"casched"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:7400", "TCP listen address")
+		heuristic = flag.String("heuristic", "HMCT", "federation-wide scheduling heuristic")
+		policy    = flag.String("policy", "hash", "server-to-member policy: hash, least-loaded or affinity")
+		scale     = flag.Float64("scale", 1, "virtual seconds per wall second")
+		seed      = flag.Uint64("seed", 1, "routing randomness seed")
+		stale     = flag.Duration("stale-after", 2*time.Second, "summary age that degrades routing")
+		interval  = flag.Duration("summary-interval", 500*time.Millisecond, "gossip refresh period")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-member RPC budget")
+		study     = flag.Bool("study", false, "run the stale-summary routing study and exit")
+	)
+	flag.Parse()
+
+	if *study {
+		r, err := casched.RunFederationStudy(casched.FederationStudyConfig{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casfed:", err)
+			os.Exit(1)
+		}
+		fmt.Print(casched.FormatFederationStudy(r))
+		return
+	}
+
+	shardPolicy, ok := casched.ShardPolicyByName(*policy)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "casfed: unknown policy %q\n", *policy)
+		os.Exit(1)
+	}
+	srv, err := casched.StartFedServer(casched.FedServerConfig{
+		Addr:            *addr,
+		Heuristic:       *heuristic,
+		Policy:          shardPolicy,
+		Seed:            *seed,
+		Clock:           casched.NewLiveClock(*scale),
+		StaleAfter:      *stale,
+		SummaryInterval: *interval,
+		Timeout:         *timeout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casfed:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("casfed: %s federation dispatcher listening on %s (clock scale %gx, %s policy, stale-after %s)\n",
+		*heuristic, srv.Addr(), *scale, *policy, *stale)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	srv.Close()
+	fmt.Println("casfed: stopped")
+}

@@ -56,7 +56,6 @@ package cluster
 import (
 	"errors"
 	"fmt"
-	"math"
 	"reflect"
 	"sort"
 	"sync"
@@ -68,14 +67,6 @@ import (
 
 // tieEps mirrors sched's tie tolerance for cross-shard comparisons.
 const tieEps = 1e-9
-
-// backlogTieFraction is the relative margin within which two shards'
-// projected backlogs count as equal for batch routing, deferring to
-// the balanced in-flight signal (see batchOrderLocked). The band is
-// wide: the backlog is a projection over an entire partition, and
-// overriding balance pays off only on qualitative gaps (a drained
-// shard vs a saturated one), not on comparable queues.
-const backlogTieFraction = 0.5
 
 // Config parameterizes a Cluster. Most callers use New with options.
 type Config struct {
@@ -304,13 +295,7 @@ func (cl *Cluster) AddServer(name string) {
 	if _, ok := cl.home[name]; ok {
 		return
 	}
-	sh := cl.policy.Assign(name, cl.counts)
-	if sh < 0 || sh >= len(cl.shards) {
-		sh %= len(cl.shards)
-		if sh < 0 {
-			sh += len(cl.shards)
-		}
-	}
+	sh := ClampIndex(cl.policy.Assign(name, cl.counts), len(cl.shards))
 	cl.home[name] = sh
 	cl.counts[sh]++
 	cl.shards[sh].AddServer(name)
@@ -518,7 +503,7 @@ func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, e
 			}
 			continue
 		}
-		if winner < 0 || betterCandidate(r.cand, best) {
+		if winner < 0 || BetterCandidate(r.cand, best) {
 			winner, best = i, r.cand
 		}
 	}
@@ -534,19 +519,6 @@ func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, e
 	}
 	cl.placed[req.JobID] = winner
 	return dec, winner, nil
-}
-
-// betterCandidate orders cross-shard winners: primary objective, then
-// the heuristic's tie-break objective; remaining ties keep the earlier
-// shard (stable).
-func betterCandidate(a, b agent.Candidate) bool {
-	if a.Score < b.Score-tieEps {
-		return true
-	}
-	if a.Score > b.Score+tieEps {
-		return false
-	}
-	return a.Tie < b.Tie-tieEps
 }
 
 // SubmitBatch routes a burst of simultaneous arrivals hierarchically
@@ -630,87 +602,20 @@ func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 }
 
 // batchOrderLocked returns the shard indexes in routing-preference
-// order for one batch arriving at date at. The head is the
-// power-of-two-choices winner: two distinct non-empty shards — the
-// cheap-signal leader (least in-flight per server, the classic
-// hierarchical pick) and one sampled uniformly from the rest —
-// compared on the HTM-backed score: the shard's projected backlog at
-// the burst's arrival, max(0, min ProjectedReady over the partition −
-// at), read from cached baselines (the arrival anchor makes drain
-// instants from independently advancing shard clocks comparable).
-// The smaller backlog wins; backlogs within backlogTieFraction of
-// each other are a tie decided by the balanced in-flight signal —
-// the backlog is a projection, and preferring a marginally
-// sooner-draining shard over the balanced choice concentrates
-// consecutive bursts on one shard's still-full traces (costlier
-// evaluations, no quality gain within projection noise). Biasing one
-// choice to the cheap leader keeps the load spread of the pure
-// least-loaded router (only two shards are ever scored, so routing
-// stays O(shards) with O(1) HTM reads per scored shard), while the
-// uniform second choice plus the drain comparison corrects the
-// in-flight signal where it misjudges actual work — many short tasks
-// vs few long ones — and avoids herding when counts are stale.
-// Monitor-only heuristics (no HTM) score by the in-flight signal
-// directly. The remaining shards follow ranked by the cheap signal,
-// as eligibility fallbacks for requests the winner cannot solve.
-// Caller holds cl.mu.
+// order for one batch arriving at date at: the shared
+// power-of-two-choices ranking (TwoChoicesOrder) over the shards'
+// live signals — in-flight counts and the O(1) min-ProjectedReady
+// drain memo from the HTM baseline cache. Caller holds cl.mu.
 func (cl *Cluster) batchOrderLocked(at float64) []int {
-	cheap := make([]float64, len(cl.shards))
-	order := make([]int, 0, len(cl.shards))
-	var nonEmpty []int
-	for i, core := range cl.shards {
-		order = append(order, i)
-		if cl.counts[i] > 0 {
-			cheap[i] = float64(core.InFlight()) / float64(cl.counts[i])
-			nonEmpty = append(nonEmpty, i)
-		}
+	idx := make([]int, len(cl.shards))
+	for i := range idx {
+		idx[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool { return cheap[order[a]] < cheap[order[b]] })
-	if len(nonEmpty) < 2 {
-		return order
-	}
-
-	// Two choices: the cheap-signal leader — the first non-empty
-	// shard of the freshly sorted ranking — and a uniform sample from
-	// the other non-empty shards; score just those.
-	a := nonEmpty[0]
-	for _, sh := range order {
-		if cl.counts[sh] > 0 {
-			a = sh
-			break
-		}
-	}
-	b := a
-	for b == a {
-		b = nonEmpty[cl.rng.Intn(len(nonEmpty))]
-	}
-	score := func(sh int) float64 {
-		if ready, ok := cl.shards[sh].MinProjectedReady(); ok {
-			return math.Max(0, ready-at)
-		}
-		return cheap[sh]
-	}
-	sa, sb := score(a), score(b)
-	// The sample overrides the leader only on a clear backlog margin;
-	// within the tie band the leader stands — a is the cheap-ranking
-	// minimum, so ties always resolve to it.
-	winner := a
-	if sb < sa && math.Abs(sa-sb) > backlogTieFraction*math.Max(sa, sb)+tieEps {
-		winner = b
-	}
-
-	// Promote only the winner; the loser and the rest keep their
-	// cheap-score ranking, so spill-over from requests the winner
-	// cannot solve still goes to the next-best eligible shard rather
-	// than to whatever shard the sample happened to draw.
-	promoted := make([]int, 0, len(order))
-	promoted = append(promoted, winner)
-	for _, sh := range order {
-		if sh != winner {
-			promoted = append(promoted, sh)
-		}
-	}
-	return promoted
+	return TwoChoicesOrder(idx,
+		func(i int) int { return cl.counts[i] },
+		func(i int) int { return cl.shards[i].InFlight() },
+		func(i int) (float64, bool) { return cl.shards[i].MinProjectedReady() },
+		at, cl.rng)
 }
 
 // Complete feeds a completion message to the shard that placed the

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestFederationStudyFreshParityAndStaleCost pins the tentpole's
+// measured claims on the committed study configuration (the one
+// rendered into benchmarks/fed-study.txt): with fresh summaries the
+// federation reproduces the centralized cluster's sum-flow exactly
+// (decision parity), and stale-summary power-of-two-choices routing
+// pays a bounded quality premium.
+func TestFederationStudyFreshParityAndStaleCost(t *testing.T) {
+	r, err := FederationStudy(FederationStudyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CentralSumFlow <= 0 || r.FreshSumFlow <= 0 {
+		t.Fatalf("degenerate sums: %+v", r)
+	}
+	// Fresh federation == centralized cluster, decision for decision,
+	// so the sum-flows must coincide beyond measurement noise.
+	if math.Abs(r.FreshSumFlow-r.CentralSumFlow) > 1e-6*r.CentralSumFlow {
+		t.Errorf("fresh federation sum-flow %.2f != centralized %.2f (parity broken)",
+			r.FreshSumFlow, r.CentralSumFlow)
+	}
+	if len(r.Stale) != 3 {
+		t.Fatalf("stale levels = %d, want 3", len(r.Stale))
+	}
+	for _, s := range r.Stale {
+		if s.SumFlow <= 0 {
+			t.Fatalf("degenerate stale sum-flow at refresh/%d", s.RefreshEvery)
+		}
+		ratio := s.SumFlow / r.CentralSumFlow
+		// Degraded routing trades quality for availability; the study
+		// quantifies the premium. Bound it so a routing regression (or
+		// an accidental exactness claim) trips the test.
+		if ratio < 0.99 {
+			t.Errorf("stale refresh/%d beat centralized (%.3f) — staleness dial broken?",
+				s.RefreshEvery, ratio)
+		}
+		if ratio > 5 {
+			t.Errorf("stale refresh/%d sum-flow ratio %.3f exceeds 5× centralized",
+				s.RefreshEvery, ratio)
+		}
+	}
+
+	out := FormatFederationStudy(r)
+	for _, want := range []string{"centralized cluster", "fresh summaries", "stale (refresh/", "ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted study lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFederationStudyDefaults pins the zero-value config resolution so
+// the committed study stays reproducible.
+func TestFederationStudyDefaults(t *testing.T) {
+	var cfg FederationStudyConfig
+	cfg.defaults()
+	if cfg.N != 240 || cfg.D != 6 || cfg.Seed != 11 || cfg.Heuristic != "HMCT" ||
+		cfg.Members != 4 || cfg.Replicas != 2 || len(cfg.RefreshEvery) != 3 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}

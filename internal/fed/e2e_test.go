@@ -1,0 +1,197 @@
+package fed
+
+// TestFedEndToEnd is the federation wire-protocol test: a real TCP
+// dispatcher, two member agents joined over localhost, four live
+// computational servers registered through the dispatcher, and a
+// client metatask driven through the standard client protocol — then
+// a member killed mid-experiment to exercise eviction on the wire.
+// CI runs it as its own -run step with a hard timeout so protocol
+// regressions fail fast and visibly.
+
+import (
+	"net/rpc"
+	"testing"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/cluster"
+	"casched/internal/live"
+	"casched/internal/sched"
+	"casched/internal/task"
+	"casched/internal/workload"
+)
+
+func TestFedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("federation e2e needs sockets and scaled wall time")
+	}
+	clock := live.NewClock(2000)
+
+	fs, err := StartServer(ServerConfig{
+		Heuristic:       "HMCT",
+		Policy:          cluster.LeastLoaded(),
+		Clock:           clock,
+		Seed:            7,
+		Timeout:         time.Second,
+		SummaryInterval: 50 * time.Millisecond,
+		StaleAfter:      2 * time.Second,
+		MaxFailures:     2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+
+	newMember := func(name string) *live.Agent {
+		s, err := sched.ByName("HMCT")
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := live.StartAgent(live.AgentConfig{
+			Scheduler: s,
+			Clock:     clock,
+			Seed:      7,
+			Join:      fs.Addr(),
+			Name:      name,
+		})
+		if err != nil {
+			t.Fatalf("member %s: %v", name, err)
+		}
+		return m
+	}
+	m1 := newMember("m1")
+	defer m1.Close()
+	m2 := newMember("m2")
+	defer m2.Close()
+
+	if got := fs.Dispatcher().NumMembers(); got != 2 {
+		t.Fatalf("members joined = %d, want 2", got)
+	}
+
+	serverNames := []string{"artimon", "cabestan", "spinnaker", "valette"}
+	for _, name := range serverNames {
+		srv, err := live.StartServer(live.ServerConfig{
+			Name:      name,
+			AgentAddr: fs.Addr(),
+			Clock:     clock,
+		})
+		if err != nil {
+			t.Fatalf("server %s: %v", name, err)
+		}
+		defer srv.Close()
+	}
+
+	// The least-loaded policy must have split the pool 2/2 between the
+	// members.
+	perMember := map[int]int{}
+	for _, name := range serverNames {
+		i, ok := fs.Dispatcher().MemberOf(name)
+		if !ok {
+			t.Fatalf("server %s not registered", name)
+		}
+		perMember[i]++
+	}
+	if perMember[0] != 2 || perMember[1] != 2 {
+		t.Fatalf("partition = %v, want 2 servers per member", perMember)
+	}
+
+	// Phase 1: a metatask through the standard client protocol —
+	// clients and servers cannot tell the federation from an agent.
+	mt := workload.MustGenerate(workload.Set2(16, 3, 5))
+	results, err := live.RunMetatask(fs.Addr(), mt, clock)
+	if err != nil {
+		t.Fatalf("metatask: %v", err)
+	}
+	used := map[int]bool{}
+	for _, r := range results {
+		if !r.Completed {
+			t.Fatalf("task %d did not complete", r.ID)
+		}
+		i, ok := fs.Dispatcher().MemberOf(r.Server)
+		if !ok {
+			t.Fatalf("task %d ran on unknown server %s", r.ID, r.Server)
+		}
+		used[i] = true
+	}
+	if !used[0] || !used[1] {
+		t.Errorf("placements did not span both members: %v", used)
+	}
+	if got := fs.Dispatcher().InFlight(); got != 0 {
+		t.Errorf("in-flight after completions = %d, want 0", got)
+	}
+
+	// Phase 2: a burst through the member SubmitBatch wire.
+	spec := task.WasteCPU(400)
+	at := clock.Now()
+	var batch []agent.Request
+	for i := 0; i < 6; i++ {
+		batch = append(batch, agent.Request{JobID: 2000 + i, TaskID: 2000 + i, Spec: spec, Arrival: at})
+	}
+	decs, err := fs.Dispatcher().SubmitBatch(batch)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i, dec := range decs {
+		if dec.Server == "" {
+			t.Fatalf("batch job %d unplaced", batch[i].JobID)
+		}
+		if err := fs.Dispatcher().Complete(batch[i].JobID, dec.Server, clock.Now()); err != nil {
+			t.Fatalf("batch complete: %v", err)
+		}
+	}
+
+	// Phase 3: kill member 2 and keep scheduling. The dispatcher must
+	// evict it (dial failures on summaries/evaluations) and route all
+	// further work to member 1's partition without a scheduling error.
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		if mi := fs.Dispatcher().Members(); mi[1].Evicted {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if mi := fs.Dispatcher().Members(); !mi[1].Evicted {
+		t.Fatalf("dead member not evicted: %+v", mi[1])
+	}
+
+	disp, err := rpc.Dial("tcp", fs.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disp.Close()
+	srvConns := map[string]*rpc.Client{}
+	defer func() {
+		for _, c := range srvConns {
+			c.Close()
+		}
+	}()
+	for i := 0; i < 6; i++ {
+		key := 3000 + i
+		var rep live.ScheduleReply
+		if err := disp.Call("Agent.Schedule", live.ScheduleArgs{
+			TaskKey: key, Problem: "wastecpu", Variant: 200, Arrival: clock.Now(),
+		}, &rep); err != nil {
+			t.Fatalf("schedule after member death: %v", err)
+		}
+		if m, _ := fs.Dispatcher().MemberOf(rep.Server); m != 0 {
+			t.Errorf("post-death task %d placed via dead member's partition (server %s)", key, rep.Server)
+		}
+		sc, ok := srvConns[rep.Addr]
+		if !ok {
+			sc, err = rpc.Dial("tcp", rep.Addr)
+			if err != nil {
+				t.Fatalf("dial server %s: %v", rep.Server, err)
+			}
+			srvConns[rep.Addr] = sc
+		}
+		var sub live.SubmitReply
+		if err := sc.Call("Server.Submit", live.SubmitArgs{
+			TaskKey: key, Problem: "wastecpu", Variant: 200,
+		}, &sub); err != nil {
+			t.Fatalf("submit after member death: %v", err)
+		}
+	}
+}

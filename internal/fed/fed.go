@@ -1,0 +1,1151 @@
+// Package fed implements multi-agent federation: N cooperating agents
+// (members), each owning a server partition, behind one Dispatcher
+// that exchanges compact load summaries with them over a pluggable
+// transport — the paper's single central agent generalized to the
+// cooperating-agents extension its §7 sketches.
+//
+// The Dispatcher is the cluster dispatch layer with the shards behind
+// a transport seam instead of in process. Each member periodically
+// publishes a Summary (in-flight count, server count, min projected
+// drain instant from the HTM baseline memos); routing picks its mode
+// per decision from the summaries' freshness:
+//
+//   - Fresh mode (every live member's summary younger than
+//     StaleAfter): Submit fans the request out — every member
+//     evaluates against its own partition (agent.Core.Evaluate, no
+//     commit), the dispatcher compares the scored winners and commits
+//     on exactly one member. With the in-process transport this is
+//     decision-for-decision the sharded cluster.Cluster, which the
+//     federated-vs-centralized parity test pins.
+//
+//   - Degraded mode (some member slow or partitioned): the dispatcher
+//     stops waiting on the whole pool and routes each decision whole
+//     to one member chosen by power-of-two-choices over the
+//     last-known summaries — stale data routes approximately rather
+//     than blocking exactly. The internal/experiments federation
+//     study quantifies the sum-flow cost of this trade on the
+//     paper's bursty workload.
+//
+// SubmitBatch always routes hierarchically (the cluster's
+// power-of-two-choices over summary-backed backlog scores), fresh
+// summaries simply being exact.
+//
+// Members that keep failing (RPC errors, timeouts) are evicted after
+// MaxFailures consecutive failures: their partition leaves the
+// candidate pool and only a periodic readmission probe (a Summary
+// fetch every ProbeInterval) still reaches them; the first successful
+// probe readmits the member with a fresh summary. Jobs placed on a
+// member stay accounted to it until their completion message arrives
+// or the completion routing gives up.
+//
+// The Dispatcher is safe for concurrent use; submissions serialize on
+// the dispatch lock, mirroring the cluster.
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/cluster"
+	"casched/internal/sched"
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// ErrNoMembers is returned when no live (non-evicted) member is
+// available to route to.
+var ErrNoMembers = errors.New("fed: no live member")
+
+// ErrUnreachable marks a member call that failed at the transport
+// level (dial failure, timeout, broken connection) as opposed to a
+// member that answered with a scheduling error. Member
+// implementations wrap transport failures with it; only unreachable
+// errors count toward a member's consecutive-failure eviction, so a
+// healthy member rejecting bad requests is never evicted for them.
+var ErrUnreachable = errors.New("fed: member unreachable")
+
+// ErrUncertain marks the subset of unreachable errors where the
+// request may nonetheless have been delivered and executed — a
+// timeout after send, a connection that broke mid-call. A mutating
+// call that fails this way must NOT be retried on another member
+// (the placement could land twice); a dial failure, by contrast,
+// provably never delivered anything and is safe to reroute.
+// ErrUncertain wraps ErrUnreachable, so it also counts toward
+// eviction.
+var ErrUncertain = fmt.Errorf("fed: delivery uncertain: %w", ErrUnreachable)
+
+// Config parameterizes a Dispatcher. Most callers use New with
+// options.
+type Config struct {
+	// Members is the number of in-process members New constructs
+	// (default 1). Ignored by NewWithMembers.
+	Members int
+	// Policy assigns servers to members (default cluster.Hash()) — the
+	// same ShardPolicy seam the cluster partitions with.
+	Policy cluster.ShardPolicy
+	// Heuristic is the registry name of the heuristic every member
+	// runs (required). The dispatcher needs it to know whether scored
+	// fan-out applies; members started out of process must be
+	// configured with the same heuristic.
+	Heuristic string
+	// Seed drives each member's decision randomness and the
+	// dispatcher's routing sample.
+	Seed uint64
+	// HTMWorkers, HTMSync and BatchAssignment configure in-process
+	// member cores (as the cluster options do per shard).
+	HTMWorkers      int
+	HTMSync         bool
+	BatchAssignment bool
+	// StaleAfter is the summary age beyond which a member no longer
+	// counts as fresh (default 2s). Any member gone stale degrades
+	// Submit routing from exact fan-out to power-of-two-choices.
+	StaleAfter time.Duration
+	// SummaryInterval is the minimum age before a submission refreshes
+	// a member's summary inline. 0 (the default) refreshes on every
+	// submission — exact summaries, the in-process mode. Runtimes with
+	// remote members set it to their gossip period and refresh in the
+	// background.
+	SummaryInterval time.Duration
+	// MaxFailures is the consecutive-failure count that evicts a
+	// member (default 3).
+	MaxFailures int
+	// ProbeInterval is the readmission probe period for evicted
+	// members (default StaleAfter).
+	ProbeInterval time.Duration
+	// Now is the time source for summary freshness (default time.Now;
+	// tests and the staleness study inject fakes).
+	Now func() time.Time
+}
+
+// Option configures a Dispatcher.
+type Option func(*Config)
+
+// WithMembers sets the number of in-process members New constructs.
+func WithMembers(n int) Option { return func(c *Config) { c.Members = n } }
+
+// WithPolicy sets the server-to-member assignment policy.
+func WithPolicy(p cluster.ShardPolicy) Option { return func(c *Config) { c.Policy = p } }
+
+// WithHeuristic selects the heuristic by registry name
+// (case-insensitive), one instance per member.
+func WithHeuristic(name string) Option { return func(c *Config) { c.Heuristic = name } }
+
+// WithSeed seeds member decision randomness and routing sampling.
+func WithSeed(seed uint64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithHTMWorkers bounds each member core's HTM worker pool.
+func WithHTMWorkers(n int) Option { return func(c *Config) { c.HTMWorkers = n } }
+
+// WithHTMSync enables HTM↔execution synchronization on every member.
+func WithHTMSync(on bool) Option { return func(c *Config) { c.HTMSync = on } }
+
+// WithBatchAssignment opts every member's SubmitBatch into k-task
+// min-cost assignment waves.
+func WithBatchAssignment(on bool) Option { return func(c *Config) { c.BatchAssignment = on } }
+
+// WithStaleAfter sets the summary freshness horizon.
+func WithStaleAfter(d time.Duration) Option { return func(c *Config) { c.StaleAfter = d } }
+
+// WithSummaryInterval sets the inline summary refresh period
+// (0 = every submission).
+func WithSummaryInterval(d time.Duration) Option { return func(c *Config) { c.SummaryInterval = d } }
+
+// WithMaxFailures sets the consecutive-failure eviction threshold.
+func WithMaxFailures(n int) Option { return func(c *Config) { c.MaxFailures = n } }
+
+// WithNow injects the freshness time source (tests, staleness
+// studies).
+func WithNow(now func() time.Time) Option { return func(c *Config) { c.Now = now } }
+
+func (cfg *Config) defaults() {
+	if cfg.Members == 0 {
+		cfg.Members = 1
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = cluster.Hash()
+	}
+	if cfg.StaleAfter == 0 {
+		cfg.StaleAfter = 2 * time.Second
+	}
+	if cfg.MaxFailures == 0 {
+		cfg.MaxFailures = 3
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = cfg.StaleAfter
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+}
+
+// memberState is the dispatcher's bookkeeping for one member.
+type memberState struct {
+	m        Member
+	summary  Summary
+	fetched  time.Time // last successful summary refresh; zero = never
+	fails    int       // consecutive transport failures
+	evicted  bool
+	probed   time.Time // last readmission probe of an evicted member
+	fetching bool      // a summary fetch is in flight (outside the lock)
+	unsub    func()    // event-stream cancel, for members that stream
+}
+
+// MemberInfo is a diagnostic snapshot of one member's routing state.
+type MemberInfo struct {
+	Name string
+	// Servers is the dispatcher's partition count for the member;
+	// ReportedServers is what the member's last summary claimed. A
+	// disagreement means the member lost (or never replayed) part of
+	// its partition — the restart-drift signal an operator watches.
+	Servers         int
+	ReportedServers int
+	InFlight        int
+	Evicted         bool
+	Fresh           bool
+	SummaryAge      time.Duration
+}
+
+// Dispatcher is the federated dispatch layer. Construct with New
+// (in-process members) or NewWithMembers (custom transports); drive
+// like a cluster: AddServer, Submit/SubmitBatch, Complete/Report.
+type Dispatcher struct {
+	cfg    Config
+	scored bool
+
+	// mu is the dispatch lock: membership, routing state, summaries
+	// and submissions.
+	mu      sync.Mutex
+	members []*memberState
+	home    map[string]int // server name -> member index
+	counts  []int          // servers per member
+	placed  map[int]int    // jobID -> member index, evicted on completion
+	rr      int            // rotation cursor for unscored heuristics
+	rng     *stats.RNG     // power-of-two-choices sampling
+
+	// emu guards the merged event stream of event-streaming members.
+	emu     sync.Mutex
+	subs    map[int]func(agent.Event)
+	nextSub int
+}
+
+// New constructs a Dispatcher over Config.Members fresh in-process
+// member cores, each running its own instance of the configured
+// heuristic over its server partition — the federated twin of
+// cluster.New.
+func New(opts ...Option) (*Dispatcher, error) {
+	var cfg Config
+	for _, o := range opts {
+		o(&cfg)
+	}
+	cfg.defaults()
+	if cfg.Members < 1 {
+		return nil, fmt.Errorf("fed: needs at least 1 member, got %d", cfg.Members)
+	}
+	members := make([]Member, cfg.Members)
+	for i := range members {
+		s, err := sched.ByName(cfg.Heuristic)
+		if err != nil {
+			return nil, fmt.Errorf("fed: %w", err)
+		}
+		core, err := agent.New(agent.Config{
+			Scheduler:       s,
+			Seed:            cfg.Seed,
+			HTMWorkers:      cfg.HTMWorkers,
+			HTMSync:         cfg.HTMSync,
+			BatchAssignment: cfg.BatchAssignment,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fed: member %d: %w", i, err)
+		}
+		members[i] = NewInProcess(fmt.Sprintf("member-%d", i), core)
+	}
+	return NewWithMembers(cfg, members)
+}
+
+// NewWithMembers constructs a Dispatcher over caller-supplied member
+// handles (remote transports, test fakes). The configured heuristic
+// name must match what the members run; members may also join later
+// through AddMember.
+func NewWithMembers(cfg Config, members []Member) (*Dispatcher, error) {
+	cfg.defaults()
+	if cfg.Heuristic == "" {
+		return nil, errors.New("fed: config needs a heuristic")
+	}
+	proto, err := sched.ByName(cfg.Heuristic)
+	if err != nil {
+		return nil, fmt.Errorf("fed: %w", err)
+	}
+	_, scored := proto.(sched.ScoredScheduler)
+	d := &Dispatcher{
+		cfg:    cfg,
+		scored: scored,
+		home:   make(map[string]int),
+		placed: make(map[int]int),
+		subs:   make(map[int]func(agent.Event)),
+		rng:    stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
+	}
+	for _, m := range members {
+		d.addMemberLocked(m)
+	}
+	return d, nil
+}
+
+// AddMember registers a member handle with the dispatcher (a remote
+// agent joining the federation). Idempotent by name: rejoining under
+// an existing name replaces the handle, clears the old failure state
+// and replays the member's server partition into the new handle —
+// a restarted casagent comes back with an empty core, but the
+// dispatcher still owns the partition map, so re-registration
+// restores the servers it is responsible for. A non-nil error means
+// part of the partition could not be replayed; the join should be
+// retried (the replay is idempotent).
+func (d *Dispatcher) AddMember(m Member) error {
+	d.mu.Lock()
+	idx := -1
+	var partition []string
+	for i, ms := range d.members {
+		if ms.m.Name() != m.Name() {
+			continue
+		}
+		idx = i
+		if ms.unsub != nil {
+			ms.unsub()
+			ms.unsub = nil
+		}
+		ms.m = m
+		ms.fails = 0
+		ms.evicted = false
+		ms.fetched = time.Time{}
+		if es, ok := m.(eventSource); ok {
+			ms.unsub = es.Subscribe(d.forward)
+		}
+		for name, home := range d.home {
+			if home == i {
+				partition = append(partition, name)
+			}
+		}
+		break
+	}
+	if idx < 0 {
+		d.addMemberLocked(m)
+		d.mu.Unlock()
+		return nil
+	}
+	d.mu.Unlock()
+
+	// Replay the whole partition OUTSIDE the dispatch lock (each call
+	// is a member RPC that may run to its timeout; routing for the
+	// other members must not stall behind it) — every failure is
+	// collected and surfaced rather than silently leaving the member
+	// with a partial server set, and the replay stops early if the
+	// member earns eviction mid-way. AddServer is idempotent by name
+	// on the member side, so an in-process handle swap (where the
+	// core kept its servers) is unharmed.
+	var errs []error
+	for _, name := range partition {
+		if err := m.AddServer(name); err != nil {
+			errs = append(errs, fmt.Errorf("fed: replay %s to member %s: %w", name, m.Name(), err))
+			d.mu.Lock()
+			evicted := false
+			if d.members[idx].m == m {
+				d.markTransportLocked(idx, err)
+				evicted = d.members[idx].evicted
+			}
+			d.mu.Unlock()
+			if evicted {
+				break
+			}
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// addMemberLocked appends a new member slot. Caller holds d.mu (or is
+// the constructor).
+func (d *Dispatcher) addMemberLocked(m Member) {
+	ms := &memberState{m: m}
+	if es, ok := m.(eventSource); ok {
+		ms.unsub = es.Subscribe(d.forward)
+	}
+	d.members = append(d.members, ms)
+	d.counts = append(d.counts, 0)
+}
+
+// forward relays one member event into the merged stream.
+func (d *Dispatcher) forward(ev agent.Event) {
+	d.emu.Lock()
+	defer d.emu.Unlock()
+	for _, fn := range d.subs {
+		fn(ev)
+	}
+}
+
+// Subscribe registers an observer on the merged event stream of every
+// event-streaming member (the in-process transport; remote members do
+// not stream events over the wire) and returns its cancel function.
+func (d *Dispatcher) Subscribe(fn func(agent.Event)) (cancel func()) {
+	d.emu.Lock()
+	defer d.emu.Unlock()
+	id := d.nextSub
+	d.nextSub++
+	d.subs[id] = fn
+	return func() {
+		d.emu.Lock()
+		defer d.emu.Unlock()
+		delete(d.subs, id)
+	}
+}
+
+// NumMembers returns the number of registered members (including
+// evicted ones).
+func (d *Dispatcher) NumMembers() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.members)
+}
+
+// Member exposes one member handle for inspection.
+func (d *Dispatcher) Member(i int) Member {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.members[i].m
+}
+
+// Members returns a diagnostic snapshot of every member's routing
+// state.
+func (d *Dispatcher) Members() []MemberInfo {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	now := d.cfg.Now()
+	out := make([]MemberInfo, len(d.members))
+	for i, ms := range d.members {
+		age := time.Duration(math.MaxInt64)
+		if !ms.fetched.IsZero() {
+			age = now.Sub(ms.fetched)
+		}
+		out[i] = MemberInfo{
+			Name:            ms.m.Name(),
+			Servers:         d.counts[i],
+			ReportedServers: ms.summary.Servers,
+			InFlight:        ms.summary.InFlight,
+			Evicted:         ms.evicted,
+			Fresh:           d.freshLocked(ms, now),
+			SummaryAge:      age,
+		}
+	}
+	return out
+}
+
+// Close cancels member event subscriptions and closes the member
+// handles.
+func (d *Dispatcher) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var errs []error
+	for _, ms := range d.members {
+		if ms.unsub != nil {
+			ms.unsub()
+			ms.unsub = nil
+		}
+		if err := ms.m.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// AddServer registers a server, routed to a member by the policy —
+// the same partitioning seam the cluster uses. A server the policy
+// would hand to an evicted member is rerouted among the live members
+// (the policy applied to the live subset), so registration keeps
+// working while part of the federation is partitioned.
+//
+// Idempotent by name, and the idempotent path replays: re-registering
+// an already-assigned server re-issues AddServer to its recorded
+// member, which heals a member that missed the first add (an
+// uncertain timeout, a restart). Assignments never move on
+// re-registration — the disjoint-partition invariant holds even
+// through delivery uncertainty, because an uncertain first add
+// records the assignment before surfacing its error.
+func (d *Dispatcher) AddServer(name string) error {
+	d.mu.Lock()
+	if i, ok := d.home[name]; ok {
+		m := d.members[i].m
+		d.mu.Unlock()
+		if err := m.AddServer(name); err != nil {
+			d.mu.Lock()
+			d.markTransportLocked(i, err)
+			d.mu.Unlock()
+			return fmt.Errorf("fed: member %s: %w", m.Name(), err)
+		}
+		return nil
+	}
+	if len(d.members) == 0 {
+		d.mu.Unlock()
+		return ErrNoMembers
+	}
+	i := cluster.ClampIndex(d.cfg.Policy.Assign(name, d.counts), len(d.members))
+	if d.members[i].evicted {
+		live := d.liveLocked()
+		if len(live) == 0 {
+			d.mu.Unlock()
+			return ErrNoMembers
+		}
+		sub := make([]int, len(live))
+		for k, li := range live {
+			sub[k] = d.counts[li]
+		}
+		i = live[cluster.ClampIndex(d.cfg.Policy.Assign(name, sub), len(live))]
+	}
+	// Record the assignment before the member RPC resolves its
+	// outcome class: an uncertain failure (the add may have been
+	// delivered) must pin the server to this member so a registration
+	// retry replays to the same partition instead of creating an
+	// overlapping one elsewhere. A certain failure (refused dial:
+	// provably not delivered) unwinds the record so the retry can
+	// reroute freely.
+	d.home[name] = i
+	d.counts[i]++
+	m := d.members[i].m
+	d.mu.Unlock()
+	err := m.AddServer(name)
+	if err == nil {
+		return nil
+	}
+	d.mu.Lock()
+	d.markTransportLocked(i, err)
+	if !errors.Is(err, ErrUncertain) {
+		if cur, ok := d.home[name]; ok && cur == i {
+			delete(d.home, name)
+			d.counts[i]--
+		}
+	}
+	d.mu.Unlock()
+	return fmt.Errorf("fed: member %s: %w", m.Name(), err)
+}
+
+// RemoveServer withdraws a server from its member's partition.
+func (d *Dispatcher) RemoveServer(name string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i, ok := d.home[name]
+	if !ok {
+		return nil
+	}
+	if err := d.members[i].m.RemoveServer(name); err != nil {
+		d.markTransportLocked(i, err)
+		return fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err)
+	}
+	delete(d.home, name)
+	d.counts[i]--
+	return nil
+}
+
+// Servers returns every registered server in sorted order.
+func (d *Dispatcher) Servers() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, 0, len(d.home))
+	for name := range d.home {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MemberOf returns the member index a server is assigned to.
+func (d *Dispatcher) MemberOf(server string) (int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	i, ok := d.home[server]
+	return i, ok
+}
+
+// InFlight returns the dispatcher's count of jobs it placed that have
+// not yet reported completion — its own accounting, maintained even
+// when a member dies between evaluation and the completion message.
+func (d *Dispatcher) InFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.placed)
+}
+
+// markFailureLocked records one transport failure; MaxFailures
+// consecutive failures evict the member. Caller holds d.mu.
+func (d *Dispatcher) markFailureLocked(i int) {
+	ms := d.members[i]
+	ms.fails++
+	if ms.fails >= d.cfg.MaxFailures && !ms.evicted {
+		ms.evicted = true
+		ms.probed = d.cfg.Now()
+	}
+}
+
+// markTransportLocked counts err toward eviction only when it is a
+// transport failure (ErrUnreachable): a member that answered — even
+// with a scheduling error — is alive. Caller holds d.mu.
+func (d *Dispatcher) markTransportLocked(i int, err error) {
+	if errors.Is(err, ErrUnreachable) {
+		d.markFailureLocked(i)
+	}
+}
+
+// markSuccessLocked resets the consecutive-failure count; a
+// successful probe of an evicted member readmits it. Caller holds
+// d.mu.
+func (d *Dispatcher) markSuccessLocked(i int) {
+	ms := d.members[i]
+	ms.fails = 0
+	ms.evicted = false
+}
+
+// freshLocked reports whether a member's summary is young enough for
+// exact fan-out routing. Caller holds d.mu.
+func (d *Dispatcher) freshLocked(ms *memberState, now time.Time) bool {
+	return !ms.evicted && !ms.fetched.IsZero() && now.Sub(ms.fetched) <= d.cfg.StaleAfter
+}
+
+// refreshDue refreshes, in parallel, every member whose summary is
+// older than SummaryInterval, and probes evicted members whose
+// ProbeInterval elapsed. Caller must NOT hold d.mu.
+func (d *Dispatcher) refreshDue() {
+	d.refresh(false)
+}
+
+// RefreshSummaries forces a summary fetch of every live member,
+// regardless of SummaryInterval — the background gossip tick of the
+// TCP runtime, and the staleness dial of the federation study.
+// Evicted members are still only probed on the ProbeInterval
+// schedule, so a dead member is not re-dialed on every tick.
+func (d *Dispatcher) RefreshSummaries() {
+	d.refresh(true)
+}
+
+// refresh collects the members due a summary fetch, performs the
+// fetches OUTSIDE the dispatch lock (a slow or partitioned member
+// must not stall routing for everyone else — its RPC can block for
+// the full transport timeout), and re-locks to apply the results.
+// A per-member in-flight flag keeps concurrent submissions from
+// piling onto the same slow member: whoever loses the race simply
+// routes on the summary it has, which is exactly the degraded-mode
+// contract.
+//
+// Readmission probes of evicted members run on their own
+// ProbeInterval schedule. On the inline (non-forced) path they are
+// fire-and-forget — a submission must not wait a transport timeout
+// on a member already known dead; the probe's result lands before a
+// later submission. The forced path (the gossip tick, explicit
+// RefreshSummaries) waits for them, since it runs off the dispatch
+// path and deterministic drivers rely on it.
+func (d *Dispatcher) refresh(force bool) {
+	d.mu.Lock()
+	now := d.cfg.Now()
+	var due, probes []int
+	var dueH, probeH []Member
+	for i, ms := range d.members {
+		if ms.fetching {
+			continue
+		}
+		if ms.evicted {
+			if now.Sub(ms.probed) < d.cfg.ProbeInterval {
+				continue
+			}
+			ms.probed = now
+			ms.fetching = true
+			probes = append(probes, i)
+			probeH = append(probeH, ms.m)
+			continue
+		}
+		if !force && !ms.fetched.IsZero() && now.Sub(ms.fetched) < d.cfg.SummaryInterval {
+			continue
+		}
+		ms.fetching = true
+		due = append(due, i)
+		dueH = append(dueH, ms.m)
+	}
+	d.mu.Unlock()
+
+	var wg sync.WaitGroup
+	fetchOne := func(i int, m Member) {
+		defer wg.Done()
+		s, err := m.Summary()
+		d.applyFetch(i, m, s, err)
+	}
+	for k, i := range probes {
+		if force {
+			wg.Add(1)
+			go fetchOne(i, probeH[k])
+			continue
+		}
+		// Fire-and-forget: the caller routes now, the probe's result
+		// lands for a later decision.
+		go func(i int, m Member) {
+			s, err := m.Summary()
+			d.applyFetch(i, m, s, err)
+		}(i, probeH[k])
+	}
+	for k, i := range due {
+		wg.Add(1)
+		go fetchOne(i, dueH[k])
+	}
+	wg.Wait()
+}
+
+// applyFetch records one summary-fetch outcome. The handle identity
+// check discards results that describe a process the member slot has
+// since been rejoined away from. Like every other member call, only
+// transport failures count toward eviction — a member that answers
+// its Summary with an application error is alive (it just never goes
+// fresh, so routing treats it as permanently stale).
+func (d *Dispatcher) applyFetch(i int, m Member, s Summary, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ms := d.members[i]
+	ms.fetching = false
+	if ms.m != m {
+		return
+	}
+	if err != nil {
+		d.markTransportLocked(i, err)
+		return
+	}
+	ms.summary = s
+	ms.fetched = d.cfg.Now()
+	d.markSuccessLocked(i)
+}
+
+// liveLocked returns the indexes of non-evicted members. Caller holds
+// d.mu.
+func (d *Dispatcher) liveLocked() []int {
+	out := make([]int, 0, len(d.members))
+	for i, ms := range d.members {
+		if !ms.evicted {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// allFreshLocked reports whether every listed member is fresh. Caller
+// holds d.mu.
+func (d *Dispatcher) allFreshLocked(live []int) bool {
+	now := d.cfg.Now()
+	for _, i := range live {
+		if !d.freshLocked(d.members[i], now) {
+			return false
+		}
+	}
+	return true
+}
+
+// Submit routes one task. Fresh summaries select exact fan-out
+// (every live member evaluates, commit on the winner — the
+// centralized cluster's decision); a stale or partitioned member
+// degrades routing to power-of-two-choices over the last-known
+// summaries, delegating the whole decision to the chosen member.
+// Heuristics without a comparable objective rotate over eligible
+// members, as the cluster does.
+func (d *Dispatcher) Submit(req agent.Request) (agent.Decision, error) {
+	d.refreshDue()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live := d.liveLocked()
+	if len(live) == 0 {
+		return agent.Decision{}, ErrNoMembers
+	}
+	if !d.scored {
+		return d.submitRotateLocked(req, live)
+	}
+	if d.allFreshLocked(live) {
+		return d.submitFanoutLocked(req, live)
+	}
+	return d.submitDegradedLocked(req, live)
+}
+
+// submitRotateLocked delegates one whole decision to a rotating
+// eligible member — the unscored-heuristic path, mirroring the
+// cluster's rotation. Caller holds d.mu.
+func (d *Dispatcher) submitRotateLocked(req agent.Request, live []int) (agent.Decision, error) {
+	var eligible []int
+	var errs []error
+	for _, i := range live {
+		if d.counts[i] == 0 {
+			continue
+		}
+		ok, err := d.members[i].m.CanSolve(req.Spec)
+		if err != nil {
+			d.markTransportLocked(i, err)
+			errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err))
+			continue
+		}
+		if ok {
+			eligible = append(eligible, i)
+		}
+	}
+	if len(eligible) == 0 {
+		if len(errs) > 0 {
+			return agent.Decision{}, errors.Join(errs...)
+		}
+		return agent.Decision{}, agent.ErrUnschedulable
+	}
+	i := eligible[d.rr%len(eligible)]
+	d.rr++
+	dec, err := d.members[i].m.Submit(req)
+	if err != nil {
+		d.markTransportLocked(i, err)
+		return agent.Decision{}, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err)
+	}
+	d.markSuccessLocked(i)
+	d.placed[req.JobID] = i
+	return dec, nil
+}
+
+// submitFanoutLocked is the fresh-mode exact path: parallel Evaluate
+// on every live member, commit on the best-scored candidate; a commit
+// that fails (the member died between Evaluate and Commit) marks the
+// failure, drops that candidate and retries on the next-best — the
+// decision never half-commits and the dispatcher's in-flight
+// accounting records only real commits. Caller holds d.mu.
+//
+// The error contract mirrors the cluster: as long as one member
+// produces a winner the decision commits; member errors surface only
+// when every member fails.
+func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.Decision, error) {
+	type result struct {
+		cand agent.Candidate
+		err  error
+	}
+	results := make([]result, len(live))
+	var wg sync.WaitGroup
+	for k, i := range live {
+		wg.Add(1)
+		go func(k, i int) {
+			defer wg.Done()
+			c, err := d.members[i].m.Evaluate(req)
+			results[k] = result{c, err}
+		}(k, i)
+	}
+	wg.Wait()
+
+	var errs []error
+	remaining := make([]int, 0, len(live)) // positions into results/live
+	for k, r := range results {
+		if r.err != nil {
+			if !errors.Is(r.err, agent.ErrUnschedulable) {
+				errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[live[k]].m.Name(), r.err))
+				d.markTransportLocked(live[k], r.err)
+			}
+			continue
+		}
+		remaining = append(remaining, k)
+	}
+	for len(remaining) > 0 {
+		// Winner among the remaining candidates: primary objective,
+		// then tie objective; remaining ties keep the earlier member
+		// (stable), exactly the cluster's cross-shard comparison.
+		best := 0
+		for p := 1; p < len(remaining); p++ {
+			if cluster.BetterCandidate(results[remaining[p]].cand, results[remaining[best]].cand) {
+				best = p
+			}
+		}
+		k := remaining[best]
+		i := live[k]
+		dec, err := d.members[i].m.Commit(req, results[k].cand.Server)
+		if err == nil {
+			d.markSuccessLocked(i)
+			d.placed[req.JobID] = i
+			return dec, nil
+		}
+		errs = append(errs, fmt.Errorf("fed: commit on member %s: %w", d.members[i].m.Name(), err))
+		d.markTransportLocked(i, err)
+		if errors.Is(err, ErrUncertain) {
+			// The member may have committed before the transport gave
+			// up. Committing the job elsewhere could place it twice,
+			// so surface the error instead — if the commit did land,
+			// the completion still reaches the member through the
+			// server-home fallback in Complete, keeping its core
+			// consistent.
+			return agent.Decision{}, errors.Join(errs...)
+		}
+		// Either the member answered with a rejection (membership
+		// changed between Evaluate and Commit) or the dial itself
+		// failed — in both cases nothing committed, so falling back to
+		// the next-best candidate is safe.
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	if len(errs) > 0 {
+		return agent.Decision{}, errors.Join(errs...)
+	}
+	return agent.Decision{}, agent.ErrUnschedulable
+}
+
+// submitDegradedLocked is the stale-mode path: members ordered by
+// power-of-two-choices over the last-known summaries, the decision
+// delegated whole to the first eligible member that accepts it.
+// Caller holds d.mu.
+func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.Decision, error) {
+	order := d.orderLocked(req.Arrival, live)
+	var errs []error
+	for _, i := range order {
+		if d.counts[i] == 0 {
+			continue
+		}
+		ok, err := d.members[i].m.CanSolve(req.Spec)
+		if err != nil {
+			d.markTransportLocked(i, err)
+			errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err))
+			continue
+		}
+		if !ok {
+			continue
+		}
+		dec, err := d.members[i].m.Submit(req)
+		if err != nil {
+			if errors.Is(err, agent.ErrUnschedulable) {
+				continue // membership changed member-side; try the next
+			}
+			errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err))
+			d.markTransportLocked(i, err)
+			if errors.Is(err, ErrUncertain) {
+				// Submit is evaluate+commit in one call, so an
+				// uncertain transport failure may have committed
+				// member-side. Trying the next member could place the
+				// job twice; surface the error instead (completions
+				// for a landed commit still route by server home, and
+				// the member is evicted after MaxFailures such errors
+				// anyway).
+				return agent.Decision{}, errors.Join(errs...)
+			}
+			continue // rejection or failed dial: nothing committed
+		}
+		d.markSuccessLocked(i)
+		d.placed[req.JobID] = i
+		return dec, nil
+	}
+	if len(errs) > 0 {
+		return agent.Decision{}, errors.Join(errs...)
+	}
+	return agent.Decision{}, agent.ErrUnschedulable
+}
+
+// SubmitBatch routes a burst hierarchically by power-of-two-choices
+// over the summary-backed member scores — structurally the cluster's
+// batch router, with summaries standing in for the in-process HTM
+// reads (fresh summaries make the routing identical; stale ones make
+// it approximate). The routed member pipelines its sub-batch through
+// its shard-local batch prediction cache.
+func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
+	d.refreshDue()
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	live := d.liveLocked()
+	if len(live) == 0 {
+		return make([]agent.Decision, len(reqs)), ErrNoMembers
+	}
+	if len(d.members) == 1 {
+		// Mirror the cluster's single-shard shortcut: no routing, no
+		// sampling.
+		i := live[0]
+		out, err := d.members[i].m.SubmitBatch(reqs)
+		if err != nil {
+			d.markTransportLocked(i, err)
+		}
+		if len(out) != len(reqs) {
+			out = make([]agent.Decision, len(reqs))
+		}
+		for k, dec := range out {
+			if dec.Server != "" {
+				d.placed[reqs[k].JobID] = i
+			}
+		}
+		return out, err
+	}
+	at := 0.0
+	if len(reqs) > 0 {
+		at = reqs[0].Arrival
+	}
+	order := d.orderLocked(at, live)
+
+	assign := make([]int, len(reqs))
+	var errs []error
+	subBatches := make(map[int][]int) // member -> request positions
+	// Bursts overwhelmingly share task specs, so memoize the
+	// eligibility probe per (member, spec) within the call — for
+	// remote members each probe is an RPC under the dispatch lock.
+	type solveKey struct {
+		member int
+		spec   *task.Spec
+	}
+	solvable := make(map[solveKey]bool)
+	canSolve := func(i int, spec *task.Spec) bool {
+		key := solveKey{i, spec}
+		if ok, seen := solvable[key]; seen {
+			return ok
+		}
+		ok, err := d.members[i].m.CanSolve(spec)
+		if err != nil {
+			d.markTransportLocked(i, err)
+			errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err))
+			ok = false
+		}
+		solvable[key] = ok
+		return ok
+	}
+	for k, req := range reqs {
+		assign[k] = -1
+		for _, i := range order {
+			if d.counts[i] == 0 {
+				continue
+			}
+			if canSolve(i, req.Spec) {
+				assign[k] = i
+				subBatches[i] = append(subBatches[i], k)
+				break
+			}
+		}
+		if assign[k] < 0 {
+			errs = append(errs, fmt.Errorf("fed: batch job %d: %w", req.JobID, agent.ErrUnschedulable))
+		}
+	}
+
+	out := make([]agent.Decision, len(reqs))
+	memberErrs := make(map[int]error, len(subBatches))
+	var wg sync.WaitGroup
+	var emu sync.Mutex
+	for i, positions := range subBatches {
+		wg.Add(1)
+		go func(i int, positions []int) {
+			defer wg.Done()
+			sub := make([]agent.Request, len(positions))
+			for k, pos := range positions {
+				sub[k] = reqs[pos]
+			}
+			decs, err := d.members[i].m.SubmitBatch(sub)
+			for k, pos := range positions {
+				if k < len(decs) {
+					out[pos] = decs[k]
+				}
+			}
+			if err != nil {
+				emu.Lock()
+				memberErrs[i] = err
+				emu.Unlock()
+			}
+		}(i, positions)
+	}
+	wg.Wait()
+	for i, err := range memberErrs {
+		errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err))
+		// Only transport failures count toward eviction; per-request
+		// scheduling errors inside a delivered batch (even a batch
+		// that failed wholesale, e.g. reused job ids) prove the member
+		// answered.
+		d.markTransportLocked(i, err)
+	}
+	for k, dec := range out {
+		if dec.Server != "" {
+			d.placed[reqs[k].JobID] = assign[k]
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// orderLocked returns member indexes in routing-preference order for
+// one decision at date at: the shared power-of-two-choices ranking
+// (cluster.TwoChoicesOrder — the exact logic the Cluster routes
+// with, which is what keeps fresh-summary routing in decision
+// parity) computed from the members' last-known summaries instead of
+// live core reads. Caller holds d.mu.
+func (d *Dispatcher) orderLocked(at float64, live []int) []int {
+	return cluster.TwoChoicesOrder(live,
+		func(i int) int { return d.counts[i] },
+		func(i int) int { return d.members[i].summary.InFlight },
+		func(i int) (float64, bool) {
+			s := d.members[i].summary
+			return s.MinReady, s.HasMinReady
+		},
+		at, d.rng)
+}
+
+// Complete feeds a completion message to the member that placed the
+// job (falling back to the server's owning member). The dispatcher's
+// in-flight record is consumed only once the member acknowledged: a
+// completion the member never saw leaves the job in its core, so
+// dropping the record early would let the two accountings diverge —
+// keeping it means a redelivered completion still routes to the
+// right member.
+func (d *Dispatcher) Complete(jobID int, server string, at float64) error {
+	d.mu.Lock()
+	i, fromPlaced := d.placed[jobID]
+	if !fromPlaced {
+		h, okh := d.home[server]
+		if !okh {
+			d.mu.Unlock()
+			return nil
+		}
+		i = h
+	}
+	m := d.members[i].m
+	d.mu.Unlock()
+	if err := m.Complete(jobID, server, at); err != nil {
+		d.mu.Lock()
+		d.markTransportLocked(i, err)
+		d.mu.Unlock()
+		return fmt.Errorf("fed: member %s: %w", m.Name(), err)
+	}
+	if fromPlaced {
+		d.mu.Lock()
+		if cur, ok := d.placed[jobID]; ok && cur == i {
+			delete(d.placed, jobID)
+		}
+		d.mu.Unlock()
+	}
+	return nil
+}
+
+// Report feeds a monitor report to the server's owning member.
+func (d *Dispatcher) Report(server string, load, at float64) error {
+	d.mu.Lock()
+	i, ok := d.home[server]
+	m := (*memberState)(nil)
+	if ok {
+		m = d.members[i]
+	}
+	d.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	if err := m.m.Report(server, load, at); err != nil {
+		d.mu.Lock()
+		d.markTransportLocked(i, err)
+		d.mu.Unlock()
+		return fmt.Errorf("fed: member %s: %w", m.m.Name(), err)
+	}
+	return nil
+}
+
+// FinalPredictions merges the end-of-run projections of members that
+// expose them (in-process members).
+func (d *Dispatcher) FinalPredictions() map[int]float64 {
+	d.mu.Lock()
+	members := make([]Member, len(d.members))
+	for i, ms := range d.members {
+		members[i] = ms.m
+	}
+	d.mu.Unlock()
+	out := make(map[int]float64)
+	for _, m := range members {
+		if fp, ok := m.(finalPredictor); ok {
+			for id, p := range fp.FinalPredictions() {
+				out[id] = p
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package fed
+
+import (
+	"casched/internal/agent"
+	"casched/internal/task"
+)
+
+// Summary is the compact load summary a member periodically publishes
+// to the dispatcher — the whole of what federation gossips about a
+// partition. InFlight and Servers feed the cheap balance signal
+// (in-flight per server, the classic hierarchical-agent ranking);
+// MinReady is the HTM-backed drain signal: the earliest projected
+// instant at which one of the member's servers drains its live work
+// (min ProjectedReady over the partition, an absolute experiment date
+// comparable across members against a common arrival anchor).
+// HasMinReady is false for monitor-only heuristics, where routing
+// falls back to the in-flight signal.
+type Summary struct {
+	// InFlight is the member's count of placed-but-uncompleted jobs.
+	InFlight int
+	// Servers is the member's registered-server count.
+	Servers int
+	// MinReady is min over the partition of the per-server projected
+	// drain instant (valid only when HasMinReady).
+	MinReady    float64
+	HasMinReady bool
+}
+
+// Member is the dispatcher's handle on one federated agent: the
+// transport seam. The in-process implementation wraps an agent.Core
+// directly (tests, benches, single-process federations); the TCP
+// implementation (Remote) drives a remote casagent over the live wire
+// protocol. Every method may fail — a transport error, distinct from
+// agent.ErrUnschedulable, counts toward the member's consecutive
+// failures and eventually evicts it.
+type Member interface {
+	// Name identifies the member in routing state and diagnostics.
+	Name() string
+	// AddServer / RemoveServer manage the member's server partition.
+	AddServer(server string) error
+	RemoveServer(server string) error
+	// CanSolve reports whether at least one of the member's servers
+	// solves the task — the dispatcher's eligibility probe.
+	CanSolve(spec *task.Spec) (bool, error)
+	// Evaluate runs the member's heuristic without committing
+	// (agent.Core.Evaluate): the fan-out half of a fresh-mode decision.
+	Evaluate(req agent.Request) (agent.Candidate, error)
+	// Commit commits a previously evaluated placement
+	// (agent.Core.Commit): the second half of a fresh-mode decision.
+	Commit(req agent.Request, server string) (agent.Decision, error)
+	// Submit delegates one whole decision to the member — the
+	// degraded-mode and unscored-rotation path.
+	Submit(req agent.Request) (agent.Decision, error)
+	// SubmitBatch pipelines a burst through the member's shard-local
+	// batch prediction cache.
+	SubmitBatch(reqs []agent.Request) ([]agent.Decision, error)
+	// Complete and Report feed execution feedback to the member that
+	// placed the job / owns the server.
+	Complete(jobID int, server string, at float64) error
+	Report(server string, load, at float64) error
+	// Summary returns the member's current load summary. It doubles as
+	// the liveness probe: a reachable member answers it.
+	Summary() (Summary, error)
+	// Close releases transport resources.
+	Close() error
+}
+
+// eventSource is the optional capability of members whose event stream
+// the dispatcher can merge (the in-process transport; remote members
+// do not stream events over the wire).
+type eventSource interface {
+	Subscribe(fn func(agent.Event)) (cancel func())
+}
+
+// finalPredictor is the optional capability behind
+// Dispatcher.FinalPredictions (in-process members).
+type finalPredictor interface {
+	FinalPredictions() map[int]float64
+}
+
+// InProcess is the in-process Member: a named agent.Core behind the
+// transport seam. It never fails and its summaries are exact, so a
+// dispatcher refreshing inline (SummaryInterval 0) reproduces the
+// sharded Cluster's decisions — the parity the federated-vs-central
+// test pins.
+type InProcess struct {
+	name string
+	core *agent.Core
+}
+
+// NewInProcess wraps a core as a federation member.
+func NewInProcess(name string, core *agent.Core) *InProcess {
+	return &InProcess{name: name, core: core}
+}
+
+// Core exposes the wrapped core (end-of-run inspection).
+func (m *InProcess) Core() *agent.Core { return m.core }
+
+func (m *InProcess) Name() string { return m.name }
+
+func (m *InProcess) AddServer(server string) error {
+	m.core.AddServer(server)
+	return nil
+}
+
+func (m *InProcess) RemoveServer(server string) error {
+	m.core.RemoveServer(server)
+	return nil
+}
+
+func (m *InProcess) CanSolve(spec *task.Spec) (bool, error) {
+	return m.core.CanSolve(spec), nil
+}
+
+func (m *InProcess) Evaluate(req agent.Request) (agent.Candidate, error) {
+	return m.core.Evaluate(req)
+}
+
+func (m *InProcess) Commit(req agent.Request, server string) (agent.Decision, error) {
+	return m.core.Commit(req, server)
+}
+
+func (m *InProcess) Submit(req agent.Request) (agent.Decision, error) {
+	return m.core.Submit(req)
+}
+
+func (m *InProcess) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
+	return m.core.SubmitBatch(reqs)
+}
+
+func (m *InProcess) Complete(jobID int, server string, at float64) error {
+	m.core.Complete(jobID, server, at)
+	return nil
+}
+
+func (m *InProcess) Report(server string, load, at float64) error {
+	m.core.Report(server, load, at)
+	return nil
+}
+
+func (m *InProcess) Summary() (Summary, error) {
+	s := Summary{InFlight: m.core.InFlight(), Servers: m.core.ServerCount()}
+	if ready, ok := m.core.MinProjectedReady(); ok {
+		s.MinReady, s.HasMinReady = ready, true
+	}
+	return s, nil
+}
+
+func (m *InProcess) Subscribe(fn func(agent.Event)) (cancel func()) {
+	return m.core.Subscribe(fn)
+}
+
+func (m *InProcess) FinalPredictions() map[int]float64 {
+	return m.core.FinalPredictions()
+}
+
+func (m *InProcess) Close() error { return nil }

@@ -1,0 +1,290 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"maps"
+	"net"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/live"
+	"casched/internal/task"
+)
+
+// ErrTimeout marks a member RPC that exceeded the per-member budget;
+// it counts as a transport failure toward eviction.
+var ErrTimeout = errors.New("fed: member call timed out")
+
+// defaultTimeout bounds member RPCs when RemoteConfig leaves Timeout
+// zero.
+const defaultTimeout = 2 * time.Second
+
+// Remote is the TCP Member: a handle on a remote casagent's "Member"
+// RPC service, speaking the live wire protocol. Calls are bounded by
+// the per-member timeout; a timed-out or broken connection is dropped
+// and redialed lazily on the next call, so a member that recovers
+// becomes reachable again without dispatcher intervention (the
+// readmission probe exercises exactly this path).
+//
+// Tasks cross the wire as (Problem, Variant) registry pairs, so only
+// registry-resolvable specs can be federated over TCP — the same
+// restriction the client protocol has.
+type Remote struct {
+	name    string
+	addr    string
+	timeout time.Duration
+
+	mu     sync.Mutex
+	client *rpc.Client
+}
+
+// NewRemote returns a lazy handle on the member listening at addr. A
+// non-positive timeout selects the default (2s).
+func NewRemote(name, addr string, timeout time.Duration) *Remote {
+	if timeout <= 0 {
+		timeout = defaultTimeout
+	}
+	return &Remote{name: name, addr: addr, timeout: timeout}
+}
+
+func (r *Remote) Name() string { return r.name }
+
+// Addr returns the member's RPC address.
+func (r *Remote) Addr() string { return r.addr }
+
+// conn returns the live client, dialing if needed.
+func (r *Remote) conn() (*rpc.Client, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		return r.client, nil
+	}
+	c, err := net.DialTimeout("tcp", r.addr, r.timeout)
+	if err != nil {
+		return nil, fmt.Errorf("fed: dial member %s: %w: %w", r.name, ErrUnreachable, err)
+	}
+	r.client = rpc.NewClient(c)
+	return r.client, nil
+}
+
+// reset detaches the connection so the next call redials. With
+// deferred set the old client is closed only after a grace period of
+// one timeout: a timed-out call proves nothing about OTHER calls in
+// flight on the same connection (the gossip fetch runs outside the
+// dispatch lock and can overlap a commit), and closing immediately
+// would abort them all as spurious uncertain failures. A connection
+// that already broke is closed at once — everything on it is failing
+// anyway.
+func (r *Remote) reset(c *rpc.Client, deferred bool) {
+	r.mu.Lock()
+	if r.client == c {
+		r.client = nil
+	}
+	r.mu.Unlock()
+	if c == nil {
+		return
+	}
+	if deferred {
+		time.AfterFunc(r.timeout, func() { c.Close() })
+		return
+	}
+	c.Close()
+}
+
+// call performs one bounded RPC. The error taxonomy drives the
+// dispatcher's safety decisions: a server-side error (the member
+// answered, the call failed) keeps the connection and carries no
+// transport sentinel; a dial failure wraps plain ErrUnreachable (the
+// request provably never left, rerouting is safe); a timeout or a
+// connection that broke mid-call wraps ErrUncertain (the request may
+// have been executed member-side, mutating calls must not be
+// rerouted). Unreachable-class failures drop the connection so the
+// next call redials.
+func (r *Remote) call(method string, args, reply any) error {
+	c, err := r.conn()
+	if err != nil {
+		return err
+	}
+	call := c.Go(method, args, reply, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(r.timeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+		if call.Error == nil {
+			return nil
+		}
+		if _, ok := call.Error.(rpc.ServerError); ok {
+			return fmt.Errorf("fed: member %s: %w", r.name, call.Error)
+		}
+		// Everything else — including rpc.ErrShutdown — is classified
+		// uncertain: net/rpc also fails PENDING calls with ErrShutdown
+		// when the connection dies mid-flight, so the error does not
+		// prove the request was never sent. Conservative beats a
+		// double placement.
+		r.reset(c, false)
+		return fmt.Errorf("fed: member %s: %w: %w", r.name, ErrUncertain, call.Error)
+	case <-timer.C:
+		r.reset(c, true)
+		return fmt.Errorf("fed: member %s: %s: %w: %w", r.name, method, ErrUncertain, ErrTimeout)
+	}
+}
+
+// wireEquivalent reports whether a spec matches the registry
+// definition the member will resolve from its (Problem, Variant)
+// key. A spec that reuses a registry key but carries rewritten costs
+// or memory would silently schedule against the wrong cost table on
+// the member side, so it is rejected as non-transportable instead.
+func wireEquivalent(spec, registry *task.Spec) bool {
+	return spec.MemoryMB == registry.MemoryMB && maps.Equal(spec.CostOn, registry.CostOn)
+}
+
+// wireTask maps a core request onto the member wire. Specs must be
+// registry-resolvable AND identical to the registry definition —
+// (Problem, Variant) is all that crosses the wire.
+func wireTask(req agent.Request) (live.MemberTaskArgs, error) {
+	if req.Spec == nil {
+		return live.MemberTaskArgs{}, fmt.Errorf("fed: job %d has no spec", req.JobID)
+	}
+	resolved, err := task.Resolve(req.Spec.Problem, req.Spec.Variant)
+	if err != nil {
+		return live.MemberTaskArgs{}, fmt.Errorf("fed: job %d is not wire-transportable: %w", req.JobID, err)
+	}
+	if !wireEquivalent(req.Spec, resolved) {
+		return live.MemberTaskArgs{}, fmt.Errorf("fed: job %d is not wire-transportable: spec %s/%d differs from the registry definition",
+			req.JobID, req.Spec.Problem, req.Spec.Variant)
+	}
+	return live.MemberTaskArgs{
+		JobID:     req.JobID,
+		TaskID:    req.TaskID,
+		Attempt:   req.Attempt,
+		Problem:   req.Spec.Problem,
+		Variant:   req.Spec.Variant,
+		Arrival:   req.Arrival,
+		Submitted: req.Submitted,
+	}, nil
+}
+
+func (r *Remote) AddServer(server string) error {
+	return r.call("Member.AddServer", live.MemberServerArgs{Name: server}, &live.Ack{})
+}
+
+func (r *Remote) RemoveServer(server string) error {
+	return r.call("Member.RemoveServer", live.MemberServerArgs{Name: server}, &live.Ack{})
+}
+
+func (r *Remote) CanSolve(spec *task.Spec) (bool, error) {
+	if spec == nil {
+		return false, nil
+	}
+	resolved, err := task.Resolve(spec.Problem, spec.Variant)
+	if err != nil || !wireEquivalent(spec, resolved) {
+		return false, nil // not wire-transportable: not this member's problem
+	}
+	var reply live.MemberCanSolveReply
+	if err := r.call("Member.CanSolve", live.MemberCanSolveArgs{Problem: spec.Problem, Variant: spec.Variant}, &reply); err != nil {
+		return false, err
+	}
+	return reply.OK, nil
+}
+
+func (r *Remote) Evaluate(req agent.Request) (agent.Candidate, error) {
+	args, err := wireTask(req)
+	if err != nil {
+		return agent.Candidate{}, err
+	}
+	var reply live.MemberEvalReply
+	if err := r.call("Member.Evaluate", args, &reply); err != nil {
+		return agent.Candidate{}, err
+	}
+	if reply.Unschedulable {
+		return agent.Candidate{}, agent.ErrUnschedulable
+	}
+	return agent.Candidate{Server: reply.Server, Score: reply.Score, Tie: reply.Tie, Scored: reply.Scored}, nil
+}
+
+func (r *Remote) Commit(req agent.Request, server string) (agent.Decision, error) {
+	args, err := wireTask(req)
+	if err != nil {
+		return agent.Decision{}, err
+	}
+	var reply live.MemberDecisionReply
+	if err := r.call("Member.Commit", live.MemberCommitArgs{Task: args, Server: server}, &reply); err != nil {
+		return agent.Decision{}, err
+	}
+	return agent.Decision{JobID: req.JobID, Server: reply.Server,
+		Predicted: reply.Predicted, HasPrediction: reply.HasPrediction}, nil
+}
+
+func (r *Remote) Submit(req agent.Request) (agent.Decision, error) {
+	args, err := wireTask(req)
+	if err != nil {
+		return agent.Decision{}, err
+	}
+	var reply live.MemberDecisionReply
+	if err := r.call("Member.Submit", args, &reply); err != nil {
+		return agent.Decision{}, err
+	}
+	if reply.Unschedulable {
+		return agent.Decision{}, agent.ErrUnschedulable
+	}
+	return agent.Decision{JobID: req.JobID, Server: reply.Server,
+		Predicted: reply.Predicted, HasPrediction: reply.HasPrediction}, nil
+}
+
+func (r *Remote) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
+	args := live.MemberBatchArgs{Tasks: make([]live.MemberTaskArgs, len(reqs))}
+	for i, req := range reqs {
+		t, err := wireTask(req)
+		if err != nil {
+			return make([]agent.Decision, len(reqs)), err
+		}
+		args.Tasks[i] = t
+	}
+	var reply live.MemberBatchReply
+	if err := r.call("Member.SubmitBatch", args, &reply); err != nil {
+		return make([]agent.Decision, len(reqs)), err
+	}
+	out := make([]agent.Decision, len(reqs))
+	for i, d := range reply.Decisions {
+		if i >= len(out) {
+			break
+		}
+		out[i] = agent.Decision{JobID: reqs[i].JobID, Server: d.Server,
+			Predicted: d.Predicted, HasPrediction: d.HasPrediction}
+	}
+	if reply.Error != "" {
+		return out, fmt.Errorf("fed: member %s batch: %s", r.name, reply.Error)
+	}
+	return out, nil
+}
+
+func (r *Remote) Complete(jobID int, server string, at float64) error {
+	return r.call("Member.Complete", live.TaskDoneArgs{TaskKey: jobID, Server: server, At: at}, &live.Ack{})
+}
+
+func (r *Remote) Report(server string, load, at float64) error {
+	return r.call("Member.Report", live.LoadReportArgs{Name: server, Load: load, At: at}, &live.Ack{})
+}
+
+func (r *Remote) Summary() (Summary, error) {
+	var reply live.MemberSummaryReply
+	if err := r.call("Member.Summary", live.Ack{}, &reply); err != nil {
+		return Summary{}, err
+	}
+	return Summary{InFlight: reply.InFlight, Servers: reply.Servers,
+		MinReady: reply.MinReady, HasMinReady: reply.HasMinReady}, nil
+}
+
+func (r *Remote) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.client != nil {
+		err := r.client.Close()
+		r.client = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package fed
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/cluster"
+	"casched/internal/live"
+	"casched/internal/task"
+)
+
+// ServerConfig parameterizes a federation dispatcher runtime
+// (cmd/casfed).
+type ServerConfig struct {
+	// Addr is the TCP listen address (default "127.0.0.1:0").
+	Addr string
+	// Heuristic is the federation-wide heuristic name; joining members
+	// must run the same one.
+	Heuristic string
+	// Policy assigns registering servers to members (default hash).
+	Policy cluster.ShardPolicy
+	// Seed drives routing randomness.
+	Seed uint64
+	// Clock stamps arrival dates for client requests.
+	Clock *live.Clock
+	// StaleAfter, SummaryInterval, MaxFailures tune the dispatcher
+	// (see Config). SummaryInterval additionally paces the background
+	// gossip loop (default 500ms).
+	StaleAfter      time.Duration
+	SummaryInterval time.Duration
+	MaxFailures     int
+	// Timeout bounds each member RPC (default 2s).
+	Timeout time.Duration
+}
+
+// Server is the federation dispatcher runtime: a TCP listener exposing
+// the client-facing "Agent" service (Register/Schedule/TaskDone/
+// LoadReport — clients and computational servers cannot tell a
+// federation from a plain agent) plus the "Fed" service member agents
+// join through. Deployment order mirrors NetSolve's: dispatcher
+// first, then members (casagent -join), then servers, then clients.
+type Server struct {
+	cfg ServerConfig
+	d   *Dispatcher
+
+	mu    sync.Mutex
+	addrs map[string]string // server name -> RPC address
+
+	lis      net.Listener
+	srv      *rpc.Server
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// StartServer launches a federation dispatcher.
+func StartServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Heuristic == "" {
+		return nil, errors.New("fed: server needs a heuristic")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("fed: server needs a clock")
+	}
+	if cfg.SummaryInterval == 0 {
+		cfg.SummaryInterval = 500 * time.Millisecond
+	}
+	d, err := NewWithMembers(Config{
+		Heuristic:       cfg.Heuristic,
+		Policy:          cfg.Policy,
+		Seed:            cfg.Seed,
+		StaleAfter:      cfg.StaleAfter,
+		SummaryInterval: cfg.SummaryInterval,
+		MaxFailures:     cfg.MaxFailures,
+	}, nil)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:   cfg,
+		d:     d,
+		addrs: make(map[string]string),
+		stop:  make(chan struct{}),
+	}
+	addr := cfg.Addr
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("fed: listen: %w", err)
+	}
+	s.lis = lis
+	s.srv = rpc.NewServer()
+	if err := s.srv.RegisterName("Fed", &FedService{s}); err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("fed: rpc register: %w", err)
+	}
+	if err := s.srv.RegisterName("Agent", &FedAgentService{s}); err != nil {
+		lis.Close()
+		return nil, fmt.Errorf("fed: rpc register: %w", err)
+	}
+	go s.serve()
+	s.wg.Add(1)
+	go s.gossipLoop()
+	return s, nil
+}
+
+// Addr returns the dispatcher's RPC address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Dispatcher exposes the routing layer (diagnostics, studies).
+func (s *Server) Dispatcher() *Dispatcher { return s.d }
+
+// Close stops the listener and the gossip loop and closes member
+// handles. Safe to call more than once.
+func (s *Server) Close() error {
+	var err error
+	s.stopOnce.Do(func() {
+		close(s.stop)
+		err = s.lis.Close()
+		s.wg.Wait()
+		if derr := s.d.Close(); err == nil {
+			err = derr
+		}
+	})
+	return err
+}
+
+// serve accepts RPC connections until the listener closes.
+func (s *Server) serve() {
+	for {
+		conn, err := s.lis.Accept()
+		if err != nil {
+			return
+		}
+		go s.srv.ServeConn(conn)
+	}
+}
+
+// gossipLoop periodically refreshes every member's summary — the
+// federation's load-summary exchange, which also probes evicted
+// members for readmission.
+func (s *Server) gossipLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SummaryInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.d.RefreshSummaries()
+		}
+	}
+}
+
+// FedService is the member-facing RPC surface.
+type FedService struct{ s *Server }
+
+// Join admits a member agent into the federation. The member's
+// heuristic must match the dispatcher's: cross-member score
+// comparison assumes one objective.
+func (f *FedService) Join(args live.JoinArgs, _ *live.Ack) error {
+	if args.Name == "" || args.Addr == "" {
+		return errors.New("fed: join needs a name and an address")
+	}
+	if !strings.EqualFold(args.Heuristic, f.s.cfg.Heuristic) {
+		return fmt.Errorf("fed: member %s runs %s, federation runs %s",
+			args.Name, args.Heuristic, f.s.cfg.Heuristic)
+	}
+	if err := f.s.d.AddMember(NewRemote(args.Name, args.Addr, f.s.cfg.Timeout)); err != nil {
+		// A partial partition replay is surfaced to the joiner, which
+		// can simply rejoin: the replay is idempotent.
+		return err
+	}
+	// Pull the first summary immediately so a freshly joined member is
+	// routable without waiting out a gossip tick.
+	f.s.d.RefreshSummaries()
+	return nil
+}
+
+// FedAgentService speaks the client half of the live wire protocol on
+// behalf of the federation, so casserver and casclient drive a
+// federation unchanged.
+type FedAgentService struct{ s *Server }
+
+// Register routes a computational server into a member's partition
+// via the shard policy and records its address for Schedule replies.
+func (f *FedAgentService) Register(args live.RegisterArgs, _ *live.Ack) error {
+	f.s.mu.Lock()
+	f.s.addrs[args.Name] = args.Addr
+	f.s.mu.Unlock()
+	return f.s.d.AddServer(args.Name)
+}
+
+// Schedule picks a server for a client request through the federated
+// dispatcher.
+func (f *FedAgentService) Schedule(args live.ScheduleArgs, reply *live.ScheduleReply) error {
+	spec, err := task.Resolve(args.Problem, args.Variant)
+	if err != nil {
+		return err
+	}
+	dec, err := f.s.d.Submit(agent.Request{
+		JobID:     args.TaskKey,
+		TaskID:    args.TaskKey,
+		Spec:      spec,
+		Arrival:   f.s.cfg.Clock.Now(),
+		Submitted: args.Arrival,
+	})
+	if errors.Is(err, agent.ErrUnschedulable) {
+		return fmt.Errorf("fed: no server solves %s", spec.Name())
+	}
+	if err != nil {
+		return err
+	}
+	f.s.mu.Lock()
+	addr := f.s.addrs[dec.Server]
+	f.s.mu.Unlock()
+	*reply = live.ScheduleReply{Server: dec.Server, Addr: addr}
+	return nil
+}
+
+// TaskDone relays a server's completion message to the placing
+// member.
+func (f *FedAgentService) TaskDone(args live.TaskDoneArgs, _ *live.Ack) error {
+	return f.s.d.Complete(args.TaskKey, args.Server, args.At)
+}
+
+// LoadReport relays a monitor report to the server's owning member.
+func (f *FedAgentService) LoadReport(args live.LoadReportArgs, _ *live.Ack) error {
+	return f.s.d.Report(args.Name, args.Load, args.At)
+}

@@ -39,6 +39,14 @@ type AgentConfig struct {
 	// Addr is the TCP listen address (default "127.0.0.1:0", an
 	// ephemeral loopback port).
 	Addr string
+	// Join, when non-empty, is a federation dispatcher's RPC address:
+	// after listening, the agent announces itself with Fed.Join and
+	// serves as a federation member (its "Member" RPC service drives
+	// the core). Joining requires a single core (Shards <= 1).
+	Join string
+	// Name is the agent's federation member name (default: its listen
+	// address).
+	Name string
 }
 
 // Engine is the decision surface the live transport drives: the single
@@ -67,6 +75,8 @@ type Agent struct {
 
 	mu    sync.Mutex
 	addrs map[string]string // server name -> RPC address
+	conns map[net.Conn]struct{}
+	done  bool
 
 	lis net.Listener
 	srv *rpc.Server
@@ -113,6 +123,7 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		engine: engine,
 		core:   core,
 		addrs:  make(map[string]string),
+		conns:  make(map[net.Conn]struct{}),
 	}
 	addr := cfg.Addr
 	if addr == "" {
@@ -128,15 +139,49 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		lis.Close()
 		return nil, fmt.Errorf("live: agent rpc register: %w", err)
 	}
+	if core != nil {
+		// Single-core agents double as federation members.
+		if err := a.srv.RegisterName("Member", &MemberService{a}); err != nil {
+			lis.Close()
+			return nil, fmt.Errorf("live: member rpc register: %w", err)
+		}
+	}
 	go a.serve()
+	if cfg.Join != "" {
+		if core == nil {
+			lis.Close()
+			return nil, fmt.Errorf("live: a sharded agent (Shards=%d) cannot join a federation", cfg.Shards)
+		}
+		name := cfg.Name
+		if name == "" {
+			name = a.Addr()
+		}
+		if err := join(cfg.Join, JoinArgs{Name: name, Addr: a.Addr(), Heuristic: cfg.Scheduler.Name()}); err != nil {
+			lis.Close()
+			return nil, err
+		}
+	}
 	return a, nil
 }
 
 // Addr returns the agent's RPC address.
 func (a *Agent) Addr() string { return a.lis.Addr().String() }
 
-// Close stops accepting connections.
-func (a *Agent) Close() error { return a.lis.Close() }
+// Close stops accepting connections and drops the active ones, so
+// peers holding persistent RPC clients (federation dispatchers,
+// long-lived clients) observe the shutdown instead of talking to a
+// half-dead agent.
+func (a *Agent) Close() error {
+	err := a.lis.Close()
+	a.mu.Lock()
+	a.done = true
+	for conn := range a.conns {
+		conn.Close()
+	}
+	a.conns = make(map[net.Conn]struct{})
+	a.mu.Unlock()
+	return err
+}
 
 // Core exposes the single shared core, or nil when the agent runs
 // sharded (AgentConfig.Shards > 1); use Engine for the
@@ -154,7 +199,20 @@ func (a *Agent) serve() {
 		if err != nil {
 			return
 		}
-		go a.srv.ServeConn(conn)
+		a.mu.Lock()
+		if a.done {
+			a.mu.Unlock()
+			conn.Close()
+			return
+		}
+		a.conns[conn] = struct{}{}
+		a.mu.Unlock()
+		go func() {
+			a.srv.ServeConn(conn)
+			a.mu.Lock()
+			delete(a.conns, conn)
+			a.mu.Unlock()
+		}()
 	}
 }
 

@@ -71,3 +71,103 @@ type TaskDoneArgs struct {
 	Server  string
 	At      float64
 }
+
+// Federation wire types: the member half of the protocol. A federated
+// dispatcher (internal/fed) drives member agents through the "Member"
+// RPC service every agent exposes; a member announces itself to a
+// dispatcher with "Fed.Join". Tasks cross the wire as
+// (Problem, Variant) pairs resolved against the shared task registry,
+// exactly as the client protocol does; timestamps are stamped by the
+// dispatcher so member clocks never enter the decisions.
+
+// JoinArgs announces a member agent to a federation dispatcher.
+type JoinArgs struct {
+	// Name is the member's federation name (routing state key).
+	Name string
+	// Addr is the member's RPC listen address the dispatcher dials
+	// back.
+	Addr string
+	// Heuristic is the member's configured heuristic; the dispatcher
+	// rejects joins that disagree with its own, since cross-member
+	// score comparison assumes one objective.
+	Heuristic string
+}
+
+// MemberTaskArgs identifies one task (re)submission on the member
+// wire.
+type MemberTaskArgs struct {
+	JobID   int
+	TaskID  int
+	Attempt int
+	Problem string
+	Variant int
+	// Arrival is the decision instant stamped by the dispatcher;
+	// Submitted is the client-side submission date (0 = Arrival).
+	Arrival   float64
+	Submitted float64
+}
+
+// MemberEvalReply is a member's provisional candidate for one
+// evaluation (agent.Candidate over the wire).
+type MemberEvalReply struct {
+	Server     string
+	Score, Tie float64
+	Scored     bool
+	// Unschedulable distinguishes "no server of this partition solves
+	// it" from transport or scheduling errors, which travel as RPC
+	// errors.
+	Unschedulable bool
+}
+
+// MemberCommitArgs commits a previously evaluated placement.
+type MemberCommitArgs struct {
+	Task   MemberTaskArgs
+	Server string
+}
+
+// MemberDecisionReply is a committed placement (agent.Decision over
+// the wire).
+type MemberDecisionReply struct {
+	Server        string
+	Predicted     float64
+	HasPrediction bool
+	Unschedulable bool
+}
+
+// MemberBatchArgs is a burst routed whole to one member.
+type MemberBatchArgs struct {
+	Tasks []MemberTaskArgs
+}
+
+// MemberBatchReply carries per-task decisions; a zero Server marks a
+// failed request, with the joined errors flattened into Error.
+type MemberBatchReply struct {
+	Decisions []MemberDecisionReply
+	Error     string
+}
+
+// MemberCanSolveArgs asks whether any of the member's servers solves
+// the problem.
+type MemberCanSolveArgs struct {
+	Problem string
+	Variant int
+}
+
+// MemberCanSolveReply is the eligibility answer.
+type MemberCanSolveReply struct {
+	OK bool
+}
+
+// MemberServerArgs names a server for partition membership calls.
+type MemberServerArgs struct {
+	Name string
+}
+
+// MemberSummaryReply is the member's load summary (fed.Summary over
+// the wire).
+type MemberSummaryReply struct {
+	InFlight    int
+	Servers     int
+	MinReady    float64
+	HasMinReady bool
+}
