@@ -961,3 +961,103 @@ func BenchmarkClusterSubmit(b *testing.B) {
 		})
 	}
 }
+
+// benchTenantShares is the 4:2:1 weight map the multi-tenant
+// benchmarks arbitrate under.
+var benchTenantShares = map[string]float64{"gold": 4, "silver": 2, "bronze": 1}
+
+// tenantBenchBatches stamps the standard benchmark stream with tenants
+// cycling gold/silver/bronze and a far-future deadline, so every
+// decision pays the full intake pipeline — bucket, admission test and
+// fair-clock arbitration — without any request actually shedding (a
+// shed would change the measured work).
+func tenantBenchBatches(b *testing.B, nServers, n, k int) ([]string, [][]casched.AgentRequest) {
+	b.Helper()
+	tenants := []string{"gold", "silver", "bronze"}
+	names, batches := benchBatches(b, nServers, n, k)
+	j := 0
+	for _, batch := range batches {
+		for i := range batch {
+			batch[i].Tenant = tenants[j%len(tenants)]
+			batch[i].Deadline = 1e12
+			j++
+		}
+	}
+	return names, batches
+}
+
+// BenchmarkAgentSubmitMultiTenant is BenchmarkAgentSubmitBatch with
+// the full multi-tenant intake path armed: a token bucket wide enough
+// to never refuse, deadline admission on, and 4:2:1 fair-share
+// arbitration re-ordering every burst. The ns/op ratio to
+// BenchmarkAgentSubmitBatch is the price of tenancy on the hot path.
+func BenchmarkAgentSubmitMultiTenant(b *testing.B) {
+	names, batches := tenantBenchBatches(b, 32, agentBenchTasks, 16)
+	s, err := casched.NewScheduler("HMCT")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		core, err := casched.NewAgentCore(casched.AgentCoreConfig{Scheduler: s, Seed: 17},
+			casched.WithTenantShares(benchTenantShares),
+			casched.WithAdmission(true),
+			casched.WithIntakeLimit(1e9, 1e9),
+		)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, name := range names {
+			core.AddServer(name)
+		}
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := core.SubmitBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkClusterSubmitMultiTenant is the cluster variant: the
+// dispatch-level bucket gates each burst, every shard core arbitrates
+// its partition's share of the batch, and placement records retire
+// through the bounded window. Compare to BenchmarkClusterSubmitBatch
+// at the same shard count for the dispatch-layer tenancy overhead.
+func BenchmarkClusterSubmitMultiTenant(b *testing.B) {
+	const nServers = 128
+	for _, shards := range []int{1, 4} {
+		shards := shards
+		b.Run(fmt.Sprintf("shards=%d/servers=%d", shards, nServers), func(b *testing.B) {
+			names, batches := tenantBenchBatches(b, nServers, agentBenchTasks, 16)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				cl, err := casched.NewCluster(
+					casched.WithShards(shards),
+					casched.WithHeuristic("HMCT"),
+					casched.WithSeed(17),
+					casched.WithTenantShares(benchTenantShares),
+					casched.WithAdmission(true),
+					casched.WithIntakeLimit(1e9, 1e9),
+					casched.WithPlacedWindow(1e6),
+				)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, name := range names {
+					cl.AddServer(name)
+				}
+				b.StartTimer()
+				for _, batch := range batches {
+					if _, err := cl.SubmitBatch(batch); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+		})
+	}
+}

@@ -37,7 +37,10 @@
 package casched
 
 import (
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
 	"time"
 
 	"casched/internal/agent"
@@ -142,11 +145,32 @@ const (
 	// membership changes.
 	AgentEventServerAdded   = agent.EventServerAdded
 	AgentEventServerRemoved = agent.EventServerRemoved
+	// AgentEventShed fires for each request refused at intake (the
+	// token-bucket limiter or deadline admission) instead of placed.
+	AgentEventShed = agent.EventShed
+)
+
+// Shed reasons (AgentEvent.Reason on AgentEventShed events).
+const (
+	// ShedThrottled marks a request refused by the intake rate limiter.
+	ShedThrottled = agent.ShedThrottled
+	// ShedDeadline marks a request refused by deadline admission: no
+	// candidate's predicted completion met the task's deadline.
+	ShedDeadline = agent.ShedDeadline
 )
 
 // ErrUnschedulable is returned by AgentCore.Submit when no registered
 // server solves the task.
 var ErrUnschedulable = agent.ErrUnschedulable
+
+// ErrDeadlineUnmet is returned (wrapped) when deadline admission sheds
+// a request: with WithAdmission on, no candidate server's predicted
+// completion meets the request's deadline.
+var ErrDeadlineUnmet = agent.ErrDeadlineUnmet
+
+// ErrThrottled is returned (wrapped) when the intake token bucket
+// (WithIntakeLimit) refuses a request.
+var ErrThrottled = agent.ErrThrottled
 
 // NewAgentCore constructs a long-lived streaming agent around the
 // shared decision engine — the same core the simulator (Run) and the
@@ -233,6 +257,76 @@ func WithHTMSync(on bool) ClusterOption { return cluster.WithHTMSync(on) }
 // see sched.MinCostBatch. Applies to NewAgentCore and to every shard
 // of a NewCluster.
 func WithBatchAssignment(on bool) ClusterOption { return cluster.WithBatchAssignment(on) }
+
+// WithTenantShares turns on weighted fair-share arbitration of
+// multi-tenant batches: the intake arbiter offers tasks to the
+// heuristic in CFS-style fair-clock order across tenants, weighted by
+// the share map. Keys are tenant paths ("gold", "gold/alice" for
+// group scheduling — a client's work charges every level of its
+// path), values are share weights; tenants absent from the map get
+// weight 1. A non-nil empty map enables arbitration with equal
+// shares. Single-tenant traffic is arbitration-free and reproduces
+// the unarbitrated placement sequence bit for bit. Applies to
+// NewAgentCore and to every shard of a NewCluster.
+func WithTenantShares(shares map[string]float64) ClusterOption {
+	return cluster.WithTenantShares(shares)
+}
+
+// WithAdmission turns deadline-aware admission control on or off:
+// requests whose Deadline no candidate server's predicted completion
+// (HTM projection, or monitor estimate for monitor-only heuristics)
+// can meet are shed with ErrDeadlineUnmet and an AgentEventShed
+// instead of placed. Zero-deadline requests always pass.
+func WithAdmission(on bool) ClusterOption { return cluster.WithAdmission(on) }
+
+// WithIntakeLimit bounds raw intake with a token bucket of rate tasks
+// per experiment second and burst capacity burst (burst <= 0 defaults
+// to max(rate, 1)); refused requests are shed with ErrThrottled. On
+// NewAgentCore the bucket lives in the core; on NewCluster it sits in
+// front of the dispatch layer — exactly one limiter per deployment
+// either way.
+func WithIntakeLimit(rate, burst float64) ClusterOption {
+	return cluster.WithIntakeLimit(rate, burst)
+}
+
+// ParseTenantShares parses a command-line share map of the form
+// "gold=4,silver=2,bronze=1" (tenant paths mapped to positive
+// weights) into the map WithTenantShares and WithFedTenantShares
+// accept. An empty string yields a nil map (fair-share arbitration
+// off).
+func ParseTenantShares(s string) (map[string]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	shares := make(map[string]float64)
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("casched: tenant share %q: want tenant=weight", part)
+		}
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("casched: tenant share %q: empty tenant name", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("casched: tenant share %q: weight must be a positive number", part)
+		}
+		shares[name] = w
+	}
+	return shares, nil
+}
+
+// WithPlacedWindow bounds the cluster dispatcher's job→shard
+// placement records to a trailing experiment-time window (seconds):
+// long deployments whose completion messages occasionally go missing
+// hold dispatch memory proportional to the window, not the run.
+// Completions for swept jobs fall back to the server's current shard.
+// Cluster-only; NewAgentCore rejects it.
+func WithPlacedWindow(seconds float64) ClusterOption {
+	return cluster.WithPlacedWindow(seconds)
+}
 
 // HashShardPolicy spreads servers by name hash (the default policy).
 func HashShardPolicy() ShardPolicy { return cluster.Hash() }
@@ -327,6 +421,30 @@ func WithFedSummaryInterval(d time.Duration) FederationOption { return fed.WithS
 // WithFedMaxFailures sets the consecutive-failure eviction threshold.
 func WithFedMaxFailures(n int) FederationOption { return fed.WithMaxFailures(n) }
 
+// WithFedTenantShares turns on weighted fair-share arbitration on
+// every in-process member core (see WithTenantShares). Remote members
+// carry their own configuration (casagent -tenant-shares).
+func WithFedTenantShares(shares map[string]float64) FederationOption {
+	return fed.WithTenantShares(shares)
+}
+
+// WithFedAdmission turns deadline-aware admission on every in-process
+// member core (see WithAdmission).
+func WithFedAdmission(on bool) FederationOption { return fed.WithAdmission(on) }
+
+// WithFedIntakeLimit bounds the federation's raw intake with one
+// dispatch-level token bucket (see WithIntakeLimit).
+func WithFedIntakeLimit(rate, burst float64) FederationOption {
+	return fed.WithIntakeLimit(rate, burst)
+}
+
+// WithFedPlacedWindow bounds the federation dispatcher's job→member
+// placement records to a trailing experiment-time window (see
+// WithPlacedWindow).
+func WithFedPlacedWindow(seconds float64) FederationOption {
+	return fed.WithPlacedWindow(seconds)
+}
+
 // NewFederationWithMembers constructs a dispatcher over caller-supplied
 // member handles (custom transports).
 func NewFederationWithMembers(cfg FederationConfig, members []FedMember) (*Federation, error) {
@@ -349,6 +467,10 @@ type AgentStats = agent.Stats
 
 // ServerOccupancy is the per-server view inside AgentStats.
 type ServerOccupancy = agent.Occupancy
+
+// TenantStats is the per-tenant view inside AgentStats: decisions,
+// completions, sheds (split by cause), sum-flow and deadline misses.
+type TenantStats = agent.TenantStats
 
 // NewStatsCollector returns an empty collector; pass sc.Collect to
 // Subscribe and read aggregates with sc.Snapshot().
@@ -558,6 +680,26 @@ func RunFederationStudy(cfg FederationStudyConfig) (*FederationStudyResult, erro
 // FormatFederationStudy renders the study as a small report.
 func FormatFederationStudy(r *FederationStudyResult) string {
 	return experiments.FormatFederationStudy(r)
+}
+
+// TenantStudyConfig parameterizes the multi-tenant intake study:
+// weighted fair-share convergence under a saturating multi-tenant
+// batch, and deadline-miss rates with admission off vs on under a
+// bursty deadline-stamped workload.
+type TenantStudyConfig = experiments.TenantStudyConfig
+
+// TenantStudyResult is the outcome of the multi-tenant intake study.
+type TenantStudyResult = experiments.TenantStudyResult
+
+// RunTenantStudy runs the multi-tenant intake study (zero-value config
+// selects the committed benchmarks/tenant-study.txt parameters).
+func RunTenantStudy(cfg TenantStudyConfig) (*TenantStudyResult, error) {
+	return experiments.TenantStudy(cfg)
+}
+
+// FormatTenantStudy renders the study as a small report.
+func FormatTenantStudy(r *TenantStudyResult) string {
+	return experiments.FormatTenantStudy(r)
 }
 
 // AccuracyResult quantifies HTM prediction quality over a full run.

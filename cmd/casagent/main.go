@@ -37,10 +37,19 @@ func main() {
 		policy    = flag.String("shard-policy", "hash", "server-to-shard policy: hash, least-loaded or affinity")
 		joinAddr  = flag.String("join", "", "federation dispatcher address to join as a member (casfed)")
 		name      = flag.String("name", "", "federation member name (default: the listen address)")
+		shares    = flag.String("tenant-shares", "", `fair-share weights, e.g. "gold=4,silver=2" (empty = arbitration off)`)
+		admission = flag.Bool("admission", false, "shed tasks whose deadline no server can meet")
+		rate      = flag.Float64("intake-rate", 0, "intake token-bucket rate in tasks per virtual second (0 = unlimited)")
+		burst     = flag.Float64("intake-burst", 0, "intake token-bucket burst capacity (0 = max(rate, 1))")
 	)
 	flag.Parse()
 
 	s, err := casched.NewScheduler(*heuristic)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "casagent:", err)
+		os.Exit(1)
+	}
+	tenantShares, err := casched.ParseTenantShares(*shares)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casagent:", err)
 		os.Exit(1)
@@ -51,15 +60,19 @@ func main() {
 		os.Exit(1)
 	}
 	agent, err := casched.StartLiveAgent(casched.LiveAgentConfig{
-		Scheduler:   s,
-		Clock:       casched.NewLiveClock(*scale),
-		Seed:        *seed,
-		HTMSync:     *htmSync,
-		Shards:      *shards,
-		ShardPolicy: shardPolicy,
-		Addr:        *addr,
-		Join:        *joinAddr,
-		Name:        *name,
+		Scheduler:    s,
+		Clock:        casched.NewLiveClock(*scale),
+		Seed:         *seed,
+		HTMSync:      *htmSync,
+		Shards:       *shards,
+		ShardPolicy:  shardPolicy,
+		Addr:         *addr,
+		Join:         *joinAddr,
+		Name:         *name,
+		TenantShares: tenantShares,
+		Admission:    *admission,
+		IntakeRate:   *rate,
+		IntakeBurst:  *burst,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casagent:", err)

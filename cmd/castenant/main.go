@@ -1,0 +1,45 @@
+// Command castenant runs the multi-tenant intake study: weighted
+// fair-share convergence under one saturating multi-tenant batch
+// (served work within a fraction of a point of the configured
+// weights), and deadline-aware admission on a bursty deadline-stamped
+// workload (upfront sheds in exchange for a strictly lower
+// deadline-miss rate).
+//
+// The committed benchmarks/tenant-study.txt is this command's default
+// output:
+//
+//	castenant > benchmarks/tenant-study.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casched"
+)
+
+func main() {
+	var cfg casched.TenantStudyConfig
+	var shares string
+	flag.IntVar(&cfg.N, "n", 0, "fairness-phase metatask size (0 = study default)")
+	flag.IntVar(&cfg.BurstN, "burst-n", 0, "admission-phase metatask size (0 = default)")
+	flag.Float64Var(&cfg.BurstD, "burst-d", 0, "admission-phase mean inter-arrival seconds (0 = default)")
+	flag.Uint64Var(&cfg.Seed, "seed", 0, "workload seed (0 = default)")
+	flag.IntVar(&cfg.Replicas, "replicas", 0, "Table 2 second-set testbed replicas (0 = default)")
+	flag.Float64Var(&cfg.DeadlineSlack, "slack", 0, "deadline slack × best-case duration (0 = default)")
+	flag.StringVar(&shares, "tenant-shares", "", `fair-share weights, e.g. "gold=4,silver=2" (empty = study default)`)
+	flag.Parse()
+
+	var err error
+	if cfg.Shares, err = casched.ParseTenantShares(shares); err != nil {
+		fmt.Fprintln(os.Stderr, "castenant:", err)
+		os.Exit(1)
+	}
+	r, err := casched.RunTenantStudy(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "castenant:", err)
+		os.Exit(1)
+	}
+	fmt.Print(casched.FormatTenantStudy(r))
+}

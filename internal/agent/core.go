@@ -38,6 +38,7 @@ import (
 	"sort"
 	"sync"
 
+	"casched/internal/fair"
 	"casched/internal/htm"
 	"casched/internal/sched"
 	"casched/internal/stats"
@@ -49,6 +50,15 @@ import (
 // solve the task — NetSolve's "no server solves this problem" reply,
 // as opposed to a heuristic failure.
 var ErrUnschedulable = errors.New("agent: no candidate server")
+
+// ErrDeadlineUnmet is returned when deadline-aware admission sheds a
+// task: every candidate server's predicted completion exceeds the
+// task's deadline, so accepting it would only add load it cannot repay.
+var ErrDeadlineUnmet = errors.New("agent: predicted completion exceeds deadline on every candidate")
+
+// ErrThrottled is returned when the intake token bucket sheds a task:
+// the deployment's configured intake rate is exhausted.
+var ErrThrottled = errors.New("agent: intake rate limit exceeded")
 
 // Config parameterizes a Core.
 type Config struct {
@@ -68,6 +78,28 @@ type Config struct {
 	// HTMWorkers bounds the HTM's candidate-evaluation worker pool
 	// (0 = GOMAXPROCS).
 	HTMWorkers int
+	// TenantShares, when non-nil, turns on fair-share arbitration of
+	// multi-tenant batches: SubmitBatch offers tasks to the heuristic
+	// in weighted fair-clock order across tenants (see internal/fair)
+	// instead of submission order. Keys are tenant paths ("gold",
+	// "gold/alice" for nested client shares), values are share weights;
+	// tenants absent from the map weigh fair.DefaultWeight. Single-
+	// tenant traffic is arbitration-free by construction and keeps the
+	// historical decision sequence bit-for-bit.
+	TenantShares map[string]float64
+	// Admission turns on deadline-aware admission control: a request
+	// carrying a deadline is shed with ErrDeadlineUnmet when every
+	// candidate's predicted completion (HTM projected-ready drain, or
+	// the monitor load estimate for monitor heuristics) exceeds it.
+	// Requests without a deadline are never deadline-shed.
+	Admission bool
+	// IntakeRate, when positive, bounds raw intake with a token bucket
+	// of IntakeRate tasks per experiment second and burst capacity
+	// IntakeBurst (default max(IntakeRate, 1)); refused tasks are shed
+	// with ErrThrottled. The bucket runs on experiment time (request
+	// arrival dates), so replays are deterministic.
+	IntakeRate  float64
+	IntakeBurst float64
 	// BatchAssignment opts SubmitBatch into true k-task scheduling:
 	// each batch is placed wave by wave through a min-cost assignment
 	// over the per-pair objective matrix (sched.MinCostBatch) instead
@@ -98,6 +130,13 @@ type Request struct {
 	// heuristic as Task.Arrival (a resubmission is decided later than
 	// it was submitted). Zero defaults to Arrival.
 	Submitted float64
+	// Tenant identifies the submitting tenant for fair-share
+	// arbitration and per-tenant accounting ("" = the anonymous
+	// single stream). Nested shares separate levels with "/".
+	Tenant string
+	// Deadline is the absolute experiment-time completion deadline for
+	// admission control. Zero means none.
+	Deadline float64
 }
 
 // Decision is the committed outcome of one Submit.
@@ -134,6 +173,19 @@ const (
 	// EventServerAdded and EventServerRemoved track membership.
 	EventServerAdded
 	EventServerRemoved
+	// EventShed is emitted when the intake path refuses a request —
+	// throttled by the token bucket or shed by deadline admission —
+	// with the cause in Reason.
+	EventShed
+)
+
+// Shed reasons carried in Event.Reason.
+const (
+	// ShedThrottled: the intake token bucket was empty.
+	ShedThrottled = "throttled"
+	// ShedDeadline: no candidate's predicted completion met the
+	// deadline.
+	ShedDeadline = "deadline"
 )
 
 // Event is one observable core transition, delivered to subscribers in
@@ -151,6 +203,17 @@ type Event struct {
 	// (EventDecision only).
 	Predicted     float64
 	HasPrediction bool
+	// Tenant and Deadline echo the request (decisions, completions and
+	// sheds; empty/zero for untagged traffic).
+	Tenant   string
+	Deadline float64
+	// Submitted is the client-side submission date (decisions and
+	// completions), so observers can derive flow without job-table
+	// lookups.
+	Submitted float64
+	// Reason is the shed cause (EventShed only): ShedThrottled or
+	// ShedDeadline.
+	Reason string
 }
 
 // belief is the monitor-based view of one server: NetSolve's last
@@ -170,10 +233,14 @@ func (b *belief) estimate() float64 {
 	return e
 }
 
-// jobMeta is the resubmission bookkeeping attached to a job id.
+// jobMeta is the resubmission and tenancy bookkeeping attached to a
+// job id while it is in flight.
 type jobMeta struct {
-	taskID  int
-	attempt int
+	taskID    int
+	attempt   int
+	tenant    string
+	deadline  float64
+	submitted float64
 }
 
 // Core is the shared decision engine. Construct with New; drive with
@@ -194,6 +261,12 @@ type Core struct {
 	jobs        map[int]jobMeta // jobID -> task/attempt; evicted on completion
 	subs        map[int]func(Event)
 	nextSub     int
+	// ledger arbitrates multi-tenant batches (nil = fairness off);
+	// bucket gates raw intake (nil = unlimited); tenantLoad counts
+	// in-flight jobs per tenant for fairness-aware dispatch.
+	ledger     *fair.Ledger
+	bucket     *fair.TokenBucket
+	tenantLoad map[string]int
 }
 
 // New constructs a Core with no servers; drivers add membership with
@@ -211,9 +284,16 @@ func New(cfg Config) (*Core, error) {
 		predictions: make(map[int]float64),
 		jobs:        make(map[int]jobMeta),
 		subs:        make(map[int]func(Event)),
+		tenantLoad:  make(map[string]int),
 	}
 	if c.rng == nil {
 		c.rng = stats.NewRNG(cfg.Seed)
+	}
+	if cfg.TenantShares != nil {
+		c.ledger = fair.NewLedger(cfg.TenantShares)
+	}
+	if cfg.IntakeRate > 0 {
+		c.bucket = fair.NewTokenBucket(cfg.IntakeRate, cfg.IntakeBurst)
 	}
 	if cfg.BatchAssignment {
 		switch s := cfg.Scheduler.(type) {
@@ -336,17 +416,28 @@ func (li coreLoadInfo) LoadEstimate(server string) float64 {
 	return 0
 }
 
-// Submit maps one task through the heuristic and commits the decision:
-// assignment load correction, HTM placement, prediction tracking.
-// ErrUnschedulable means no registered server solves the task.
+// Submit maps one task through the intake path — token bucket,
+// deadline admission, heuristic — and commits the decision: assignment
+// load correction, HTM placement, prediction tracking.
+// ErrUnschedulable means no registered server solves the task;
+// ErrThrottled and ErrDeadlineUnmet mean the intake path shed it (an
+// EventShed is emitted with the cause).
 func (c *Core) Submit(req Request) (Decision, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.bucket != nil && !c.bucket.Take(req.Arrival) {
+		c.shedLocked(req, ShedThrottled)
+		return Decision{}, fmt.Errorf("agent: job %d: %w", req.JobID, ErrThrottled)
+	}
 	var ev sched.Evaluator
 	if c.htmMgr != nil {
 		ev = c.htmMgr
 	}
-	return c.submitLocked(req, ev)
+	d, err := c.submitLocked(req, ev)
+	if errors.Is(err, ErrDeadlineUnmet) {
+		c.shedLocked(req, ShedDeadline)
+	}
+	return d, err
 }
 
 // SubmitBatch pipelines k simultaneous arrivals through one lock
@@ -362,9 +453,18 @@ func (c *Core) Submit(req Request) (Decision, error) {
 // prediction matrix puts at most one new task per server per wave,
 // re-projecting between waves (see sched.MinCostBatch).
 //
+// With Config.TenantShares set and the batch spanning several tenants,
+// the batch instead flows through the fairness arbiter: the ledger
+// decides which tenant's head task is offered to the heuristic next
+// (fair-clock order supersedes both submission order and min-cost
+// waves — cross-tenant sharing outranks intra-batch packing).
+// Single-tenant batches always take the historical path, so one-tenant
+// deployments keep their decision sequence bit-for-bit.
+//
 // Requests that fail individually yield a zero Decision; their errors
 // are joined in the returned error, and the rest of the batch still
-// commits.
+// commits. Requests the token bucket refuses are shed with
+// ErrThrottled before any arbitration.
 func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -374,14 +474,43 @@ func (c *Core) SubmitBatch(reqs []Request) ([]Decision, error) {
 		cache = newBatchCache(c.htmMgr)
 		ev = cache
 	}
-	if c.batch != nil {
-		return c.submitBatchMatchedLocked(reqs, ev, cache)
+	live, keep, shedErrs := c.intakeGateLocked(reqs)
+	var decs []Decision
+	var err error
+	switch {
+	case c.ledger != nil && multiTenant(live):
+		decs, err = c.submitBatchFairLocked(live, ev, cache)
+	case c.batch != nil:
+		decs, err = c.submitBatchMatchedLocked(live, ev, cache)
+	default:
+		decs, err = c.submitBatchGreedyLocked(live, ev, cache)
 	}
+	if keep == nil {
+		return decs, err
+	}
+	out := make([]Decision, len(reqs))
+	for k, pos := range keep {
+		out[pos] = decs[k]
+	}
+	if err != nil {
+		shedErrs = append(shedErrs, err)
+	}
+	return out, errors.Join(shedErrs...)
+}
+
+// submitBatchGreedyLocked is the historical batch path: requests are
+// placed one by one in submission order, reusing cached predictions
+// and re-evaluating only the server mutated by each placement. Caller
+// holds c.mu.
+func (c *Core) submitBatchGreedyLocked(reqs []Request, ev sched.Evaluator, cache *batchCache) ([]Decision, error) {
 	out := make([]Decision, len(reqs))
 	var errs []error
 	for i, req := range reqs {
 		d, err := c.submitLocked(req, ev)
 		if err != nil {
+			if errors.Is(err, ErrDeadlineUnmet) {
+				c.shedLocked(req, ShedDeadline)
+			}
 			errs = append(errs, fmt.Errorf("agent: batch job %d: %w", req.JobID, err))
 			continue
 		}
@@ -416,9 +545,15 @@ func (c *Core) submitBatchMatchedLocked(reqs []Request, ev sched.Evaluator, cach
 			fail(i, err)
 			continue
 		}
+		if err := c.admitDeadlineLocked(req, candidates, ev); err != nil {
+			c.shedLocked(req, ShedDeadline)
+			fail(i, err)
+			continue
+		}
 		items[i] = sched.BatchItem{
-			JobID:      req.JobID,
-			Task:       &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted},
+			JobID: req.JobID,
+			Task: &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted,
+				Tenant: req.Tenant, Deadline: req.Deadline},
 			Now:        req.Arrival,
 			Candidates: candidates,
 		}
@@ -539,9 +674,16 @@ func (c *Core) evaluateLocked(req Request, ev sched.Evaluator) (Candidate, error
 	if err != nil {
 		return Candidate{}, err
 	}
+	// Admission runs before the heuristic, so shedding never consumes
+	// decision randomness: with admission off (or no deadline) the
+	// heuristic sees exactly the historical call sequence.
+	if err := c.admitDeadlineLocked(req, candidates, ev); err != nil {
+		return Candidate{}, err
+	}
 	ctx := &sched.Context{
-		Now:        req.Arrival,
-		Task:       &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted},
+		Now: req.Arrival,
+		Task: &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted,
+			Tenant: req.Tenant, Deadline: req.Deadline},
 		JobID:      req.JobID,
 		Candidates: candidates,
 		HTM:        ev,
@@ -594,12 +736,28 @@ func (c *Core) commitLocked(req Request, server string) (Decision, error) {
 	// NetSolve assignment correction — only once the placement is
 	// committed, so a rejected decision leaves beliefs untouched.
 	c.beliefs[server].assignedSince++
-	c.jobs[req.JobID] = jobMeta{taskID: req.TaskID, attempt: req.Attempt}
+	submitted := req.Submitted
+	if submitted == 0 {
+		submitted = req.Arrival
+	}
+	c.jobs[req.JobID] = jobMeta{taskID: req.TaskID, attempt: req.Attempt,
+		tenant: req.Tenant, deadline: req.Deadline, submitted: submitted}
+	c.tenantLoad[req.Tenant]++
+	if c.ledger != nil {
+		// Post-hoc charge: every committed placement advances the
+		// tenant's fair clock by the nominal service it bought,
+		// whichever path committed it — so arbitration stays coherent
+		// across mixed Submit/SubmitBatch call patterns.
+		if cost, ok := req.Spec.Cost(server); ok {
+			c.ledger.Charge(tenantPath(req.Tenant), cost.Total())
+		}
+	}
 	c.log(trace.Record{Time: req.Arrival, Kind: "schedule", Server: server,
 		TaskID: req.TaskID, Attempt: req.Attempt})
 	c.emit(Event{Kind: EventDecision, Time: req.Arrival, Server: server,
 		JobID: req.JobID, TaskID: req.TaskID, Attempt: req.Attempt,
-		Predicted: d.Predicted, HasPrediction: d.HasPrediction})
+		Predicted: d.Predicted, HasPrediction: d.HasPrediction,
+		Tenant: req.Tenant, Deadline: req.Deadline, Submitted: submitted})
 	return d, nil
 }
 
@@ -626,12 +784,20 @@ func (c *Core) Complete(jobID int, server string, at float64) Completion {
 	}
 	delete(c.jobs, jobID)
 	delete(c.predictions, jobID)
+	if known {
+		if n := c.tenantLoad[meta.tenant] - 1; n > 0 {
+			c.tenantLoad[meta.tenant] = n
+		} else {
+			delete(c.tenantLoad, meta.tenant)
+		}
+	}
 	done := Completion{JobID: jobID, TaskID: meta.taskID, Attempt: meta.attempt,
 		Server: server, Time: at}
 	c.log(trace.Record{Time: at, Kind: "done", Server: server,
 		TaskID: meta.taskID, Attempt: meta.attempt})
 	c.emit(Event{Kind: EventCompletion, Time: at, Server: server,
-		JobID: jobID, TaskID: meta.taskID, Attempt: meta.attempt})
+		JobID: jobID, TaskID: meta.taskID, Attempt: meta.attempt,
+		Tenant: meta.tenant, Deadline: meta.deadline, Submitted: meta.submitted})
 	return done
 }
 

@@ -1,0 +1,176 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+
+	"casched/internal/sched"
+)
+
+// This file is the Core's multi-tenant intake path: the token-bucket
+// gate, the deadline admission test and the fair-share arbitration of
+// multi-tenant batches. The pipeline is
+//
+//	caller → intake gate → fairness arbiter → heuristic
+//
+// where each stage is inert unless configured (no bucket, no ledger,
+// admission off), collapsing the pipeline back to the historical
+// "caller → heuristic" path — the parity guarantee single-tenant
+// deployments rely on.
+
+// tenantPath maps a request tenant to its fair-ledger path; the
+// anonymous stream arbitrates under a reserved default name so it
+// still gets a weighted share when mixed with tagged traffic.
+func tenantPath(tenant string) string {
+	if tenant == "" {
+		return "default"
+	}
+	return tenant
+}
+
+// multiTenant reports whether a batch spans more than one tenant —
+// the condition under which arbitration can change anything.
+func multiTenant(reqs []Request) bool {
+	if len(reqs) == 0 {
+		return false
+	}
+	first := reqs[0].Tenant
+	for _, r := range reqs[1:] {
+		if r.Tenant != first {
+			return true
+		}
+	}
+	return false
+}
+
+// shedLocked emits the EventShed record for a refused request. Caller
+// holds c.mu.
+func (c *Core) shedLocked(req Request, reason string) {
+	c.emit(Event{Kind: EventShed, Time: req.Arrival, JobID: req.JobID,
+		TaskID: req.TaskID, Attempt: req.Attempt,
+		Tenant: req.Tenant, Deadline: req.Deadline, Reason: reason})
+}
+
+// intakeGateLocked runs the token bucket over a batch in submission
+// order. It returns the admitted requests, their positions in the
+// original batch (nil when no bucket is configured, meaning "all, in
+// place"), and one ErrThrottled per refused request. Caller holds c.mu.
+func (c *Core) intakeGateLocked(reqs []Request) (live []Request, keep []int, errs []error) {
+	if c.bucket == nil {
+		return reqs, nil, nil
+	}
+	live = make([]Request, 0, len(reqs))
+	keep = make([]int, 0, len(reqs))
+	for i, req := range reqs {
+		if !c.bucket.Take(req.Arrival) {
+			c.shedLocked(req, ShedThrottled)
+			errs = append(errs, fmt.Errorf("agent: batch job %d: %w", req.JobID, ErrThrottled))
+			continue
+		}
+		live = append(live, req)
+		keep = append(keep, i)
+	}
+	return live, keep, errs
+}
+
+// admitDeadlineLocked is the deadline admission test: it accepts a
+// request when at least one candidate's predicted completion meets the
+// deadline, and sheds with ErrDeadlineUnmet otherwise. The prediction
+// reuses the signals the heuristics themselves schedule on — the HTM
+// projected drain instant of each candidate (the PR 4 routing memo)
+// when a trace is available, the NetSolve load estimate otherwise — so
+// admission and placement agree about the state of the pool. Requests
+// without a deadline, or with admission off, always pass. Caller holds
+// c.mu.
+func (c *Core) admitDeadlineLocked(req Request, candidates []string, ev sched.Evaluator) error {
+	if !c.cfg.Admission || req.Deadline <= 0 {
+		return nil
+	}
+	info := coreLoadInfo{c}
+	for _, server := range candidates {
+		cost, ok := req.Spec.Cost(server)
+		if !ok {
+			continue
+		}
+		var finish float64
+		if ev != nil {
+			ready, ok := ev.ProjectedReady(server)
+			if !ok || ready < req.Arrival {
+				ready = req.Arrival
+			}
+			finish = ready + cost.Total()
+		} else {
+			// Monitor heuristics: the belief load is the number of
+			// tasks ahead; first-order completion estimate as in the
+			// paper's MCT-over-monitor model.
+			finish = req.Arrival + (info.LoadEstimate(server)+1)*cost.Total()
+		}
+		if finish <= req.Deadline {
+			return nil
+		}
+	}
+	return fmt.Errorf("agent: job %d (deadline %.3f): %w", req.JobID, req.Deadline, ErrDeadlineUnmet)
+}
+
+// submitBatchFairLocked is the arbitrated batch path: requests queue
+// per tenant in submission order, and the fair ledger repeatedly picks
+// the backlogged tenant furthest behind its weighted share to offer
+// its head task to the heuristic. The fair clocks are advanced by
+// commitLocked as each placement lands, so every pick sees the service
+// the previous one consumed. Failed requests drop out of their queue
+// without advancing their tenant's clock. Caller holds c.mu.
+func (c *Core) submitBatchFairLocked(reqs []Request, ev sched.Evaluator, cache *batchCache) ([]Decision, error) {
+	out := make([]Decision, len(reqs))
+	var errs []error
+	queues := make(map[string][]int)
+	paths := make([]string, 0, 4)
+	for i, req := range reqs {
+		p := tenantPath(req.Tenant)
+		if _, ok := queues[p]; !ok {
+			paths = append(paths, p)
+		}
+		queues[p] = append(queues[p], i)
+	}
+	backlogged := make([]string, 0, len(paths))
+	for {
+		backlogged = backlogged[:0]
+		for _, p := range paths {
+			if len(queues[p]) > 0 {
+				backlogged = append(backlogged, p)
+			}
+		}
+		if len(backlogged) == 0 {
+			break
+		}
+		p := c.ledger.Pick(backlogged)
+		pos := queues[p][0]
+		queues[p] = queues[p][1:]
+		req := reqs[pos]
+		d, err := c.submitLocked(req, ev)
+		if err != nil {
+			if errors.Is(err, ErrDeadlineUnmet) {
+				c.shedLocked(req, ShedDeadline)
+			}
+			errs = append(errs, fmt.Errorf("agent: batch job %d: %w", req.JobID, err))
+			continue
+		}
+		out[pos] = d
+		if cache != nil {
+			cache.invalidate(d.Server)
+		}
+	}
+	return out, errors.Join(errs...)
+}
+
+// TenantInFlight returns the number of placed-but-uncompleted jobs per
+// tenant (key "" is the anonymous stream) — the per-tenant load signal
+// dispatch layers gossip so stale-mode routing stays fair.
+func (c *Core) TenantInFlight() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.tenantLoad))
+	for k, v := range c.tenantLoad {
+		out[k] = v
+	}
+	return out
+}

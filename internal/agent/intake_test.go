@@ -1,0 +1,329 @@
+package agent
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"casched/internal/sched"
+	"casched/internal/task"
+	"casched/internal/workload"
+)
+
+// poolSpecN builds a spec solvable on n servers sv00..sv(n-1) with
+// uniform unit compute cost.
+func poolSpecN(n, compute int) *task.Spec {
+	costs := make(map[string]task.Cost, n)
+	for i := 0; i < n; i++ {
+		costs[fmt.Sprintf("sv%02d", i)] = task.Cost{Compute: float64(compute)}
+	}
+	return &task.Spec{Problem: "p", Variant: compute, CostOn: costs}
+}
+
+func tenantCore(t *testing.T, cfg Config, servers int) *Core {
+	t.Helper()
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = sched.NewHMCT()
+	}
+	cfg.Seed = 1
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < servers; i++ {
+		c.AddServer(fmt.Sprintf("sv%02d", i))
+	}
+	return c
+}
+
+// decisionTenants subscribes to a core and returns a pointer to the
+// growing tenant-per-decision sequence.
+func decisionTenants(c *Core) *[]string {
+	var seq []string
+	c.Subscribe(func(ev Event) {
+		if ev.Kind == EventDecision {
+			seq = append(seq, ev.Tenant)
+		}
+	})
+	return &seq
+}
+
+// TestIntakeParitySingleTenant pins the tentpole's core guarantee: a
+// core with the full intake machinery on (shares configured, admission
+// on) makes bit-for-bit the decisions of a plain core when traffic is
+// single-tenant and deadline-free — via Submit and SubmitBatch both.
+func TestIntakeParitySingleTenant(t *testing.T) {
+	mt := workload.MustGenerate(workload.Set2(120, 10, 3))
+	for _, batched := range []bool{false, true} {
+		plain := tenantCore(t, Config{}, 0)
+		fancy := tenantCore(t, Config{
+			TenantShares: map[string]float64{"gold": 4},
+			Admission:    true,
+		}, 0)
+		for _, name := range []string{"spinnaker", "artimon", "valette"} {
+			plain.AddServer(name)
+			fancy.AddServer(name)
+		}
+		for _, c := range []*Core{plain, fancy} {
+			var reqs []Request
+			for _, tk := range mt.Tasks {
+				reqs = append(reqs, Request{JobID: tk.ID, TaskID: tk.ID, Spec: tk.Spec, Arrival: tk.Arrival})
+			}
+			if batched {
+				if _, err := c.SubmitBatch(reqs); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				for _, r := range reqs {
+					if _, err := c.Submit(r); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		for _, tk := range mt.Tasks {
+			p, _ := plain.htmMgr.PlacedOn(tk.ID)
+			f, _ := fancy.htmMgr.PlacedOn(tk.ID)
+			if p != f {
+				t.Fatalf("batched=%v: task %d placed on %q with intake machinery vs %q without",
+					batched, tk.ID, f, p)
+			}
+		}
+	}
+}
+
+// TestFairBatchInterleavesTenants: a multi-tenant batch submitted as
+// gold-block-then-silver-block is arbitrated, not served in submission
+// order — silver tasks land among gold's even though every silver
+// request sits at the tail of the batch.
+func TestFairBatchInterleavesTenants(t *testing.T) {
+	c := tenantCore(t, Config{TenantShares: map[string]float64{}}, 4)
+	seq := decisionTenants(c)
+	spec := poolSpecN(4, 5)
+	var reqs []Request
+	for i := 0; i < 8; i++ {
+		reqs = append(reqs, Request{JobID: i, TaskID: i, Spec: spec, Tenant: "gold"})
+	}
+	for i := 8; i < 16; i++ {
+		reqs = append(reqs, Request{JobID: i, TaskID: i, Spec: spec, Tenant: "silver"})
+	}
+	if _, err := c.SubmitBatch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	if len(*seq) != 16 {
+		t.Fatalf("%d decisions, want 16", len(*seq))
+	}
+	// Equal weights, equal costs: the first four decisions already
+	// span both tenants.
+	head := map[string]bool{}
+	for _, tn := range (*seq)[:4] {
+		head[tn] = true
+	}
+	if !head["gold"] || !head["silver"] {
+		t.Fatalf("first decisions %v served one tenant; want interleaving", (*seq)[:4])
+	}
+}
+
+// TestFairBatchHonorsWeights: under a saturating same-cost batch, the
+// decision-order prefix respects the configured 3:1 share.
+func TestFairBatchHonorsWeights(t *testing.T) {
+	c := tenantCore(t, Config{TenantShares: map[string]float64{"gold": 3, "silver": 1}}, 4)
+	seq := decisionTenants(c)
+	spec := poolSpecN(4, 5)
+	var reqs []Request
+	for i := 0; i < 60; i++ {
+		tn := "gold"
+		if i >= 30 {
+			tn = "silver"
+		}
+		reqs = append(reqs, Request{JobID: i, TaskID: i, Spec: spec, Tenant: tn})
+	}
+	if _, err := c.SubmitBatch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	// While both tenants are backlogged (silver has 30 tasks, so the
+	// first 40 decisions keep both queues non-empty at a 3:1 drain),
+	// gold should take ~3/4 of the service.
+	gold := 0
+	for _, tn := range (*seq)[:40] {
+		if tn == "gold" {
+			gold++
+		}
+	}
+	if gold < 27 || gold > 33 {
+		t.Fatalf("gold got %d of the first 40 decisions, want ~30 (3:1 weights)", gold)
+	}
+}
+
+// TestFairBatchSingleTenantKeepsSubmissionOrder: with shares configured
+// but only one tenant in the batch, arbitration stands down and the
+// batch drains in submission order.
+func TestFairBatchSingleTenantKeepsSubmissionOrder(t *testing.T) {
+	c := tenantCore(t, Config{TenantShares: map[string]float64{"gold": 2}}, 4)
+	var ids []int
+	c.Subscribe(func(ev Event) {
+		if ev.Kind == EventDecision {
+			ids = append(ids, ev.JobID)
+		}
+	})
+	spec := poolSpecN(4, 5)
+	var reqs []Request
+	for i := 0; i < 10; i++ {
+		reqs = append(reqs, Request{JobID: i, TaskID: i, Spec: spec, Tenant: "gold"})
+	}
+	if _, err := c.SubmitBatch(reqs); err != nil {
+		t.Fatal(err)
+	}
+	for i, id := range ids {
+		if id != i {
+			t.Fatalf("decision %d was job %d; single-tenant batch must keep submission order", i, id)
+		}
+	}
+}
+
+// TestAdmissionShedsHopelessDeadline: with admission on, a task whose
+// deadline no candidate can meet is shed with ErrDeadlineUnmet and an
+// EventShed; with admission off the same task is placed.
+func TestAdmissionShedsHopelessDeadline(t *testing.T) {
+	spec := poolSpecN(2, 10) // 10s best case on any server
+	run := func(admission bool) (error, []Event) {
+		c := tenantCore(t, Config{Admission: admission}, 2)
+		var sheds []Event
+		c.Subscribe(func(ev Event) {
+			if ev.Kind == EventShed {
+				sheds = append(sheds, ev)
+			}
+		})
+		_, err := c.Submit(Request{JobID: 1, TaskID: 1, Spec: spec, Arrival: 0, Deadline: 5, Tenant: "gold"})
+		return err, sheds
+	}
+	err, sheds := run(true)
+	if !errors.Is(err, ErrDeadlineUnmet) {
+		t.Fatalf("admission on: err = %v, want ErrDeadlineUnmet", err)
+	}
+	if len(sheds) != 1 || sheds[0].Reason != ShedDeadline || sheds[0].Tenant != "gold" {
+		t.Fatalf("shed events = %+v, want one deadline shed for gold", sheds)
+	}
+	if err, sheds := run(false); err != nil || len(sheds) != 0 {
+		t.Fatalf("admission off: err = %v, sheds = %d; want placement", err, len(sheds))
+	}
+}
+
+// TestAdmissionAcceptsFeasibleDeadline: a generous deadline admits, and
+// queue buildup flips the same deadline to infeasible — the admission
+// signal tracks the projected backlog, not just the nominal cost.
+func TestAdmissionAcceptsFeasibleDeadline(t *testing.T) {
+	spec := poolSpecN(1, 10)
+	c := tenantCore(t, Config{Admission: true}, 1)
+	if _, err := c.Submit(Request{JobID: 1, TaskID: 1, Spec: spec, Arrival: 0, Deadline: 15}); err != nil {
+		t.Fatalf("feasible deadline shed: %v", err)
+	}
+	// The server now has ~10s of backlog; a fresh task with the same
+	// 15s-from-now deadline cannot finish before ~20s.
+	if _, err := c.Submit(Request{JobID: 2, TaskID: 2, Spec: spec, Arrival: 0, Deadline: 15}); !errors.Is(err, ErrDeadlineUnmet) {
+		t.Fatalf("backlogged deadline accepted: %v", err)
+	}
+	// A later deadline clears the backlog.
+	if _, err := c.Submit(Request{JobID: 3, TaskID: 3, Spec: spec, Arrival: 0, Deadline: 25}); err != nil {
+		t.Fatalf("clearing deadline shed: %v", err)
+	}
+}
+
+// TestAdmissionMonitorHeuristic: admission also works without an HTM,
+// using the NetSolve load estimate.
+func TestAdmissionMonitorHeuristic(t *testing.T) {
+	spec := poolSpecN(1, 10)
+	c := tenantCore(t, Config{Scheduler: sched.NewMCT(), Admission: true}, 1)
+	// Load estimate 0: finish = (0+1)*10 = 10 ≤ 12.
+	if _, err := c.Submit(Request{JobID: 1, TaskID: 1, Spec: spec, Arrival: 0, Deadline: 12}); err != nil {
+		t.Fatalf("idle monitor admission shed: %v", err)
+	}
+	// Load estimate 1: finish = (1+1)*10 = 20 > 12.
+	if _, err := c.Submit(Request{JobID: 2, TaskID: 2, Spec: spec, Arrival: 0, Deadline: 12}); !errors.Is(err, ErrDeadlineUnmet) {
+		t.Fatalf("loaded monitor admission accepted: %v", err)
+	}
+}
+
+// TestIntakeThrottle: the token bucket sheds past the burst and refills
+// with experiment time, on Submit and SubmitBatch alike.
+func TestIntakeThrottle(t *testing.T) {
+	spec := poolSpecN(2, 1)
+	c := tenantCore(t, Config{IntakeRate: 1, IntakeBurst: 2}, 2)
+	var sheds int
+	c.Subscribe(func(ev Event) {
+		if ev.Kind == EventShed && ev.Reason == ShedThrottled {
+			sheds++
+		}
+	})
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit(Request{JobID: i, TaskID: i, Spec: spec, Arrival: 0}); err != nil {
+			t.Fatalf("burst submit %d: %v", i, err)
+		}
+	}
+	if _, err := c.Submit(Request{JobID: 2, TaskID: 2, Spec: spec, Arrival: 0}); !errors.Is(err, ErrThrottled) {
+		t.Fatalf("past-burst submit: %v, want ErrThrottled", err)
+	}
+	// One experiment second refills one token; a batch of two admits
+	// one and sheds the other, with the admitted one still placed.
+	decs, err := c.SubmitBatch([]Request{
+		{JobID: 3, TaskID: 3, Spec: spec, Arrival: 1},
+		{JobID: 4, TaskID: 4, Spec: spec, Arrival: 1},
+	})
+	if !errors.Is(err, ErrThrottled) {
+		t.Fatalf("batch err = %v, want joined ErrThrottled", err)
+	}
+	if decs[0].Server == "" || decs[1].Server != "" {
+		t.Fatalf("batch decisions = %+v; want first placed, second shed", decs)
+	}
+	if sheds != 2 {
+		t.Fatalf("%d throttle shed events, want 2", sheds)
+	}
+}
+
+// TestTenantInFlight: per-tenant in-flight counts rise on commit and
+// fall to map cleanliness on completion.
+func TestTenantInFlight(t *testing.T) {
+	spec := poolSpecN(2, 1)
+	c := tenantCore(t, Config{}, 2)
+	for i, tn := range []string{"gold", "gold", "silver", ""} {
+		if _, err := c.Submit(Request{JobID: i, TaskID: i, Spec: spec, Tenant: tn}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.TenantInFlight()
+	if got["gold"] != 2 || got["silver"] != 1 || got[""] != 1 {
+		t.Fatalf("in-flight = %v", got)
+	}
+	for i := 0; i < 4; i++ {
+		d, _ := c.htmMgr.PlacedOn(i)
+		c.Complete(i, d, 10)
+	}
+	if got := c.TenantInFlight(); len(got) != 0 {
+		t.Fatalf("in-flight after completions = %v, want empty", got)
+	}
+}
+
+// TestCompletionEventsCarryTenancy: completion events echo tenant,
+// deadline and submission date from placement-time bookkeeping.
+func TestCompletionEventsCarryTenancy(t *testing.T) {
+	spec := poolSpecN(1, 2)
+	c := tenantCore(t, Config{}, 1)
+	var done []Event
+	c.Subscribe(func(ev Event) {
+		if ev.Kind == EventCompletion {
+			done = append(done, ev)
+		}
+	})
+	if _, err := c.Submit(Request{JobID: 7, TaskID: 7, Spec: spec, Arrival: 3,
+		Submitted: 1, Tenant: "gold/alice", Deadline: 30}); err != nil {
+		t.Fatal(err)
+	}
+	c.Complete(7, "sv00", 9)
+	if len(done) != 1 {
+		t.Fatalf("%d completion events", len(done))
+	}
+	ev := done[0]
+	if ev.Tenant != "gold/alice" || ev.Deadline != 30 || ev.Submitted != 1 {
+		t.Fatalf("completion event = %+v; want tenant gold/alice, deadline 30, submitted 1", ev)
+	}
+}

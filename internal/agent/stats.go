@@ -11,9 +11,10 @@ import (
 // StatsCollector is a sample event-stream subscriber that aggregates
 // scheduling observability counters: decision and completion counts,
 // decision rate, the mean absolute prediction error realized on
-// completions, and per-server occupancy. It consumes the same Event
-// stream whether subscribed to a single Core or to a Cluster's merged
-// stream:
+// completions, per-server occupancy and per-tenant service gauges
+// (decisions, completions, sheds, deadline misses, sum-flow). It
+// consumes the same Event stream whether subscribed to a single Core
+// or to a Cluster's merged stream:
 //
 //	sc := agent.NewStatsCollector()
 //	cancel := core.Subscribe(sc.Collect)
@@ -28,20 +29,22 @@ type StatsCollector struct {
 	decisions   int64
 	completions int64
 	reports     int64
+	sheds       int64
 
 	// span of event (experiment) time covered by timed events.
 	first, last float64
 	timed       bool
 
-	// predicted tracks decision-time predictions until the completion
-	// arrives (evicted there, so the map is bounded by in-flight jobs).
-	predicted map[int]float64
+	// live tracks jobs whose decision has been observed but not yet
+	// consumed by a completion: the decision date (for retention), and
+	// the decision-time prediction awaiting its completion. Evicted on
+	// completion, so the map is bounded by in-flight jobs — plus, with
+	// a retention window, by the window itself even when completions
+	// are lost (a crashed server, a dropped message).
+	live      map[int]liveJob
 	absErrSum float64
 	absErrN   int64
 
-	// live marks jobs whose decision has been observed but not yet
-	// consumed by a completion (evicted there; bounded like predicted).
-	live map[int]bool
 	// early records completions observed before their decision — legal
 	// on a merged multi-shard stream, where only per-shard commit
 	// order is preserved. A later decision for such a job cancels
@@ -53,7 +56,22 @@ type StatsCollector struct {
 	// within a stream merge window — stay matchable.
 	early map[int]earlyRecord
 
-	occ map[string]*Occupancy
+	// retention, when positive, is the event-time window after which
+	// unmatched live and early entries are swept; sweptAt is the last
+	// sweep instant (amortization).
+	retention float64
+	sweptAt   float64
+
+	occ     map[string]*Occupancy
+	tenants map[string]*TenantStats
+}
+
+// liveJob is the per-job state held between a decision and its
+// completion.
+type liveJob struct {
+	at        float64 // decision event time, for retention sweeps
+	predicted float64
+	hasPred   bool
 }
 
 // earlyRecord is one early-completion entry: how many completions
@@ -82,10 +100,29 @@ type Occupancy struct {
 	ReportedLoad float64
 }
 
+// TenantStats is the per-tenant service view (key "" is the anonymous
+// stream).
+type TenantStats struct {
+	// Decisions and Completions count committed placements and
+	// completions observed for the tenant.
+	Decisions, Completions int64
+	// Shed counts intake refusals (throttled or deadline), split out
+	// by cause in Throttled and DeadlineShed.
+	Shed, Throttled, DeadlineShed int64
+	// DeadlineMisses counts completions that finished after their
+	// deadline — tasks admitted anyway (or with admission off) that
+	// did not make it.
+	DeadlineMisses int64
+	// SumFlow accumulates completion − submission over completions:
+	// the tenant's share of the paper's sum-flow objective.
+	SumFlow float64
+}
+
 // Stats is an immutable snapshot of the collector.
 type Stats struct {
-	// Decisions, Completions and Reports count the observed events.
-	Decisions, Completions, Reports int64
+	// Decisions, Completions and Reports count the observed events;
+	// Sheds counts intake refusals.
+	Decisions, Completions, Reports, Sheds int64
 	// Span is the event-time window covered (last minus first timed
 	// event, in experiment seconds).
 	Span float64
@@ -99,16 +136,36 @@ type Stats struct {
 	PredictionSamples int64
 	// Occupancy maps each observed server to its per-server view.
 	Occupancy map[string]Occupancy
+	// Tenants maps each observed tenant to its service gauges; empty
+	// until a tenant-tagged (or shed) event is seen.
+	Tenants map[string]TenantStats
 }
 
 // NewStatsCollector returns an empty collector.
 func NewStatsCollector() *StatsCollector {
 	return &StatsCollector{
-		predicted: make(map[int]float64),
-		live:      make(map[int]bool),
-		early:     make(map[int]earlyRecord),
-		occ:       make(map[string]*Occupancy),
+		live:    make(map[int]liveJob),
+		early:   make(map[int]earlyRecord),
+		occ:     make(map[string]*Occupancy),
+		tenants: make(map[string]*TenantStats),
 	}
+}
+
+// SetRetention bounds how long unmatched per-job state is kept: live
+// entries (decisions whose completion never arrives — a crashed
+// server, a lost message) and early completions older than window
+// experiment-seconds are swept, so an arbitrarily long run holds
+// memory proportional to the window's traffic instead of the run's.
+// Zero (the default) keeps unmatched entries forever. Aggregate
+// counters and per-server/per-tenant gauges are never evicted — they
+// are fixed-size. Safe to call at any time.
+func (sc *StatsCollector) SetRetention(window float64) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if window < 0 {
+		window = 0
+	}
+	sc.retention = window
 }
 
 // Collect ingests one event; pass it to Core.Subscribe (or a Cluster's
@@ -122,6 +179,7 @@ func (sc *StatsCollector) Collect(ev Event) {
 		sc.touch(ev.Time)
 		o := sc.server(ev.Server)
 		o.Decisions++
+		sc.tenant(ev.Tenant).Decisions++
 		if rec, ok := sc.early[ev.JobID]; ok {
 			// The job's completion was already observed (reordered
 			// merged stream): cancel against it instead of counting
@@ -136,15 +194,18 @@ func (sc *StatsCollector) Collect(ev Event) {
 			break
 		}
 		o.InFlight++
-		sc.live[ev.JobID] = true
-		if ev.HasPrediction {
-			sc.predicted[ev.JobID] = ev.Predicted
-		}
+		sc.live[ev.JobID] = liveJob{at: ev.Time, predicted: ev.Predicted, hasPred: ev.HasPrediction}
 	case EventCompletion:
 		sc.completions++
 		sc.touch(ev.Time)
 		o := sc.server(ev.Server)
 		o.Completions++
+		ts := sc.tenant(ev.Tenant)
+		ts.Completions++
+		ts.SumFlow += ev.Time - ev.Submitted
+		if ev.Deadline > 0 && ev.Time > ev.Deadline {
+			ts.DeadlineMisses++
+		}
 		// Clamp at zero rather than going negative: on a merged
 		// multi-shard stream a completion can be observed before its
 		// decision (per-shard commit order is preserved, cross-shard
@@ -157,8 +218,12 @@ func (sc *StatsCollector) Collect(ev Event) {
 		if o.InFlight > 0 {
 			o.InFlight--
 		}
-		if sc.live[ev.JobID] {
+		if job, ok := sc.live[ev.JobID]; ok {
 			delete(sc.live, ev.JobID)
+			if job.hasPred {
+				sc.absErrSum += math.Abs(ev.Time - job.predicted)
+				sc.absErrN++
+			}
 		} else {
 			// No decision seen yet: remember the completion so the
 			// late decision cancels instead of sticking in flight.
@@ -179,10 +244,16 @@ func (sc *StatsCollector) Collect(ev Event) {
 			rec.last = ev.Time
 			sc.early[ev.JobID] = rec
 		}
-		if p, ok := sc.predicted[ev.JobID]; ok {
-			sc.absErrSum += math.Abs(ev.Time - p)
-			sc.absErrN++
-			delete(sc.predicted, ev.JobID)
+	case EventShed:
+		sc.sheds++
+		sc.touch(ev.Time)
+		ts := sc.tenant(ev.Tenant)
+		ts.Shed++
+		switch ev.Reason {
+		case ShedThrottled:
+			ts.Throttled++
+		case ShedDeadline:
+			ts.DeadlineShed++
 		}
 	case EventReport:
 		sc.reports++
@@ -190,6 +261,28 @@ func (sc *StatsCollector) Collect(ev Event) {
 		sc.server(ev.Server).ReportedLoad = ev.Load
 	case EventServerAdded:
 		sc.server(ev.Server)
+	}
+	sc.sweepLocked()
+}
+
+// sweepLocked evicts unmatched live and early entries older than the
+// retention window. Amortized: a full map scan runs at most twice per
+// window of event time.
+func (sc *StatsCollector) sweepLocked() {
+	if sc.retention <= 0 || !sc.timed || sc.last-sc.sweptAt < sc.retention/2 {
+		return
+	}
+	sc.sweptAt = sc.last
+	cutoff := sc.last - sc.retention
+	for id, job := range sc.live {
+		if job.at < cutoff {
+			delete(sc.live, id)
+		}
+	}
+	for id, rec := range sc.early {
+		if rec.last < cutoff {
+			delete(sc.early, id)
+		}
 	}
 }
 
@@ -217,6 +310,16 @@ func (sc *StatsCollector) server(name string) *Occupancy {
 	return o
 }
 
+// tenant returns (creating if needed) the per-tenant record.
+func (sc *StatsCollector) tenant(name string) *TenantStats {
+	t, ok := sc.tenants[name]
+	if !ok {
+		t = &TenantStats{}
+		sc.tenants[name] = t
+	}
+	return t
+}
+
 // Snapshot returns the current aggregate view.
 func (sc *StatsCollector) Snapshot() Stats {
 	sc.mu.Lock()
@@ -225,8 +328,10 @@ func (sc *StatsCollector) Snapshot() Stats {
 		Decisions:         sc.decisions,
 		Completions:       sc.completions,
 		Reports:           sc.reports,
+		Sheds:             sc.sheds,
 		PredictionSamples: sc.absErrN,
 		Occupancy:         make(map[string]Occupancy, len(sc.occ)),
+		Tenants:           make(map[string]TenantStats, len(sc.tenants)),
 	}
 	if sc.timed {
 		st.Span = sc.last - sc.first
@@ -240,15 +345,22 @@ func (sc *StatsCollector) Snapshot() Stats {
 	for name, o := range sc.occ {
 		st.Occupancy[name] = *o
 	}
+	for name, t := range sc.tenants {
+		st.Tenants[name] = *t
+	}
 	return st
 }
 
-// String renders the snapshot as a small report, servers sorted by
-// name.
+// String renders the snapshot as a small report, servers and tenants
+// sorted by name.
 func (st Stats) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "decisions %d (%.2f/s over %.1fs)  completions %d  reports %d\n",
+	fmt.Fprintf(&b, "decisions %d (%.2f/s over %.1fs)  completions %d  reports %d",
 		st.Decisions, st.DecisionsPerSec, st.Span, st.Completions, st.Reports)
+	if st.Sheds > 0 {
+		fmt.Fprintf(&b, "  sheds %d", st.Sheds)
+	}
+	b.WriteByte('\n')
 	if st.PredictionSamples > 0 {
 		fmt.Fprintf(&b, "mean |completion error| %.3fs over %d completions\n",
 			st.MeanAbsPredictionError, st.PredictionSamples)
@@ -266,6 +378,20 @@ func (st Stats) String() string {
 		}
 		fmt.Fprintf(&b, "  %-12s in-flight %3d  decisions %4d  completions %4d  reported load %s\n",
 			name, o.InFlight, o.Decisions, o.Completions, load)
+	}
+	tenants := make([]string, 0, len(st.Tenants))
+	for name := range st.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		ts := st.Tenants[name]
+		label := name
+		if label == "" {
+			label = "(default)"
+		}
+		fmt.Fprintf(&b, "  tenant %-12s decisions %4d  completions %4d  shed %3d  misses %3d  sum-flow %.1fs\n",
+			label, ts.Decisions, ts.Completions, ts.Shed, ts.DeadlineMisses, ts.SumFlow)
 	}
 	return b.String()
 }

@@ -1,0 +1,91 @@
+package agent
+
+import (
+	"math"
+	"testing"
+)
+
+// TestStatsTenantGauges: decisions, completions, sheds, deadline
+// misses and sum-flow aggregate per tenant.
+func TestStatsTenantGauges(t *testing.T) {
+	sc := NewStatsCollector()
+	// gold: one decision completing 4s after submission, on time.
+	sc.Collect(Event{Kind: EventDecision, Time: 1, Server: "s1", JobID: 1, Tenant: "gold"})
+	sc.Collect(Event{Kind: EventCompletion, Time: 5, Server: "s1", JobID: 1, Tenant: "gold",
+		Submitted: 1, Deadline: 10})
+	// silver: one decision missing its deadline, one shed per cause.
+	sc.Collect(Event{Kind: EventDecision, Time: 2, Server: "s1", JobID: 2, Tenant: "silver"})
+	sc.Collect(Event{Kind: EventCompletion, Time: 9, Server: "s1", JobID: 2, Tenant: "silver",
+		Submitted: 2, Deadline: 6})
+	sc.Collect(Event{Kind: EventShed, Time: 3, JobID: 3, Tenant: "silver", Reason: ShedThrottled})
+	sc.Collect(Event{Kind: EventShed, Time: 4, JobID: 4, Tenant: "silver", Reason: ShedDeadline})
+
+	st := sc.Snapshot()
+	if st.Sheds != 2 {
+		t.Errorf("Sheds = %d, want 2", st.Sheds)
+	}
+	gold := st.Tenants["gold"]
+	if gold.Decisions != 1 || gold.Completions != 1 || gold.DeadlineMisses != 0 ||
+		math.Abs(gold.SumFlow-4) > 1e-9 {
+		t.Errorf("gold = %+v", gold)
+	}
+	silver := st.Tenants["silver"]
+	if silver.Decisions != 1 || silver.Completions != 1 || silver.DeadlineMisses != 1 ||
+		silver.Shed != 2 || silver.Throttled != 1 || silver.DeadlineShed != 1 ||
+		math.Abs(silver.SumFlow-7) > 1e-9 {
+		t.Errorf("silver = %+v", silver)
+	}
+	if s := st.String(); s == "" {
+		t.Error("empty report")
+	}
+}
+
+// TestStatsRetentionHoldsMemoryFlat is the standing-gc-item test: a
+// long run of decisions whose completions never arrive (lost messages,
+// dead servers) must not grow the live map without bound once a
+// retention window is set — and the same for the early-completion
+// reorder buffer.
+func TestStatsRetentionHoldsMemoryFlat(t *testing.T) {
+	sc := NewStatsCollector()
+	sc.SetRetention(100)
+	for i := 0; i < 200000; i++ {
+		at := float64(i)
+		// A decision that never completes, and an orphan completion
+		// that never had a decision.
+		sc.Collect(Event{Kind: EventDecision, Time: at, Server: "s1", JobID: i})
+		sc.Collect(Event{Kind: EventCompletion, Time: at, Server: "s2", JobID: 1_000_000 + i})
+	}
+	sc.mu.Lock()
+	liveN, earlyN := len(sc.live), len(sc.early)
+	sc.mu.Unlock()
+	// One decision per event-second and a 100s window: at most ~150
+	// live entries survive a sweep (window plus the half-window sweep
+	// amortization), independent of run length.
+	if liveN > 200 {
+		t.Errorf("live map grew to %d entries over a 100s retention window", liveN)
+	}
+	if earlyN > maxEarlyCompletions {
+		t.Errorf("early buffer grew to %d entries past its cap", earlyN)
+	}
+	// Aggregates are unaffected by eviction.
+	st := sc.Snapshot()
+	if st.Decisions != 200000 || st.Completions != 200000 {
+		t.Errorf("aggregates = %d/%d, want 200000/200000", st.Decisions, st.Completions)
+	}
+}
+
+// TestStatsRetentionKeepsRecentMatchable: retention must not evict
+// entries still inside the window — a completion arriving within the
+// window still realizes its prediction.
+func TestStatsRetentionKeepsRecentMatchable(t *testing.T) {
+	sc := NewStatsCollector()
+	sc.SetRetention(50)
+	sc.Collect(Event{Kind: EventDecision, Time: 1000, Server: "s1", JobID: 1,
+		Predicted: 1010, HasPrediction: true})
+	sc.Collect(Event{Kind: EventCompletion, Time: 1012, Server: "s1", JobID: 1})
+	st := sc.Snapshot()
+	if st.PredictionSamples != 1 || math.Abs(st.MeanAbsPredictionError-2) > 1e-9 {
+		t.Errorf("prediction error = %v over %d samples, want 2 over 1",
+			st.MeanAbsPredictionError, st.PredictionSamples)
+	}
+}

@@ -61,9 +61,17 @@ import (
 	"sync"
 
 	"casched/internal/agent"
+	"casched/internal/fair"
 	"casched/internal/sched"
 	"casched/internal/stats"
 )
+
+// placedRec is one dispatcher placement record: the shard (or member)
+// that committed a job and when, for window-bounded retention.
+type placedRec struct {
+	shard int
+	at    float64
+}
 
 // tieEps mirrors sched's tie tolerance for cross-shard comparisons.
 const tieEps = 1e-9
@@ -83,6 +91,22 @@ type Config struct {
 	// (stateful heuristics must not be shared across shard locks).
 	// Nil derives a factory from Core.Scheduler's registry name.
 	NewScheduler func() (sched.Scheduler, error)
+	// IntakeRate, when positive, bounds the cluster's raw intake with
+	// one dispatch-level token bucket of IntakeRate tasks per
+	// experiment second and burst capacity IntakeBurst (default
+	// max(IntakeRate, 1)): exactly one limiter per deployment, however
+	// many shards. Refused requests are shed with agent.ErrThrottled
+	// and an agent.EventShed on the merged stream.
+	IntakeRate  float64
+	IntakeBurst float64
+	// PlacedWindow, when positive, bounds the dispatcher's job→shard
+	// placement records to a trailing window of experiment seconds:
+	// records older than the window are swept, so a long-lived
+	// deployment whose completion messages occasionally go missing
+	// holds dispatch memory proportional to the window, not the run.
+	// Completions for swept jobs fall back to the server's current
+	// shard. Zero keeps records until their completion arrives.
+	PlacedWindow float64
 }
 
 // Option configures a Cluster (and, through CoreConfig, a single
@@ -131,6 +155,38 @@ func WithHTMSync(on bool) Option { return func(c *Config) { c.Core.HTMSync = on 
 // with a comparable objective.
 func WithBatchAssignment(on bool) Option { return func(c *Config) { c.Core.BatchAssignment = on } }
 
+// WithTenantShares turns on weighted fair-share arbitration of
+// multi-tenant batches (agent.Config.TenantShares): each shard's
+// intake arbiter offers tasks to the heuristic in fair-clock order
+// across tenants. Keys are tenant paths ("gold", "gold/alice"),
+// values share weights; a non-nil empty map enables arbitration with
+// equal shares.
+func WithTenantShares(shares map[string]float64) Option {
+	return func(c *Config) { c.Core.TenantShares = shares }
+}
+
+// WithAdmission turns deadline-aware admission control on or off
+// (agent.Config.Admission): requests whose deadline no candidate's
+// predicted completion meets are shed with agent.ErrDeadlineUnmet.
+func WithAdmission(on bool) Option { return func(c *Config) { c.Core.Admission = on } }
+
+// WithIntakeLimit bounds raw intake with one dispatch-level token
+// bucket of rate tasks per experiment second and burst capacity burst
+// (burst <= 0 defaults to max(rate, 1)). Applied to NewAgentCore it
+// becomes the core's own bucket; on a cluster it sits in front of the
+// dispatch layer, so a deployment has exactly one limiter regardless
+// of shard count.
+func WithIntakeLimit(rate, burst float64) Option {
+	return func(c *Config) { c.IntakeRate, c.IntakeBurst = rate, burst }
+}
+
+// WithPlacedWindow bounds the dispatcher's job→shard (or, on a
+// federation, job→member) placement records to a trailing
+// experiment-time window; see Config.PlacedWindow.
+func WithPlacedWindow(seconds float64) Option {
+	return func(c *Config) { c.PlacedWindow = seconds }
+}
+
 // schedulerFor resolves one shard's heuristic instance.
 func (cfg *Config) schedulerFor() (sched.Scheduler, error) {
 	if cfg.NewScheduler != nil {
@@ -175,6 +231,14 @@ func CoreConfig(base agent.Config, opts ...Option) (agent.Config, error) {
 	if cfg.Policy != nil {
 		return agent.Config{}, errors.New("agent: WithShardPolicy applies to NewCluster, not NewAgentCore")
 	}
+	if cfg.PlacedWindow != 0 {
+		return agent.Config{}, errors.New("agent: WithPlacedWindow applies to dispatch layers, not NewAgentCore")
+	}
+	// The dispatch-level intake limit becomes the single core's own
+	// bucket: one limiter per deployment either way.
+	if cfg.IntakeRate > 0 {
+		cfg.Core.IntakeRate, cfg.Core.IntakeBurst = cfg.IntakeRate, cfg.IntakeBurst
+	}
 	s, err := cfg.schedulerFor()
 	if err != nil {
 		return agent.Config{}, err
@@ -192,11 +256,17 @@ type Cluster struct {
 	// mu is the dispatch lock: membership, routing state and
 	// cluster-level submissions.
 	mu     sync.Mutex
-	home   map[string]int // server name -> shard index
-	counts []int          // servers per shard
-	placed map[int]int    // jobID -> shard, evicted on completion
-	rr     int            // rotation cursor for unscored heuristics
-	rng    *stats.RNG     // power-of-two-choices sampling for batch routing
+	home   map[string]int    // server name -> shard index
+	counts []int             // servers per shard
+	placed map[int]placedRec // jobID -> placement record, evicted on completion
+	rr     int               // rotation cursor for unscored heuristics
+	rng    *stats.RNG        // power-of-two-choices sampling for batch routing
+	// bucket is the dispatch-level intake limiter (nil = unlimited);
+	// placedWindow/placedSwept bound the placed map (see
+	// Config.PlacedWindow).
+	bucket       *fair.TokenBucket
+	placedWindow float64
+	placedSwept  float64
 
 	// emu guards the merged event stream (leaf lock: taken inside
 	// shard emits, never the other way around).
@@ -223,13 +293,17 @@ func NewFromConfig(cfg Config) (*Cluster, error) {
 		cfg.Policy = Hash()
 	}
 	cl := &Cluster{
-		policy: cfg.Policy,
-		shards: make([]*agent.Core, cfg.Shards),
-		home:   make(map[string]int),
-		counts: make([]int, cfg.Shards),
-		placed: make(map[int]int),
-		subs:   make(map[int]func(agent.Event)),
-		rng:    stats.NewRNG(cfg.Core.Seed ^ 0x9e3779b97f4a7c15),
+		policy:       cfg.Policy,
+		shards:       make([]*agent.Core, cfg.Shards),
+		home:         make(map[string]int),
+		counts:       make([]int, cfg.Shards),
+		placed:       make(map[int]placedRec),
+		subs:         make(map[int]func(agent.Event)),
+		rng:          stats.NewRNG(cfg.Core.Seed ^ 0x9e3779b97f4a7c15),
+		placedWindow: cfg.PlacedWindow,
+	}
+	if cfg.IntakeRate > 0 {
+		cl.bucket = fair.NewTokenBucket(cfg.IntakeRate, cfg.IntakeBurst)
 	}
 	for i := range cl.shards {
 		s, err := cfg.schedulerFor()
@@ -424,6 +498,46 @@ func (cl *Cluster) InFlight() int {
 	return n
 }
 
+// shed synthesizes a dispatch-level shed event into the merged stream.
+// Used for refusals the shards never see (the cluster's own intake
+// bucket) or that no single shard owns (fan-out deadline refusals,
+// where shards only evaluate and must not emit).
+func (cl *Cluster) shed(req agent.Request, reason string) {
+	cl.forward(agent.Event{
+		Kind:     agent.EventShed,
+		Time:     req.Arrival,
+		JobID:    req.JobID,
+		TaskID:   req.TaskID,
+		Attempt:  req.Attempt,
+		Tenant:   req.Tenant,
+		Deadline: req.Deadline,
+		Reason:   reason,
+	})
+}
+
+// notePlacedLocked records which shard committed a job, sweeping
+// expired records when a retention window is set. Caller holds cl.mu.
+func (cl *Cluster) notePlacedLocked(jobID, sh int, at float64) {
+	cl.placed[jobID] = placedRec{shard: sh, at: at}
+	cl.sweepPlacedLocked(at)
+}
+
+// sweepPlacedLocked evicts placement records older than the retention
+// window. Amortized: the full scan runs at most twice per window.
+// Caller holds cl.mu.
+func (cl *Cluster) sweepPlacedLocked(now float64) {
+	if cl.placedWindow <= 0 || now-cl.placedSwept < cl.placedWindow/2 {
+		return
+	}
+	cl.placedSwept = now
+	cutoff := now - cl.placedWindow
+	for id, rec := range cl.placed {
+		if rec.at < cutoff {
+			delete(cl.placed, id)
+		}
+	}
+}
+
 // Submit routes one task: every shard evaluates the request against
 // its own partition (fan-out, no commit), the scored winners are
 // compared, and the placement commits on exactly one shard. Heuristics
@@ -432,9 +546,18 @@ func (cl *Cluster) InFlight() int {
 // eligible shard — fanning them out would advance stateful heuristics
 // on shards that never commit and starve servers. See the package
 // comment for the decision-quality contract.
+//
+// With an intake limit configured, requests the dispatch-level bucket
+// refuses are shed with agent.ErrThrottled before any shard is
+// consulted. With admission on, a request no shard can finish by its
+// deadline is shed with agent.ErrDeadlineUnmet.
 func (cl *Cluster) Submit(req agent.Request) (agent.Decision, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	if cl.bucket != nil && !cl.bucket.Take(req.Arrival) {
+		cl.shed(req, agent.ShedThrottled)
+		return agent.Decision{}, fmt.Errorf("cluster: job %d: %w", req.JobID, agent.ErrThrottled)
+	}
 	if len(cl.shards) == 1 {
 		return cl.shards[0].Submit(req)
 	}
@@ -464,7 +587,7 @@ func (cl *Cluster) submitRotateLocked(req agent.Request) (agent.Decision, error)
 	if err != nil {
 		return agent.Decision{}, err
 	}
-	cl.placed[req.JobID] = sh
+	cl.notePlacedLocked(req.JobID, sh, req.Arrival)
 	return dec, nil
 }
 
@@ -494,11 +617,19 @@ func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, e
 	wg.Wait()
 
 	winner := -1
+	deadlineBlocked := false
 	var best agent.Candidate
 	var errs []error
 	for i, r := range results {
 		if r.err != nil {
-			if !errors.Is(r.err, agent.ErrUnschedulable) {
+			switch {
+			case errors.Is(r.err, agent.ErrDeadlineUnmet):
+				// A per-shard exclusion, like ErrUnschedulable: another
+				// shard's partition may still meet the deadline. Shards
+				// do not emit on Evaluate, so if every shard is blocked
+				// the dispatcher synthesizes the shed below.
+				deadlineBlocked = true
+			case !errors.Is(r.err, agent.ErrUnschedulable):
 				errs = append(errs, fmt.Errorf("cluster: shard %d: %w", i, r.err))
 			}
 			continue
@@ -511,13 +642,17 @@ func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, e
 		if len(errs) > 0 {
 			return agent.Decision{}, -1, errors.Join(errs...)
 		}
+		if deadlineBlocked {
+			cl.shed(req, agent.ShedDeadline)
+			return agent.Decision{}, -1, fmt.Errorf("cluster: job %d: %w", req.JobID, agent.ErrDeadlineUnmet)
+		}
 		return agent.Decision{}, -1, agent.ErrUnschedulable
 	}
 	dec, err := cl.shards[winner].Commit(req, best.Server)
 	if err != nil {
 		return agent.Decision{}, -1, fmt.Errorf("cluster: commit on shard %d: %w", winner, err)
 	}
-	cl.placed[req.JobID] = winner
+	cl.notePlacedLocked(req.JobID, winner, req.Arrival)
 	return dec, winner, nil
 }
 
@@ -537,22 +672,58 @@ func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, e
 // ranking, so a mixed batch fans out only as far as eligibility
 // forces it. Failed requests yield zero Decisions with their errors
 // joined, like agent.Core.SubmitBatch.
+// With an intake limit configured, the dispatch-level bucket gates the
+// whole batch first: refused requests are shed with agent.ErrThrottled
+// before any shard is consulted (including the single-shard fast
+// path), and the admitted remainder is routed as usual. Per-shard
+// admission and fair-share arbitration run inside each routed
+// sub-batch, on the shard that owns it.
 func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
+	var errs []error
+	live, keep := reqs, []int(nil)
+	if cl.bucket != nil {
+		live = make([]agent.Request, 0, len(reqs))
+		keep = make([]int, 0, len(reqs))
+		for i, req := range reqs {
+			if !cl.bucket.Take(req.Arrival) {
+				cl.shed(req, agent.ShedThrottled)
+				errs = append(errs, fmt.Errorf("cluster: batch job %d: %w", req.JobID, agent.ErrThrottled))
+				continue
+			}
+			live = append(live, req)
+			keep = append(keep, i)
+		}
+	}
+	// scatter maps shard results for the admitted sub-slice back to the
+	// caller's positions when the gate dropped anything.
+	scatter := func(decs []agent.Decision) []agent.Decision {
+		if keep == nil {
+			return decs
+		}
+		out := make([]agent.Decision, len(reqs))
+		for k, pos := range keep {
+			out[pos] = decs[k]
+		}
+		return out
+	}
 	if len(cl.shards) == 1 {
-		return cl.shards[0].SubmitBatch(reqs)
+		decs, err := cl.shards[0].SubmitBatch(live)
+		if err != nil {
+			errs = append(errs, err)
+		}
+		return scatter(decs), errors.Join(errs...)
 	}
 	at := 0.0
-	if len(reqs) > 0 {
-		at = reqs[0].Arrival
+	if len(live) > 0 {
+		at = live[0].Arrival
 	}
 	order := cl.batchOrderLocked(at)
 
-	assign := make([]int, len(reqs))
-	var errs []error
-	subBatches := make(map[int][]int) // shard -> request positions
-	for i, req := range reqs {
+	assign := make([]int, len(live))
+	subBatches := make(map[int][]int) // shard -> positions within live
+	for i, req := range live {
 		assign[i] = -1
 		for _, sh := range order {
 			if cl.counts[sh] > 0 && cl.shards[sh].CanSolve(req.Spec) {
@@ -566,7 +737,7 @@ func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 		}
 	}
 
-	out := make([]agent.Decision, len(reqs))
+	out := make([]agent.Decision, len(live))
 	shardErrs := make(map[int]error, len(subBatches))
 	var wg sync.WaitGroup
 	var emu sync.Mutex
@@ -576,7 +747,7 @@ func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 			defer wg.Done()
 			sub := make([]agent.Request, len(positions))
 			for k, pos := range positions {
-				sub[k] = reqs[pos]
+				sub[k] = live[pos]
 			}
 			decs, err := cl.shards[sh].SubmitBatch(sub)
 			for k, pos := range positions {
@@ -595,10 +766,10 @@ func (cl *Cluster) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 	}
 	for i, d := range out {
 		if d.Server != "" {
-			cl.placed[reqs[i].JobID] = assign[i]
+			cl.notePlacedLocked(live[i].JobID, assign[i], live[i].Arrival)
 		}
 	}
-	return out, errors.Join(errs...)
+	return scatter(out), errors.Join(errs...)
 }
 
 // batchOrderLocked returns the shard indexes in routing-preference
@@ -623,13 +794,16 @@ func (cl *Cluster) batchOrderLocked(at float64) []int {
 // dispatcher never saw).
 func (cl *Cluster) Complete(jobID int, server string, at float64) agent.Completion {
 	cl.mu.Lock()
-	sh, ok := cl.placed[jobID]
-	if ok {
+	sh := 0
+	if rec, ok := cl.placed[jobID]; ok {
+		sh = rec.shard
 		delete(cl.placed, jobID)
 	} else if h, okh := cl.home[server]; okh {
+		// Unrouted jobs — and routed ones whose record aged out of the
+		// retention window — resolve through the server's current
+		// shard: the degraded-but-correct path as long as the server
+		// has not migrated since placement.
 		sh = h
-	} else {
-		sh = 0
 	}
 	core := cl.shards[sh]
 	cl.mu.Unlock()
@@ -648,12 +822,25 @@ func (cl *Cluster) Report(server string, load, at float64) {
 }
 
 // placedShard resolves the shard that placed a job, when the
-// dispatcher routed it.
+// dispatcher routed it (and the record has not aged out).
 func (cl *Cluster) placedShard(jobID int) (int, bool) {
 	cl.mu.Lock()
 	defer cl.mu.Unlock()
-	sh, ok := cl.placed[jobID]
-	return sh, ok
+	rec, ok := cl.placed[jobID]
+	return rec.shard, ok
+}
+
+// TenantInFlight merges every shard's per-tenant in-flight counts —
+// the fair-share signal a federation dispatcher reads from member
+// summaries.
+func (cl *Cluster) TenantInFlight() map[string]int {
+	out := make(map[string]int)
+	for _, core := range cl.shards {
+		for tenant, n := range core.TenantInFlight() {
+			out[tenant] += n
+		}
+	}
+	return out
 }
 
 // Prediction returns the placement-time HTM prediction of an

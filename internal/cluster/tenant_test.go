@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"casched/internal/agent"
+)
+
+// submitN drives n jobs with distinct arrivals through Submit and
+// returns the placement sequence.
+func submitN(t *testing.T, cl *Cluster, n int, tenantOf func(int) string) []string {
+	t.Helper()
+	spec := evenSpec(8)
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		tenant := ""
+		if tenantOf != nil {
+			tenant = tenantOf(i)
+		}
+		dec, err := cl.Submit(agent.Request{
+			JobID: i, Spec: spec, Arrival: float64(i), Tenant: tenant,
+		})
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		out[i] = dec.Server
+	}
+	return out
+}
+
+// TestClusterIntakeThrottleSubmit pins the dispatch-level token bucket
+// on the Submit path — including the single-shard fast path, which
+// must not bypass the gate.
+func TestClusterIntakeThrottleSubmit(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		cl := newTestCluster(t, shards, "HMCT", 8, WithIntakeLimit(1, 1))
+		var sheds []agent.Event
+		cl.Subscribe(func(ev agent.Event) {
+			if ev.Kind == agent.EventShed {
+				sheds = append(sheds, ev)
+			}
+		})
+		spec := evenSpec(8)
+		if _, err := cl.Submit(agent.Request{JobID: 1, Spec: spec, Arrival: 0, Tenant: "gold"}); err != nil {
+			t.Fatalf("shards=%d: first submit: %v", shards, err)
+		}
+		_, err := cl.Submit(agent.Request{JobID: 2, Spec: spec, Arrival: 0, Tenant: "gold"})
+		if !errors.Is(err, agent.ErrThrottled) {
+			t.Fatalf("shards=%d: second submit err = %v, want ErrThrottled", shards, err)
+		}
+		if len(sheds) != 1 || sheds[0].JobID != 2 || sheds[0].Reason != agent.ShedThrottled ||
+			sheds[0].Tenant != "gold" {
+			t.Errorf("shards=%d: shed events = %+v", shards, sheds)
+		}
+		// The bucket refills on experiment time: a later arrival passes.
+		if _, err := cl.Submit(agent.Request{JobID: 3, Spec: spec, Arrival: 5}); err != nil {
+			t.Errorf("shards=%d: refilled submit: %v", shards, err)
+		}
+	}
+}
+
+// TestClusterIntakeThrottleBatch pins the batch gate: refused requests
+// shed, admitted ones placed, results scattered to caller positions.
+func TestClusterIntakeThrottleBatch(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		cl := newTestCluster(t, shards, "HMCT", 8, WithIntakeLimit(1, 2))
+		spec := evenSpec(8)
+		reqs := make([]agent.Request, 4)
+		for i := range reqs {
+			reqs[i] = agent.Request{JobID: 10 + i, Spec: spec, Arrival: 0}
+		}
+		decs, err := cl.SubmitBatch(reqs)
+		if !errors.Is(err, agent.ErrThrottled) {
+			t.Fatalf("shards=%d: batch err = %v, want ErrThrottled in chain", shards, err)
+		}
+		if len(decs) != 4 {
+			t.Fatalf("shards=%d: got %d decisions, want 4", shards, len(decs))
+		}
+		placed := 0
+		for i, d := range decs {
+			if d.Server != "" {
+				placed++
+				if i >= 2 {
+					t.Errorf("shards=%d: position %d placed but the burst capacity is 2", shards, i)
+				}
+			}
+		}
+		if placed != 2 {
+			t.Errorf("shards=%d: placed %d of 4, want the 2 the burst admits", shards, placed)
+		}
+	}
+}
+
+// TestClusterDeadlineFanoutShed pins the fan-out admission contract:
+// a deadline no shard can meet sheds once at the dispatch layer with
+// one synthesized event; a feasible deadline places normally.
+func TestClusterDeadlineFanoutShed(t *testing.T) {
+	cl := newTestCluster(t, 2, "HMCT", 8, WithAdmission(true))
+	var sheds []agent.Event
+	cl.Subscribe(func(ev agent.Event) {
+		if ev.Kind == agent.EventShed {
+			sheds = append(sheds, ev)
+		}
+	})
+	spec := evenSpec(8) // compute costs ≥ 20 everywhere
+	_, err := cl.Submit(agent.Request{JobID: 1, Spec: spec, Arrival: 0, Deadline: 5})
+	if !errors.Is(err, agent.ErrDeadlineUnmet) {
+		t.Fatalf("tight deadline err = %v, want ErrDeadlineUnmet", err)
+	}
+	if len(sheds) != 1 || sheds[0].Reason != agent.ShedDeadline || sheds[0].JobID != 1 {
+		t.Errorf("shed events = %+v, want one deadline shed", sheds)
+	}
+	dec, err := cl.Submit(agent.Request{JobID: 2, Spec: spec, Arrival: 0, Deadline: 1000})
+	if err != nil || dec.Server == "" {
+		t.Fatalf("feasible deadline: dec=%+v err=%v", dec, err)
+	}
+	if len(sheds) != 1 {
+		t.Errorf("feasible deadline shed anyway: %+v", sheds)
+	}
+}
+
+// TestClusterPlacedWindowMemoryFlat is the dispatcher half of the
+// bounded-retention satellite: a long run of placements whose
+// completions never arrive must not grow the job→shard map past the
+// window.
+func TestClusterPlacedWindowMemoryFlat(t *testing.T) {
+	// MCT is monitor-only: uncompleted jobs don't grow an HTM trace, so
+	// 20000 never-completing placements stay O(1) per decision and the
+	// test isolates the dispatcher map's growth.
+	cl := newTestCluster(t, 2, "MCT", 8, WithPlacedWindow(100))
+	spec := evenSpec(8)
+	for i := 0; i < 20000; i++ {
+		if _, err := cl.Submit(agent.Request{JobID: i, Spec: spec, Arrival: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cl.mu.Lock()
+	n := len(cl.placed)
+	cl.mu.Unlock()
+	// One placement per event-second, a 100s window, half-window sweep
+	// amortization: at most ~150 records survive, run-length free.
+	if n > 200 {
+		t.Errorf("placed map grew to %d records over a 100s window", n)
+	}
+	// A completion inside the window still routes by record: job 19999
+	// was just placed.
+	if _, ok := cl.placedShard(19999); !ok {
+		t.Error("fresh placement already swept")
+	}
+}
+
+// TestClusterTenantConfigParity pins the tentpole's
+// behavior-preserving contract at the cluster layer: single-tenant
+// traffic through a cluster with tenant shares configured and
+// admission off reproduces the plain cluster's placements bit for
+// bit, on both Submit and SubmitBatch paths.
+func TestClusterTenantConfigParity(t *testing.T) {
+	plain := newTestCluster(t, 2, "HMCT", 8)
+	fancy := newTestCluster(t, 2, "HMCT", 8,
+		WithTenantShares(map[string]float64{"gold": 4, "silver": 1}),
+		WithAdmission(true))
+
+	want := submitN(t, plain, 40, nil)
+	got := submitN(t, fancy, 40, nil)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("submit %d diverged: plain=%s fancy=%s", i, want[i], got[i])
+		}
+	}
+
+	spec := evenSpec(8)
+	reqs := make([]agent.Request, 8)
+	for i := range reqs {
+		reqs[i] = agent.Request{JobID: 100 + i, Spec: spec, Arrival: 50}
+	}
+	wantB, err1 := plain.SubmitBatch(reqs)
+	gotB, err2 := fancy.SubmitBatch(reqs)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("batch errs: %v / %v", err1, err2)
+	}
+	for i := range wantB {
+		if wantB[i].Server != gotB[i].Server {
+			t.Fatalf("batch %d diverged: plain=%s fancy=%s", i, wantB[i].Server, gotB[i].Server)
+		}
+	}
+}
+
+// TestClusterTenantInFlightMerge pins the per-tenant in-flight
+// accessor across shards.
+func TestClusterTenantInFlightMerge(t *testing.T) {
+	cl := newTestCluster(t, 2, "HMCT", 8)
+	tenants := []string{"gold", "gold", "silver"}
+	submitN(t, cl, 3, func(i int) string { return tenants[i] })
+	tif := cl.TenantInFlight()
+	if tif["gold"] != 2 || tif["silver"] != 1 {
+		t.Errorf("TenantInFlight = %v, want gold=2 silver=1", tif)
+	}
+}
+
+// TestClusterConcurrentMultiTenantSubmit exercises concurrent
+// multi-tenant submissions with shares and admission on — the -race
+// invariant of the fairness satellite.
+func TestClusterConcurrentMultiTenantSubmit(t *testing.T) {
+	cl := newTestCluster(t, 2, "HMCT", 8,
+		WithTenantShares(map[string]float64{"gold": 4, "silver": 1}),
+		WithAdmission(true))
+	spec := evenSpec(8)
+	var wg sync.WaitGroup
+	const workers, per = 4, 50
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tenant := "gold"
+			if w%2 == 1 {
+				tenant = "silver"
+			}
+			for i := 0; i < per; i++ {
+				id := w*per + i
+				dec, err := cl.Submit(agent.Request{
+					JobID: id, Spec: spec, Arrival: float64(i),
+					Tenant: tenant, Deadline: float64(i) + 1e6,
+				})
+				if err != nil && !errors.Is(err, agent.ErrDeadlineUnmet) {
+					errCh <- fmt.Errorf("job %d: %w", id, err)
+					return
+				}
+				if err == nil && i%10 == 9 {
+					cl.Complete(id, dec.Server, float64(i)+50)
+				}
+			}
+			errCh <- nil
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

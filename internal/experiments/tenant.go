@@ -1,0 +1,317 @@
+// This file is the multi-tenant intake study: it measures the two
+// claims the fair-share/admission tentpole makes. First, under a
+// saturating multi-tenant batch the weighted fair-clock arbiter serves
+// tenants work in proportion to their configured shares. Second, on a
+// bursty deadline-stamped workload, deadline-aware admission converts
+// late completions into upfront refusals — the deadline-miss rate with
+// admission on is strictly below the rate with admission off.
+
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"casched/internal/agent"
+	"casched/internal/sched"
+	"casched/internal/task"
+	"casched/internal/workload"
+)
+
+// TenantStudyConfig parameterizes the study. Zero values select the
+// committed defaults (benchmarks/tenant-study.txt).
+type TenantStudyConfig struct {
+	// N is the fairness-phase metatask size (default 420).
+	N int
+	// BurstN is the admission-phase metatask size (default 240).
+	BurstN int
+	// BurstD is the admission phase's long-run mean inter-arrival in
+	// seconds (default 6, the fed-study overload).
+	BurstD float64
+	// Seed drives workload generation and tie-breaking.
+	Seed uint64
+	// Shares maps tenants to fair-share weights (default gold=4,
+	// silver=2, bronze=1). The offered mix is uniform across tenants,
+	// so only arbitration can skew service toward the weights.
+	Shares map[string]float64
+	// Replicas scales the Table 2 second-set testbed (default 2 ⇒ 8
+	// servers).
+	Replicas int
+	// DeadlineSlack stamps the admission-phase deadlines at slack ×
+	// the spec's best-case nominal duration past arrival (default 4).
+	DeadlineSlack float64
+}
+
+func (c *TenantStudyConfig) defaults() {
+	if c.N == 0 {
+		c.N = 420
+	}
+	if c.BurstN == 0 {
+		c.BurstN = 240
+	}
+	if c.BurstD == 0 {
+		c.BurstD = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Shares == nil {
+		c.Shares = map[string]float64{"gold": 4, "silver": 2, "bronze": 1}
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.DeadlineSlack == 0 {
+		c.DeadlineSlack = 4
+	}
+}
+
+// TenantShareRow is one tenant's fairness-phase measurement.
+type TenantShareRow struct {
+	Tenant string
+	// Weight is the configured share weight; WantShare its normalized
+	// fraction of the total.
+	Weight, WantShare float64
+	// GotShare is the tenant's fraction of the served work (chosen
+	// server's nominal cost — what the fair ledger charges) over the
+	// saturated prefix of the decision sequence.
+	GotShare float64
+}
+
+// TenantStudyResult holds both phases.
+type TenantStudyResult struct {
+	Config TenantStudyConfig
+
+	// Shares are the fairness-phase rows, sorted by tenant name;
+	// MaxShareError is the largest |GotShare − WantShare| among them,
+	// and SaturatedPrefix the number of decisions measured (the prefix
+	// during which every tenant still had backlog).
+	Shares          []TenantShareRow
+	MaxShareError   float64
+	SaturatedPrefix int
+
+	// Admission phase: the same bursty deadline-stamped metatask run
+	// with admission off and on. Misses count tasks whose HTM-simulated
+	// completion lands past their deadline; Sheds counts upfront
+	// refusals (admission on only). Rates are over the full metatask.
+	OffMisses, OnMisses, OnSheds int
+	OffMissRate, OnMissRate      float64
+	// OffSumFlow and OnSumFlow are the HTM-simulated total flows of
+	// the tasks that ran (admitted tasks only, for the on side).
+	OffSumFlow, OnSumFlow float64
+}
+
+// uniformMix gives every configured tenant the same offered load, so
+// any share skew in the result is the arbiter's doing.
+func uniformMix(shares map[string]float64) map[string]float64 {
+	mix := make(map[string]float64, len(shares))
+	for name := range shares {
+		mix[name] = 1
+	}
+	return mix
+}
+
+// TenantStudy runs both phases.
+func TenantStudy(cfg TenantStudyConfig) (*TenantStudyResult, error) {
+	cfg.defaults()
+	res := &TenantStudyResult{Config: cfg}
+	if err := tenantFairnessPhase(cfg, res); err != nil {
+		return nil, err
+	}
+	if err := tenantAdmissionPhase(cfg, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// tenantFairnessPhase saturates one agent core with a single
+// multi-tenant batch and measures each tenant's share of the served
+// work while every tenant still has backlog. MCT keeps each decision
+// O(1): the phase isolates intake ordering, not HTM projection.
+func tenantFairnessPhase(cfg TenantStudyConfig, res *TenantStudyResult) error {
+	sc := workload.MultiTenant(workload.Set2(cfg.N, 1, cfg.Seed), uniformMix(cfg.Shares), 0)
+	mt, err := workload.Generate(sc)
+	if err != nil {
+		return err
+	}
+	names, rewrite := replicatedSet2(cfg.Replicas)
+	for _, t := range mt.Tasks {
+		t.Spec = rewrite(t.Spec)
+	}
+
+	s, err := sched.ByName("MCT")
+	if err != nil {
+		return err
+	}
+	core, err := agent.New(agent.Config{
+		Scheduler:    s,
+		Seed:         cfg.Seed,
+		TenantShares: cfg.Shares,
+	})
+	if err != nil {
+		return err
+	}
+	type served struct {
+		tenant string
+		work   float64
+	}
+	var order []served
+	byID := make(map[int]*task.Task, mt.Len())
+	for _, t := range mt.Tasks {
+		byID[t.ID] = t
+	}
+	core.Subscribe(func(ev agent.Event) {
+		if ev.Kind != agent.EventDecision {
+			return
+		}
+		t := byID[ev.JobID]
+		cost, _ := t.Spec.Cost(ev.Server)
+		order = append(order, served{tenant: t.Tenant, work: cost.Total()})
+	})
+	for _, n := range names {
+		core.AddServer(n)
+	}
+
+	// One saturating batch: every tenant's whole queue is visible to
+	// the arbiter at once, stamped at the last arrival like any
+	// collecting frontend's burst.
+	at := mt.Tasks[mt.Len()-1].Arrival
+	reqs := make([]agent.Request, mt.Len())
+	backlog := make(map[string]int)
+	for i, t := range mt.Tasks {
+		reqs[i] = agent.Request{JobID: t.ID, TaskID: t.ID, Spec: t.Spec,
+			Arrival: at, Submitted: t.Arrival, Tenant: t.Tenant}
+		backlog[t.Tenant]++
+	}
+	if _, err := core.SubmitBatch(reqs); err != nil {
+		return fmt.Errorf("experiments: fairness batch: %w", err)
+	}
+
+	// Measure the prefix during which every tenant still had queued
+	// work — the regime where the weighted fair clock governs who is
+	// served next. Once the lightest queue drains, the remaining
+	// tenants split the leftovers regardless of weights.
+	workBy := make(map[string]float64)
+	var total float64
+	for _, sv := range order {
+		backlog[sv.tenant]--
+		workBy[sv.tenant] += sv.work
+		total += sv.work
+		res.SaturatedPrefix++
+		if backlog[sv.tenant] == 0 {
+			break // this tenant's queue just drained; the regime ends here
+		}
+	}
+	if total <= 0 {
+		return fmt.Errorf("experiments: fairness phase served no work")
+	}
+	var weightSum float64
+	for _, w := range cfg.Shares {
+		weightSum += w
+	}
+	for name, w := range cfg.Shares {
+		row := TenantShareRow{
+			Tenant:    name,
+			Weight:    w,
+			WantShare: w / weightSum,
+			GotShare:  workBy[name] / total,
+		}
+		if dev := row.GotShare - row.WantShare; dev > res.MaxShareError {
+			res.MaxShareError = dev
+		} else if -dev > res.MaxShareError {
+			res.MaxShareError = -dev
+		}
+		res.Shares = append(res.Shares, row)
+	}
+	sort.Slice(res.Shares, func(i, j int) bool { return res.Shares[i].Tenant < res.Shares[j].Tenant })
+	return nil
+}
+
+// tenantAdmissionPhase runs one bursty deadline-stamped metatask twice
+// through an HMCT core — admission off, then on — and compares
+// deadline-miss rates on the HTM-simulated completions.
+func tenantAdmissionPhase(cfg TenantStudyConfig, res *TenantStudyResult) error {
+	sc := workload.MultiTenant(workload.PoissonBurst(cfg.BurstN, cfg.BurstD, cfg.Seed),
+		uniformMix(cfg.Shares), cfg.DeadlineSlack)
+	mt, err := workload.Generate(sc)
+	if err != nil {
+		return err
+	}
+	names, rewrite := replicatedSet2(cfg.Replicas)
+	for _, t := range mt.Tasks {
+		t.Spec = rewrite(t.Spec)
+	}
+
+	run := func(admission bool) (misses, sheds int, sumFlow float64, err error) {
+		s, err := sched.ByName("HMCT")
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		core, err := agent.New(agent.Config{
+			Scheduler: s,
+			Seed:      cfg.Seed,
+			Admission: admission,
+		})
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		for _, n := range names {
+			core.AddServer(n)
+		}
+		for _, t := range mt.Tasks {
+			_, serr := core.Submit(agent.Request{JobID: t.ID, TaskID: t.ID, Spec: t.Spec,
+				Arrival: t.Arrival, Submitted: t.Arrival, Tenant: t.Tenant, Deadline: t.Deadline})
+			switch {
+			case serr == nil:
+			case admission && errors.Is(serr, agent.ErrDeadlineUnmet):
+				sheds++
+			default:
+				return 0, 0, 0, fmt.Errorf("experiments: admission submit %d: %w", t.ID, serr)
+			}
+		}
+		preds := core.FinalPredictions()
+		for _, t := range mt.Tasks {
+			c, ok := preds[t.ID]
+			if !ok {
+				continue
+			}
+			sumFlow += c - t.Arrival
+			if t.Deadline > 0 && c > t.Deadline {
+				misses++
+			}
+		}
+		return misses, sheds, sumFlow, nil
+	}
+
+	if res.OffMisses, _, res.OffSumFlow, err = run(false); err != nil {
+		return err
+	}
+	if res.OnMisses, res.OnSheds, res.OnSumFlow, err = run(true); err != nil {
+		return err
+	}
+	res.OffMissRate = float64(res.OffMisses) / float64(mt.Len())
+	res.OnMissRate = float64(res.OnMisses) / float64(mt.Len())
+	return nil
+}
+
+// FormatTenantStudy renders the study as a small report.
+func FormatTenantStudy(r *TenantStudyResult) string {
+	var b strings.Builder
+	c := r.Config
+	fmt.Fprintf(&b, "multi-tenant intake study — set 2, seed %d, %d servers\n", c.Seed, 4*c.Replicas)
+	fmt.Fprintf(&b, "\nfair shares (MCT, one saturating batch of %d, uniform offered mix, %d decisions measured)\n",
+		c.N, r.SaturatedPrefix)
+	fmt.Fprintf(&b, "  %-10s %8s %10s %10s\n", "tenant", "weight", "want", "served")
+	for _, s := range r.Shares {
+		fmt.Fprintf(&b, "  %-10s %8g %9.1f%% %9.1f%%\n", s.Tenant, s.Weight, 100*s.WantShare, 100*s.GotShare)
+	}
+	fmt.Fprintf(&b, "  max share error %.1f pp\n", 100*r.MaxShareError)
+	fmt.Fprintf(&b, "\ndeadline admission (HMCT, poisson-burst N=%d D=%gs, slack %g×best-case)\n",
+		c.BurstN, c.BurstD, c.DeadlineSlack)
+	fmt.Fprintf(&b, "  %-16s %8s %8s %10s %12s\n", "admission", "misses", "sheds", "miss rate", "sumflow(run)")
+	fmt.Fprintf(&b, "  %-16s %8d %8d %9.1f%% %12.0f\n", "off", r.OffMisses, 0, 100*r.OffMissRate, r.OffSumFlow)
+	fmt.Fprintf(&b, "  %-16s %8d %8d %9.1f%% %12.0f\n", "on", r.OnMisses, r.OnSheds, 100*r.OnMissRate, r.OnSumFlow)
+	return b.String()
+}

@@ -1,0 +1,64 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestTenantStudyClaims pins the tentpole's measured claims on the
+// committed study configuration (the one rendered into
+// benchmarks/tenant-study.txt): under saturation each tenant's served
+// work lands within 5% of its weighted share, and admission turns a
+// strictly lower deadline-miss rate than running open-loop.
+func TestTenantStudyClaims(t *testing.T) {
+	r, err := TenantStudy(TenantStudyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Shares) != 3 {
+		t.Fatalf("share rows = %d, want 3", len(r.Shares))
+	}
+	if r.SaturatedPrefix < 100 {
+		t.Fatalf("saturated prefix %d too short to measure shares", r.SaturatedPrefix)
+	}
+	for _, s := range r.Shares {
+		if s.GotShare <= 0 {
+			t.Errorf("tenant %s served nothing", s.Tenant)
+		}
+	}
+	// The acceptance bar: shares within 5 points of the weights while
+	// every tenant is backlogged.
+	if r.MaxShareError > 0.05 {
+		t.Errorf("max share error %.3f exceeds 0.05; shares = %+v", r.MaxShareError, r.Shares)
+	}
+	// Admission must shed something on this overloaded workload and
+	// strictly beat open-loop on deadline misses.
+	if r.OnSheds == 0 {
+		t.Error("admission shed nothing on an overloaded workload")
+	}
+	if r.OnMissRate >= r.OffMissRate {
+		t.Errorf("admission-on miss rate %.3f not strictly below admission-off %.3f",
+			r.OnMissRate, r.OffMissRate)
+	}
+	if r.OffSumFlow <= 0 || r.OnSumFlow <= 0 {
+		t.Errorf("degenerate sum-flows: off=%.0f on=%.0f", r.OffSumFlow, r.OnSumFlow)
+	}
+
+	out := FormatTenantStudy(r)
+	for _, want := range []string{"fair shares", "max share error", "deadline admission", "miss rate"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted study lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestTenantStudyDefaults pins the zero-value config resolution so the
+// committed study stays reproducible.
+func TestTenantStudyDefaults(t *testing.T) {
+	var cfg TenantStudyConfig
+	cfg.defaults()
+	if cfg.N != 420 || cfg.BurstN != 240 || cfg.BurstD != 6 || cfg.Seed != 11 ||
+		cfg.Replicas != 2 || cfg.DeadlineSlack != 4 || len(cfg.Shares) != 3 {
+		t.Errorf("unexpected defaults: %+v", cfg)
+	}
+}

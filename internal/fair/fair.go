@@ -1,0 +1,22 @@
+// Package fair implements the multi-tenant arbitration primitives of
+// the agent's intake path: a weighted-share virtual-time ledger (the
+// CFS fair-clock/group-scheduling design applied to task intake) and a
+// token-bucket intake limiter driven by experiment time.
+//
+// The paper schedules one anonymous task stream; a production agent
+// serves contending tenants. The ledger arbitrates which tenant's
+// queued task is offered to the heuristic next: each tenant carries a
+// fair clock (virtual runtime) advanced by the service it consumes,
+// normalized by its configured weight — picking the backlogged tenant
+// with the minimum fair clock yields long-run service shares
+// proportional to the weights, and a backlogged tenant can never
+// starve (its clock stands still while every other tenant's advances).
+// Shares nest: a tenant path "gold/alice" is arbitrated first among
+// tenants ("gold" vs "silver"), then among that tenant's clients —
+// CFS group scheduling, one level per path segment.
+//
+// The token bucket gates raw intake ahead of arbitration. It is
+// denominated in experiment seconds (the dates tasks arrive with), not
+// wall time, so simulated and live drivers share one limiter and
+// replays are deterministic.
+package fair

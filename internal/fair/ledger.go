@@ -1,0 +1,206 @@
+package fair
+
+import (
+	"math"
+	"sort"
+	"strings"
+)
+
+// DefaultWeight is the share weight of a tenant (or nested group) the
+// configuration does not mention.
+const DefaultWeight = 1.0
+
+// Ledger is the weighted-share virtual-time ledger. Each node of the
+// tenant tree (tenants, and nested groups below them — "gold",
+// "gold/alice") carries a virtual runtime advanced on every Charge by
+// work/weight; Pick returns, among the currently backlogged paths, the
+// one whose node chain is furthest behind. A node first seen joins at
+// its siblings' serving frontier, so a newcomer competes fairly from
+// now on instead of claiming credit for a past in which it did not
+// exist.
+//
+// The ledger is deliberately clock-free: it never decays state, so a
+// tenant that was backlogged but underserved keeps its full claim
+// across arbitrary call patterns (strict long-run weighted fairness).
+// The zero Ledger is not usable; construct with NewLedger. Not safe
+// for concurrent use — callers (the agent core) serialize under their
+// own lock.
+type Ledger struct {
+	weights map[string]float64
+	root    *node
+}
+
+// node is one level of the group-scheduling tree.
+type node struct {
+	vrun     float64
+	children map[string]*node
+	// frontier is the largest virtual runtime any child reached — the
+	// level's serving frontier, where newly seen children join.
+	frontier float64
+}
+
+// NewLedger constructs a ledger with the given weights, keyed by node
+// path ("gold" weights the tenant, "gold/alice" the client within it).
+// Paths absent from the map weigh DefaultWeight. A nil or empty map is
+// valid: every tenant then shares equally.
+func NewLedger(weights map[string]float64) *Ledger {
+	w := make(map[string]float64, len(weights))
+	for k, v := range weights {
+		if v > 0 {
+			w[k] = v
+		}
+	}
+	return &Ledger{weights: w, root: &node{children: make(map[string]*node)}}
+}
+
+// Weight returns the configured weight of a node path.
+func (l *Ledger) Weight(path string) float64 {
+	if w, ok := l.weights[path]; ok {
+		return w
+	}
+	return DefaultWeight
+}
+
+// child returns (creating if needed) the named child, joining
+// newcomers at the level's serving frontier.
+func (n *node) child(name string) *node {
+	c, ok := n.children[name]
+	if !ok {
+		c = &node{vrun: n.frontier, children: make(map[string]*node)}
+		n.children[name] = c
+	}
+	return c
+}
+
+// Pick returns, among the given backlogged paths, the one to serve
+// next: at each tree level the child with the minimum virtual runtime
+// wins (ties break lexicographically, so arbitration is
+// deterministic), then the walk descends into that child's candidates.
+// An empty candidate set returns "".
+func (l *Ledger) Pick(paths []string) string {
+	if len(paths) == 0 {
+		return ""
+	}
+	n := l.root
+	var picked strings.Builder
+	remaining := paths
+	for depth := 0; len(remaining) > 0; depth++ {
+		// Distinct segment names at this depth among the remaining
+		// candidates.
+		best := ""
+		bestV := math.Inf(1)
+		for _, p := range remaining {
+			seg, _ := segmentAt(p, depth)
+			c := n.child(seg)
+			if c.vrun < bestV || (c.vrun == bestV && seg < best) {
+				best, bestV = seg, c.vrun
+			}
+		}
+		if picked.Len() > 0 {
+			picked.WriteByte('/')
+		}
+		picked.WriteString(best)
+		n = n.children[best]
+		// Keep only candidates passing through the picked segment; stop
+		// when one of them terminates exactly here.
+		next := remaining[:0:0]
+		done := false
+		for _, p := range remaining {
+			seg, last := segmentAt(p, depth)
+			if seg != best {
+				continue
+			}
+			if last {
+				done = true
+				continue
+			}
+			next = append(next, p)
+		}
+		if done || len(next) == 0 {
+			return picked.String()
+		}
+		remaining = next
+	}
+	return picked.String()
+}
+
+// Charge advances the fair clocks along a path by work service-seconds
+// normalized by each level's weight, and pushes the serving frontiers
+// forward. Call it once per unit of service committed to the path.
+func (l *Ledger) Charge(path string, work float64) {
+	if work <= 0 || path == "" {
+		return
+	}
+	n := l.root
+	for depth := 0; ; depth++ {
+		seg, last := segmentAt(path, depth)
+		prefix := prefixThrough(path, depth)
+		c := n.child(seg)
+		c.vrun += work / l.Weight(prefix)
+		if c.vrun > n.frontier {
+			n.frontier = c.vrun
+		}
+		if last {
+			return
+		}
+		n = c
+	}
+}
+
+// VTime returns the current virtual runtime of a node path (0 for a
+// path never seen), for tests and diagnostics.
+func (l *Ledger) VTime(path string) float64 {
+	n := l.root
+	for depth := 0; ; depth++ {
+		seg, last := segmentAt(path, depth)
+		c, ok := n.children[seg]
+		if !ok {
+			return 0
+		}
+		if last {
+			return c.vrun
+		}
+		n = c
+	}
+}
+
+// Tenants returns every top-level tenant the ledger has seen, sorted.
+func (l *Ledger) Tenants() []string {
+	out := make([]string, 0, len(l.root.children))
+	for name := range l.root.children {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// segmentAt returns the depth-th "/"-separated segment of path and
+// whether it is the last one. Depths past the end repeat the final
+// segment (callers never go there on well-formed input).
+func segmentAt(path string, depth int) (seg string, last bool) {
+	rest := path
+	for i := 0; i < depth; i++ {
+		j := strings.IndexByte(rest, '/')
+		if j < 0 {
+			return rest, true
+		}
+		rest = rest[j+1:]
+	}
+	if j := strings.IndexByte(rest, '/'); j >= 0 {
+		return rest[:j], false
+	}
+	return rest, true
+}
+
+// prefixThrough returns the path prefix covering segments 0..depth.
+func prefixThrough(path string, depth int) string {
+	idx := 0
+	for i := 0; i <= depth; i++ {
+		j := strings.IndexByte(path[idx:], '/')
+		if j < 0 {
+			return path
+		}
+		idx += j + 1
+	}
+	return path[:idx-1]
+}

@@ -1,0 +1,196 @@
+package fair
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drain simulates a saturated system: every tenant always backlogged,
+// each pick charging the picked tenant its per-task work. Returns the
+// service each tenant accumulated over n picks.
+func drain(l *Ledger, tenants []string, work map[string]float64, n int) map[string]float64 {
+	got := make(map[string]float64, len(tenants))
+	for i := 0; i < n; i++ {
+		t := l.Pick(tenants)
+		w := work[t]
+		l.Charge(t, w)
+		got[t] += w
+	}
+	return got
+}
+
+// TestLedgerSharesConvergeToWeights pins the core fairness contract:
+// under saturation, observed service shares converge to the configured
+// weights within 5%.
+func TestLedgerSharesConvergeToWeights(t *testing.T) {
+	weights := map[string]float64{"gold": 4, "silver": 2, "bronze": 1}
+	l := NewLedger(weights)
+	tenants := []string{"bronze", "gold", "silver"}
+	work := map[string]float64{"gold": 3.7, "silver": 2.1, "bronze": 5.3}
+	got := drain(l, tenants, work, 20000)
+
+	total, wsum := 0.0, 0.0
+	for _, v := range got {
+		total += v
+	}
+	for _, tn := range tenants {
+		wsum += weights[tn]
+	}
+	for _, tn := range tenants {
+		share := got[tn] / total
+		want := weights[tn] / wsum
+		if rel := math.Abs(share-want) / want; rel > 0.05 {
+			t.Errorf("tenant %s: observed share %.4f, configured %.4f (off %.1f%%)",
+				tn, share, want, rel*100)
+		}
+	}
+}
+
+// TestLedgerEqualSharesByDefault: absent weights, tenants split
+// service evenly even with very different per-task costs.
+func TestLedgerEqualSharesByDefault(t *testing.T) {
+	l := NewLedger(nil)
+	tenants := []string{"a", "b"}
+	work := map[string]float64{"a": 10, "b": 1}
+	got := drain(l, tenants, work, 10000)
+	ratio := got["a"] / got["b"]
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("equal-weight tenants got service ratio %.3f, want ~1", ratio)
+	}
+}
+
+// TestLedgerNeverStarves is the property-style starvation test: under
+// randomized weights, work sizes and adversarial candidate sets, a
+// continuously backlogged tenant is always picked again within a
+// bounded number of picks — its fair clock stands still while every
+// pick advances someone else's, so it must become the minimum.
+func TestLedgerNeverStarves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		nTenants := 2 + rng.Intn(6)
+		tenants := make([]string, nTenants)
+		weights := make(map[string]float64, nTenants)
+		work := make(map[string]float64, nTenants)
+		for i := range tenants {
+			tenants[i] = string(rune('a' + i))
+			weights[tenants[i]] = 1 + float64(rng.Intn(16))
+			work[tenants[i]] = 0.5 + 10*rng.Float64()
+		}
+		l := NewLedger(weights)
+
+		// Bound: while the victim waits, each other tenant can consume
+		// at most (victim gap) × its weight of service before its clock
+		// passes the victim's; with per-pick work ≥ minWork the number
+		// of picks between two victim picks is bounded. Use a generous
+		// analytic bound rather than a tight one.
+		victim := tenants[rng.Intn(nTenants)]
+		sinceVictim := 0
+		maxGap := 0
+		for i := 0; i < 5000; i++ {
+			p := l.Pick(tenants)
+			l.Charge(p, work[p])
+			if p == victim {
+				if sinceVictim > maxGap {
+					maxGap = sinceVictim
+				}
+				sinceVictim = 0
+			} else {
+				sinceVictim++
+			}
+		}
+		// Generous bound: total weight / victim weight × max/min work
+		// ratio, plus slack for the startup transient.
+		wsum, minW := 0.0, math.Inf(1)
+		maxWork, minWork := 0.0, math.Inf(1)
+		for _, tn := range tenants {
+			wsum += weights[tn]
+			if weights[tn] < minW {
+				minW = weights[tn]
+			}
+			if work[tn] > maxWork {
+				maxWork = work[tn]
+			}
+			if work[tn] < minWork {
+				minWork = work[tn]
+			}
+		}
+		bound := int(wsum/minW*maxWork/minWork) + nTenants + 10
+		if maxGap > bound {
+			t.Fatalf("trial %d: victim %s starved for %d consecutive picks (bound %d; weights %v work %v)",
+				trial, victim, maxGap, bound, weights, work)
+		}
+	}
+}
+
+// TestLedgerGroupNesting: shares nest tenant → client. The tenant
+// split follows tenant weights; within one tenant, client weights
+// split that tenant's service.
+func TestLedgerGroupNesting(t *testing.T) {
+	l := NewLedger(map[string]float64{
+		"gold": 3, "silver": 1,
+		"gold/alice": 3, "gold/bob": 1,
+	})
+	paths := []string{"gold/alice", "gold/bob", "silver/carol"}
+	got := drain(l, paths, map[string]float64{
+		"gold/alice": 1, "gold/bob": 1, "silver/carol": 1,
+	}, 16000)
+
+	total := got["gold/alice"] + got["gold/bob"] + got["silver/carol"]
+	goldShare := (got["gold/alice"] + got["gold/bob"]) / total
+	if math.Abs(goldShare-0.75) > 0.05*0.75 {
+		t.Errorf("gold tenant share %.4f, want 0.75", goldShare)
+	}
+	aliceWithinGold := got["gold/alice"] / (got["gold/alice"] + got["gold/bob"])
+	if math.Abs(aliceWithinGold-0.75) > 0.05*0.75 {
+		t.Errorf("alice's share within gold %.4f, want 0.75", aliceWithinGold)
+	}
+}
+
+// TestLedgerNewcomerJoinsAtFrontier: a tenant first seen late gets no
+// credit for the past — it competes from the current frontier instead
+// of monopolizing until it catches up.
+func TestLedgerNewcomerJoinsAtFrontier(t *testing.T) {
+	l := NewLedger(nil)
+	for i := 0; i < 100; i++ {
+		l.Charge("old", 1)
+	}
+	// Newcomer joins: over the next picks it must not win every time.
+	tenants := []string{"old", "new"}
+	newWins := 0
+	for i := 0; i < 100; i++ {
+		p := l.Pick(tenants)
+		l.Charge(p, 1)
+		if p == "new" {
+			newWins++
+		}
+	}
+	if newWins > 60 {
+		t.Fatalf("newcomer won %d/100 picks; should join at frontier, not claim history", newWins)
+	}
+}
+
+// TestLedgerPickDeterministic: equal clocks break ties
+// lexicographically, so arbitration is reproducible.
+func TestLedgerPickDeterministic(t *testing.T) {
+	l := NewLedger(nil)
+	if p := l.Pick([]string{"b", "a", "c"}); p != "a" {
+		t.Fatalf("fresh ledger picked %q, want lexicographic tie-break to a", p)
+	}
+	if p := l.Pick(nil); p != "" {
+		t.Fatalf("empty candidate set picked %q", p)
+	}
+}
+
+// TestLedgerSingleTenantTrivial: with one candidate the pick is that
+// candidate, always — the arbiter degenerates to FIFO pass-through
+// (the parity guarantee's fairness half).
+func TestLedgerSingleTenantTrivial(t *testing.T) {
+	l := NewLedger(map[string]float64{"only": 2})
+	for i := 0; i < 10; i++ {
+		if p := l.Pick([]string{"only"}); p != "only" {
+			t.Fatalf("pick %d returned %q", i, p)
+		}
+		l.Charge("only", 5)
+	}
+}

@@ -1,0 +1,54 @@
+package fair
+
+// TokenBucket is the intake rate limiter: capacity Burst tokens,
+// refilled at Rate tokens per experiment second, one token per
+// admitted task. Time flows through the Take argument (task arrival
+// dates), so the limiter is deterministic under replay and shared
+// between simulated and live drivers. Not safe for concurrent use —
+// callers serialize under their own lock.
+type TokenBucket struct {
+	rate   float64
+	burst  float64
+	tokens float64
+	last   float64
+	primed bool
+}
+
+// NewTokenBucket returns a bucket admitting a sustained rate of rate
+// tasks per experiment second with bursts of up to burst tasks. A
+// non-positive burst defaults to max(rate, 1) — at least one task can
+// always be tried. The bucket starts full.
+func NewTokenBucket(rate, burst float64) *TokenBucket {
+	if burst <= 0 {
+		burst = rate
+		if burst < 1 {
+			burst = 1
+		}
+	}
+	return &TokenBucket{rate: rate, burst: burst, tokens: burst}
+}
+
+// Take advances the bucket to experiment time now and consumes one
+// token if available, reporting whether the task is admitted. Time
+// moving backwards (out-of-order arrivals) refills nothing but still
+// consumes.
+func (b *TokenBucket) Take(now float64) bool {
+	if !b.primed {
+		b.last, b.primed = now, true
+	}
+	if dt := now - b.last; dt > 0 {
+		b.tokens += dt * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// Tokens returns the current token balance (diagnostics, tests).
+func (b *TokenBucket) Tokens() float64 { return b.tokens }

@@ -1,0 +1,69 @@
+package fair
+
+import "testing"
+
+func TestTokenBucketStartsFull(t *testing.T) {
+	b := NewTokenBucket(2, 3)
+	for i := 0; i < 3; i++ {
+		if !b.Take(0) {
+			t.Fatalf("take %d at t=0 refused; bucket should start with burst tokens", i)
+		}
+	}
+	if b.Take(0) {
+		t.Fatal("4th take at t=0 admitted past burst")
+	}
+}
+
+func TestTokenBucketRefillsAtRate(t *testing.T) {
+	b := NewTokenBucket(2, 2) // 2 tokens/s, burst 2
+	b.Take(0)
+	b.Take(0)
+	if b.Take(0.25) {
+		t.Fatal("admitted with only 0.5 tokens refilled")
+	}
+	// Previous Take consumed nothing but advanced last to 0.25; 0.5
+	// tokens remain banked. By t=0.5 a full token has accrued.
+	if !b.Take(0.5) {
+		t.Fatal("refused after a full token refilled")
+	}
+}
+
+func TestTokenBucketCapsAtBurst(t *testing.T) {
+	b := NewTokenBucket(10, 2)
+	b.Take(0)
+	// A long idle gap must not bank more than burst tokens.
+	for i := 0; i < 2; i++ {
+		if !b.Take(100) {
+			t.Fatalf("take %d after idle refused", i)
+		}
+	}
+	if b.Take(100) {
+		t.Fatal("idle gap banked more than burst tokens")
+	}
+}
+
+func TestTokenBucketBackwardsTime(t *testing.T) {
+	b := NewTokenBucket(1, 1)
+	if !b.Take(10) {
+		t.Fatal("first take refused")
+	}
+	// An out-of-order arrival earlier than last must not refill
+	// (negative dt) but still consumes normally once tokens accrue.
+	if b.Take(5) {
+		t.Fatal("backwards time granted a token")
+	}
+	if !b.Take(11) {
+		t.Fatal("forward time after backwards arrival refused")
+	}
+}
+
+func TestTokenBucketDefaultBurst(t *testing.T) {
+	b := NewTokenBucket(4, 0)
+	if got := b.Tokens(); got != 4 {
+		t.Fatalf("burst defaulted to %v, want rate (4)", got)
+	}
+	slow := NewTokenBucket(0.1, 0)
+	if got := slow.Tokens(); got != 1 {
+		t.Fatalf("sub-1 rate burst defaulted to %v, want 1", got)
+	}
+}

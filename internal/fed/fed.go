@@ -52,6 +52,7 @@ import (
 
 	"casched/internal/agent"
 	"casched/internal/cluster"
+	"casched/internal/fair"
 	"casched/internal/sched"
 	"casched/internal/stats"
 	"casched/internal/task"
@@ -101,6 +102,26 @@ type Config struct {
 	HTMWorkers      int
 	HTMSync         bool
 	BatchAssignment bool
+	// TenantShares and Admission configure in-process member cores'
+	// fair-share arbitration and deadline admission (agent.Config).
+	// Remote members carry their own configuration (casagent flags);
+	// the dispatcher only threads tenant and deadline over the wire.
+	TenantShares map[string]float64
+	Admission    bool
+	// IntakeRate, when positive, bounds the federation's raw intake
+	// with one dispatch-level token bucket (rate per experiment second,
+	// burst IntakeBurst, default max(rate, 1)) — one limiter per
+	// deployment, before any member is consulted. Refusals are shed
+	// with agent.ErrThrottled and an agent.EventShed on the merged
+	// stream.
+	IntakeRate  float64
+	IntakeBurst float64
+	// PlacedWindow, when positive, bounds the dispatcher's job→member
+	// placement records to a trailing window of experiment seconds (see
+	// cluster.Config.PlacedWindow — the same degraded completion
+	// fallback applies: swept jobs resolve through the server's owning
+	// member).
+	PlacedWindow float64
 	// StaleAfter is the summary age beyond which a member no longer
 	// counts as fresh (default 2s). Any member gone stale degrades
 	// Submit routing from exact fan-out to power-of-two-choices.
@@ -162,6 +183,29 @@ func WithMaxFailures(n int) Option { return func(c *Config) { c.MaxFailures = n 
 // studies).
 func WithNow(now func() time.Time) Option { return func(c *Config) { c.Now = now } }
 
+// WithTenantShares turns on weighted fair-share arbitration on every
+// in-process member core (see agent.Config.TenantShares).
+func WithTenantShares(shares map[string]float64) Option {
+	return func(c *Config) { c.TenantShares = shares }
+}
+
+// WithAdmission turns deadline-aware admission on every in-process
+// member core (see agent.Config.Admission).
+func WithAdmission(on bool) Option { return func(c *Config) { c.Admission = on } }
+
+// WithIntakeLimit bounds the federation's raw intake with one
+// dispatch-level token bucket (see Config.IntakeRate).
+func WithIntakeLimit(rate, burst float64) Option {
+	return func(c *Config) { c.IntakeRate, c.IntakeBurst = rate, burst }
+}
+
+// WithPlacedWindow bounds the dispatcher's job→member placement
+// records to a trailing experiment-time window (see
+// Config.PlacedWindow).
+func WithPlacedWindow(seconds float64) Option {
+	return func(c *Config) { c.PlacedWindow = seconds }
+}
+
 func (cfg *Config) defaults() {
 	if cfg.Members == 0 {
 		cfg.Members = 1
@@ -181,6 +225,13 @@ func (cfg *Config) defaults() {
 	if cfg.Now == nil {
 		cfg.Now = time.Now
 	}
+}
+
+// placedRec is one dispatcher placement record: the member that
+// committed a job and when, for window-bounded retention.
+type placedRec struct {
+	member int
+	at     float64
 }
 
 // memberState is the dispatcher's bookkeeping for one member.
@@ -221,11 +272,17 @@ type Dispatcher struct {
 	// and submissions.
 	mu      sync.Mutex
 	members []*memberState
-	home    map[string]int // server name -> member index
-	counts  []int          // servers per member
-	placed  map[int]int    // jobID -> member index, evicted on completion
-	rr      int            // rotation cursor for unscored heuristics
-	rng     *stats.RNG     // power-of-two-choices sampling
+	home    map[string]int    // server name -> member index
+	counts  []int             // servers per member
+	placed  map[int]placedRec // jobID -> placement record, evicted on completion
+	rr      int               // rotation cursor for unscored heuristics
+	rng     *stats.RNG        // power-of-two-choices sampling
+	// bucket is the dispatch-level intake limiter (nil = unlimited);
+	// placedWindow/placedSwept bound the placed map (see
+	// Config.PlacedWindow).
+	bucket       *fair.TokenBucket
+	placedWindow float64
+	placedSwept  float64
 
 	// emu guards the merged event stream of event-streaming members.
 	emu     sync.Mutex
@@ -258,6 +315,8 @@ func New(opts ...Option) (*Dispatcher, error) {
 			HTMWorkers:      cfg.HTMWorkers,
 			HTMSync:         cfg.HTMSync,
 			BatchAssignment: cfg.BatchAssignment,
+			TenantShares:    cfg.TenantShares,
+			Admission:       cfg.Admission,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fed: member %d: %w", i, err)
@@ -282,12 +341,16 @@ func NewWithMembers(cfg Config, members []Member) (*Dispatcher, error) {
 	}
 	_, scored := proto.(sched.ScoredScheduler)
 	d := &Dispatcher{
-		cfg:    cfg,
-		scored: scored,
-		home:   make(map[string]int),
-		placed: make(map[int]int),
-		subs:   make(map[int]func(agent.Event)),
-		rng:    stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		cfg:          cfg,
+		scored:       scored,
+		home:         make(map[string]int),
+		placed:       make(map[int]placedRec),
+		subs:         make(map[int]func(agent.Event)),
+		rng:          stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		placedWindow: cfg.PlacedWindow,
+	}
+	if cfg.IntakeRate > 0 {
+		d.bucket = fair.NewTokenBucket(cfg.IntakeRate, cfg.IntakeBurst)
 	}
 	for _, m := range members {
 		d.addMemberLocked(m)
@@ -743,6 +806,46 @@ func (d *Dispatcher) allFreshLocked(live []int) bool {
 	return true
 }
 
+// shed synthesizes a dispatch-level shed event into the merged
+// stream — for refusals no single member owns (the dispatcher's own
+// intake bucket, fan-out deadline refusals where members only
+// evaluate and must not emit).
+func (d *Dispatcher) shed(req agent.Request, reason string) {
+	d.forward(agent.Event{
+		Kind:     agent.EventShed,
+		Time:     req.Arrival,
+		JobID:    req.JobID,
+		TaskID:   req.TaskID,
+		Attempt:  req.Attempt,
+		Tenant:   req.Tenant,
+		Deadline: req.Deadline,
+		Reason:   reason,
+	})
+}
+
+// notePlacedLocked records which member committed a job, sweeping
+// expired records when a retention window is set. Caller holds d.mu.
+func (d *Dispatcher) notePlacedLocked(jobID, member int, at float64) {
+	d.placed[jobID] = placedRec{member: member, at: at}
+	d.sweepPlacedLocked(at)
+}
+
+// sweepPlacedLocked evicts placement records older than the retention
+// window (amortized: the full scan runs at most twice per window).
+// Caller holds d.mu.
+func (d *Dispatcher) sweepPlacedLocked(now float64) {
+	if d.placedWindow <= 0 || now-d.placedSwept < d.placedWindow/2 {
+		return
+	}
+	d.placedSwept = now
+	cutoff := now - d.placedWindow
+	for id, rec := range d.placed {
+		if rec.at < cutoff {
+			delete(d.placed, id)
+		}
+	}
+}
+
 // Submit routes one task. Fresh summaries select exact fan-out
 // (every live member evaluates, commit on the winner — the
 // centralized cluster's decision); a stale or partitioned member
@@ -750,10 +853,19 @@ func (d *Dispatcher) allFreshLocked(live []int) bool {
 // summaries, delegating the whole decision to the chosen member.
 // Heuristics without a comparable objective rotate over eligible
 // members, as the cluster does.
+//
+// With an intake limit configured, requests the dispatch-level bucket
+// refuses are shed with agent.ErrThrottled before any member RPC. A
+// request no member can finish by its deadline (admission on,
+// fan-out mode) is shed with agent.ErrDeadlineUnmet.
 func (d *Dispatcher) Submit(req agent.Request) (agent.Decision, error) {
 	d.refreshDue()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	if d.bucket != nil && !d.bucket.Take(req.Arrival) {
+		d.shed(req, agent.ShedThrottled)
+		return agent.Decision{}, fmt.Errorf("fed: job %d: %w", req.JobID, agent.ErrThrottled)
+	}
 	live := d.liveLocked()
 	if len(live) == 0 {
 		return agent.Decision{}, ErrNoMembers
@@ -801,7 +913,7 @@ func (d *Dispatcher) submitRotateLocked(req agent.Request, live []int) (agent.De
 		return agent.Decision{}, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err)
 	}
 	d.markSuccessLocked(i)
-	d.placed[req.JobID] = i
+	d.notePlacedLocked(req.JobID, i, req.Arrival)
 	return dec, nil
 }
 
@@ -833,10 +945,18 @@ func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.De
 	wg.Wait()
 
 	var errs []error
+	deadlineBlocked := false
 	remaining := make([]int, 0, len(live)) // positions into results/live
 	for k, r := range results {
 		if r.err != nil {
-			if !errors.Is(r.err, agent.ErrUnschedulable) {
+			switch {
+			case errors.Is(r.err, agent.ErrDeadlineUnmet):
+				// A per-member exclusion, like ErrUnschedulable: another
+				// member's partition may still meet the deadline. Members
+				// do not emit on Evaluate, so if every member is blocked
+				// the dispatcher synthesizes the shed below.
+				deadlineBlocked = true
+			case !errors.Is(r.err, agent.ErrUnschedulable):
 				errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[live[k]].m.Name(), r.err))
 				d.markTransportLocked(live[k], r.err)
 			}
@@ -859,7 +979,7 @@ func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.De
 		dec, err := d.members[i].m.Commit(req, results[k].cand.Server)
 		if err == nil {
 			d.markSuccessLocked(i)
-			d.placed[req.JobID] = i
+			d.notePlacedLocked(req.JobID, i, req.Arrival)
 			return dec, nil
 		}
 		errs = append(errs, fmt.Errorf("fed: commit on member %s: %w", d.members[i].m.Name(), err))
@@ -882,6 +1002,10 @@ func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.De
 	if len(errs) > 0 {
 		return agent.Decision{}, errors.Join(errs...)
 	}
+	if deadlineBlocked {
+		d.shed(req, agent.ShedDeadline)
+		return agent.Decision{}, fmt.Errorf("fed: job %d: %w", req.JobID, agent.ErrDeadlineUnmet)
+	}
 	return agent.Decision{}, agent.ErrUnschedulable
 }
 
@@ -890,8 +1014,9 @@ func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.De
 // delegated whole to the first eligible member that accepts it.
 // Caller holds d.mu.
 func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.Decision, error) {
-	order := d.orderLocked(req.Arrival, live)
+	order := d.orderLocked(req.Arrival, live, req.Tenant)
 	var errs []error
+	deadlineBlocked := false
 	for _, i := range order {
 		if d.counts[i] == 0 {
 			continue
@@ -910,6 +1035,13 @@ func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.
 			if errors.Is(err, agent.ErrUnschedulable) {
 				continue // membership changed member-side; try the next
 			}
+			if errors.Is(err, agent.ErrDeadlineUnmet) {
+				// The member's own admission refused (and emitted its
+				// shed); another member's partition may still make the
+				// deadline, so keep walking the order.
+				deadlineBlocked = true
+				continue
+			}
 			errs = append(errs, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err))
 			d.markTransportLocked(i, err)
 			if errors.Is(err, ErrUncertain) {
@@ -925,11 +1057,14 @@ func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.
 			continue // rejection or failed dial: nothing committed
 		}
 		d.markSuccessLocked(i)
-		d.placed[req.JobID] = i
+		d.notePlacedLocked(req.JobID, i, req.Arrival)
 		return dec, nil
 	}
 	if len(errs) > 0 {
 		return agent.Decision{}, errors.Join(errs...)
+	}
+	if deadlineBlocked {
+		return agent.Decision{}, fmt.Errorf("fed: job %d: %w", req.JobID, agent.ErrDeadlineUnmet)
 	}
 	return agent.Decision{}, agent.ErrUnschedulable
 }
@@ -940,40 +1075,88 @@ func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.
 // reads (fresh summaries make the routing identical; stale ones make
 // it approximate). The routed member pipelines its sub-batch through
 // its shard-local batch prediction cache.
+// With an intake limit configured, the dispatch-level bucket gates
+// the whole batch first (including the single-member shortcut);
+// refused requests are shed with agent.ErrThrottled and never cross a
+// member RPC. With multi-tenant traffic, routing ranks members per
+// tenant on the submitting tenant's own summarized backlog
+// (Summary.TenantInFlight), so one tenant's burst does not steer
+// another tenant's placements.
 func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 	d.refreshDue()
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	live := d.liveLocked()
-	if len(live) == 0 {
-		return make([]agent.Decision, len(reqs)), ErrNoMembers
+	var errs []error
+	total := len(reqs)
+	live, keep := reqs, []int(nil)
+	if d.bucket != nil {
+		live = make([]agent.Request, 0, len(reqs))
+		keep = make([]int, 0, len(reqs))
+		for i, req := range reqs {
+			if !d.bucket.Take(req.Arrival) {
+				d.shed(req, agent.ShedThrottled)
+				errs = append(errs, fmt.Errorf("fed: batch job %d: %w", req.JobID, agent.ErrThrottled))
+				continue
+			}
+			live = append(live, req)
+			keep = append(keep, i)
+		}
+	}
+	reqs = live
+	// scatter maps results for the admitted sub-slice back to the
+	// caller's positions when the gate dropped anything.
+	scatter := func(decs []agent.Decision) []agent.Decision {
+		if keep == nil {
+			return decs
+		}
+		out := make([]agent.Decision, total)
+		for k, pos := range keep {
+			out[pos] = decs[k]
+		}
+		return out
+	}
+	liveMembers := d.liveLocked()
+	if len(liveMembers) == 0 {
+		return scatter(make([]agent.Decision, len(reqs))), errors.Join(append(errs, ErrNoMembers)...)
 	}
 	if len(d.members) == 1 {
 		// Mirror the cluster's single-shard shortcut: no routing, no
 		// sampling.
-		i := live[0]
+		i := liveMembers[0]
 		out, err := d.members[i].m.SubmitBatch(reqs)
 		if err != nil {
 			d.markTransportLocked(i, err)
+			errs = append(errs, err)
 		}
 		if len(out) != len(reqs) {
 			out = make([]agent.Decision, len(reqs))
 		}
 		for k, dec := range out {
 			if dec.Server != "" {
-				d.placed[reqs[k].JobID] = i
+				d.notePlacedLocked(reqs[k].JobID, i, reqs[k].Arrival)
 			}
 		}
-		return out, err
+		return scatter(out), errors.Join(errs...)
 	}
 	at := 0.0
 	if len(reqs) > 0 {
 		at = reqs[0].Arrival
 	}
-	order := d.orderLocked(at, live)
+	// One routing order per tenant in the batch, memoized: each
+	// tenant's requests walk members ranked on that tenant's own
+	// backlog. Single-tenant batches reduce to the historical single
+	// order (one memo entry, total-in-flight signal).
+	orders := make(map[string][]int)
+	orderFor := func(tenant string) []int {
+		if o, ok := orders[tenant]; ok {
+			return o
+		}
+		o := d.orderLocked(at, liveMembers, tenant)
+		orders[tenant] = o
+		return o
+	}
 
 	assign := make([]int, len(reqs))
-	var errs []error
 	subBatches := make(map[int][]int) // member -> request positions
 	// Bursts overwhelmingly share task specs, so memoize the
 	// eligibility probe per (member, spec) within the call — for
@@ -999,7 +1182,7 @@ func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error)
 	}
 	for k, req := range reqs {
 		assign[k] = -1
-		for _, i := range order {
+		for _, i := range orderFor(req.Tenant) {
 			if d.counts[i] == 0 {
 				continue
 			}
@@ -1050,10 +1233,10 @@ func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error)
 	}
 	for k, dec := range out {
 		if dec.Server != "" {
-			d.placed[reqs[k].JobID] = assign[k]
+			d.notePlacedLocked(reqs[k].JobID, assign[k], reqs[k].Arrival)
 		}
 	}
-	return out, errors.Join(errs...)
+	return scatter(out), errors.Join(errs...)
 }
 
 // orderLocked returns member indexes in routing-preference order for
@@ -1061,11 +1244,26 @@ func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error)
 // (cluster.TwoChoicesOrder — the exact logic the Cluster routes
 // with, which is what keeps fresh-summary routing in decision
 // parity) computed from the members' last-known summaries instead of
-// live core reads. Caller holds d.mu.
-func (d *Dispatcher) orderLocked(at float64, live []int) []int {
+// live core reads.
+//
+// The in-flight signal is per tenant when summaries carry a tenant
+// split: a member busy with another tenant's work still ranks as idle
+// for this tenant, so weighted arbitration member-side is not undone
+// by routing every tenant onto the globally-least-loaded member.
+// Untenanted traffic against untenanted summaries degenerates to the
+// historical total-in-flight ranking (the per-tenant count of "" IS
+// the total), which is what keeps single-tenant routing bit-for-bit.
+// Caller holds d.mu.
+func (d *Dispatcher) orderLocked(at float64, live []int, tenant string) []int {
 	return cluster.TwoChoicesOrder(live,
 		func(i int) int { return d.counts[i] },
-		func(i int) int { return d.members[i].summary.InFlight },
+		func(i int) int {
+			s := d.members[i].summary
+			if s.TenantInFlight != nil {
+				return s.TenantInFlight[tenant]
+			}
+			return s.InFlight
+		},
 		func(i int) (float64, bool) {
 			s := d.members[i].summary
 			return s.MinReady, s.HasMinReady
@@ -1082,8 +1280,12 @@ func (d *Dispatcher) orderLocked(at float64, live []int) []int {
 // right member.
 func (d *Dispatcher) Complete(jobID int, server string, at float64) error {
 	d.mu.Lock()
-	i, fromPlaced := d.placed[jobID]
+	rec, fromPlaced := d.placed[jobID]
+	i := rec.member
 	if !fromPlaced {
+		// Unrouted jobs — and routed ones whose record aged out of the
+		// retention window — resolve through the server's owning
+		// member.
 		h, okh := d.home[server]
 		if !okh {
 			d.mu.Unlock()
@@ -1101,7 +1303,7 @@ func (d *Dispatcher) Complete(jobID int, server string, at float64) error {
 	}
 	if fromPlaced {
 		d.mu.Lock()
-		if cur, ok := d.placed[jobID]; ok && cur == i {
+		if cur, ok := d.placed[jobID]; ok && cur.member == i {
 			delete(d.placed, jobID)
 		}
 		d.mu.Unlock()

@@ -24,6 +24,13 @@ type Summary struct {
 	// drain instant (valid only when HasMinReady).
 	MinReady    float64
 	HasMinReady bool
+	// TenantInFlight splits InFlight per tenant (raw tenant strings,
+	// "" for untenanted work) — the dispatcher's fair stale-mode
+	// routing signal: with multi-tenant traffic, power-of-two-choices
+	// ranks members on the submitting tenant's own backlog, so one
+	// tenant's burst cannot steer every tenant's routing. Nil when the
+	// member has no tenanted work or predates the field.
+	TenantInFlight map[string]int
 }
 
 // Member is the dispatcher's handle on one federated agent: the
@@ -142,6 +149,9 @@ func (m *InProcess) Summary() (Summary, error) {
 	s := Summary{InFlight: m.core.InFlight(), Servers: m.core.ServerCount()}
 	if ready, ok := m.core.MinProjectedReady(); ok {
 		s.MinReady, s.HasMinReady = ready, true
+	}
+	if tif := m.core.TenantInFlight(); len(tif) > 0 {
+		s.TenantInFlight = tif
 	}
 	return s, nil
 }

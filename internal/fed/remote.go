@@ -164,6 +164,8 @@ func wireTask(req agent.Request) (live.MemberTaskArgs, error) {
 		Variant:   req.Spec.Variant,
 		Arrival:   req.Arrival,
 		Submitted: req.Submitted,
+		Tenant:    req.Tenant,
+		Deadline:  req.Deadline,
 	}, nil
 }
 
@@ -202,6 +204,9 @@ func (r *Remote) Evaluate(req agent.Request) (agent.Candidate, error) {
 	if reply.Unschedulable {
 		return agent.Candidate{}, agent.ErrUnschedulable
 	}
+	if reply.DeadlineUnmet {
+		return agent.Candidate{}, agent.ErrDeadlineUnmet
+	}
 	return agent.Candidate{Server: reply.Server, Score: reply.Score, Tie: reply.Tie, Scored: reply.Scored}, nil
 }
 
@@ -229,6 +234,9 @@ func (r *Remote) Submit(req agent.Request) (agent.Decision, error) {
 	}
 	if reply.Unschedulable {
 		return agent.Decision{}, agent.ErrUnschedulable
+	}
+	if reply.DeadlineUnmet {
+		return agent.Decision{}, agent.ErrDeadlineUnmet
 	}
 	return agent.Decision{JobID: req.JobID, Server: reply.Server,
 		Predicted: reply.Predicted, HasPrediction: reply.HasPrediction}, nil
@@ -275,7 +283,8 @@ func (r *Remote) Summary() (Summary, error) {
 		return Summary{}, err
 	}
 	return Summary{InFlight: reply.InFlight, Servers: reply.Servers,
-		MinReady: reply.MinReady, HasMinReady: reply.HasMinReady}, nil
+		MinReady: reply.MinReady, HasMinReady: reply.HasMinReady,
+		TenantInFlight: reply.TenantInFlight}, nil
 }
 
 func (r *Remote) Close() error {

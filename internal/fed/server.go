@@ -37,6 +37,16 @@ type ServerConfig struct {
 	MaxFailures     int
 	// Timeout bounds each member RPC (default 2s).
 	Timeout time.Duration
+	// IntakeRate, when positive, bounds the federation's raw intake
+	// with one dispatch-level token bucket (IntakeRate tasks per
+	// virtual second, burst IntakeBurst).
+	IntakeRate  float64
+	IntakeBurst float64
+	// TenantShares and Admission are recorded for in-process members
+	// (see Config); members joining over the wire (casagent -join)
+	// carry their own fair-share and admission configuration.
+	TenantShares map[string]float64
+	Admission    bool
 }
 
 // Server is the federation dispatcher runtime: a TCP listener exposing
@@ -77,6 +87,10 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 		StaleAfter:      cfg.StaleAfter,
 		SummaryInterval: cfg.SummaryInterval,
 		MaxFailures:     cfg.MaxFailures,
+		IntakeRate:      cfg.IntakeRate,
+		IntakeBurst:     cfg.IntakeBurst,
+		TenantShares:    cfg.TenantShares,
+		Admission:       cfg.Admission,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -212,6 +226,8 @@ func (f *FedAgentService) Schedule(args live.ScheduleArgs, reply *live.ScheduleR
 		Spec:      spec,
 		Arrival:   f.s.cfg.Clock.Now(),
 		Submitted: args.Arrival,
+		Tenant:    args.Tenant,
+		Deadline:  args.Deadline,
 	})
 	if errors.Is(err, agent.ErrUnschedulable) {
 		return fmt.Errorf("fed: no server solves %s", spec.Name())

@@ -542,9 +542,16 @@ func (s *sim) schedule(pa pendingArrival) error {
 		Spec:      t.Spec,
 		Arrival:   now,
 		Submitted: t.Arrival,
+		Tenant:    t.Tenant,
+		Deadline:  t.Deadline,
 	})
 	if errors.Is(err, agent.ErrUnschedulable) {
 		s.log(trace.Record{Time: now, Kind: "unschedulable", TaskID: t.ID, Attempt: pa.attempt})
+		return nil
+	}
+	if errors.Is(err, agent.ErrDeadlineUnmet) || errors.Is(err, agent.ErrThrottled) {
+		// The intake path shed the task; it simply never executes.
+		s.log(trace.Record{Time: now, Kind: "shed", TaskID: t.ID, Attempt: pa.attempt})
 		return nil
 	}
 	if err != nil {

@@ -39,6 +39,17 @@ type AgentConfig struct {
 	// Addr is the TCP listen address (default "127.0.0.1:0", an
 	// ephemeral loopback port).
 	Addr string
+	// TenantShares, when non-nil, turns on weighted fair-share
+	// arbitration of multi-tenant intake (see agent.Config).
+	TenantShares map[string]float64
+	// Admission turns on deadline-aware admission control.
+	Admission bool
+	// IntakeRate, when positive, bounds raw intake with a token bucket
+	// (IntakeRate tasks per virtual second, burst IntakeBurst) — the
+	// core's own bucket on a single core, the dispatch-level bucket on
+	// a sharded cluster.
+	IntakeRate  float64
+	IntakeBurst float64
 	// Join, when non-empty, is a federation dispatcher's RPC address:
 	// after listening, the agent announces itself with Fed.Join and
 	// serves as a federation member (its "Member" RPC service drives
@@ -92,25 +103,32 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		return nil, fmt.Errorf("live: agent needs a clock")
 	}
 	coreCfg := agent.Config{
-		Scheduler:  cfg.Scheduler,
-		Seed:       cfg.Seed,
-		HTMSync:    cfg.HTMSync,
-		HTMWorkers: cfg.HTMWorkers,
-		Log:        cfg.Log,
+		Scheduler:    cfg.Scheduler,
+		Seed:         cfg.Seed,
+		HTMSync:      cfg.HTMSync,
+		HTMWorkers:   cfg.HTMWorkers,
+		Log:          cfg.Log,
+		TenantShares: cfg.TenantShares,
+		Admission:    cfg.Admission,
 	}
 	var engine Engine
 	var core *agent.Core
 	if cfg.Shards > 1 {
+		// The intake bucket sits in front of the dispatch layer, not in
+		// the shard cores — one limiter per deployment.
 		cl, err := cluster.NewFromConfig(cluster.Config{
-			Shards: cfg.Shards,
-			Policy: cfg.ShardPolicy,
-			Core:   coreCfg,
+			Shards:      cfg.Shards,
+			Policy:      cfg.ShardPolicy,
+			Core:        coreCfg,
+			IntakeRate:  cfg.IntakeRate,
+			IntakeBurst: cfg.IntakeBurst,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("live: %w", err)
 		}
 		engine = cl
 	} else {
+		coreCfg.IntakeRate, coreCfg.IntakeBurst = cfg.IntakeRate, cfg.IntakeBurst
 		var err error
 		core, err = agent.New(coreCfg)
 		if err != nil {
@@ -247,6 +265,8 @@ func (a *Agent) schedule(args ScheduleArgs) (ScheduleReply, error) {
 		Spec:      spec,
 		Arrival:   a.cfg.Clock.Now(),
 		Submitted: args.Arrival,
+		Tenant:    args.Tenant,
+		Deadline:  args.Deadline,
 	})
 	if errors.Is(err, agent.ErrUnschedulable) {
 		return ScheduleReply{}, fmt.Errorf("live: no server solves %s", spec.Name())

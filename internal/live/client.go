@@ -63,7 +63,7 @@ func RunMetatask(agentAddr string, mt *task.Metatask, clock *Clock) ([]metrics.T
 			var rep ScheduleReply
 			err := agent.Call("Agent.Schedule", ScheduleArgs{
 				TaskKey: t.ID, Problem: t.Spec.Problem, Variant: t.Spec.Variant,
-				Arrival: arrival,
+				Arrival: arrival, Tenant: t.Tenant, Deadline: t.Deadline,
 			}, &rep)
 			if err != nil {
 				errs[i] = fmt.Errorf("live: schedule task %d: %w", t.ID, err)

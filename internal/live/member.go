@@ -46,6 +46,8 @@ func memberRequest(args MemberTaskArgs) (agent.Request, error) {
 		Spec:      spec,
 		Arrival:   args.Arrival,
 		Submitted: args.Submitted,
+		Tenant:    args.Tenant,
+		Deadline:  args.Deadline,
 	}, nil
 }
 
@@ -63,6 +65,10 @@ func (s *MemberService) Evaluate(args MemberTaskArgs, reply *MemberEvalReply) er
 	cand, err := core.Evaluate(req)
 	if errors.Is(err, agent.ErrUnschedulable) {
 		reply.Unschedulable = true
+		return nil
+	}
+	if errors.Is(err, agent.ErrDeadlineUnmet) {
+		reply.DeadlineUnmet = true
 		return nil
 	}
 	if err != nil {
@@ -103,6 +109,10 @@ func (s *MemberService) Submit(args MemberTaskArgs, reply *MemberDecisionReply) 
 	dec, err := core.Submit(req)
 	if errors.Is(err, agent.ErrUnschedulable) {
 		reply.Unschedulable = true
+		return nil
+	}
+	if errors.Is(err, agent.ErrDeadlineUnmet) {
+		reply.DeadlineUnmet = true
 		return nil
 	}
 	if err != nil {
@@ -204,6 +214,9 @@ func (s *MemberService) Summary(_ Ack, reply *MemberSummaryReply) error {
 	reply.Servers = core.ServerCount()
 	if ready, ok := core.MinProjectedReady(); ok {
 		reply.MinReady, reply.HasMinReady = ready, true
+	}
+	if tif := core.TenantInFlight(); len(tif) > 0 {
+		reply.TenantInFlight = tif
 	}
 	return nil
 }

@@ -38,6 +38,11 @@ type ScheduleArgs struct {
 	Variant int
 	// Arrival is the client-side submission date in virtual seconds.
 	Arrival float64
+	// Tenant and Deadline carry the multi-tenant intake metadata (zero
+	// values = untenanted, no deadline). New fields on the gob wire:
+	// old peers simply decode them as absent.
+	Tenant   string
+	Deadline float64
 }
 
 // ScheduleReply names the chosen server.
@@ -105,6 +110,11 @@ type MemberTaskArgs struct {
 	// Submitted is the client-side submission date (0 = Arrival).
 	Arrival   float64
 	Submitted float64
+	// Tenant and Deadline carry the multi-tenant intake fields (empty /
+	// zero for single-tenant traffic — the legacy wire shape, which gob
+	// decodes unchanged on both sides).
+	Tenant   string
+	Deadline float64
 }
 
 // MemberEvalReply is a member's provisional candidate for one
@@ -115,8 +125,11 @@ type MemberEvalReply struct {
 	Scored     bool
 	// Unschedulable distinguishes "no server of this partition solves
 	// it" from transport or scheduling errors, which travel as RPC
-	// errors.
+	// errors. DeadlineUnmet marks an admission refusal (no server of
+	// this partition meets the task's deadline) — also a per-member
+	// exclusion, not a transport failure.
 	Unschedulable bool
+	DeadlineUnmet bool
 }
 
 // MemberCommitArgs commits a previously evaluated placement.
@@ -132,6 +145,7 @@ type MemberDecisionReply struct {
 	Predicted     float64
 	HasPrediction bool
 	Unschedulable bool
+	DeadlineUnmet bool
 }
 
 // MemberBatchArgs is a burst routed whole to one member.
@@ -170,4 +184,9 @@ type MemberSummaryReply struct {
 	Servers     int
 	MinReady    float64
 	HasMinReady bool
+	// TenantInFlight splits InFlight per tenant — the fair-share
+	// routing signal of a multi-tenant federation. Nil from members
+	// with no tenanted work (and from pre-tenant members, which gob
+	// decodes as nil).
+	TenantInFlight map[string]int
 }

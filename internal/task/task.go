@@ -94,6 +94,19 @@ func (s *Spec) Cost(server string) (Cost, bool) {
 // Name returns a human-readable identifier such as "matmul-1500".
 func (s *Spec) Name() string { return fmt.Sprintf("%s-%d", s.Problem, s.Variant) }
 
+// MinTotal returns the smallest nominal end-to-end duration of the task
+// across the servers that can run it — the best case a deadline can be
+// measured against — and false if no server can run it.
+func (s *Spec) MinTotal() (float64, bool) {
+	best, ok := 0.0, false
+	for _, c := range s.CostOn {
+		if t := c.Total(); !ok || t < best {
+			best, ok = t, true
+		}
+	}
+	return best, ok
+}
+
 // Task is one client request: a spec, a global identifier and an
 // arrival (submission) date. Tasks are immutable once created; all
 // execution state lives in the simulator or runtime.
@@ -106,6 +119,13 @@ type Task struct {
 	// Arrival is the date, in seconds of experiment time, at which the
 	// client submits the task to the agent.
 	Arrival float64
+	// Tenant identifies the submitting tenant for fair-share
+	// arbitration. Nested shares separate levels with "/" ("gold/alice").
+	// Empty means the single anonymous stream of the paper.
+	Tenant string
+	// Deadline is the absolute experiment-time date by which the task
+	// should complete, for deadline-aware admission. Zero means none.
+	Deadline float64
 }
 
 // String implements fmt.Stringer.

@@ -9,16 +9,30 @@ import (
 	"casched/internal/task"
 )
 
-// WriteCSV serializes a metatask as CSV (columns: id, problem,
-// variant, arrival), so experiments can be archived and replayed
-// exactly — the equivalent of the submission logs the paper's
-// instrumented NetSolve produced.
+// WriteCSV serializes a metatask as CSV, so experiments can be archived
+// and replayed exactly — the equivalent of the submission logs the
+// paper's instrumented NetSolve produced. The columns are id, problem,
+// variant, arrival; when any task carries a tenant or a deadline the
+// optional tenant and deadline columns are appended, so traces without
+// multi-tenant state keep the historical 4-column format byte-for-byte.
 func WriteCSV(w io.Writer, mt *task.Metatask) error {
 	if err := mt.Validate(); err != nil {
 		return fmt.Errorf("workload: write csv: %w", err)
 	}
+	withTenant, withDeadline := false, false
+	for _, t := range mt.Tasks {
+		withTenant = withTenant || t.Tenant != ""
+		withDeadline = withDeadline || t.Deadline != 0
+	}
+	header := []string{"id", "problem", "variant", "arrival"}
+	if withTenant {
+		header = append(header, "tenant")
+	}
+	if withDeadline {
+		header = append(header, "deadline")
+	}
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"id", "problem", "variant", "arrival"}); err != nil {
+	if err := cw.Write(header); err != nil {
 		return fmt.Errorf("workload: write csv header: %w", err)
 	}
 	for _, t := range mt.Tasks {
@@ -27,6 +41,12 @@ func WriteCSV(w io.Writer, mt *task.Metatask) error {
 			t.Spec.Problem,
 			strconv.Itoa(t.Spec.Variant),
 			strconv.FormatFloat(t.Arrival, 'f', 6, 64),
+		}
+		if withTenant {
+			row = append(row, t.Tenant)
+		}
+		if withDeadline {
+			row = append(row, strconv.FormatFloat(t.Deadline, 'f', 6, 64))
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("workload: write csv row %d: %w", t.ID, err)
@@ -38,7 +58,10 @@ func WriteCSV(w io.Writer, mt *task.Metatask) error {
 
 // ReadCSV parses a metatask previously written by WriteCSV. Task specs
 // are resolved through task.Resolve, so only the built-in problems
-// (matmul, wastecpu) round-trip.
+// (matmul, wastecpu) round-trip. The tenant and deadline columns are
+// optional, in either order after the four required columns; traces
+// without them load as the single anonymous stream with no deadlines,
+// so every pre-existing trace stays valid.
 func ReadCSV(r io.Reader, name string) (*task.Metatask, error) {
 	cr := csv.NewReader(r)
 	rows, err := cr.ReadAll()
@@ -49,14 +72,26 @@ func ReadCSV(r io.Reader, name string) (*task.Metatask, error) {
 		return nil, fmt.Errorf("workload: read csv: empty file")
 	}
 	header := rows[0]
-	if len(header) != 4 || header[0] != "id" || header[1] != "problem" ||
+	if len(header) < 4 || header[0] != "id" || header[1] != "problem" ||
 		header[2] != "variant" || header[3] != "arrival" {
 		return nil, fmt.Errorf("workload: read csv: unexpected header %v", header)
 	}
+	tenantCol, deadlineCol := -1, -1
+	for i, col := range header[4:] {
+		switch {
+		case col == "tenant" && tenantCol < 0:
+			tenantCol = 4 + i
+		case col == "deadline" && deadlineCol < 0:
+			deadlineCol = 4 + i
+		default:
+			return nil, fmt.Errorf("workload: read csv: unexpected header column %q", col)
+		}
+	}
 	mt := &task.Metatask{Name: name}
 	for i, row := range rows[1:] {
-		if len(row) != 4 {
-			return nil, fmt.Errorf("workload: read csv: row %d has %d fields", i+1, len(row))
+		if len(row) != len(header) {
+			return nil, fmt.Errorf("workload: read csv: row %d has %d fields, header has %d",
+				i+1, len(row), len(header))
 		}
 		id, err := strconv.Atoi(row[0])
 		if err != nil {
@@ -74,7 +109,17 @@ func ReadCSV(r io.Reader, name string) (*task.Metatask, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: read csv: row %d: %w", i+1, err)
 		}
-		mt.Tasks = append(mt.Tasks, &task.Task{ID: id, Spec: spec, Arrival: arrival})
+		t := &task.Task{ID: id, Spec: spec, Arrival: arrival}
+		if tenantCol >= 0 {
+			t.Tenant = row[tenantCol]
+		}
+		if deadlineCol >= 0 && row[deadlineCol] != "" {
+			t.Deadline, err = strconv.ParseFloat(row[deadlineCol], 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: read csv: row %d deadline: %w", i+1, err)
+			}
+		}
+		mt.Tasks = append(mt.Tasks, t)
 	}
 	if err := mt.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: read csv: %w", err)

@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"casched/internal/task"
+)
+
+// TestMultiTenantGenerationUnchanged pins the compatibility guarantee:
+// adding tenants and deadlines to a scenario must not perturb the task
+// mix or the arrival dates, and a scenario without tenants must be
+// bit-identical to what pre-multi-tenant versions generated.
+func TestMultiTenantGenerationUnchanged(t *testing.T) {
+	base := MustGenerate(Set2(200, 20, 7))
+	mt := MustGenerate(MultiTenant(Set2(200, 20, 7), map[string]float64{"gold": 3, "silver": 1}, 10))
+	if len(base.Tasks) != len(mt.Tasks) {
+		t.Fatalf("task counts differ: %d vs %d", len(base.Tasks), len(mt.Tasks))
+	}
+	for i := range base.Tasks {
+		b, m := base.Tasks[i], mt.Tasks[i]
+		if b.Spec.Name() != m.Spec.Name() || b.Arrival != m.Arrival {
+			t.Fatalf("task %d differs with tenants on: spec %v vs %v, arrival %v vs %v",
+				i, b.Spec.Name(), m.Spec.Name(), b.Arrival, m.Arrival)
+		}
+		if b.Tenant != "" || b.Deadline != 0 {
+			t.Fatalf("task %d of tenant-free scenario carries tenant %q deadline %v",
+				i, b.Tenant, b.Deadline)
+		}
+	}
+}
+
+// TestMultiTenantMixProportions: tenant labels follow the offered-load
+// mix weights.
+func TestMultiTenantMixProportions(t *testing.T) {
+	mt := MustGenerate(MultiTenant(Set2(4000, 20, 3), map[string]float64{"gold": 3, "silver": 1}, 0))
+	count := map[string]int{}
+	for _, tk := range mt.Tasks {
+		count[tk.Tenant]++
+	}
+	goldFrac := float64(count["gold"]) / float64(len(mt.Tasks))
+	if math.Abs(goldFrac-0.75) > 0.03 {
+		t.Fatalf("gold offered-load fraction %.3f, want ~0.75 (counts %v)", goldFrac, count)
+	}
+}
+
+// TestDeadlineSlackStamping: deadlines sit at slack × best-case nominal
+// duration past arrival.
+func TestDeadlineSlackStamping(t *testing.T) {
+	sc := Set2(50, 20, 1)
+	sc.DeadlineSlack = 4
+	mt := MustGenerate(sc)
+	for _, tk := range mt.Tasks {
+		best, ok := tk.Spec.MinTotal()
+		if !ok {
+			t.Fatalf("spec %s has no runnable server", tk.Spec.Name())
+		}
+		want := tk.Arrival + 4*best
+		if math.Abs(tk.Deadline-want) > 1e-9 {
+			t.Fatalf("task %d deadline %v, want %v", tk.ID, tk.Deadline, want)
+		}
+	}
+}
+
+// TestMultiTenantScenarioValidation: bad tenant mixes are rejected.
+func TestMultiTenantScenarioValidation(t *testing.T) {
+	bad := Set2(10, 20, 1)
+	bad.Tenants = map[string]float64{"": 1}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("empty tenant name accepted")
+	}
+	bad = Set2(10, 20, 1)
+	bad.Tenants = map[string]float64{"gold": -1}
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("negative tenant weight accepted")
+	}
+	bad = Set2(10, 20, 1)
+	bad.DeadlineSlack = -2
+	if _, err := Generate(bad); err == nil {
+		t.Fatal("negative deadline slack accepted")
+	}
+}
+
+// TestCSVTenantRoundTrip: tenant and deadline columns survive a
+// write/read cycle exactly.
+func TestCSVTenantRoundTrip(t *testing.T) {
+	mt := MustGenerate(MultiTenant(Set2(40, 20, 5), map[string]float64{"gold": 2, "silver": 1}, 6))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, mt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,problem,variant,arrival,tenant,deadline\n") {
+		t.Fatalf("unexpected header: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadCSV(&buf, mt.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range mt.Tasks {
+		w, g := mt.Tasks[i], got.Tasks[i]
+		if w.Tenant != g.Tenant || math.Abs(w.Deadline-g.Deadline) > 1e-6 {
+			t.Fatalf("task %d round-trip mismatch: tenant %q/%q deadline %v/%v",
+				i, w.Tenant, g.Tenant, w.Deadline, g.Deadline)
+		}
+	}
+}
+
+// TestCSVLegacyFormatPreserved: a tenant-free metatask writes the
+// historical 4-column format, and 4-column traces read back with the
+// default tenant and no deadline — strict backward compatibility both
+// ways.
+func TestCSVLegacyFormatPreserved(t *testing.T) {
+	mt := MustGenerate(Set2(20, 20, 5))
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, mt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "id,problem,variant,arrival\n") {
+		t.Fatalf("tenant-free trace grew extra columns: %q", strings.SplitN(buf.String(), "\n", 2)[0])
+	}
+	got, err := ReadCSV(&buf, mt.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tk := range got.Tasks {
+		if tk.Tenant != "" || tk.Deadline != 0 {
+			t.Fatalf("legacy trace read back tenant %q deadline %v", tk.Tenant, tk.Deadline)
+		}
+	}
+}
+
+// TestCSVTenantOnlyColumn: a trace may carry tenant without deadline
+// (and the reverse), and unknown extra columns are rejected.
+func TestCSVTenantOnlyColumn(t *testing.T) {
+	in := "id,problem,variant,arrival,tenant\n0,wastecpu,200,0.000000,gold\n1,wastecpu,400,1.500000,\n"
+	mt, err := ReadCSV(strings.NewReader(in), "tenant-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tasks[0].Tenant != "gold" || mt.Tasks[1].Tenant != "" {
+		t.Fatalf("tenants read %q, %q", mt.Tasks[0].Tenant, mt.Tasks[1].Tenant)
+	}
+
+	in = "id,problem,variant,arrival,deadline\n0,wastecpu,200,0.000000,90.000000\n"
+	mt, err = ReadCSV(strings.NewReader(in), "deadline-only")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt.Tasks[0].Deadline != 90 {
+		t.Fatalf("deadline read %v", mt.Tasks[0].Deadline)
+	}
+
+	in = "id,problem,variant,arrival,priority\n0,wastecpu,200,0.000000,7\n"
+	if _, err := ReadCSV(strings.NewReader(in), "bad"); err == nil {
+		t.Fatal("unknown extra column accepted")
+	}
+}
+
+// TestSpecMinTotal pins the deadline denominator helper.
+func TestSpecMinTotal(t *testing.T) {
+	s := &task.Spec{Problem: "p", Variant: 1, CostOn: map[string]task.Cost{
+		"fast": {Input: 1, Compute: 2, Output: 1},
+		"slow": {Input: 2, Compute: 9, Output: 2},
+	}}
+	if best, ok := s.MinTotal(); !ok || best != 4 {
+		t.Fatalf("MinTotal = %v, %v; want 4, true", best, ok)
+	}
+	if _, ok := (&task.Spec{Problem: "p"}).MinTotal(); ok {
+		t.Fatal("MinTotal on serverless spec reported ok")
+	}
+}

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"sort"
 
 	"casched/internal/stats"
 	"casched/internal/task"
@@ -44,6 +45,18 @@ type Scenario struct {
 	// BurstPeriod, for ArrivalPoissonBurst, is the cycle length in
 	// seconds (default 20·MeanInterarrival).
 	BurstPeriod float64
+	// Tenants, when non-empty, labels each generated task with a tenant
+	// drawn from this map with probability proportional to the value
+	// (an offered-load mix, independent of the fair-share weights the
+	// agent arbitrates with). Empty keeps the paper's single anonymous
+	// stream and leaves generation bit-identical to earlier versions.
+	Tenants map[string]float64
+	// DeadlineSlack, when positive, stamps each task with
+	// Deadline = Arrival + DeadlineSlack × (minimal nominal end-to-end
+	// cost of its spec): slack 1 is only feasible on an unloaded best
+	// server, larger values tolerate queueing. Zero leaves deadlines
+	// unset.
+	DeadlineSlack float64
 }
 
 // Validate checks the scenario parameters.
@@ -61,6 +74,18 @@ func (s Scenario) Validate() error {
 	if s.FirstAt < 0 {
 		return fmt.Errorf("workload: scenario %q: negative first arrival %v", s.Name, s.FirstAt)
 	}
+	for name, w := range s.Tenants {
+		if name == "" {
+			return fmt.Errorf("workload: scenario %q: empty tenant name", s.Name)
+		}
+		if w <= 0 {
+			return fmt.Errorf("workload: scenario %q: tenant %q has non-positive mix weight %v",
+				s.Name, name, w)
+		}
+	}
+	if s.DeadlineSlack < 0 {
+		return fmt.Errorf("workload: scenario %q: negative deadline slack %v", s.Name, s.DeadlineSlack)
+	}
 	return nil
 }
 
@@ -74,11 +99,28 @@ func Generate(sc Scenario) (*task.Metatask, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
-	// Two decorrelated streams: one for the task mix, one for the
-	// arrival process, so that changing D preserves the task sequence.
+	// Decorrelated streams: one for the task mix, one for the arrival
+	// process, so that changing D preserves the task sequence. The
+	// tenant stream is split off third and only when tenants are
+	// configured, so single-tenant scenarios stay bit-identical to
+	// versions that predate multi-tenancy.
 	root := stats.NewRNG(sc.Seed)
 	mixRNG := root.Split()
 	arrRNG := root.Split()
+	var pickTenant func() string
+	if len(sc.Tenants) > 0 {
+		tenantRNG := root.Split()
+		names := make([]string, 0, len(sc.Tenants))
+		for name := range sc.Tenants {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		weights := make([]float64, len(names))
+		for i, name := range names {
+			weights[i] = sc.Tenants[name]
+		}
+		pickTenant = func() string { return names[tenantRNG.Pick(weights)] }
+	}
 
 	gap := gapGenerator(sc, arrRNG)
 	mt := &task.Metatask{Name: sc.Name, Tasks: make([]*task.Task, 0, sc.N)}
@@ -88,7 +130,16 @@ func Generate(sc Scenario) (*task.Metatask, error) {
 		if i > 0 {
 			now += gap(i)
 		}
-		mt.Tasks = append(mt.Tasks, &task.Task{ID: i, Spec: spec, Arrival: now})
+		t := &task.Task{ID: i, Spec: spec, Arrival: now}
+		if pickTenant != nil {
+			t.Tenant = pickTenant()
+		}
+		if sc.DeadlineSlack > 0 {
+			if best, ok := spec.MinTotal(); ok {
+				t.Deadline = now + sc.DeadlineSlack*best
+			}
+		}
+		mt.Tasks = append(mt.Tasks, t)
 	}
 	if err := mt.Validate(); err != nil {
 		return nil, fmt.Errorf("workload: generated invalid metatask: %w", err)
@@ -128,6 +179,16 @@ func Set2(n int, d float64, seed uint64) Scenario {
 		MeanInterarrival: d,
 		Seed:             seed,
 	}
+}
+
+// MultiTenant returns a copy of sc that labels tasks with tenants drawn
+// from the given offered-load mix and, when slack > 0, stamps deadlines
+// at slack × the spec's best-case nominal duration past arrival.
+func MultiTenant(sc Scenario, tenants map[string]float64, slack float64) Scenario {
+	sc.Name = sc.Name + "-mt"
+	sc.Tenants = tenants
+	sc.DeadlineSlack = slack
+	return sc
 }
 
 // PoissonBurst returns a second-set scenario driven by the
