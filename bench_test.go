@@ -913,6 +913,36 @@ func BenchmarkFedSubmitDegraded(b *testing.B) {
 	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
 }
 
+// BenchmarkFedSubmitRelay is BenchmarkFedSubmitDegraded with the live
+// event relay on at its freshest setting (inline pull per submission):
+// each delegation is priced by near-fresh per-server drains from the
+// members' decision ledgers instead of frozen power-of-two-choices.
+// The relay pull and view fold are the measured overhead; the payoff
+// is the ~2× sum-flow premium of frozen routing collapsing to ~1×
+// (benchmarks/fed-study.txt).
+func BenchmarkFedSubmitRelay(b *testing.B) {
+	names, batches := benchBatches(b, 32, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := newBenchFederation(b, names, 4,
+			casched.WithFedStaleAfter(time.Nanosecond),
+			casched.WithFedSummaryInterval(time.Hour),
+			casched.WithFedRelay(true),
+			casched.WithFedRelayInterval(0))
+		f.RefreshSummaries()
+		b.StartTimer()
+		for _, batch := range batches {
+			for _, req := range batch {
+				if _, err := f.Submit(req); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
 // BenchmarkFedSubmitBatch measures the federated hierarchical batch
 // path: bursts routed by power-of-two-choices over summary-backed
 // backlog scores to one member's batch prediction cache — the
@@ -923,6 +953,32 @@ func BenchmarkFedSubmitBatch(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
 		f := newBenchFederation(b, names, 4)
+		b.StartTimer()
+		for _, batch := range batches {
+			if _, err := f.SubmitBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.ReportMetric(float64(agentBenchTasks)*float64(b.N)/b.Elapsed().Seconds(), "decisions/s")
+}
+
+// BenchmarkFedSubmitBatchRelay is the degraded batch path with the
+// relay on: bursts route per tenant over view-backed member backlogs
+// (near-fresh in-flight counts folded from the decision ledgers)
+// instead of frozen summary counts, with an inline relay pull per
+// burst as the measured overhead.
+func BenchmarkFedSubmitBatchRelay(b *testing.B) {
+	names, batches := benchBatches(b, 32, agentBenchTasks, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		f := newBenchFederation(b, names, 4,
+			casched.WithFedStaleAfter(time.Nanosecond),
+			casched.WithFedSummaryInterval(time.Hour),
+			casched.WithFedRelay(true),
+			casched.WithFedRelayInterval(0))
+		f.RefreshSummaries()
 		b.StartTimer()
 		for _, batch := range batches {
 			if _, err := f.SubmitBatch(batch); err != nil {

@@ -56,6 +56,7 @@ import (
 	"casched/internal/platform"
 	"casched/internal/sched"
 	"casched/internal/task"
+	"casched/internal/telemetry"
 	"casched/internal/trace"
 	"casched/internal/workload"
 )
@@ -279,6 +280,13 @@ func WithTenantShares(shares map[string]float64) ClusterOption {
 // instead of placed. Zero-deadline requests always pass.
 func WithAdmission(on bool) ClusterOption { return cluster.WithAdmission(on) }
 
+// WithRelay turns on the federation event relay ledger on each core:
+// placements and completions are appended to a bounded
+// sequence-numbered ledger (relay wire) a federation dispatcher can
+// stream to keep near-fresh member views while degraded. Inert unless
+// a dispatcher pulls it.
+func WithRelay(on bool) ClusterOption { return cluster.WithRelay(on) }
+
 // WithIntakeLimit bounds raw intake with a token bucket of rate tasks
 // per experiment second and burst capacity burst (burst <= 0 defaults
 // to max(rate, 1)); refused requests are shed with ErrThrottled. On
@@ -365,6 +373,9 @@ type (
 	// FedMemberInfo is a diagnostic snapshot of one member's routing
 	// state.
 	FedMemberInfo = fed.MemberInfo
+	// FedRelayStats counts the dispatcher's relay activity
+	// (Dispatcher.RelayStats).
+	FedRelayStats = fed.RelayStats
 	// FedServer is the federation dispatcher TCP runtime (cmd/casfed).
 	FedServer = fed.Server
 	// FedServerConfig parameterizes a FedServer.
@@ -421,6 +432,22 @@ func WithFedSummaryInterval(d time.Duration) FederationOption { return fed.WithS
 // WithFedMaxFailures sets the consecutive-failure eviction threshold.
 func WithFedMaxFailures(n int) FederationOption { return fed.WithMaxFailures(n) }
 
+// WithFedRelay turns on the live event relay: the dispatcher streams
+// each member's decision/completion ledger (see WithRelay) into a
+// per-member optimistic view and prices degraded-mode routing against
+// near-fresh projected drains instead of frozen summaries. Members
+// that do not speak relay fall back individually; with the relay off
+// routing is bit-identical to the summary-only dispatcher.
+func WithFedRelay(on bool) FederationOption { return fed.WithRelay(on) }
+
+// WithFedRelayInterval paces relay pulls (0 = pull inline on every
+// submission, the exact in-process mode).
+func WithFedRelayInterval(d time.Duration) FederationOption { return fed.WithRelayInterval(d) }
+
+// WithFedRelayMaxConsecutive bounds consecutive delegations to one
+// member between relay view advances (default 8).
+func WithFedRelayMaxConsecutive(n int) FederationOption { return fed.WithRelayMaxConsecutive(n) }
+
 // WithFedTenantShares turns on weighted fair-share arbitration on
 // every in-process member core (see WithTenantShares). Remote members
 // carry their own configuration (casagent -tenant-shares).
@@ -475,6 +502,21 @@ type TenantStats = agent.TenantStats
 // NewStatsCollector returns an empty collector; pass sc.Collect to
 // Subscribe and read aggregates with sc.Snapshot().
 func NewStatsCollector() *StatsCollector { return agent.NewStatsCollector() }
+
+// MetricsConfig names the sources a /metrics endpoint renders: a stats
+// snapshot function (StatsCollector.Snapshot), and for federation
+// dispatchers the member diagnostics (Federation.Members) and relay
+// counters (Federation.RelayStats). Nil fields are skipped.
+type MetricsConfig = telemetry.Config
+
+// MetricsServer is the stdlib HTTP runtime behind -metrics-addr.
+type MetricsServer = telemetry.Server
+
+// StartMetricsServer serves GET /metrics in the Prometheus text
+// exposition format on addr ("" = ephemeral loopback) until Close.
+func StartMetricsServer(addr string, cfg MetricsConfig) (*MetricsServer, error) {
+	return telemetry.Start(addr, cfg)
+}
 
 // Live runtime types.
 type (

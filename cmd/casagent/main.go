@@ -41,6 +41,8 @@ func main() {
 		admission = flag.Bool("admission", false, "shed tasks whose deadline no server can meet")
 		rate      = flag.Float64("intake-rate", 0, "intake token-bucket rate in tasks per virtual second (0 = unlimited)")
 		burst     = flag.Float64("intake-burst", 0, "intake token-bucket burst capacity (0 = max(rate, 1))")
+		relay     = flag.Bool("relay", true, "keep the federation event relay ledger (single-core agents); -relay=false emulates a pre-relay member")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus GET /metrics on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -73,10 +75,22 @@ func main() {
 		Admission:    *admission,
 		IntakeRate:   *rate,
 		IntakeBurst:  *burst,
+		RelayOff:     !*relay,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casagent:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		sc := casched.NewStatsCollector()
+		agent.Engine().Subscribe(sc.Collect)
+		msrv, err := casched.StartMetricsServer(*metrics, casched.MetricsConfig{Stats: sc.Snapshot})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casagent:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("casagent: metrics on http://%s/metrics\n", msrv.Addr())
 	}
 	switch {
 	case *joinAddr != "":

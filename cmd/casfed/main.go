@@ -52,6 +52,10 @@ func main() {
 		admission = flag.Bool("admission", false, "deadline admission for in-process members; remote members set their own")
 		rate      = flag.Float64("intake-rate", 0, "dispatch-level intake token-bucket rate in tasks per virtual second (0 = unlimited)")
 		burst     = flag.Float64("intake-burst", 0, "intake token-bucket burst capacity (0 = max(rate, 1))")
+		relay     = flag.Bool("relay", false, "stream member decision ledgers for near-fresh degraded routing")
+		relayIntv = flag.Duration("relay-interval", 100*time.Millisecond, "relay pull period (with -relay)")
+		relayMax  = flag.Int("relay-max-consec", 0, "max consecutive delegations to one member between relay advances (0 = default 8)")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus GET /metrics on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -76,25 +80,44 @@ func main() {
 		os.Exit(1)
 	}
 	srv, err := casched.StartFedServer(casched.FedServerConfig{
-		Addr:            *addr,
-		Heuristic:       *heuristic,
-		Policy:          shardPolicy,
-		Seed:            *seed,
-		Clock:           casched.NewLiveClock(*scale),
-		StaleAfter:      *stale,
-		SummaryInterval: *interval,
-		Timeout:         *timeout,
-		TenantShares:    tenantShares,
-		Admission:       *admission,
-		IntakeRate:      *rate,
-		IntakeBurst:     *burst,
+		Addr:                *addr,
+		Heuristic:           *heuristic,
+		Policy:              shardPolicy,
+		Seed:                *seed,
+		Clock:               casched.NewLiveClock(*scale),
+		StaleAfter:          *stale,
+		SummaryInterval:     *interval,
+		Timeout:             *timeout,
+		TenantShares:        tenantShares,
+		Admission:           *admission,
+		IntakeRate:          *rate,
+		IntakeBurst:         *burst,
+		Relay:               *relay,
+		RelayInterval:       *relayIntv,
+		RelayMaxConsecutive: *relayMax,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "casfed:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("casfed: %s federation dispatcher listening on %s (clock scale %gx, %s policy, stale-after %s)\n",
-		*heuristic, srv.Addr(), *scale, *policy, *stale)
+	fmt.Printf("casfed: %s federation dispatcher listening on %s (clock scale %gx, %s policy, stale-after %s, relay %v)\n",
+		*heuristic, srv.Addr(), *scale, *policy, *stale, *relay)
+
+	if *metrics != "" {
+		sc := casched.NewStatsCollector()
+		srv.Dispatcher().Subscribe(sc.Collect)
+		msrv, err := casched.StartMetricsServer(*metrics, casched.MetricsConfig{
+			Stats:   sc.Snapshot,
+			Members: srv.Dispatcher().Members,
+			Relay:   srv.Dispatcher().RelayStats,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casfed:", err)
+			os.Exit(1)
+		}
+		defer msrv.Close()
+		fmt.Printf("casfed: metrics on http://%s/metrics\n", msrv.Addr())
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -40,6 +40,7 @@ import (
 
 	"casched/internal/fair"
 	"casched/internal/htm"
+	"casched/internal/relay"
 	"casched/internal/sched"
 	"casched/internal/stats"
 	"casched/internal/task"
@@ -100,6 +101,14 @@ type Config struct {
 	// arrival dates), so replays are deterministic.
 	IntakeRate  float64
 	IntakeBurst float64
+	// Relay turns on the live event relay ledger: every committed
+	// decision and consumed completion is appended, sequence-numbered,
+	// to a bounded ring (internal/relay.Ledger) that a federation
+	// dispatcher polls for near-fresh routing state between gossiped
+	// summaries. Off, the default, costs nothing.
+	Relay bool
+	// RelayCapacity bounds the relay ring (0 = relay.DefaultCapacity).
+	RelayCapacity int
 	// BatchAssignment opts SubmitBatch into true k-task scheduling:
 	// each batch is placed wave by wave through a min-cost assignment
 	// over the per-pair objective matrix (sched.MinCostBatch) instead
@@ -267,6 +276,10 @@ type Core struct {
 	ledger     *fair.Ledger
 	bucket     *fair.TokenBucket
 	tenantLoad map[string]int
+	// relayLog, when non-nil, records decision/completion events for
+	// the federation event relay (Config.Relay). Appends happen under
+	// c.mu so ledger sequence order matches commit order.
+	relayLog *relay.Ledger
 }
 
 // New constructs a Core with no servers; drivers add membership with
@@ -294,6 +307,9 @@ func New(cfg Config) (*Core, error) {
 	}
 	if cfg.IntakeRate > 0 {
 		c.bucket = fair.NewTokenBucket(cfg.IntakeRate, cfg.IntakeBurst)
+	}
+	if cfg.Relay {
+		c.relayLog = relay.NewLedger(cfg.RelayCapacity)
 	}
 	if cfg.BatchAssignment {
 		switch s := cfg.Scheduler.(type) {
@@ -758,6 +774,14 @@ func (c *Core) commitLocked(req Request, server string) (Decision, error) {
 		JobID: req.JobID, TaskID: req.TaskID, Attempt: req.Attempt,
 		Predicted: d.Predicted, HasPrediction: d.HasPrediction,
 		Tenant: req.Tenant, Deadline: req.Deadline, Submitted: submitted})
+	if c.relayLog != nil {
+		ev := relay.Event{Kind: relay.Decision, JobID: req.JobID,
+			Tenant: req.Tenant, Server: server, Time: req.Arrival}
+		if c.htmMgr != nil {
+			ev.Ready, ev.HasReady = c.htmMgr.ProjectedReady(server)
+		}
+		c.relayLog.Append(ev)
+	}
 	return d, nil
 }
 
@@ -798,6 +822,14 @@ func (c *Core) Complete(jobID int, server string, at float64) Completion {
 	c.emit(Event{Kind: EventCompletion, Time: at, Server: server,
 		JobID: jobID, TaskID: meta.taskID, Attempt: meta.attempt,
 		Tenant: meta.tenant, Deadline: meta.deadline, Submitted: meta.submitted})
+	if c.relayLog != nil {
+		ev := relay.Event{Kind: relay.Completion, JobID: jobID,
+			Tenant: meta.tenant, Server: server, Time: at}
+		if c.htmMgr != nil {
+			ev.Ready, ev.HasReady = c.htmMgr.ProjectedReady(server)
+		}
+		c.relayLog.Append(ev)
+	}
 	return done
 }
 

@@ -170,6 +170,12 @@ func WithTenantShares(shares map[string]float64) Option {
 // predicted completion meets are shed with agent.ErrDeadlineUnmet.
 func WithAdmission(on bool) Option { return func(c *Config) { c.Core.Admission = on } }
 
+// WithRelay turns the federation event relay ledger on or off on each
+// core (agent.Config.Relay): placements and completions are appended
+// to a bounded sequence-numbered ledger a federation dispatcher can
+// stream to keep near-fresh member views while degraded.
+func WithRelay(on bool) Option { return func(c *Config) { c.Core.Relay = on } }
+
 // WithIntakeLimit bounds raw intake with one dispatch-level token
 // bucket of rate tasks per experiment second and burst capacity burst
 // (burst <= 0 defaults to max(rate, 1)). Applied to NewAgentCore it

@@ -72,6 +72,20 @@ type FederationStaleLevel struct {
 	SumFlow float64
 }
 
+// FederationRelayLevel is one relay-assisted degraded-routing
+// measurement: same summary lag as the matching stale level, but with
+// the live event relay streaming member decisions between summaries.
+type FederationRelayLevel struct {
+	// RefreshEvery is the summary lag in submissions.
+	RefreshEvery int
+	// SumFlow is the HTM-simulated total flow under that lag with the
+	// relay on.
+	SumFlow float64
+	// EventsPerDecision is the relay bandwidth: member events folded by
+	// the dispatcher divided by decisions routed.
+	EventsPerDecision float64
+}
+
 // FederationStudyResult holds the study: the centralized cluster, the
 // fresh federation (expected decision-identical) and the degraded
 // stale-summary levels, all measured by HTM-simulated sum-flow on one
@@ -87,6 +101,10 @@ type FederationStudyResult struct {
 	FreshSumFlow float64
 	// Stale are the degraded power-of-two-choices levels.
 	Stale []FederationStaleLevel
+	// Relay are the same summary lags rerouted through the live event
+	// relay: near-fresh per-server pricing instead of frozen
+	// power-of-two-choices.
+	Relay []FederationRelayLevel
 }
 
 // FederationStudy runs the study: one bursty metatask, a centralized
@@ -193,6 +211,51 @@ func FederationStudy(cfg FederationStudyConfig) (*FederationStudyResult, error) 
 		sum, _ := sumFlowOf(staleFed, mt)
 		res.Stale = append(res.Stale, FederationStaleLevel{RefreshEvery: every, SumFlow: sum})
 	}
+
+	// Relay levels: identical staleness dial, but the dispatcher pulls
+	// each member's decision ledger inline on every submission
+	// (RelayInterval 0 — the TCP runtime's background tick collapsed to
+	// its freshest setting) and prices degraded routing on the
+	// near-fresh per-server drains instead of frozen summaries.
+	for _, every := range cfg.RefreshEvery {
+		base := time.Unix(0, 0)
+		now := base
+		relayFed, err := fed.New(
+			fed.WithMembers(cfg.Members),
+			fed.WithHeuristic(cfg.Heuristic),
+			fed.WithSeed(cfg.Seed),
+			fed.WithPolicy(cluster.LeastLoaded()),
+			fed.WithStaleAfter(time.Nanosecond),
+			fed.WithSummaryInterval(time.Hour), // inline refresh never fires
+			fed.WithNow(func() time.Time { return now }),
+			fed.WithRelay(true),
+			fed.WithRelayInterval(0), // pull inline on every submission
+		)
+		if err != nil {
+			return nil, err
+		}
+		for _, n := range names {
+			if err := relayFed.AddServer(n); err != nil {
+				return nil, err
+			}
+		}
+		for i, req := range reqs {
+			if i%every == 0 {
+				relayFed.RefreshSummaries()
+			}
+			now = now.Add(time.Second)
+			if _, err := relayFed.Submit(req); err != nil {
+				return nil, fmt.Errorf("experiments: relay fed submit (every=%d): %w", every, err)
+			}
+		}
+		sum, _ := sumFlowOf(relayFed, mt)
+		rs := relayFed.RelayStats()
+		res.Relay = append(res.Relay, FederationRelayLevel{
+			RefreshEvery:      every,
+			SumFlow:           sum,
+			EventsPerDecision: float64(rs.EventsFolded) / float64(len(reqs)),
+		})
+	}
 	return res, nil
 }
 
@@ -202,7 +265,7 @@ func FormatFederationStudy(r *FederationStudyResult) string {
 	c := r.Config
 	fmt.Fprintf(&b, "federation staleness study — %s, poisson-burst set 2, N=%d D=%gs, %d members, %d servers, seed %d\n",
 		c.Heuristic, c.N, c.D, c.Members, 4*c.Replicas, c.Seed)
-	fmt.Fprintf(&b, "\n  %-34s %12s %8s\n", "routing", "sumflow", "ratio")
+	fmt.Fprintf(&b, "\n  %-34s %12s %8s %8s\n", "routing", "sumflow", "ratio", "ev/dec")
 	fmt.Fprintf(&b, "  %-34s %12.0f %8.3f\n", "centralized cluster (fan-out)", r.CentralSumFlow, 1.0)
 	if r.CentralSumFlow > 0 {
 		fmt.Fprintf(&b, "  %-34s %12.0f %8.3f\n", "federated, fresh summaries",
@@ -211,6 +274,11 @@ func FormatFederationStudy(r *FederationStudyResult) string {
 			fmt.Fprintf(&b, "  %-34s %12.0f %8.3f\n",
 				fmt.Sprintf("federated, stale (refresh/%d)", s.RefreshEvery),
 				s.SumFlow, s.SumFlow/r.CentralSumFlow)
+		}
+		for _, s := range r.Relay {
+			fmt.Fprintf(&b, "  %-34s %12.0f %8.3f %8.2f\n",
+				fmt.Sprintf("federated, relay (summary/%d)", s.RefreshEvery),
+				s.SumFlow, s.SumFlow/r.CentralSumFlow, s.EventsPerDecision)
 		}
 	}
 	return b.String()

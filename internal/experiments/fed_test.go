@@ -47,8 +47,37 @@ func TestFederationStudyFreshParityAndStaleCost(t *testing.T) {
 		}
 	}
 
+	// Relay claims (the committed fed-study.txt numbers): at every
+	// summary lag, relay-assisted degraded routing stays within 1.15×
+	// of the fresh fan-out — the near-fresh contract — where frozen
+	// p2c pays 1.9–3.3×. The relay must also strictly beat the stale
+	// level at the same lag, and its bandwidth stays around one event
+	// per decision (the study routes every decision as a delegation and
+	// never completes tasks, so > 2 would mean duplicated folding).
+	if len(r.Relay) != len(r.Stale) {
+		t.Fatalf("relay levels = %d, want %d", len(r.Relay), len(r.Stale))
+	}
+	for k, s := range r.Relay {
+		if s.SumFlow <= 0 {
+			t.Fatalf("degenerate relay sum-flow at summary/%d", s.RefreshEvery)
+		}
+		ratio := s.SumFlow / r.FreshSumFlow
+		if ratio > 1.15 {
+			t.Errorf("relay summary/%d sum-flow ratio %.3f exceeds 1.15× fresh fan-out",
+				s.RefreshEvery, ratio)
+		}
+		if s.SumFlow >= r.Stale[k].SumFlow {
+			t.Errorf("relay summary/%d (%.0f) did not beat stale refresh/%d (%.0f)",
+				s.RefreshEvery, s.SumFlow, r.Stale[k].RefreshEvery, r.Stale[k].SumFlow)
+		}
+		if s.EventsPerDecision < 0 || s.EventsPerDecision > 2 {
+			t.Errorf("relay summary/%d events/decision %.2f out of [0, 2]",
+				s.RefreshEvery, s.EventsPerDecision)
+		}
+	}
+
 	out := FormatFederationStudy(r)
-	for _, want := range []string{"centralized cluster", "fresh summaries", "stale (refresh/", "ratio"} {
+	for _, want := range []string{"centralized cluster", "fresh summaries", "stale (refresh/", "relay (summary/", "ratio", "ev/dec"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("formatted study lacks %q:\n%s", want, out)
 		}

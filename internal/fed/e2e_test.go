@@ -36,6 +36,8 @@ func TestFedEndToEnd(t *testing.T) {
 		SummaryInterval: 50 * time.Millisecond,
 		StaleAfter:      2 * time.Second,
 		MaxFailures:     2,
+		Relay:           true,
+		RelayInterval:   25 * time.Millisecond,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -120,6 +122,24 @@ func TestFedEndToEnd(t *testing.T) {
 		t.Errorf("in-flight after completions = %d, want 0", got)
 	}
 
+	// The relay must have come up on the wire: both members advertise
+	// the capability in their summaries, and after the metatask's
+	// decisions at least one member view has advanced past sequence
+	// zero (by summary rebase or background relay pull).
+	relayDeadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(relayDeadline) {
+		mi := fs.Dispatcher().Members()
+		if mi[0].RelayCapable && mi[1].RelayCapable && mi[0].RelaySeq+mi[1].RelaySeq > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if mi := fs.Dispatcher().Members(); !mi[0].RelayCapable || !mi[1].RelayCapable {
+		t.Fatalf("members did not advertise relay: %+v", mi)
+	} else if mi[0].RelaySeq+mi[1].RelaySeq == 0 {
+		t.Fatalf("no member relay view advanced: %+v", mi)
+	}
+
 	// Phase 2: a burst through the member SubmitBatch wire.
 	spec := task.WasteCPU(400)
 	at := clock.Now()
@@ -192,6 +212,44 @@ func TestFedEndToEnd(t *testing.T) {
 			TaskKey: key, Problem: "wastecpu", Variant: 200,
 		}, &sub); err != nil {
 			t.Fatalf("submit after member death: %v", err)
+		}
+	}
+
+	// The dead member must not wedge the relay: a forced pull over the
+	// whole federation returns with the member evicted, and the
+	// survivor's relay state is intact.
+	fs.Dispatcher().PullRelay()
+	if mi := fs.Dispatcher().Members(); !mi[0].RelayCapable {
+		t.Fatalf("survivor lost relay capability after peer death: %+v", mi[0])
+	}
+
+	// Phase 4: the member rejoins under its old name. The dispatcher
+	// readmits it, replays its partition, and the relay view must
+	// reconverge — capable, synced, and answering pulls — after which
+	// scheduling spans the wire without errors again.
+	m2b := newMember("m2")
+	defer m2b.Close()
+	rejoinDeadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(rejoinDeadline) {
+		mi := fs.Dispatcher().Members()
+		if !mi[1].Evicted && mi[1].RelayCapable && mi[1].RelaySynced {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if mi := fs.Dispatcher().Members(); mi[1].Evicted || !mi[1].RelayCapable || !mi[1].RelaySynced {
+		t.Fatalf("rejoined member's relay view did not reconverge: %+v", mi[1])
+	}
+	for i := 0; i < 4; i++ {
+		key := 4000 + i
+		var rep live.ScheduleReply
+		if err := disp.Call("Agent.Schedule", live.ScheduleArgs{
+			TaskKey: key, Problem: "wastecpu", Variant: 200, Arrival: clock.Now(),
+		}, &rep); err != nil {
+			t.Fatalf("schedule after rejoin: %v", err)
+		}
+		if rep.Server == "" {
+			t.Fatalf("empty placement after rejoin for task %d", key)
 		}
 	}
 }

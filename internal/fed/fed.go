@@ -53,6 +53,7 @@ import (
 	"casched/internal/agent"
 	"casched/internal/cluster"
 	"casched/internal/fair"
+	"casched/internal/relay"
 	"casched/internal/sched"
 	"casched/internal/stats"
 	"casched/internal/task"
@@ -122,6 +123,29 @@ type Config struct {
 	// fallback applies: swept jobs resolve through the server's owning
 	// member).
 	PlacedWindow float64
+	// Relay turns on the live event relay: in-process member cores run
+	// with relay ledgers (agent.Config.Relay), and the dispatcher polls
+	// each relay-capable member's decision/completion deltas, folding
+	// them — plus optimistic local accounting for its own delegations —
+	// onto the member's last gossiped summary (internal/relay.View).
+	// Degraded-mode routing then prices each request on near-fresh
+	// per-server projected-ready instants instead of frozen
+	// power-of-two-choices. Off (the default) the dispatcher routes
+	// exactly as before the relay existed, bit for bit. Members that do
+	// not speak relay (old binaries, relay off member-side) are
+	// detected and fall back to summary-only routing individually.
+	Relay bool
+	// RelayInterval is the minimum age before a submission pulls relay
+	// deltas inline. 0 (the default) pulls on every submission — the
+	// exact near-fresh mode the federation study measures. The TCP
+	// runtime sets it to its relay tick and pulls in the background.
+	RelayInterval time.Duration
+	// RelayMaxConsecutive bounds consecutive delegations to one member
+	// between relay/gossip view advances (default 8): a member whose
+	// view stopped moving is demoted to last in the routing order, so
+	// a wedged relay stream cannot re-create the herding the relay
+	// exists to prevent.
+	RelayMaxConsecutive int
 	// StaleAfter is the summary age beyond which a member no longer
 	// counts as fresh (default 2s). Any member gone stale degrades
 	// Submit routing from exact fan-out to power-of-two-choices.
@@ -168,6 +192,19 @@ func WithHTMSync(on bool) Option { return func(c *Config) { c.HTMSync = on } }
 // WithBatchAssignment opts every member's SubmitBatch into k-task
 // min-cost assignment waves.
 func WithBatchAssignment(on bool) Option { return func(c *Config) { c.BatchAssignment = on } }
+
+// WithRelay turns the live event relay on (see Config.Relay).
+func WithRelay(on bool) Option { return func(c *Config) { c.Relay = on } }
+
+// WithRelayInterval sets the inline relay pull period (0 = every
+// submission).
+func WithRelayInterval(d time.Duration) Option { return func(c *Config) { c.RelayInterval = d } }
+
+// WithRelayMaxConsecutive bounds consecutive delegations to one member
+// between relay view advances.
+func WithRelayMaxConsecutive(n int) Option {
+	return func(c *Config) { c.RelayMaxConsecutive = n }
+}
 
 // WithStaleAfter sets the summary freshness horizon.
 func WithStaleAfter(d time.Duration) Option { return func(c *Config) { c.StaleAfter = d } }
@@ -219,6 +256,9 @@ func (cfg *Config) defaults() {
 	if cfg.MaxFailures == 0 {
 		cfg.MaxFailures = 3
 	}
+	if cfg.RelayMaxConsecutive == 0 {
+		cfg.RelayMaxConsecutive = 8
+	}
 	if cfg.ProbeInterval == 0 {
 		cfg.ProbeInterval = cfg.StaleAfter
 	}
@@ -244,6 +284,20 @@ type memberState struct {
 	probed   time.Time // last readmission probe of an evicted member
 	fetching bool      // a summary fetch is in flight (outside the lock)
 	unsub    func()    // event-stream cancel, for members that stream
+
+	// Relay state (Config.Relay; all zero/nil otherwise). view is the
+	// near-fresh fold of the last summary plus relayed events plus
+	// optimistic delegations; relayCap caches whether the member speaks
+	// relay (0 unknown, 1 yes, -1 no); delegSeq counts delegations to
+	// the member — the marker ordering optimistic entries against
+	// summary fetches; consec counts delegations since the view last
+	// advanced (the herding bound).
+	view          *relay.View
+	relayCap      int8
+	relayFetched  time.Time
+	relayFetching bool
+	delegSeq      uint64
+	consec        int
 }
 
 // MemberInfo is a diagnostic snapshot of one member's routing state.
@@ -259,6 +313,17 @@ type MemberInfo struct {
 	Evicted         bool
 	Fresh           bool
 	SummaryAge      time.Duration
+	// Relay diagnostics (meaningful only with Config.Relay on):
+	// RelayCapable reports the member speaks relay; RelaySynced that
+	// its view is currently routable; RelaySeq the member-ledger
+	// sequence folded up to; RelayAge the time since the last
+	// successful relay pull (MaxInt64 = never); RelayPending the
+	// optimistic delegations not yet confirmed by relayed events.
+	RelayCapable bool
+	RelaySynced  bool
+	RelaySeq     uint64
+	RelayAge     time.Duration
+	RelayPending int
 }
 
 // Dispatcher is the federated dispatch layer. Construct with New
@@ -283,6 +348,11 @@ type Dispatcher struct {
 	bucket       *fair.TokenBucket
 	placedWindow float64
 	placedSwept  float64
+	// relayFolded counts relay events folded into member views;
+	// relayRouted counts degraded-mode delegations priced by relay
+	// views (vs summary-only p2c).
+	relayFolded uint64
+	relayRouted uint64
 
 	// emu guards the merged event stream of event-streaming members.
 	emu     sync.Mutex
@@ -317,6 +387,7 @@ func New(opts ...Option) (*Dispatcher, error) {
 			BatchAssignment: cfg.BatchAssignment,
 			TenantShares:    cfg.TenantShares,
 			Admission:       cfg.Admission,
+			Relay:           cfg.Relay,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fed: member %d: %w", i, err)
@@ -384,6 +455,14 @@ func (d *Dispatcher) AddMember(m Member) error {
 		ms.fails = 0
 		ms.evicted = false
 		ms.fetched = time.Time{}
+		if d.cfg.Relay {
+			// The rejoined process has a fresh ledger: drop the old fold
+			// and re-probe capability; the next summary rebases the view.
+			ms.view = relay.NewView()
+			ms.relayCap = 0
+			ms.relayFetched = time.Time{}
+			ms.consec = 0
+		}
 		if es, ok := m.(eventSource); ok {
 			ms.unsub = es.Subscribe(d.forward)
 		}
@@ -432,6 +511,9 @@ func (d *Dispatcher) AddMember(m Member) error {
 // the constructor).
 func (d *Dispatcher) addMemberLocked(m Member) {
 	ms := &memberState{m: m}
+	if d.cfg.Relay {
+		ms.view = relay.NewView()
+	}
 	if es, ok := m.(eventSource); ok {
 		ms.unsub = es.Subscribe(d.forward)
 	}
@@ -491,7 +573,7 @@ func (d *Dispatcher) Members() []MemberInfo {
 		if !ms.fetched.IsZero() {
 			age = now.Sub(ms.fetched)
 		}
-		out[i] = MemberInfo{
+		info := MemberInfo{
 			Name:            ms.m.Name(),
 			Servers:         d.counts[i],
 			ReportedServers: ms.summary.Servers,
@@ -500,6 +582,17 @@ func (d *Dispatcher) Members() []MemberInfo {
 			Fresh:           d.freshLocked(ms, now),
 			SummaryAge:      age,
 		}
+		if ms.view != nil {
+			info.RelayCapable = ms.relayCap > 0
+			info.RelaySynced = ms.view.Synced()
+			info.RelaySeq = ms.view.Seq()
+			info.RelayPending = ms.view.Pending()
+			info.RelayAge = time.Duration(math.MaxInt64)
+			if !ms.relayFetched.IsZero() {
+				info.RelayAge = now.Sub(ms.relayFetched)
+			}
+		}
+		out[i] = info
 	}
 	return out
 }
@@ -710,6 +803,7 @@ func (d *Dispatcher) refresh(force bool) {
 	now := d.cfg.Now()
 	var due, probes []int
 	var dueH, probeH []Member
+	var dueMark, probeMark []uint64
 	for i, ms := range d.members {
 		if ms.fetching {
 			continue
@@ -722,6 +816,7 @@ func (d *Dispatcher) refresh(force bool) {
 			ms.fetching = true
 			probes = append(probes, i)
 			probeH = append(probeH, ms.m)
+			probeMark = append(probeMark, ms.delegSeq)
 			continue
 		}
 		if !force && !ms.fetched.IsZero() && now.Sub(ms.fetched) < d.cfg.SummaryInterval {
@@ -730,31 +825,36 @@ func (d *Dispatcher) refresh(force bool) {
 		ms.fetching = true
 		due = append(due, i)
 		dueH = append(dueH, ms.m)
+		// The delegation marker is captured before the fetch starts:
+		// a summary can only include delegations made before this
+		// instant, so the relay view's rebase keeps optimistic entries
+		// with later markers (see relay.View.Rebase).
+		dueMark = append(dueMark, ms.delegSeq)
 	}
 	d.mu.Unlock()
 
 	var wg sync.WaitGroup
-	fetchOne := func(i int, m Member) {
+	fetchOne := func(i int, m Member, marker uint64) {
 		defer wg.Done()
 		s, err := m.Summary()
-		d.applyFetch(i, m, s, err)
+		d.applyFetch(i, m, s, err, marker)
 	}
 	for k, i := range probes {
 		if force {
 			wg.Add(1)
-			go fetchOne(i, probeH[k])
+			go fetchOne(i, probeH[k], probeMark[k])
 			continue
 		}
 		// Fire-and-forget: the caller routes now, the probe's result
 		// lands for a later decision.
-		go func(i int, m Member) {
+		go func(i int, m Member, marker uint64) {
 			s, err := m.Summary()
-			d.applyFetch(i, m, s, err)
-		}(i, probeH[k])
+			d.applyFetch(i, m, s, err, marker)
+		}(i, probeH[k], probeMark[k])
 	}
 	for k, i := range due {
 		wg.Add(1)
-		go fetchOne(i, dueH[k])
+		go fetchOne(i, dueH[k], dueMark[k])
 	}
 	wg.Wait()
 }
@@ -765,7 +865,7 @@ func (d *Dispatcher) refresh(force bool) {
 // transport failures count toward eviction — a member that answers
 // its Summary with an application error is alive (it just never goes
 // fresh, so routing treats it as permanently stale).
-func (d *Dispatcher) applyFetch(i int, m Member, s Summary, err error) {
+func (d *Dispatcher) applyFetch(i int, m Member, s Summary, err error, marker uint64) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	ms := d.members[i]
@@ -780,6 +880,23 @@ func (d *Dispatcher) applyFetch(i int, m Member, s Summary, err error) {
 	ms.summary = s
 	ms.fetched = d.cfg.Now()
 	d.markSuccessLocked(i)
+	if ms.view != nil {
+		if s.HasRelay {
+			ms.relayCap = 1
+			ms.view.Rebase(relay.Base{
+				InFlight: s.InFlight,
+				Tenant:   s.TenantInFlight,
+				Ready:    s.ServerReady,
+				Seq:      s.RelaySeq,
+			}, marker)
+			ms.consec = 0
+		} else {
+			// The member answered without relay fields: an old binary or
+			// relay off member-side. Route it from summaries alone.
+			ms.relayCap = -1
+			ms.view.Unsync()
+		}
+	}
 }
 
 // liveLocked returns the indexes of non-evicted members. Caller holds
@@ -860,6 +977,7 @@ func (d *Dispatcher) sweepPlacedLocked(now float64) {
 // fan-out mode) is shed with agent.ErrDeadlineUnmet.
 func (d *Dispatcher) Submit(req agent.Request) (agent.Decision, error) {
 	d.refreshDue()
+	d.relayDue()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if d.bucket != nil && !d.bucket.Take(req.Arrival) {
@@ -1010,11 +1128,16 @@ func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.De
 }
 
 // submitDegradedLocked is the stale-mode path: members ordered by
-// power-of-two-choices over the last-known summaries, the decision
-// delegated whole to the first eligible member that accepts it.
-// Caller holds d.mu.
+// power-of-two-choices over the last-known summaries — or, with the
+// relay on and views synced, by the estimated completion of this
+// request on each member's best server (relayOrderLocked) — and the
+// decision delegated whole to the first eligible member that accepts
+// it. Caller holds d.mu.
 func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.Decision, error) {
-	order := d.orderLocked(req.Arrival, live, req.Tenant)
+	order, viaRelay := d.relayOrderLocked(req, live)
+	if !viaRelay {
+		order = d.orderLocked(req.Arrival, live, req.Tenant)
+	}
 	var errs []error
 	deadlineBlocked := false
 	for _, i := range order {
@@ -1058,6 +1181,7 @@ func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.
 		}
 		d.markSuccessLocked(i)
 		d.notePlacedLocked(req.JobID, i, req.Arrival)
+		d.noteDelegatedLocked(i, req, dec, viaRelay)
 		return dec, nil
 	}
 	if len(errs) > 0 {
@@ -1084,6 +1208,7 @@ func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.
 // another tenant's placements.
 func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 	d.refreshDue()
+	d.relayDue()
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	var errs []error
@@ -1258,14 +1383,26 @@ func (d *Dispatcher) orderLocked(at float64, live []int, tenant string) []int {
 	return cluster.TwoChoicesOrder(live,
 		func(i int) int { return d.counts[i] },
 		func(i int) int {
-			s := d.members[i].summary
+			ms := d.members[i]
+			if ms.view != nil && ms.view.Synced() {
+				// Relay on and folded: the near-fresh in-flight (with
+				// optimistic delegations) replaces the frozen summary.
+				return ms.view.TenantInFlight(tenant)
+			}
+			s := ms.summary
 			if s.TenantInFlight != nil {
 				return s.TenantInFlight[tenant]
 			}
 			return s.InFlight
 		},
 		func(i int) (float64, bool) {
-			s := d.members[i].summary
+			ms := d.members[i]
+			if ms.view != nil && ms.view.Synced() {
+				if r, ok := ms.view.MinReady(); ok {
+					return r, true
+				}
+			}
+			s := ms.summary
 			return s.MinReady, s.HasMinReady
 		},
 		at, d.rng)

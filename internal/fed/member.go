@@ -2,6 +2,7 @@ package fed
 
 import (
 	"casched/internal/agent"
+	"casched/internal/relay"
 	"casched/internal/task"
 )
 
@@ -31,6 +32,20 @@ type Summary struct {
 	// tenant's burst cannot steer every tenant's routing. Nil when the
 	// member has no tenanted work or predates the field.
 	TenantInFlight map[string]int
+	// ServerReady maps each of the member's servers to its projected
+	// drain instant — the per-server breakdown of MinReady that relay-
+	// based routing prices candidate placements against. Published only
+	// by relay-enabled members; nil otherwise (including all members
+	// that predate the relay).
+	ServerReady map[string]float64
+	// RelaySeq is the member's relay-ledger sequence number at the
+	// instant this summary was captured: relayed events with Seq <=
+	// RelaySeq are already included in the counts above. Valid only
+	// when HasRelay; members that predate the relay (or run with it
+	// off) leave HasRelay false and the dispatcher falls back to
+	// summary-only stale routing.
+	RelaySeq uint64
+	HasRelay bool
 }
 
 // Member is the dispatcher's handle on one federated agent: the
@@ -83,6 +98,16 @@ type eventSource interface {
 // Dispatcher.FinalPredictions (in-process members).
 type finalPredictor interface {
 	FinalPredictions() map[int]float64
+}
+
+// relaySource is the optional capability of members that stream their
+// decision/completion events: RelaySince returns the events after the
+// given ledger sequence. ok is false when the member does not speak
+// relay (relay off, or an old member on the wire) — the dispatcher
+// then routes from gossiped summaries alone, exactly as before the
+// relay existed. err is a transport failure, counted like any other.
+type relaySource interface {
+	RelaySince(after uint64) (relay.Delta, bool, error)
 }
 
 // InProcess is the in-process Member: a named agent.Core behind the
@@ -146,14 +171,28 @@ func (m *InProcess) Report(server string, load, at float64) error {
 }
 
 func (m *InProcess) Summary() (Summary, error) {
-	s := Summary{InFlight: m.core.InFlight(), Servers: m.core.ServerCount()}
-	if ready, ok := m.core.MinProjectedReady(); ok {
-		s.MinReady, s.HasMinReady = ready, true
+	ls := m.core.LoadSummary()
+	s := Summary{
+		InFlight:    ls.InFlight,
+		Servers:     ls.Servers,
+		MinReady:    ls.MinReady,
+		HasMinReady: ls.HasMinReady,
+		ServerReady: ls.ServerReady,
+		RelaySeq:    ls.RelaySeq,
+		HasRelay:    ls.HasRelay,
 	}
-	if tif := m.core.TenantInFlight(); len(tif) > 0 {
-		s.TenantInFlight = tif
+	if len(ls.TenantInFlight) > 0 {
+		s.TenantInFlight = ls.TenantInFlight
 	}
 	return s, nil
+}
+
+// RelaySince serves the dispatcher's relay pull straight from the
+// wrapped core's ledger. ok is false when the core runs with the relay
+// off.
+func (m *InProcess) RelaySince(after uint64) (relay.Delta, bool, error) {
+	d, ok := m.core.RelaySince(after)
+	return d, ok, nil
 }
 
 func (m *InProcess) Subscribe(fn func(agent.Event)) (cancel func()) {

@@ -6,11 +6,13 @@ import (
 	"maps"
 	"net"
 	"net/rpc"
+	"strings"
 	"sync"
 	"time"
 
 	"casched/internal/agent"
 	"casched/internal/live"
+	"casched/internal/relay"
 	"casched/internal/task"
 )
 
@@ -39,6 +41,11 @@ type Remote struct {
 
 	mu     sync.Mutex
 	client *rpc.Client
+	// relayUnsupported caches a definitive "this member does not speak
+	// relay" answer (Disabled reply, or an rpc can't-find-method error
+	// from a pre-relay binary), so the dispatcher asks at most once
+	// per handle. A rejoin creates a fresh Remote, re-probing.
+	relayUnsupported bool
 }
 
 // NewRemote returns a lazy handle on the member listening at addr. A
@@ -284,7 +291,62 @@ func (r *Remote) Summary() (Summary, error) {
 	}
 	return Summary{InFlight: reply.InFlight, Servers: reply.Servers,
 		MinReady: reply.MinReady, HasMinReady: reply.HasMinReady,
-		TenantInFlight: reply.TenantInFlight}, nil
+		TenantInFlight: reply.TenantInFlight,
+		ServerReady:    reply.ServerReady,
+		RelaySeq:       reply.RelaySeq,
+		HasRelay:       reply.HasRelay}, nil
+}
+
+// RelaySince pulls the member's relay events after the given ledger
+// sequence. ok is false — with a nil error — when the member does not
+// speak relay: either it answers Disabled (relay off member-side), or
+// it predates the Member.Relay method entirely, in which case net/rpc
+// answers a ServerError naming the missing method; both are cached so
+// an old member is asked exactly once. Transport failures surface as
+// errors and count toward eviction like any other member call.
+func (r *Remote) RelaySince(after uint64) (relay.Delta, bool, error) {
+	r.mu.Lock()
+	unsupported := r.relayUnsupported
+	r.mu.Unlock()
+	if unsupported {
+		return relay.Delta{}, false, nil
+	}
+	var reply live.MemberRelayReply
+	if err := r.call("Member.Relay", live.MemberRelayArgs{Since: after}, &reply); err != nil {
+		var srvErr rpc.ServerError
+		if errors.As(err, &srvErr) && strings.Contains(string(srvErr), "can't find method") {
+			// An old member: the method does not exist. Remember, so the
+			// dispatcher stops asking this handle.
+			r.mu.Lock()
+			r.relayUnsupported = true
+			r.mu.Unlock()
+			return relay.Delta{}, false, nil
+		}
+		return relay.Delta{}, false, err
+	}
+	if reply.Disabled {
+		r.mu.Lock()
+		r.relayUnsupported = true
+		r.mu.Unlock()
+		return relay.Delta{}, false, nil
+	}
+	d := relay.Delta{From: reply.From, To: reply.To, Resync: reply.Resync}
+	if len(reply.Events) > 0 {
+		d.Events = make([]relay.Event, len(reply.Events))
+		for i, ev := range reply.Events {
+			d.Events[i] = relay.Event{
+				Seq:      ev.Seq,
+				Kind:     relay.Kind(ev.Kind),
+				JobID:    ev.JobID,
+				Tenant:   ev.Tenant,
+				Server:   ev.Server,
+				Time:     ev.Time,
+				Ready:    ev.Ready,
+				HasReady: ev.HasReady,
+			}
+		}
+	}
+	return d, true, nil
 }
 
 func (r *Remote) Close() error {

@@ -47,6 +47,19 @@ type ServerConfig struct {
 	// carry their own fair-share and admission configuration.
 	TenantShares map[string]float64
 	Admission    bool
+	// Relay turns on the live event relay (see Config.Relay): the
+	// runtime pulls each relay-capable member's decision/completion
+	// deltas on a background RelayInterval tick (default 100ms) and
+	// degrades stale-mode routing to near-fresh relay pricing instead
+	// of frozen power-of-two-choices. Members that do not speak relay
+	// fall back individually.
+	Relay bool
+	// RelayInterval paces both the background relay loop and the
+	// inline pull gate (default 100ms).
+	RelayInterval time.Duration
+	// RelayMaxConsecutive bounds consecutive delegations to one member
+	// between relay view advances (default 8).
+	RelayMaxConsecutive int
 }
 
 // Server is the federation dispatcher runtime: a TCP listener exposing
@@ -80,17 +93,23 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	if cfg.SummaryInterval == 0 {
 		cfg.SummaryInterval = 500 * time.Millisecond
 	}
+	if cfg.Relay && cfg.RelayInterval == 0 {
+		cfg.RelayInterval = 100 * time.Millisecond
+	}
 	d, err := NewWithMembers(Config{
-		Heuristic:       cfg.Heuristic,
-		Policy:          cfg.Policy,
-		Seed:            cfg.Seed,
-		StaleAfter:      cfg.StaleAfter,
-		SummaryInterval: cfg.SummaryInterval,
-		MaxFailures:     cfg.MaxFailures,
-		IntakeRate:      cfg.IntakeRate,
-		IntakeBurst:     cfg.IntakeBurst,
-		TenantShares:    cfg.TenantShares,
-		Admission:       cfg.Admission,
+		Heuristic:           cfg.Heuristic,
+		Policy:              cfg.Policy,
+		Seed:                cfg.Seed,
+		StaleAfter:          cfg.StaleAfter,
+		SummaryInterval:     cfg.SummaryInterval,
+		MaxFailures:         cfg.MaxFailures,
+		IntakeRate:          cfg.IntakeRate,
+		IntakeBurst:         cfg.IntakeBurst,
+		TenantShares:        cfg.TenantShares,
+		Admission:           cfg.Admission,
+		Relay:               cfg.Relay,
+		RelayInterval:       cfg.RelayInterval,
+		RelayMaxConsecutive: cfg.RelayMaxConsecutive,
 	}, nil)
 	if err != nil {
 		return nil, err
@@ -122,6 +141,10 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	go s.serve()
 	s.wg.Add(1)
 	go s.gossipLoop()
+	if cfg.Relay {
+		s.wg.Add(1)
+		go s.relayLoop()
+	}
 	return s, nil
 }
 
@@ -170,6 +193,24 @@ func (s *Server) gossipLoop() {
 			return
 		case <-t.C:
 			s.d.RefreshSummaries()
+		}
+	}
+}
+
+// relayLoop pulls relay deltas from every relay-capable member on the
+// RelayInterval tick — the high-frequency, low-volume counterpart of
+// the gossip loop, keeping the dispatcher's member views near-fresh
+// between summaries.
+func (s *Server) relayLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RelayInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.d.PullRelay()
 		}
 	}
 }

@@ -697,6 +697,24 @@ func (m *Manager) MinProjectedReady() (float64, bool) {
 	return best, true
 }
 
+// ProjectedReadyAll returns the projected drain instant of every
+// tracked server in one lock acquisition — the snapshot a federation
+// member publishes in its load summary so the dispatcher can price
+// candidate placements per server. Returns nil when no server is
+// tracked.
+func (m *Manager) ProjectedReadyAll() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.order) == 0 {
+		return nil
+	}
+	ready := make(map[string]float64, len(m.order))
+	for _, name := range m.order {
+		ready[name] = m.readyLocked(m.traces[name])
+	}
+	return ready
+}
+
 // Sim exposes the live trace of one server; the Gantt renderer
 // consumes this. The returned Sim is NOT protected by the Manager's
 // lock: use it only when no concurrent Place/NotifyCompletion can run

@@ -55,6 +55,12 @@ type AgentConfig struct {
 	// serves as a federation member (its "Member" RPC service drives
 	// the core). Joining requires a single core (Shards <= 1).
 	Join string
+	// RelayOff disables the federation event relay ledger on a
+	// single-core agent. By default a live single-core agent keeps the
+	// ledger (cheap, bounded) so a relay-enabled dispatcher can stream
+	// its decisions; with RelayOff the agent answers relay pulls
+	// Disabled, emulating a pre-relay member.
+	RelayOff bool
 	// Name is the agent's federation member name (default: its listen
 	// address).
 	Name string
@@ -129,6 +135,9 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		engine = cl
 	} else {
 		coreCfg.IntakeRate, coreCfg.IntakeBurst = cfg.IntakeRate, cfg.IntakeBurst
+		// Only a single core can serve as a federation member, so only
+		// there does the relay ledger have a consumer.
+		coreCfg.Relay = !cfg.RelayOff
 		var err error
 		core, err = agent.New(coreCfg)
 		if err != nil {

@@ -210,13 +210,50 @@ func (s *MemberService) Summary(_ Ack, reply *MemberSummaryReply) error {
 	if err != nil {
 		return err
 	}
-	reply.InFlight = core.InFlight()
-	reply.Servers = core.ServerCount()
-	if ready, ok := core.MinProjectedReady(); ok {
-		reply.MinReady, reply.HasMinReady = ready, true
+	ls := core.LoadSummary()
+	reply.InFlight = ls.InFlight
+	reply.Servers = ls.Servers
+	reply.MinReady, reply.HasMinReady = ls.MinReady, ls.HasMinReady
+	if len(ls.TenantInFlight) > 0 {
+		reply.TenantInFlight = ls.TenantInFlight
 	}
-	if tif := core.TenantInFlight(); len(tif) > 0 {
-		reply.TenantInFlight = tif
+	reply.ServerReady = ls.ServerReady
+	reply.RelaySeq = ls.RelaySeq
+	reply.HasRelay = ls.HasRelay
+	return nil
+}
+
+// Relay streams the member's decision/completion events after the
+// requested ledger sequence (the federation dispatcher's near-fresh
+// routing feed). A member running with the relay off answers
+// Disabled; members older than this method don't have it at all, and
+// the dispatcher classifies the resulting rpc "can't find method"
+// error the same way.
+func (s *MemberService) Relay(args MemberRelayArgs, reply *MemberRelayReply) error {
+	core, err := s.memberCore()
+	if err != nil {
+		return err
+	}
+	delta, ok := core.RelaySince(args.Since)
+	if !ok {
+		reply.Disabled = true
+		return nil
+	}
+	reply.From, reply.To, reply.Resync = delta.From, delta.To, delta.Resync
+	if len(delta.Events) > 0 {
+		reply.Events = make([]RelayEvent, len(delta.Events))
+		for i, ev := range delta.Events {
+			reply.Events[i] = RelayEvent{
+				Seq:      ev.Seq,
+				Kind:     uint8(ev.Kind),
+				JobID:    ev.JobID,
+				Tenant:   ev.Tenant,
+				Server:   ev.Server,
+				Time:     ev.Time,
+				Ready:    ev.Ready,
+				HasReady: ev.HasReady,
+			}
+		}
 	}
 	return nil
 }

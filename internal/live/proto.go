@@ -189,4 +189,43 @@ type MemberSummaryReply struct {
 	// with no tenanted work (and from pre-tenant members, which gob
 	// decodes as nil).
 	TenantInFlight map[string]int
+	// Relay fields (new on the wire; pre-relay members leave them at
+	// their gob zero values, so HasRelay stays false and the
+	// dispatcher routes them from summaries alone): ServerReady is the
+	// per-server projected-drain breakdown relay routing prices
+	// against, RelaySeq the member's relay-ledger sequence at capture.
+	ServerReady map[string]float64
+	RelaySeq    uint64
+	HasRelay    bool
+}
+
+// MemberRelayArgs asks for the member's relay events after a ledger
+// sequence number.
+type MemberRelayArgs struct {
+	Since uint64
+}
+
+// RelayEvent is one member scheduling transition on the wire
+// (relay.Event).
+type RelayEvent struct {
+	Seq      uint64
+	Kind     uint8
+	JobID    int
+	Tenant   string
+	Server   string
+	Time     float64
+	Ready    float64
+	HasReady bool
+}
+
+// MemberRelayReply is a relay delta (relay.Delta over the wire).
+// Disabled reports that the member runs with the relay off — a
+// capability answer, not an error, so the dispatcher stops asking.
+// Old members predate the Member.Relay method entirely; the rpc
+// "can't find method" error is classified the same way client-side.
+type MemberRelayReply struct {
+	Events   []RelayEvent
+	From, To uint64
+	Resync   bool
+	Disabled bool
 }

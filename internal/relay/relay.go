@@ -1,0 +1,121 @@
+// Package relay implements the live event relay between federation
+// members and the dispatcher: a per-member Ledger of sequence-numbered
+// decision/completion events (the bitswap per-peer ledger pattern) and
+// a dispatcher-side View that folds relayed deltas — plus optimistic
+// local accounting for decisions already delegated but not yet echoed
+// back — onto the member's last gossiped load summary, synthesizing a
+// near-fresh routing picture between gossip ticks.
+package relay
+
+import "sync"
+
+// Kind discriminates relayed events.
+type Kind uint8
+
+const (
+	// Decision records one committed placement on the member.
+	Decision Kind = 1
+	// Completion records one completion message consumed by the member.
+	Completion Kind = 2
+)
+
+// Event is one member-side scheduling transition. Events are
+// sequence-numbered per member ledger; Seq is assigned by Append.
+type Event struct {
+	Seq    uint64
+	Kind   Kind
+	JobID  int
+	Tenant string
+	Server string
+	// Time is the experiment-time instant of the transition (the
+	// request arrival for decisions, the completion date for
+	// completions).
+	Time float64
+	// Ready is the server's projected-ready instant after the
+	// transition, when the member's HTM knows it.
+	Ready    float64
+	HasReady bool
+}
+
+// Delta is a batch of events covering the half-open sequence interval
+// (From, To]. Resync reports that the ledger has already dropped part
+// of the requested range: the receiver's view is unrecoverable from
+// events alone and must be rebased on a fresh summary.
+type Delta struct {
+	Events []Event
+	From   uint64
+	To     uint64
+	Resync bool
+}
+
+// DefaultCapacity is the ledger ring size when the member does not
+// choose one. It comfortably covers the decisions a member commits
+// between two dispatcher pulls at production gossip cadence.
+const DefaultCapacity = 4096
+
+// Ledger is a bounded, append-only ring of a member's scheduling
+// events. Appends assign monotonically increasing sequence numbers;
+// readers poll Since(after) for the events they have not seen. When a
+// reader falls further behind than the ring remembers, Since answers
+// Resync instead of silently returning a gapped stream.
+type Ledger struct {
+	mu  sync.Mutex
+	buf []Event
+	seq uint64
+	cap int
+}
+
+// NewLedger returns an empty ledger remembering at most capacity
+// events (capacity <= 0 selects DefaultCapacity).
+func NewLedger(capacity int) *Ledger {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Ledger{cap: capacity}
+}
+
+// Append stamps ev with the next sequence number, stores it, and
+// returns the assigned sequence.
+func (l *Ledger) Append(ev Event) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	ev.Seq = l.seq
+	if len(l.buf) < l.cap {
+		l.buf = append(l.buf, ev)
+	} else {
+		l.buf[int((l.seq-1)%uint64(l.cap))] = ev
+	}
+	return l.seq
+}
+
+// Seq returns the last assigned sequence number (0 when empty).
+func (l *Ledger) Seq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// Since returns the events with sequence numbers in (after, current].
+// When the ring has already dropped part of that range the delta
+// carries Resync=true and no events: the caller must rebase on a full
+// summary before resuming the stream.
+func (l *Ledger) Since(after uint64) Delta {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	d := Delta{From: after, To: l.seq}
+	if after >= l.seq || len(l.buf) == 0 {
+		return d
+	}
+	oldest := l.seq - uint64(len(l.buf)) + 1
+	if after+1 < oldest {
+		d.Resync = true
+		return d
+	}
+	n := int(l.seq - after)
+	d.Events = make([]Event, 0, n)
+	for s := after + 1; s <= l.seq; s++ {
+		d.Events = append(d.Events, l.buf[int((s-1)%uint64(l.cap))])
+	}
+	return d
+}

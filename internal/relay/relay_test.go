@@ -1,0 +1,144 @@
+package relay
+
+import "testing"
+
+func TestLedgerAppendSince(t *testing.T) {
+	l := NewLedger(8)
+	if l.Seq() != 0 {
+		t.Fatalf("fresh ledger seq = %d, want 0", l.Seq())
+	}
+	for i := 0; i < 5; i++ {
+		seq := l.Append(Event{Kind: Decision, JobID: i})
+		if seq != uint64(i+1) {
+			t.Fatalf("append %d assigned seq %d", i, seq)
+		}
+	}
+	d := l.Since(2)
+	if d.Resync {
+		t.Fatal("unexpected resync")
+	}
+	if d.From != 2 || d.To != 5 {
+		t.Fatalf("delta range (%d,%d], want (2,5]", d.From, d.To)
+	}
+	if len(d.Events) != 3 || d.Events[0].Seq != 3 || d.Events[2].Seq != 5 {
+		t.Fatalf("delta events %+v", d.Events)
+	}
+	if e := l.Since(5); len(e.Events) != 0 || e.Resync {
+		t.Fatalf("caught-up delta %+v", e)
+	}
+	if e := l.Since(9); len(e.Events) != 0 || e.Resync || e.To != 5 {
+		t.Fatalf("ahead-of-ledger delta %+v", e)
+	}
+}
+
+func TestLedgerRingOverflowResync(t *testing.T) {
+	l := NewLedger(4)
+	for i := 0; i < 10; i++ {
+		l.Append(Event{Kind: Decision, JobID: i})
+	}
+	// Events 1..6 have been overwritten; oldest retained is 7.
+	if d := l.Since(5); !d.Resync || len(d.Events) != 0 {
+		t.Fatalf("want resync for dropped range, got %+v", d)
+	}
+	d := l.Since(6)
+	if d.Resync || len(d.Events) != 4 || d.Events[0].Seq != 7 {
+		t.Fatalf("oldest-boundary delta %+v", d)
+	}
+}
+
+func TestViewFoldsDecisionsAndCompletions(t *testing.T) {
+	v := NewView()
+	if v.Synced() {
+		t.Fatal("fresh view claims synced")
+	}
+	v.Rebase(Base{InFlight: 2, Tenant: map[string]int{"gold": 2}, Ready: map[string]float64{"s1": 10, "s2": 4}, Seq: 6}, 0)
+	if !v.Synced() || v.InFlight() != 2 || v.TenantInFlight("gold") != 2 {
+		t.Fatalf("after rebase: inflight=%d gold=%d", v.InFlight(), v.TenantInFlight("gold"))
+	}
+	n := v.Apply(Delta{From: 6, To: 9, Events: []Event{
+		{Seq: 7, Kind: Decision, JobID: 41, Tenant: "gold", Server: "s1", Ready: 14, HasReady: true},
+		{Seq: 8, Kind: Decision, JobID: 42, Tenant: "silver", Server: "s2", Ready: 9, HasReady: true},
+		{Seq: 9, Kind: Completion, JobID: 40, Tenant: "gold", Server: "s1", Ready: 12, HasReady: true},
+	}})
+	if n != 3 || v.Seq() != 9 || v.Folded() != 3 {
+		t.Fatalf("applied %d, seq %d, folded %d", n, v.Seq(), v.Folded())
+	}
+	if v.InFlight() != 3 {
+		t.Fatalf("inflight %d, want 3", v.InFlight())
+	}
+	if v.TenantInFlight("gold") != 2 || v.TenantInFlight("silver") != 1 {
+		t.Fatalf("gold=%d silver=%d", v.TenantInFlight("gold"), v.TenantInFlight("silver"))
+	}
+	if r, ok := v.Ready("s1"); !ok || r != 12 {
+		t.Fatalf("s1 ready %v %v, want 12", r, ok)
+	}
+	if min, ok := v.MinReady(); !ok || min != 9 {
+		t.Fatalf("min ready %v %v, want 9", min, ok)
+	}
+}
+
+func TestViewSkipsAlreadyFoldedEvents(t *testing.T) {
+	v := NewView()
+	v.Rebase(Base{InFlight: 1, Seq: 5}, 0)
+	n := v.Apply(Delta{From: 3, To: 6, Events: []Event{
+		{Seq: 4, Kind: Decision, JobID: 1},
+		{Seq: 5, Kind: Decision, JobID: 2},
+		{Seq: 6, Kind: Decision, JobID: 3},
+	}})
+	if n != 1 || v.InFlight() != 2 {
+		t.Fatalf("applied %d inflight %d, want 1 and 2", n, v.InFlight())
+	}
+}
+
+func TestViewOptimisticReconciliation(t *testing.T) {
+	v := NewView()
+	v.Rebase(Base{InFlight: 0, Ready: map[string]float64{"s1": 5}, Seq: 0}, 0)
+	v.Optimistic(7, "gold", "s1", 6, 3, 1)
+	if v.InFlight() != 1 || v.Pending() != 1 {
+		t.Fatalf("inflight %d pending %d after optimistic", v.InFlight(), v.Pending())
+	}
+	// Optimistic bump extends the server backlog: max(5, 6) + 3 = 9.
+	if r, ok := v.Ready("s1"); !ok || r != 9 {
+		t.Fatalf("optimistic ready %v %v, want 9", r, ok)
+	}
+	// Relayed echo of the same decision replaces, not double-counts.
+	v.Apply(Delta{From: 0, To: 1, Events: []Event{{Seq: 1, Kind: Decision, JobID: 7, Tenant: "gold", Server: "s1", Ready: 9, HasReady: true}}})
+	if v.InFlight() != 1 || v.Pending() != 0 {
+		t.Fatalf("inflight %d pending %d after echo", v.InFlight(), v.Pending())
+	}
+}
+
+func TestViewRebaseDropsCoveredOptimistic(t *testing.T) {
+	v := NewView()
+	v.Rebase(Base{InFlight: 0, Seq: 0}, 0)
+	v.Optimistic(1, "", "s1", 0, 1, 1)
+	v.Optimistic(2, "", "s1", 0, 1, 2)
+	// Snapshot fetched after delegation 1 but before 2: marker 1.
+	v.Rebase(Base{InFlight: 1, Seq: 10}, 1)
+	if v.InFlight() != 2 || v.Pending() != 1 {
+		t.Fatalf("inflight %d pending %d, want 2 and 1", v.InFlight(), v.Pending())
+	}
+}
+
+func TestViewUnsyncsOnResyncAndRestart(t *testing.T) {
+	v := NewView()
+	v.Rebase(Base{InFlight: 1, Seq: 100}, 0)
+	v.Apply(Delta{From: 100, To: 120, Resync: true})
+	if v.Synced() {
+		t.Fatal("view stayed synced through resync delta")
+	}
+	v.Rebase(Base{InFlight: 1, Seq: 100}, 0)
+	// Member restarted: its ledger seq ran backwards.
+	v.Apply(Delta{From: 100, To: 3})
+	if v.Synced() {
+		t.Fatal("view stayed synced through member restart")
+	}
+}
+
+func TestViewTenantFallback(t *testing.T) {
+	v := NewView()
+	v.Rebase(Base{InFlight: 4, Seq: 0}, 0) // no tenant split
+	if v.TenantInFlight("gold") != 4 {
+		t.Fatalf("tenant fallback %d, want total 4", v.TenantInFlight("gold"))
+	}
+}

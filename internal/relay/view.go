@@ -1,0 +1,228 @@
+package relay
+
+// Base is the full load snapshot a View rebases on — the member's
+// gossiped summary projected into relay terms. Seq is the member
+// ledger sequence the snapshot was captured at, so the view knows
+// which relayed events the snapshot already includes.
+type Base struct {
+	InFlight int
+	// Tenant is the per-tenant in-flight split; nil means the member
+	// does not break in-flight down by tenant.
+	Tenant map[string]int
+	// Ready maps each of the member's servers to its projected-ready
+	// instant; nil when the member's heuristic has no HTM projection.
+	Ready map[string]float64
+	Seq   uint64
+}
+
+// optEntry is one decision the dispatcher delegated to the member but
+// has not yet seen echoed on the relay stream. marker orders the entry
+// against summary fetches (see View.Rebase).
+type optEntry struct {
+	jobID  int
+	server string
+	tenant string
+	at     float64
+	cost   float64
+	marker uint64
+}
+
+// View is the dispatcher's near-fresh picture of one member: the last
+// rebased summary, folded relay events, and optimistic entries for
+// delegations still in flight. A View carries no lock of its own —
+// the dispatcher serializes access under its routing mutex.
+type View struct {
+	synced      bool
+	seq         uint64
+	inFlight    int
+	tenant      map[string]int
+	tenantBased bool
+	ready       map[string]float64
+	opt         []optEntry
+	folded      uint64
+}
+
+// NewView returns an unsynced view; it becomes routable after the
+// first Rebase.
+func NewView() *View { return &View{} }
+
+// Rebase replaces the folded state with a full snapshot. marker is the
+// dispatcher's delegation sequence for this member captured when the
+// snapshot fetch *started*: optimistic entries at or before it are
+// covered by the snapshot and dropped, later ones survive the rebase.
+func (v *View) Rebase(b Base, marker uint64) {
+	v.inFlight = b.InFlight
+	v.tenantBased = b.Tenant != nil
+	v.tenant = nil
+	if b.Tenant != nil {
+		v.tenant = make(map[string]int, len(b.Tenant))
+		for t, n := range b.Tenant {
+			v.tenant[t] = n
+		}
+	}
+	v.ready = nil
+	if b.Ready != nil {
+		v.ready = make(map[string]float64, len(b.Ready))
+		for s, r := range b.Ready {
+			v.ready[s] = r
+		}
+	}
+	v.seq = b.Seq
+	kept := v.opt[:0]
+	for _, e := range v.opt {
+		if e.marker > marker {
+			kept = append(kept, e)
+		}
+	}
+	v.opt = kept
+	v.synced = true
+}
+
+// Unsync drops the view back to unroutable (e.g. after a member is
+// replaced); the next Rebase restores it.
+func (v *View) Unsync() { v.synced = false }
+
+// Apply folds a relayed delta. Events at or before the view's sequence
+// are skipped (the rebased summary already included them). A Resync
+// delta — or one whose To runs backwards, a member restart — unsyncs
+// the view. Returns the number of events actually folded.
+func (v *View) Apply(d Delta) int {
+	if d.Resync || d.To < d.From {
+		v.synced = false
+		return 0
+	}
+	if !v.synced {
+		return 0
+	}
+	applied := 0
+	for _, ev := range d.Events {
+		if ev.Seq <= v.seq {
+			continue
+		}
+		switch ev.Kind {
+		case Decision:
+			v.inFlight++
+			if v.tenantBased && ev.Tenant != "" {
+				if v.tenant == nil {
+					v.tenant = make(map[string]int)
+				}
+				v.tenant[ev.Tenant]++
+			}
+			v.clearOptimistic(ev.JobID)
+		case Completion:
+			if v.inFlight > 0 {
+				v.inFlight--
+			}
+			if v.tenantBased && ev.Tenant != "" && v.tenant[ev.Tenant] > 0 {
+				v.tenant[ev.Tenant]--
+			}
+		}
+		if ev.HasReady && ev.Server != "" {
+			if v.ready == nil {
+				v.ready = make(map[string]float64)
+			}
+			v.ready[ev.Server] = ev.Ready
+		}
+		v.seq = ev.Seq
+		v.folded++
+		applied++
+	}
+	if d.To > v.seq {
+		v.seq = d.To
+	}
+	return applied
+}
+
+// Optimistic records a delegation the dispatcher just made: the
+// member's in-flight is bumped locally before the relayed decision
+// event confirms it. marker is the dispatcher's delegation sequence
+// for the member (see Rebase).
+func (v *View) Optimistic(jobID int, tenant, server string, at, cost float64, marker uint64) {
+	v.opt = append(v.opt, optEntry{jobID: jobID, server: server, tenant: tenant, at: at, cost: cost, marker: marker})
+}
+
+// clearOptimistic reconciles one optimistic entry against its relayed
+// decision event.
+func (v *View) clearOptimistic(jobID int) {
+	for i, e := range v.opt {
+		if e.jobID == jobID {
+			v.opt = append(v.opt[:i], v.opt[i+1:]...)
+			return
+		}
+	}
+}
+
+// Synced reports whether the view has a usable base.
+func (v *View) Synced() bool { return v.synced }
+
+// Seq returns the member ledger sequence the view has folded up to.
+func (v *View) Seq() uint64 { return v.seq }
+
+// Folded returns the total relay events folded over the view's life.
+func (v *View) Folded() uint64 { return v.folded }
+
+// Pending returns the optimistic entries not yet confirmed by relay.
+func (v *View) Pending() int { return len(v.opt) }
+
+// InFlight returns the member's in-flight count including optimistic
+// delegations.
+func (v *View) InFlight() int { return v.inFlight + len(v.opt) }
+
+// TenantBased reports whether the view tracks per-tenant in-flight.
+func (v *View) TenantBased() bool { return v.tenantBased }
+
+// TenantInFlight returns tenant's in-flight count including optimistic
+// delegations; when the member does not split by tenant it falls back
+// to the total.
+func (v *View) TenantInFlight(tenant string) int {
+	if !v.tenantBased {
+		return v.InFlight()
+	}
+	n := v.tenant[tenant]
+	for _, e := range v.opt {
+		if e.tenant == tenant {
+			n++
+		}
+	}
+	return n
+}
+
+// HasReady reports whether the view carries per-server projected-ready
+// instants at all.
+func (v *View) HasReady() bool { return len(v.ready) > 0 }
+
+// Ready returns server's projected-ready instant with the optimistic
+// queue folded on top: each unconfirmed delegation to the server
+// extends its backlog by the task's total cost from the later of the
+// current backlog end and the task's arrival.
+func (v *View) Ready(server string) (float64, bool) {
+	r, ok := v.ready[server]
+	if !ok {
+		return 0, false
+	}
+	for _, e := range v.opt {
+		if e.server != server {
+			continue
+		}
+		if e.at > r {
+			r = e.at
+		}
+		r += e.cost
+	}
+	return r, true
+}
+
+// MinReady returns the minimum projected-ready instant across the
+// member's servers (optimistic entries folded), mirroring
+// Summary.MinReady.
+func (v *View) MinReady() (float64, bool) {
+	found := false
+	min := 0.0
+	for s := range v.ready {
+		r, _ := v.Ready(s)
+		if !found || r < min {
+			min, found = r, true
+		}
+	}
+	return min, found
+}

@@ -1,0 +1,239 @@
+// Package telemetry exposes the scheduler's runtime gauges over HTTP
+// in the Prometheus text exposition format, using only the standard
+// library. The package renders immutable snapshots — an
+// agent.StatsCollector's Snapshot, a federation dispatcher's Members
+// and RelayStats — so scraping never contends with the decision path
+// beyond the snapshot locks those surfaces already take.
+//
+// Deployments opt in with -metrics-addr on casagent and casfed; the
+// endpoint is GET /metrics.
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/fed"
+)
+
+// Config names the metric sources. Nil fields are skipped, so an agent
+// exports only core stats while a federation dispatcher adds member
+// and relay gauges.
+type Config struct {
+	// Stats returns the scheduling stats snapshot (typically
+	// StatsCollector.Snapshot of a collector subscribed to the engine).
+	Stats func() agent.Stats
+	// Members returns the federation member diagnostics
+	// (Dispatcher.Members).
+	Members func() []fed.MemberInfo
+	// Relay returns the dispatcher's relay counters
+	// (Dispatcher.RelayStats).
+	Relay func() fed.RelayStats
+}
+
+// Handler renders the configured sources as a Prometheus text page.
+func Handler(cfg Config) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		if cfg.Stats != nil {
+			WriteStats(&b, cfg.Stats())
+		}
+		if cfg.Members != nil {
+			WriteMembers(&b, cfg.Members())
+		}
+		if cfg.Relay != nil {
+			WriteRelay(&b, cfg.Relay())
+		}
+		io.WriteString(w, b.String())
+	})
+}
+
+// Server is a minimal HTTP runtime serving /metrics.
+type Server struct {
+	lis net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr ("" = ephemeral loopback) and serves /metrics
+// from the configured sources until Close.
+func Start(addr string, cfg Config) (*Server, error) {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(cfg))
+	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Addr returns the listen address.
+func (s *Server) Addr() string { return s.lis.Addr().String() }
+
+// Close stops the server.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// metric emits one sample, preceded by HELP/TYPE headers the first
+// time the family appears on the page.
+type page struct {
+	w    io.Writer
+	seen map[string]bool
+}
+
+func (p *page) sample(name, typ, help string, labels [][2]string, v float64) {
+	if p.seen == nil {
+		p.seen = make(map[string]bool)
+	}
+	if !p.seen[name] {
+		p.seen[name] = true
+		fmt.Fprintf(p.w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+	if len(labels) == 0 {
+		fmt.Fprintf(p.w, "%s %s\n", name, formatValue(v))
+		return
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l[0], escapeLabel(l[1]))
+	}
+	fmt.Fprintf(p.w, "%s{%s} %s\n", name, strings.Join(parts, ","), formatValue(v))
+}
+
+// escapeLabel applies the exposition-format label escapes (backslash,
+// double quote, newline). %q supplies quote/backslash escaping already
+// compatible with Prometheus; newlines need the two-character form,
+// which %q also produces — so only literal characters %q would leave
+// alone need no further handling. Control characters beyond \n render
+// as Go escapes, which Prometheus tolerates as opaque bytes.
+func escapeLabel(s string) string {
+	// fmt %q in sample() performs the actual quoting; this hook keeps
+	// the value printable by replacing the rare invalid UTF-8 bytes.
+	return strings.ToValidUTF8(s, "�")
+}
+
+// formatValue renders floats the Prometheus way (NaN/Inf spelled out).
+func formatValue(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return formatFloat(v)
+}
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+func boolGauge(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// WriteStats renders an agent stats snapshot: run-level counters, the
+// decision rate, prediction error, then per-server occupancy and
+// per-tenant service gauges with stable label order.
+func WriteStats(w io.Writer, s agent.Stats) {
+	p := &page{w: w}
+	p.sample("casched_decisions_total", "counter", "Committed placement decisions observed.", nil, float64(s.Decisions))
+	p.sample("casched_completions_total", "counter", "Task completions observed.", nil, float64(s.Completions))
+	p.sample("casched_reports_total", "counter", "Monitor load reports observed.", nil, float64(s.Reports))
+	p.sample("casched_sheds_total", "counter", "Intake refusals (throttled or deadline).", nil, float64(s.Sheds))
+	p.sample("casched_span_seconds", "gauge", "Experiment-time span covered by the snapshot.", nil, s.Span)
+	p.sample("casched_decisions_per_second", "gauge", "Decision rate over the covered span (experiment time).", nil, s.DecisionsPerSec)
+	p.sample("casched_prediction_abs_error_mean", "gauge", "Mean absolute HTM prediction error over completed tasks.", nil, s.MeanAbsPredictionError)
+	p.sample("casched_prediction_samples_total", "counter", "Completions with an HTM prediction behind the mean error.", nil, float64(s.PredictionSamples))
+
+	servers := make([]string, 0, len(s.Occupancy))
+	for name := range s.Occupancy {
+		servers = append(servers, name)
+	}
+	sort.Strings(servers)
+	for _, name := range servers {
+		occ := s.Occupancy[name]
+		l := [][2]string{{"server", name}}
+		p.sample("casched_server_in_flight", "gauge", "Tasks placed on the server and not yet completed.", l, float64(occ.InFlight))
+		p.sample("casched_server_decisions_total", "counter", "Placements committed to the server.", l, float64(occ.Decisions))
+		p.sample("casched_server_completions_total", "counter", "Completions observed from the server.", l, float64(occ.Completions))
+		if !math.IsNaN(occ.ReportedLoad) {
+			p.sample("casched_server_reported_load", "gauge", "Last monitor-reported load average.", l, occ.ReportedLoad)
+		}
+	}
+
+	tenants := make([]string, 0, len(s.Tenants))
+	for name := range s.Tenants {
+		tenants = append(tenants, name)
+	}
+	sort.Strings(tenants)
+	for _, name := range tenants {
+		ts := s.Tenants[name]
+		l := [][2]string{{"tenant", name}}
+		p.sample("casched_tenant_decisions_total", "counter", "Placements committed for the tenant.", l, float64(ts.Decisions))
+		p.sample("casched_tenant_completions_total", "counter", "Completions observed for the tenant.", l, float64(ts.Completions))
+		p.sample("casched_tenant_sheds_total", "counter", "Intake refusals for the tenant.", l, float64(ts.Shed))
+		p.sample("casched_tenant_throttled_total", "counter", "Token-bucket refusals for the tenant.", l, float64(ts.Throttled))
+		p.sample("casched_tenant_deadline_shed_total", "counter", "Deadline-admission refusals for the tenant.", l, float64(ts.DeadlineShed))
+		p.sample("casched_tenant_deadline_misses_total", "counter", "Completions past their deadline for the tenant.", l, float64(ts.DeadlineMisses))
+		p.sample("casched_tenant_sum_flow_seconds", "counter", "Accumulated flow time (completion minus submission) for the tenant.", l, ts.SumFlow)
+	}
+}
+
+// relayNever is the MemberInfo sentinel for "no successful relay pull
+// yet" (fed.Dispatcher.Members).
+const relayNever = time.Duration(math.MaxInt64)
+
+// WriteMembers renders federation member diagnostics, including the
+// per-member relay lag/staleness gauges.
+func WriteMembers(w io.Writer, members []fed.MemberInfo) {
+	p := &page{w: w}
+	sorted := append([]fed.MemberInfo(nil), members...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	for _, m := range sorted {
+		l := [][2]string{{"member", m.Name}}
+		p.sample("casched_fed_member_servers", "gauge", "Servers the dispatcher routes to the member.", l, float64(m.Servers))
+		p.sample("casched_fed_member_reported_servers", "gauge", "Servers the member's last summary claimed.", l, float64(m.ReportedServers))
+		p.sample("casched_fed_member_in_flight", "gauge", "In-flight tasks from the member's last summary.", l, float64(m.InFlight))
+		p.sample("casched_fed_member_evicted", "gauge", "1 when the member is currently evicted.", l, boolGauge(m.Evicted))
+		p.sample("casched_fed_member_fresh", "gauge", "1 when the member's summary is fresh enough for exact routing.", l, boolGauge(m.Fresh))
+		p.sample("casched_fed_member_summary_age_seconds", "gauge", "Age of the member's last load summary.", l, m.SummaryAge.Seconds())
+		p.sample("casched_fed_member_relay_capable", "gauge", "1 when the member speaks the relay protocol.", l, boolGauge(m.RelayCapable))
+		p.sample("casched_fed_member_relay_synced", "gauge", "1 when the member's relay view is routable.", l, boolGauge(m.RelaySynced))
+		p.sample("casched_fed_member_relay_seq", "counter", "Member relay-ledger sequence folded into the dispatcher view.", l, float64(m.RelaySeq))
+		p.sample("casched_fed_member_relay_pending", "gauge", "Optimistic delegations not yet confirmed by relayed events.", l, float64(m.RelayPending))
+		age := m.RelayAge
+		if age == relayNever {
+			// Never pulled: surface staleness as +Inf rather than a
+			// bogus finite lag.
+			p.sample("casched_fed_member_relay_age_seconds", "gauge", "Time since the last successful relay pull (+Inf = never).", l, math.Inf(1))
+		} else {
+			p.sample("casched_fed_member_relay_age_seconds", "gauge", "Time since the last successful relay pull (+Inf = never).", l, age.Seconds())
+		}
+	}
+}
+
+// WriteRelay renders the dispatcher-level relay counters.
+func WriteRelay(w io.Writer, rs fed.RelayStats) {
+	p := &page{w: w}
+	p.sample("casched_fed_relay_events_folded_total", "counter", "Relay events folded into member views.", nil, float64(rs.EventsFolded))
+	p.sample("casched_fed_relay_routed_total", "counter", "Degraded-mode delegations priced by relay views.", nil, float64(rs.Delegated))
+}

@@ -1,0 +1,140 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/fed"
+)
+
+func sampleStats() agent.Stats {
+	return agent.Stats{
+		Decisions:              12,
+		Completions:            9,
+		Reports:                4,
+		Sheds:                  1,
+		Span:                   30,
+		DecisionsPerSec:        0.4,
+		MeanAbsPredictionError: 1.25,
+		PredictionSamples:      9,
+		Occupancy: map[string]agent.Occupancy{
+			"m2": {InFlight: 3, Decisions: 7, Completions: 4, ReportedLoad: 0.5},
+			"m1": {InFlight: 0, Decisions: 5, Completions: 5, ReportedLoad: math.NaN()},
+		},
+		Tenants: map[string]agent.TenantStats{
+			"gold": {Decisions: 8, Completions: 6, SumFlow: 42.5},
+		},
+	}
+}
+
+func TestWriteStatsRendersGauges(t *testing.T) {
+	var b strings.Builder
+	WriteStats(&b, sampleStats())
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE casched_decisions_total counter",
+		"casched_decisions_total 12",
+		"casched_decisions_per_second 0.4",
+		`casched_server_in_flight{server="m1"} 0`,
+		`casched_server_in_flight{server="m2"} 3`,
+		`casched_server_reported_load{server="m2"} 0.5`,
+		`casched_tenant_sum_flow_seconds{tenant="gold"} 42.5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	// NaN reported load is skipped rather than rendered.
+	if strings.Contains(out, `casched_server_reported_load{server="m1"}`) {
+		t.Errorf("NaN load for m1 should be skipped:\n%s", out)
+	}
+	// One HELP/TYPE header per family even with several servers.
+	if n := strings.Count(out, "# TYPE casched_server_in_flight gauge"); n != 1 {
+		t.Errorf("TYPE header emitted %d times, want 1", n)
+	}
+	// Stable order: m1 before m2.
+	if strings.Index(out, `server="m1"`) > strings.Index(out, `server="m2"`) {
+		t.Errorf("server labels not sorted:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	var b strings.Builder
+	s := agent.Stats{Occupancy: map[string]agent.Occupancy{
+		`we"ird\name` + "\n": {InFlight: 1, ReportedLoad: math.NaN()},
+	}}
+	WriteStats(&b, s)
+	out := b.String()
+	if !strings.Contains(out, `server="we\"ird\\name\n"`) {
+		t.Errorf("label not escaped:\n%s", out)
+	}
+}
+
+func TestWriteMembersRelayGauges(t *testing.T) {
+	var b strings.Builder
+	WriteMembers(&b, []fed.MemberInfo{
+		{Name: "b", Servers: 2, RelayCapable: true, RelaySynced: true,
+			RelaySeq: 17, RelayAge: 250 * time.Millisecond, RelayPending: 1},
+		{Name: "a", Servers: 2, RelayAge: time.Duration(math.MaxInt64)},
+	})
+	out := b.String()
+	for _, want := range []string{
+		`casched_fed_member_relay_seq{member="b"} 17`,
+		`casched_fed_member_relay_age_seconds{member="b"} 0.25`,
+		`casched_fed_member_relay_age_seconds{member="a"} +Inf`,
+		`casched_fed_member_relay_synced{member="b"} 1`,
+		`casched_fed_member_relay_capable{member="a"} 0`,
+		`casched_fed_member_relay_pending{member="b"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `member="a"`) > strings.Index(out, `member="b"`) {
+		t.Errorf("member labels not sorted:\n%s", out)
+	}
+}
+
+func TestServerServesMetrics(t *testing.T) {
+	srv, err := Start("", Config{
+		Stats:   func() agent.Stats { return sampleStats() },
+		Members: func() []fed.MemberInfo { return []fed.MemberInfo{{Name: "m", RelayAge: time.Second}} },
+		Relay:   func() fed.RelayStats { return fed.RelayStats{EventsFolded: 5, Delegated: 3} },
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/metrics", srv.Addr()))
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		"casched_decisions_total 12",
+		`casched_fed_member_summary_age_seconds{member="m"}`,
+		"casched_fed_relay_events_folded_total 5",
+		"casched_fed_relay_routed_total 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
