@@ -50,6 +50,7 @@ import (
 	"casched/internal/fluid"
 	"casched/internal/gantt"
 	"casched/internal/grid"
+	"casched/internal/ha"
 	"casched/internal/htm"
 	"casched/internal/live"
 	"casched/internal/metrics"
@@ -380,6 +381,13 @@ type (
 	FedServer = fed.Server
 	// FedServerConfig parameterizes a FedServer.
 	FedServerConfig = fed.ServerConfig
+	// FedHAConfig parameterizes a replicated dispatcher's election
+	// membership (FedServerConfig.HA).
+	FedHAConfig = fed.HAConfig
+	// HAStatus is a replicated dispatcher's election posture
+	// (FedServer.HAStatus): term, leadership, standby replication lag
+	// and the self-healing reassignment counter.
+	HAStatus = ha.Status
 )
 
 // NewFederation constructs a federated dispatcher over in-process
@@ -472,16 +480,95 @@ func WithFedPlacedWindow(seconds float64) FederationOption {
 	return fed.WithPlacedWindow(seconds)
 }
 
+// WithFedReassignAfter turns on self-healing re-partitioning: servers
+// homed on a member whose eviction outlasts d are reassigned among the
+// survivors (0, the default, keeps the pre-HA behavior — a dead
+// member's partition waits for its return). Graceful departures always
+// reassign immediately.
+func WithFedReassignAfter(d time.Duration) FederationOption {
+	return fed.WithReassignAfter(d)
+}
+
 // NewFederationWithMembers constructs a dispatcher over caller-supplied
 // member handles (custom transports).
 func NewFederationWithMembers(cfg FederationConfig, members []FedMember) (*Federation, error) {
 	return fed.NewWithMembers(cfg, members)
 }
 
+// FedServerOption adjusts a FedServerConfig before launch — the
+// high-availability knobs ride here so single-dispatcher callers keep
+// the plain-config call unchanged.
+type FedServerOption func(*FedServerConfig)
+
+// WithElection enrolls the dispatcher in a replicated deployment's
+// leader election under the given unique replica ID, with peers
+// mapping each other replica's ID to its RPC address (may be empty at
+// launch and installed later with FedServer.SetHAPeers).
+func WithElection(id string, peers map[string]string) FedServerOption {
+	return func(cfg *FedServerConfig) {
+		if cfg.HA == nil {
+			cfg.HA = &FedHAConfig{}
+		}
+		cfg.HA.ID = id
+		cfg.HA.Peers = peers
+	}
+}
+
+// WithStandby defers this replica's first campaign so a designated
+// primary wins election one deterministically. Requires WithElection.
+func WithStandby() FedServerOption {
+	return func(cfg *FedServerConfig) {
+		if cfg.HA == nil {
+			cfg.HA = &FedHAConfig{}
+		}
+		cfg.HA.Standby = true
+	}
+}
+
+// WithElectionLease sets the leader lease duration (default 2s); a
+// leader whose heartbeats stop is deposed one lease later.
+func WithElectionLease(d time.Duration) FedServerOption {
+	return func(cfg *FedServerConfig) {
+		if cfg.HA == nil {
+			cfg.HA = &FedHAConfig{}
+		}
+		cfg.HA.Lease = d
+	}
+}
+
+// WithElectionHeartbeat sets the leader heartbeat period (default
+// lease/4).
+func WithElectionHeartbeat(d time.Duration) FedServerOption {
+	return func(cfg *FedServerConfig) {
+		if cfg.HA == nil {
+			cfg.HA = &FedHAConfig{}
+		}
+		cfg.HA.Heartbeat = d
+	}
+}
+
+// WithReassignAfter turns on the dispatcher runtime's self-healing
+// re-partitioning (see WithFedReassignAfter).
+func WithReassignAfter(d time.Duration) FedServerOption {
+	return func(cfg *FedServerConfig) { cfg.ReassignAfter = d }
+}
+
 // StartFedServer launches the federation dispatcher TCP runtime:
 // member agents join with casagent -join, servers and clients connect
-// exactly as they would to a plain agent.
-func StartFedServer(cfg FedServerConfig) (*FedServer, error) { return fed.StartServer(cfg) }
+// exactly as they would to a plain agent. Options layer the
+// high-availability surface on top — a replicated deployment runs one
+// StartFedServer per replica:
+//
+//	srv, err := casched.StartFedServer(cfg,
+//		casched.WithElection("d1", peers),
+//		casched.WithStandby(),
+//	)
+func StartFedServer(cfg FedServerConfig, opts ...FedServerOption) (*FedServer, error) {
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	return fed.StartServer(cfg)
+}
 
 // StatsCollector is the sample event-stream subscriber aggregating
 // decisions/sec, completions, mean absolute prediction error and

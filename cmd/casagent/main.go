@@ -22,6 +22,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"casched"
 )
@@ -35,7 +36,7 @@ func main() {
 		htmSync   = flag.Bool("htm-sync", false, "enable HTM/execution synchronization")
 		shards    = flag.Int("shards", 1, "agent-core shards behind the dispatch layer")
 		policy    = flag.String("shard-policy", "hash", "server-to-shard policy: hash, least-loaded or affinity")
-		joinAddr  = flag.String("join", "", "federation dispatcher address to join as a member (casfed)")
+		joinAddr  = flag.String("join", "", "federation dispatcher address to join as a member (casfed); a comma-separated list joins every replica of a replicated deployment")
 		name      = flag.String("name", "", "federation member name (default: the listen address)")
 		shares    = flag.String("tenant-shares", "", `fair-share weights, e.g. "gold=4,silver=2" (empty = arbitration off)`)
 		admission = flag.Bool("admission", false, "shed tasks whose deadline no server can meet")
@@ -43,6 +44,7 @@ func main() {
 		burst     = flag.Float64("intake-burst", 0, "intake token-bucket burst capacity (0 = max(rate, 1))")
 		relay     = flag.Bool("relay", true, "keep the federation event relay ledger (single-core agents); -relay=false emulates a pre-relay member")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus GET /metrics on this address (empty = off)")
+		drainT    = flag.Duration("drain-timeout", 5*time.Second, "SIGTERM drain budget: wait for in-flight tasks, then leave the federation (with -join)")
 	)
 	flag.Parse()
 
@@ -106,10 +108,16 @@ func main() {
 
 	// Interrupt (^C) and SIGTERM (plain kill, container stop) both
 	// shut the agent down cleanly; SIGTERM alone would otherwise kill
-	// the process without running agent.Close().
+	// the process without running agent.Close(). A federation member
+	// departs gracefully first: drain in-flight work (bounded), then
+	// tell every joined dispatcher to reassign the partition.
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	if *joinAddr != "" {
+		fmt.Printf("casagent: leaving federation (drain budget %s)\n", *drainT)
+		agent.Leave(*drainT)
+	}
 	agent.Close()
 	fmt.Println("casagent: stopped")
 }

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		agent = flag.String("agent", "127.0.0.1:7410", "agent RPC address")
+		agent = flag.String("agent", "127.0.0.1:7410", "agent RPC address; a comma-separated list fails over across replicated dispatchers")
 		set   = flag.Int("set", 2, "workload: 1 (matmul) or 2 (waste-cpu)")
 		n     = flag.Int("n", 100, "metatask size")
 		d     = flag.Float64("d", 25, "mean inter-arrival time (virtual seconds)")

@@ -22,7 +22,7 @@ import (
 func main() {
 	var (
 		name   = flag.String("name", "artimon", "machine name (cost-table key)")
-		agent  = flag.String("agent", "127.0.0.1:7410", "agent RPC address")
+		agent  = flag.String("agent", "127.0.0.1:7410", "agent RPC address; a comma-separated list fails over across replicated dispatchers")
 		addr   = flag.String("addr", "127.0.0.1:0", "TCP listen address")
 		scale  = flag.Float64("scale", 1, "virtual seconds per wall second")
 		noise  = flag.Float64("noise", 0.03, "execution noise sigma")

@@ -162,6 +162,13 @@ type Config struct {
 	// ProbeInterval is the readmission probe period for evicted
 	// members (default StaleAfter).
 	ProbeInterval time.Duration
+	// ReassignAfter, when positive, re-partitions a dead member's
+	// servers among the survivors once its eviction has lasted this
+	// long (ReassignDead, called from the gossip tick). 0 (the
+	// default) keeps the pre-HA behavior: an evicted member's
+	// partition waits for its return. Graceful departures (Leave)
+	// always reassign immediately, regardless of this setting.
+	ReassignAfter time.Duration
 	// Now is the time source for summary freshness (default time.Now;
 	// tests and the staleness study inject fakes).
 	Now func() time.Time
@@ -243,6 +250,13 @@ func WithPlacedWindow(seconds float64) Option {
 	return func(c *Config) { c.PlacedWindow = seconds }
 }
 
+// WithReassignAfter re-partitions a dead member's servers among the
+// survivors once its eviction has lasted the given duration (see
+// Config.ReassignAfter).
+func WithReassignAfter(d time.Duration) Option {
+	return func(c *Config) { c.ReassignAfter = d }
+}
+
 func (cfg *Config) defaults() {
 	if cfg.Members == 0 {
 		cfg.Members = 1
@@ -268,22 +282,29 @@ func (cfg *Config) defaults() {
 }
 
 // placedRec is one dispatcher placement record: the member that
-// committed a job and when, for window-bounded retention.
+// committed a job, the server it landed on and when, for
+// window-bounded retention. The server makes the record replayable:
+// a standby dispatcher that mirrored it can answer a client's retried
+// request with the original decision instead of placing the job a
+// second time.
 type placedRec struct {
 	member int
+	server string
 	at     float64
 }
 
 // memberState is the dispatcher's bookkeeping for one member.
 type memberState struct {
-	m        Member
-	summary  Summary
-	fetched  time.Time // last successful summary refresh; zero = never
-	fails    int       // consecutive transport failures
-	evicted  bool
-	probed   time.Time // last readmission probe of an evicted member
-	fetching bool      // a summary fetch is in flight (outside the lock)
-	unsub    func()    // event-stream cancel, for members that stream
+	m         Member
+	summary   Summary
+	fetched   time.Time // last successful summary refresh; zero = never
+	fails     int       // consecutive transport failures
+	evicted   bool
+	evictedAt time.Time // when eviction happened (reassignment clock)
+	left      bool      // departed gracefully; never probed or routed
+	probed    time.Time // last readmission probe of an evicted member
+	fetching  bool      // a summary fetch is in flight (outside the lock)
+	unsub     func()    // event-stream cancel, for members that stream
 
 	// Relay state (Config.Relay; all zero/nil otherwise). view is the
 	// near-fresh fold of the last summary plus relayed events plus
@@ -303,6 +324,10 @@ type memberState struct {
 // MemberInfo is a diagnostic snapshot of one member's routing state.
 type MemberInfo struct {
 	Name string
+	// Left reports a graceful departure (Fed.Leave): the member is out
+	// of the pool and its partition has been reassigned; unlike an
+	// eviction, no readmission probe runs (the member said goodbye).
+	Left bool
 	// Servers is the dispatcher's partition count for the member;
 	// ReportedServers is what the member's last summary claimed. A
 	// disagreement means the member lost (or never replayed) part of
@@ -348,6 +373,13 @@ type Dispatcher struct {
 	bucket       *fair.TokenBucket
 	placedWindow float64
 	placedSwept  float64
+	// resume marks a dispatcher promoted from standby state: Submit
+	// then answers requests whose job already has a replicated
+	// placement record with the recorded decision instead of placing
+	// again — the replay-dedup half of client failover. reassigned
+	// counts servers moved off dead or departed members.
+	resume     bool
+	reassigned uint64
 	// relayFolded counts relay events folded into member views;
 	// relayRouted counts degraded-mode delegations priced by relay
 	// views (vs summary-only p2c).
@@ -454,6 +486,7 @@ func (d *Dispatcher) AddMember(m Member) error {
 		ms.m = m
 		ms.fails = 0
 		ms.evicted = false
+		ms.left = false
 		ms.fetched = time.Time{}
 		if d.cfg.Relay {
 			// The rejoined process has a fresh ledger: drop the old fold
@@ -575,6 +608,7 @@ func (d *Dispatcher) Members() []MemberInfo {
 		}
 		info := MemberInfo{
 			Name:            ms.m.Name(),
+			Left:            ms.left,
 			Servers:         d.counts[i],
 			ReportedServers: ms.summary.Servers,
 			InFlight:        ms.summary.InFlight,
@@ -646,7 +680,7 @@ func (d *Dispatcher) AddServer(name string) error {
 		return ErrNoMembers
 	}
 	i := cluster.ClampIndex(d.cfg.Policy.Assign(name, d.counts), len(d.members))
-	if d.members[i].evicted {
+	if d.members[i].evicted || d.members[i].left {
 		live := d.liveLocked()
 		if len(live) == 0 {
 			d.mu.Unlock()
@@ -738,7 +772,8 @@ func (d *Dispatcher) markFailureLocked(i int) {
 	ms.fails++
 	if ms.fails >= d.cfg.MaxFailures && !ms.evicted {
 		ms.evicted = true
-		ms.probed = d.cfg.Now()
+		ms.evictedAt = d.cfg.Now()
+		ms.probed = ms.evictedAt
 	}
 }
 
@@ -763,7 +798,7 @@ func (d *Dispatcher) markSuccessLocked(i int) {
 // freshLocked reports whether a member's summary is young enough for
 // exact fan-out routing. Caller holds d.mu.
 func (d *Dispatcher) freshLocked(ms *memberState, now time.Time) bool {
-	return !ms.evicted && !ms.fetched.IsZero() && now.Sub(ms.fetched) <= d.cfg.StaleAfter
+	return !ms.evicted && !ms.left && !ms.fetched.IsZero() && now.Sub(ms.fetched) <= d.cfg.StaleAfter
 }
 
 // refreshDue refreshes, in parallel, every member whose summary is
@@ -805,7 +840,7 @@ func (d *Dispatcher) refresh(force bool) {
 	var dueH, probeH []Member
 	var dueMark, probeMark []uint64
 	for i, ms := range d.members {
-		if ms.fetching {
+		if ms.fetching || ms.left {
 			continue
 		}
 		if ms.evicted {
@@ -899,12 +934,12 @@ func (d *Dispatcher) applyFetch(i int, m Member, s Summary, err error, marker ui
 	}
 }
 
-// liveLocked returns the indexes of non-evicted members. Caller holds
-// d.mu.
+// liveLocked returns the indexes of non-evicted, non-departed
+// members. Caller holds d.mu.
 func (d *Dispatcher) liveLocked() []int {
 	out := make([]int, 0, len(d.members))
 	for i, ms := range d.members {
-		if !ms.evicted {
+		if !ms.evicted && !ms.left {
 			out = append(out, i)
 		}
 	}
@@ -940,10 +975,11 @@ func (d *Dispatcher) shed(req agent.Request, reason string) {
 	})
 }
 
-// notePlacedLocked records which member committed a job, sweeping
-// expired records when a retention window is set. Caller holds d.mu.
-func (d *Dispatcher) notePlacedLocked(jobID, member int, at float64) {
-	d.placed[jobID] = placedRec{member: member, at: at}
+// notePlacedLocked records which member committed a job and the
+// server it landed on, sweeping expired records when a retention
+// window is set. Caller holds d.mu.
+func (d *Dispatcher) notePlacedLocked(jobID, member int, server string, at float64) {
+	d.placed[jobID] = placedRec{member: member, server: server, at: at}
 	d.sweepPlacedLocked(at)
 }
 
@@ -980,6 +1016,16 @@ func (d *Dispatcher) Submit(req agent.Request) (agent.Decision, error) {
 	d.relayDue()
 	d.mu.Lock()
 	defer d.mu.Unlock()
+	// Replay dedup, checked before the intake gate: on a dispatcher
+	// promoted from standby state, a request whose job already carries
+	// a replicated placement record is a client retry of a decision the
+	// old leader answered — return the recorded decision rather than
+	// burning an intake token and placing the job twice.
+	if d.resume {
+		if rec, ok := d.placed[req.JobID]; ok && rec.server != "" {
+			return agent.Decision{JobID: req.JobID, Server: rec.server}, nil
+		}
+	}
 	if d.bucket != nil && !d.bucket.Take(req.Arrival) {
 		d.shed(req, agent.ShedThrottled)
 		return agent.Decision{}, fmt.Errorf("fed: job %d: %w", req.JobID, agent.ErrThrottled)
@@ -1031,7 +1077,7 @@ func (d *Dispatcher) submitRotateLocked(req agent.Request, live []int) (agent.De
 		return agent.Decision{}, fmt.Errorf("fed: member %s: %w", d.members[i].m.Name(), err)
 	}
 	d.markSuccessLocked(i)
-	d.notePlacedLocked(req.JobID, i, req.Arrival)
+	d.notePlacedLocked(req.JobID, i, dec.Server, req.Arrival)
 	return dec, nil
 }
 
@@ -1097,7 +1143,7 @@ func (d *Dispatcher) submitFanoutLocked(req agent.Request, live []int) (agent.De
 		dec, err := d.members[i].m.Commit(req, results[k].cand.Server)
 		if err == nil {
 			d.markSuccessLocked(i)
-			d.notePlacedLocked(req.JobID, i, req.Arrival)
+			d.notePlacedLocked(req.JobID, i, dec.Server, req.Arrival)
 			return dec, nil
 		}
 		errs = append(errs, fmt.Errorf("fed: commit on member %s: %w", d.members[i].m.Name(), err))
@@ -1180,7 +1226,7 @@ func (d *Dispatcher) submitDegradedLocked(req agent.Request, live []int) (agent.
 			continue // rejection or failed dial: nothing committed
 		}
 		d.markSuccessLocked(i)
-		d.notePlacedLocked(req.JobID, i, req.Arrival)
+		d.notePlacedLocked(req.JobID, i, dec.Server, req.Arrival)
 		d.noteDelegatedLocked(i, req, dec, viaRelay)
 		return dec, nil
 	}
@@ -1258,7 +1304,7 @@ func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error)
 		}
 		for k, dec := range out {
 			if dec.Server != "" {
-				d.notePlacedLocked(reqs[k].JobID, i, reqs[k].Arrival)
+				d.notePlacedLocked(reqs[k].JobID, i, dec.Server, reqs[k].Arrival)
 			}
 		}
 		return scatter(out), errors.Join(errs...)
@@ -1358,7 +1404,7 @@ func (d *Dispatcher) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error)
 	}
 	for k, dec := range out {
 		if dec.Server != "" {
-			d.notePlacedLocked(reqs[k].JobID, assign[k], reqs[k].Arrival)
+			d.notePlacedLocked(reqs[k].JobID, assign[k], dec.Server, reqs[k].Arrival)
 		}
 	}
 	return scatter(out), errors.Join(errs...)
@@ -1452,19 +1498,24 @@ func (d *Dispatcher) Complete(jobID int, server string, at float64) error {
 func (d *Dispatcher) Report(server string, load, at float64) error {
 	d.mu.Lock()
 	i, ok := d.home[server]
-	m := (*memberState)(nil)
+	var m Member
 	if ok {
-		m = d.members[i]
+		// Copy the handle under the lock: a concurrent rejoin may swap
+		// the member slot's handle (AddMember), and the RPC below runs
+		// unlocked.
+		m = d.members[i].m
 	}
 	d.mu.Unlock()
 	if m == nil {
 		return nil
 	}
-	if err := m.m.Report(server, load, at); err != nil {
+	if err := m.Report(server, load, at); err != nil {
 		d.mu.Lock()
-		d.markTransportLocked(i, err)
+		if d.members[i].m == m {
+			d.markTransportLocked(i, err)
+		}
 		d.mu.Unlock()
-		return fmt.Errorf("fed: member %s: %w", m.m.Name(), err)
+		return fmt.Errorf("fed: member %s: %w", m.Name(), err)
 	}
 	return nil
 }

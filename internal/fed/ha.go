@@ -1,0 +1,350 @@
+package fed
+
+// Dispatcher-side seams of the self-healing federation: graceful
+// member departure with partition reassignment, automatic
+// re-partitioning of dead members, and the standby-adoption surface a
+// freshly elected dispatcher promotes through (internal/ha drives the
+// election; this file is what the winner calls to become the leader).
+//
+// The promotion sequence (fed.Server.promote) is ordered for the
+// no-double-placement guarantee: fence members at the new term first
+// (the old leader's commits start bouncing), then adopt partitions and
+// replicated placement records, and only then serve clients — a
+// client's retried request finds its job already placed and gets the
+// recorded decision back (Submit's resume dedup) instead of a second
+// placement.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"casched/internal/cluster"
+	"casched/internal/ha"
+)
+
+// partitionSource is the optional capability of members that can
+// enumerate their current server partition — the promotion path's
+// bootstrap for home/counts state a standby never saw registrations
+// for. ok is false when the member predates the Partition RPC.
+type partitionSource interface {
+	Partition() ([]string, bool, error)
+}
+
+// fencer is the optional capability of members that accept a fencing
+// term: once fenced at term T, the member refuses commits stamped
+// with any lower term, so a deposed leader that has not yet noticed
+// its deposition cannot place work behind the new leader's back.
+// Best-effort by design — members that predate the Fence RPC simply
+// cannot be fenced (the happens-before of ledger replication still
+// covers the common retry path).
+type fencer interface {
+	Fence(term uint64) error
+}
+
+// reassignment is one server move computed under the dispatch lock
+// and executed (the member RPC) outside it.
+type reassignment struct {
+	server string
+	to     int
+	m      Member
+}
+
+// reassignLocked moves every server homed on member from to a
+// survivor chosen by the shard policy over the live subset — the same
+// rerouting AddServer applies to a single registration, applied to a
+// whole partition. Servers are walked in sorted order so every
+// replica of the decision is deterministic. With no survivors the
+// partition stays put (nothing to move to; the next live member to
+// appear re-runs reassignment via ReassignDead or re-registration).
+// Caller holds d.mu; the returned moves' AddServer RPCs must be
+// issued outside the lock.
+func (d *Dispatcher) reassignLocked(from int) []reassignment {
+	live := d.liveLocked()
+	var partition []string
+	for s, h := range d.home {
+		if h == from {
+			partition = append(partition, s)
+		}
+	}
+	if len(partition) == 0 || len(live) == 0 {
+		return nil
+	}
+	sort.Strings(partition)
+	moves := make([]reassignment, 0, len(partition))
+	for _, s := range partition {
+		sub := make([]int, len(live))
+		for k, li := range live {
+			sub[k] = d.counts[li]
+		}
+		to := live[cluster.ClampIndex(d.cfg.Policy.Assign(s, sub), len(live))]
+		d.home[s] = to
+		d.counts[from]--
+		d.counts[to]++
+		d.reassigned++
+		moves = append(moves, reassignment{server: s, to: to, m: d.members[to].m})
+	}
+	return moves
+}
+
+// applyMoves issues the AddServer RPCs of computed reassignments.
+// Failures are collected, not unwound: the assignment is already
+// recorded, and the server's own re-registration (which replays
+// AddServer idempotently to its recorded member) heals a move the
+// RPC lost. Caller must NOT hold d.mu.
+func (d *Dispatcher) applyMoves(moves []reassignment) error {
+	var errs []error
+	for _, mv := range moves {
+		if err := mv.m.AddServer(mv.server); err != nil {
+			errs = append(errs, fmt.Errorf("fed: reassign %s to member %s: %w", mv.server, mv.m.Name(), err))
+			d.mu.Lock()
+			if d.members[mv.to].m == mv.m {
+				d.markTransportLocked(mv.to, err)
+			}
+			d.mu.Unlock()
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Leave departs member name gracefully: the member stops being
+// routed, its partition is reassigned among the survivors
+// immediately, and — unlike an eviction — no readmission probe ever
+// dials it again. A later Join under the same name rejoins cleanly
+// (AddMember clears the departed flag); the member then starts with
+// an empty partition and accretes servers as they register.
+func (d *Dispatcher) Leave(name string) error {
+	d.mu.Lock()
+	idx := -1
+	for i, ms := range d.members {
+		if ms.m.Name() == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		d.mu.Unlock()
+		return fmt.Errorf("fed: leave: unknown member %s", name)
+	}
+	ms := d.members[idx]
+	if ms.unsub != nil {
+		ms.unsub()
+		ms.unsub = nil
+	}
+	ms.left = true
+	moves := d.reassignLocked(idx)
+	d.mu.Unlock()
+	return d.applyMoves(moves)
+}
+
+// MarkLeft records a graceful departure WITHOUT reassigning — the
+// standby's mirror of Leave. A follower must track membership (so a
+// later promotion does not adopt the departed member's stale
+// partition) but must not mutate the federation: only the leader
+// issues the AddServer moves. On promotion, the departed member's
+// leftover servers (if the old leader died mid-reassignment) are
+// picked up by ReassignDead or by the servers' own re-registration.
+func (d *Dispatcher) MarkLeft(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, ms := range d.members {
+		if ms.m.Name() == name {
+			if ms.unsub != nil {
+				ms.unsub()
+				ms.unsub = nil
+			}
+			ms.left = true
+			return
+		}
+	}
+}
+
+// ReassignDead re-partitions the servers of members whose eviction
+// has outlasted Config.ReassignAfter — the self-healing tick, called
+// from the leader's gossip loop. A no-op when ReassignAfter is 0
+// (the pre-HA behavior: a dead member's partition waits for its
+// return) and on members that already left (Leave reassigned them).
+func (d *Dispatcher) ReassignDead() {
+	if d.cfg.ReassignAfter <= 0 {
+		return
+	}
+	d.mu.Lock()
+	now := d.cfg.Now()
+	var moves []reassignment
+	for i, ms := range d.members {
+		if ms.evicted && !ms.left && d.counts[i] > 0 && now.Sub(ms.evictedAt) >= d.cfg.ReassignAfter {
+			moves = append(moves, d.reassignLocked(i)...)
+		}
+	}
+	d.mu.Unlock()
+	// Best-effort like the gossip tick it rides on; failures are
+	// marked on the target member and healed by re-registration.
+	_ = d.applyMoves(moves)
+}
+
+// Reassigned returns the total number of server moves performed by
+// Leave and ReassignDead — the telemetry counter behind
+// casched_fed_reassigned_servers_total.
+func (d *Dispatcher) Reassigned() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.reassigned
+}
+
+// AdoptPartition seeds the dispatcher's home/counts state with a
+// member's self-reported partition, skipping servers already owned —
+// the promotion path's bootstrap (a standby never saw the leader's
+// registrations). Existing assignments always win: a server the
+// promoting dispatcher already routed must not move.
+func (d *Dispatcher) AdoptPartition(name string, servers []string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, ms := range d.members {
+		if ms.m.Name() != name || ms.left {
+			continue
+		}
+		for _, s := range servers {
+			if _, ok := d.home[s]; ok {
+				continue
+			}
+			d.home[s] = i
+			d.counts[i]++
+		}
+		return
+	}
+}
+
+// AdoptPartitions queries every live partition-capable member for its
+// current server set (in parallel, outside the dispatch lock) and
+// adopts the answers. Members that fail the query are skipped — their
+// servers re-register through the failover book anyway, which rebuilds
+// the same state more slowly.
+func (d *Dispatcher) AdoptPartitions() {
+	type query struct {
+		name string
+		src  partitionSource
+	}
+	d.mu.Lock()
+	var queries []query
+	for _, ms := range d.members {
+		if ms.evicted || ms.left {
+			continue
+		}
+		if src, ok := ms.m.(partitionSource); ok {
+			queries = append(queries, query{ms.m.Name(), src})
+		}
+	}
+	d.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, q := range queries {
+		wg.Add(1)
+		go func(q query) {
+			defer wg.Done()
+			servers, ok, err := q.src.Partition()
+			if err != nil || !ok {
+				return
+			}
+			d.AdoptPartition(q.name, servers)
+		}(q)
+	}
+	wg.Wait()
+}
+
+// AdoptPlacements installs a standby follower's replicated job
+// placement map and arms the resume dedup: from now on, Submit
+// answers requests for already-placed jobs with the recorded decision
+// instead of placing again. Records for members the dispatcher does
+// not know (or that already exist locally) are skipped.
+func (d *Dispatcher) AdoptPlacements(placed map[int]ha.Placement) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	byName := make(map[string]int, len(d.members))
+	for i, ms := range d.members {
+		byName[ms.m.Name()] = i
+	}
+	for job, p := range placed {
+		if _, ok := d.placed[job]; ok {
+			continue
+		}
+		i, ok := byName[p.Member]
+		if !ok || d.members[i].left {
+			continue
+		}
+		d.placed[job] = placedRec{member: i, server: p.Server, at: p.At}
+	}
+	d.resume = true
+}
+
+// FollowRelay pulls every live relay-capable member's ledger delta
+// from the follower's own cursor and folds it into the follower's
+// placement mirror — the standby's replication tick, and the
+// promotion path's final synchronous pull. It deliberately does NOT
+// touch the dispatcher's routing views or failure counters: a standby
+// observes, it never routes or evicts. Ledger head positions from the
+// last gossiped summaries are noted first, so replication lag is
+// measurable even between pulls.
+func (d *Dispatcher) FollowRelay(f *ha.Follower) {
+	type pull struct {
+		name  string
+		src   relaySource
+		since uint64
+	}
+	d.mu.Lock()
+	var pulls []pull
+	for _, ms := range d.members {
+		if ms.evicted || ms.left {
+			continue
+		}
+		src, ok := ms.m.(relaySource)
+		if !ok {
+			continue
+		}
+		name := ms.m.Name()
+		if ms.summary.HasRelay {
+			f.NoteLedger(name, ms.summary.RelaySeq)
+		}
+		pulls = append(pulls, pull{name, src, f.Cursor(name)})
+	}
+	d.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, p := range pulls {
+		wg.Add(1)
+		go func(p pull) {
+			defer wg.Done()
+			delta, ok, err := p.src.RelaySince(p.since)
+			if err != nil || !ok {
+				return
+			}
+			f.Observe(p.name, delta)
+		}(p)
+	}
+	wg.Wait()
+}
+
+// FenceMembers stamps every live fence-capable member with the new
+// leader's term (in parallel; best-effort): from the first fenced
+// commit on, the members refuse work from any older term, closing the
+// window where a deposed-but-unaware leader could still place.
+func (d *Dispatcher) FenceMembers(term uint64) {
+	d.mu.Lock()
+	var fs []fencer
+	for _, ms := range d.members {
+		if ms.evicted || ms.left {
+			continue
+		}
+		if fc, ok := ms.m.(fencer); ok {
+			fs = append(fs, fc)
+		}
+	}
+	d.mu.Unlock()
+	var wg sync.WaitGroup
+	for _, fc := range fs {
+		wg.Add(1)
+		go func(fc fencer) {
+			defer wg.Done()
+			_ = fc.Fence(term)
+		}(fc)
+	}
+	wg.Wait()
+}

@@ -195,6 +195,12 @@ func (m *InProcess) RelaySince(after uint64) (relay.Delta, bool, error) {
 	return d, ok, nil
 }
 
+// Partition enumerates the wrapped core's current server set — the
+// promotion bootstrap (partitionSource capability).
+func (m *InProcess) Partition() ([]string, bool, error) {
+	return m.core.Servers(), true, nil
+}
+
 func (m *InProcess) Subscribe(fn func(agent.Event)) (cancel func()) {
 	return m.core.Subscribe(fn)
 }

@@ -67,7 +67,7 @@ func (d *Dispatcher) relayPull(force bool) {
 	now := d.cfg.Now()
 	var pulls []pull
 	for i, ms := range d.members {
-		if ms.evicted || ms.relayFetching || ms.view == nil || !ms.view.Synced() || ms.relayCap < 0 {
+		if ms.evicted || ms.left || ms.relayFetching || ms.view == nil || !ms.view.Synced() || ms.relayCap < 0 {
 			continue
 		}
 		src, ok := ms.m.(relaySource)

@@ -46,6 +46,26 @@ type Remote struct {
 	// from a pre-relay binary), so the dispatcher asks at most once
 	// per handle. A rejoin creates a fresh Remote, re-probing.
 	relayUnsupported bool
+
+	// termSource, when set, stamps every mutating call with the
+	// dispatcher's current leader term — the fencing token HA-aware
+	// members check commits against. Nil (and a zero stamp) outside HA
+	// deployments, which old members decode as "unfenced" and always
+	// admit. Set once, before the handle is published to the
+	// dispatcher (SetTermSource), so reads need no lock.
+	termSource func() uint64
+}
+
+// SetTermSource installs the fencing-term source. Must be called
+// before the Remote is handed to a Dispatcher.
+func (r *Remote) SetTermSource(fn func() uint64) { r.termSource = fn }
+
+// term returns the current fencing stamp (0 = unfenced).
+func (r *Remote) term() uint64 {
+	if r.termSource == nil {
+		return 0
+	}
+	return r.termSource()
 }
 
 // NewRemote returns a lazy handle on the member listening at addr. A
@@ -222,6 +242,7 @@ func (r *Remote) Commit(req agent.Request, server string) (agent.Decision, error
 	if err != nil {
 		return agent.Decision{}, err
 	}
+	args.Term = r.term()
 	var reply live.MemberDecisionReply
 	if err := r.call("Member.Commit", live.MemberCommitArgs{Task: args, Server: server}, &reply); err != nil {
 		return agent.Decision{}, err
@@ -235,6 +256,7 @@ func (r *Remote) Submit(req agent.Request) (agent.Decision, error) {
 	if err != nil {
 		return agent.Decision{}, err
 	}
+	args.Term = r.term()
 	var reply live.MemberDecisionReply
 	if err := r.call("Member.Submit", args, &reply); err != nil {
 		return agent.Decision{}, err
@@ -251,11 +273,13 @@ func (r *Remote) Submit(req agent.Request) (agent.Decision, error) {
 
 func (r *Remote) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 	args := live.MemberBatchArgs{Tasks: make([]live.MemberTaskArgs, len(reqs))}
+	stamp := r.term()
 	for i, req := range reqs {
 		t, err := wireTask(req)
 		if err != nil {
 			return make([]agent.Decision, len(reqs)), err
 		}
+		t.Term = stamp
 		args.Tasks[i] = t
 	}
 	var reply live.MemberBatchReply
@@ -347,6 +371,41 @@ func (r *Remote) RelaySince(after uint64) (relay.Delta, bool, error) {
 		}
 	}
 	return d, true, nil
+}
+
+// missingMethod reports the rpc error a pre-HA member answers when
+// asked for a method it does not have — treated as "capability
+// absent", never as a transport failure.
+func missingMethod(err error) bool {
+	var srvErr rpc.ServerError
+	return errors.As(err, &srvErr) && strings.Contains(string(srvErr), "can't find method")
+}
+
+// Fence stamps the member with the new leader's term (the fencer
+// capability). A member that predates the Fence RPC simply cannot be
+// fenced; that is reported as success, because fencing is best-effort
+// by contract.
+func (r *Remote) Fence(term uint64) error {
+	err := r.call("Member.Fence", live.MemberFenceArgs{Term: term}, &live.Ack{})
+	if err != nil && missingMethod(err) {
+		return nil
+	}
+	return err
+}
+
+// Partition asks the member for its current server set (the
+// partitionSource capability). ok is false — with a nil error — when
+// the member predates the Partition RPC; the promoting dispatcher
+// then waits for the servers' own re-registrations instead.
+func (r *Remote) Partition() ([]string, bool, error) {
+	var reply live.MemberPartitionReply
+	if err := r.call("Member.Partition", live.Ack{}, &reply); err != nil {
+		if missingMethod(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	return reply.Servers, true, nil
 }
 
 func (r *Remote) Close() error {

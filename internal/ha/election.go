@@ -1,0 +1,555 @@
+// Package ha implements dispatcher replication for the federation: a
+// lease-based leader elector over a small peer set of dispatcher
+// processes, and a relay Follower that tails every member's event
+// ledger to keep a warm mirror of the leader's placed job map, so a
+// standby promoted by the elector resumes a metatask exactly where the
+// dead leader stopped — without placing any task twice.
+//
+// The election is Raft-shaped but lease-based and log-free: terms are
+// monotone, a peer votes at most once per term, a candidate needs a
+// majority of the full cluster (peers + itself), and a follower that
+// heard from a live leader within the lease refuses to vote anyone
+// else in (leader stickiness), so leadership intervals do not overlap
+// in time. There is no replicated log — the member relay ledgers ARE
+// the log, and fencing terms on the member wire keep a deposed leader
+// from committing placements after its successor takes over.
+package ha
+
+import (
+	"sync"
+	"time"
+
+	"casched/internal/stats"
+)
+
+// Role is an elector's view of its own standing in the current term.
+type Role int
+
+const (
+	// Follower defers to a leader (or waits out a lease before
+	// campaigning).
+	RoleFollower Role = iota
+	// Candidate has voted for itself and is soliciting a majority.
+	RoleCandidate
+	// Leader holds the current term's lease and may serve clients.
+	RoleLeader
+)
+
+// String names the role for logs and metrics.
+func (r Role) String() string {
+	switch r {
+	case RoleLeader:
+		return "leader"
+	case RoleCandidate:
+		return "candidate"
+	default:
+		return "follower"
+	}
+}
+
+// VoteArgs solicits one vote for Candidate at Term.
+type VoteArgs struct {
+	Candidate string
+	Term      uint64
+}
+
+// VoteReply grants or refuses the vote; Term is the receiver's term
+// after handling, so a stale candidate learns it has been passed.
+type VoteReply struct {
+	Granted bool
+	Term    uint64
+}
+
+// HeartbeatArgs asserts Leader's lease for Term. Addr is the leader's
+// client-facing address, relayed to clients as the failover hint.
+// Resign tells receivers the leader is stepping down voluntarily:
+// their leases expire immediately and a new election starts without
+// waiting out the lease.
+type HeartbeatArgs struct {
+	Leader string
+	Addr   string
+	Term   uint64
+	Resign bool
+}
+
+// HeartbeatReply acknowledges the lease; OK=false with a higher Term
+// tells a deposed leader to step down.
+type HeartbeatReply struct {
+	OK   bool
+	Term uint64
+}
+
+// Transport carries election traffic to one peer. Implementations
+// must bound each call (the elector never waits on a dead peer beyond
+// the transport's own timeout). Errors are treated as silence.
+type Transport interface {
+	RequestVote(peerID, peerAddr string, args VoteArgs) (VoteReply, error)
+	Heartbeat(peerID, peerAddr string, args HeartbeatArgs) (HeartbeatReply, error)
+}
+
+// Config parameterizes an Elector.
+type Config struct {
+	// ID is this elector's unique name in the peer set.
+	ID string
+	// Addr is the client-facing address advertised in heartbeats so
+	// followers can redirect clients to the leader.
+	Addr string
+	// Peers maps peer ID to election address, excluding this node.
+	// May start empty and be installed later with SetPeers; majority
+	// is always computed over the current set plus self.
+	Peers map[string]string
+	// Lease is how long a heartbeat keeps a follower loyal (and how
+	// long a leader may serve without reconfirming its quorum).
+	// Default 2s.
+	Lease time.Duration
+	// Heartbeat is the leader's broadcast period. Default Lease/4.
+	Heartbeat time.Duration
+	// Standby defers this node's first campaign by two leases so the
+	// designated primary wins election one deterministically.
+	Standby bool
+	// Seed feeds the campaign-backoff jitter.
+	Seed uint64
+	// Now supplies time; defaults to time.Now. Tests inject a fake.
+	Now func() time.Time
+	// Transport carries votes and heartbeats.
+	Transport Transport
+	// OnLeader fires (outside the elector lock) when this node wins
+	// an election, with the won term.
+	OnLeader func(term uint64)
+	// OnFollow fires (outside the elector lock) when this node ceases
+	// to lead or learns of a leader: leaderID/leaderAddr may be empty
+	// when the leader is unknown.
+	OnFollow func(leaderID, leaderAddr string, term uint64)
+}
+
+// Elector runs the lease-based election for one node. Drive it either
+// with Start (background ticker) or by calling Tick directly from a
+// test harness; HandleVote and HandleHeartbeat are the RPC surface
+// peers call into.
+type Elector struct {
+	mu   sync.Mutex
+	cfg  Config
+	rng  *stats.RNG
+	role Role
+	term uint64
+	// votedTerm/votedFor record the single vote this node may cast
+	// per term.
+	votedTerm uint64
+	votedFor  string
+	// leaderID/leaderAddr name the leader whose lease we honor.
+	leaderID   string
+	leaderAddr string
+	// wait is the instant before which this node will not campaign:
+	// the current leader's lease, a vote-grant deferral, or the
+	// backoff after a failed campaign.
+	wait time.Time
+	// nextBeat is the leader's next broadcast instant.
+	nextBeat time.Time
+	// leaderSince starts the quorum grace period: a fresh leader gets
+	// one lease to collect acks before the quorum check can depose it.
+	leaderSince time.Time
+	// acked records the last heartbeat ack per peer while leading.
+	acked map[string]time.Time
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// New builds an elector; call Start to run it, or Tick from a test.
+func New(cfg Config) *Elector {
+	if cfg.Lease <= 0 {
+		cfg.Lease = 2 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.Lease / 4
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	e := &Elector{
+		cfg:  cfg,
+		rng:  stats.NewRNG(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		stop: make(chan struct{}),
+	}
+	now := cfg.Now()
+	if cfg.Standby {
+		e.wait = now.Add(2 * cfg.Lease)
+	} else {
+		e.wait = now
+	}
+	return e
+}
+
+// SetPeers installs or replaces the peer set (ID -> address, without
+// self). Majority is recomputed from the new set on the next tick.
+func (e *Elector) SetPeers(peers map[string]string) {
+	cp := make(map[string]string, len(peers))
+	for id, addr := range peers {
+		cp[id] = addr
+	}
+	e.mu.Lock()
+	e.cfg.Peers = cp
+	e.mu.Unlock()
+}
+
+// Start runs the elector's tick loop in the background.
+func (e *Elector) Start() {
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		period := e.cfg.Heartbeat / 2
+		if period < 5*time.Millisecond {
+			period = 5 * time.Millisecond
+		}
+		t := time.NewTicker(period)
+		defer t.Stop()
+		for {
+			select {
+			case <-e.stop:
+				return
+			case <-t.C:
+				e.Tick()
+			}
+		}
+	}()
+}
+
+// Close stops the tick loop. It does not resign; pair with Resign for
+// a graceful handover.
+func (e *Elector) Close() {
+	e.stopOnce.Do(func() { close(e.stop) })
+	e.wg.Wait()
+}
+
+// Snapshot returns the elector's current term, role and known leader.
+func (e *Elector) Snapshot() (term uint64, role Role, leaderID, leaderAddr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.term, e.role, e.leaderID, e.leaderAddr
+}
+
+// majorityLocked is the quorum size over peers plus self.
+func (e *Elector) majorityLocked() int {
+	return (len(e.cfg.Peers)+1)/2 + 1
+}
+
+// adoptTermLocked moves to a higher term as a follower with no vote
+// cast and no known leader.
+func (e *Elector) adoptTermLocked(term uint64) {
+	e.term = term
+	e.role = RoleFollower
+	e.leaderID = ""
+	e.leaderAddr = ""
+}
+
+// Tick advances the elector one step: leaders broadcast heartbeats
+// and verify their quorum, everyone else campaigns once the wait
+// expires. Safe to call from a single driving goroutine.
+func (e *Elector) Tick() {
+	e.mu.Lock()
+	now := e.cfg.Now()
+	switch e.role {
+	case RoleLeader:
+		if now.Before(e.nextBeat) {
+			e.mu.Unlock()
+			return
+		}
+		e.nextBeat = now.Add(e.cfg.Heartbeat)
+		e.beatLocked(now, false)
+	default:
+		if now.Before(e.wait) {
+			e.mu.Unlock()
+			return
+		}
+		e.campaignLocked(now)
+	}
+}
+
+// beatLocked broadcasts one heartbeat round, folds acks, and enforces
+// the quorum lease. Called with e.mu held; releases and reacquires it
+// around the transport calls and returns with it released.
+func (e *Elector) beatLocked(now time.Time, resign bool) {
+	term := e.term
+	addr := e.cfg.Addr
+	peers := e.peersLocked()
+	e.mu.Unlock()
+
+	type ack struct {
+		id    string
+		reply HeartbeatReply
+		err   error
+	}
+	acks := make(chan ack, len(peers))
+	for _, p := range peers {
+		go func(id, paddr string) {
+			r, err := e.cfg.Transport.Heartbeat(id, paddr, HeartbeatArgs{
+				Leader: e.cfg.ID, Addr: addr, Term: term, Resign: resign,
+			})
+			acks <- ack{id, r, err}
+		}(p.id, p.addr)
+	}
+	var deposedBy uint64
+	okAcks := make([]string, 0, len(peers))
+	for range peers {
+		a := <-acks
+		if a.err != nil {
+			continue
+		}
+		if a.reply.Term > term {
+			deposedBy = a.reply.Term
+		}
+		if a.reply.OK {
+			okAcks = append(okAcks, a.id)
+		}
+	}
+	if resign {
+		return
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.role != RoleLeader || e.term != term {
+		return
+	}
+	if deposedBy > e.term {
+		e.stepDownLocked(deposedBy)
+		return
+	}
+	at := e.cfg.Now()
+	for _, id := range okAcks {
+		e.acked[id] = at
+	}
+	// Quorum lease: a leader that cannot reconfirm a majority within
+	// one lease (grace: one lease after promotion) must stop serving
+	// before a partition-side successor can be elected.
+	if at.Sub(e.leaderSince) <= e.cfg.Lease {
+		return
+	}
+	n := 1 // self
+	for _, t := range e.acked {
+		if at.Sub(t) <= e.cfg.Lease {
+			n++
+		}
+	}
+	if n < e.majorityLocked() {
+		e.stepDownLocked(e.term)
+	}
+}
+
+// stepDownLocked abandons leadership (or a campaign), adopting term,
+// and schedules the OnFollow notification. Called with e.mu held.
+func (e *Elector) stepDownLocked(term uint64) {
+	wasLeader := e.role == RoleLeader
+	if term > e.term {
+		e.adoptTermLocked(term)
+	} else {
+		e.role = RoleFollower
+		e.leaderID = ""
+		e.leaderAddr = ""
+	}
+	now := e.cfg.Now()
+	// A deposed leader backs off a full lease before campaigning so
+	// the cluster settles on its successor first.
+	e.wait = now.Add(e.cfg.Lease + e.jitterLocked())
+	if wasLeader && e.cfg.OnFollow != nil {
+		term := e.term
+		go e.cfg.OnFollow("", "", term)
+	}
+}
+
+type peer struct{ id, addr string }
+
+func (e *Elector) peersLocked() []peer {
+	ps := make([]peer, 0, len(e.cfg.Peers))
+	for id, addr := range e.cfg.Peers {
+		ps = append(ps, peer{id, addr})
+	}
+	return ps
+}
+
+// jitterLocked draws a seeded backoff in [0, Lease/2) so peers whose
+// leases expire together do not campaign in lockstep forever.
+func (e *Elector) jitterLocked() time.Duration {
+	return time.Duration(e.rng.Float64() * float64(e.cfg.Lease) / 2)
+}
+
+// campaignLocked starts a new term, votes for itself, and solicits
+// the peers. Called with e.mu held; releases it around the transport
+// calls and returns with it released.
+func (e *Elector) campaignLocked(now time.Time) {
+	e.term++
+	e.role = RoleCandidate
+	e.votedTerm, e.votedFor = e.term, e.cfg.ID
+	e.leaderID = ""
+	e.leaderAddr = ""
+	// Back off before retrying a failed campaign: at least half a
+	// lease so a granted voter's deferral can expire, plus jitter to
+	// break symmetric ties.
+	e.wait = now.Add(e.cfg.Lease/2 + e.jitterLocked())
+	term := e.term
+	peers := e.peersLocked()
+	need := e.majorityLocked()
+	e.mu.Unlock()
+
+	type vote struct {
+		reply VoteReply
+		err   error
+	}
+	votes := make(chan vote, len(peers))
+	for _, p := range peers {
+		go func(id, addr string) {
+			r, err := e.cfg.Transport.RequestVote(id, addr, VoteArgs{Candidate: e.cfg.ID, Term: term})
+			votes <- vote{r, err}
+		}(p.id, p.addr)
+	}
+	granted := 1 // own vote
+	var passedBy uint64
+	for range peers {
+		v := <-votes
+		if v.err != nil {
+			continue
+		}
+		if v.reply.Term > term {
+			passedBy = v.reply.Term
+		}
+		if v.reply.Granted {
+			granted++
+		}
+	}
+
+	e.mu.Lock()
+	if e.term != term || e.role != RoleCandidate {
+		// A heartbeat or higher-term vote landed mid-campaign.
+		e.mu.Unlock()
+		return
+	}
+	if passedBy > e.term {
+		e.stepDownLocked(passedBy)
+		e.mu.Unlock()
+		return
+	}
+	if granted < need {
+		e.role = RoleFollower
+		e.mu.Unlock()
+		return
+	}
+	// Won. Establish the lease before announcing: one heartbeat round
+	// goes out first so follower leases refresh before the promotion
+	// callback does its (potentially slow) state handoff.
+	e.role = RoleLeader
+	e.leaderID = e.cfg.ID
+	e.leaderAddr = e.cfg.Addr
+	now = e.cfg.Now()
+	e.leaderSince = now
+	e.nextBeat = now.Add(e.cfg.Heartbeat)
+	e.acked = make(map[string]time.Time, len(peers))
+	e.beatLocked(now, false) // returns with e.mu released
+	e.mu.Lock()
+	stillLeader := e.role == RoleLeader && e.term == term
+	e.mu.Unlock()
+	if stillLeader && e.cfg.OnLeader != nil {
+		e.cfg.OnLeader(term)
+	}
+}
+
+// HandleVote is the RPC surface for a peer's vote solicitation.
+func (e *Elector) HandleVote(args VoteArgs) VoteReply {
+	e.mu.Lock()
+	now := e.cfg.Now()
+	if args.Term < e.term {
+		r := VoteReply{Granted: false, Term: e.term}
+		e.mu.Unlock()
+		return r
+	}
+	// Leader stickiness: while this node leads, or honors a live
+	// leader's lease, it refuses votes — even for a higher term — and
+	// does not adopt the candidate's term, so a flapping peer cannot
+	// depose a healthy leader. Liveness is preserved because leases
+	// expire.
+	live := e.role == RoleLeader || (e.leaderID != "" && now.Before(e.wait))
+	if live && args.Candidate != e.leaderID {
+		r := VoteReply{Granted: false, Term: e.term}
+		e.mu.Unlock()
+		return r
+	}
+	if args.Term > e.term {
+		e.adoptTermLocked(args.Term)
+	}
+	if e.votedTerm == e.term && e.votedFor != "" && e.votedFor != args.Candidate {
+		r := VoteReply{Granted: false, Term: e.term}
+		e.mu.Unlock()
+		return r
+	}
+	e.votedTerm, e.votedFor = e.term, args.Candidate
+	// Granting defers our own campaign one lease: the winner's first
+	// heartbeat must land before we'd consider running ourselves.
+	if w := now.Add(e.cfg.Lease); w.After(e.wait) {
+		e.wait = w
+	}
+	r := VoteReply{Granted: true, Term: e.term}
+	e.mu.Unlock()
+	return r
+}
+
+// HandleHeartbeat is the RPC surface for the leader's lease assertion.
+func (e *Elector) HandleHeartbeat(args HeartbeatArgs) HeartbeatReply {
+	e.mu.Lock()
+	if args.Term < e.term {
+		r := HeartbeatReply{OK: false, Term: e.term}
+		e.mu.Unlock()
+		return r
+	}
+	now := e.cfg.Now()
+	wasLeader := e.role == RoleLeader && args.Term > e.term
+	changed := e.term != args.Term || e.leaderID != args.Leader
+	if args.Term == e.term && e.role == RoleLeader {
+		// Same-term second leader: impossible under single-vote
+		// majority; refuse rather than yield so the anomaly surfaces.
+		r := HeartbeatReply{OK: false, Term: e.term}
+		e.mu.Unlock()
+		return r
+	}
+	e.term = args.Term
+	e.role = RoleFollower
+	e.leaderID = args.Leader
+	e.leaderAddr = args.Addr
+	if args.Resign {
+		e.leaderID = ""
+		e.leaderAddr = ""
+		// The leader quit: skip the lease wait, jitter only, so a
+		// successor is elected promptly but not in lockstep.
+		e.wait = now.Add(e.jitterLocked() / 4)
+	} else {
+		e.wait = now.Add(e.cfg.Lease)
+	}
+	notify := (changed || wasLeader) && e.cfg.OnFollow != nil
+	leaderID, leaderAddr, term := e.leaderID, e.leaderAddr, e.term
+	e.mu.Unlock()
+	if notify {
+		e.cfg.OnFollow(leaderID, leaderAddr, term)
+	}
+	return HeartbeatReply{OK: true, Term: term}
+}
+
+// Resign steps down voluntarily: one final Resign heartbeat releases
+// every follower's lease so a successor is elected immediately, and
+// this node defers its own next campaign two leases so it does not
+// simply re-elect itself.
+func (e *Elector) Resign() {
+	e.mu.Lock()
+	if e.role != RoleLeader {
+		e.mu.Unlock()
+		return
+	}
+	now := e.cfg.Now()
+	term := e.term
+	e.role = RoleFollower
+	e.leaderID = ""
+	e.leaderAddr = ""
+	e.wait = now.Add(2 * e.cfg.Lease)
+	e.beatLocked(now, true) // unlocks; resign path returns without relocking
+	if e.cfg.OnFollow != nil {
+		e.cfg.OnFollow("", "", term)
+	}
+}

@@ -1,0 +1,354 @@
+package ha
+
+// Election safety: two dispatchers must never both believe they hold
+// the same term. The property test drives a cluster of electors over
+// a lossy in-memory transport with a fake clock — random tick order,
+// dropped messages, a partitioned-then-rejoining deposed leader — and
+// records every leadership claim; any term claimed by two distinct
+// nodes fails the run.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"casched/internal/stats"
+)
+
+// fakeClock is a shared, manually advanced clock.
+type fakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// lossyNet is a synchronous in-memory transport with per-run seeded
+// message drops and node partitions.
+type lossyNet struct {
+	mu       sync.Mutex
+	nodes    map[string]*Elector
+	rng      *stats.RNG
+	dropProb float64
+	cut      map[string]bool // partitioned node: drops all its traffic
+}
+
+func newLossyNet(seed uint64) *lossyNet {
+	return &lossyNet{
+		nodes: make(map[string]*Elector),
+		rng:   stats.NewRNG(seed),
+		cut:   make(map[string]bool),
+	}
+}
+
+// port binds one sender to the net; from identifies the calling node
+// so partitions cut both directions of its traffic.
+type port struct {
+	net  *lossyNet
+	from string
+}
+
+func (n *lossyNet) drops(from, to string) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.cut[from] || n.cut[to] {
+		return true
+	}
+	return n.dropProb > 0 && n.rng.Float64() < n.dropProb
+}
+
+func (n *lossyNet) target(id string) *Elector {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.nodes[id]
+}
+
+var errDropped = fmt.Errorf("lossy net: dropped")
+
+func (p port) RequestVote(peerID, _ string, args VoteArgs) (VoteReply, error) {
+	if p.net.drops(p.from, peerID) {
+		return VoteReply{}, errDropped
+	}
+	t := p.net.target(peerID)
+	if t == nil {
+		return VoteReply{}, errDropped
+	}
+	return t.HandleVote(args), nil
+}
+
+func (p port) Heartbeat(peerID, _ string, args HeartbeatArgs) (HeartbeatReply, error) {
+	if p.net.drops(p.from, peerID) {
+		return HeartbeatReply{}, errDropped
+	}
+	t := p.net.target(peerID)
+	if t == nil {
+		return HeartbeatReply{}, errDropped
+	}
+	return t.HandleHeartbeat(args), nil
+}
+
+// claims records every OnLeader firing, keyed by term.
+type claims struct {
+	mu     sync.Mutex
+	byTerm map[uint64][]string
+}
+
+func newClaims() *claims { return &claims{byTerm: make(map[uint64][]string)} }
+
+func (c *claims) note(id string, term uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byTerm[term] = append(c.byTerm[term], id)
+}
+
+// check fails the test if any term was claimed by two distinct nodes.
+// Idempotent re-claims by the same node are tolerated.
+func (c *claims) check(t *testing.T) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for term, ids := range c.byTerm {
+		for _, id := range ids[1:] {
+			if id != ids[0] {
+				t.Fatalf("term %d claimed by both %s and %s (all: %v)", term, ids[0], id, ids)
+			}
+		}
+	}
+}
+
+// leaderCount returns how many live nodes currently believe they lead.
+func leaderCount(nodes map[string]*Elector, dead map[string]bool) (int, string) {
+	n, id := 0, ""
+	for nid, e := range nodes {
+		if dead[nid] {
+			continue
+		}
+		if _, role, _, _ := e.Snapshot(); role == RoleLeader {
+			n++
+			id = nid
+		}
+	}
+	return n, id
+}
+
+// buildCluster wires n electors over the net with full peer maps.
+func buildCluster(n int, net *lossyNet, clock *fakeClock, cl *claims, standbyAfter int) map[string]*Elector {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("d%d", i)
+	}
+	nodes := make(map[string]*Elector, n)
+	for i, id := range ids {
+		peers := map[string]string{}
+		for _, other := range ids {
+			if other != id {
+				peers[other] = other
+			}
+		}
+		id := id
+		nodes[id] = New(Config{
+			ID:        id,
+			Addr:      "addr-" + id,
+			Peers:     peers,
+			Lease:     400 * time.Millisecond,
+			Heartbeat: 100 * time.Millisecond,
+			Standby:   i >= standbyAfter,
+			Seed:      uint64(7 + i),
+			Now:       clock.Now,
+			Transport: port{net: net, from: id},
+			OnLeader:  func(term uint64) { cl.note(id, term) },
+		})
+	}
+	net.mu.Lock()
+	net.nodes = nodes
+	net.mu.Unlock()
+	return nodes
+}
+
+// step advances the fake clock and ticks every live node in a seeded
+// random order.
+func step(nodes map[string]*Elector, dead map[string]bool, clock *fakeClock, rng *stats.RNG, d time.Duration) {
+	clock.Advance(d)
+	ids := make([]string, 0, len(nodes))
+	for id := range nodes {
+		if !dead[id] {
+			ids = append(ids, id)
+		}
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	for _, id := range ids {
+		nodes[id].Tick()
+	}
+}
+
+func TestElectionSafetyUnderLoss(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			clock := newFakeClock()
+			net := newLossyNet(seed)
+			net.dropProb = 0.3
+			cl := newClaims()
+			nodes := buildCluster(3, net, clock, cl, 1)
+			dead := map[string]bool{}
+			rng := stats.NewRNG(seed * 1315423911)
+
+			// Phase 1: lossy steady state — elections happen and
+			// re-happen under 30% drops; safety must hold throughout.
+			for i := 0; i < 400; i++ {
+				step(nodes, dead, clock, rng, time.Duration(10+rng.Intn(70))*time.Millisecond)
+				cl.check(t)
+			}
+
+			// Phase 2: partition whoever leads (it keeps ticking,
+			// believing what it will); the rest must elect a
+			// successor in a higher term, never the same one.
+			if n, id := leaderCount(nodes, dead); n == 1 {
+				net.mu.Lock()
+				net.cut[id] = true
+				net.mu.Unlock()
+				for i := 0; i < 200; i++ {
+					step(nodes, dead, clock, rng, time.Duration(10+rng.Intn(70))*time.Millisecond)
+					cl.check(t)
+				}
+				// Phase 3: heal — the deposed leader rejoins, learns
+				// the higher term from heartbeats, and steps down.
+				net.mu.Lock()
+				delete(net.cut, id)
+				net.dropProb = 0
+				net.mu.Unlock()
+				for i := 0; i < 200; i++ {
+					step(nodes, dead, clock, rng, 50*time.Millisecond)
+					cl.check(t)
+				}
+				if n, _ := leaderCount(nodes, dead); n != 1 {
+					t.Fatalf("after heal: %d leaders, want exactly 1", n)
+				}
+			}
+			cl.check(t)
+		})
+	}
+}
+
+// A designated primary (the one non-standby node) must win the first
+// election; standbys defer their first campaign.
+func TestElectionStandbyDefersToPrimary(t *testing.T) {
+	clock := newFakeClock()
+	net := newLossyNet(1)
+	cl := newClaims()
+	nodes := buildCluster(3, net, clock, cl, 1)
+	rng := stats.NewRNG(42)
+	for i := 0; i < 50; i++ {
+		step(nodes, map[string]bool{}, clock, rng, 50*time.Millisecond)
+	}
+	if _, role, _, _ := nodes["d0"].Snapshot(); role != RoleLeader {
+		t.Fatalf("primary d0 did not win the first election: role=%v", role)
+	}
+	cl.mu.Lock()
+	first := cl.byTerm[1]
+	cl.mu.Unlock()
+	if len(first) == 0 || first[0] != "d0" {
+		t.Fatalf("term 1 not won by primary: %v", first)
+	}
+	cl.check(t)
+
+	// Followers learn the leader's client address from heartbeats —
+	// the failover hint the fed server serves to clients.
+	if _, _, leaderID, leaderAddr := nodes["d1"].Snapshot(); leaderID != "d0" || leaderAddr != "addr-d0" {
+		t.Fatalf("standby does not know the leader: id=%q addr=%q", leaderID, leaderAddr)
+	}
+}
+
+// Resign hands leadership over without waiting out a lease, and the
+// resigner does not immediately re-elect itself.
+func TestElectionResign(t *testing.T) {
+	clock := newFakeClock()
+	net := newLossyNet(2)
+	cl := newClaims()
+	nodes := buildCluster(3, net, clock, cl, 1)
+	rng := stats.NewRNG(43)
+	none := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		step(nodes, none, clock, rng, 50*time.Millisecond)
+	}
+	if n, id := leaderCount(nodes, none); n != 1 || id != "d0" {
+		t.Fatalf("setup: leader=%q count=%d", id, n)
+	}
+	termBefore, _, _, _ := nodes["d0"].Snapshot()
+	nodes["d0"].Resign()
+	for i := 0; i < 60; i++ {
+		step(nodes, none, clock, rng, 50*time.Millisecond)
+		cl.check(t)
+	}
+	n, id := leaderCount(nodes, none)
+	if n != 1 {
+		t.Fatalf("after resign: %d leaders", n)
+	}
+	if id == "d0" {
+		t.Fatalf("resigned leader immediately re-elected itself")
+	}
+	termAfter, _, _, _ := nodes[id].Snapshot()
+	if termAfter <= termBefore {
+		t.Fatalf("successor term %d not past resigned term %d", termAfter, termBefore)
+	}
+}
+
+// A peerless elector leads itself immediately: single-dispatcher
+// deployments behave like HA-off with a term attached.
+func TestElectionSingleNode(t *testing.T) {
+	clock := newFakeClock()
+	net := newLossyNet(3)
+	cl := newClaims()
+	nodes := buildCluster(1, net, clock, cl, 1)
+	nodes["d0"].Tick()
+	if term, role, _, _ := nodes["d0"].Snapshot(); role != RoleLeader || term != 1 {
+		t.Fatalf("single node: role=%v term=%d, want leader at term 1", role, term)
+	}
+	cl.check(t)
+}
+
+// A dead leader (stops ticking entirely) is succeeded once its lease
+// expires, and the successor holds a strictly higher term.
+func TestElectionDeadLeaderSucceeded(t *testing.T) {
+	clock := newFakeClock()
+	net := newLossyNet(4)
+	cl := newClaims()
+	nodes := buildCluster(3, net, clock, cl, 1)
+	rng := stats.NewRNG(44)
+	none := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		step(nodes, none, clock, rng, 50*time.Millisecond)
+	}
+	termBefore, _, _, _ := nodes["d0"].Snapshot()
+	dead := map[string]bool{"d0": true}
+	net.mu.Lock()
+	net.cut["d0"] = true
+	net.mu.Unlock()
+	for i := 0; i < 100; i++ {
+		step(nodes, dead, clock, rng, 50*time.Millisecond)
+		cl.check(t)
+	}
+	n, id := leaderCount(nodes, dead)
+	if n != 1 {
+		t.Fatalf("after leader death: %d leaders among survivors", n)
+	}
+	termAfter, _, _, _ := nodes[id].Snapshot()
+	if termAfter <= termBefore {
+		t.Fatalf("successor term %d not past dead leader's %d", termAfter, termBefore)
+	}
+}

@@ -1,0 +1,149 @@
+package ha
+
+// The Follower is the standby's warm mirror of the leader's placed
+// job map. It tails every member's relay ledger with its own cursors
+// (independent of the dispatcher's relay.View, whose sequence jumps on
+// summary rebases) and folds decisions/completions into a job → {
+// member, server } map. On promotion the new leader adopts this map:
+// a client retrying a job the dead leader already placed gets the
+// recorded placement back instead of a second commit.
+
+import (
+	"sync"
+
+	"casched/internal/relay"
+)
+
+// Placement records where one job landed: the member that committed
+// it, the server it runs on, and the decision's experiment-time
+// instant (used for windowed retention).
+type Placement struct {
+	Member string
+	Server string
+	At     float64
+}
+
+// Follower accumulates member relay streams into a placed-job mirror.
+// All methods are safe for concurrent use.
+type Follower struct {
+	mu      sync.Mutex
+	window  float64
+	cursors map[string]uint64
+	heads   map[string]uint64
+	placed  map[int]Placement
+	swept   float64
+}
+
+// NewFollower returns an empty mirror. window bounds retention of
+// placed records in experiment time (0 keeps them until completion),
+// matching the dispatcher's PlacedWindow rule.
+func NewFollower(window float64) *Follower {
+	return &Follower{
+		window:  window,
+		cursors: make(map[string]uint64),
+		heads:   make(map[string]uint64),
+		placed:  make(map[int]Placement),
+	}
+}
+
+// Cursor returns the last ledger sequence folded for member (0 when
+// the stream has not been pulled yet) — the `after` to pass to the
+// member's next RelaySince.
+func (f *Follower) Cursor(member string) uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.cursors[member]
+}
+
+// Observe folds one relay delta from member into the mirror. A Resync
+// delta jumps the cursor past the dropped range: decisions lost in
+// the gap cannot be deduplicated on takeover (the new leader will
+// re-place them if a client retries), which is the bounded-ledger
+// trade documented on relay.Ledger.
+func (f *Follower) Observe(member string, d relay.Delta) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.cursors[member]
+	if d.Resync {
+		if d.To > cur {
+			f.cursors[member] = d.To
+		}
+		return
+	}
+	for _, ev := range d.Events {
+		if ev.Seq <= cur {
+			continue
+		}
+		cur = ev.Seq
+		switch ev.Kind {
+		case relay.Decision:
+			f.placed[ev.JobID] = Placement{Member: member, Server: ev.Server, At: ev.Time}
+			f.sweepLocked(ev.Time)
+		case relay.Completion:
+			delete(f.placed, ev.JobID)
+		}
+	}
+	if d.To > cur {
+		cur = d.To
+	}
+	f.cursors[member] = cur
+}
+
+// NoteLedger records the member's last advertised ledger head (from
+// its gossiped summary), the basis for the replication-lag gauge.
+func (f *Follower) NoteLedger(member string, seq uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if seq > f.heads[member] {
+		f.heads[member] = seq
+	}
+}
+
+// Lags returns, per member, how many ledger events the mirror is
+// behind the member's advertised head.
+func (f *Follower) Lags() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	lags := make(map[string]uint64, len(f.heads))
+	for m, head := range f.heads {
+		if cur := f.cursors[m]; head > cur {
+			lags[m] = head - cur
+		} else {
+			lags[m] = 0
+		}
+	}
+	return lags
+}
+
+// Placements snapshots the mirror's placed map.
+func (f *Follower) Placements() map[int]Placement {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cp := make(map[int]Placement, len(f.placed))
+	for id, p := range f.placed {
+		cp[id] = p
+	}
+	return cp
+}
+
+// Len reports the number of placed records currently mirrored.
+func (f *Follower) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.placed)
+}
+
+// sweepLocked drops placements older than the retention window,
+// amortized to at most one pass per half window like the dispatcher's
+// placed-map sweep.
+func (f *Follower) sweepLocked(now float64) {
+	if f.window <= 0 || now-f.swept < f.window/2 {
+		return
+	}
+	f.swept = now
+	for id, p := range f.placed {
+		if now-p.At > f.window {
+			delete(f.placed, id)
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package ha
+
+// Status is one dispatcher's HA posture, assembled for telemetry: the
+// election view plus the standby mirror's replication lag and the
+// running count of servers re-homed away from dead or leaving members.
+type Status struct {
+	// ID is this dispatcher's elector identity ("" when HA is off).
+	ID string
+	// Term is the current election term (0 when HA is off).
+	Term uint64
+	// IsLeader reports whether this dispatcher currently serves
+	// clients (always true when HA is off).
+	IsLeader bool
+	// LeaderID/LeaderAddr name the known leader, empty when unknown.
+	LeaderID   string
+	LeaderAddr string
+	// StandbyLag is, per member, how many relay-ledger events the
+	// local mirror trails the member's advertised head.
+	StandbyLag map[string]uint64
+	// ReassignedServers counts servers moved to surviving members by
+	// graceful leave or dead-member re-partitioning.
+	ReassignedServers uint64
+}

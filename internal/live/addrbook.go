@@ -1,0 +1,216 @@
+package live
+
+// dispatcherBook is the client-side half of dispatcher failover: a
+// list of dispatcher addresses (leader plus standbys) behind one
+// lazily dialed RPC connection. Calls that fail in transport, or are
+// refused with the federation's "not leader" redirect, rotate to the
+// next address (following the redirect's leader= hint when it names
+// one) and retry until the failover window closes. With a single
+// configured address the window is zero and calls behave exactly as
+// the pre-HA clients did: one attempt, errors surface immediately.
+
+import (
+	"errors"
+	"net"
+	"net/rpc"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	// failoverWindow bounds how long a call keeps retrying across a
+	// multi-address book — long enough to ride out a leader election,
+	// short enough that a dead deployment still fails.
+	failoverWindow = 20 * time.Second
+	// failoverPause spaces retries so a mid-election deployment is
+	// not hammered.
+	failoverPause = 50 * time.Millisecond
+	// bookDialTimeout bounds each dial attempt.
+	bookDialTimeout = 2 * time.Second
+)
+
+// notLeaderMarker is the redirect prefix the federation server puts
+// in scheduling refusals while a standby; the leader hint follows
+// "leader=" when known.
+const notLeaderMarker = "fed: not leader"
+
+// splitAddrs parses a comma-separated address list, trimming blanks.
+func splitAddrs(list string) []string {
+	var out []string
+	for _, a := range strings.Split(list, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+type dispatcherBook struct {
+	mu    sync.Mutex
+	addrs []string
+	cur   int
+	// client is the live connection; gen invalidates stale failure
+	// reports from concurrent callers.
+	client *rpc.Client
+	gen    int
+	// onConnect runs on every fresh connection before it serves calls
+	// (a server re-registers itself here so a new leader rebuilds its
+	// address book); a failure counts as a failed dial.
+	onConnect func(*rpc.Client) error
+}
+
+func newDispatcherBook(list string, onConnect func(*rpc.Client) error) *dispatcherBook {
+	return &dispatcherBook{addrs: splitAddrs(list), onConnect: onConnect}
+}
+
+// multi reports whether failover applies (more than one address).
+func (b *dispatcherBook) multi() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.addrs) > 1
+}
+
+// conn returns the live connection, dialing through the address list
+// once if needed.
+func (b *dispatcherBook) conn() (*rpc.Client, int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client != nil {
+		return b.client, b.gen, nil
+	}
+	var firstErr error
+	for range b.addrs {
+		addr := b.addrs[b.cur]
+		nc, err := net.DialTimeout("tcp", addr, bookDialTimeout)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			b.cur = (b.cur + 1) % len(b.addrs)
+			continue
+		}
+		c := rpc.NewClient(nc)
+		if b.onConnect != nil {
+			if err := b.onConnect(c); err != nil {
+				c.Close()
+				if firstErr == nil {
+					firstErr = err
+				}
+				b.cur = (b.cur + 1) % len(b.addrs)
+				continue
+			}
+		}
+		b.client = c
+		b.gen++
+		return c, b.gen, nil
+	}
+	return nil, 0, firstErr
+}
+
+// fail drops the connection generation gen and advances the cursor —
+// to the redirect hint's address when given, else to the next in the
+// list. Stale reports (another caller already rotated) are ignored.
+func (b *dispatcherBook) fail(gen int, hint string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if gen != b.gen || b.client == nil {
+		return
+	}
+	b.client.Close()
+	b.client = nil
+	if hint != "" {
+		for i, a := range b.addrs {
+			if a == hint {
+				b.cur = i
+				return
+			}
+		}
+		// A hint outside the configured list still names the leader:
+		// adopt it.
+		b.addrs = append(b.addrs, hint)
+		b.cur = len(b.addrs) - 1
+		return
+	}
+	b.cur = (b.cur + 1) % len(b.addrs)
+}
+
+// classifyFailover splits call errors into retriable ones (transport
+// failures and not-leader redirects, with the redirect's leader hint
+// when present) and delivered application errors, which are final.
+func classifyFailover(err error) (hint string, retriable bool) {
+	var se rpc.ServerError
+	if !errors.As(err, &se) {
+		return "", true // transport: dispatcher may have moved
+	}
+	msg := se.Error()
+	if !strings.Contains(msg, notLeaderMarker) {
+		return "", false
+	}
+	if i := strings.Index(msg, "leader="); i >= 0 {
+		h := strings.TrimSpace(msg[i+len("leader="):])
+		if j := strings.IndexAny(h, " ;,"); j >= 0 {
+			h = h[:j]
+		}
+		hint = h
+	}
+	return hint, true
+}
+
+// Call invokes method with failover: transport failures and
+// not-leader redirects rotate the book and retry until the window
+// closes. Single-address books make exactly one attempt.
+func (b *dispatcherBook) Call(method string, args, reply any) error {
+	var deadline time.Time
+	if b.multi() {
+		deadline = time.Now().Add(failoverWindow)
+	} else {
+		deadline = time.Now()
+	}
+	for {
+		c, gen, err := b.conn()
+		if err == nil {
+			err = c.Call(method, args, reply)
+			if err == nil {
+				return nil
+			}
+			hint, retriable := classifyFailover(err)
+			if !retriable {
+				return err
+			}
+			b.fail(gen, hint)
+		}
+		if !time.Now().Before(deadline) {
+			return err
+		}
+		time.Sleep(failoverPause)
+	}
+}
+
+// tryCall makes exactly one attempt, rotating the book on a
+// retriable failure so the next call finds the new leader — for
+// periodic best-effort traffic that must not block on an election.
+func (b *dispatcherBook) tryCall(method string, args, reply any) error {
+	c, gen, err := b.conn()
+	if err != nil {
+		return err
+	}
+	err = c.Call(method, args, reply)
+	if err == nil {
+		return nil
+	}
+	if hint, retriable := classifyFailover(err); retriable {
+		b.fail(gen, hint)
+	}
+	return err
+}
+
+// Close drops the live connection.
+func (b *dispatcherBook) Close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.client != nil {
+		b.client.Close()
+		b.client = nil
+	}
+}

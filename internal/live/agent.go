@@ -6,6 +6,7 @@ import (
 	"net"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"casched/internal/agent"
 	"casched/internal/cluster"
@@ -50,10 +51,13 @@ type AgentConfig struct {
 	// a sharded cluster.
 	IntakeRate  float64
 	IntakeBurst float64
-	// Join, when non-empty, is a federation dispatcher's RPC address:
-	// after listening, the agent announces itself with Fed.Join and
-	// serves as a federation member (its "Member" RPC service drives
-	// the core). Joining requires a single core (Shards <= 1).
+	// Join, when non-empty, is a comma-separated list of federation
+	// dispatcher RPC addresses: after listening, the agent announces
+	// itself with Fed.Join to each (a replicated-dispatcher deployment
+	// lists the leader and every standby so all of them track the
+	// member) and serves as a federation member (its "Member" RPC
+	// service drives the core). Joining requires a single core
+	// (Shards <= 1). Startup fails only when every address refuses.
 	Join string
 	// RelayOff disables the federation event relay ledger on a
 	// single-core agent. By default a live single-core agent keeps the
@@ -94,6 +98,16 @@ type Agent struct {
 	addrs map[string]string // server name -> RPC address
 	conns map[net.Conn]struct{}
 	done  bool
+	// fence is the leader-election fencing watermark: the highest
+	// dispatcher term seen on a mutating member call. Calls carrying a
+	// lower (non-zero) term are refused — a deposed leader cannot
+	// place work here after a standby took over.
+	fence uint64
+
+	// joined are the dispatcher addresses this member announced itself
+	// to; name is the member name used (for Fed.Leave).
+	joined []string
+	name   string
 
 	lis net.Listener
 	srv *rpc.Server
@@ -183,9 +197,20 @@ func StartAgent(cfg AgentConfig) (*Agent, error) {
 		if name == "" {
 			name = a.Addr()
 		}
-		if err := join(cfg.Join, JoinArgs{Name: name, Addr: a.Addr(), Heuristic: cfg.Scheduler.Name()}); err != nil {
+		a.name = name
+		var firstErr error
+		for _, da := range splitAddrs(cfg.Join) {
+			if err := join(da, JoinArgs{Name: name, Addr: a.Addr(), Heuristic: cfg.Scheduler.Name()}); err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+				continue
+			}
+			a.joined = append(a.joined, da)
+		}
+		if len(a.joined) == 0 {
 			lis.Close()
-			return nil, err
+			return nil, firstErr
 		}
 	}
 	return a, nil
@@ -208,6 +233,50 @@ func (a *Agent) Close() error {
 	a.conns = make(map[net.Conn]struct{})
 	a.mu.Unlock()
 	return err
+}
+
+// admitTerm enforces the leader-election fence on a mutating member
+// call: zero terms are always admitted (HA off, or a legacy
+// dispatcher), a term at or above the watermark raises it, a lower
+// term is refused. The refusal travels as an rpc.ServerError — a
+// delivered answer, not a transport failure, so the caller neither
+// evicts this member nor reroutes the task.
+func (a *Agent) admitTerm(term uint64) error {
+	if term == 0 {
+		return nil
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if term < a.fence {
+		return fmt.Errorf("live: stale leader term %d (member fenced at %d)", term, a.fence)
+	}
+	a.fence = term
+	return nil
+}
+
+// Leave gracefully departs the federation: each joined dispatcher is
+// told Fed.Leave (so it re-homes this member's server partition to
+// the survivors), then the member drains — waits, up to timeout, for
+// its in-flight work to complete; completions still route here until
+// it does. Errors from dispatchers that are unreachable or predate
+// the Leave protocol are ignored: eviction cleans up after them.
+func (a *Agent) Leave(timeout time.Duration) {
+	a.mu.Lock()
+	joined, name := a.joined, a.name
+	a.mu.Unlock()
+	for _, da := range joined {
+		leave(da, LeaveArgs{Name: name})
+	}
+	if a.core == nil {
+		return
+	}
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if a.core.LoadSummary().InFlight == 0 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
 }
 
 // Core exposes the single shared core, or nil when the agent runs

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/rpc"
 	"sync"
+	"time"
 
 	"casched/internal/metrics"
 	"casched/internal/task"
@@ -14,15 +15,22 @@ import (
 // and then performs the blocking submit RPC — one concurrent client
 // request per task, like the paper's metatask submissions. It returns
 // per-task results comparable with the simulator's.
+//
+// agentAddr may be a comma-separated list of dispatcher addresses
+// (leader plus standbys of a replicated federation): scheduling calls
+// then fail over — transport errors and not-leader redirects rotate
+// to the next dispatcher and retry — so a metatask survives the
+// leader dying mid-run. Replayed requests are safe: the promoted
+// leader answers already-placed tasks from its replicated placed map.
 func RunMetatask(agentAddr string, mt *task.Metatask, clock *Clock) ([]metrics.TaskResult, error) {
 	if err := mt.Validate(); err != nil {
 		return nil, fmt.Errorf("live: %w", err)
 	}
-	agent, err := rpc.Dial("tcp", agentAddr)
-	if err != nil {
+	book := newDispatcherBook(agentAddr, nil)
+	defer book.Close()
+	if _, _, err := book.conn(); err != nil {
 		return nil, fmt.Errorf("live: client dial agent: %w", err)
 	}
-	defer agent.Close()
 
 	results := make([]metrics.TaskResult, mt.Len())
 	errs := make([]error, mt.Len())
@@ -60,11 +68,28 @@ func RunMetatask(agentAddr string, mt *task.Metatask, clock *Clock) ([]metrics.T
 			arrival := clock.Now()
 			results[i] = metrics.TaskResult{ID: t.ID, Arrival: arrival}
 
+			// A freshly promoted dispatcher can answer from its
+			// replicated placed map before the executing server has
+			// re-registered its address; retry until the address book
+			// catches up (multi-dispatcher deployments only).
 			var rep ScheduleReply
-			err := agent.Call("Agent.Schedule", ScheduleArgs{
-				TaskKey: t.ID, Problem: t.Spec.Problem, Variant: t.Spec.Variant,
-				Arrival: arrival, Tenant: t.Tenant, Deadline: t.Deadline,
-			}, &rep)
+			var err error
+			deadline := time.Now()
+			if book.multi() {
+				deadline = time.Now().Add(failoverWindow)
+			}
+			for {
+				rep = ScheduleReply{}
+				err = book.Call("Agent.Schedule", ScheduleArgs{
+					TaskKey: t.ID, Problem: t.Spec.Problem, Variant: t.Spec.Variant,
+					Arrival: arrival, Tenant: t.Tenant, Deadline: t.Deadline,
+				}, &rep)
+				if err == nil && rep.Addr == "" && time.Now().Before(deadline) {
+					time.Sleep(failoverPause)
+					continue
+				}
+				break
+			}
 			if err != nil {
 				errs[i] = fmt.Errorf("live: schedule task %d: %w", t.ID, err)
 				return

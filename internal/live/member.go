@@ -84,6 +84,9 @@ func (s *MemberService) Commit(args MemberCommitArgs, reply *MemberDecisionReply
 	if err != nil {
 		return err
 	}
+	if err := s.a.admitTerm(args.Task.Term); err != nil {
+		return err
+	}
 	req, err := memberRequest(args.Task)
 	if err != nil {
 		return err
@@ -100,6 +103,9 @@ func (s *MemberService) Commit(args MemberCommitArgs, reply *MemberDecisionReply
 func (s *MemberService) Submit(args MemberTaskArgs, reply *MemberDecisionReply) error {
 	core, err := s.memberCore()
 	if err != nil {
+		return err
+	}
+	if err := s.a.admitTerm(args.Term); err != nil {
 		return err
 	}
 	req, err := memberRequest(args)
@@ -128,6 +134,15 @@ func (s *MemberService) Submit(args MemberTaskArgs, reply *MemberDecisionReply) 
 func (s *MemberService) SubmitBatch(args MemberBatchArgs, reply *MemberBatchReply) error {
 	core, err := s.memberCore()
 	if err != nil {
+		return err
+	}
+	var term uint64
+	for _, t := range args.Tasks {
+		if t.Term > term {
+			term = t.Term
+		}
+	}
+	if err := s.a.admitTerm(term); err != nil {
 		return err
 	}
 	reqs := make([]agent.Request, len(args.Tasks))
@@ -258,6 +273,26 @@ func (s *MemberService) Relay(args MemberRelayArgs, reply *MemberRelayReply) err
 	return nil
 }
 
+// Partition lists the servers this member currently owns. A freshly
+// promoted dispatcher queries it to adopt the federation's real
+// partition before the servers re-register through the new leader.
+func (s *MemberService) Partition(_ Ack, reply *MemberPartitionReply) error {
+	core, err := s.memberCore()
+	if err != nil {
+		return err
+	}
+	reply.Servers = core.Servers()
+	return nil
+}
+
+// Fence raises the member's election fencing watermark — called by a
+// freshly promoted dispatcher on every member before it serves
+// clients, so a deposed leader's in-flight commits are refused even
+// if the new leader has not placed anything yet.
+func (s *MemberService) Fence(args MemberFenceArgs, _ *Ack) error {
+	return s.a.admitTerm(args.Term)
+}
+
 // joinTimeout bounds the dial and the Fed.Join RPC so a blackholed
 // dispatcher address fails agent startup instead of hanging it.
 const joinTimeout = 5 * time.Second
@@ -281,5 +316,24 @@ func join(dispatcherAddr string, args JoinArgs) error {
 		return nil
 	case <-timer.C:
 		return fmt.Errorf("live: join federation: no answer from %s within %s", dispatcherAddr, joinTimeout)
+	}
+}
+
+// leave announces this agent's graceful departure to one dispatcher.
+// Best-effort: unreachable dispatchers and ones predating Fed.Leave
+// ("can't find method") are simply skipped — eviction cleans up.
+func leave(dispatcherAddr string, args LeaveArgs) {
+	conn, err := net.DialTimeout("tcp", dispatcherAddr, joinTimeout)
+	if err != nil {
+		return
+	}
+	client := rpc.NewClient(conn)
+	defer client.Close()
+	call := client.Go("Fed.Leave", args, &Ack{}, make(chan *rpc.Call, 1))
+	timer := time.NewTimer(joinTimeout)
+	defer timer.Stop()
+	select {
+	case <-call.Done:
+	case <-timer.C:
 	}
 }

@@ -115,6 +115,12 @@ type MemberTaskArgs struct {
 	// decodes unchanged on both sides).
 	Tenant   string
 	Deadline float64
+	// Term is the dispatcher's leader-election fencing token. Members
+	// reject mutating calls carrying a term below their high-water
+	// mark, so a deposed leader cannot double-place after a standby
+	// takes over. Zero means unfenced (HA off, and the legacy wire
+	// shape, which gob decodes unchanged on both sides).
+	Term uint64
 }
 
 // MemberEvalReply is a member's provisional candidate for one
@@ -228,4 +234,62 @@ type MemberRelayReply struct {
 	From, To uint64
 	Resync   bool
 	Disabled bool
+}
+
+// High-availability wire types: dispatcher replication. Standby
+// dispatchers follow the member relay streams and elect a leader over
+// the "HA" RPC service each HA-enabled dispatcher exposes; members
+// fence mutating calls by election term; agents announce graceful
+// departure with "Fed.Leave". All additions are gob-backward
+// compatible — old peers never see the new methods, and the new
+// fields decode as zero from old peers.
+
+// HAVoteArgs solicits one election vote (ha.VoteArgs on the wire).
+type HAVoteArgs struct {
+	Candidate string
+	Term      uint64
+}
+
+// HAVoteReply grants or refuses the vote.
+type HAVoteReply struct {
+	Granted bool
+	Term    uint64
+}
+
+// HAHeartbeatArgs asserts the leader's lease for Term; Addr is the
+// client-facing address followers hand out as the failover hint, and
+// Resign announces a voluntary step-down.
+type HAHeartbeatArgs struct {
+	Leader string
+	Addr   string
+	Term   uint64
+	Resign bool
+}
+
+// HAHeartbeatReply acknowledges the lease; OK=false with a higher
+// Term deposes a stale leader.
+type HAHeartbeatReply struct {
+	OK   bool
+	Term uint64
+}
+
+// LeaveArgs announces a member's graceful departure: the dispatcher
+// re-homes its server partition to the survivors while the leaver
+// drains its in-flight work.
+type LeaveArgs struct {
+	Name string
+}
+
+// MemberPartitionReply lists the servers a member currently owns —
+// queried by a freshly promoted dispatcher to adopt the real
+// partition before servers re-register.
+type MemberPartitionReply struct {
+	Servers []string
+}
+
+// MemberFenceArgs raises the member's fencing watermark to Term at
+// promotion time, closing the window before the new leader's first
+// mutating call.
+type MemberFenceArgs struct {
+	Term uint64
 }

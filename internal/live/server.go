@@ -17,7 +17,12 @@ type ServerConfig struct {
 	// under this name, as a NetSolve server knows its local problem
 	// implementations.
 	Name string
-	// AgentAddr is the agent's RPC address.
+	// AgentAddr is the agent's RPC address — or a comma-separated list
+	// of dispatcher addresses (leader plus standbys of a replicated
+	// federation). With a list, agent calls fail over: a transport
+	// error or not-leader redirect rotates to the next address and
+	// re-registers through it, so a freshly promoted leader rebuilds
+	// its name→address book from the surviving servers.
 	AgentAddr string
 	// Clock is the shared experiment clock.
 	Clock *Clock
@@ -45,7 +50,7 @@ type Server struct {
 	lis  net.Listener
 	rpc  *rpc.Server
 
-	agent *rpc.Client
+	agent *dispatcherBook
 
 	mu    sync.Mutex
 	noise *stats.RNG
@@ -93,17 +98,31 @@ func StartServer(cfg ServerConfig) (*Server, error) {
 	}
 	go s.serve()
 
-	agent, err := rpc.Dial("tcp", cfg.AgentAddr)
-	if err != nil {
-		s.Close()
-		return nil, fmt.Errorf("live: server dial agent: %w", err)
+	// Registration rides on every fresh connection: after a failover
+	// the server re-registers through the new dispatcher, which both
+	// rebuilds the leader's address book and (idempotently) re-asserts
+	// partition membership.
+	reg := RegisterArgs{Name: cfg.Name, Addr: lis.Addr().String(), Problems: cfg.Problems}
+	s.agent = newDispatcherBook(cfg.AgentAddr, func(c *rpc.Client) error {
+		return c.Call("Agent.Register", reg, &Ack{})
+	})
+	// First registration: with a multi-dispatcher book, ride out an
+	// in-progress election; a single address keeps the pre-HA fail-fast
+	// behavior.
+	deadline := time.Now()
+	if s.agent.multi() {
+		deadline = time.Now().Add(failoverWindow)
 	}
-	s.agent = agent
-	if err := agent.Call("Agent.Register", RegisterArgs{
-		Name: cfg.Name, Addr: lis.Addr().String(), Problems: cfg.Problems,
-	}, &Ack{}); err != nil {
-		s.Close()
-		return nil, fmt.Errorf("live: server register: %w", err)
+	for {
+		_, _, err := s.agent.conn()
+		if err == nil {
+			break
+		}
+		if !time.Now().Before(deadline) {
+			s.Close()
+			return nil, fmt.Errorf("live: server register: %w", err)
+		}
+		time.Sleep(failoverPause)
 	}
 
 	if cfg.ReportPeriod > 0 {
@@ -162,8 +181,10 @@ func (s *Server) reportLoop() {
 			return
 		case <-ticker.C:
 			args := LoadReportArgs{Name: s.cfg.Name, Load: s.exec.load(), At: s.cfg.Clock.Now()}
-			// A lost report is harmless; the next one supersedes it.
-			_ = s.agent.Call("Agent.LoadReport", args, &Ack{})
+			// A lost report is harmless; the next one supersedes it —
+			// but a failed one rotates the book, which is also how the
+			// server discovers a new leader between tasks.
+			_ = s.agent.tryCall("Agent.LoadReport", args, &Ack{})
 		}
 	}
 }
@@ -193,8 +214,10 @@ func (s *Server) submit(args SubmitArgs) (SubmitReply, error) {
 	completion := <-done
 
 	// Completion message to the agent (NetSolve's second load
-	// correction). Best effort: the reply to the client is the ground
-	// truth.
+	// correction). The reply to the client is the ground truth, but a
+	// replicated dispatcher needs the completion to drain its placed
+	// map, so this rides the failover path and reaches the new leader
+	// after a takeover.
 	_ = s.agent.Call("Agent.TaskDone", TaskDoneArgs{
 		TaskKey: args.TaskKey, Server: s.cfg.Name, At: completion,
 	}, &Ack{})

@@ -108,6 +108,114 @@ func TestDecisionReplyBothDirections(t *testing.T) {
 	}
 }
 
+// legacyTaskArgs is MemberTaskArgs as of the pre-HA wire (relay era):
+// no Term fencing token.
+type legacyTaskArgs struct {
+	JobID     int
+	TaskID    int
+	Attempt   int
+	Problem   string
+	Variant   int
+	Arrival   float64
+	Submitted float64
+	Tenant    string
+	Deadline  float64
+}
+
+// New dispatcher -> old member: the fencing term travels on the wire
+// and the old decoder must skip it; an old member simply cannot be
+// fenced, which the HA layer treats as best-effort.
+func TestTaskArgsNewToOld(t *testing.T) {
+	in := MemberTaskArgs{
+		JobID: 9, TaskID: 9, Attempt: 1, Problem: "wastecpu", Variant: 200,
+		Arrival: 12.5, Submitted: 12, Tenant: "gold", Deadline: 99, Term: 7,
+	}
+	var out legacyTaskArgs
+	gobRoundTrip(t, in, &out)
+	if out.JobID != 9 || out.Problem != "wastecpu" || out.Variant != 200 ||
+		out.Arrival != 12.5 || out.Tenant != "gold" || out.Deadline != 99 {
+		t.Fatalf("legacy decode mangled shared fields: %+v", out)
+	}
+}
+
+// Old dispatcher -> new member: Term is absent from the wire and must
+// decode as zero, which the member's fence admits unconditionally —
+// an unfenced legacy dispatcher keeps working against HA-aware
+// members.
+func TestTaskArgsOldToNew(t *testing.T) {
+	in := legacyTaskArgs{JobID: 4, TaskID: 4, Problem: "matmul", Variant: 100, Arrival: 3}
+	var out MemberTaskArgs
+	gobRoundTrip(t, in, &out)
+	if out.JobID != 4 || out.Problem != "matmul" || out.Variant != 100 || out.Arrival != 3 {
+		t.Fatalf("new decode mangled shared fields: %+v", out)
+	}
+	if out.Term != 0 {
+		t.Fatalf("Term must stay at gob zero from an old dispatcher: %d", out.Term)
+	}
+}
+
+// The HA election and membership types are new on the wire (old peers
+// never see the methods); pin that every field survives a gob round
+// trip so the election protocol cannot silently lose a term or flag.
+func TestHAWireRoundTrips(t *testing.T) {
+	{
+		in := HAVoteArgs{Candidate: "d2", Term: 41}
+		var out HAVoteArgs
+		gobRoundTrip(t, in, &out)
+		if out != in {
+			t.Fatalf("vote args: %+v", out)
+		}
+	}
+	{
+		in := HAVoteReply{Granted: true, Term: 41}
+		var out HAVoteReply
+		gobRoundTrip(t, in, &out)
+		if out != in {
+			t.Fatalf("vote reply: %+v", out)
+		}
+	}
+	{
+		in := HAHeartbeatArgs{Leader: "d1", Addr: "127.0.0.1:9", Term: 41, Resign: true}
+		var out HAHeartbeatArgs
+		gobRoundTrip(t, in, &out)
+		if out != in {
+			t.Fatalf("heartbeat args: %+v", out)
+		}
+	}
+	{
+		in := HAHeartbeatReply{OK: true, Term: 42}
+		var out HAHeartbeatReply
+		gobRoundTrip(t, in, &out)
+		if out != in {
+			t.Fatalf("heartbeat reply: %+v", out)
+		}
+	}
+	{
+		in := LeaveArgs{Name: "m2"}
+		var out LeaveArgs
+		gobRoundTrip(t, in, &out)
+		if out != in {
+			t.Fatalf("leave args: %+v", out)
+		}
+	}
+	{
+		in := MemberPartitionReply{Servers: []string{"artimon", "valette"}}
+		var out MemberPartitionReply
+		gobRoundTrip(t, in, &out)
+		if len(out.Servers) != 2 || out.Servers[0] != "artimon" || out.Servers[1] != "valette" {
+			t.Fatalf("partition reply: %+v", out)
+		}
+	}
+	{
+		in := MemberFenceArgs{Term: 41}
+		var out MemberFenceArgs
+		gobRoundTrip(t, in, &out)
+		if out != in {
+			t.Fatalf("fence args: %+v", out)
+		}
+	}
+}
+
 // The relay delta itself must be gob-encodable with all fields
 // surviving a round trip (new-to-new; old peers never call
 // Member.Relay, and the dispatcher classifies their "can't find

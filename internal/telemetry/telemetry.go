@@ -21,6 +21,7 @@ import (
 
 	"casched/internal/agent"
 	"casched/internal/fed"
+	"casched/internal/ha"
 )
 
 // Config names the metric sources. Nil fields are skipped, so an agent
@@ -36,6 +37,9 @@ type Config struct {
 	// Relay returns the dispatcher's relay counters
 	// (Dispatcher.RelayStats).
 	Relay func() fed.RelayStats
+	// HA returns a replicated dispatcher's election posture
+	// (fed.Server.HAStatus).
+	HA func() ha.Status
 }
 
 // Handler renders the configured sources as a Prometheus text page.
@@ -51,6 +55,9 @@ func Handler(cfg Config) http.Handler {
 		}
 		if cfg.Relay != nil {
 			WriteRelay(&b, cfg.Relay())
+		}
+		if cfg.HA != nil {
+			WriteHA(&b, cfg.HA())
 		}
 		io.WriteString(w, b.String())
 	})
@@ -236,4 +243,24 @@ func WriteRelay(w io.Writer, rs fed.RelayStats) {
 	p := &page{w: w}
 	p.sample("casched_fed_relay_events_folded_total", "counter", "Relay events folded into member views.", nil, float64(rs.EventsFolded))
 	p.sample("casched_fed_relay_routed_total", "counter", "Degraded-mode delegations priced by relay views.", nil, float64(rs.Delegated))
+}
+
+// WriteHA renders a replicated dispatcher's election posture: the
+// current term, whether this replica leads, the standby replication
+// lag behind each member's relay ledger, and the partition moves the
+// self-healing path performed.
+func WriteHA(w io.Writer, st ha.Status) {
+	p := &page{w: w}
+	p.sample("casched_ha_term", "gauge", "Current election term known to this replica.", nil, float64(st.Term))
+	p.sample("casched_ha_is_leader", "gauge", "1 when this replica holds the leader lease.", nil, boolGauge(st.IsLeader))
+	p.sample("casched_fed_reassigned_servers_total", "counter", "Server partition moves from graceful leaves and dead-member reassignment.", nil, float64(st.ReassignedServers))
+	members := make([]string, 0, len(st.StandbyLag))
+	for name := range st.StandbyLag {
+		members = append(members, name)
+	}
+	sort.Strings(members)
+	for _, name := range members {
+		l := [][2]string{{"member", name}}
+		p.sample("casched_ha_standby_lag_events", "gauge", "Relay-ledger events the standby mirror trails the member by.", l, float64(st.StandbyLag[name]))
+	}
 }

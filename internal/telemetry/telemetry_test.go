@@ -11,6 +11,7 @@ import (
 
 	"casched/internal/agent"
 	"casched/internal/fed"
+	"casched/internal/ha"
 )
 
 func sampleStats() agent.Stats {
@@ -98,6 +99,34 @@ func TestWriteMembersRelayGauges(t *testing.T) {
 	}
 	if strings.Index(out, `member="a"`) > strings.Index(out, `member="b"`) {
 		t.Errorf("member labels not sorted:\n%s", out)
+	}
+}
+
+func TestWriteHAGauges(t *testing.T) {
+	var b strings.Builder
+	WriteHA(&b, ha.Status{
+		ID: "da", Term: 3, IsLeader: true, ReassignedServers: 2,
+		StandbyLag: map[string]uint64{"m2": 4, "m1": 0},
+	})
+	out := b.String()
+	for _, want := range []string{
+		"casched_ha_term 3",
+		"casched_ha_is_leader 1",
+		"casched_fed_reassigned_servers_total 2",
+		`casched_ha_standby_lag_events{member="m1"} 0`,
+		`casched_ha_standby_lag_events{member="m2"} 4`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, `member="m1"`) > strings.Index(out, `member="m2"`) {
+		t.Errorf("lag labels not sorted:\n%s", out)
+	}
+	b.Reset()
+	WriteHA(&b, ha.Status{Term: 1})
+	if !strings.Contains(b.String(), "casched_ha_is_leader 0") {
+		t.Errorf("standby posture not rendered:\n%s", b.String())
 	}
 }
 
