@@ -243,6 +243,12 @@ func WithSeed(seed uint64) ClusterOption { return cluster.WithSeed(seed) }
 // pool (0 = GOMAXPROCS).
 func WithHTMWorkers(n int) ClusterOption { return cluster.WithHTMWorkers(n) }
 
+// WithHTMRetention bounds each shard's HTM trace history to the given
+// number of experiment seconds; zero keeps the unbounded paper
+// behavior. Long-lived deployments set this so completed-task records
+// are pruned as the trace advances.
+func WithHTMRetention(seconds float64) ClusterOption { return cluster.WithHTMRetention(seconds) }
+
 // WithHTMSync enables HTM↔execution synchronization (§7 extension).
 func WithHTMSync(on bool) ClusterOption { return cluster.WithHTMSync(on) }
 
@@ -725,6 +731,14 @@ func MatmulSpec(size int) *Spec { return task.Matmul(size) }
 // WasteCPUSpec returns the Table 4 spec for a parameter (200, 400 or
 // 600).
 func WasteCPUSpec(param int) *Spec { return task.WasteCPU(param) }
+
+// SyntheticSpec returns a registry-resolvable synthetic benchmark spec
+// — family 0..2 (base compute 40/80/160s) over a pool of n servers
+// named "sv00".."sv<n-1>" — whose cost map is derived from (family, n)
+// alone, so it reconstructs identically on the far side of the live
+// wire at any pool size. Large-testbed benchmarks use it to drive real
+// TCP federations beyond the paper's four named servers.
+func SyntheticSpec(family, n int) *Spec { return task.Synthetic(family, n) }
 
 // FinishSooner counts the tasks of run a that complete strictly before
 // their counterparts in run b (the paper's per-user quality-of-service

@@ -44,6 +44,7 @@ func main() {
 		burst     = flag.Float64("intake-burst", 0, "intake token-bucket burst capacity (0 = max(rate, 1))")
 		relay     = flag.Bool("relay", true, "keep the federation event relay ledger (single-core agents); -relay=false emulates a pre-relay member")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus GET /metrics on this address (empty = off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof under /debug/pprof/ on this address (empty = off; the same value as -metrics-addr shares one server)")
 		drainT    = flag.Duration("drain-timeout", 5*time.Second, "SIGTERM drain budget: wait for in-flight tasks, then leave the federation (with -join)")
 	)
 	flag.Parse()
@@ -86,13 +87,26 @@ func main() {
 	if *metrics != "" {
 		sc := casched.NewStatsCollector()
 		agent.Engine().Subscribe(sc.Collect)
-		msrv, err := casched.StartMetricsServer(*metrics, casched.MetricsConfig{Stats: sc.Snapshot})
+		cfg := casched.MetricsConfig{Stats: sc.Snapshot, Pprof: *pprofAddr == *metrics}
+		msrv, err := casched.StartMetricsServer(*metrics, cfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "casagent:", err)
 			os.Exit(1)
 		}
 		defer msrv.Close()
 		fmt.Printf("casagent: metrics on http://%s/metrics\n", msrv.Addr())
+		if cfg.Pprof {
+			fmt.Printf("casagent: pprof on http://%s/debug/pprof/\n", msrv.Addr())
+		}
+	}
+	if *pprofAddr != "" && *pprofAddr != *metrics {
+		psrv, err := casched.StartMetricsServer(*pprofAddr, casched.MetricsConfig{Pprof: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casagent:", err)
+			os.Exit(1)
+		}
+		defer psrv.Close()
+		fmt.Printf("casagent: pprof on http://%s/debug/pprof/\n", psrv.Addr())
 	}
 	switch {
 	case *joinAddr != "":

@@ -71,6 +71,7 @@ func main() {
 		relayIntv = flag.Duration("relay-interval", 100*time.Millisecond, "relay pull period (with -relay)")
 		relayMax  = flag.Int("relay-max-consec", 0, "max consecutive delegations to one member between relay advances (0 = default 8)")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus GET /metrics on this address (empty = off)")
+		pprofAddr = flag.String("pprof-addr", "", "serve net/http/pprof under /debug/pprof/ on this address (empty = off; the same value as -metrics-addr shares one server)")
 		haID      = flag.String("ha-id", "", "unique replica ID; enrolls this dispatcher in leader election (empty = single-dispatcher)")
 		haPeers   = flag.String("ha-peers", "", `peer replicas as "id=addr,id=addr" (with -ha-id)`)
 		haLease   = flag.Duration("ha-lease", 2*time.Second, "leader lease duration (with -ha-id)")
@@ -165,6 +166,7 @@ func main() {
 		if *haID != "" {
 			mcfg.HA = srv.HAStatus
 		}
+		mcfg.Pprof = *pprofAddr == *metrics
 		msrv, err := casched.StartMetricsServer(*metrics, mcfg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "casfed:", err)
@@ -172,6 +174,18 @@ func main() {
 		}
 		defer msrv.Close()
 		fmt.Printf("casfed: metrics on http://%s/metrics\n", msrv.Addr())
+		if mcfg.Pprof {
+			fmt.Printf("casfed: pprof on http://%s/debug/pprof/\n", msrv.Addr())
+		}
+	}
+	if *pprofAddr != "" && *pprofAddr != *metrics {
+		psrv, err := casched.StartMetricsServer(*pprofAddr, casched.MetricsConfig{Pprof: true})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "casfed:", err)
+			os.Exit(1)
+		}
+		defer psrv.Close()
+		fmt.Printf("casfed: pprof on http://%s/debug/pprof/\n", psrv.Addr())
 	}
 
 	sig := make(chan os.Signal, 1)

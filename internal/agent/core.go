@@ -79,6 +79,11 @@ type Config struct {
 	// HTMWorkers bounds the HTM's candidate-evaluation worker pool
 	// (0 = GOMAXPROCS).
 	HTMWorkers int
+	// HTMRetention bounds the HTM trace history (htm.WithRetention):
+	// completed-job records older than this many experiment seconds are
+	// pruned as the trace advances, keeping a long-lived deployment's
+	// memory bounded. Zero keeps the paper's unbounded behavior.
+	HTMRetention float64
 	// TenantShares, when non-nil, turns on fair-share arbitration of
 	// multi-tenant batches: SubmitBatch offers tasks to the heuristic
 	// in weighted fair-clock order across tenants (see internal/fair)
@@ -280,6 +285,15 @@ type Core struct {
 	// the federation event relay (Config.Relay). Appends happen under
 	// c.mu so ledger sequence order matches commit order.
 	relayLog *relay.Ledger
+
+	// Decision-path scratch, reused across submits under c.mu: the
+	// candidate filter buffer, the heuristic context (whose PredBuf the
+	// prediction path grows in place) and the task header handed to the
+	// heuristic. Single-submit decisions allocate nothing from these
+	// once they have grown to the working-set size.
+	candScratch []string
+	evalCtx     sched.Context
+	evalTask    task.Task
 }
 
 // New constructs a Core with no servers; drivers add membership with
@@ -329,6 +343,9 @@ func New(cfg Config) (*Core, error) {
 		}
 		if cfg.HTMMemory {
 			opts = append(opts, htm.WithMemoryModel())
+		}
+		if cfg.HTMRetention > 0 {
+			opts = append(opts, htm.WithRetention(cfg.HTMRetention))
 		}
 		c.htmMgr = htm.New(nil, opts...)
 	}
@@ -556,7 +573,7 @@ func (c *Core) submitBatchMatchedLocked(reqs []Request, ev sched.Evaluator, cach
 	items := make([]sched.BatchItem, len(reqs))
 	pending := make([]int, 0, len(reqs))
 	for i, req := range reqs {
-		candidates, submitted, err := c.filterRequestLocked(req)
+		candidates, submitted, err := c.filterRequestLocked(req, nil)
 		if err != nil {
 			fail(i, err)
 			continue
@@ -661,12 +678,18 @@ func (c *Core) submitLocked(req Request, ev sched.Evaluator) (Decision, error) {
 // greedy and matched decision paths: spec validation, candidate
 // filtering over the registered servers, and the submitted-date
 // default. Both paths must agree on it, or matched batches and single
-// Submits would see different candidate sets. Caller holds c.mu.
-func (c *Core) filterRequestLocked(req Request) (candidates []string, submitted float64, err error) {
+// Submits would see different candidate sets. The candidate list is
+// appended into buf (truncated first); callers whose list must survive
+// the decision pass nil, callers on the single-submit hot path thread
+// the core's reusable scratch through. Caller holds c.mu.
+func (c *Core) filterRequestLocked(req Request, buf []string) (candidates []string, submitted float64, err error) {
 	if req.Spec == nil {
 		return nil, 0, fmt.Errorf("agent: job %d has no spec", req.JobID)
 	}
-	candidates = make([]string, 0, len(c.order))
+	if buf == nil {
+		buf = make([]string, 0, len(c.order))
+	}
+	candidates = buf[:0]
 	for _, name := range c.order {
 		if _, ok := req.Spec.Cost(name); ok {
 			candidates = append(candidates, name)
@@ -686,26 +709,31 @@ func (c *Core) filterRequestLocked(req Request) (candidates []string, submitted 
 // committing anything: no HTM placement, no belief correction, no
 // event. Caller holds c.mu.
 func (c *Core) evaluateLocked(req Request, ev sched.Evaluator) (Candidate, error) {
-	candidates, submitted, err := c.filterRequestLocked(req)
+	candidates, submitted, err := c.filterRequestLocked(req, c.candScratch)
 	if err != nil {
 		return Candidate{}, err
 	}
+	c.candScratch = candidates
 	// Admission runs before the heuristic, so shedding never consumes
 	// decision randomness: with admission off (or no deadline) the
 	// heuristic sees exactly the historical call sequence.
 	if err := c.admitDeadlineLocked(req, candidates, ev); err != nil {
 		return Candidate{}, err
 	}
-	ctx := &sched.Context{
-		Now: req.Arrival,
-		Task: &task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted,
-			Tenant: req.Tenant, Deadline: req.Deadline},
+	c.evalTask = task.Task{ID: req.TaskID, Spec: req.Spec, Arrival: submitted,
+		Tenant: req.Tenant, Deadline: req.Deadline}
+	predBuf := c.evalCtx.PredBuf
+	c.evalCtx = sched.Context{
+		Now:        req.Arrival,
+		Task:       &c.evalTask,
 		JobID:      req.JobID,
 		Candidates: candidates,
 		HTM:        ev,
 		Info:       coreLoadInfo{c},
 		RNG:        c.rng,
+		PredBuf:    predBuf,
 	}
+	ctx := &c.evalCtx
 	var out Candidate
 	if ss, ok := c.cfg.Scheduler.(sched.ScoredScheduler); ok {
 		choice, err := ss.ChooseScored(ctx)

@@ -145,6 +145,13 @@ func WithSeed(seed uint64) Option { return func(c *Config) { c.Core.Seed = seed 
 // (0 = GOMAXPROCS).
 func WithHTMWorkers(n int) Option { return func(c *Config) { c.Core.HTMWorkers = n } }
 
+// WithHTMRetention bounds each shard's HTM trace history to the given
+// number of experiment seconds (see agent.Config.HTMRetention); zero
+// keeps the unbounded paper behavior.
+func WithHTMRetention(seconds float64) Option {
+	return func(c *Config) { c.Core.HTMRetention = seconds }
+}
+
 // WithHTMSync enables HTM↔execution synchronization on every shard.
 func WithHTMSync(on bool) Option { return func(c *Config) { c.Core.HTMSync = on } }
 
@@ -279,6 +286,24 @@ type Cluster struct {
 	emu     sync.Mutex
 	subs    map[int]func(agent.Event)
 	nextSub int
+
+	// Persistent fan-out workers: one goroutine per shard, fed through
+	// fanChans with pointers into the reused fanCalls arena, so the
+	// per-submit fan-out neither spawns goroutines nor allocates result
+	// slices. Started lazily on the first multi-shard fan-out (fanOnce);
+	// single-shard clusters never start them. Close stops them.
+	fanOnce  sync.Once
+	fanChans []chan *fanoutCall
+	fanCalls []fanoutCall
+	fanWG    sync.WaitGroup
+}
+
+// fanoutCall is one shard's slot in the reused fan-out arena.
+type fanoutCall struct {
+	req  agent.Request
+	cand agent.Candidate
+	err  error
+	wg   *sync.WaitGroup
 }
 
 // New constructs a Cluster from functional options.
@@ -606,27 +631,23 @@ func (cl *Cluster) submitRotateLocked(req agent.Request) (agent.Decision, error)
 // excludes only its own partition from the candidate set. Shard errors
 // surface only when every shard fails.
 func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, error) {
-	type result struct {
-		cand agent.Candidate
-		err  error
-	}
-	results := make([]result, len(cl.shards))
-	var wg sync.WaitGroup
+	cl.fanOnce.Do(cl.startFanoutWorkers)
+	cl.fanWG.Add(len(cl.shards))
 	for i := range cl.shards {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			c, err := cl.shards[i].Evaluate(req)
-			results[i] = result{c, err}
-		}(i)
+		c := &cl.fanCalls[i]
+		c.req = req
+		c.cand, c.err = agent.Candidate{}, nil
+		c.wg = &cl.fanWG
+		cl.fanChans[i] <- c
 	}
-	wg.Wait()
+	cl.fanWG.Wait()
 
 	winner := -1
 	deadlineBlocked := false
 	var best agent.Candidate
 	var errs []error
-	for i, r := range results {
+	for i := range cl.fanCalls {
+		r := &cl.fanCalls[i]
 		if r.err != nil {
 			switch {
 			case errors.Is(r.err, agent.ErrDeadlineUnmet):
@@ -660,6 +681,40 @@ func (cl *Cluster) submitFanoutLocked(req agent.Request) (agent.Decision, int, e
 	}
 	cl.notePlacedLocked(req.JobID, winner, req.Arrival)
 	return dec, winner, nil
+}
+
+// startFanoutWorkers launches the persistent per-shard evaluation
+// workers. Each worker serves one shard for the dispatcher's lifetime,
+// so a submit's fan-out costs len(shards) channel sends on warm
+// goroutines rather than len(shards) goroutine spawns plus a results
+// slice. Called exactly once, under cl.mu, via fanOnce.
+func (cl *Cluster) startFanoutWorkers() {
+	cl.fanCalls = make([]fanoutCall, len(cl.shards))
+	cl.fanChans = make([]chan *fanoutCall, len(cl.shards))
+	for i := range cl.shards {
+		ch := make(chan *fanoutCall)
+		cl.fanChans[i] = ch
+		core := cl.shards[i]
+		go func() {
+			for call := range ch {
+				call.cand, call.err = core.Evaluate(call.req)
+				call.wg.Done()
+			}
+		}()
+	}
+}
+
+// Close stops the persistent fan-out workers, if any were started. The
+// dispatcher must not be used after Close; it is safe to call on a
+// dispatcher that never fanned out (including single-shard clusters)
+// and safe to call at most once.
+func (cl *Cluster) Close() {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	for _, ch := range cl.fanChans {
+		close(ch)
+	}
+	cl.fanChans = nil
 }
 
 // SubmitBatch routes a burst of simultaneous arrivals hierarchically

@@ -47,6 +47,18 @@ type Remote struct {
 	// per handle. A rejoin creates a fresh Remote, re-probing.
 	relayUnsupported bool
 
+	// wire is the negotiated framed connection carrying the hot member
+	// RPCs (Evaluate/Commit/Submit/SubmitBatch/Summary/Relay) with a
+	// pipelined request window; everything else stays on gob. Nil until
+	// the Member.WireCaps probe succeeds. wireUnsupported caches the
+	// definitive negotiated-down answer (a member predating WireCaps,
+	// or one reporting an incompatible frame version) so an old gob
+	// peer is probed at most once per handle; forceGob pins the handle
+	// to gob regardless, for parity tests and rollback.
+	wire            *live.FrameClient
+	wireUnsupported bool
+	forceGob        bool
+
 	// termSource, when set, stamps every mutating call with the
 	// dispatcher's current leader term — the fencing token HA-aware
 	// members check commits against. Nil (and a zero stamp) outside HA
@@ -159,6 +171,101 @@ func (r *Remote) call(method string, args, reply any) error {
 	}
 }
 
+// ForceGob pins the handle to the legacy gob wire, skipping framed
+// negotiation entirely. Must be called before the Remote is handed to
+// a Dispatcher; parity tests use it to compare the two protocols.
+func (r *Remote) ForceGob() {
+	r.mu.Lock()
+	r.forceGob = true
+	r.mu.Unlock()
+}
+
+// wireClient returns the framed connection for the hot member RPCs,
+// negotiating it on first use: a gob Member.WireCaps probe decides
+// whether the member speaks the framed protocol. Members that predate
+// the method (rpc "can't find method") or report an older frame
+// version are remembered as gob-only; transient probe or dial failures
+// return nil without caching, so the next call re-probes. Never blocks
+// past the member timeout.
+func (r *Remote) wireClient() *live.FrameClient {
+	r.mu.Lock()
+	if r.forceGob || r.wireUnsupported {
+		r.mu.Unlock()
+		return nil
+	}
+	if r.wire != nil {
+		w := r.wire
+		r.mu.Unlock()
+		return w
+	}
+	r.mu.Unlock()
+
+	var reply live.MemberWireCapsReply
+	if err := r.call("Member.WireCaps", live.Ack{}, &reply); err != nil {
+		if missingMethod(err) {
+			r.mu.Lock()
+			r.wireUnsupported = true
+			r.mu.Unlock()
+		}
+		return nil
+	}
+	if reply.FrameVersion < live.FrameVersion {
+		r.mu.Lock()
+		r.wireUnsupported = true
+		r.mu.Unlock()
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", r.addr, r.timeout)
+	if err != nil {
+		return nil
+	}
+	fc, err := live.NewFrameClient(conn, r.timeout)
+	if err != nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.wire == nil {
+		r.wire = fc
+	} else {
+		// A concurrent caller won the race; keep its connection.
+		go fc.Close()
+	}
+	w := r.wire
+	r.mu.Unlock()
+	return w
+}
+
+// resetWire drops the framed connection so the next hot call
+// renegotiates, mirroring reset on the gob side.
+func (r *Remote) resetWire(w *live.FrameClient) {
+	r.mu.Lock()
+	if r.wire == w {
+		r.wire = nil
+	}
+	r.mu.Unlock()
+	if w != nil {
+		w.Close()
+	}
+}
+
+// wireErr classifies a framed-call failure with exactly the gob
+// taxonomy: a WireError is a delivered server-side answer (keep the
+// connection, no transport sentinel); a timeout wraps
+// ErrUncertain+ErrTimeout; any other transport failure wraps
+// ErrUncertain. Transport-class failures drop the framed connection so
+// the next call renegotiates.
+func (r *Remote) wireErr(w *live.FrameClient, method string, err error) error {
+	var we live.WireError
+	if errors.As(err, &we) {
+		return fmt.Errorf("fed: member %s: %s", r.name, string(we))
+	}
+	r.resetWire(w)
+	if errors.Is(err, live.ErrWireTimeout) {
+		return fmt.Errorf("fed: member %s: %s: %w: %w", r.name, method, ErrUncertain, ErrTimeout)
+	}
+	return fmt.Errorf("fed: member %s: %w: %w", r.name, ErrUncertain, err)
+}
+
 // wireEquivalent reports whether a spec matches the registry
 // definition the member will resolve from its (Problem, Variant)
 // key. A spec that reuses a registry key but carries rewritten costs
@@ -225,7 +332,11 @@ func (r *Remote) Evaluate(req agent.Request) (agent.Candidate, error) {
 		return agent.Candidate{}, err
 	}
 	var reply live.MemberEvalReply
-	if err := r.call("Member.Evaluate", args, &reply); err != nil {
+	if w := r.wireClient(); w != nil {
+		if reply, err = w.Evaluate(&args); err != nil {
+			return agent.Candidate{}, r.wireErr(w, "Member.Evaluate", err)
+		}
+	} else if err := r.call("Member.Evaluate", args, &reply); err != nil {
 		return agent.Candidate{}, err
 	}
 	if reply.Unschedulable {
@@ -244,7 +355,11 @@ func (r *Remote) Commit(req agent.Request, server string) (agent.Decision, error
 	}
 	args.Term = r.term()
 	var reply live.MemberDecisionReply
-	if err := r.call("Member.Commit", live.MemberCommitArgs{Task: args, Server: server}, &reply); err != nil {
+	if w := r.wireClient(); w != nil {
+		if reply, err = w.Commit(&live.MemberCommitArgs{Task: args, Server: server}); err != nil {
+			return agent.Decision{}, r.wireErr(w, "Member.Commit", err)
+		}
+	} else if err := r.call("Member.Commit", live.MemberCommitArgs{Task: args, Server: server}, &reply); err != nil {
 		return agent.Decision{}, err
 	}
 	return agent.Decision{JobID: req.JobID, Server: reply.Server,
@@ -258,7 +373,11 @@ func (r *Remote) Submit(req agent.Request) (agent.Decision, error) {
 	}
 	args.Term = r.term()
 	var reply live.MemberDecisionReply
-	if err := r.call("Member.Submit", args, &reply); err != nil {
+	if w := r.wireClient(); w != nil {
+		if reply, err = w.Submit(&args); err != nil {
+			return agent.Decision{}, r.wireErr(w, "Member.Submit", err)
+		}
+	} else if err := r.call("Member.Submit", args, &reply); err != nil {
 		return agent.Decision{}, err
 	}
 	if reply.Unschedulable {
@@ -283,7 +402,12 @@ func (r *Remote) SubmitBatch(reqs []agent.Request) ([]agent.Decision, error) {
 		args.Tasks[i] = t
 	}
 	var reply live.MemberBatchReply
-	if err := r.call("Member.SubmitBatch", args, &reply); err != nil {
+	if w := r.wireClient(); w != nil {
+		var err error
+		if reply, err = w.SubmitBatch(&args); err != nil {
+			return make([]agent.Decision, len(reqs)), r.wireErr(w, "Member.SubmitBatch", err)
+		}
+	} else if err := r.call("Member.SubmitBatch", args, &reply); err != nil {
 		return make([]agent.Decision, len(reqs)), err
 	}
 	out := make([]agent.Decision, len(reqs))
@@ -310,7 +434,12 @@ func (r *Remote) Report(server string, load, at float64) error {
 
 func (r *Remote) Summary() (Summary, error) {
 	var reply live.MemberSummaryReply
-	if err := r.call("Member.Summary", live.Ack{}, &reply); err != nil {
+	if w := r.wireClient(); w != nil {
+		var err error
+		if reply, err = w.Summary(); err != nil {
+			return Summary{}, r.wireErr(w, "Member.Summary", err)
+		}
+	} else if err := r.call("Member.Summary", live.Ack{}, &reply); err != nil {
 		return Summary{}, err
 	}
 	return Summary{InFlight: reply.InFlight, Servers: reply.Servers,
@@ -336,7 +465,14 @@ func (r *Remote) RelaySince(after uint64) (relay.Delta, bool, error) {
 		return relay.Delta{}, false, nil
 	}
 	var reply live.MemberRelayReply
-	if err := r.call("Member.Relay", live.MemberRelayArgs{Since: after}, &reply); err != nil {
+	if w := r.wireClient(); w != nil {
+		// A framed member necessarily has Member.Relay (it postdates it),
+		// so only Disabled can negotiate relay down here.
+		var err error
+		if reply, err = w.Relay(&live.MemberRelayArgs{Since: after}); err != nil {
+			return relay.Delta{}, false, r.wireErr(w, "Member.Relay", err)
+		}
+	} else if err := r.call("Member.Relay", live.MemberRelayArgs{Since: after}, &reply); err != nil {
 		var srvErr rpc.ServerError
 		if errors.As(err, &srvErr) && strings.Contains(string(srvErr), "can't find method") {
 			// An old member: the method does not exist. Remember, so the
@@ -411,6 +547,10 @@ func (r *Remote) Partition() ([]string, bool, error) {
 func (r *Remote) Close() error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	if r.wire != nil {
+		r.wire.Close()
+		r.wire = nil
+	}
 	if r.client != nil {
 		err := r.client.Close()
 		r.client = nil

@@ -179,6 +179,19 @@ type Sim struct {
 	// link, CPU, output link) had at least one active job — the
 	// utilization accounting behind the load-balance analysis.
 	busy [task.NumPhases]float64
+
+	// slab backs the job records of reusable projection clones
+	// (CloneLiveInto): while the slab has spare capacity, Add carves
+	// records out of it instead of the heap. Nil on ordinary sims.
+	slab []Job
+	// free recycles job records that PruneCompletedBefore retired, so a
+	// long-lived trace places new work without heap allocation. Disabled
+	// (never fed) once Clone has shared terminal records with a clone —
+	// recycling a shared record would mutate the clone's view.
+	free []*Job
+	// shared is set when Clone shared terminal job records out of this
+	// sim (or into it); it permanently disables record recycling.
+	shared bool
 }
 
 // New constructs a server simulation starting at time 0.
@@ -250,7 +263,22 @@ func (s *Sim) Add(id int, release float64, cost task.Cost, memoryMB float64) err
 	if release < s.now {
 		release = s.now
 	}
-	j := &Job{ID: id, Release: release, Cost: cost, MemoryMB: memoryMB, State: StateWaiting}
+	var j *Job
+	switch {
+	case len(s.slab) < cap(s.slab):
+		// Reusable clone: the slab was sized with one spare record for
+		// the candidate job, so this append cannot move the backing
+		// array out from under the pointers already handed out.
+		s.slab = append(s.slab, Job{})
+		j = &s.slab[len(s.slab)-1]
+	case len(s.free) > 0:
+		j = s.free[len(s.free)-1]
+		s.free[len(s.free)-1] = nil
+		s.free = s.free[:len(s.free)-1]
+	default:
+		j = new(Job)
+	}
+	*j = Job{ID: id, Release: release, Cost: cost, MemoryMB: memoryMB, State: StateWaiting}
 	j.Remaining[task.PhaseInput] = cost.Input
 	j.Remaining[task.PhaseCompute] = cost.Compute
 	j.Remaining[task.PhaseOutput] = cost.Output
@@ -383,6 +411,10 @@ func phaseOf(st State) task.Phase {
 // the current time, and returns the events that occurred in (now, t],
 // in chronological order.
 func (s *Sim) AdvanceTo(t float64) []Event { return s.advance(t, true) }
+
+// AdvanceToQuiet is AdvanceTo without the event log: callers that
+// discard the events (the HTM's trace clock) advance allocation-free.
+func (s *Sim) AdvanceToQuiet(t float64) { s.advance(t, false) }
 
 // advance implements AdvanceTo; with collect=false no event slice is
 // built, which keeps throwaway projections allocation-free.
@@ -587,6 +619,9 @@ func (s *Sim) Clone() *Sim {
 		jobs:         make([]*Job, len(s.jobs)),
 		live:         make([]*Job, 0, len(s.live)+1),
 	}
+	// Terminal records are now shared: neither side may recycle them.
+	s.shared = true
+	c.shared = true
 	for i, j := range s.jobs {
 		if j.State == StateDone || j.State == StateFailed {
 			c.jobs[i] = j // immutable once terminal; shared
@@ -623,6 +658,41 @@ func (s *Sim) CloneLive() *Sim {
 		c.live = append(c.live, &cp)
 	}
 	return c
+}
+
+// CloneLiveInto is CloneLive writing into a reusable destination sim:
+// the destination's job records live in a slab it owns, so a pooled
+// destination makes repeated candidate projections allocation-free once
+// its buffers have grown to the working-set size. A nil destination
+// allocates a fresh one. The returned sim is the destination.
+func (s *Sim) CloneLiveInto(dst *Sim) *Sim {
+	if dst == nil {
+		dst = &Sim{}
+	}
+	n := len(s.live)
+	// One spare record so Add can place the candidate job without
+	// growing (and thus moving) the slab.
+	if cap(dst.slab) < n+1 {
+		dst.slab = make([]Job, 0, 2*(n+1))
+	}
+	dst.cfg = s.cfg
+	dst.now = s.now
+	dst.collapsed = s.collapsed
+	dst.collapseTime = s.collapseTime
+	dst.busy = s.busy
+	dst.byID = nil
+	dst.free = nil
+	dst.shared = false
+	dst.slab = dst.slab[:n]
+	dst.jobs = dst.jobs[:0]
+	dst.live = dst.live[:0]
+	for i, j := range s.live {
+		dst.slab[i] = *j
+		p := &dst.slab[i]
+		dst.jobs = append(dst.jobs, p)
+		dst.live = append(dst.live, p)
+	}
+	return dst
 }
 
 // Completions returns the completion date of every finished job, keyed
@@ -672,9 +742,10 @@ func (s *Sim) Remove(id int) error {
 // jobs released before it. Live (waiting or active) jobs are never
 // touched, so pruning cannot change the simulation's trajectory or any
 // projection derived from it — it only forgets history. The removed
-// job ids are returned so callers can evict their own bookkeeping.
-func (s *Sim) PruneCompletedBefore(cutoff float64) []int {
-	var removed []int
+// job ids are appended to removed (a reusable caller buffer) and the
+// grown slice returned, so callers can evict their own bookkeeping
+// without a per-prune allocation.
+func (s *Sim) PruneCompletedBefore(cutoff float64, removed []int) []int {
 	kept := s.jobs[:0]
 	for _, j := range s.jobs {
 		prune := false
@@ -688,6 +759,9 @@ func (s *Sim) PruneCompletedBefore(cutoff float64) []int {
 			removed = append(removed, j.ID)
 			if s.byID != nil {
 				delete(s.byID, j.ID)
+			}
+			if !s.shared {
+				s.free = append(s.free, j)
 			}
 			continue
 		}

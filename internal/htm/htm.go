@@ -131,7 +131,7 @@ type serverTrace struct {
 	// baseline caches the projected completion date ρ_j of every job
 	// that was live when the projection ran; baselineGen is the gen it
 	// was computed at.
-	baseline    map[int]float64
+	baseline    *baselineSet
 	baselineGen uint64
 	// drain memoizes max over baseline of ρ_j (0 for an empty
 	// baseline), maintained by setBaseline so the ProjectedReady
@@ -140,13 +140,55 @@ type serverTrace struct {
 	drain float64
 }
 
+// baselineSet is a refcounted, pooled baseline projection. The trace
+// cache holds one reference; every evaluation snapshot that escapes the
+// Manager lock holds its own, so a concurrent recompute can replace the
+// cache without yanking the map out from under in-flight projections.
+// The map is recycled (cleared, buckets kept) when the last reference
+// drops, which is what keeps steady-state baseline refreshes from
+// allocating.
+type baselineSet struct {
+	m    map[int]float64
+	refs atomic.Int32
+}
+
+var baselinePool = sync.Pool{New: func() any { return &baselineSet{m: make(map[int]float64)} }}
+
+// newBaselineSet returns an empty set holding one reference.
+func newBaselineSet() *baselineSet {
+	b := baselinePool.Get().(*baselineSet)
+	b.refs.Store(1)
+	return b
+}
+
+func (b *baselineSet) acquire() *baselineSet { b.refs.Add(1); return b }
+
+func (b *baselineSet) release() {
+	if b.refs.Add(-1) == 0 {
+		clear(b.m)
+		baselinePool.Put(b)
+	}
+}
+
+// simPool recycles projection clones across decisions; a pooled clone
+// owns a job slab (fluid.CloneLiveInto), so once the pool is warm,
+// snapshotting and projecting a candidate does not touch the heap.
+var simPool = sync.Pool{New: func() any { return new(fluid.Sim) }}
+
+func getSim() *fluid.Sim  { return simPool.Get().(*fluid.Sim) }
+func putSim(s *fluid.Sim) { simPool.Put(s) }
+
 // setBaseline installs a freshly computed baseline projection and its
-// drain memo.
-func (tr *serverTrace) setBaseline(baseline map[int]float64, gen uint64) {
+// drain memo, taking ownership of one reference and dropping the
+// previous cache's.
+func (tr *serverTrace) setBaseline(baseline *baselineSet, gen uint64) {
+	if tr.baseline != nil {
+		tr.baseline.release()
+	}
 	tr.baseline = baseline
 	tr.baselineGen = gen
 	tr.drain = 0
-	for _, c := range baseline {
+	for _, c := range baseline.m {
 		if c > tr.drain {
 			tr.drain = c
 		}
@@ -171,9 +213,11 @@ type Manager struct {
 	workers     int
 
 	// retention is the completed-record window (WithRetention);
-	// lastPrune is the trace time of the last pruning pass.
-	retention float64
-	lastPrune float64
+	// lastPrune is the trace time of the last pruning pass, and
+	// pruneScratch the reusable removed-id buffer pruning fills.
+	retention    float64
+	lastPrune    float64
+	pruneScratch []int
 }
 
 // New constructs a Manager tracking the given servers. Unknown server
@@ -269,7 +313,7 @@ func (m *Manager) advanceLocked(t float64) float64 {
 		return m.now
 	}
 	for _, name := range m.order {
-		m.traces[name].sim.AdvanceTo(t)
+		m.traces[name].sim.AdvanceToQuiet(t)
 	}
 	m.now = t
 	m.pruneLocked()
@@ -288,7 +332,8 @@ func (m *Manager) pruneLocked() {
 	m.lastPrune = m.now
 	cutoff := m.now - m.retention
 	for _, name := range m.order {
-		for _, id := range m.traces[name].sim.PruneCompletedBefore(cutoff) {
+		m.pruneScratch = m.traces[name].sim.PruneCompletedBefore(cutoff, m.pruneScratch[:0])
+		for _, id := range m.pruneScratch {
 			delete(m.placements, id)
 		}
 	}
@@ -298,26 +343,30 @@ func (m *Manager) pruneLocked() {
 // recomputing it when the trace mutated since it was last taken.
 func (m *Manager) baselineLocked(tr *serverTrace) map[int]float64 {
 	if tr.baseline != nil && tr.baselineGen == tr.gen {
-		return tr.baseline
+		return tr.baseline.m
 	}
-	tr.setBaseline(projectClone(tr.sim.CloneLive()), tr.gen)
-	return tr.baseline
+	clone := tr.sim.CloneLiveInto(getSim())
+	b := newBaselineSet()
+	projectCloneInto(clone, b.m)
+	putSim(clone)
+	tr.setBaseline(b, tr.gen)
+	return tr.baseline.m
 }
 
-// projectClone runs a live-only clone (from CloneLive) to idle and
-// returns the projected completion date of every job that was live at
-// the clone. Jobs lost to a projected collapse are absent from the
-// result, as in fluid.Sim.ProjectedCompletions. The clone is consumed.
-func projectClone(clone *fluid.Sim) map[int]float64 {
-	live := append([]*fluid.Job(nil), clone.Live()...)
+// projectCloneInto runs a live-only clone (from CloneLive/CloneLiveInto)
+// to idle and records into out the projected completion date of every
+// job that was live at the clone. Jobs lost to a projected collapse are
+// absent from the result, as in fluid.Sim.ProjectedCompletions. The
+// clone is consumed; releasing it back to the pool is the caller's job.
+func projectCloneInto(clone *fluid.Sim, out map[int]float64) {
 	clone.RunToIdleQuiet(math.Inf(1))
-	out := make(map[int]float64, len(live))
-	for _, j := range live {
+	// A live-only clone's job list is exactly the set that was live when
+	// it was taken; no pre-run copy of Live() is needed.
+	for _, j := range clone.Jobs() {
 		if c, ok := j.Completion(); ok {
 			out[j.ID] = c
 		}
 	}
-	return out
 }
 
 // candidateJob is one projection EvaluateAll hands to a worker.
@@ -325,10 +374,11 @@ type candidateJob struct {
 	server string
 	cost   task.Cost
 	clone  *fluid.Sim
-	// baseline is the server's cached projection; nil when the cache
-	// was stale, in which case the worker computes it from baseClone
-	// and offers it back to the cache (tr at generation gen).
-	baseline  map[int]float64
+	// baseline is an acquired reference to the server's cached
+	// projection; nil when the cache was stale, in which case the
+	// worker computes it from baseClone and offers it back to the
+	// cache (tr at generation gen).
+	baseline  *baselineSet
 	baseClone *fluid.Sim
 	tr        *serverTrace
 	gen       uint64
@@ -342,13 +392,18 @@ type candidateJob struct {
 // covers snapshotting. The clones are consumed.
 func (m *Manager) projectCandidate(j candidateJob, id int, spec *task.Spec, arrival float64, withPerTask bool) (Prediction, error) {
 	if j.baseline == nil {
-		j.baseline = projectClone(j.baseClone)
+		b := newBaselineSet()
+		projectCloneInto(j.baseClone, b.m)
+		putSim(j.baseClone)
 		m.mu.Lock()
 		if j.tr.gen == j.gen && (j.tr.baseline == nil || j.tr.baselineGen != j.gen) {
-			j.tr.setBaseline(j.baseline, j.gen)
+			j.tr.setBaseline(b.acquire(), j.gen)
 		}
 		m.mu.Unlock()
+		j.baseline = b
 	}
+	defer j.baseline.release()
+	defer putSim(j.clone)
 	if err := j.clone.Add(id, arrival, j.cost, spec.MemoryMB); err != nil {
 		return Prediction{}, fmt.Errorf("htm: evaluate on %q: %w", j.server, err)
 	}
@@ -356,7 +411,7 @@ func (m *Manager) projectCandidate(j candidateJob, id int, spec *task.Spec, arri
 
 	p := Prediction{Server: j.server, Completion: math.Inf(1)}
 	if withPerTask {
-		p.PerTask = make(map[int]float64, len(j.baseline))
+		p.PerTask = make(map[int]float64, len(j.baseline.m))
 	}
 	// Iterate the clone's job list (deterministic release order) rather
 	// than the baseline map, so the floating-point perturbation sum is
@@ -371,7 +426,7 @@ func (m *Manager) projectCandidate(j candidateJob, id int, spec *task.Spec, arri
 			}
 			continue
 		}
-		before, tracked := j.baseline[jb.ID]
+		before, tracked := j.baseline.m[jb.ID]
 		if !tracked {
 			// Finished (π = 0 exactly) or already lost before the
 			// evaluation: no perturbation to account.
@@ -413,13 +468,13 @@ func (m *Manager) snapshotLocked(server string, spec *task.Spec) (candidateJob, 
 	if !solvable {
 		return candidateJob{}, false, nil
 	}
-	j := candidateJob{server: server, cost: cost, clone: tr.sim.CloneLive()}
+	j := candidateJob{server: server, cost: cost, clone: tr.sim.CloneLiveInto(getSim())}
 	if tr.baseline != nil && tr.baselineGen == tr.gen {
-		j.baseline = tr.baseline
+		j.baseline = tr.baseline.acquire()
 	} else {
 		// Stale cache: hand the worker its own snapshot to project
 		// outside the lock.
-		j.baseClone = tr.sim.CloneLive()
+		j.baseClone = tr.sim.CloneLiveInto(getSim())
 		j.tr = tr
 		j.gen = tr.gen
 	}
@@ -467,7 +522,8 @@ func (m *Manager) EvaluateFull(id int, spec *task.Spec, arrival float64, server 
 	j := candidateJob{server: server, cost: cost, clone: tr.sim.Clone()}
 	m.mu.Unlock()
 
-	j.baseline = projectClone(baseClone)
+	j.baseline = newBaselineSet()
+	projectCloneInto(baseClone, j.baseline.m)
 	return m.projectCandidate(j, id, spec, arrival, true)
 }
 
@@ -481,10 +537,31 @@ func (m *Manager) EvaluateFull(id int, spec *task.Spec, arrival float64, server 
 // evaluation failed" (empty, non-nil error) and proceed on partial
 // results.
 func (m *Manager) EvaluateAll(id int, spec *task.Spec, arrival float64, candidates []string) ([]Prediction, error) {
+	return m.EvaluateAllInto(id, spec, arrival, candidates, nil)
+}
+
+// evalScratch is the per-call working set of EvaluateAllInto, pooled so
+// a steady stream of decisions reuses the same snapshot and result
+// buffers instead of allocating them per call.
+type evalScratch struct {
+	jobs  []candidateJob
+	preds []Prediction
+	perr  []error
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+// EvaluateAllInto is EvaluateAll writing the predictions into out,
+// which is truncated and grown as needed — a caller that threads the
+// returned slice back in across decisions amortizes the result buffer
+// to zero steady-state allocations. Passing nil behaves like
+// EvaluateAll.
+func (m *Manager) EvaluateAllInto(id int, spec *task.Spec, arrival float64, candidates []string, out []Prediction) ([]Prediction, error) {
 	var errs []error
+	sc := scratchPool.Get().(*evalScratch)
 	m.mu.Lock()
 	arrival = m.advanceLocked(arrival)
-	jobs := make([]candidateJob, 0, len(candidates))
+	jobs := sc.jobs[:0]
 	for _, s := range candidates {
 		j, solvable, err := m.snapshotLocked(s, spec)
 		if err != nil {
@@ -498,8 +575,11 @@ func (m *Manager) EvaluateAll(id int, spec *task.Spec, arrival float64, candidat
 	workers := m.workers
 	m.mu.Unlock()
 
+	out = out[:0]
 	if len(jobs) == 0 {
-		return nil, errors.Join(errs...)
+		sc.jobs = jobs
+		scratchPool.Put(sc)
+		return out, errors.Join(errs...)
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -508,41 +588,69 @@ func (m *Manager) EvaluateAll(id int, spec *task.Spec, arrival float64, candidat
 		workers = len(jobs)
 	}
 
-	preds := make([]Prediction, len(jobs))
-	perr := make([]error, len(jobs))
+	if cap(sc.preds) < len(jobs) {
+		sc.preds = make([]Prediction, len(jobs))
+		sc.perr = make([]error, len(jobs))
+	}
+	preds := sc.preds[:len(jobs)]
+	perr := sc.perr[:len(jobs)]
 	if workers <= 1 {
 		for i, j := range jobs {
 			preds[i], perr[i] = m.projectCandidate(j, id, spec, arrival, false)
 		}
 	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
-						return
-					}
-					preds[i], perr[i] = m.projectCandidate(jobs[i], id, spec, arrival, false)
-				}
-			}()
-		}
-		wg.Wait()
+		m.projectParallel(jobs, id, spec, arrival, workers, preds, perr)
 	}
 
-	out := make([]Prediction, 0, len(jobs))
 	for i := range jobs {
 		if perr[i] != nil {
 			errs = append(errs, perr[i])
+			perr[i] = nil
 			continue
 		}
 		out = append(out, preds[i])
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Server < out[j].Server })
+	// Insertion sort by server name in place of sort.Slice: the
+	// candidate list arrives near-sorted (it is built from the sorted
+	// server order), the comparison closure would allocate, and with
+	// unique server names the sorted result is identical.
+	for i := 1; i < len(out); i++ {
+		for k := i; k > 0 && out[k].Server < out[k-1].Server; k-- {
+			out[k], out[k-1] = out[k-1], out[k]
+		}
+	}
+	// Drop the snapshot references before pooling the scratch so pooled
+	// clones and baselines are not pinned by the next caller.
+	for i := range jobs {
+		jobs[i] = candidateJob{}
+	}
+	sc.jobs = jobs
+	scratchPool.Put(sc)
 	return out, errors.Join(errs...)
+}
+
+// projectParallel fans the candidate projections out over a bounded
+// worker pool. It lives outside EvaluateAllInto so the goroutine
+// closure captures this frame, not the caller's — otherwise the
+// capture forces the caller's locals to the heap even on the
+// sequential (workers<=1) path, which must stay allocation-free.
+func (m *Manager) projectParallel(jobs []candidateJob, id int, spec *task.Spec, arrival float64, workers int, preds []Prediction, perr []error) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				preds[i], perr[i] = m.projectCandidate(jobs[i], id, spec, arrival, false)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // Place commits job id to the chosen server's live trace. This is the
@@ -637,8 +745,13 @@ func (m *Manager) NotifyCompletion(id int, t float64) error {
 func (m *Manager) DropServer(name string) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if _, ok := m.traces[name]; !ok {
+	tr, ok := m.traces[name]
+	if !ok {
 		return
+	}
+	if tr.baseline != nil {
+		tr.baseline.release()
+		tr.baseline = nil
 	}
 	delete(m.traces, name)
 	for i, n := range m.order {

@@ -304,7 +304,8 @@ func (a *Agent) serve() {
 		a.conns[conn] = struct{}{}
 		a.mu.Unlock()
 		go func() {
-			a.srv.ServeConn(conn)
+			a.serveConn(conn)
+			conn.Close()
 			a.mu.Lock()
 			delete(a.conns, conn)
 			a.mu.Unlock()

@@ -1,0 +1,296 @@
+package live
+
+// Client half of the framed member wire: a pipelined connection
+// keeping a sliding window of correlated requests in flight. Callers
+// block only on their own reply, not on the connection — concurrent
+// calls share one TCP stream instead of paying a round trip each, so
+// a dispatcher driving hundreds of servers per member amortizes the
+// wire latency across the window.
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrWireTimeout marks a framed call that exceeded its budget; like a
+// gob timeout the request may have reached the member, so callers must
+// treat the outcome as uncertain for mutating calls.
+var ErrWireTimeout = errors.New("live: framed call timed out")
+
+// frameWindow bounds the requests in flight per framed connection.
+const frameWindow = 64
+
+// frameCall is one in-flight request slot.
+type frameCall struct {
+	done    chan struct{}
+	typ     byte
+	payload []byte
+	err     error
+}
+
+// FrameClient speaks the framed member wire over one connection.
+// Safe for concurrent use.
+type FrameClient struct {
+	conn    net.Conn
+	timeout time.Duration
+
+	wmu  sync.Mutex // serializes frame writes; wbuf is its scratch
+	wbuf []byte
+
+	mu      sync.Mutex
+	pending map[uint64]*frameCall
+	nextID  uint64
+	broken  error
+
+	window chan struct{}
+	calls  sync.Pool
+}
+
+// NewFrameClient performs the framed handshake on conn and starts the
+// reply reader. The timeout bounds the handshake, each call, and each
+// frame write; non-positive selects 2s. On error the conn is closed.
+func NewFrameClient(conn net.Conn, timeout time.Duration) (*FrameClient, error) {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	if _, err := conn.Write(frameHandshake[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: framed handshake: %w", err)
+	}
+	var echo [len(frameHandshake)]byte
+	if _, err := io.ReadFull(conn, echo[:]); err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("live: framed handshake: %w", err)
+	}
+	if echo != frameHandshake {
+		conn.Close()
+		return nil, errors.New("live: framed handshake rejected")
+	}
+	conn.SetDeadline(time.Time{})
+	c := &FrameClient{
+		conn:    conn,
+		timeout: timeout,
+		pending: make(map[uint64]*frameCall),
+		window:  make(chan struct{}, frameWindow),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears the connection down; in-flight calls fail.
+func (c *FrameClient) Close() error {
+	c.fail(errors.New("live: framed connection closed"))
+	return nil
+}
+
+// fail marks the connection broken, closes it, and completes every
+// pending call with the transport error.
+func (c *FrameClient) fail(err error) {
+	c.mu.Lock()
+	if c.broken == nil {
+		c.broken = err
+	}
+	err = c.broken
+	pend := c.pending
+	c.pending = make(map[uint64]*frameCall)
+	c.mu.Unlock()
+	c.conn.Close()
+	for _, call := range pend {
+		call.err = err
+		close(call.done)
+	}
+}
+
+// readLoop matches reply frames to pending calls by correlation ID.
+// Replies to calls that already timed out client-side are discarded.
+func (c *FrameClient) readLoop() {
+	var buf []byte
+	for {
+		typ, corr, payload, err := readFrame(c.conn, &buf)
+		if err != nil {
+			c.fail(fmt.Errorf("live: framed read: %w", err))
+			return
+		}
+		c.mu.Lock()
+		call := c.pending[corr]
+		delete(c.pending, corr)
+		c.mu.Unlock()
+		if call == nil {
+			continue
+		}
+		call.typ = typ
+		call.payload = append(call.payload[:0], payload...)
+		close(call.done)
+	}
+}
+
+func (c *FrameClient) getCall() *frameCall {
+	if v := c.calls.Get(); v != nil {
+		call := v.(*frameCall)
+		call.done = make(chan struct{})
+		call.typ, call.err = 0, nil
+		return call
+	}
+	return &frameCall{done: make(chan struct{})}
+}
+
+// roundTrip sends one request frame and waits for its reply or the
+// timeout. enc appends the request payload. On success the returned
+// call holds the reply frame; the caller must release it with putCall.
+func (c *FrameClient) roundTrip(typ byte, enc func([]byte) []byte) (*frameCall, error) {
+	timer := time.NewTimer(c.timeout)
+	defer timer.Stop()
+	select {
+	case c.window <- struct{}{}:
+	case <-timer.C:
+		return nil, fmt.Errorf("live: framed window full: %w", ErrWireTimeout)
+	}
+	defer func() { <-c.window }()
+
+	call := c.getCall()
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		c.calls.Put(call)
+		return nil, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.pending[id] = call
+	c.mu.Unlock()
+
+	c.wmu.Lock()
+	b := beginFrame(c.wbuf[:0], typ, id)
+	b = enc(b)
+	b = endFrame(b, 0)
+	c.wbuf = b
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	_, werr := c.conn.Write(b)
+	c.wmu.Unlock()
+	if werr != nil {
+		// A failed or partial write poisons the stream for every call.
+		c.fail(fmt.Errorf("live: framed write: %w", werr))
+		<-call.done // fail completed it
+		return nil, call.err
+	}
+
+	select {
+	case <-call.done:
+		if call.err != nil {
+			return nil, call.err
+		}
+		return call, nil
+	case <-timer.C:
+		c.mu.Lock()
+		if _, ok := c.pending[id]; ok {
+			delete(c.pending, id)
+			c.mu.Unlock()
+			// The slot is abandoned to the reader (which will discard the
+			// late reply); the call struct is not pooled again.
+			return nil, ErrWireTimeout
+		}
+		c.mu.Unlock()
+		// The reply (or a transport failure) raced the timer: take it.
+		<-call.done
+		if call.err != nil {
+			return nil, call.err
+		}
+		return call, nil
+	}
+}
+
+func (c *FrameClient) putCall(call *frameCall) { c.calls.Put(call) }
+
+// finish decodes a reply frame into dec, translating msgError frames
+// into WireError and protocol violations into a torn-down connection.
+func (c *FrameClient) finish(call *frameCall, want byte, dec func(*wireReader)) error {
+	defer c.putCall(call)
+	if call.typ == msgError {
+		return WireError(string(call.payload))
+	}
+	if call.typ != want|msgReplyBit {
+		err := fmt.Errorf("live: framed reply type %#x, want %#x", call.typ, want|msgReplyBit)
+		c.fail(err)
+		return err
+	}
+	r := wireReader{buf: call.payload}
+	dec(&r)
+	if !r.done() {
+		err := errors.New("live: malformed framed reply")
+		c.fail(err)
+		return err
+	}
+	return nil
+}
+
+// Evaluate runs Member.Evaluate over the framed wire.
+func (c *FrameClient) Evaluate(args *MemberTaskArgs) (MemberEvalReply, error) {
+	call, err := c.roundTrip(msgEvaluate, func(b []byte) []byte { return appendMemberTaskArgs(b, args) })
+	if err != nil {
+		return MemberEvalReply{}, err
+	}
+	var reply MemberEvalReply
+	err = c.finish(call, msgEvaluate, func(r *wireReader) { r.memberEvalReply(&reply) })
+	return reply, err
+}
+
+// Commit runs Member.Commit over the framed wire.
+func (c *FrameClient) Commit(args *MemberCommitArgs) (MemberDecisionReply, error) {
+	call, err := c.roundTrip(msgCommit, func(b []byte) []byte { return appendMemberCommitArgs(b, args) })
+	if err != nil {
+		return MemberDecisionReply{}, err
+	}
+	var reply MemberDecisionReply
+	err = c.finish(call, msgCommit, func(r *wireReader) { r.memberDecisionReply(&reply) })
+	return reply, err
+}
+
+// Submit runs Member.Submit over the framed wire.
+func (c *FrameClient) Submit(args *MemberTaskArgs) (MemberDecisionReply, error) {
+	call, err := c.roundTrip(msgSubmit, func(b []byte) []byte { return appendMemberTaskArgs(b, args) })
+	if err != nil {
+		return MemberDecisionReply{}, err
+	}
+	var reply MemberDecisionReply
+	err = c.finish(call, msgSubmit, func(r *wireReader) { r.memberDecisionReply(&reply) })
+	return reply, err
+}
+
+// SubmitBatch runs Member.SubmitBatch over the framed wire.
+func (c *FrameClient) SubmitBatch(args *MemberBatchArgs) (MemberBatchReply, error) {
+	call, err := c.roundTrip(msgSubmitBatch, func(b []byte) []byte { return appendMemberBatchArgs(b, args) })
+	if err != nil {
+		return MemberBatchReply{}, err
+	}
+	var reply MemberBatchReply
+	err = c.finish(call, msgSubmitBatch, func(r *wireReader) { r.memberBatchReply(&reply) })
+	return reply, err
+}
+
+// Summary runs Member.Summary over the framed wire.
+func (c *FrameClient) Summary() (MemberSummaryReply, error) {
+	call, err := c.roundTrip(msgSummary, func(b []byte) []byte { return b })
+	if err != nil {
+		return MemberSummaryReply{}, err
+	}
+	var reply MemberSummaryReply
+	err = c.finish(call, msgSummary, func(r *wireReader) { r.memberSummaryReply(&reply) })
+	return reply, err
+}
+
+// Relay runs Member.Relay over the framed wire.
+func (c *FrameClient) Relay(args *MemberRelayArgs) (MemberRelayReply, error) {
+	call, err := c.roundTrip(msgRelay, func(b []byte) []byte { return appendMemberRelayArgs(b, args) })
+	if err != nil {
+		return MemberRelayReply{}, err
+	}
+	var reply MemberRelayReply
+	err = c.finish(call, msgRelay, func(r *wireReader) { r.memberRelayReply(&reply) })
+	return reply, err
+}

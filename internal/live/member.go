@@ -285,6 +285,15 @@ func (s *MemberService) Partition(_ Ack, reply *MemberPartitionReply) error {
 	return nil
 }
 
+// WireCaps answers the framed-wire capability probe (see frame.go): a
+// dispatcher asks over gob before opening a framed connection for the
+// hot decision RPCs. Members that predate this method answer net/rpc's
+// "can't find method" and the dispatcher stays on gob.
+func (s *MemberService) WireCaps(_ Ack, reply *MemberWireCapsReply) error {
+	reply.FrameVersion = FrameVersion
+	return nil
+}
+
 // Fence raises the member's election fencing watermark — called by a
 // freshly promoted dispatcher on every member before it serves
 // clients, so a deposed leader's in-flight commits are refused even

@@ -177,8 +177,7 @@ func (k *KPB) ChooseScored(ctx *Context) (Choice, error) {
 	if err != nil {
 		return Choice{}, err
 	}
-	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
-	w := ties[0]
+	w, _, _ := argminScan(preds, func(p htm.Prediction) float64 { return p.Completion })
 	return Choice{Server: w.Server, Score: w.Completion, Tie: w.Completion}, nil
 }
 

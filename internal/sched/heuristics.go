@@ -79,8 +79,7 @@ func (*HMCT) ChooseScored(ctx *Context) (Choice, error) {
 	if err != nil {
 		return Choice{}, err
 	}
-	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
-	w := ties[0]
+	w, _, _ := argminScan(preds, func(p htm.Prediction) float64 { return p.Completion })
 	return Choice{Server: w.Server, Score: w.Completion, Tie: w.Completion}, nil
 }
 
@@ -125,16 +124,29 @@ func (m *MP) ChooseScored(ctx *Context) (Choice, error) {
 	if err != nil {
 		return Choice{}, err
 	}
-	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Perturbation })
-	w := ties[0]
-	if len(ties) > 1 {
+	perturbation := func(p htm.Prediction) float64 { return p.Perturbation }
+	w, ties, best := argminScan(preds, perturbation)
+	if ties > 1 {
 		switch m.Tie {
 		case TieRandom:
 			if ctx.RNG != nil {
-				w = ties[ctx.RNG.Intn(len(ties))]
+				// Same RNG draw and same winner as indexing the
+				// historical tie slice: pick the k-th tie in preds order.
+				k := ctx.RNG.Intn(ties)
+				thr := best + tieEps
+				for _, p := range preds {
+					if p.Perturbation <= thr {
+						if k == 0 {
+							w = p
+							break
+						}
+						k--
+					}
+				}
 			}
 		default:
-			w = argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })[0]
+			w = argminTieBreak(preds, perturbation,
+				func(p htm.Prediction) float64 { return p.Completion })
 		}
 	}
 	return Choice{Server: w.Server, Score: w.Perturbation, Tie: w.Completion}, nil
@@ -168,12 +180,9 @@ func (*MSF) ChooseScored(ctx *Context) (Choice, error) {
 	if err != nil {
 		return Choice{}, err
 	}
-	ties := argminPredictions(preds, htm.Prediction.SumFlowObjective)
-	if len(ties) > 1 {
-		// Secondary objective: completion date, for determinism.
-		ties = argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })
-	}
-	w := ties[0]
+	// Secondary objective: completion date, for determinism.
+	w := argminTieBreak(preds, htm.Prediction.SumFlowObjective,
+		func(p htm.Prediction) float64 { return p.Completion })
 	return Choice{Server: w.Server, Score: w.SumFlowObjective(), Tie: w.Completion}, nil
 }
 
@@ -201,11 +210,8 @@ func (*MNI) ChooseScored(ctx *Context) (Choice, error) {
 	if err != nil {
 		return Choice{}, err
 	}
-	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return float64(p.Interfered) })
-	if len(ties) > 1 {
-		ties = argminPredictions(ties, func(p htm.Prediction) float64 { return p.Completion })
-	}
-	w := ties[0]
+	w := argminTieBreak(preds, func(p htm.Prediction) float64 { return float64(p.Interfered) },
+		func(p htm.Prediction) float64 { return p.Completion })
 	return Choice{Server: w.Server, Score: float64(w.Interfered), Tie: w.Completion}, nil
 }
 

@@ -52,6 +52,18 @@ type Evaluator interface {
 	ProjectedReady(server string) (float64, bool)
 }
 
+// BufferedEvaluator is an Evaluator that can write predictions into a
+// caller-owned buffer reused across decisions (htm.Manager implements
+// it). predictAll uses it together with Context.PredBuf to keep the
+// per-decision heuristic path free of heap allocation; evaluators
+// without it (caching batch wrappers) fall back to EvaluateAll.
+type BufferedEvaluator interface {
+	Evaluator
+	// EvaluateAllInto is EvaluateAll appending into out[:0]; see
+	// htm.Manager.EvaluateAllInto.
+	EvaluateAllInto(id int, spec *task.Spec, arrival float64, candidates []string, out []htm.Prediction) ([]htm.Prediction, error)
+}
+
 // Context is everything the agent exposes to a heuristic for one
 // scheduling decision.
 type Context struct {
@@ -74,6 +86,12 @@ type Context struct {
 	// RNG is the decision-local randomness source (used by Random and
 	// by randomized tie-breaking).
 	RNG *stats.RNG
+	// PredBuf is an optional prediction buffer owned by the driver and
+	// threaded through consecutive decisions: when the HTM implements
+	// BufferedEvaluator, predictAll evaluates into it (and grows it in
+	// place) instead of allocating a fresh slice per decision. Contents
+	// are scratch — valid only within one Choose call.
+	PredBuf []htm.Prediction
 }
 
 // Scheduler chooses a server for each arriving task.
@@ -191,22 +209,59 @@ func chooseVia(s ScoredScheduler, ctx *Context) (string, error) {
 	return c.Server, nil
 }
 
-// argminPredictions returns the candidates minimizing objective(p)
-// among preds, within tieEps of the minimum.
-func argminPredictions(preds []htm.Prediction, objective func(htm.Prediction) float64) []htm.Prediction {
-	best := math.Inf(1)
+// argminScan returns the first candidate within tieEps of the minimum
+// objective, the number of such ties, and the minimum itself. It is the
+// ties[0]/len(ties) pair of the tie-slice argmin the heuristics
+// historically built, computed by scanning so the decision path does
+// not allocate.
+func argminScan(preds []htm.Prediction, objective func(htm.Prediction) float64) (w htm.Prediction, ties int, best float64) {
+	best = math.Inf(1)
 	for _, p := range preds {
 		if v := objective(p); v < best {
 			best = v
 		}
 	}
-	var ties []htm.Prediction
 	for _, p := range preds {
 		if objective(p) <= best+tieEps {
-			ties = append(ties, p)
+			if ties == 0 {
+				w = p
+			}
+			ties++
 		}
 	}
-	return ties
+	return w, ties, best
+}
+
+// argminTieBreak returns the first prediction minimizing secondary
+// among those within tieEps of the primary minimum — the nested-argmin
+// tie-break every deterministic heuristic applies, without building the
+// intermediate tie slices. The scan order (preds order) matches the
+// historical tie-slice construction, so the winner is bit-identical.
+func argminTieBreak(preds []htm.Prediction, primary, secondary func(htm.Prediction) float64) htm.Prediction {
+	best := math.Inf(1)
+	for _, p := range preds {
+		if v := primary(p); v < best {
+			best = v
+		}
+	}
+	thr := best + tieEps
+	sbest := math.Inf(1)
+	for _, p := range preds {
+		if primary(p) <= thr {
+			if v := secondary(p); v < sbest {
+				sbest = v
+			}
+		}
+	}
+	sthr := sbest + tieEps
+	for _, p := range preds {
+		if primary(p) <= thr && secondary(p) <= sthr {
+			return p
+		}
+	}
+	// Unreachable with a non-empty preds: the double minimum is
+	// realized by at least one element.
+	return htm.Prediction{}
 }
 
 // predictAll evaluates every candidate with the HTM, failing when none
@@ -219,7 +274,17 @@ func predictAll(ctx *Context) ([]htm.Prediction, error) {
 	if ctx.HTM == nil {
 		return nil, errors.New("sched: heuristic requires the HTM")
 	}
-	preds, err := ctx.HTM.EvaluateAll(ctx.JobID, ctx.Task.Spec, ctx.Now, ctx.Candidates)
+	var preds []htm.Prediction
+	var err error
+	if be, ok := ctx.HTM.(BufferedEvaluator); ok {
+		preds, err = be.EvaluateAllInto(ctx.JobID, ctx.Task.Spec, ctx.Now, ctx.Candidates, ctx.PredBuf)
+		if preds != nil {
+			// Keep the grown buffer for the driver's next decision.
+			ctx.PredBuf = preds
+		}
+	} else {
+		preds, err = ctx.HTM.EvaluateAll(ctx.JobID, ctx.Task.Spec, ctx.Now, ctx.Candidates)
+	}
 	if len(preds) == 0 {
 		if err != nil {
 			return nil, fmt.Errorf("sched: every candidate evaluation failed: %w", err)

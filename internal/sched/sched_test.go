@@ -307,20 +307,37 @@ func TestUsesHTMClassification(t *testing.T) {
 	}
 }
 
-func TestArgminPredictions(t *testing.T) {
+func TestArgminScan(t *testing.T) {
 	preds := []htm.Prediction{
 		{Server: "a", Completion: 10},
 		{Server: "b", Completion: 10 + 1e-12},
 		{Server: "c", Completion: 20},
 	}
-	ties := argminPredictions(preds, func(p htm.Prediction) float64 { return p.Completion })
-	if len(ties) != 2 {
-		t.Errorf("ties = %+v, want a and b", ties)
+	w, ties, _ := argminScan(preds, func(p htm.Prediction) float64 { return p.Completion })
+	if ties != 2 || w.Server != "a" {
+		t.Errorf("argminScan = (%q, %d ties), want (a, 2)", w.Server, ties)
 	}
 	inf := []htm.Prediction{{Server: "x", Completion: math.Inf(1)}}
-	ties = argminPredictions(inf, func(p htm.Prediction) float64 { return p.Completion })
-	if len(ties) != 1 {
-		t.Errorf("infinite objective must still yield a candidate, got %+v", ties)
+	w, ties, _ = argminScan(inf, func(p htm.Prediction) float64 { return p.Completion })
+	if ties != 1 || w.Server != "x" {
+		t.Errorf("infinite objective must still yield a candidate, got (%q, %d)", w.Server, ties)
+	}
+}
+
+// TestArgminTieBreak: the scan-based nested argmin picks the same
+// winner as minimizing the secondary objective within primary ties.
+func TestArgminTieBreak(t *testing.T) {
+	preds := []htm.Prediction{
+		{Server: "a", Perturbation: 5, Completion: 30},
+		{Server: "b", Perturbation: 5, Completion: 10},
+		{Server: "c", Perturbation: 5, Completion: 10 + 1e-12},
+		{Server: "d", Perturbation: 9, Completion: 1},
+	}
+	w := argminTieBreak(preds,
+		func(p htm.Prediction) float64 { return p.Perturbation },
+		func(p htm.Prediction) float64 { return p.Completion })
+	if w.Server != "b" {
+		t.Errorf("argminTieBreak = %q, want b (first minimal-completion tie)", w.Server)
 	}
 }
 

@@ -1,6 +1,9 @@
 package task
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // This file embeds the paper's published cost data.
 //
@@ -128,9 +131,58 @@ func Resolve(problem string, variant int) (*Spec, error) {
 			return nil, fmt.Errorf("task: unknown waste-cpu parameter %d", variant)
 		}
 		return WasteCPU(variant), nil
+	case "synthetic":
+		family, n := variant/syntheticPoolStride, variant%syntheticPoolStride
+		if family < 0 || family >= len(syntheticBases) || n <= 0 {
+			return nil, fmt.Errorf("task: bad synthetic variant %d", variant)
+		}
+		return Synthetic(family, n), nil
 	default:
 		return nil, fmt.Errorf("task: unknown problem %q", problem)
 	}
+}
+
+// syntheticBases are the per-family base compute costs (seconds) of
+// the synthetic benchmark problem.
+var syntheticBases = [...]float64{40, 80, 160}
+
+// syntheticPoolStride packs (family, pool size) into one Variant:
+// Variant = family*syntheticPoolStride + n.
+const syntheticPoolStride = 1_000_000
+
+var (
+	synthMu    sync.Mutex
+	synthCache = map[int]*Spec{}
+)
+
+// Synthetic returns the registry-resolvable synthetic benchmark Spec:
+// family selects the base compute cost (40/80/160s), and the task is
+// solvable on a pool of n servers named "sv00".."sv<n-1>" with mildly
+// heterogeneous costs. Unlike the paper tables, the cost map is
+// derived from (family, n) alone, both of which the Variant encodes —
+// so the spec reconstructs bit-identically on the far side of a wire
+// from (problem, variant), at any pool size. Specs are memoized and
+// shared: a member resolving the same variant on every request must
+// not rebuild an n-entry cost map per decision.
+func Synthetic(family, n int) *Spec {
+	if family < 0 || family >= len(syntheticBases) || n <= 0 || n >= syntheticPoolStride {
+		panic("task: bad synthetic spec parameters")
+	}
+	variant := family*syntheticPoolStride + n
+	synthMu.Lock()
+	defer synthMu.Unlock()
+	if s, ok := synthCache[variant]; ok {
+		return s
+	}
+	base := syntheticBases[family]
+	costs := make(map[string]Cost, n)
+	for i := 0; i < n; i++ {
+		f := 1 + 0.04*float64(i%11)
+		costs[fmt.Sprintf("sv%02d", i)] = Cost{Input: 0.5 * f, Compute: base * f, Output: 0.2 * f}
+	}
+	s := &Spec{Problem: "synthetic", Variant: variant, CostOn: costs}
+	synthCache[variant] = s
+	return s
 }
 
 // WasteCPUSpecs returns the three waste-cpu specs in Table 4 order.

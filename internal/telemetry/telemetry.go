@@ -6,7 +6,9 @@
 // beyond the snapshot locks those surfaces already take.
 //
 // Deployments opt in with -metrics-addr on casagent and casfed; the
-// endpoint is GET /metrics.
+// endpoint is GET /metrics. With Config.Pprof (the binaries'
+// -pprof-addr flag) the same server also mounts net/http/pprof under
+// /debug/pprof/.
 package telemetry
 
 import (
@@ -15,6 +17,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -40,6 +43,11 @@ type Config struct {
 	// HA returns a replicated dispatcher's election posture
 	// (fed.Server.HAStatus).
 	HA func() ha.Status
+	// Pprof additionally mounts the net/http/pprof handlers under
+	// /debug/pprof/ on the same server, so one operations port serves
+	// both the scrape target and live CPU/heap profiles (casagent and
+	// casfed wire this to -pprof-addr).
+	Pprof bool
 }
 
 // Handler renders the configured sources as a Prometheus text page.
@@ -81,6 +89,13 @@ func Start(addr string, cfg Config) (*Server, error) {
 	}
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", Handler(cfg))
+	if cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	s := &Server{lis: lis, srv: &http.Server{Handler: mux}}
 	go s.srv.Serve(lis)
 	return s, nil

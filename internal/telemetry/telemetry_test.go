@@ -167,3 +167,45 @@ func TestServerServesMetrics(t *testing.T) {
 		}
 	}
 }
+
+// TestServerServesPprof pins the -pprof-addr contract: with
+// Config.Pprof the same server mounts the net/http/pprof index and
+// profile endpoints next to /metrics; without it they 404.
+func TestServerServesPprof(t *testing.T) {
+	srv, err := Start("", Config{
+		Stats: func() agent.Stats { return sampleStats() },
+		Pprof: true,
+	})
+	if err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	defer srv.Close()
+	for path, want := range map[string]int{
+		"/debug/pprof/":        http.StatusOK,
+		"/debug/pprof/cmdline": http.StatusOK,
+		"/metrics":             http.StatusOK,
+	} {
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr(), path))
+		if err != nil {
+			t.Fatalf("get %s: %v", path, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != want {
+			t.Errorf("%s: status %d, want %d", path, resp.StatusCode, want)
+		}
+	}
+
+	plain, err := Start("", Config{Stats: func() agent.Stats { return sampleStats() }})
+	if err != nil {
+		t.Fatalf("start plain: %v", err)
+	}
+	defer plain.Close()
+	resp, err := http.Get(fmt.Sprintf("http://%s/debug/pprof/", plain.Addr()))
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof off: status %d, want 404", resp.StatusCode)
+	}
+}

@@ -14,6 +14,15 @@
 #   BENCH_MAX_REGRESSION_PCT  allowed ns/op regression in percent
 #                             (default 5; CI uses a loose 40 because
 #                             hosted runners are noisy)
+#   BENCH_MAX_ALLOC_REGRESSION  allowed B/op and allocs/op regression in
+#                             percent (default 5). Unlike ns/op this
+#                             gate is exact for zero baselines: a
+#                             benchmark whose baseline reads 0 allocs/op
+#                             (the steady-state decision path) fails on
+#                             ANY allocation, which is the
+#                             zero-allocation contract's enforcement
+#                             point. Tiny B/op deltas (< 64 B) are
+#                             ignored as runtime noise.
 #   BENCH_REQUIRE_ALL=1       fail when a baseline benchmark is absent
 #                             from the run (CI full runs; subset runs
 #                             via BENCH_PATTERN only warn)
@@ -33,6 +42,7 @@ cd "$(dirname "$0")/.."
 PATTERN="${BENCH_PATTERN:-BenchmarkEvaluateAllLargeTestbed|BenchmarkHTMEvaluate|BenchmarkGridRun200|BenchmarkSchedulerDecisions|BenchmarkAgentSubmit|BenchmarkClusterSubmit|BenchmarkAssignSolve|BenchmarkFedSubmit}"
 BENCH_TIME="${BENCH_TIME:-1s}"
 MAX_PCT="${BENCH_MAX_REGRESSION_PCT:-5}"
+MAX_ALLOC_PCT="${BENCH_MAX_ALLOC_REGRESSION:-5}"
 
 if [[ "${BENCH_SKIP_CHECKS:-0}" != "1" ]]; then
     echo "==> gofmt -l"
@@ -59,20 +69,33 @@ if [[ ! -f benchmarks/baseline.txt ]]; then
     exit 0
 fi
 
-echo "==> comparing against benchmarks/baseline.txt (max regression ${MAX_PCT}%)"
-awk -v max="${MAX_PCT}" -v requireAll="${BENCH_REQUIRE_ALL:-0}" '
-    # Collect "BenchmarkName  N  T ns/op" lines from both files. The
-    # GOMAXPROCS suffix (-8 etc.) varies across machines; strip it so
-    # a baseline taken elsewhere still matches.
+echo "==> comparing against benchmarks/baseline.txt" \
+     "(max regression ${MAX_PCT}% ns/op, ${MAX_ALLOC_PCT}% B/op+allocs/op)"
+awk -v max="${MAX_PCT}" -v maxAlloc="${MAX_ALLOC_PCT}" \
+    -v requireAll="${BENCH_REQUIRE_ALL:-0}" '
+    # Collect "BenchmarkName  N  T ns/op [B B/op] [A allocs/op]" lines
+    # from both files. The GOMAXPROCS suffix (-8 etc.) varies across
+    # machines; strip it so a baseline taken elsewhere still matches.
     FNR == 1 { file++ }
     /^Benchmark/ && / ns\/op/ {
         name = $1
         sub(/-[0-9]+$/, "", name)
+        ns = ""; bytes = ""; allocs = ""
         for (i = 2; i <= NF; i++) {
-            if ($(i) == "ns/op") { v = $(i-1); break }
+            if ($(i) == "ns/op")     ns = $(i-1)
+            if ($(i) == "B/op")      bytes = $(i-1)
+            if ($(i) == "allocs/op") allocs = $(i-1)
         }
-        if (file == 1) base[name] = v
-        else latest[name] = v
+        if (file == 1) { base[name] = ns; baseB[name] = bytes; baseA[name] = allocs }
+        else           { latest[name] = ns; latestB[name] = bytes; latestA[name] = allocs }
+    }
+    # worse(old, new, pct, floor) -> 1 when new regresses past the
+    # allowance. A zero baseline admits no headroom at all: any growth
+    # beyond the absolute noise floor fails.
+    function worse(old, new, pct, floor) {
+        if (new - old <= floor) return 0
+        if (old == 0) return new > 0
+        return (new - old) / old * 100 > pct
     }
     END {
         status = 0
@@ -86,6 +109,18 @@ awk -v max="${MAX_PCT}" -v requireAll="${BENCH_REQUIRE_ALL:-0}" '
             pct = (latest[name] - base[name]) / base[name] * 100
             tag = "ok"
             if (pct > max) { tag = "REGRESSED"; status = 1 }
+            if (baseA[name] != "" && latestA[name] != "" && \
+                worse(baseA[name], latestA[name], maxAlloc, 0)) {
+                tag = "ALLOCS"; status = 1
+                printf "ALLOCS   %-60s %12d -> %12d allocs/op\n", \
+                       name, baseA[name], latestA[name]
+            }
+            if (baseB[name] != "" && latestB[name] != "" && \
+                worse(baseB[name], latestB[name], maxAlloc, 64)) {
+                tag = "BYTES"; status = 1
+                printf "BYTES    %-60s %12d -> %12d B/op\n", \
+                       name, baseB[name], latestB[name]
+            }
             printf "%-8s %-60s %12.0f -> %12.0f ns/op (%+.1f%%)\n", \
                    tag, name, base[name], latest[name], pct
         }
