@@ -55,6 +55,7 @@ import (
 	"casched/internal/live"
 	"casched/internal/metrics"
 	"casched/internal/platform"
+	"casched/internal/scenario"
 	"casched/internal/sched"
 	"casched/internal/task"
 	"casched/internal/telemetry"
@@ -501,6 +502,49 @@ func NewFederationWithMembers(cfg FederationConfig, members []FedMember) (*Feder
 	return fed.NewWithMembers(cfg, members)
 }
 
+// FedChaosOp names one member-transport operation for fault
+// injection.
+type FedChaosOp = fed.Op
+
+// The injectable member-transport operations.
+const (
+	FedOpAddServer    = fed.OpAddServer
+	FedOpRemoveServer = fed.OpRemoveServer
+	FedOpCanSolve     = fed.OpCanSolve
+	FedOpEvaluate     = fed.OpEvaluate
+	FedOpCommit       = fed.OpCommit
+	FedOpSubmit       = fed.OpSubmit
+	FedOpSubmitBatch  = fed.OpSubmitBatch
+	FedOpComplete     = fed.OpComplete
+	FedOpReport       = fed.OpReport
+	FedOpSummary      = fed.OpSummary
+	FedOpRelay        = fed.OpRelay
+)
+
+// FedInjector decides, per member and operation, whether a
+// chaos-wrapped member call goes through (nil) or fails with the
+// returned error.
+type FedInjector = fed.Injector
+
+// FedScriptInjector is the scriptable FedInjector the scenario
+// harness's federation-chaos family drives: Kill/Revive a member,
+// Sever/Heal individual operations, SetLatency against a per-call
+// budget.
+type FedScriptInjector = fed.ScriptInjector
+
+// NewFedScriptInjector constructs a scriptable injector. budget is
+// the per-call latency at or past which an injected delay fails like
+// a dial timeout instead of sleeping.
+func NewFedScriptInjector(budget time.Duration) *FedScriptInjector {
+	return fed.NewScriptInjector(budget)
+}
+
+// ChaosFedMember wraps a member handle so every transport call
+// consults the injector first — the seam the federation-chaos
+// scenarios are built on. Pair with NewFederationWithMembers;
+// production members are untouched, wrap only what you mean to break.
+func ChaosFedMember(m FedMember, inj FedInjector) FedMember { return fed.Chaos(m, inj) }
+
 // FedServerOption adjusts a FedServerConfig before launch — the
 // high-availability knobs ride here so single-dispatcher callers keep
 // the plain-config call unchanged.
@@ -843,6 +887,23 @@ func RunTenantStudy(cfg TenantStudyConfig) (*TenantStudyResult, error) {
 // FormatTenantStudy renders the study as a small report.
 func FormatTenantStudy(r *TenantStudyResult) string {
 	return experiments.FormatTenantStudy(r)
+}
+
+// ScenarioFamily is one named preset of the production scenario
+// harness: a self-contained study composing a workload dimension
+// (trace replay, diurnal arrivals, heavy-tailed service times) with a
+// chaos dimension (member flap, summary partition, slow member,
+// leader kill) against the library's deployment shapes, rendered as a
+// committed benchmarks/scenario-*.txt table. cmd/casscenario runs
+// them by name.
+type ScenarioFamily = scenario.Family
+
+// ScenarioFamilies enumerates the harness presets in canonical order.
+func ScenarioFamilies() []ScenarioFamily { return scenario.Families() }
+
+// ScenarioFamilyByName resolves a harness preset by name.
+func ScenarioFamilyByName(name string) (ScenarioFamily, error) {
+	return scenario.FamilyByName(name)
 }
 
 // AccuracyResult quantifies HTM prediction quality over a full run.

@@ -1,0 +1,63 @@
+// Command casscenario runs the production scenario harness: named
+// scenario families composing workload dimensions (trace replay,
+// diurnal arrivals, heavy-tailed service times) with chaos dimensions
+// (member flap, summary partition, slow member, leader kill) against
+// the library's deployment shapes, printing each family's study table
+// to stdout — the committed benchmarks/scenario-*.txt files are
+// regenerated with e.g.:
+//
+//	go run ./cmd/casscenario trace > benchmarks/scenario-trace.txt
+//
+// With no arguments every family runs in canonical order; -list
+// prints the presets.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"casched/internal/scenario"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the scenario families and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: casscenario [-list] [family ...]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the named scenario families (default: all) and prints their study tables.\n\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, f := range scenario.Families() {
+			fmt.Printf("%-10s %s\n", f.Name, f.Description)
+			fmt.Printf("%-10s committed: %s\n", "", f.File)
+		}
+		return
+	}
+
+	families := scenario.Families()
+	if args := flag.Args(); len(args) > 0 {
+		families = families[:0]
+		for _, name := range args {
+			f, err := scenario.FamilyByName(name)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			families = append(families, f)
+		}
+	}
+	for i, f := range families {
+		if i > 0 {
+			fmt.Println()
+		}
+		out, err := f.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "casscenario: %s: %v\n", f.Name, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	}
+}

@@ -1,0 +1,303 @@
+// The diurnal family: day/night traffic as a genuine inhomogeneous
+// Poisson process (sinusoidal rate, sampled by thinning). Two
+// measurements per shape: the sum-flow premium the rate swing costs
+// against homogeneous Poisson at the same long-run mean — which the
+// HTM-routed testbed absorbs almost entirely — and, layered with a
+// multi-tenant saturating mix, whether the weighted fair-share
+// arbiter holds the configured shares through the peaks.
+
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"casched/internal/agent"
+	"casched/internal/task"
+	"casched/internal/workload"
+)
+
+// DiurnalConfig parameterizes the diurnal family. Zero values select
+// the committed defaults (benchmarks/scenario-diurnal.txt).
+type DiurnalConfig struct {
+	// N is the metatask size (default 360).
+	N int
+	// D is the long-run mean inter-arrival in seconds (default 6).
+	D float64
+	// Seed drives generation and tie-breaking (default 11).
+	Seed uint64
+	// Heuristic is the objective (default HMCT).
+	Heuristic string
+	// Replicas scales the Table 2 second-set testbed (default 2).
+	Replicas int
+	// Amplitude is the diurnal rate swing A (default 0.8).
+	Amplitude float64
+	// Shares maps tenants to fair-share weights for the saturation
+	// phase (default gold=4, silver=2, bronze=1).
+	Shares map[string]float64
+	// Shapes are the deployment shapes driven (default core and
+	// cluster).
+	Shapes []Shape
+}
+
+func (c *DiurnalConfig) defaults() {
+	if c.N == 0 {
+		c.N = 360
+	}
+	if c.D == 0 {
+		c.D = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Heuristic == "" {
+		c.Heuristic = "HMCT"
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.Amplitude == 0 {
+		c.Amplitude = 0.8
+	}
+	if c.Shares == nil {
+		c.Shares = map[string]float64{"gold": 4, "silver": 2, "bronze": 1}
+	}
+	if len(c.Shapes) == 0 {
+		c.Shapes = []Shape{ShapeCore, ShapeCluster}
+	}
+}
+
+// DiurnalShapeResult is one shape's load measurement.
+type DiurnalShapeResult struct {
+	Shape Shape
+	// PoissonSumFlow is homogeneous Poisson at the same mean rate;
+	// DiurnalSumFlow the sinusoidal process. Premium is their ratio —
+	// what the day/night swing costs at unchanged offered load.
+	PoissonSumFlow, DiurnalSumFlow, Premium float64
+	// MaxShareError is the largest |served − want| share deviation
+	// across tenants under the saturating diurnal mix, and
+	// SaturatedPrefix the decisions measured (every tenant backlogged).
+	MaxShareError   float64
+	SaturatedPrefix int
+}
+
+// DiurnalResult holds the family's measurements.
+type DiurnalResult struct {
+	Config DiurnalConfig
+
+	// DayNightRatio is the measured day-half/night-half arrival split
+	// on a large sample of the process; TheoreticalRatio its
+	// closed-form value (1+2A/π)/(1−2A/π).
+	DayNightRatio, TheoreticalRatio float64
+	// SampleN is the sample the ratio is measured on.
+	SampleN int
+	// Rows are the per-shape measurements.
+	Rows []DiurnalShapeResult
+}
+
+// dayNightRatio bins arrivals by phase-of-day over the sinusoid's
+// period: the rising half-cycle (sin > 0, "day") against the rest.
+func dayNightRatio(mt *task.Metatask, period float64) float64 {
+	var day, night int
+	for _, t := range mt.Tasks {
+		if math.Sin(2*math.Pi*t.Arrival/period) > 0 {
+			day++
+		} else {
+			night++
+		}
+	}
+	if night == 0 {
+		return math.Inf(1)
+	}
+	return float64(day) / float64(night)
+}
+
+// Diurnal runs the family.
+func Diurnal(cfg DiurnalConfig) (*DiurnalResult, error) {
+	cfg.defaults()
+	res := &DiurnalResult{Config: cfg}
+	res.TheoreticalRatio = (1 + 2*cfg.Amplitude/math.Pi) / (1 - 2*cfg.Amplitude/math.Pi)
+
+	// The day/night split of the process itself, on a sample large
+	// enough for the law of large numbers to hold.
+	res.SampleN = 40000
+	sample := workload.Diurnal(res.SampleN, cfg.D, cfg.Seed)
+	sample.DiurnalAmplitude = cfg.Amplitude
+	smt, err := workload.Generate(sample)
+	if err != nil {
+		return nil, err
+	}
+	res.DayNightRatio = dayNightRatio(smt, 40*cfg.D)
+
+	// The study workloads: the same N, D and seed under both arrival
+	// processes, so the only difference is when the work shows up.
+	diurnalSc := workload.Diurnal(cfg.N, cfg.D, cfg.Seed)
+	diurnalSc.DiurnalAmplitude = cfg.Amplitude
+	dmt, err := workload.Generate(diurnalSc)
+	if err != nil {
+		return nil, err
+	}
+	pmt, err := workload.Generate(workload.Set2(cfg.N, cfg.D, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	names, rewrite := testbed(cfg.Replicas)
+	for _, t := range dmt.Tasks {
+		t.Spec = rewrite(t.Spec)
+	}
+	for _, t := range pmt.Tasks {
+		t.Spec = rewrite(t.Spec)
+	}
+
+	// The fairness workload: the same diurnal process carrying a
+	// uniform multi-tenant mix, submitted as one saturating batch so
+	// arbitration — not arrival order — decides who is served.
+	mix := make(map[string]float64, len(cfg.Shares))
+	for name := range cfg.Shares {
+		mix[name] = 1
+	}
+	fairSc := workload.MultiTenant(diurnalSc, mix, 0)
+	fairMt, err := workload.Generate(fairSc)
+	if err != nil {
+		return nil, err
+	}
+	for _, t := range fairMt.Tasks {
+		t.Spec = rewrite(t.Spec)
+	}
+
+	for _, shape := range cfg.Shapes {
+		row := DiurnalShapeResult{Shape: shape}
+		ecfg := engineConfig{heuristic: cfg.Heuristic, seed: cfg.Seed, width: 4}
+
+		peng, err := newEngine(shape, ecfg, names)
+		if err != nil {
+			return nil, err
+		}
+		if err := runStream(peng, requests(pmt)); err != nil {
+			return nil, err
+		}
+		row.PoissonSumFlow = sumFlowOf(peng, pmt)
+
+		deng, err := newEngine(shape, ecfg, names)
+		if err != nil {
+			return nil, err
+		}
+		if err := runStream(deng, requests(dmt)); err != nil {
+			return nil, err
+		}
+		row.DiurnalSumFlow = sumFlowOf(deng, dmt)
+		if row.PoissonSumFlow > 0 {
+			row.Premium = row.DiurnalSumFlow / row.PoissonSumFlow
+		}
+
+		maxErr, prefix, err := fairShares(shape, cfg, names, fairMt)
+		if err != nil {
+			return nil, err
+		}
+		row.MaxShareError, row.SaturatedPrefix = maxErr, prefix
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// fairShares saturates the shape with one multi-tenant batch of the
+// diurnal workload and measures each tenant's share of the served
+// work over the prefix during which every tenant still had backlog
+// (the regime the weighted fair clock governs).
+func fairShares(shape Shape, cfg DiurnalConfig, names []string, mt *task.Metatask) (maxErr float64, prefix int, err error) {
+	eng, err := newEngine(shape, engineConfig{
+		heuristic:    "MCT", // O(1) decisions: the phase isolates intake ordering
+		seed:         cfg.Seed,
+		width:        4,
+		tenantShares: cfg.Shares,
+	}, names)
+	if err != nil {
+		return 0, 0, err
+	}
+	type served struct {
+		tenant string
+		work   float64
+	}
+	var order []served
+	byID := make(map[int]*task.Task, mt.Len())
+	for _, t := range mt.Tasks {
+		byID[t.ID] = t
+	}
+	cancel := eng.Subscribe(func(ev agent.Event) {
+		if ev.Kind != agent.EventDecision {
+			return
+		}
+		t := byID[ev.JobID]
+		cost, _ := t.Spec.Cost(ev.Server)
+		order = append(order, served{tenant: t.Tenant, work: cost.Total()})
+	})
+	defer cancel()
+
+	at := mt.Tasks[mt.Len()-1].Arrival
+	reqs := make([]agent.Request, mt.Len())
+	backlog := make(map[string]int)
+	for i, t := range mt.Tasks {
+		reqs[i] = agent.Request{JobID: t.ID, TaskID: t.ID, Spec: t.Spec,
+			Arrival: at, Submitted: t.Arrival, Tenant: t.Tenant}
+		backlog[t.Tenant]++
+	}
+	if _, err := eng.SubmitBatch(reqs); err != nil {
+		return 0, 0, fmt.Errorf("scenario: fairness batch (%s): %w", shape, err)
+	}
+
+	workBy := make(map[string]float64)
+	var total float64
+	for _, sv := range order {
+		backlog[sv.tenant]--
+		workBy[sv.tenant] += sv.work
+		total += sv.work
+		prefix++
+		if backlog[sv.tenant] == 0 {
+			break
+		}
+	}
+	if total <= 0 {
+		return 0, 0, fmt.Errorf("scenario: fairness phase served no work (%s)", shape)
+	}
+	var weightSum float64
+	for _, w := range cfg.Shares {
+		weightSum += w
+	}
+	for name, w := range cfg.Shares {
+		want := w / weightSum
+		got := workBy[name] / total
+		if dev := math.Abs(got - want); dev > maxErr {
+			maxErr = dev
+		}
+	}
+	return maxErr, prefix, nil
+}
+
+// FormatDiurnal renders the family as a small report.
+func FormatDiurnal(r *DiurnalResult) string {
+	var b strings.Builder
+	c := r.Config
+	var tenants []string
+	for name := range c.Shares {
+		tenants = append(tenants, fmt.Sprintf("%s=%g", name, c.Shares[name]))
+	}
+	sort.Strings(tenants)
+	fmt.Fprintf(&b, "scenario: diurnal inhomogeneous Poisson (thinning) — %s, set 2, N=%d D=%gs A=%g period=%g·D, %d servers, seed %d\n",
+		c.Heuristic, c.N, c.D, c.Amplitude, 40.0, 4*c.Replicas, c.Seed)
+	fmt.Fprintf(&b, "process: day/night arrival ratio %.2f on %d arrivals (closed form %.2f)\n",
+		r.DayNightRatio, r.SampleN, r.TheoreticalRatio)
+	fmt.Fprintf(&b, "\n  %-12s %12s %12s %9s %11s %10s\n",
+		"shape", "poisson", "diurnal", "premium", "share-err", "saturated")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %-12s %12.0f %12.0f %9.3f %10.1fpp %10d\n",
+			string(row.Shape), row.PoissonSumFlow, row.DiurnalSumFlow, row.Premium,
+			100*row.MaxShareError, row.SaturatedPrefix)
+	}
+	fmt.Fprintf(&b, "\nclaims: the generated process matches the closed-form day/night contrast; the\n")
+	fmt.Fprintf(&b, "schedulers absorb the ~3:1 swing at unchanged offered load (premium ≈ 1); and\n")
+	fmt.Fprintf(&b, "the weighted fair clock (%s) holds shares through saturation.\n",
+		strings.Join(tenants, ","))
+	return b.String()
+}

@@ -1,0 +1,632 @@
+// The federation-chaos family: the self-healing machinery exercised
+// end to end. Four sub-scenarios — member flap (kill, evict, rejoin),
+// summary-channel partition with and without the live relay, a slow
+// member degrading past its transport budget, and a leader kill
+// mid-burst under replicated HA over real TCP — each asserting the
+// invariants production operation depends on: every task placed
+// exactly once, failures detected and healed, degradation bounded.
+
+package scenario
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"casched/internal/agent"
+	"casched/internal/cluster"
+	"casched/internal/fed"
+	"casched/internal/live"
+	"casched/internal/sched"
+	"casched/internal/task"
+	"casched/internal/workload"
+)
+
+// FedChaosConfig parameterizes the federation-chaos family. Zero
+// values select the committed defaults
+// (benchmarks/scenario-fedchaos.txt).
+type FedChaosConfig struct {
+	// N is the metatask size of the in-process sub-scenarios
+	// (default 160).
+	N int
+	// D is the mean inter-arrival in seconds (default 6).
+	D float64
+	// Seed drives generation, member decisions and routing
+	// (default 11).
+	Seed uint64
+	// Heuristic is the objective (default HMCT).
+	Heuristic string
+	// Members is the federation width (default 4).
+	Members int
+	// Replicas scales the Table 2 second-set testbed (default 2:
+	// eight servers, two per member).
+	Replicas int
+	// MaxFailures is the consecutive-failure eviction threshold for
+	// the flap and slow sub-scenarios (default 2).
+	MaxFailures int
+	// SkipLeaderKill skips the real-TCP HA sub-scenario (sockets,
+	// scaled wall time).
+	SkipLeaderKill bool
+}
+
+func (c *FedChaosConfig) defaults() {
+	if c.N == 0 {
+		c.N = 160
+	}
+	if c.D == 0 {
+		c.D = 6
+	}
+	if c.Seed == 0 {
+		c.Seed = 11
+	}
+	if c.Heuristic == "" {
+		c.Heuristic = "HMCT"
+	}
+	if c.Members == 0 {
+		c.Members = 4
+	}
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.MaxFailures == 0 {
+		c.MaxFailures = 2
+	}
+}
+
+// FlapResult measures the member flap sub-scenario: one member killed
+// mid-stream, detected, evicted, revived and readmitted.
+type FlapResult struct {
+	// N tasks submitted; Placed distinct jobs the member cores
+	// committed; Duplicates jobs committed more than once.
+	N, Placed, Duplicates int
+	// EvictionObserved: the victim was evicted while down.
+	// ReadmissionObserved: it was live again after revival.
+	EvictionObserved, ReadmissionObserved bool
+	// CleanSumFlow / ChaosSumFlow compare the identical workload with
+	// and without the outage; Ratio is chaos over clean.
+	CleanSumFlow, ChaosSumFlow, Ratio float64
+}
+
+// PartitionResult measures the summary-partition sub-scenario: every
+// member's summary channel severed mid-stream, with routing degrading
+// to frozen power-of-two-choices (relay off) or near-fresh
+// relay-priced placement (relay on).
+type PartitionResult struct {
+	// Sum-flow with summaries flowing (fresh fan-out), severed with
+	// relay off (frozen p2c), and severed with the relay on.
+	FreshSumFlow, FrozenSumFlow, RelaySumFlow float64
+	// FrozenRatio / RelayRatio are over fresh.
+	FrozenRatio, RelayRatio float64
+	// DegradedObserved: members were actually stale post-sever.
+	DegradedObserved bool
+}
+
+// SlowResult measures the slow-member sub-scenario: one member's
+// transport latency raised first below, then past the per-call
+// budget.
+type SlowResult struct {
+	N, Placed, Duplicates int
+	// SlowEvicted: the member whose latency exceeded the budget was
+	// evicted. DroppedOps counts its calls failed by injection.
+	SlowEvicted bool
+	DroppedOps  int
+}
+
+// LeaderKillResult reports the HA leader-kill sub-scenario (real TCP:
+// three dispatcher replicas, two members, four servers, the primary
+// killed mid-metatask).
+type LeaderKillResult struct {
+	// Ran is false when the sub-scenario was skipped.
+	Ran bool
+	// N tasks driven; Completed tasks that finished across the
+	// failover; Duplicates jobs placed more than once.
+	N, Completed, Duplicates int
+	// FailoverObserved: a standby held leadership afterwards, at
+	// TermAtLeastTwo (a later election than the first).
+	FailoverObserved, TermAtLeastTwo bool
+	// Err is the failure note when the e2e could not complete.
+	Err string
+}
+
+// FedChaosResult holds the family's measurements.
+type FedChaosResult struct {
+	Config     FedChaosConfig
+	Flap       FlapResult
+	Partition  PartitionResult
+	Slow       SlowResult
+	LeaderKill LeaderKillResult
+}
+
+// FedChaos runs the family.
+func FedChaos(cfg FedChaosConfig) (*FedChaosResult, error) {
+	cfg.defaults()
+	res := &FedChaosResult{Config: cfg}
+
+	mt, err := workload.Generate(workload.Set2(cfg.N, cfg.D, cfg.Seed))
+	if err != nil {
+		return nil, err
+	}
+	names, rewrite := testbed(cfg.Replicas)
+	for _, t := range mt.Tasks {
+		t.Spec = rewrite(t.Spec)
+	}
+
+	if res.Flap, err = runFlap(cfg, mt, names); err != nil {
+		return nil, err
+	}
+	if res.Partition, err = runPartition(cfg, mt, names); err != nil {
+		return nil, err
+	}
+	if res.Slow, err = runSlow(cfg, mt, names); err != nil {
+		return nil, err
+	}
+	if !cfg.SkipLeaderKill {
+		res.LeaderKill = runLeaderKill()
+	}
+	return res, nil
+}
+
+// chaosHarness holds one federation over chaos-wrapped in-process
+// members, with a fake summary clock and ground-truth decision
+// counting at the member cores.
+type chaosHarness struct {
+	d     *fed.Dispatcher
+	now   time.Time
+	mu    sync.Mutex
+	count map[int]int
+}
+
+type chaosSettings struct {
+	relay       bool
+	staleAfter  time.Duration
+	maxFailures int
+	probe       time.Duration
+}
+
+func newChaosHarness(cfg FedChaosConfig, hs chaosSettings, inj fed.Injector, names []string) (*chaosHarness, error) {
+	h := &chaosHarness{now: time.Unix(0, 0), count: make(map[int]int)}
+	members := make([]fed.Member, cfg.Members)
+	for i := range members {
+		s, err := sched.ByName(cfg.Heuristic)
+		if err != nil {
+			return nil, err
+		}
+		core, err := agent.New(agent.Config{Scheduler: s, Seed: cfg.Seed, Relay: hs.relay})
+		if err != nil {
+			return nil, err
+		}
+		core.Subscribe(func(ev agent.Event) {
+			if ev.Kind != agent.EventDecision {
+				return
+			}
+			h.mu.Lock()
+			h.count[ev.JobID]++
+			h.mu.Unlock()
+		})
+		var m fed.Member = fed.NewInProcess(fmt.Sprintf("m%d", i), core)
+		if inj != nil {
+			m = fed.Chaos(m, inj)
+		}
+		members[i] = m
+	}
+	d, err := fed.NewWithMembers(fed.Config{
+		Heuristic:     cfg.Heuristic,
+		Seed:          cfg.Seed,
+		Policy:        cluster.LeastLoaded(),
+		StaleAfter:    hs.staleAfter,
+		MaxFailures:   hs.maxFailures,
+		ProbeInterval: hs.probe,
+		Relay:         hs.relay,
+		Now:           func() time.Time { return h.now },
+	}, members)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range names {
+		if err := d.AddServer(n); err != nil {
+			return nil, err
+		}
+	}
+	h.d = d
+	return h, nil
+}
+
+// drive submits the metatask task by task, advancing the summary
+// clock one second per submission and running hook(i) before each.
+func (h *chaosHarness) drive(mt *task.Metatask, hook func(i int)) error {
+	for i, t := range mt.Tasks {
+		if hook != nil {
+			hook(i)
+		}
+		req := agent.Request{
+			JobID: t.ID, TaskID: t.ID, Spec: t.Spec,
+			Arrival: t.Arrival, Submitted: t.Arrival,
+			Tenant: t.Tenant, Deadline: t.Deadline,
+		}
+		if _, err := h.d.Submit(req); err != nil {
+			return fmt.Errorf("fedchaos: submit %d: %w", t.ID, err)
+		}
+		h.now = h.now.Add(time.Second)
+	}
+	return nil
+}
+
+func (h *chaosHarness) placed() (distinct, duplicates int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for _, n := range h.count {
+		distinct++
+		if n > 1 {
+			duplicates++
+		}
+	}
+	return distinct, duplicates
+}
+
+func memberEvicted(d *fed.Dispatcher, name string) bool {
+	for _, mi := range d.Members() {
+		if mi.Name == name {
+			return mi.Evicted
+		}
+	}
+	return false
+}
+
+func anyStale(d *fed.Dispatcher) bool {
+	for _, mi := range d.Members() {
+		if !mi.Evicted && !mi.Fresh {
+			return true
+		}
+	}
+	return false
+}
+
+// runFlap kills one member at 40% of the stream, expects eviction,
+// revives it at 70% and expects readmission — with every task placed
+// exactly once and the outage's sum-flow cost bounded against the
+// identical clean run.
+func runFlap(cfg FedChaosConfig, mt *task.Metatask, names []string) (FlapResult, error) {
+	res := FlapResult{N: mt.Len()}
+	settings := chaosSettings{
+		staleAfter:  time.Hour,
+		maxFailures: cfg.MaxFailures,
+		probe:       time.Second,
+	}
+
+	clean, err := newChaosHarness(cfg, settings, nil, names)
+	if err != nil {
+		return res, err
+	}
+	if err := clean.drive(mt, nil); err != nil {
+		return res, err
+	}
+	res.CleanSumFlow = sumFlowOf(clean.d, mt)
+
+	inj := fed.NewScriptInjector(0)
+	h, err := newChaosHarness(cfg, settings, inj, names)
+	if err != nil {
+		return res, err
+	}
+	const victim = "m1"
+	killAt, reviveAt := 2*mt.Len()/5, 7*mt.Len()/10
+	err = h.drive(mt, func(i int) {
+		switch i {
+		case killAt:
+			inj.Kill(victim)
+		case reviveAt:
+			res.EvictionObserved = memberEvicted(h.d, victim)
+			inj.Revive(victim)
+			// The probe clock must pass ProbeInterval before the next
+			// refresh readmits the revived member.
+			h.now = h.now.Add(2 * time.Second)
+			h.d.RefreshSummaries()
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.ReadmissionObserved = !memberEvicted(h.d, victim)
+	res.Placed, res.Duplicates = h.placed()
+	res.ChaosSumFlow = sumFlowOf(h.d, mt)
+	if res.CleanSumFlow > 0 {
+		res.Ratio = res.ChaosSumFlow / res.CleanSumFlow
+	}
+	return res, nil
+}
+
+// runPartition severs every member's summary channel at 10% of the
+// stream and compares fresh fan-out (no sever) against frozen
+// power-of-two-choices (relay off) and relay-priced degraded routing
+// (relay on, event channel intact).
+func runPartition(cfg FedChaosConfig, mt *task.Metatask, names []string) (PartitionResult, error) {
+	var res PartitionResult
+	severAt := mt.Len() / 10
+	run := func(relay, sever bool) (float64, bool, error) {
+		inj := fed.NewScriptInjector(0)
+		h, err := newChaosHarness(cfg, chaosSettings{
+			relay:      relay,
+			staleAfter: time.Nanosecond,
+			// Summary-fetch failures must not evict: the members are
+			// alive and reachable, only the gossip channel is cut.
+			maxFailures: 1 << 30,
+			probe:       time.Hour,
+		}, inj, names)
+		if err != nil {
+			return 0, false, err
+		}
+		err = h.drive(mt, func(i int) {
+			if sever && i == severAt {
+				for m := 0; m < cfg.Members; m++ {
+					inj.Sever(fmt.Sprintf("m%d", m), fed.OpSummary)
+				}
+			}
+		})
+		if err != nil {
+			return 0, false, err
+		}
+		return sumFlowOf(h.d, mt), anyStale(h.d), nil
+	}
+
+	fresh, _, err := run(false, false)
+	if err != nil {
+		return res, err
+	}
+	frozen, stale, err := run(false, true)
+	if err != nil {
+		return res, err
+	}
+	res.DegradedObserved = stale
+	relay, _, err := run(true, true)
+	if err != nil {
+		return res, err
+	}
+	res.FreshSumFlow, res.FrozenSumFlow, res.RelaySumFlow = fresh, frozen, relay
+	if fresh > 0 {
+		res.FrozenRatio = frozen / fresh
+		res.RelayRatio = relay / fresh
+	}
+	return res, nil
+}
+
+// runSlow raises one member's injected transport latency first below
+// the per-call budget (real delay, still correct), then past it
+// (fails like a dial timeout) — the member must be evicted and every
+// task still placed exactly once.
+func runSlow(cfg FedChaosConfig, mt *task.Metatask, names []string) (SlowResult, error) {
+	res := SlowResult{N: mt.Len()}
+	const budget = 50 * time.Millisecond
+	inj := fed.NewScriptInjector(budget)
+	h, err := newChaosHarness(cfg, chaosSettings{
+		staleAfter:  time.Hour,
+		maxFailures: cfg.MaxFailures,
+		probe:       time.Hour,
+	}, inj, names)
+	if err != nil {
+		return res, err
+	}
+	const victim = "m2"
+	slowAt, brokenAt := mt.Len()/3, mt.Len()/2
+	err = h.drive(mt, func(i int) {
+		switch i {
+		case slowAt:
+			inj.SetLatency(victim, 200*time.Microsecond)
+		case brokenAt:
+			inj.SetLatency(victim, budget)
+		}
+	})
+	if err != nil {
+		return res, err
+	}
+	res.SlowEvicted = memberEvicted(h.d, victim)
+	res.Placed, res.Duplicates = h.placed()
+	res.DroppedOps = inj.Dropped(victim)
+	return res, nil
+}
+
+// runLeaderKill is the real-TCP HA sub-scenario: three dispatcher
+// replicas under leader election, two members, four servers, the
+// primary killed once enough of the metatask is in flight. The
+// metatask must complete through the surviving standby with no job
+// placed twice. Non-fatal: failures are reported in the result.
+func runLeaderKill() LeaderKillResult {
+	res := LeaderKillResult{N: 24}
+	fail := func(format string, a ...any) LeaderKillResult {
+		res.Err = fmt.Sprintf(format, a...)
+		return res
+	}
+	clock := live.NewClock(400)
+
+	newDispatcher := func(id string, standby bool) (*fed.Server, error) {
+		return fed.StartServer(fed.ServerConfig{
+			Heuristic:       "HMCT",
+			Policy:          cluster.LeastLoaded(),
+			Clock:           clock,
+			Seed:            7,
+			Timeout:         time.Second,
+			SummaryInterval: 50 * time.Millisecond,
+			StaleAfter:      2 * time.Second,
+			MaxFailures:     3,
+			Relay:           true,
+			RelayInterval:   25 * time.Millisecond,
+			HA: &fed.HAConfig{
+				ID:        id,
+				Lease:     400 * time.Millisecond,
+				Heartbeat: 100 * time.Millisecond,
+				Standby:   standby,
+			},
+		})
+	}
+	fsA, err := newDispatcher("da", false)
+	if err != nil {
+		return fail("dispatcher da: %v", err)
+	}
+	defer fsA.Close()
+	fsB, err := newDispatcher("db", true)
+	if err != nil {
+		return fail("dispatcher db: %v", err)
+	}
+	defer fsB.Close()
+	fsC, err := newDispatcher("dc", true)
+	if err != nil {
+		return fail("dispatcher dc: %v", err)
+	}
+	defer fsC.Close()
+	replicas := map[string]*fed.Server{"da": fsA, "db": fsB, "dc": fsC}
+	for id, fs := range replicas {
+		peers := map[string]string{}
+		for pid, p := range replicas {
+			if pid != id {
+				peers[pid] = p.Addr()
+			}
+		}
+		fs.SetHAPeers(peers)
+	}
+	addrList := fsA.Addr() + "," + fsB.Addr() + "," + fsC.Addr()
+
+	waitFor := func(timeout time.Duration, ok func() bool) bool {
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if ok() {
+				return true
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return false
+	}
+	if !waitFor(10*time.Second, func() bool { return fsA.HAStatus().IsLeader }) {
+		return fail("primary never won the first election")
+	}
+
+	// Ground-truth duplicate detection at the member cores; the leader
+	// dies once enough of the metatask is in flight.
+	var decMu sync.Mutex
+	decCount := map[int]int{}
+	killCh := make(chan struct{})
+	var killOnce sync.Once
+	onEvent := func(ev agent.Event) {
+		if ev.Kind != agent.EventDecision {
+			return
+		}
+		decMu.Lock()
+		decCount[ev.JobID]++
+		if len(decCount) >= 6 {
+			killOnce.Do(func() { close(killCh) })
+		}
+		decMu.Unlock()
+	}
+	for _, name := range []string{"m1", "m2"} {
+		s, err := sched.ByName("HMCT")
+		if err != nil {
+			return fail("scheduler: %v", err)
+		}
+		m, err := live.StartAgent(live.AgentConfig{
+			Scheduler: s,
+			Clock:     clock,
+			Seed:      7,
+			Join:      addrList,
+			Name:      name,
+		})
+		if err != nil {
+			return fail("member %s: %v", name, err)
+		}
+		defer m.Close()
+		m.Core().Subscribe(onEvent)
+	}
+	for _, name := range []string{"artimon", "cabestan", "spinnaker", "valette"} {
+		srv, err := live.StartServer(live.ServerConfig{
+			Name:      name,
+			AgentAddr: addrList,
+			Clock:     clock,
+		})
+		if err != nil {
+			return fail("server %s: %v", name, err)
+		}
+		defer srv.Close()
+	}
+
+	go func() {
+		<-killCh
+		fsA.Close()
+	}()
+
+	mt, err := workload.Generate(workload.Set2(24, 4, 5))
+	if err != nil {
+		return fail("workload: %v", err)
+	}
+	results, err := live.RunMetatask(addrList, mt, clock)
+	if err != nil {
+		return fail("metatask across failover: %v", err)
+	}
+	res.Ran = true
+	select {
+	case <-killCh:
+	default:
+		return fail("metatask finished before the leader was killed")
+	}
+	for _, r := range results {
+		if r.Completed {
+			res.Completed++
+		}
+	}
+	decMu.Lock()
+	for _, n := range decCount {
+		if n > 1 {
+			res.Duplicates++
+		}
+	}
+	decMu.Unlock()
+
+	var leader *fed.Server
+	if !waitFor(15*time.Second, func() bool {
+		for _, fs := range []*fed.Server{fsB, fsC} {
+			if fs.HAStatus().IsLeader {
+				leader = fs
+				return true
+			}
+		}
+		return false
+	}) {
+		return fail("no standby took over after the leader died")
+	}
+	res.FailoverObserved = true
+	res.TermAtLeastTwo = leader.HAStatus().Term >= 2
+	return res
+}
+
+// FormatFedChaos renders the family as a small report.
+func FormatFedChaos(r *FedChaosResult) string {
+	var b strings.Builder
+	c := r.Config
+	fmt.Fprintf(&b, "scenario: federation chaos — %s, poisson set 2, N=%d D=%gs, %d members / %d servers, seed %d, max-failures %d\n",
+		c.Heuristic, c.N, c.D, c.Members, 4*c.Replicas, c.Seed, c.MaxFailures)
+	f := r.Flap
+	fmt.Fprintf(&b, "\nflap (kill m1 at 40%%, revive at 70%%):\n")
+	fmt.Fprintf(&b, "  placed %d/%d, duplicates %d, evicted while down %v, readmitted after revival %v\n",
+		f.Placed, f.N, f.Duplicates, f.EvictionObserved, f.ReadmissionObserved)
+	fmt.Fprintf(&b, "  sum-flow clean %.0f, with outage %.0f (ratio %.3f)\n",
+		f.CleanSumFlow, f.ChaosSumFlow, f.Ratio)
+	p := r.Partition
+	fmt.Fprintf(&b, "\npartition (summary channel severed on every member at 10%%):\n")
+	fmt.Fprintf(&b, "  sum-flow fresh %.0f, frozen p2c %.0f (%.3f×), relay degraded %.0f (%.3f×), stale observed %v\n",
+		p.FreshSumFlow, p.FrozenSumFlow, p.FrozenRatio, p.RelaySumFlow, p.RelayRatio, p.DegradedObserved)
+	s := r.Slow
+	fmt.Fprintf(&b, "\nslow member (m2: 200µs at 33%%, ≥budget at 50%%):\n")
+	fmt.Fprintf(&b, "  placed %d/%d, duplicates %d, evicted %v, injected drops %d\n",
+		s.Placed, s.N, s.Duplicates, s.SlowEvicted, s.DroppedOps)
+	lk := r.LeaderKill
+	fmt.Fprintf(&b, "\nleader kill (real TCP, 3 HA replicas, primary killed mid-metatask):\n")
+	switch {
+	case !lk.Ran && lk.Err == "":
+		fmt.Fprintf(&b, "  skipped\n")
+	case lk.Err != "":
+		fmt.Fprintf(&b, "  FAILED: %s\n", lk.Err)
+	default:
+		fmt.Fprintf(&b, "  completed %d/%d, duplicates %d, standby took over %v, term >= 2 %v\n",
+			lk.Completed, lk.N, lk.Duplicates, lk.FailoverObserved, lk.TermAtLeastTwo)
+	}
+	fmt.Fprintf(&b, "\nclaims: every submitted task is placed exactly once through kill, partition,\n")
+	fmt.Fprintf(&b, "slowdown and leader failover; dead and slow members are evicted and revived\n")
+	fmt.Fprintf(&b, "members readmitted; the relay keeps degraded routing no worse than frozen p2c.\n")
+	return b.String()
+}

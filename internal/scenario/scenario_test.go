@@ -1,0 +1,213 @@
+package scenario
+
+// Every headline claim printed in a committed benchmarks/scenario-*.txt
+// table is pinned here, at the family's committed defaults — the
+// tables cannot drift from what the code reproduces.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFamiliesRegistry(t *testing.T) {
+	fams := Families()
+	if len(fams) < 4 {
+		t.Fatalf("registry has %d families, want >= 4", len(fams))
+	}
+	seen := map[string]bool{}
+	for _, f := range fams {
+		if f.Name == "" || f.Description == "" || f.Run == nil {
+			t.Errorf("family %+v incomplete", f.Name)
+		}
+		if !strings.HasPrefix(f.File, "benchmarks/scenario-") {
+			t.Errorf("family %s file %q outside benchmarks/scenario-*", f.Name, f.File)
+		}
+		if seen[f.Name] {
+			t.Errorf("duplicate family name %s", f.Name)
+		}
+		seen[f.Name] = true
+		got, err := FamilyByName(f.Name)
+		if err != nil || got.Name != f.Name {
+			t.Errorf("FamilyByName(%s) = %v, %v", f.Name, got.Name, err)
+		}
+	}
+	if _, err := FamilyByName("no-such-family"); err == nil {
+		t.Error("unknown family resolved")
+	}
+}
+
+// TestTraceReplayIdentical pins the trace family's claim: the CSV
+// round trip drives every shape to the exact projections of the
+// direct run.
+func TestTraceReplayIdentical(t *testing.T) {
+	r, err := Trace(TraceConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("trace ran %d shapes, want >= 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if !row.Identical {
+			t.Errorf("%s: replay diverged from direct run", row.Shape)
+		}
+		if row.DirectSumFlow != row.ReplaySumFlow {
+			t.Errorf("%s: sum-flow %f != %f", row.Shape, row.DirectSumFlow, row.ReplaySumFlow)
+		}
+		if row.DirectSumFlow <= 0 {
+			t.Errorf("%s: no flow measured", row.Shape)
+		}
+	}
+}
+
+// TestDiurnalClaims pins the diurnal family's three claims: the
+// generated process matches the closed-form day/night contrast, the
+// schedulers absorb the swing (premium ≈ 1), and fair shares hold
+// through saturation.
+func TestDiurnalClaims(t *testing.T) {
+	r, err := Diurnal(DiurnalConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := r.DayNightRatio / r.TheoreticalRatio; ratio < 0.85 || ratio > 1.15 {
+		t.Errorf("day/night ratio %.2f vs closed form %.2f: off by more than 15%%",
+			r.DayNightRatio, r.TheoreticalRatio)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("diurnal ran %d shapes, want >= 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.Premium < 0.9 || row.Premium > 1.1 {
+			t.Errorf("%s: premium %.3f outside [0.9, 1.1] — the swing is no longer absorbed",
+				row.Shape, row.Premium)
+		}
+		if row.MaxShareError > 0.02 {
+			t.Errorf("%s: share error %.1fpp exceeds 2pp under saturation",
+				row.Shape, 100*row.MaxShareError)
+		}
+		if row.SaturatedPrefix < 50 {
+			t.Errorf("%s: saturated prefix %d too short to measure shares",
+				row.Shape, row.SaturatedPrefix)
+		}
+	}
+}
+
+// TestHeavyTailClaims pins the heavy-tail family's claim: at
+// unchanged offered load the pain moves from the mean to the tail —
+// total flow drops below nominal while the worst single task's flow
+// is multiples of nominal's.
+func TestHeavyTailClaims(t *testing.T) {
+	r, err := HeavyTail(HeavyTailConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ParetoMaxOverMean < 10 {
+		t.Errorf("Pareto max/mean compute %.1f, want >= 10 (no tail generated)", r.ParetoMaxOverMean)
+	}
+	if r.LognormalMaxOverMean < 5 {
+		t.Errorf("lognormal max/mean compute %.1f, want >= 5", r.LognormalMaxOverMean)
+	}
+	if len(r.Rows) < 2 {
+		t.Fatalf("heavytail ran %d shapes, want >= 2", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.ParetoSumRatio >= 1 {
+			t.Errorf("%s: Pareto sum-flow ratio %.2f, want < 1 (mice drain fast)",
+				row.Shape, row.ParetoSumRatio)
+		}
+		if row.LognormalSumRatio >= 1 {
+			t.Errorf("%s: lognormal sum-flow ratio %.2f, want < 1", row.Shape, row.LognormalSumRatio)
+		}
+		if row.ParetoMaxRatio < 1.5 {
+			t.Errorf("%s: Pareto max-flow ratio %.2f, want >= 1.5 (tail latency)",
+				row.Shape, row.ParetoMaxRatio)
+		}
+		if row.LognormalMaxRatio < 1.5 {
+			t.Errorf("%s: lognormal max-flow ratio %.2f, want >= 1.5", row.Shape, row.LognormalMaxRatio)
+		}
+	}
+}
+
+// TestScenarioFedChaos pins the in-process chaos sub-scenarios at the
+// family's committed defaults (the CI chaos job runs this under
+// -race).
+func TestScenarioFedChaos(t *testing.T) {
+	r, err := FedChaos(FedChaosConfig{SkipLeaderKill: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Run("Flap", func(t *testing.T) {
+		f := r.Flap
+		if f.Placed != f.N {
+			t.Errorf("placed %d/%d through the flap", f.Placed, f.N)
+		}
+		if f.Duplicates != 0 {
+			t.Errorf("%d jobs placed more than once", f.Duplicates)
+		}
+		if !f.EvictionObserved {
+			t.Error("killed member was never evicted")
+		}
+		if !f.ReadmissionObserved {
+			t.Error("revived member was never readmitted")
+		}
+		if f.Ratio < 1.0 || f.Ratio > 1.5 {
+			t.Errorf("outage sum-flow ratio %.3f outside [1.0, 1.5]", f.Ratio)
+		}
+	})
+	t.Run("Partition", func(t *testing.T) {
+		p := r.Partition
+		if !p.DegradedObserved {
+			t.Error("members never went stale after the sever")
+		}
+		if p.RelayRatio > 1.1 {
+			t.Errorf("relay degraded routing %.3f× fresh, want <= 1.1×", p.RelayRatio)
+		}
+		if p.FrozenRatio <= p.RelayRatio {
+			t.Errorf("frozen p2c (%.3f×) not worse than relay (%.3f×) — the relay buys nothing",
+				p.FrozenRatio, p.RelayRatio)
+		}
+	})
+	t.Run("Slow", func(t *testing.T) {
+		s := r.Slow
+		if s.Placed != s.N {
+			t.Errorf("placed %d/%d around the slow member", s.Placed, s.N)
+		}
+		if s.Duplicates != 0 {
+			t.Errorf("%d jobs placed more than once", s.Duplicates)
+		}
+		if !s.SlowEvicted {
+			t.Error("member past its latency budget was never evicted")
+		}
+		if s.DroppedOps == 0 {
+			t.Error("no calls were actually dropped by injection")
+		}
+	})
+}
+
+// TestScenarioFedChaosLeaderKill pins the real-TCP HA sub-scenario:
+// the metatask completes through a leader kill with no duplicate
+// placements and a standby holding a later term.
+func TestScenarioFedChaosLeaderKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("leader-kill e2e needs sockets and scaled wall time")
+	}
+	res := runLeaderKill()
+	if res.Err != "" {
+		t.Fatalf("leader-kill sub-scenario: %s", res.Err)
+	}
+	if !res.Ran {
+		t.Fatal("sub-scenario did not run")
+	}
+	if res.Completed != res.N {
+		t.Errorf("completed %d/%d across the failover", res.Completed, res.N)
+	}
+	if res.Duplicates != 0 {
+		t.Errorf("%d jobs placed more than once across the failover", res.Duplicates)
+	}
+	if !res.FailoverObserved {
+		t.Error("no standby took over")
+	}
+	if !res.TermAtLeastTwo {
+		t.Error("post-failover term below 2")
+	}
+}

@@ -33,6 +33,16 @@ const (
 	// during a burst the agent must evaluate candidates several times
 	// faster than the long-run rate suggests.
 	ArrivalPoissonBurst
+	// ArrivalDiurnal is an inhomogeneous Poisson process with a smooth
+	// sinusoidal day/night rate, λ(t) = λ0·(1 + A·sin(2πt/P)), sampled
+	// by thinning (Lewis–Shedler; the simulation scheme of Hohmann
+	// 2019): candidate arrivals are drawn homogeneously at the peak
+	// rate λ0·(1+A) and accepted with probability λ(t)/λmax, which
+	// realizes the exact target intensity with no discretization. The
+	// cycle-average rate is λ0 by construction, so the long-run mean
+	// inter-arrival time stays at the scenario's D — the smooth
+	// counterpart of ArrivalPoissonBurst's on/off profile.
+	ArrivalDiurnal
 )
 
 // String returns the process name.
@@ -48,6 +58,8 @@ func (p ArrivalProcess) String() string {
 		return "constant"
 	case ArrivalPoissonBurst:
 		return "poisson-burst"
+	case ArrivalDiurnal:
+		return "diurnal"
 	default:
 		return fmt.Sprintf("ArrivalProcess(%d)", int(p))
 	}
@@ -76,6 +88,17 @@ const (
 	quietRateFloor = 1e-3
 )
 
+// Defaults for the sinusoidal diurnal process.
+const (
+	// defaultDiurnalAmplitude is the relative rate swing A: the peak
+	// ("noon") rate is (1+A)·λ0 and the trough ("night") rate (1−A)·λ0.
+	defaultDiurnalAmplitude = 0.8
+	// defaultDiurnalPeriodD is the day length in units of the mean
+	// inter-arrival time D — short enough that a paper-scale metatask
+	// spans several full day/night cycles.
+	defaultDiurnalPeriodD = 40.0
+)
+
 // gapGenerator returns a function producing the i-th inter-arrival gap
 // (called for i = 1..N-1).
 func gapGenerator(sc Scenario, rng *stats.RNG) func(i int) float64 {
@@ -98,6 +121,8 @@ func gapGenerator(sc Scenario, rng *stats.RNG) func(i int) float64 {
 		return func(int) float64 { return mean }
 	case ArrivalPoissonBurst:
 		return poissonBurstGaps(sc, rng)
+	case ArrivalDiurnal:
+		return diurnalGaps(sc, rng)
 	default: // ArrivalPoisson
 		return func(int) float64 { return rng.Exp(mean) }
 	}
@@ -168,6 +193,41 @@ func poissonBurstGaps(sc Scenario, rng *stats.RNG) func(i int) float64 {
 				next = math.Nextafter(t, math.Inf(1))
 			}
 			t = next
+		}
+	}
+}
+
+// diurnalGaps draws inter-arrival gaps from the sinusoidal diurnal
+// process by thinning: candidate points arrive homogeneously at the
+// peak rate λmax = (1+A)·λ0 and each is kept with probability
+// λ(t)/λmax. Thinning is exact for any bounded intensity (no rate
+// discretization, unlike the piecewise-constant burst profile) at the
+// cost of rejected candidate draws — at most 1/(1−A/(1+A)) ≈ 2 draws
+// per arrival for the default amplitude.
+func diurnalGaps(sc Scenario, rng *stats.RNG) func(i int) float64 {
+	amp := sc.DiurnalAmplitude
+	if amp <= 0 || amp > 1 {
+		amp = defaultDiurnalAmplitude
+	}
+	period := sc.DiurnalPeriod
+	if period <= 0 {
+		period = defaultDiurnalPeriodD * sc.MeanInterarrival
+	}
+	lambda0 := 1 / sc.MeanInterarrival
+	lambdaMax := (1 + amp) * lambda0
+
+	// t is the absolute time of the previous arrival; the sinusoid is
+	// anchored at t = 0 so the same period always yields the same
+	// day/night phases regardless of FirstAt.
+	t := sc.FirstAt
+	return func(int) float64 {
+		start := t
+		for {
+			t += rng.Exp(1 / lambdaMax)
+			rate := lambda0 * (1 + amp*math.Sin(2*math.Pi*t/period))
+			if rng.Float64()*lambdaMax <= rate {
+				return t - start
+			}
 		}
 	}
 }

@@ -15,6 +15,9 @@ import (
 // variant, arrival; when any task carries a tenant or a deadline the
 // optional tenant and deadline columns are appended, so traces without
 // multi-tenant state keep the historical 4-column format byte-for-byte.
+// Arrival and deadline are written in the shortest decimal form that
+// parses back to the identical float64, so a round-tripped trace
+// replays bit-identically, not merely to within truncation error.
 func WriteCSV(w io.Writer, mt *task.Metatask) error {
 	if err := mt.Validate(); err != nil {
 		return fmt.Errorf("workload: write csv: %w", err)
@@ -40,13 +43,13 @@ func WriteCSV(w io.Writer, mt *task.Metatask) error {
 			strconv.Itoa(t.ID),
 			t.Spec.Problem,
 			strconv.Itoa(t.Spec.Variant),
-			strconv.FormatFloat(t.Arrival, 'f', 6, 64),
+			strconv.FormatFloat(t.Arrival, 'g', -1, 64),
 		}
 		if withTenant {
 			row = append(row, t.Tenant)
 		}
 		if withDeadline {
-			row = append(row, strconv.FormatFloat(t.Deadline, 'f', 6, 64))
+			row = append(row, strconv.FormatFloat(t.Deadline, 'g', -1, 64))
 		}
 		if err := cw.Write(row); err != nil {
 			return fmt.Errorf("workload: write csv row %d: %w", t.ID, err)

@@ -1,0 +1,184 @@
+package workload
+
+// The scenario-harness workload dimensions: the sinusoidal diurnal
+// inhomogeneous-Poisson process (thinning) and the heavy-tailed
+// service-time scalers, plus the bit-compat guarantee that scenarios
+// predating both dimensions generate unchanged.
+
+import (
+	"math"
+	"testing"
+)
+
+// TestDiurnalMeanPreserved pins the thinning construction: the
+// cycle-average rate is λ0, so over many day/night cycles the mean
+// inter-arrival time converges to D.
+func TestDiurnalMeanPreserved(t *testing.T) {
+	const d = 10.0
+	sc := Diurnal(40000, d, 11)
+	mt := MustGenerate(sc)
+	last := mt.Tasks[len(mt.Tasks)-1].Arrival
+	mean := last / float64(len(mt.Tasks)-1)
+	if math.Abs(mean-d)/d > 0.03 {
+		t.Errorf("diurnal long-run mean inter-arrival = %.3f, want ≈%.1f", mean, d)
+	}
+}
+
+// TestDiurnalDayNightContrast pins the point of the process: binning
+// arrivals by phase-of-day, the peak half-cycle ("day": sin > 0) must
+// carry substantially more arrivals than the trough half ("night") —
+// approaching (1+2A/π)/(1−2A/π) for amplitude A.
+func TestDiurnalDayNightContrast(t *testing.T) {
+	sc := Diurnal(40000, 10, 11)
+	sc.DiurnalAmplitude = 0.8
+	mt := MustGenerate(sc)
+	period := defaultDiurnalPeriodD * sc.MeanInterarrival
+	var day, night int
+	for _, tk := range mt.Tasks {
+		if math.Sin(2*math.Pi*tk.Arrival/period) > 0 {
+			day++
+		} else {
+			night++
+		}
+	}
+	ratio := float64(day) / float64(night)
+	// E[day rate]/E[night rate] = (1+2A/π)/(1−2A/π) ≈ 3.09 at A=0.8.
+	want := (1 + 2*0.8/math.Pi) / (1 - 2*0.8/math.Pi)
+	if ratio < 0.85*want || ratio > 1.15*want {
+		t.Errorf("day/night arrival ratio = %.2f, want ≈%.2f", ratio, want)
+	}
+}
+
+// TestHeavyTailUnitMean pins the unit-mean construction of both
+// scalers: across many tasks the mean compute scale factor is 1, so
+// the offered load matches the nominal scenario.
+func TestHeavyTailUnitMean(t *testing.T) {
+	for _, dist := range []ServiceProcess{ServicePareto, ServiceLognormal} {
+		sc := Set2(30000, 10, 7)
+		sc.Service = dist
+		mt := MustGenerate(sc)
+		nominal := Set2(30000, 10, 7)
+		base := MustGenerate(nominal)
+		var got, want float64
+		for i, tk := range mt.Tasks {
+			for s, c := range tk.Spec.CostOn {
+				got += c.Compute
+				want += base.Tasks[i].Spec.CostOn[s].Compute
+				break
+			}
+		}
+		ratio := got / want
+		// Pareto α=1.5 has infinite variance: the sample mean converges
+		// slowly, so the tolerance is loose (the cap also trims ~2% of
+		// the mass). Lognormal converges much faster.
+		tol := 0.15
+		if dist == ServiceLognormal {
+			tol = 0.05
+		}
+		if math.Abs(ratio-1) > tol {
+			t.Errorf("%v mean compute scale = %.3f, want ≈1", dist, ratio)
+		}
+	}
+}
+
+// TestHeavyTailHasElephants pins the tail itself: the largest task is
+// far above the mean, where the nominal mix is bounded by its largest
+// type.
+func TestHeavyTailHasElephants(t *testing.T) {
+	sc := HeavyTail(Set2(5000, 10, 7), ServicePareto, 1.5)
+	mt := MustGenerate(sc)
+	var maxF, sum float64
+	for _, tk := range mt.Tasks {
+		for _, c := range tk.Spec.CostOn {
+			sum += c.Compute
+			if c.Compute > maxF {
+				maxF = c.Compute
+			}
+			break
+		}
+	}
+	mean := sum / float64(len(mt.Tasks))
+	if maxF < 10*mean {
+		t.Errorf("Pareto max/mean compute = %.1f, want ≥ 10 (no tail generated)", maxF/mean)
+	}
+}
+
+// TestHeavyTailTransfersNominal pins that the tail lives in the
+// compute phase only: input/output transfer costs stay at the drawn
+// type's nominal values.
+func TestHeavyTailTransfersNominal(t *testing.T) {
+	sc := HeavyTail(Set2(200, 10, 7), ServiceLognormal, 0)
+	mt := MustGenerate(sc)
+	base := MustGenerate(Set2(200, 10, 7))
+	for i, tk := range mt.Tasks {
+		for s, c := range tk.Spec.CostOn {
+			bc := base.Tasks[i].Spec.CostOn[s]
+			if c.Input != bc.Input || c.Output != bc.Output {
+				t.Fatalf("task %d server %s transfers scaled: got %v/%v want %v/%v",
+					i, s, c.Input, c.Output, bc.Input, bc.Output)
+			}
+		}
+	}
+}
+
+// TestHeavyTailCapBounds pins TailCap: no scale factor exceeds the cap
+// times the type's nominal compute.
+func TestHeavyTailCapBounds(t *testing.T) {
+	sc := HeavyTail(Set2(20000, 10, 7), ServicePareto, 1.1)
+	sc.TailCap = 5
+	mt := MustGenerate(sc)
+	base := MustGenerate(Set2(20000, 10, 7))
+	for i, tk := range mt.Tasks {
+		for s, c := range tk.Spec.CostOn {
+			if c.Compute > 5*base.Tasks[i].Spec.CostOn[s].Compute*1.0000001 {
+				t.Fatalf("task %d scale factor %.2f exceeds cap 5",
+					i, c.Compute/base.Tasks[i].Spec.CostOn[s].Compute)
+			}
+			break
+		}
+	}
+}
+
+// TestNominalScenariosUnchanged pins the decorrelated-stream contract
+// extended to the service dimension: scenarios without diurnal or
+// heavy-tail settings must generate bit-identically to before the
+// dimensions existed (same arrivals, same spec pointers).
+func TestNominalScenariosUnchanged(t *testing.T) {
+	a := MustGenerate(Set2(300, 20, 5))
+	b := MustGenerate(Set2(300, 20, 5))
+	for i := range a.Tasks {
+		if a.Tasks[i].Arrival != b.Tasks[i].Arrival ||
+			a.Tasks[i].Spec.Variant != b.Tasks[i].Spec.Variant {
+			t.Fatalf("task %d differs across identical nominal generations", i)
+		}
+	}
+	// And a heavy-tail scenario must keep the same arrivals and task
+	// types as its nominal twin (the service stream is decorrelated).
+	ht := MustGenerate(HeavyTail(Set2(300, 20, 5), ServicePareto, 1.5))
+	for i := range a.Tasks {
+		if a.Tasks[i].Arrival != ht.Tasks[i].Arrival {
+			t.Fatalf("task %d arrival differs under heavy-tail service", i)
+		}
+		if a.Tasks[i].Spec.Variant != ht.Tasks[i].Spec.Variant {
+			t.Fatalf("task %d type differs under heavy-tail service", i)
+		}
+	}
+}
+
+// TestValidateDiurnalAndService covers the new validation arms.
+func TestValidateDiurnalAndService(t *testing.T) {
+	sc := Diurnal(10, 10, 1)
+	sc.DiurnalAmplitude = 1.5
+	if _, err := Generate(sc); err == nil {
+		t.Error("amplitude > 1 accepted")
+	}
+	sc2 := HeavyTail(Set2(10, 10, 1), ServicePareto, 0.9)
+	if _, err := Generate(sc2); err == nil {
+		t.Error("Pareto alpha <= 1 accepted")
+	}
+	sc3 := HeavyTail(Set2(10, 10, 1), ServiceLognormal, 0)
+	sc3.TailSigma = -1
+	if _, err := Generate(sc3); err == nil {
+		t.Error("negative lognormal sigma accepted")
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"casched/internal/stats"
+	"casched/internal/task"
+)
+
+// ServiceProcess selects the service-time distribution of a scenario.
+// The paper's workloads have fixed per-type costs (three discrete
+// sizes); production traces are heavy-tailed — most tasks are mice, a
+// few elephants carry most of the work. The heavy-tailed processes
+// keep the per-(type, server) cost structure and scale each task's
+// compute phase by an independent unit-mean factor, so the long-run
+// offered load matches the nominal scenario while the size
+// distribution grows a tail.
+type ServiceProcess int
+
+const (
+	// ServiceNominal keeps the paper's fixed per-type costs.
+	ServiceNominal ServiceProcess = iota
+	// ServicePareto scales compute by X = xm/U^(1/α) with
+	// xm = (α−1)/α, a Pareto variable with E[X] = 1. The default tail
+	// index α = 1.5 has finite mean and infinite variance — the
+	// regime where size-blind scheduling falls apart.
+	ServicePareto
+	// ServiceLognormal scales compute by X = exp(σZ − σ²/2), a
+	// lognormal variable with E[X] = 1 (default σ = 1.2).
+	ServiceLognormal
+)
+
+// String returns the process name.
+func (p ServiceProcess) String() string {
+	switch p {
+	case ServiceNominal:
+		return "nominal"
+	case ServicePareto:
+		return "pareto"
+	case ServiceLognormal:
+		return "lognormal"
+	default:
+		return fmt.Sprintf("ServiceProcess(%d)", int(p))
+	}
+}
+
+// Defaults for the heavy-tailed service processes.
+const (
+	defaultTailShape = 1.5
+	defaultTailSigma = 1.2
+	defaultTailCap   = 100.0
+)
+
+// serviceScaler returns a function deriving a per-task spec from the
+// drawn type: the compute phase of every per-server cost is scaled by
+// one unit-mean heavy-tailed factor per task (transfer phases stay
+// nominal — the tail lives in the computation, not the payload).
+func serviceScaler(sc Scenario, rng *stats.RNG) func(*task.Spec) *task.Spec {
+	capf := sc.TailCap
+	if capf == 0 {
+		capf = defaultTailCap
+	}
+	var draw func() float64
+	switch sc.Service {
+	case ServicePareto:
+		alpha := sc.TailShape
+		if alpha == 0 {
+			alpha = defaultTailShape
+		}
+		xm := (alpha - 1) / alpha
+		draw = func() float64 {
+			// Inverse-CDF with U in (0, 1]: 1−Float64() avoids the
+			// U = 0 pole.
+			return xm / math.Pow(1-rng.Float64(), 1/alpha)
+		}
+	case ServiceLognormal:
+		sigma := sc.TailSigma
+		if sigma == 0 {
+			sigma = defaultTailSigma
+		}
+		draw = func() float64 {
+			return math.Exp(sigma*rng.Normal(0, 1) - sigma*sigma/2)
+		}
+	default:
+		return nil
+	}
+	return func(sp *task.Spec) *task.Spec {
+		f := draw()
+		if capf > 0 && f > capf {
+			f = capf
+		}
+		out := &task.Spec{
+			Problem:  sp.Problem,
+			Variant:  sp.Variant,
+			MemoryMB: sp.MemoryMB,
+			CostOn:   make(map[string]task.Cost, len(sp.CostOn)),
+		}
+		for s, c := range sp.CostOn {
+			out.CostOn[s] = task.Cost{Input: c.Input, Compute: c.Compute * f, Output: c.Output}
+		}
+		return out
+	}
+}

@@ -45,6 +45,32 @@ type Scenario struct {
 	// BurstPeriod, for ArrivalPoissonBurst, is the cycle length in
 	// seconds (default 20·MeanInterarrival).
 	BurstPeriod float64
+	// DiurnalAmplitude, for ArrivalDiurnal, is the relative rate swing
+	// A in (0, 1]: λ(t) = λ0·(1 + A·sin(2πt/DiurnalPeriod)) (default
+	// 0.8).
+	DiurnalAmplitude float64
+	// DiurnalPeriod, for ArrivalDiurnal, is the day length in seconds
+	// (default 40·MeanInterarrival).
+	DiurnalPeriod float64
+	// Service selects the service-time distribution layered over the
+	// nominal spec costs (default ServiceNominal, the paper's fixed
+	// per-type costs). Heavy-tailed choices scale each task's compute
+	// cost by an independent unit-mean factor, so the offered load is
+	// preserved while the size distribution grows a tail. Tasks then
+	// carry derived specs, which do not round-trip through the CSV
+	// format (the trace columns identify specs by problem/variant).
+	Service ServiceProcess
+	// TailShape, for ServicePareto, is the Pareto tail index α > 1
+	// (default 1.5: infinite variance, finite mean — the classic
+	// heavy-tail regime).
+	TailShape float64
+	// TailSigma, for ServiceLognormal, is the lognormal shape σ
+	// (default 1.2).
+	TailSigma float64
+	// TailCap bounds the per-task scale factor (default 100): a cap on
+	// the largest elephant so a single draw cannot dominate an entire
+	// study's makespan. Set negative to disable.
+	TailCap float64
 	// Tenants, when non-empty, labels each generated task with a tenant
 	// drawn from this map with probability proportional to the value
 	// (an offered-load mix, independent of the fair-share weights the
@@ -86,6 +112,17 @@ func (s Scenario) Validate() error {
 	if s.DeadlineSlack < 0 {
 		return fmt.Errorf("workload: scenario %q: negative deadline slack %v", s.Name, s.DeadlineSlack)
 	}
+	if s.Arrival == ArrivalDiurnal && s.DiurnalAmplitude > 1 {
+		return fmt.Errorf("workload: scenario %q: diurnal amplitude %v > 1 (the trough rate would be negative)",
+			s.Name, s.DiurnalAmplitude)
+	}
+	if s.Service == ServicePareto && s.TailShape != 0 && s.TailShape <= 1 {
+		return fmt.Errorf("workload: scenario %q: Pareto tail index %v must exceed 1 (infinite mean below)",
+			s.Name, s.TailShape)
+	}
+	if s.Service == ServiceLognormal && s.TailSigma < 0 {
+		return fmt.Errorf("workload: scenario %q: negative lognormal sigma %v", s.Name, s.TailSigma)
+	}
 	return nil
 }
 
@@ -122,6 +159,14 @@ func Generate(sc Scenario) (*task.Metatask, error) {
 		pickTenant = func() string { return names[tenantRNG.Pick(weights)] }
 	}
 
+	// The service stream splits off last, and only when a heavy-tailed
+	// service distribution is configured — nominal-service scenarios
+	// stay bit-identical to versions that predate the dimension.
+	var scale func(*task.Spec) *task.Spec
+	if sc.Service != ServiceNominal {
+		scale = serviceScaler(sc, root.Split())
+	}
+
 	gap := gapGenerator(sc, arrRNG)
 	mt := &task.Metatask{Name: sc.Name, Tasks: make([]*task.Task, 0, sc.N)}
 	now := sc.FirstAt
@@ -129,6 +174,9 @@ func Generate(sc Scenario) (*task.Metatask, error) {
 		spec := sc.Specs[mixRNG.Intn(len(sc.Specs))]
 		if i > 0 {
 			now += gap(i)
+		}
+		if scale != nil {
+			spec = scale(spec)
 		}
 		t := &task.Task{ID: i, Spec: spec, Arrival: now}
 		if pickTenant != nil {
@@ -188,6 +236,31 @@ func MultiTenant(sc Scenario, tenants map[string]float64, slack float64) Scenari
 	sc.Name = sc.Name + "-mt"
 	sc.Tenants = tenants
 	sc.DeadlineSlack = slack
+	return sc
+}
+
+// Diurnal returns a second-set scenario driven by the sinusoidal
+// day/night inhomogeneous Poisson process (ArrivalDiurnal): N
+// waste-cpu tasks whose long-run mean inter-arrival is d seconds,
+// with the rate swinging smoothly between (1+A)·λ0 at noon and
+// (1−A)·λ0 at night. Tune DiurnalAmplitude and DiurnalPeriod on the
+// returned scenario before generating.
+func Diurnal(n int, d float64, seed uint64) Scenario {
+	sc := Set2(n, d, seed)
+	sc.Name = fmt.Sprintf("diurnal-wastecpu-n%d-d%g-s%d", n, d, seed)
+	sc.Arrival = ArrivalDiurnal
+	return sc
+}
+
+// HeavyTail returns a copy of sc whose per-task compute costs are
+// scaled by independent unit-mean heavy-tailed factors — Pareto
+// (ServicePareto, tail index alpha) or lognormal (ServiceLognormal,
+// shape sigma via TailSigma on the result). The offered load is
+// unchanged in expectation; the size distribution grows elephants.
+func HeavyTail(sc Scenario, dist ServiceProcess, alpha float64) Scenario {
+	sc.Name = sc.Name + "-" + dist.String()
+	sc.Service = dist
+	sc.TailShape = alpha
 	return sc
 }
 

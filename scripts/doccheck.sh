@@ -1,0 +1,87 @@
+#!/usr/bin/env bash
+# doccheck.sh — documentation drift gate over docs/operations.md.
+#
+# Two cross-checks, each enforced in both directions:
+#
+#   1. Flags. Every flag a binary's live -h output advertises must
+#      appear in that binary's table in docs/operations.md, and every
+#      flag the table documents must exist in the live output — so a
+#      flag added, renamed or removed in cmd/ fails CI until the
+#      operator doc is updated, and the doc cannot describe flags the
+#      binaries no longer accept.
+#
+#   2. Metrics. Every casched_* series the telemetry exporter emits
+#      must appear in the metrics reference, and every casched_* name
+#      the document mentions must be emitted by the exporter.
+#
+# No arguments. Exits non-zero listing every discrepancy found.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DOC=docs/operations.md
+TELEMETRY=internal/telemetry/telemetry.go
+fail=0
+
+complain() {
+	echo "doccheck: $*" >&2
+	fail=1
+}
+
+# The flag package prints each defined flag as "  -name value" (and
+# exits 0 on -h); continuation lines carry no leading dash.
+live_flags() {
+	go run "./cmd/$1" -h 2>&1 | sed -n 's/^[[:space:]]\{1,\}-\([a-z-]*\).*/\1/p' | sort -u
+}
+
+# casagent and casfed have their own "### <binary>" table whose first
+# column is the backticked flag; casserver and casclient share one
+# table whose first column is the binary name.
+doc_flags() {
+	case "$1" in
+	casagent | casfed)
+		awk -v want="### $1" '
+			/^### / { insec = ($0 == want) }
+			insec && /^\| `-/ { print }
+		' "$DOC" | sed -n 's/^| `-\([a-z-]*\)`.*/\1/p' | sort -u
+		;;
+	casserver | casclient)
+		sed -n "s/^| $1 | \`-\([a-z-]*\)\`.*/\1/p" "$DOC" | sort -u
+		;;
+	esac
+}
+
+for bin in casagent casfed casserver casclient; do
+	live="$(live_flags "$bin")"
+	doc="$(doc_flags "$bin")"
+	if [ -z "$doc" ]; then
+		complain "$DOC documents no flags for $bin"
+		continue
+	fi
+	missing="$(comm -23 <(printf '%s\n' "$live") <(printf '%s\n' "$doc"))"
+	if [ -n "$missing" ]; then
+		complain "$bin flags missing from $DOC:" $missing
+	fi
+	stale="$(comm -13 <(printf '%s\n' "$live") <(printf '%s\n' "$doc"))"
+	if [ -n "$stale" ]; then
+		complain "$DOC documents $bin flags the binary does not define:" $stale
+	fi
+done
+
+code_metrics="$(grep -oE 'casched_[a-z_]*[a-z]' "$TELEMETRY" | sort -u || true)"
+doc_metrics="$(grep -oE 'casched_[a-z_]*[a-z]' "$DOC" | sort -u || true)"
+if [ -z "$code_metrics" ]; then
+	complain "no casched_* series found in $TELEMETRY (exporter moved?)"
+fi
+missing="$(comm -23 <(printf '%s\n' "$code_metrics") <(printf '%s\n' "$doc_metrics"))"
+if [ -n "$missing" ]; then
+	complain "exported metrics missing from $DOC:" $missing
+fi
+stale="$(comm -13 <(printf '%s\n' "$code_metrics") <(printf '%s\n' "$doc_metrics"))"
+if [ -n "$stale" ]; then
+	complain "$DOC mentions metrics the exporter does not emit:" $stale
+fi
+
+if [ "$fail" -ne 0 ]; then
+	exit 1
+fi
+echo "doccheck: OK ($DOC matches the binaries' -h output and $TELEMETRY)"
